@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks: inference latency, training step cost,
+//! snapshot fitting and feature-reduction runtime — the time-efficiency side
+//! of the paper's "time-accuracy" comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcfe_core::collect::collect_workload;
+use qcfe_core::encoding::FeatureEncoder;
+use qcfe_core::estimators::MscnEstimator;
+use qcfe_core::pipeline::{prepare_context, ContextConfig};
+use qcfe_core::reduction::{diffprop_reduction, gradient_reduction};
+use qcfe_core::snapshot::{operator_samples_from, FeatureSnapshot};
+use qcfe_db::env::{DbEnvironment, HardwareProfile};
+use qcfe_workloads::BenchmarkKind;
+use rand::SeedableRng;
+
+fn bench_inference(c: &mut Criterion) {
+    let kind = BenchmarkKind::Sysbench;
+    let ctx = prepare_context(kind, &ContextConfig::quick(kind));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let (train, test) = ctx.workload.split(0.8, 1);
+    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+    let (mscn, _) = MscnEstimator::train(encoder, &train, Some(&ctx.snapshots_fso), None, 20, &mut rng);
+    let sample = &test.queries[0];
+    let snapshot = ctx.snapshots_fso[sample.env_index].as_ref();
+
+    c.bench_function("mscn_single_plan_inference", |b| {
+        b.iter(|| mscn.predict(&sample.executed.root, snapshot))
+    });
+}
+
+fn bench_snapshot_fit(c: &mut Criterion) {
+    let kind = BenchmarkKind::Sysbench;
+    let bench = kind.build(kind.quick_scale(), 3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let envs = DbEnvironment::sample_knob_configs(1, HardwareProfile::h1(), &mut rng);
+    let workload = collect_workload(&bench, &envs, 100, 3);
+    let executions: Vec<_> = workload.queries.iter().map(|q| q.executed.clone()).collect();
+    let samples = operator_samples_from(&executions);
+
+    c.bench_function("feature_snapshot_least_squares_fit", |b| {
+        b.iter(|| FeatureSnapshot::fit(&samples))
+    });
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    use qcfe_nn::{Activation, Dataset, Mlp};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let xs: Vec<Vec<f64>> = (0..300)
+        .map(|i| (0..40).map(|k| ((i * (k + 3)) % 17) as f64 / 17.0).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().take(5).sum::<f64>() * 10.0).collect();
+    let data = Dataset::new(xs, ys).unwrap();
+    let model = Mlp::new(&[40, 32, 1], Activation::Relu, &mut rng);
+
+    let mut group = c.benchmark_group("feature_reduction");
+    group.bench_function("difference_propagation_n100", |b| {
+        b.iter(|| diffprop_reduction(&model, &data, 100, &mut rng))
+    });
+    group.bench_function("gradient_importance", |b| {
+        b.iter(|| gradient_reduction(&model, &data))
+    });
+    group.finish();
+}
+
+fn bench_execution_simulator(c: &mut Criterion) {
+    let kind = BenchmarkKind::Tpch;
+    let bench = kind.build(kind.quick_scale(), 7);
+    let db = bench.build_database(DbEnvironment::reference());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let query = bench.templates[0].instantiate(&mut rng);
+
+    c.bench_function("tpch_q1_plan_and_execute", |b| {
+        b.iter(|| db.execute(&query, &mut rng).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_inference, bench_snapshot_fit, bench_reduction, bench_execution_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 1 — average query cost of the same workload under different
+//! database environments (knob configurations), showing the 2–3x spread that
+//! motivates the feature snapshot.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin fig1_env_cost [--quick]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::collect::collect_workload;
+use qcfe_db::env::{DbEnvironment, HardwareProfile};
+use qcfe_workloads::BenchmarkKind;
+use rand::SeedableRng;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let env_count = 5;
+    let queries = if quick { 100 } else { 1000 };
+
+    let mut report = ExperimentReport::new(
+        "fig1",
+        format!("average cost of {queries} queries under {env_count} knob configurations"),
+        quick,
+    );
+
+    for kind in [BenchmarkKind::Tpch, BenchmarkKind::Sysbench] {
+        let scale = if quick { kind.quick_scale() } else { kind.default_scale() };
+        let bench = kind.build(scale, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let envs = DbEnvironment::sample_knob_configs(env_count, HardwareProfile::h1(), &mut rng);
+        let workload = collect_workload(&bench, &envs, queries / env_count, seed);
+        let averages = workload.average_cost_per_environment();
+
+        let mut table = ReportTable::new(
+            format!("Figure 1 — {}", kind.name()),
+            &["environment", "avg query cost (ms)"],
+        );
+        for (i, avg) in averages.iter().enumerate() {
+            table.push_row(vec![format!("config-{i}"), fmt3(*avg)]);
+        }
+        let min = averages.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = averages.iter().cloned().fold(0.0_f64, f64::max);
+        table.push_row(vec!["max/min spread".into(), fmt3(max / min.max(1e-9))]);
+        report.add_table(table);
+    }
+
+    println!("{}", report.render());
+    report.save_json();
+}

@@ -1,0 +1,52 @@
+//! Figure 5 — q-error distribution (25th/50th/75th percentiles) per
+//! benchmark and scale for QPPNet, MSCN and their QCFE variants.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin fig5_qerror_variance [--quick]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::pipeline::{prepare_context, run_method, ContextConfig, EstimatorKind, RunConfig};
+use qcfe_workloads::BenchmarkKind;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let scales: Vec<usize> = if quick { vec![150] } else { vec![500, 1000, 2000] };
+    let estimators = [
+        EstimatorKind::QcfeMscn,
+        EstimatorKind::QcfeQpp,
+        EstimatorKind::Mscn,
+        EstimatorKind::QppNet,
+    ];
+
+    let mut report = ExperimentReport::new("fig5", "q-error percentiles (box plot data)", quick);
+    for kind in BenchmarkKind::ALL {
+        let cfg = if quick {
+            ContextConfig::quick(kind)
+        } else {
+            ContextConfig { seed, ..ContextConfig::full(kind) }
+        };
+        let ctx = prepare_context(kind, &cfg);
+        let mut table = ReportTable::new(
+            format!("Figure 5 — {}", kind.name()),
+            &["model", "scale", "p25", "p50", "p75", "p90", "variance"],
+        );
+        for &scale in &scales {
+            for est in estimators {
+                let iterations = if quick { 8 } else { 30 };
+                let result = run_method(&ctx, est, &RunConfig::new(scale, iterations, seed));
+                let a = &result.accuracy;
+                table.push_row(vec![
+                    est.name().to_string(),
+                    scale.to_string(),
+                    fmt3(a.p25_q_error),
+                    fmt3(a.median_q_error),
+                    fmt3(a.p75_q_error),
+                    fmt3(a.p90_q_error),
+                    fmt3(a.q_error_variance),
+                ]);
+            }
+        }
+        report.add_table(table);
+    }
+    println!("{}", report.render());
+    report.save_json();
+}

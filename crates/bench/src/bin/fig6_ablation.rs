@@ -1,0 +1,59 @@
+//! Figure 6 — ablation of QCFE design choices on the QPPNet model:
+//! FSO, FST, FSO+FR, FSO+GD, FSO+Greedy.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin fig6_ablation [--quick]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::pipeline::{
+    prepare_context, run_method, AblationVariant, ContextConfig, EstimatorKind, RunConfig,
+};
+use qcfe_workloads::BenchmarkKind;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let sample_size = if quick { 150 } else { 1000 };
+    let iterations = if quick { 8 } else { 40 };
+
+    let mut report = ExperimentReport::new(
+        "fig6",
+        format!("ablation of QCFE(qpp) at scale {sample_size}"),
+        quick,
+    );
+    for kind in BenchmarkKind::ALL {
+        let cfg = if quick {
+            ContextConfig::quick(kind)
+        } else {
+            ContextConfig { seed, ..ContextConfig::full(kind) }
+        };
+        let ctx = prepare_context(kind, &cfg);
+        let mut table = ReportTable::new(
+            format!("Figure 6 — {}", kind.name()),
+            &["variant", "mean q-error", "p50 q-error", "p95 q-error", "pearson"],
+        );
+        for variant in AblationVariant::ALL {
+            let (snapshot_source, reduction) = variant.config();
+            let run = RunConfig {
+                snapshot_source,
+                reduction,
+                ..RunConfig::new(sample_size, iterations, seed)
+            };
+            let result = run_method(&ctx, EstimatorKind::QcfeQpp, &run);
+            table.push_row(vec![
+                variant.name().to_string(),
+                fmt3(result.accuracy.mean_q_error),
+                fmt3(result.accuracy.median_q_error),
+                fmt3(result.accuracy.p95_q_error),
+                fmt3(result.accuracy.pearson),
+            ]);
+            eprintln!(
+                "[fig6] {} {} q={:.3}",
+                kind.name(),
+                variant.name(),
+                result.accuracy.mean_q_error
+            );
+        }
+        report.add_table(table);
+    }
+    println!("{}", report.render());
+    report.save_json();
+}

@@ -1,0 +1,70 @@
+//! Figure 7 — number of features removed per operator by Greedy, GD and FR
+//! (difference propagation) on TPC-H.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin fig7_reduction [--quick]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::pipeline::{prepare_context, run_method, ContextConfig, EstimatorKind, RunConfig};
+use qcfe_core::reduction::ReductionMethod;
+use qcfe_db::plan::OperatorKind;
+use qcfe_workloads::BenchmarkKind;
+use std::collections::HashMap;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let sample_size = if quick { 150 } else { 1000 };
+    let kind = BenchmarkKind::Tpch;
+    let cfg = if quick {
+        ContextConfig::quick(kind)
+    } else {
+        ContextConfig { seed, ..ContextConfig::full(kind) }
+    };
+    let ctx = prepare_context(kind, &cfg);
+
+    let methods = [ReductionMethod::Greedy, ReductionMethod::Gradient, ReductionMethod::DiffProp];
+    let mut per_method: HashMap<ReductionMethod, HashMap<OperatorKind, (usize, f64)>> = HashMap::new();
+    for method in methods {
+        let run = RunConfig {
+            reduction: method,
+            ..RunConfig::new(sample_size, if quick { 4 } else { 10 }, seed)
+        };
+        let result = run_method(&ctx, EstimatorKind::QcfeQpp, &run);
+        let summary = result
+            .operator_reductions
+            .iter()
+            .map(|(op, o)| (*op, (o.removed_count(), o.reduction_ratio())))
+            .collect();
+        per_method.insert(method, summary);
+    }
+
+    let mut report = ExperimentReport::new("fig7", "features removed per operator (TPCH)", quick);
+    let mut table = ReportTable::new(
+        "Figure 7 — feature reduction per operator",
+        &["operator", "Greedy removed", "GD removed", "FR removed", "FR ratio"],
+    );
+    for op in OperatorKind::ALL {
+        let get = |m: ReductionMethod| {
+            per_method
+                .get(&m)
+                .and_then(|h| h.get(&op))
+                .copied()
+                .unwrap_or((0, 0.0))
+        };
+        let (g, _) = get(ReductionMethod::Greedy);
+        let (gd, _) = get(ReductionMethod::Gradient);
+        let (fr, ratio) = get(ReductionMethod::DiffProp);
+        if g == 0 && gd == 0 && fr == 0 {
+            continue;
+        }
+        table.push_row(vec![
+            op.name().to_string(),
+            g.to_string(),
+            gd.to_string(),
+            fr.to_string(),
+            fmt3(ratio),
+        ]);
+    }
+    report.add_table(table);
+    println!("{}", report.render());
+    report.save_json();
+}

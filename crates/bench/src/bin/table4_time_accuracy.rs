@@ -1,0 +1,67 @@
+//! Table IV — time-accuracy efficiency of PGSQL, MSCN, QPPNet, QCFE(mscn)
+//! and QCFE(qpp) across benchmarks and label-set scales.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin table4_time_accuracy [--quick] [--seed N]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::pipeline::{prepare_context, run_method, ContextConfig, EstimatorKind, RunConfig};
+use qcfe_workloads::BenchmarkKind;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let scales: Vec<usize> = if quick { vec![100, 200] } else { vec![500, 1000, 2000] };
+    let iterations = |kind: BenchmarkKind| match kind {
+        BenchmarkKind::Tpch => if quick { 10 } else { 40 },
+        BenchmarkKind::JobLight => if quick { 12 } else { 60 },
+        BenchmarkKind::Sysbench => if quick { 8 } else { 20 },
+    };
+
+    let mut report = ExperimentReport::new(
+        "table4",
+        format!("time-accuracy efficiency, scales {scales:?}, seed {seed}"),
+        quick,
+    );
+
+    for bench_kind in BenchmarkKind::ALL {
+        let cfg = if quick {
+            ContextConfig::quick(bench_kind)
+        } else {
+            ContextConfig { seed, ..ContextConfig::full(bench_kind) }
+        };
+        eprintln!("[table4] preparing {} context...", bench_kind.name());
+        let ctx = prepare_context(bench_kind, &cfg);
+
+        let mut table = ReportTable::new(
+            format!("Table IV — {}", bench_kind.name()),
+            &["model", "scale", "pearson", "mean q-error", "train time (s)"],
+        );
+        for &scale in &scales {
+            for est in EstimatorKind::ALL {
+                let run = RunConfig::new(scale, iterations(bench_kind), seed);
+                let result = run_method(&ctx, est, &run);
+                table.push_row(vec![
+                    est.name().to_string(),
+                    scale.to_string(),
+                    fmt3(result.accuracy.pearson),
+                    fmt3(result.accuracy.mean_q_error),
+                    fmt3(result.train.train_time_s),
+                ]);
+                eprintln!(
+                    "[table4] {} {} scale={} pearson={:.3} q={:.3} t={:.2}s",
+                    bench_kind.name(),
+                    est.name(),
+                    scale,
+                    result.accuracy.pearson,
+                    result.accuracy.mean_q_error,
+                    result.train.train_time_s
+                );
+            }
+        }
+        report.add_table(table);
+    }
+
+    println!("{}", report.render());
+    if let Some(path) = report.save_json() {
+        eprintln!("saved {}", path.display());
+    }
+}

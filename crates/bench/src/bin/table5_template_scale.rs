@@ -1,0 +1,65 @@
+//! Table V — robustness to the simplified-template scale: accuracy and
+//! snapshot-collection cost of FSO vs FST at several scales.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin table5_template_scale [--quick]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::pipeline::{
+    prepare_context, run_method, ContextConfig, EstimatorKind, RunConfig, SnapshotSource,
+};
+use qcfe_workloads::BenchmarkKind;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let template_scales: Vec<usize> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4] };
+    let sample_size = if quick { 150 } else { 1000 };
+    let iterations = if quick { 6 } else { 30 };
+
+    let mut report = ExperimentReport::new("table5", "template-scale robustness (FSO vs FST)", quick);
+    for kind in [BenchmarkKind::Tpch, BenchmarkKind::JobLight] {
+        let mut table = ReportTable::new(
+            format!("Table V — {}", kind.name()),
+            &["snapshot", "template scale", "mean q-error", "collection cost (ms, simulated)", "#templates"],
+        );
+        for &tscale in &template_scales {
+            let cfg = ContextConfig {
+                template_scale: tscale,
+                seed,
+                ..if quick { ContextConfig::quick(kind) } else { ContextConfig::full(kind) }
+            };
+            let ctx = prepare_context(kind, &cfg);
+            // FSO row only once (its collection cost does not depend on the
+            // template scale).
+            if tscale == template_scales[0] {
+                let run = RunConfig {
+                    snapshot_source: SnapshotSource::Original,
+                    ..RunConfig::new(sample_size, iterations, seed)
+                };
+                let fso = run_method(&ctx, EstimatorKind::QcfeQpp, &run);
+                table.push_row(vec![
+                    "FSO".into(),
+                    "-".into(),
+                    fmt3(fso.accuracy.mean_q_error),
+                    fmt3(ctx.fso_collection_ms),
+                    "-".into(),
+                ]);
+            }
+            let run = RunConfig {
+                snapshot_source: SnapshotSource::Template,
+                ..RunConfig::new(sample_size, iterations, seed)
+            };
+            let fst = run_method(&ctx, EstimatorKind::QcfeQpp, &run);
+            table.push_row(vec![
+                "FST".into(),
+                tscale.to_string(),
+                fmt3(fst.accuracy.mean_q_error),
+                fmt3(ctx.fst_collection_ms),
+                ctx.simplified_template_count.to_string(),
+            ]);
+            eprintln!("[table5] {} FST scale {} done", kind.name(), tscale);
+        }
+        report.add_table(table);
+    }
+    println!("{}", report.render());
+    report.save_json();
+}

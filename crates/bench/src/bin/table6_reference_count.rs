@@ -1,0 +1,57 @@
+//! Table VI — robustness of difference propagation to the reference-set
+//! size N: q-error, reduction runtime and reduction ratio for QCFE(qpp) on
+//! TPC-H.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin table6_reference_count [--quick]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::pipeline::{prepare_context, run_method, ContextConfig, EstimatorKind, RunConfig};
+use qcfe_workloads::BenchmarkKind;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let reference_counts: Vec<usize> = if quick { vec![50, 100] } else { vec![200, 250, 300, 400, 500] };
+    let sample_size = if quick { 150 } else { 800 };
+    let kind = BenchmarkKind::Tpch;
+    let cfg = if quick {
+        ContextConfig::quick(kind)
+    } else {
+        ContextConfig { seed, ..ContextConfig::full(kind) }
+    };
+    let ctx = prepare_context(kind, &cfg);
+
+    let mut report = ExperimentReport::new("table6", "reference-count robustness (TPCH, QCFE(qpp))", quick);
+    let mut table = ReportTable::new(
+        "Table VI — number of reference points",
+        &["N", "mean q-error", "p95 q-error", "p90 q-error", "FR runtime (ms)", "reduction ratio"],
+    );
+    for &n in &reference_counts {
+        let run = RunConfig {
+            reference_count: n,
+            ..RunConfig::new(sample_size, if quick { 6 } else { 30 }, seed)
+        };
+        let result = run_method(&ctx, EstimatorKind::QcfeQpp, &run);
+        let (runtime_ms, ratio) = {
+            let outcomes: Vec<_> = result.operator_reductions.values().collect();
+            let runtime: f64 = outcomes.iter().map(|o| o.runtime_ms).sum();
+            let ratio = if outcomes.is_empty() {
+                0.0
+            } else {
+                outcomes.iter().map(|o| o.reduction_ratio()).sum::<f64>() / outcomes.len() as f64
+            };
+            (runtime, ratio)
+        };
+        table.push_row(vec![
+            n.to_string(),
+            fmt3(result.accuracy.mean_q_error),
+            fmt3(result.accuracy.p95_q_error),
+            fmt3(result.accuracy.p90_q_error),
+            fmt3(runtime_ms),
+            fmt3(ratio),
+        ]);
+        eprintln!("[table6] N={n} done");
+    }
+    report.add_table(table);
+    println!("{}", report.render());
+    report.save_json();
+}

@@ -1,0 +1,10 @@
+//! Shared helpers for the QCFE experiment harness binaries and benches.
+//!
+//! The real content lives in `src/bin/*` (one binary per paper table/figure)
+//! and `benches/*` (Criterion microbenchmarks). This library crate holds the
+//! small amount of code they share: result tables, output formatting, and
+//! the `--quick` switch.
+
+pub mod report;
+
+pub use report::{ExperimentReport, ReportTable};

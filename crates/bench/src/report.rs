@@ -1,0 +1,188 @@
+//! Result-table formatting shared by the experiment binaries.
+//!
+//! Every experiment binary produces an [`ExperimentReport`]: a set of named
+//! tables with string/number cells. Reports are printed as aligned text (so
+//! the terminal output mirrors the paper's tables) and serialised as JSON
+//! under `target/experiments/` so EXPERIMENTS.md can be regenerated.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A single formatted table (one per paper table / figure panel).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ReportTable {
+    /// Table title, e.g. `"Table IV — TPCH"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already rendered to strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ReportTable {
+    /// Create an empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ReportTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; the number of cells must match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(cells);
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
+
+/// A full experiment report (one per binary).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment identifier, e.g. `"table4"`, `"fig6"`.
+    pub id: String,
+    /// Free-form description of what was run (workloads, scales, seeds).
+    pub description: String,
+    /// Whether the run used `--quick` reduced sizes.
+    pub quick: bool,
+    /// The result tables.
+    pub tables: Vec<ReportTable>,
+}
+
+impl ExperimentReport {
+    /// Create an empty report.
+    pub fn new(id: impl Into<String>, description: impl Into<String>, quick: bool) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            description: description.into(),
+            quick,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Add a table.
+    pub fn add_table(&mut self, table: ReportTable) {
+        self.tables.push(table);
+    }
+
+    /// Render all tables to text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "### Experiment {} ({}){}\n",
+            self.id,
+            self.description,
+            if self.quick { " [quick mode]" } else { "" }
+        );
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the report to `target/experiments/<id>.json` (best effort) and
+    /// return the path used.
+    pub fn save_json(&self) -> Option<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return None;
+        }
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).ok()?;
+        std::fs::write(&path, json).ok()?;
+        Some(path)
+    }
+}
+
+/// Parse the common command-line flags used by every experiment binary.
+/// Returns `(quick, seed)`.
+pub fn parse_common_args() -> (bool, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    (quick, seed)
+}
+
+/// Format a float with 3 decimal places (the precision used in the paper's
+/// tables).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = ReportTable::new("demo", &["model", "q-error"]);
+        t.push_row(vec!["QPPNet".into(), "1.107".into()]);
+        t.push_row(vec!["QCFE(qpp)".into(), "1.072".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("QCFE(qpp)"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = ReportTable::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut r = ExperimentReport::new("table4", "time-accuracy", true);
+        let mut t = ReportTable::new("TPCH", &["model", "pearson"]);
+        t.push_row(vec!["MSCN".into(), "0.983".into()]);
+        r.add_table(t);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.render().contains("[quick mode]"));
+    }
+
+    #[test]
+    fn fmt3_rounds_to_three_places() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt3(2.0), "2.000");
+    }
+}

@@ -1,0 +1,193 @@
+//! Labeled-workload collection: run benchmark queries under many database
+//! environments and keep the executed (annotated) plans as training labels.
+//!
+//! This mirrors the paper's data-collection phase: 20 random knob
+//! configurations per benchmark, a fixed number of queries per
+//! configuration, and an 80/20 train/test split over the pooled labels.
+
+use qcfe_db::env::DbEnvironment;
+use qcfe_db::executor::ExecutedQuery;
+use qcfe_workloads::Benchmark;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One labeled query execution.
+#[derive(Debug, Clone)]
+pub struct LabeledQuery {
+    /// Index into [`LabeledWorkload::environments`].
+    pub env_index: usize,
+    /// The executed plan with actual rows and per-operator times.
+    pub executed: ExecutedQuery,
+}
+
+/// A labeled workload: environments plus the executions gathered under them.
+#[derive(Debug, Clone)]
+pub struct LabeledWorkload {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The environments the labels were collected under.
+    pub environments: Vec<DbEnvironment>,
+    /// The labeled query executions.
+    pub queries: Vec<LabeledQuery>,
+}
+
+impl LabeledWorkload {
+    /// Number of labeled queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries were collected.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The labeled queries collected under one environment.
+    pub fn for_environment(&self, env_index: usize) -> Vec<&LabeledQuery> {
+        self.queries.iter().filter(|q| q.env_index == env_index).collect()
+    }
+
+    /// A deterministic subsample of `n` labeled queries (the paper's
+    /// scale = 2000 … 10000 sweep).
+    pub fn subsample(&self, n: usize, seed: u64) -> LabeledWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..self.queries.len()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(n.min(self.queries.len()));
+        LabeledWorkload {
+            benchmark: self.benchmark.clone(),
+            environments: self.environments.clone(),
+            queries: indices.iter().map(|&i| self.queries[i].clone()).collect(),
+        }
+    }
+
+    /// Split into (train, test) by the given training fraction.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (LabeledWorkload, LabeledWorkload) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut indices: Vec<usize> = (0..self.queries.len()).collect();
+        indices.shuffle(&mut rng);
+        let cut = ((self.queries.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.queries.len().saturating_sub(1).max(1));
+        let take = |idx: &[usize]| LabeledWorkload {
+            benchmark: self.benchmark.clone(),
+            environments: self.environments.clone(),
+            queries: idx.iter().map(|&i| self.queries[i].clone()).collect(),
+        };
+        (take(&indices[..cut]), take(&indices[cut..]))
+    }
+
+    /// Average query latency per environment (the series of Figure 1).
+    pub fn average_cost_per_environment(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.environments.len()];
+        let mut counts = vec![0usize; self.environments.len()];
+        for q in &self.queries {
+            sums[q.env_index] += q.executed.total_ms;
+            counts[q.env_index] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(s, c)| if *c == 0 { 0.0 } else { s / *c as f64 })
+            .collect()
+    }
+
+    /// Actual total latencies of all labeled queries.
+    pub fn actual_costs(&self) -> Vec<f64> {
+        self.queries.iter().map(|q| q.executed.total_ms).collect()
+    }
+}
+
+/// Collect a labeled workload: `queries_per_env` template-instantiated
+/// queries executed under each environment.
+pub fn collect_workload(
+    benchmark: &Benchmark,
+    environments: &[DbEnvironment],
+    queries_per_env: usize,
+    seed: u64,
+) -> LabeledWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(environments.len() * queries_per_env);
+    for (env_index, env) in environments.iter().enumerate() {
+        let db = benchmark.build_database(env.clone());
+        for q in benchmark.queries_round_robin(queries_per_env, &mut rng) {
+            if let Ok(executed) = db.execute(&q, &mut rng) {
+                queries.push(LabeledQuery { env_index, executed });
+            }
+        }
+    }
+    LabeledWorkload {
+        benchmark: benchmark.name.clone(),
+        environments: environments.to_vec(),
+        queries,
+    }
+}
+
+/// Execute an arbitrary list of queries under one environment and return the
+/// executions (used for the simplified-template snapshot collection).
+pub fn execute_queries(
+    benchmark: &Benchmark,
+    env: &DbEnvironment,
+    queries: &[qcfe_db::query::Query],
+    seed: u64,
+) -> Vec<ExecutedQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = benchmark.build_database(env.clone());
+    queries
+        .iter()
+        .filter_map(|q| db.execute(q, &mut rng).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcfe_db::env::HardwareProfile;
+    use qcfe_workloads::BenchmarkKind;
+
+    fn tiny_workload() -> LabeledWorkload {
+        let bench = BenchmarkKind::Sysbench.build(0.0005, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let envs = DbEnvironment::sample_knob_configs(3, HardwareProfile::h1(), &mut rng);
+        collect_workload(&bench, &envs, 10, 7)
+    }
+
+    #[test]
+    fn collection_produces_labels_for_every_environment() {
+        let w = tiny_workload();
+        assert_eq!(w.environments.len(), 3);
+        assert_eq!(w.len(), 30);
+        for env_idx in 0..3 {
+            assert_eq!(w.for_environment(env_idx).len(), 10);
+        }
+        assert!(w.actual_costs().iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn environment_averages_vary_with_knobs() {
+        let w = tiny_workload();
+        let avgs = w.average_cost_per_environment();
+        assert_eq!(avgs.len(), 3);
+        assert!(avgs.iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    fn subsample_and_split_partition_correctly() {
+        let w = tiny_workload();
+        let sub = w.subsample(12, 3);
+        assert_eq!(sub.len(), 12);
+        let (train, test) = sub.split(0.8, 4);
+        assert_eq!(train.len() + test.len(), 12);
+        assert!(train.len() >= 9);
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn execute_queries_runs_adhoc_queries() {
+        let bench = BenchmarkKind::Sysbench.build(0.0005, 1);
+        let env = DbEnvironment::reference();
+        let mut rng = StdRng::seed_from_u64(5);
+        let queries: Vec<_> = (0..5).map(|_| bench.random_query(&mut rng)).collect();
+        let executed = execute_queries(&bench, &env, &queries, 9);
+        assert_eq!(executed.len(), 5);
+    }
+}

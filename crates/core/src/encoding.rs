@@ -1,0 +1,312 @@
+//! Operator- and plan-level feature encodings.
+//!
+//! The encoding follows the scheme the paper identifies as common to
+//! existing learned estimators (Section IV-A): one-hot codes for the
+//! operator type, the scanned table and the index column, plus numerical
+//! features (cardinalities, widths, optimizer cost). When QCFE is enabled
+//! the per-operator feature snapshot is appended, which is how the ignored
+//! variables reach the model.
+
+use crate::snapshot::{FeatureSnapshot, SNAPSHOT_DIM};
+use qcfe_db::catalog::Catalog;
+use qcfe_db::plan::{OperatorKind, PhysicalOp, PlanNode};
+use serde::{Deserialize, Serialize};
+
+/// Number of numeric (non-one-hot, non-snapshot) features per node.
+pub const NODE_NUMERIC_DIM: usize = 7;
+
+/// Extra plan-level numeric features appended by the pooled (MSCN-style)
+/// encoding.
+pub const PLAN_EXTRA_DIM: usize = 3;
+
+/// A reusable feature encoder bound to one catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureEncoder {
+    tables: Vec<String>,
+    /// All `(table, column)` pairs of the catalog, for the index-column
+    /// one-hot block.
+    columns: Vec<(String, String)>,
+    include_snapshot: bool,
+    feature_names: Vec<String>,
+}
+
+impl FeatureEncoder {
+    /// Build an encoder for a catalog. `include_snapshot` switches between
+    /// the general feature engineering (false) and QCFE (true).
+    pub fn new(catalog: &Catalog, include_snapshot: bool) -> Self {
+        let tables: Vec<String> = catalog.tables().map(|t| t.name.clone()).collect();
+        let mut columns = Vec::with_capacity(catalog.total_columns());
+        for t in catalog.tables() {
+            for c in &t.columns {
+                columns.push((t.name.clone(), c.name.clone()));
+            }
+        }
+        let mut feature_names = Vec::new();
+        for k in OperatorKind::ALL {
+            feature_names.push(format!("op:{}", k.name()));
+        }
+        for t in &tables {
+            feature_names.push(format!("table:{t}"));
+        }
+        for (t, c) in &columns {
+            feature_names.push(format!("index:{t}.{c}"));
+        }
+        for name in [
+            "log_est_rows",
+            "log_est_cost",
+            "est_width",
+            "n_predicates",
+            "n_children",
+            "log_child_rows",
+            "depth",
+        ] {
+            feature_names.push(format!("num:{name}"));
+        }
+        if include_snapshot {
+            for i in 0..SNAPSHOT_DIM {
+                feature_names.push(format!("fs:c{i}"));
+            }
+        }
+        FeatureEncoder { tables, columns, include_snapshot, feature_names }
+    }
+
+    /// Whether this encoder appends the feature snapshot.
+    pub fn includes_snapshot(&self) -> bool {
+        self.include_snapshot
+    }
+
+    /// Dimensionality of a single node encoding.
+    pub fn node_dim(&self) -> usize {
+        OperatorKind::ALL.len()
+            + self.tables.len()
+            + self.columns.len()
+            + NODE_NUMERIC_DIM
+            + if self.include_snapshot { SNAPSHOT_DIM } else { 0 }
+    }
+
+    /// Dimensionality of the pooled plan-level encoding.
+    pub fn plan_dim(&self) -> usize {
+        self.node_dim() + PLAN_EXTRA_DIM
+    }
+
+    /// Human-readable feature names, aligned with [`encode_node`] output.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Indices of the snapshot block within a node encoding (empty when the
+    /// snapshot is not included).
+    pub fn snapshot_feature_indices(&self) -> Vec<usize> {
+        if !self.include_snapshot {
+            return Vec::new();
+        }
+        let start = self.node_dim() - SNAPSHOT_DIM;
+        (start..self.node_dim()).collect()
+    }
+
+    /// Encode one plan node.
+    pub fn encode_node(
+        &self,
+        node: &PlanNode,
+        depth: usize,
+        snapshot: Option<&FeatureSnapshot>,
+    ) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.node_dim());
+
+        // Operator one-hot.
+        let kind = node.op.kind();
+        for k in OperatorKind::ALL {
+            v.push(if k == kind { 1.0 } else { 0.0 });
+        }
+        // Table one-hot (scans only).
+        let scanned = node.op.scanned_table();
+        for t in &self.tables {
+            v.push(if scanned == Some(t.as_str()) { 1.0 } else { 0.0 });
+        }
+        // Index-column one-hot (index scans only).
+        let index_col = match &node.op {
+            PhysicalOp::IndexScan { table, column } => Some((table.as_str(), column.as_str())),
+            _ => None,
+        };
+        for (t, c) in &self.columns {
+            v.push(if index_col == Some((t.as_str(), c.as_str())) { 1.0 } else { 0.0 });
+        }
+        // Numeric features.
+        let child_rows: f64 = node.children.iter().map(|c| c.est_rows).sum();
+        v.push((1.0 + node.est_rows.max(0.0)).ln());
+        v.push((1.0 + node.est_cost.max(0.0)).ln());
+        v.push(node.est_width / 100.0);
+        v.push(node.predicates.len() as f64);
+        v.push(node.children.len() as f64);
+        v.push((1.0 + child_rows.max(0.0)).ln());
+        v.push(depth as f64);
+        // Feature snapshot.
+        if self.include_snapshot {
+            let coeffs = snapshot
+                .map(|s| s.coefficients(kind))
+                .unwrap_or([0.0; SNAPSHOT_DIM]);
+            // Scale the constant-ish coefficients into a comparable range.
+            v.extend(coeffs.iter().map(|c| (1.0 + c.abs() * 1000.0).ln() * c.signum()));
+        }
+        debug_assert_eq!(v.len(), self.node_dim());
+        v
+    }
+
+    /// Encode every node of a plan (pre-order), together with its depth.
+    pub fn encode_plan_nodes(
+        &self,
+        root: &PlanNode,
+        snapshot: Option<&FeatureSnapshot>,
+    ) -> Vec<(OperatorKind, Vec<f64>)> {
+        let mut out = Vec::with_capacity(root.node_count());
+        fn walk(
+            enc: &FeatureEncoder,
+            node: &PlanNode,
+            depth: usize,
+            snapshot: Option<&FeatureSnapshot>,
+            out: &mut Vec<(OperatorKind, Vec<f64>)>,
+        ) {
+            out.push((node.op.kind(), enc.encode_node(node, depth, snapshot)));
+            for c in &node.children {
+                walk(enc, c, depth + 1, snapshot, out);
+            }
+        }
+        walk(self, root, 0, snapshot, &mut out);
+        out
+    }
+
+    /// Pooled plan-level encoding (MSCN-style): element-wise mean of the node
+    /// encodings plus `[node_count, depth, log root est cost]`.
+    pub fn encode_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> Vec<f64> {
+        let nodes = self.encode_plan_nodes(root, snapshot);
+        let n = nodes.len().max(1) as f64;
+        let mut pooled = vec![0.0; self.node_dim()];
+        for (_, node_vec) in &nodes {
+            for (p, x) in pooled.iter_mut().zip(node_vec) {
+                *p += x / n;
+            }
+        }
+        pooled.push(root.node_count() as f64);
+        pooled.push(root.depth() as f64);
+        pooled.push((1.0 + root.est_cost.max(0.0)).ln());
+        debug_assert_eq!(pooled.len(), self.plan_dim());
+        pooled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcfe_db::catalog::TableBuilder;
+    use qcfe_db::expr::{ColumnRef, JoinCondition};
+    use qcfe_db::types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("a")
+                .column("x", DataType::Int)
+                .column("y", DataType::Int)
+                .primary_key("x"),
+        );
+        c.add_table(TableBuilder::new("b").column("z", DataType::Int).primary_key("z"));
+        c
+    }
+
+    fn plan() -> PlanNode {
+        let mut scan_a =
+            PlanNode::new(PhysicalOp::IndexScan { table: "a".into(), column: "x".into() }, vec![]);
+        scan_a.est_rows = 100.0;
+        let mut scan_b = PlanNode::new(PhysicalOp::SeqScan { table: "b".into() }, vec![]);
+        scan_b.est_rows = 1000.0;
+        let mut join = PlanNode::new(
+            PhysicalOp::HashJoin {
+                condition: JoinCondition::new(ColumnRef::new("a", "x"), ColumnRef::new("b", "z")),
+            },
+            vec![scan_a, scan_b],
+        );
+        join.est_rows = 500.0;
+        join
+    }
+
+    #[test]
+    fn dimensions_are_consistent_with_names() {
+        let enc = FeatureEncoder::new(&catalog(), false);
+        assert_eq!(enc.node_dim(), 9 + 2 + 3 + NODE_NUMERIC_DIM);
+        assert_eq!(enc.feature_names().len(), enc.node_dim());
+        assert!(enc.snapshot_feature_indices().is_empty());
+
+        let enc_fs = FeatureEncoder::new(&catalog(), true);
+        assert_eq!(enc_fs.node_dim(), enc.node_dim() + SNAPSHOT_DIM);
+        assert_eq!(enc_fs.snapshot_feature_indices().len(), SNAPSHOT_DIM);
+        assert_eq!(enc_fs.plan_dim(), enc_fs.node_dim() + PLAN_EXTRA_DIM);
+    }
+
+    #[test]
+    fn one_hot_blocks_are_set_correctly() {
+        let enc = FeatureEncoder::new(&catalog(), false);
+        let p = plan();
+        let nodes = enc.encode_plan_nodes(&p, None);
+        assert_eq!(nodes.len(), 3);
+        // root is the hash join
+        let (kind, root_vec) = &nodes[0];
+        assert_eq!(*kind, OperatorKind::HashJoin);
+        assert_eq!(root_vec[OperatorKind::HashJoin.index()], 1.0);
+        assert_eq!(root_vec.iter().take(9).sum::<f64>(), 1.0, "exactly one op bit");
+        // index scan on a.x sets table 'a' and index column a.x
+        let (_, scan_vec) = &nodes[1];
+        assert_eq!(scan_vec[OperatorKind::IndexScan.index()], 1.0);
+        assert_eq!(scan_vec[9], 1.0, "table a one-hot");
+        assert_eq!(scan_vec[9 + 2], 1.0, "index column a.x one-hot");
+        // seq scan on b sets table 'b' but no index column
+        let (_, seq_vec) = &nodes[2];
+        assert_eq!(seq_vec[9 + 1], 1.0);
+        assert_eq!(seq_vec[9 + 2..9 + 2 + 3].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_block_reflects_fitted_coefficients() {
+        use crate::snapshot::OperatorSample;
+        let samples: Vec<OperatorSample> = (1..=30)
+            .map(|i| OperatorSample {
+                kind: OperatorKind::SeqScan,
+                n1: (i * 100) as f64,
+                n2: 0.0,
+                self_ms: 0.004 * (i * 100) as f64 + 1.0,
+            })
+            .collect();
+        let snap = FeatureSnapshot::fit(&samples);
+        let enc = FeatureEncoder::new(&catalog(), true);
+        let p = plan();
+        let nodes = enc.encode_plan_nodes(&p, Some(&snap));
+        let seq_vec = &nodes[2].1;
+        let fs = enc.snapshot_feature_indices();
+        assert!(seq_vec[fs[0]] != 0.0, "seq scan snapshot coefficient must be present");
+        // hash join has no fitted coefficients -> zeros
+        let join_vec = &nodes[0].1;
+        assert_eq!(join_vec[fs[0]], 0.0);
+    }
+
+    #[test]
+    fn plan_encoding_pools_and_appends_extras() {
+        let enc = FeatureEncoder::new(&catalog(), false);
+        let p = plan();
+        let v = enc.encode_plan(&p, None);
+        assert_eq!(v.len(), enc.plan_dim());
+        assert_eq!(v[enc.node_dim()], 3.0, "node count");
+        assert_eq!(v[enc.node_dim() + 1], 2.0, "depth");
+        // pooled op one-hots average to node fractions
+        assert!((v[OperatorKind::SeqScan.index()] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_is_recorded_in_numeric_block() {
+        let enc = FeatureEncoder::new(&catalog(), false);
+        let p = plan();
+        let nodes = enc.encode_plan_nodes(&p, None);
+        let depth_idx = enc.node_dim() - 1;
+        assert_eq!(nodes[0].1[depth_idx], 0.0);
+        assert_eq!(nodes[1].1[depth_idx], 1.0);
+        assert_eq!(nodes[2].1[depth_idx], 1.0);
+    }
+}

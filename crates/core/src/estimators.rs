@@ -1,0 +1,486 @@
+//! Learned cost estimators: the PostgreSQL analytical baseline, an
+//! MSCN-style flat model and a QPPNet-style plan-structured model.
+//!
+//! Both learned models consume the encodings of [`crate::encoding`]; when a
+//! [`FeatureSnapshot`] is supplied they become the QCFE variants
+//! (`QCFE(mscn)`, `QCFE(qpp)`) of the paper's Table IV.
+
+use crate::collect::LabeledWorkload;
+use crate::encoding::FeatureEncoder;
+use crate::metrics::AccuracyReport;
+use crate::snapshot::FeatureSnapshot;
+use qcfe_db::plan::{OperatorKind, PlanNode};
+use qcfe_nn::{Activation, Dataset, Loss, Matrix, Mlp, Optimizer, TrainConfig};
+use rand::Rng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Training statistics reported in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainStats {
+    /// Wall-clock training time in seconds.
+    pub train_time_s: f64,
+    /// Number of training iterations (epochs).
+    pub iterations: usize,
+    /// Final training loss.
+    pub final_loss: f64,
+}
+
+/// The PostgreSQL analytical baseline: predicted cost is the planner's
+/// cost-unit estimate converted with a fixed scale. It ignores the
+/// environment entirely, which is why its q-error is large.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PgEstimator;
+
+impl PgEstimator {
+    /// Predict the latency of a planned query in milliseconds.
+    pub fn predict(&self, plan: &PlanNode) -> f64 {
+        qcfe_db::cost::cost_units_to_ms(plan.est_cost)
+    }
+
+    /// Evaluate on a labeled workload.
+    pub fn evaluate(&self, workload: &LabeledWorkload) -> AccuracyReport {
+        let actuals: Vec<f64> = workload.actual_costs();
+        let preds: Vec<f64> = workload
+            .queries
+            .iter()
+            .map(|q| self.predict(&q.executed.root))
+            .collect();
+        AccuracyReport::compute(&actuals, &preds)
+    }
+}
+
+/// Per-environment snapshots used when encoding labeled queries.
+pub type EnvSnapshots = Vec<Option<FeatureSnapshot>>;
+
+fn snapshot_for<'a>(snapshots: Option<&'a EnvSnapshots>, env_index: usize) -> Option<&'a FeatureSnapshot> {
+    snapshots.and_then(|s| s.get(env_index)).and_then(|o| o.as_ref())
+}
+
+/// Project a feature vector onto the kept indices of a mask.
+fn project(features: &[f64], mask: &[usize]) -> Vec<f64> {
+    mask.iter().map(|&i| features[i]).collect()
+}
+
+// ---------------------------------------------------------------------------
+// MSCN-style estimator
+// ---------------------------------------------------------------------------
+
+/// An MSCN-style flat estimator: pooled plan encoding → MLP → cost.
+#[derive(Debug, Clone)]
+pub struct MscnEstimator {
+    encoder: FeatureEncoder,
+    mask: Vec<usize>,
+    mlp: Mlp,
+}
+
+impl MscnEstimator {
+    /// Number of hidden units per layer.
+    pub const HIDDEN: usize = 64;
+
+    /// Build the training dataset (pooled plan encodings → total latency).
+    pub fn build_dataset(
+        encoder: &FeatureEncoder,
+        workload: &LabeledWorkload,
+        snapshots: Option<&EnvSnapshots>,
+    ) -> Dataset {
+        let xs: Vec<Vec<f64>> = workload
+            .queries
+            .iter()
+            .map(|q| encoder.encode_plan(&q.executed.root, snapshot_for(snapshots, q.env_index)))
+            .collect();
+        let ys: Vec<f64> = workload.actual_costs();
+        Dataset::new(xs, ys).expect("non-empty labeled workload")
+    }
+
+    /// Train the estimator. `mask` restricts the plan-level features (the
+    /// outcome of feature reduction); pass `None` to use every feature.
+    pub fn train<R: Rng + ?Sized>(
+        encoder: FeatureEncoder,
+        workload: &LabeledWorkload,
+        snapshots: Option<&EnvSnapshots>,
+        mask: Option<Vec<usize>>,
+        iterations: usize,
+        rng: &mut R,
+    ) -> (Self, TrainStats) {
+        let start = Instant::now();
+        let full = Self::build_dataset(&encoder, workload, snapshots);
+        let mask = mask.unwrap_or_else(|| (0..full.dim()).collect());
+        let data = full.project_columns(&mask).expect("valid mask");
+        let mut mlp = Mlp::new(&[data.dim(), Self::HIDDEN, Self::HIDDEN / 2, 1], Activation::Relu, rng);
+        let cfg = TrainConfig {
+            epochs: iterations,
+            batch_size: 64,
+            optimizer: Optimizer::adam(5e-3),
+            loss: Loss::LogMse,
+            shuffle: true,
+        };
+        let history = mlp.train(&data, &cfg, rng);
+        let stats = TrainStats {
+            train_time_s: start.elapsed().as_secs_f64(),
+            iterations,
+            final_loss: history.final_loss(),
+        };
+        (MscnEstimator { encoder, mask, mlp }, stats)
+    }
+
+    /// Predict the latency of a plan under an (optional) snapshot.
+    pub fn predict(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+        let features = self.encoder.encode_plan(root, snapshot);
+        self.mlp.predict_one(&project(&features, &self.mask)).max(1e-6)
+    }
+
+    /// Evaluate on a labeled workload.
+    pub fn evaluate(&self, workload: &LabeledWorkload, snapshots: Option<&EnvSnapshots>) -> AccuracyReport {
+        let actuals = workload.actual_costs();
+        let preds: Vec<f64> = workload
+            .queries
+            .iter()
+            .map(|q| self.predict(&q.executed.root, snapshot_for(snapshots, q.env_index)))
+            .collect();
+        AccuracyReport::compute(&actuals, &preds)
+    }
+
+    /// Average single-query inference latency in microseconds.
+    pub fn inference_latency_us(&self, workload: &LabeledWorkload, snapshots: Option<&EnvSnapshots>) -> f64 {
+        if workload.is_empty() {
+            return 0.0;
+        }
+        let start = Instant::now();
+        for q in &workload.queries {
+            let _ = self.predict(&q.executed.root, snapshot_for(snapshots, q.env_index));
+        }
+        start.elapsed().as_secs_f64() * 1e6 / workload.len() as f64
+    }
+
+    /// The trained network (used by feature reduction and tests).
+    pub fn model(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// The feature mask in effect.
+    pub fn mask(&self) -> &[usize] {
+        &self.mask
+    }
+
+    /// The encoder in use.
+    pub fn encoder(&self) -> &FeatureEncoder {
+        &self.encoder
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QPPNet-style estimator
+// ---------------------------------------------------------------------------
+
+/// Dimension of the inter-node "data vector" passed from children to parents
+/// in the plan-structured network.
+pub const DATA_VECTOR_DIM: usize = 8;
+
+/// Maximum number of children whose data vectors a neural unit consumes.
+pub const MAX_CHILDREN: usize = 2;
+
+/// A QPPNet-style plan-structured estimator: one small neural unit per
+/// operator kind; a node's unit consumes the node encoding plus its
+/// children's output vectors and emits a data vector whose first entry is
+/// the node's predicted (inclusive) latency.
+#[derive(Debug, Clone)]
+pub struct QppNetEstimator {
+    encoder: FeatureEncoder,
+    /// Per-operator feature mask over the node encoding.
+    masks: HashMap<OperatorKind, Vec<usize>>,
+    units: HashMap<OperatorKind, Mlp>,
+    node_dim: usize,
+}
+
+/// Intermediate forward state for one node (used during training).
+struct ForwardNode {
+    kind: OperatorKind,
+    output: Vec<f64>,
+    cache: qcfe_nn::mlp::MlpCache,
+    actual_ms: f64,
+    children: Vec<ForwardNode>,
+}
+
+impl QppNetEstimator {
+    /// Hidden width of each neural unit.
+    pub const HIDDEN: usize = 32;
+
+    /// Create an untrained estimator.
+    pub fn new<R: Rng + ?Sized>(
+        encoder: FeatureEncoder,
+        masks: Option<HashMap<OperatorKind, Vec<usize>>>,
+        rng: &mut R,
+    ) -> Self {
+        let node_dim = encoder.node_dim();
+        let masks = masks.unwrap_or_else(|| {
+            OperatorKind::ALL
+                .iter()
+                .map(|k| (*k, (0..node_dim).collect()))
+                .collect()
+        });
+        let mut units = HashMap::new();
+        for kind in OperatorKind::ALL {
+            let input_dim = masks[&kind].len() + MAX_CHILDREN * DATA_VECTOR_DIM;
+            let unit = Mlp::with_output_activation(
+                &[input_dim, Self::HIDDEN, DATA_VECTOR_DIM],
+                Activation::Relu,
+                Activation::Softplus,
+                rng,
+            );
+            units.insert(kind, unit);
+        }
+        QppNetEstimator { encoder, masks, units, node_dim }
+    }
+
+    /// The per-operator feature masks.
+    pub fn masks(&self) -> &HashMap<OperatorKind, Vec<usize>> {
+        &self.masks
+    }
+
+    /// The encoder in use.
+    pub fn encoder(&self) -> &FeatureEncoder {
+        &self.encoder
+    }
+
+    fn unit_input(&self, kind: OperatorKind, node_features: &[f64], child_outputs: &[Vec<f64>]) -> Vec<f64> {
+        let mask = &self.masks[&kind];
+        let mut input = project(node_features, mask);
+        for slot in 0..MAX_CHILDREN {
+            match child_outputs.get(slot) {
+                Some(v) => input.extend_from_slice(v),
+                None => input.extend(std::iter::repeat(0.0).take(DATA_VECTOR_DIM)),
+            }
+        }
+        input
+    }
+
+    /// Inference-only forward pass over a plan; returns the root's predicted
+    /// latency (ms).
+    pub fn predict(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+        fn walk(est: &QppNetEstimator, node: &PlanNode, depth: usize, snapshot: Option<&FeatureSnapshot>) -> Vec<f64> {
+            let child_outputs: Vec<Vec<f64>> = node
+                .children
+                .iter()
+                .map(|c| walk(est, c, depth + 1, snapshot))
+                .collect();
+            let kind = node.op.kind();
+            let features = est.encoder.encode_node(node, depth, snapshot);
+            let input = est.unit_input(kind, &features, &child_outputs);
+            est.units[&kind].predict_vec(&input)
+        }
+        walk(self, root, 0, snapshot).first().copied().unwrap_or(0.0).max(1e-6)
+    }
+
+    /// Training forward pass keeping caches for backprop.
+    fn forward_train(&self, node: &PlanNode, depth: usize, snapshot: Option<&FeatureSnapshot>) -> ForwardNode {
+        let children: Vec<ForwardNode> = node
+            .children
+            .iter()
+            .map(|c| self.forward_train(c, depth + 1, snapshot))
+            .collect();
+        let kind = node.op.kind();
+        let features = self.encoder.encode_node(node, depth, snapshot);
+        let child_outputs: Vec<Vec<f64>> = children.iter().map(|c| c.output.clone()).collect();
+        let input = self.unit_input(kind, &features, &child_outputs);
+        let (out, cache) = self.units[&kind].forward_cached(&Matrix::row_vector(&input));
+        ForwardNode {
+            kind,
+            output: out.row(0).to_vec(),
+            cache,
+            actual_ms: node.actual_total_ms,
+            children,
+        }
+    }
+
+    /// Backward pass through the tree, accumulating gradients in the units.
+    /// Returns the summed node loss of the tree.
+    fn backward_tree(&mut self, fwd: &ForwardNode, grad_from_parent: Vec<f64>, node_count: f64) -> f64 {
+        // Loss on this node's latency prediction (log-space MSE), averaged
+        // over the plan's node count.
+        let pred = fwd.output[0];
+        let actual = fwd.actual_ms;
+        let lp = (1.0 + pred.max(0.0)).ln();
+        let la = (1.0 + actual.max(0.0)).ln();
+        let loss = (lp - la).powi(2) / node_count;
+        let dloss_dpred = 2.0 * (lp - la) / (1.0 + pred.max(0.0)) / node_count;
+
+        let mut grad_output = grad_from_parent;
+        if grad_output.is_empty() {
+            grad_output = vec![0.0; DATA_VECTOR_DIM];
+        }
+        grad_output[0] += dloss_dpred;
+
+        let mask_len = self.masks[&fwd.kind].len();
+        let unit = self.units.get_mut(&fwd.kind).expect("unit exists");
+        let grad_input = unit.backward_cached(&fwd.cache, &Matrix::row_vector(&grad_output));
+        let grad_input = grad_input.row(0).to_vec();
+
+        let mut total_loss = loss;
+        for (slot, child) in fwd.children.iter().enumerate().take(MAX_CHILDREN) {
+            let start = mask_len + slot * DATA_VECTOR_DIM;
+            let child_grad = grad_input[start..start + DATA_VECTOR_DIM].to_vec();
+            total_loss += self.backward_tree(child, child_grad, node_count);
+        }
+        // Children beyond MAX_CHILDREN (should not occur with binary plans)
+        // still contribute their own node losses.
+        for child in fwd.children.iter().skip(MAX_CHILDREN) {
+            total_loss += self.backward_tree(child, vec![0.0; DATA_VECTOR_DIM], node_count);
+        }
+        total_loss
+    }
+
+    /// Train on a labeled workload for the given number of iterations
+    /// (epochs over all plans).
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        workload: &LabeledWorkload,
+        snapshots: Option<&EnvSnapshots>,
+        iterations: usize,
+        rng: &mut R,
+    ) -> TrainStats {
+        let start = Instant::now();
+        let optimizer = Optimizer::adam(2e-3);
+        let mut final_loss = f64::INFINITY;
+        let mut order: Vec<usize> = (0..workload.queries.len()).collect();
+        for _ in 0..iterations {
+            use rand::seq::SliceRandom;
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            for &qi in &order {
+                let q = &workload.queries[qi];
+                let snapshot = snapshot_for(snapshots, q.env_index);
+                let fwd = self.forward_train(&q.executed.root, 0, snapshot);
+                let node_count = q.executed.root.node_count() as f64;
+                epoch_loss += self.backward_tree(&fwd, Vec::new(), node_count);
+                // One optimizer step per plan.
+                for unit in self.units.values_mut() {
+                    unit.step(&optimizer);
+                }
+            }
+            final_loss = epoch_loss / workload.queries.len().max(1) as f64;
+        }
+        TrainStats {
+            train_time_s: start.elapsed().as_secs_f64(),
+            iterations,
+            final_loss,
+        }
+    }
+
+    /// Evaluate on a labeled workload.
+    pub fn evaluate(&self, workload: &LabeledWorkload, snapshots: Option<&EnvSnapshots>) -> AccuracyReport {
+        let actuals = workload.actual_costs();
+        let preds: Vec<f64> = workload
+            .queries
+            .iter()
+            .map(|q| self.predict(&q.executed.root, snapshot_for(snapshots, q.env_index)))
+            .collect();
+        AccuracyReport::compute(&actuals, &preds)
+    }
+
+    /// Build, per operator kind, the labeled operator-level dataset
+    /// (node encoding → node self time) used by feature reduction and by the
+    /// auxiliary per-operator models.
+    pub fn operator_datasets(
+        encoder: &FeatureEncoder,
+        workload: &LabeledWorkload,
+        snapshots: Option<&EnvSnapshots>,
+    ) -> HashMap<OperatorKind, Dataset> {
+        let mut xs: HashMap<OperatorKind, Vec<Vec<f64>>> = HashMap::new();
+        let mut ys: HashMap<OperatorKind, Vec<f64>> = HashMap::new();
+        for q in &workload.queries {
+            let snapshot = snapshot_for(snapshots, q.env_index);
+            let encoded = encoder.encode_plan_nodes(&q.executed.root, snapshot);
+            let nodes = q.executed.root.iter_preorder();
+            for ((kind, features), node) in encoded.into_iter().zip(nodes) {
+                xs.entry(kind).or_default().push(features);
+                ys.entry(kind).or_default().push(node.actual_self_ms);
+            }
+        }
+        xs.into_iter()
+            .filter_map(|(kind, features)| {
+                let targets = ys.remove(&kind)?;
+                Dataset::new(features, targets).ok().map(|d| (kind, d))
+            })
+            .collect()
+    }
+
+    /// The number of node-encoding features (before masking).
+    pub fn node_dim(&self) -> usize {
+        self.node_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::collect_workload;
+    use qcfe_db::env::{DbEnvironment, HardwareProfile};
+    use qcfe_workloads::BenchmarkKind;
+    use rand::SeedableRng;
+
+    fn workload() -> (LabeledWorkload, FeatureEncoder, FeatureEncoder) {
+        let bench = BenchmarkKind::Sysbench.build(0.0005, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let envs = DbEnvironment::sample_knob_configs(2, HardwareProfile::h1(), &mut rng);
+        let w = collect_workload(&bench, &envs, 30, 17);
+        let plain = FeatureEncoder::new(&bench.catalog, false);
+        let with_fs = FeatureEncoder::new(&bench.catalog, true);
+        (w, plain, with_fs)
+    }
+
+    #[test]
+    fn pg_estimator_predicts_positive_costs() {
+        let (w, _, _) = workload();
+        let pg = PgEstimator;
+        let report = pg.evaluate(&w);
+        assert!(report.mean_q_error >= 1.0);
+        assert!(report.samples == w.len());
+        assert!(w.queries.iter().all(|q| pg.predict(&q.executed.root) > 0.0));
+    }
+
+    #[test]
+    fn mscn_trains_and_beats_a_constant_predictor() {
+        let (w, encoder, _) = workload();
+        let (train, test) = w.split(0.8, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (mscn, stats) = MscnEstimator::train(encoder, &train, None, None, 60, &mut rng);
+        assert!(stats.train_time_s > 0.0);
+        assert!(stats.final_loss.is_finite());
+        let report = mscn.evaluate(&test, None);
+        assert!(report.mean_q_error.is_finite());
+        assert!(report.pearson > 0.0, "pearson {}", report.pearson);
+        assert!(mscn.inference_latency_us(&test, None) > 0.0);
+        assert_eq!(mscn.mask().len(), mscn.encoder().plan_dim());
+    }
+
+    #[test]
+    fn qppnet_trains_on_plan_trees_and_predicts() {
+        let (w, _, encoder_fs) = workload();
+        let (train, test) = w.split(0.8, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut qpp = QppNetEstimator::new(encoder_fs, None, &mut rng);
+        let before = qpp.evaluate(&test, None);
+        let stats = qpp.train(&train, None, 15, &mut rng);
+        let after = qpp.evaluate(&test, None);
+        assert!(stats.final_loss.is_finite());
+        assert!(
+            after.mean_q_error <= before.mean_q_error * 2.0,
+            "training should not blow up: before {} after {}",
+            before.mean_q_error,
+            after.mean_q_error
+        );
+        assert!(after.pearson.is_finite());
+    }
+
+    #[test]
+    fn operator_datasets_cover_plan_operators() {
+        let (w, encoder, _) = workload();
+        let datasets = QppNetEstimator::operator_datasets(&encoder, &w, None);
+        assert!(datasets.contains_key(&OperatorKind::SeqScan) || datasets.contains_key(&OperatorKind::IndexScan));
+        for (kind, d) in &datasets {
+            assert_eq!(d.dim(), encoder.node_dim(), "{kind:?}");
+            assert!(d.len() > 0);
+        }
+    }
+}

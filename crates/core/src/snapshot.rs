@@ -1,0 +1,283 @@
+//! The feature snapshot (Section III of the paper).
+//!
+//! A feature snapshot is, per physical operator kind, the vector of fitted
+//! coefficients of the operator's *logical cost formula* (Table I):
+//!
+//! | formula                                   | operators                             |
+//! |-------------------------------------------|---------------------------------------|
+//! | `F = c0*n + c1`                           | scans, materialize, aggregate, joins   |
+//! | `F = c0*n*log n + c1`                     | sort                                   |
+//! | `F = c0*n1*n2 + c1*n1 + c2*n2 + c3`       | nested loop                            |
+//!
+//! The coefficients are obtained by least squares over labeled operator
+//! executions — either from the original workload (FSO) or from the cheap
+//! simplified templates of Algorithm 1 (FST). Because the coefficients move
+//! with knobs, hardware and storage format, appending them to the operator
+//! encoding injects the "ignored variables" into the learned estimator.
+
+use qcfe_db::executor::ExecutedQuery;
+use qcfe_db::plan::{OperatorKind, PlanNode};
+use qcfe_nn::linalg::least_squares;
+use qcfe_nn::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of snapshot coefficients stored per operator (shorter formulas are
+/// zero-padded).
+pub const SNAPSHOT_DIM: usize = 4;
+
+/// One labeled operator execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSample {
+    /// Operator kind.
+    pub kind: OperatorKind,
+    /// Cardinality of the first (outer) input; for scans this is the number
+    /// of rows produced by the scan.
+    pub n1: f64,
+    /// Cardinality of the second (inner) input; 0 for non-join operators.
+    pub n2: f64,
+    /// Observed time spent in the operator itself (exclusive), ms.
+    pub self_ms: f64,
+}
+
+/// Extract operator samples from an executed plan.
+pub fn operator_samples(executed: &ExecutedQuery) -> Vec<OperatorSample> {
+    fn walk(node: &PlanNode, out: &mut Vec<OperatorSample>) {
+        let (n1, n2) = match node.children.len() {
+            0 => (node.actual_rows, 0.0),
+            1 => (node.children[0].actual_rows, 0.0),
+            _ => (node.children[0].actual_rows, node.children[1].actual_rows),
+        };
+        out.push(OperatorSample { kind: node.op.kind(), n1, n2, self_ms: node.actual_self_ms });
+        for c in &node.children {
+            walk(c, out);
+        }
+    }
+    let mut out = Vec::with_capacity(executed.root.node_count());
+    walk(&executed.root, &mut out);
+    out
+}
+
+/// Extract operator samples from a batch of executed queries.
+pub fn operator_samples_from(executions: &[ExecutedQuery]) -> Vec<OperatorSample> {
+    executions.iter().flat_map(operator_samples).collect()
+}
+
+/// The design-matrix row of the logical cost formula for one operator sample.
+fn design_row(kind: OperatorKind, n1: f64, n2: f64) -> Vec<f64> {
+    match kind {
+        OperatorKind::Sort => {
+            let n = n1.max(0.0);
+            vec![n * (n + 1.0).log2(), 1.0, 0.0, 0.0]
+        }
+        OperatorKind::NestedLoop => vec![n1 * n2, n1, n2, 1.0],
+        // Every other operator follows the linear formula F = c0*n + c1 with
+        // n the total input cardinality.
+        _ => vec![n1 + n2, 1.0, 0.0, 0.0],
+    }
+}
+
+/// Number of *meaningful* coefficients of an operator's formula.
+pub fn formula_arity(kind: OperatorKind) -> usize {
+    match kind {
+        OperatorKind::NestedLoop => 4,
+        _ => 2,
+    }
+}
+
+/// A fitted feature snapshot: per operator kind, `SNAPSHOT_DIM` coefficients.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FeatureSnapshot {
+    coefficients: HashMap<OperatorKind, [f64; SNAPSHOT_DIM]>,
+    /// Simulated cost (ms of query execution) spent collecting the labeled
+    /// set used to fit this snapshot.
+    pub collection_cost_ms: f64,
+}
+
+impl FeatureSnapshot {
+    /// Fit a snapshot from labeled operator samples.
+    ///
+    /// Operators with fewer samples than coefficients fall back to zeroed
+    /// coefficients (they contribute nothing to the encoding, which is the
+    /// safe default).
+    pub fn fit(samples: &[OperatorSample]) -> Self {
+        let mut by_kind: HashMap<OperatorKind, Vec<&OperatorSample>> = HashMap::new();
+        for s in samples {
+            by_kind.entry(s.kind).or_default().push(s);
+        }
+        let mut coefficients = HashMap::new();
+        for (kind, group) in by_kind {
+            let arity = formula_arity(kind);
+            if group.len() < arity {
+                coefficients.insert(kind, [0.0; SNAPSHOT_DIM]);
+                continue;
+            }
+            let rows: Vec<Vec<f64>> = group
+                .iter()
+                .map(|s| design_row(kind, s.n1, s.n2)[..arity].to_vec())
+                .collect();
+            let x = Matrix::from_rows(&rows);
+            let y: Vec<f64> = group.iter().map(|s| s.self_ms).collect();
+            let mut packed = [0.0; SNAPSHOT_DIM];
+            if let Ok(beta) = least_squares(&x, &y) {
+                for (i, b) in beta.iter().enumerate().take(SNAPSHOT_DIM) {
+                    packed[i] = *b;
+                }
+            }
+            coefficients.insert(kind, packed);
+        }
+        FeatureSnapshot { coefficients, collection_cost_ms: 0.0 }
+    }
+
+    /// Fit a snapshot from whole executed queries, recording the collection
+    /// cost (the summed simulated latency of the labeling queries — this is
+    /// what Table V reports in hours for the real system).
+    pub fn fit_from_executions(executions: &[ExecutedQuery]) -> Self {
+        let samples = operator_samples_from(executions);
+        let mut snapshot = Self::fit(&samples);
+        snapshot.collection_cost_ms = executions.iter().map(|e| e.total_ms).sum();
+        snapshot
+    }
+
+    /// Coefficient vector for an operator (zeros when the operator never
+    /// appeared in the labeled set).
+    pub fn coefficients(&self, kind: OperatorKind) -> [f64; SNAPSHOT_DIM] {
+        self.coefficients.get(&kind).copied().unwrap_or([0.0; SNAPSHOT_DIM])
+    }
+
+    /// Predicted operator time from the fitted logical formula (used in
+    /// tests and for snapshot-quality diagnostics).
+    pub fn predict(&self, kind: OperatorKind, n1: f64, n2: f64) -> f64 {
+        let c = self.coefficients(kind);
+        design_row(kind, n1, n2)
+            .iter()
+            .zip(c.iter())
+            .map(|(x, b)| x * b)
+            .sum()
+    }
+
+    /// Operators covered by this snapshot.
+    pub fn covered_operators(&self) -> Vec<OperatorKind> {
+        let mut kinds: Vec<OperatorKind> = self.coefficients.keys().copied().collect();
+        kinds.sort();
+        kinds
+    }
+
+    /// Root-mean-square relative difference between two snapshots over the
+    /// operators they share — used to compare FST against FSO (Table V) and
+    /// to verify hardware transfer (Table VII).
+    pub fn relative_difference(&self, other: &FeatureSnapshot) -> f64 {
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for (kind, a) in &self.coefficients {
+            let Some(b) = other.coefficients.get(kind) else { continue };
+            for (x, y) in a.iter().zip(b.iter()) {
+                let scale = x.abs().max(y.abs());
+                if scale > 1e-12 {
+                    acc += ((x - y) / scale).powi(2);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            (acc / count as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_samples(kind: OperatorKind, c0: f64, c1: f64) -> Vec<OperatorSample> {
+        (1..=60)
+            .map(|i| {
+                let n = (i * 50) as f64;
+                OperatorSample { kind, n1: n, n2: 0.0, self_ms: c0 * n + c1 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fits_linear_operators_exactly() {
+        let samples = linear_samples(OperatorKind::SeqScan, 0.002, 0.5);
+        let snap = FeatureSnapshot::fit(&samples);
+        let c = snap.coefficients(OperatorKind::SeqScan);
+        assert!((c[0] - 0.002).abs() < 1e-9, "c0 {}", c[0]);
+        assert!((c[1] - 0.5).abs() < 1e-6, "c1 {}", c[1]);
+        assert_eq!(c[2], 0.0);
+        assert!((snap.predict(OperatorKind::SeqScan, 1000.0, 0.0) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_sort_with_nlogn_formula() {
+        let samples: Vec<OperatorSample> = (1..=60)
+            .map(|i| {
+                let n = (i * 100) as f64;
+                OperatorSample {
+                    kind: OperatorKind::Sort,
+                    n1: n,
+                    n2: 0.0,
+                    self_ms: 0.001 * n * (n + 1.0).log2() + 2.0,
+                }
+            })
+            .collect();
+        let snap = FeatureSnapshot::fit(&samples);
+        let c = snap.coefficients(OperatorKind::Sort);
+        assert!((c[0] - 0.001).abs() < 1e-8);
+        assert!((c[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fits_nested_loop_bilinear_formula() {
+        let mut samples = Vec::new();
+        for i in 1..=20 {
+            for j in 1..=20 {
+                let (n1, n2) = ((i * 10) as f64, (j * 7) as f64);
+                samples.push(OperatorSample {
+                    kind: OperatorKind::NestedLoop,
+                    n1,
+                    n2,
+                    self_ms: 0.0005 * n1 * n2 + 0.01 * n1 + 0.02 * n2 + 1.0,
+                });
+            }
+        }
+        let snap = FeatureSnapshot::fit(&samples);
+        let c = snap.coefficients(OperatorKind::NestedLoop);
+        assert!((c[0] - 0.0005).abs() < 1e-8);
+        assert!((c[1] - 0.01).abs() < 1e-6);
+        assert!((c[2] - 0.02).abs() < 1e-6);
+        assert!((c[3] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn unseen_and_undersampled_operators_are_zeroed() {
+        let snap = FeatureSnapshot::fit(&[OperatorSample {
+            kind: OperatorKind::Limit,
+            n1: 5.0,
+            n2: 0.0,
+            self_ms: 1.0,
+        }]);
+        assert_eq!(snap.coefficients(OperatorKind::Limit), [0.0; SNAPSHOT_DIM]);
+        assert_eq!(snap.coefficients(OperatorKind::HashJoin), [0.0; SNAPSHOT_DIM]);
+        assert_eq!(snap.predict(OperatorKind::HashJoin, 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn snapshots_differ_across_coefficient_scales() {
+        let slow = FeatureSnapshot::fit(&linear_samples(OperatorKind::SeqScan, 0.01, 1.0));
+        let fast = FeatureSnapshot::fit(&linear_samples(OperatorKind::SeqScan, 0.001, 0.1));
+        assert!(slow.relative_difference(&fast) > 0.5);
+        assert!(slow.relative_difference(&slow) < 1e-12);
+        assert_eq!(slow.covered_operators(), vec![OperatorKind::SeqScan]);
+    }
+
+    #[test]
+    fn formula_arity_matches_table_one() {
+        assert_eq!(formula_arity(OperatorKind::SeqScan), 2);
+        assert_eq!(formula_arity(OperatorKind::Sort), 2);
+        assert_eq!(formula_arity(OperatorKind::NestedLoop), 4);
+    }
+}

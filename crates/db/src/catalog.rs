@@ -1,0 +1,240 @@
+//! Catalog: schemas of tables and columns, index definitions.
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a table within a catalog.
+pub type TableId = u32;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (lower case by convention).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Column {
+    /// Construct a column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column { name: name.into(), data_type }
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table id assigned by the catalog.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+    /// Column indices that carry a secondary B+tree index (the primary key,
+    /// if any, is included here).
+    pub indexed_columns: Vec<usize>,
+    /// Index of the primary-key column, when the table has a single-column
+    /// primary key.
+    pub primary_key: Option<usize>,
+}
+
+impl TableSchema {
+    /// Look up a column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Whether the column at `idx` has an index.
+    pub fn has_index(&self, idx: usize) -> bool {
+        self.indexed_columns.contains(&idx)
+    }
+
+    /// Approximate width of one tuple in bytes.
+    pub fn tuple_width(&self) -> usize {
+        self.columns.iter().map(|c| c.data_type.width_bytes()).sum::<usize>() + 24
+    }
+}
+
+/// Builder-style table definition used by the workload generators.
+#[derive(Debug, Clone, Default)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+    indexed: Vec<String>,
+    primary_key: Option<String>,
+}
+
+impl TableBuilder {
+    /// Start defining a table.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Add a column.
+    pub fn column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.columns.push(Column::new(name, data_type));
+        self
+    }
+
+    /// Mark a column as indexed.
+    pub fn index(mut self, column: impl Into<String>) -> Self {
+        self.indexed.push(column.into());
+        self
+    }
+
+    /// Mark a column as the primary key (implies an index).
+    pub fn primary_key(mut self, column: impl Into<String>) -> Self {
+        let column = column.into();
+        self.indexed.push(column.clone());
+        self.primary_key = Some(column);
+        self
+    }
+
+    /// Finalise into a schema with the given id.
+    ///
+    /// # Panics
+    /// Panics if an indexed or primary-key column does not exist.
+    pub fn build(self, id: TableId) -> TableSchema {
+        let col_idx = |name: &str| {
+            self.columns
+                .iter()
+                .position(|c| c.name == name)
+                .unwrap_or_else(|| panic!("column {name} not defined on table {}", self.name))
+        };
+        let mut indexed_columns: Vec<usize> = self.indexed.iter().map(|n| col_idx(n)).collect();
+        indexed_columns.sort_unstable();
+        indexed_columns.dedup();
+        let primary_key = self.primary_key.as_deref().map(col_idx);
+        TableSchema { id, name: self.name, columns: self.columns, indexed_columns, primary_key }
+    }
+}
+
+/// The catalog of all tables in a database.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<TableSchema>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table built from a [`TableBuilder`]; returns its id.
+    pub fn add_table(&mut self, builder: TableBuilder) -> TableId {
+        let id = self.tables.len() as TableId;
+        let schema = builder.build(id);
+        self.by_name.insert(schema.name.clone(), id);
+        self.tables.push(schema);
+        id
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table schema by id.
+    pub fn table(&self, id: TableId) -> &TableSchema {
+        &self.tables[id as usize]
+    }
+
+    /// Table schema by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&TableSchema> {
+        self.by_name.get(name).map(|&id| self.table(id))
+    }
+
+    /// Iterate over all table schemas.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.iter()
+    }
+
+    /// All table names, in id order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Total number of columns across all tables (used to size one-hot
+    /// encodings).
+    pub fn total_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableBuilder::new("orders")
+                .column("o_orderkey", DataType::Int)
+                .column("o_custkey", DataType::Int)
+                .column("o_totalprice", DataType::Float)
+                .column("o_orderdate", DataType::Date)
+                .primary_key("o_orderkey")
+                .index("o_custkey"),
+        );
+        c.add_table(
+            TableBuilder::new("customer")
+                .column("c_custkey", DataType::Int)
+                .column("c_name", DataType::Text)
+                .primary_key("c_custkey"),
+        );
+        c
+    }
+
+    #[test]
+    fn catalog_lookup_by_name_and_id() {
+        let c = sample_catalog();
+        assert_eq!(c.table_count(), 2);
+        let orders = c.table_by_name("orders").unwrap();
+        assert_eq!(orders.id, 0);
+        assert_eq!(c.table(1).name, "customer");
+        assert!(c.table_by_name("nation").is_none());
+        assert_eq!(c.table_names(), vec!["orders", "customer"]);
+        assert_eq!(c.total_columns(), 6);
+    }
+
+    #[test]
+    fn schema_column_helpers() {
+        let c = sample_catalog();
+        let orders = c.table_by_name("orders").unwrap();
+        assert_eq!(orders.column_index("o_custkey"), Some(1));
+        assert_eq!(orders.column_index("missing"), None);
+        assert_eq!(orders.column(2).data_type, DataType::Float);
+        assert!(orders.has_index(0));
+        assert!(orders.has_index(1));
+        assert!(!orders.has_index(2));
+        assert_eq!(orders.primary_key, Some(0));
+        assert!(orders.tuple_width() > 32);
+    }
+
+    #[test]
+    fn indexed_columns_are_deduplicated_and_sorted() {
+        let schema = TableBuilder::new("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int)
+            .index("b")
+            .index("b")
+            .primary_key("a")
+            .build(0);
+        assert_eq!(schema.indexed_columns, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn unknown_index_column_panics() {
+        let _ = TableBuilder::new("t").column("a", DataType::Int).index("zzz").build(0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Columnar table data used by the execution simulator to compute *actual*
+//! cardinalities (filter match counts, join sizes, group counts).
+//!
+//! Data is stored column-wise in typed vectors, which keeps memory compact
+//! and predicate evaluation cache-friendly.
+
+use crate::expr::Predicate;
+use crate::types::{DataType, Value};
+
+/// A typed column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnVector {
+    /// Integers (also used for dates as days-since-epoch).
+    Int(Vec<i64>),
+    /// Floats.
+    Float(Vec<f64>),
+    /// Strings.
+    Text(Vec<String>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl ColumnVector {
+    /// Create an empty vector of the right type for `dt`.
+    pub fn empty(dt: DataType) -> Self {
+        match dt {
+            DataType::Int | DataType::Date => ColumnVector::Int(Vec::new()),
+            DataType::Float => ColumnVector::Float(Vec::new()),
+            DataType::Text => ColumnVector::Text(Vec::new()),
+            DataType::Bool => ColumnVector::Bool(Vec::new()),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVector::Int(v) => v.len(),
+            ColumnVector::Float(v) => v.len(),
+            ColumnVector::Text(v) => v.len(),
+            ColumnVector::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch row `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnVector::Int(v) => Value::Int(v[i]),
+            ColumnVector::Float(v) => Value::Float(v[i]),
+            ColumnVector::Text(v) => Value::Text(v[i].clone()),
+            ColumnVector::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Append a value; the value type must match the column type.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch (generator bugs should fail loudly).
+    pub fn push(&mut self, v: Value) {
+        match (self, v) {
+            (ColumnVector::Int(vec), Value::Int(x)) => vec.push(x),
+            (ColumnVector::Int(vec), Value::Date(x)) => vec.push(x),
+            (ColumnVector::Float(vec), Value::Float(x)) => vec.push(x),
+            (ColumnVector::Float(vec), Value::Int(x)) => vec.push(x as f64),
+            (ColumnVector::Text(vec), Value::Text(x)) => vec.push(x),
+            (ColumnVector::Bool(vec), Value::Bool(x)) => vec.push(x),
+            (col, v) => panic!("type mismatch pushing {v:?} into {col:?}"),
+        }
+    }
+
+    /// Integer view of row `i`, when the column is integer-typed.
+    pub fn as_i64(&self, i: usize) -> Option<i64> {
+        match self {
+            ColumnVector::Int(v) => Some(v[i]),
+            _ => None,
+        }
+    }
+
+    /// Evaluate a predicate over the whole column, returning a selection
+    /// bitmap.
+    pub fn evaluate(&self, predicate: &Predicate) -> Vec<bool> {
+        (0..self.len()).map(|i| predicate.evaluate(&self.value(i))).collect()
+    }
+
+    /// Count of distinct values (exact; the columns are small enough).
+    pub fn distinct_count(&self) -> u64 {
+        use std::collections::HashSet;
+        match self {
+            ColumnVector::Int(v) => v.iter().collect::<HashSet<_>>().len() as u64,
+            ColumnVector::Float(v) => {
+                v.iter().map(|f| f.to_bits()).collect::<HashSet<_>>().len() as u64
+            }
+            ColumnVector::Text(v) => v.iter().collect::<HashSet<_>>().len() as u64,
+            ColumnVector::Bool(v) => v.iter().collect::<HashSet<_>>().len() as u64,
+        }
+    }
+
+    /// Minimum and maximum as `Value`s, when the column is orderable and
+    /// non-empty.
+    pub fn min_max(&self) -> Option<(Value, Value)> {
+        if self.is_empty() {
+            return None;
+        }
+        match self {
+            ColumnVector::Int(v) => {
+                let min = *v.iter().min().expect("non-empty");
+                let max = *v.iter().max().expect("non-empty");
+                Some((Value::Int(min), Value::Int(max)))
+            }
+            ColumnVector::Float(v) => {
+                let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                Some((Value::Float(min), Value::Float(max)))
+            }
+            ColumnVector::Text(v) => {
+                let min = v.iter().min().expect("non-empty").clone();
+                let max = v.iter().max().expect("non-empty").clone();
+                Some((Value::Text(min), Value::Text(max)))
+            }
+            ColumnVector::Bool(_) => Some((Value::Bool(false), Value::Bool(true))),
+        }
+    }
+}
+
+/// The data of one table: one [`ColumnVector`] per schema column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableData {
+    columns: Vec<ColumnVector>,
+    row_count: usize,
+}
+
+impl TableData {
+    /// Create table data with the given columns.
+    ///
+    /// # Panics
+    /// Panics if the column lengths disagree.
+    pub fn new(columns: Vec<ColumnVector>) -> Self {
+        let row_count = columns.first().map(|c| c.len()).unwrap_or(0);
+        assert!(
+            columns.iter().all(|c| c.len() == row_count),
+            "all columns must have the same length"
+        );
+        TableData { columns, row_count }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Borrow a column.
+    pub fn column(&self, idx: usize) -> &ColumnVector {
+        &self.columns[idx]
+    }
+
+    /// Count rows matching a conjunction of predicates, where each predicate
+    /// has already been resolved to a column index of this table.
+    pub fn count_matching(&self, predicates: &[(usize, &Predicate)]) -> usize {
+        if predicates.is_empty() {
+            return self.row_count;
+        }
+        let mut count = 0usize;
+        'rows: for row in 0..self.row_count {
+            for (col_idx, pred) in predicates {
+                if !pred.evaluate(&self.columns[*col_idx].value(row)) {
+                    continue 'rows;
+                }
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// Selection bitmap for a conjunction of predicates.
+    pub fn selection_bitmap(&self, predicates: &[(usize, &Predicate)]) -> Vec<bool> {
+        let mut bitmap = vec![true; self.row_count];
+        for (col_idx, pred) in predicates {
+            let col = &self.columns[*col_idx];
+            for (row, keep) in bitmap.iter_mut().enumerate() {
+                if *keep && !pred.evaluate(&col.value(row)) {
+                    *keep = false;
+                }
+            }
+        }
+        bitmap
+    }
+
+    /// Collect the integer join keys of rows selected by `bitmap` from
+    /// column `col_idx`. Non-integer columns hash their textual rendering.
+    pub fn join_keys(&self, col_idx: usize, bitmap: &[bool]) -> Vec<i64> {
+        let col = &self.columns[col_idx];
+        let mut keys = Vec::with_capacity(bitmap.iter().filter(|b| **b).count());
+        for (row, keep) in bitmap.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            let key = match col {
+                ColumnVector::Int(v) => v[row],
+                ColumnVector::Float(v) => v[row].to_bits() as i64,
+                ColumnVector::Text(v) => {
+                    use std::hash::{Hash, Hasher};
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    v[row].hash(&mut h);
+                    h.finish() as i64
+                }
+                ColumnVector::Bool(v) => v[row] as i64,
+            };
+            keys.push(key);
+        }
+        keys
+    }
+
+    /// Number of distinct groups produced by grouping the selected rows on
+    /// the given columns.
+    pub fn group_count(&self, group_columns: &[usize], bitmap: &[bool]) -> usize {
+        use std::collections::HashSet;
+        if group_columns.is_empty() {
+            return 1;
+        }
+        let mut groups: HashSet<Vec<String>> = HashSet::new();
+        for (row, keep) in bitmap.iter().enumerate() {
+            if !keep {
+                continue;
+            }
+            let key: Vec<String> = group_columns
+                .iter()
+                .map(|&c| self.columns[c].value(row).to_sql())
+                .collect();
+            groups.insert(key);
+        }
+        groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{ColumnRef, CompareOp};
+
+    fn cref() -> ColumnRef {
+        ColumnRef::new("t", "a")
+    }
+
+    fn sample() -> TableData {
+        TableData::new(vec![
+            ColumnVector::Int((0..100).collect()),
+            ColumnVector::Float((0..100).map(|i| i as f64 * 0.5).collect()),
+            ColumnVector::Text((0..100).map(|i| format!("name_{}", i % 10)).collect()),
+        ])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.row_count(), 100);
+        assert_eq!(t.column_count(), 3);
+        assert_eq!(t.column(0).value(5), Value::Int(5));
+        assert_eq!(t.column(2).value(13), Value::Text("name_3".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_columns_panic() {
+        let _ = TableData::new(vec![
+            ColumnVector::Int(vec![1, 2, 3]),
+            ColumnVector::Int(vec![1]),
+        ]);
+    }
+
+    #[test]
+    fn column_vector_push_and_types() {
+        let mut c = ColumnVector::empty(DataType::Date);
+        c.push(Value::Date(100));
+        c.push(Value::Int(200));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.as_i64(1), Some(200));
+        let mut f = ColumnVector::empty(DataType::Float);
+        f.push(Value::Int(3));
+        assert_eq!(f.value(0), Value::Float(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn pushing_wrong_type_panics() {
+        let mut c = ColumnVector::empty(DataType::Int);
+        c.push(Value::Text("oops".into()));
+    }
+
+    #[test]
+    fn distinct_and_min_max() {
+        let t = sample();
+        assert_eq!(t.column(0).distinct_count(), 100);
+        assert_eq!(t.column(2).distinct_count(), 10);
+        let (min, max) = t.column(0).min_max().unwrap();
+        assert_eq!(min, Value::Int(0));
+        assert_eq!(max, Value::Int(99));
+        assert!(ColumnVector::Int(vec![]).min_max().is_none());
+    }
+
+    #[test]
+    fn count_matching_conjunction() {
+        let t = sample();
+        let p1 = Predicate::Compare { column: cref(), op: CompareOp::Ge, value: Value::Int(50) };
+        let p2 = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(60) };
+        assert_eq!(t.count_matching(&[(0, &p1), (0, &p2)]), 10);
+        assert_eq!(t.count_matching(&[]), 100);
+        let bitmap = t.selection_bitmap(&[(0, &p1), (0, &p2)]);
+        assert_eq!(bitmap.iter().filter(|b| **b).count(), 10);
+        assert!(bitmap[55] && !bitmap[5]);
+    }
+
+    #[test]
+    fn join_keys_and_groups() {
+        let t = sample();
+        let all = vec![true; 100];
+        let keys = t.join_keys(0, &all);
+        assert_eq!(keys.len(), 100);
+        assert_eq!(keys[7], 7);
+        assert_eq!(t.group_count(&[2], &all), 10);
+        assert_eq!(t.group_count(&[], &all), 1);
+        let none = vec![false; 100];
+        assert_eq!(t.group_count(&[2], &none), 0);
+        assert!(t.join_keys(2, &all).len() == 100);
+    }
+
+    #[test]
+    fn text_predicate_over_column() {
+        let t = sample();
+        let p = Predicate::Like { column: cref(), pattern: "name_3%".into() };
+        let matches = t.column(2).evaluate(&p).iter().filter(|b| **b).count();
+        assert_eq!(matches, 10);
+    }
+}

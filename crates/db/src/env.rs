@@ -1,0 +1,262 @@
+//! Hardware profiles and the complete database environment.
+//!
+//! The *environment* bundles every "ignored variable" of the paper: knob
+//! configuration, hardware, storage format and an operating-system overhead
+//! factor. From it the execution simulator derives the **true cost
+//! coefficients** `C = {cs, cr, ct, ci, co}` (milliseconds per sequential
+//! page, random page, tuple, index tuple and operator invocation) that the
+//! paper's Section III identifies as the channel through which the ignored
+//! variables influence query cost.
+
+use crate::knobs::KnobConfig;
+use qcfe_storage::{DiskKind, DiskProfile, StorageFormat};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A hardware profile (CPU + memory + disk).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareProfile {
+    /// Human-readable name, e.g. `"h1"`.
+    pub name: String,
+    /// Relative single-core CPU speed (1.0 = the reference machine).
+    pub cpu_speed: f64,
+    /// Number of cores available to the database.
+    pub cores: u32,
+    /// Physical memory in gigabytes (influences OS page cache behaviour).
+    pub memory_gb: u32,
+    /// Disk device class.
+    pub disk: DiskKind,
+}
+
+impl HardwareProfile {
+    /// The paper's data-collection server: Intel R7 7735HS, 16 GB, SATA SSD.
+    pub fn h1() -> Self {
+        HardwareProfile {
+            name: "h1".into(),
+            cpu_speed: 1.0,
+            cores: 8,
+            memory_gb: 16,
+            disk: DiskKind::SataSsd,
+        }
+    }
+
+    /// The paper's transfer-target machine: i7-12700H, 42 GB, NVMe.
+    pub fn h2() -> Self {
+        HardwareProfile {
+            name: "h2".into(),
+            cpu_speed: 1.35,
+            cores: 14,
+            memory_gb: 42,
+            disk: DiskKind::NvmeSsd,
+        }
+    }
+
+    /// A slow cloud VM profile used in robustness tests.
+    pub fn cloud_small() -> Self {
+        HardwareProfile {
+            name: "cloud-small".into(),
+            cpu_speed: 0.6,
+            cores: 2,
+            memory_gb: 4,
+            disk: DiskKind::Hdd,
+        }
+    }
+
+    /// Sample a random hardware profile.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let disk = DiskKind::ALL[rng.gen_range(0..DiskKind::ALL.len())];
+        HardwareProfile {
+            name: format!("hw-{}", rng.gen_range(0..100_000)),
+            cpu_speed: rng.gen_range(0.5..1.6),
+            cores: rng.gen_range(2..=16),
+            memory_gb: *[4u32, 8, 16, 32, 64].get(rng.gen_range(0..5)).expect("in range"),
+            disk,
+        }
+    }
+
+    /// The disk timing model for this hardware.
+    pub fn disk_profile(&self) -> DiskProfile {
+        DiskProfile::of(self.disk)
+    }
+}
+
+/// The true, environment-dependent cost coefficients (milliseconds per unit).
+///
+/// `Cost_total = cs*ns + cr*nr + ct*nt + ci*ni + co*no` — the formula quoted
+/// in Section III-A of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostCoefficients {
+    /// ms per sequentially-read page.
+    pub cs: f64,
+    /// ms per randomly-read page.
+    pub cr: f64,
+    /// ms per tuple processed.
+    pub ct: f64,
+    /// ms per index tuple processed.
+    pub ci: f64,
+    /// ms per operator (expression/aggregate/sort comparison) invocation.
+    pub co: f64,
+}
+
+impl CostCoefficients {
+    /// Vector view `[cs, cr, ct, ci, co]`, handy for feature snapshots.
+    pub fn as_array(&self) -> [f64; 5] {
+        [self.cs, self.cr, self.ct, self.ci, self.co]
+    }
+}
+
+/// A complete database environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbEnvironment {
+    /// Short identifier, e.g. `"env-03"`.
+    pub name: String,
+    /// Knob configuration.
+    pub knobs: KnobConfig,
+    /// Hardware profile.
+    pub hardware: HardwareProfile,
+    /// Physical storage format of the relations.
+    pub storage_format: StorageFormat,
+    /// Multiplicative overhead of the operating system / filesystem layer
+    /// (1.0 = none). Models OS-level differences the paper lists among the
+    /// ignored variables.
+    pub os_overhead: f64,
+}
+
+impl DbEnvironment {
+    /// The reference environment: default knobs on the h1 machine.
+    pub fn reference() -> Self {
+        DbEnvironment {
+            name: "env-ref".into(),
+            knobs: KnobConfig::default(),
+            hardware: HardwareProfile::h1(),
+            storage_format: StorageFormat::HeapBTree,
+            os_overhead: 1.0,
+        }
+    }
+
+    /// Sample `count` random environments (random knobs on the given
+    /// hardware), mirroring the paper's 20 random configurations per
+    /// benchmark.
+    pub fn sample_knob_configs<R: Rng + ?Sized>(
+        count: usize,
+        hardware: HardwareProfile,
+        rng: &mut R,
+    ) -> Vec<DbEnvironment> {
+        (0..count)
+            .map(|i| DbEnvironment {
+                name: format!("env-{i:02}"),
+                knobs: KnobConfig::sample(rng),
+                hardware: hardware.clone(),
+                storage_format: if rng.gen_bool(0.8) {
+                    StorageFormat::HeapBTree
+                } else {
+                    StorageFormat::Lsm
+                },
+                os_overhead: rng.gen_range(0.95..1.15),
+            })
+            .collect()
+    }
+
+    /// Derive the environment's true cost coefficients.
+    ///
+    /// This is the ground truth the execution simulator uses; the learned
+    /// feature snapshot tries to recover (a per-operator projection of) these
+    /// values purely from observed runtimes.
+    pub fn true_coefficients(&self) -> CostCoefficients {
+        let disk = self.hardware.disk_profile();
+        let read_amp = self.storage_format.read_amplification();
+        let cpu = self.hardware.cpu_speed;
+        // CPU-side per-tuple costs: a few hundred nanoseconds on the
+        // reference machine, scaled by CPU speed and parallelism.
+        let parallel = self.knobs.parallel_speedup();
+        let ct = 0.0006 / cpu / parallel;
+        let ci = 0.0003 / cpu / parallel;
+        let co = 0.00015 / cpu / parallel;
+        // I/O-side costs come from the disk profile and storage format; a
+        // larger OS cache (more memory) hides part of the random-read cost.
+        let cache_factor = (self.hardware.memory_gb as f64 / 16.0).clamp(0.25, 4.0);
+        let cs = disk.sequential_page_ms * read_amp * self.os_overhead;
+        let cr = disk.random_page_ms * read_amp * self.os_overhead / cache_factor.sqrt();
+        CostCoefficients { cs, cr, ct, ci, co }
+    }
+
+    /// Buffer pool capacity implied by the knobs.
+    pub fn buffer_pool_pages(&self) -> usize {
+        self.knobs.buffer_pool_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preset_hardware_profiles_differ() {
+        let h1 = HardwareProfile::h1();
+        let h2 = HardwareProfile::h2();
+        assert!(h2.cpu_speed > h1.cpu_speed);
+        assert!(h2.memory_gb > h1.memory_gb);
+        assert_ne!(h1.disk, h2.disk);
+        assert_eq!(HardwareProfile::cloud_small().disk, DiskKind::Hdd);
+    }
+
+    #[test]
+    fn reference_environment_coefficients_are_positive_and_ordered() {
+        let env = DbEnvironment::reference();
+        let c = env.true_coefficients();
+        for v in c.as_array() {
+            assert!(v > 0.0);
+        }
+        assert!(c.cr > c.cs, "random reads cost more than sequential");
+        assert!(c.ct > c.ci, "full tuple processing costs more than index entry");
+        assert!(c.cs > c.ct, "page I/O costs more than one tuple of CPU");
+    }
+
+    #[test]
+    fn faster_hardware_lowers_cpu_coefficients() {
+        let mut env = DbEnvironment::reference();
+        let slow = env.true_coefficients();
+        env.hardware = HardwareProfile::h2();
+        let fast = env.true_coefficients();
+        assert!(fast.ct < slow.ct);
+        assert!(fast.cr < slow.cr, "NVMe + more memory lowers random read cost");
+    }
+
+    #[test]
+    fn lsm_format_increases_read_costs() {
+        let mut env = DbEnvironment::reference();
+        let heap = env.true_coefficients();
+        env.storage_format = StorageFormat::Lsm;
+        let lsm = env.true_coefficients();
+        assert!(lsm.cs > heap.cs);
+        assert!(lsm.cr > heap.cr);
+        assert_eq!(lsm.ct, heap.ct, "storage format does not change CPU cost");
+    }
+
+    #[test]
+    fn sampled_environments_vary_substantially() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let envs = DbEnvironment::sample_knob_configs(20, HardwareProfile::h1(), &mut rng);
+        assert_eq!(envs.len(), 20);
+        let pools: Vec<usize> = envs.iter().map(|e| e.buffer_pool_pages()).collect();
+        let min = pools.iter().min().unwrap();
+        let max = pools.iter().max().unwrap();
+        assert!(max > min, "shared_buffers should vary across environments");
+        // names are unique
+        let names: std::collections::HashSet<&str> =
+            envs.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names.len(), envs.len());
+    }
+
+    #[test]
+    fn parallel_workers_speed_up_cpu_side() {
+        let mut env = DbEnvironment::reference();
+        env.knobs.max_parallel_workers = 0;
+        let serial = env.true_coefficients();
+        env.knobs.max_parallel_workers = 8;
+        let parallel = env.true_coefficients();
+        assert!(parallel.ct < serial.ct);
+        assert_eq!(parallel.cs, serial.cs, "I/O cost not affected by worker count");
+    }
+}

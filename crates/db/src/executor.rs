@@ -1,0 +1,460 @@
+//! Execution simulator.
+//!
+//! Walks a physical plan bottom-up, computing **actual** cardinalities from
+//! the stored table data (real predicate evaluation, real hash joins over
+//! row indices, real group counting) and **actual** per-operator latencies
+//! from the environment's true cost coefficients, the buffer pool, and the
+//! logical cost shapes of Table I in the paper — plus multiplicative
+//! log-normal noise so repeated executions jitter like a real system.
+//!
+//! The per-node `actual_self_ms` values are the operator-level labels used
+//! by the feature-snapshot fit and by QPPNet training; `actual_total_ms` at
+//! the root (plus a planning/startup overhead) is the query latency label.
+
+use crate::data::ColumnVector;
+use crate::database::Database;
+use crate::env::CostCoefficients;
+use crate::plan::{PhysicalOp, PlanNode};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use std::collections::HashMap;
+
+/// Hard cap on materialised intermediate rows; larger results are counted
+/// but sub-sampled, with the scale recorded in `Intermediate::multiplier`.
+const MAX_MATERIALIZED_ROWS: usize = 300_000;
+
+/// Relative noise (log-normal sigma) applied to every operator's time.
+const NOISE_SIGMA: f64 = 0.08;
+
+/// A fully-simulated query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedQuery {
+    /// The plan annotated with actual rows and timings.
+    pub root: PlanNode,
+    /// End-to-end latency in milliseconds (root total + startup overhead).
+    pub total_ms: f64,
+}
+
+impl ExecutedQuery {
+    /// Per-operator `(kind, input_cardinality, self_time_ms)` triples of the
+    /// whole plan in pre-order — the raw material for feature snapshots.
+    pub fn operator_samples(&self) -> Vec<(crate::plan::OperatorKind, f64, f64)> {
+        self.root
+            .iter_preorder()
+            .into_iter()
+            .map(|n| {
+                let input = if n.children.is_empty() {
+                    n.actual_rows
+                } else {
+                    n.children.iter().map(|c| c.actual_rows).sum()
+                };
+                (n.op.kind(), input, n.actual_self_ms)
+            })
+            .collect()
+    }
+}
+
+/// An intermediate result: a bag of composite rows, each component being a
+/// row index into one base table.
+#[derive(Debug, Clone)]
+struct Intermediate {
+    /// The base tables contributing components, in component order.
+    tables: Vec<String>,
+    /// Row indices, `tables.len()` entries per logical row.
+    rows: Vec<u32>,
+    /// Scale factor when the result was sub-sampled (1.0 = exact).
+    multiplier: f64,
+}
+
+impl Intermediate {
+    fn arity(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn materialized_rows(&self) -> usize {
+        if self.tables.is_empty() {
+            0
+        } else {
+            self.rows.len() / self.tables.len()
+        }
+    }
+
+    fn logical_rows(&self) -> f64 {
+        self.materialized_rows() as f64 * self.multiplier
+    }
+
+    fn table_position(&self, table: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t == table)
+    }
+
+    fn component(&self, row: usize, position: usize) -> u32 {
+        self.rows[row * self.arity() + position]
+    }
+}
+
+/// Execute (simulate) a plan against a database.
+pub fn execute_plan<R: Rng + ?Sized>(db: &Database, plan: &PlanNode, rng: &mut R) -> ExecutedQuery {
+    let mut root = plan.clone();
+    let coef = db.environment().true_coefficients();
+    let _ = exec_node(db, &mut root, &coef, rng);
+    // Planner/executor startup overhead, scaled by OS overhead.
+    let startup = 0.08 * db.environment().os_overhead * lognormal_noise(rng);
+    let total_ms = root.actual_total_ms + startup;
+    ExecutedQuery { root, total_ms }
+}
+
+/// Multiplicative log-normal noise factor around 1.0.
+fn lognormal_noise<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let normal = Normal::new(0.0, NOISE_SIGMA).expect("valid sigma");
+    normal.sample(rng).exp()
+}
+
+/// Turn an arbitrary column value into a join key.
+fn join_key(column: &ColumnVector, row: usize) -> i64 {
+    match column {
+        ColumnVector::Int(v) => v[row],
+        ColumnVector::Float(v) => v[row].to_bits() as i64,
+        ColumnVector::Bool(v) => v[row] as i64,
+        ColumnVector::Text(v) => {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            v[row].hash(&mut h);
+            h.finish() as i64
+        }
+    }
+}
+
+fn exec_node<R: Rng + ?Sized>(
+    db: &Database,
+    node: &mut PlanNode,
+    coef: &CostCoefficients,
+    rng: &mut R,
+) -> Intermediate {
+    // Execute children first.
+    let mut child_results = Vec::with_capacity(node.children.len());
+    let mut children_total_ms = 0.0;
+    for child in &mut node.children {
+        let r = exec_node(db, child, coef, rng);
+        children_total_ms += child.actual_total_ms;
+        child_results.push(r);
+    }
+
+    let knobs = &db.environment().knobs;
+    let (result, mut self_ms) = match &node.op {
+        PhysicalOp::SeqScan { table } => exec_seq_scan(db, node, table, coef),
+        PhysicalOp::IndexScan { table, column } => exec_index_scan(db, node, table, column, coef),
+        PhysicalOp::Sort { .. } => {
+            let input = child_results.pop().expect("sort has one child");
+            let n = input.logical_rows().max(1.0);
+            let bytes = n * node.children[0].est_width.max(16.0);
+            let spill_ms = if bytes > knobs.work_mem_bytes() as f64 {
+                let pages = bytes / qcfe_storage::PAGE_SIZE as f64;
+                2.0 * pages * coef.cs
+            } else {
+                0.0
+            };
+            let ms = coef.co * 2.0 * n * (n + 1.0).log2() + coef.ct * n + spill_ms;
+            (input, ms)
+        }
+        PhysicalOp::Aggregate { group_by, functions } => {
+            let input = child_results.pop().expect("aggregate has one child");
+            let n = input.logical_rows();
+            let groups = actual_group_count(db, &input, group_by);
+            let ms = coef.co * (group_by.len() + functions.len()).max(1) as f64 * n
+                + coef.ct * groups as f64;
+            // Keep only one representative row per group for downstream
+            // cardinality purposes.
+            let keep = (groups).min(input.materialized_rows());
+            let arity = input.arity();
+            let out = Intermediate {
+                tables: input.tables.clone(),
+                rows: input.rows[..keep * arity].to_vec(),
+                multiplier: 1.0,
+            };
+            (out, ms)
+        }
+        PhysicalOp::HashJoin { condition } => {
+            let inner = child_results.pop().expect("join has two children");
+            let outer = child_results.pop().expect("join has two children");
+            let n_outer = outer.logical_rows();
+            let n_inner = inner.logical_rows();
+            let out = join_intermediates(db, outer, inner, Some(condition));
+            let bytes = n_inner * node.children[1].est_width.max(16.0);
+            let spill_ms = if bytes > knobs.work_mem_bytes() as f64 {
+                let pages = bytes / qcfe_storage::PAGE_SIZE as f64;
+                2.0 * pages * coef.cs
+            } else {
+                0.0
+            };
+            let ms = coef.ct * (n_outer + n_inner) + coef.co * out.logical_rows() + spill_ms;
+            (out, ms)
+        }
+        PhysicalOp::MergeJoin { condition } => {
+            let inner = child_results.pop().expect("join has two children");
+            let outer = child_results.pop().expect("join has two children");
+            let n_outer = outer.logical_rows();
+            let n_inner = inner.logical_rows();
+            let out = join_intermediates(db, outer, inner, Some(condition));
+            let ms = coef.ct * (n_outer + n_inner) + coef.co * out.logical_rows();
+            (out, ms)
+        }
+        PhysicalOp::NestedLoop { condition } => {
+            let inner = child_results.pop().expect("join has two children");
+            let outer = child_results.pop().expect("join has two children");
+            let n_outer = outer.logical_rows();
+            let n_inner = inner.logical_rows();
+            let out = join_intermediates(db, outer, inner, condition.as_ref());
+            // Table I: F = c0*n1*n2 + c1*n1 + c2*n2 + c3.
+            let ms = coef.co * n_outer * n_inner + coef.ct * (n_outer + out.logical_rows());
+            (out, ms)
+        }
+        PhysicalOp::Materialize => {
+            let input = child_results.pop().expect("materialize has one child");
+            let n = input.logical_rows();
+            let ms = coef.ct * 0.5 * n;
+            (input, ms)
+        }
+        PhysicalOp::Limit { count } => {
+            let input = child_results.pop().expect("limit has one child");
+            let keep = (*count as usize).min(input.materialized_rows());
+            let arity = input.arity().max(1);
+            let out = Intermediate {
+                tables: input.tables.clone(),
+                rows: input.rows[..keep * input.arity()].to_vec(),
+                multiplier: 1.0,
+            };
+            let _ = arity;
+            let ms = coef.co * keep as f64;
+            (out, ms)
+        }
+    };
+
+    self_ms = (self_ms * lognormal_noise(rng) + 0.002).max(0.0005);
+    node.actual_rows = result.logical_rows();
+    node.actual_self_ms = self_ms;
+    node.actual_total_ms = self_ms + children_total_ms;
+    result
+}
+
+/// Sequential scan: bitmap-evaluate the predicates, touch every heap page
+/// through the buffer pool.
+fn exec_seq_scan(
+    db: &Database,
+    node: &PlanNode,
+    table: &str,
+    coef: &CostCoefficients,
+) -> (Intermediate, f64) {
+    let schema = db.schema(table).expect("planner validated the table");
+    let data = db.table_data(table).expect("planner validated the table");
+    let stats = db.table_stats(table).expect("planner validated the table");
+
+    let resolved: Vec<(usize, &crate::expr::Predicate)> = node
+        .predicates
+        .iter()
+        .map(|p| (schema.column_index(&p.column().column).expect("validated"), p))
+        .collect();
+    let bitmap = data.selection_bitmap(&resolved);
+    let rows: Vec<u32> = bitmap
+        .iter()
+        .enumerate()
+        .filter_map(|(i, keep)| keep.then_some(i as u32))
+        .collect();
+
+    let pages = stats.page_count;
+    let physical = db.buffer().access_sequential(schema.id, 0, pages);
+    let total_rows = stats.row_count as f64;
+    let quals = node.predicates.len() as f64;
+    let ms = coef.cs * physical as f64 + coef.ct * total_rows + coef.co * quals * total_rows;
+
+    (Intermediate { tables: vec![table.to_string()], rows, multiplier: 1.0 }, ms)
+}
+
+/// Index scan: same actual cardinality as a filtered scan, but the I/O model
+/// follows a B+tree descent plus per-match heap fetches with random I/O.
+fn exec_index_scan(
+    db: &Database,
+    node: &PlanNode,
+    table: &str,
+    column: &str,
+    coef: &CostCoefficients,
+) -> (Intermediate, f64) {
+    let schema = db.schema(table).expect("planner validated the table");
+    let data = db.table_data(table).expect("planner validated the table");
+    let stats = db.table_stats(table).expect("planner validated the table");
+
+    let resolved: Vec<(usize, &crate::expr::Predicate)> = node
+        .predicates
+        .iter()
+        .map(|p| (schema.column_index(&p.column().column).expect("validated"), p))
+        .collect();
+    let bitmap = data.selection_bitmap(&resolved);
+    let rows: Vec<u32> = bitmap
+        .iter()
+        .enumerate()
+        .filter_map(|(i, keep)| keep.then_some(i as u32))
+        .collect();
+    let matched = rows.len() as f64;
+
+    let meta = db
+        .index_meta(table, column)
+        .unwrap_or(crate::database::IndexMeta { height: 2, leaf_pages: 1 });
+    let leaf_fraction = (matched / stats.row_count.max(1) as f64).clamp(0.0, 1.0);
+    let leaf_pages = (meta.leaf_pages as f64 * leaf_fraction).ceil().max(1.0);
+    let heap_pages = matched.min(stats.page_count as f64);
+    let random_pages = meta.height as f64 + leaf_pages + heap_pages;
+    let miss_fraction = db
+        .buffer()
+        .expected_miss_fraction(stats.page_count, random_pages.ceil() as u64);
+    let physical_random = random_pages * miss_fraction;
+    let read_amp = db.environment().storage_format.read_amplification();
+
+    let quals = node.predicates.len() as f64;
+    let ms = coef.cr * physical_random * read_amp
+        + coef.ci * matched
+        + coef.ct * matched
+        + coef.co * quals * matched;
+
+    (Intermediate { tables: vec![table.to_string()], rows, multiplier: 1.0 }, ms)
+}
+
+/// Hash-join two intermediates on an (optional) equi-join condition.
+fn join_intermediates(
+    db: &Database,
+    outer: Intermediate,
+    inner: Intermediate,
+    condition: Option<&crate::expr::JoinCondition>,
+) -> Intermediate {
+    let tables: Vec<String> = outer
+        .tables
+        .iter()
+        .chain(inner.tables.iter())
+        .cloned()
+        .collect();
+    let multiplier_base = outer.multiplier * inner.multiplier;
+
+    let Some(cond) = condition else {
+        // Cross product (bounded).
+        let mut rows = Vec::new();
+        let mut produced = 0usize;
+        let total = outer.materialized_rows() * inner.materialized_rows();
+        'outer_loop: for o in 0..outer.materialized_rows() {
+            for i in 0..inner.materialized_rows() {
+                if produced >= MAX_MATERIALIZED_ROWS {
+                    break 'outer_loop;
+                }
+                push_joined_row(&mut rows, &outer, o, &inner, i);
+                produced += 1;
+            }
+        }
+        let multiplier = if produced == 0 {
+            multiplier_base
+        } else {
+            multiplier_base * total as f64 / produced as f64
+        };
+        return Intermediate { tables, rows, multiplier };
+    };
+
+    // Work out which side each end of the condition lives on.
+    let (outer_ref, inner_ref) = if outer.table_position(&cond.left.table).is_some() {
+        (&cond.left, &cond.right)
+    } else {
+        (&cond.right, &cond.left)
+    };
+    let (Some(outer_pos), Some(inner_pos)) = (
+        outer.table_position(&outer_ref.table),
+        inner.table_position(&inner_ref.table),
+    ) else {
+        // Disconnected condition (should not happen): degrade to cross join.
+        return join_intermediates(db, outer, inner, None);
+    };
+
+    let outer_col_idx = db
+        .column_index(&outer_ref.table, &outer_ref.column)
+        .expect("planner validated columns");
+    let inner_col_idx = db
+        .column_index(&inner_ref.table, &inner_ref.column)
+        .expect("planner validated columns");
+    let outer_col = db.table_data(&outer_ref.table).expect("validated").column(outer_col_idx);
+    let inner_col = db.table_data(&inner_ref.table).expect("validated").column(inner_col_idx);
+
+    // Build on the inner side.
+    let mut hash: HashMap<i64, Vec<u32>> = HashMap::with_capacity(inner.materialized_rows());
+    for i in 0..inner.materialized_rows() {
+        let base_row = inner.component(i, inner_pos) as usize;
+        hash.entry(join_key(inner_col, base_row)).or_default().push(i as u32);
+    }
+
+    // Probe from the outer side, counting everything but materialising at
+    // most MAX_MATERIALIZED_ROWS rows.
+    let mut rows = Vec::new();
+    let mut produced = 0usize;
+    let mut total_matches = 0usize;
+    for o in 0..outer.materialized_rows() {
+        let base_row = outer.component(o, outer_pos) as usize;
+        if let Some(matches) = hash.get(&join_key(outer_col, base_row)) {
+            total_matches += matches.len();
+            for &i in matches {
+                if produced < MAX_MATERIALIZED_ROWS {
+                    push_joined_row(&mut rows, &outer, o, &inner, i as usize);
+                    produced += 1;
+                }
+            }
+        }
+    }
+    let multiplier = if produced == 0 || total_matches == produced {
+        multiplier_base
+    } else {
+        multiplier_base * total_matches as f64 / produced as f64
+    };
+    Intermediate { tables, rows, multiplier }
+}
+
+fn push_joined_row(
+    rows: &mut Vec<u32>,
+    outer: &Intermediate,
+    outer_row: usize,
+    inner: &Intermediate,
+    inner_row: usize,
+) {
+    for p in 0..outer.arity() {
+        rows.push(outer.component(outer_row, p));
+    }
+    for p in 0..inner.arity() {
+        rows.push(inner.component(inner_row, p));
+    }
+}
+
+/// Count the exact number of groups formed by the GROUP BY columns over an
+/// intermediate result.
+fn actual_group_count(
+    db: &Database,
+    input: &Intermediate,
+    group_by: &[crate::expr::ColumnRef],
+) -> usize {
+    if group_by.is_empty() {
+        return 1;
+    }
+    if input.materialized_rows() == 0 {
+        return 0;
+    }
+    // Resolve each group column to (component position, column index).
+    let mut resolved = Vec::with_capacity(group_by.len());
+    for col in group_by {
+        let Some(pos) = input.table_position(&col.table) else { continue };
+        let Ok(idx) = db.column_index(&col.table, &col.column) else { continue };
+        let data = db.table_data(&col.table).expect("validated");
+        resolved.push((pos, idx, data));
+    }
+    if resolved.is_empty() {
+        return 1;
+    }
+    let mut groups: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+    for r in 0..input.materialized_rows() {
+        let key: Vec<i64> = resolved
+            .iter()
+            .map(|(pos, idx, data)| join_key(data.column(*idx), input.component(r, *pos) as usize))
+            .collect();
+        groups.insert(key);
+    }
+    groups.len()
+}

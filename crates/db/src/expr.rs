@@ -1,0 +1,317 @@
+//! Predicates and join conditions.
+//!
+//! Queries in the benchmark workloads use conjunctive filter predicates over
+//! single columns (comparisons, `BETWEEN`, `IN`, `LIKE`) plus equi-join
+//! conditions — the same fragment the paper's template-parsing algorithm
+//! (Algorithm 1 / Table II) recognises.
+
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reference to a column of a named table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Construct a column reference.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Comparison operators appearing in filter predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Neq,
+    /// Less-than.
+    Lt,
+    /// Less-than-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-than-or-equal.
+    Ge,
+}
+
+impl CompareOp {
+    /// SQL spelling of the operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Neq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+
+    /// All comparison operators (used when filling templates with random
+    /// operator keywords, third phase of Algorithm 1).
+    pub const ALL: [CompareOp; 6] = [
+        CompareOp::Eq,
+        CompareOp::Neq,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ];
+
+    /// Evaluate the operator on an ordering outcome.
+    pub fn matches(&self, ordering: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CompareOp::Eq => ordering == Equal,
+            CompareOp::Neq => ordering != Equal,
+            CompareOp::Lt => ordering == Less,
+            CompareOp::Le => ordering != Greater,
+            CompareOp::Gt => ordering == Greater,
+            CompareOp::Ge => ordering != Less,
+        }
+    }
+}
+
+/// A single-column filter predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `column <op> literal`.
+    Compare {
+        /// Column being filtered.
+        column: ColumnRef,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// `column BETWEEN low AND high` (inclusive).
+    Between {
+        /// Column being filtered.
+        column: ColumnRef,
+        /// Lower bound.
+        low: Value,
+        /// Upper bound.
+        high: Value,
+    },
+    /// `column IN (values...)`.
+    InList {
+        /// Column being filtered.
+        column: ColumnRef,
+        /// Allowed values.
+        values: Vec<Value>,
+    },
+    /// `column LIKE pattern` (only `%` wildcards are supported).
+    Like {
+        /// Column being filtered.
+        column: ColumnRef,
+        /// SQL LIKE pattern.
+        pattern: String,
+    },
+}
+
+impl Predicate {
+    /// The column the predicate constrains.
+    pub fn column(&self) -> &ColumnRef {
+        match self {
+            Predicate::Compare { column, .. }
+            | Predicate::Between { column, .. }
+            | Predicate::InList { column, .. }
+            | Predicate::Like { column, .. } => column,
+        }
+    }
+
+    /// Evaluate the predicate on a single value (NULL never matches).
+    pub fn evaluate(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        match self {
+            Predicate::Compare { op, value, .. } => match v.compare(value) {
+                Some(ord) => op.matches(ord),
+                None => false,
+            },
+            Predicate::Between { low, high, .. } => {
+                matches!(v.compare(low), Some(o) if o != std::cmp::Ordering::Less)
+                    && matches!(v.compare(high), Some(o) if o != std::cmp::Ordering::Greater)
+            }
+            Predicate::InList { values, .. } => {
+                values.iter().any(|allowed| v.compare(allowed) == Some(std::cmp::Ordering::Equal))
+            }
+            Predicate::Like { pattern, .. } => match v {
+                Value::Text(s) => like_match(pattern, s),
+                _ => false,
+            },
+        }
+    }
+
+    /// Render as a SQL condition.
+    pub fn to_sql(&self) -> String {
+        match self {
+            Predicate::Compare { column, op, value } => {
+                format!("{column} {} {}", op.sql(), value.to_sql())
+            }
+            Predicate::Between { column, low, high } => {
+                format!("{column} BETWEEN {} AND {}", low.to_sql(), high.to_sql())
+            }
+            Predicate::InList { column, values } => {
+                let list: Vec<String> = values.iter().map(|v| v.to_sql()).collect();
+                format!("{column} IN ({})", list.join(", "))
+            }
+            Predicate::Like { column, pattern } => format!("{column} LIKE '{pattern}'"),
+        }
+    }
+
+    /// The keyword class of this predicate as used by the paper's Table II
+    /// (used when parsing templates into operator/table/column triples).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Predicate::Compare { op, .. } => op.sql(),
+            Predicate::Between { .. } => "between",
+            Predicate::InList { .. } => "in",
+            Predicate::Like { .. } => "like",
+        }
+    }
+}
+
+/// Simple `%`-only LIKE matcher.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return pattern == text;
+    }
+    let mut remaining = text;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            match remaining.strip_prefix(part) {
+                Some(rest) => remaining = rest,
+                None => return false,
+            }
+        } else if i == parts.len() - 1 {
+            return remaining.ends_with(part);
+        } else {
+            match remaining.find(part) {
+                Some(pos) => remaining = &remaining[pos + part.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// An equi-join condition `left = right`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JoinCondition {
+    /// Left column.
+    pub left: ColumnRef,
+    /// Right column.
+    pub right: ColumnRef,
+}
+
+impl JoinCondition {
+    /// Construct a join condition.
+    pub fn new(left: ColumnRef, right: ColumnRef) -> Self {
+        JoinCondition { left, right }
+    }
+
+    /// Does the condition reference the given table?
+    pub fn touches(&self, table: &str) -> bool {
+        self.left.table == table || self.right.table == table
+    }
+
+    /// Render as SQL.
+    pub fn to_sql(&self) -> String {
+        format!("{} = {}", self.left, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> ColumnRef {
+        ColumnRef::new("t", "a")
+    }
+
+    #[test]
+    fn compare_ops_match_orderings() {
+        use std::cmp::Ordering::*;
+        assert!(CompareOp::Eq.matches(Equal));
+        assert!(!CompareOp::Eq.matches(Less));
+        assert!(CompareOp::Neq.matches(Greater));
+        assert!(CompareOp::Lt.matches(Less));
+        assert!(CompareOp::Le.matches(Equal));
+        assert!(CompareOp::Gt.matches(Greater));
+        assert!(CompareOp::Ge.matches(Equal));
+        assert_eq!(CompareOp::ALL.len(), 6);
+        assert_eq!(CompareOp::Le.sql(), "<=");
+    }
+
+    #[test]
+    fn compare_predicate_evaluation() {
+        let p = Predicate::Compare { column: col(), op: CompareOp::Gt, value: Value::Int(10) };
+        assert!(p.evaluate(&Value::Int(11)));
+        assert!(!p.evaluate(&Value::Int(10)));
+        assert!(!p.evaluate(&Value::Null));
+        assert!(p.evaluate(&Value::Float(10.5)));
+        assert_eq!(p.to_sql(), "t.a > 10");
+        assert_eq!(p.keyword(), ">");
+    }
+
+    #[test]
+    fn between_and_in_predicates() {
+        let b = Predicate::Between { column: col(), low: Value::Int(5), high: Value::Int(10) };
+        assert!(b.evaluate(&Value::Int(5)));
+        assert!(b.evaluate(&Value::Int(10)));
+        assert!(!b.evaluate(&Value::Int(11)));
+        assert!(b.to_sql().contains("BETWEEN"));
+
+        let i = Predicate::InList {
+            column: col(),
+            values: vec![Value::Int(1), Value::Int(3)],
+        };
+        assert!(i.evaluate(&Value::Int(3)));
+        assert!(!i.evaluate(&Value::Int(2)));
+        assert_eq!(i.to_sql(), "t.a IN (1, 3)");
+        assert_eq!(i.keyword(), "in");
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("%rust%", "i love rust a lot"));
+        assert!(like_match("rust%", "rustacean"));
+        assert!(like_match("%rust", "ferris loves rust"));
+        assert!(like_match("exact", "exact"));
+        assert!(!like_match("exact", "not exact!"));
+        assert!(!like_match("a%b", "acx"));
+        assert!(like_match("a%b%c", "a--b--c"));
+        let p = Predicate::Like { column: col(), pattern: "%green%".into() };
+        assert!(p.evaluate(&Value::Text("dark green metal".into())));
+        assert!(!p.evaluate(&Value::Int(5)));
+    }
+
+    #[test]
+    fn join_condition_helpers() {
+        let j = JoinCondition::new(ColumnRef::new("a", "x"), ColumnRef::new("b", "y"));
+        assert!(j.touches("a"));
+        assert!(j.touches("b"));
+        assert!(!j.touches("c"));
+        assert_eq!(j.to_sql(), "a.x = b.y");
+    }
+}

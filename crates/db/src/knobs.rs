@@ -1,0 +1,196 @@
+//! Database knob configurations (the tunable "ignored variables").
+//!
+//! The paper randomly generates 20 PostgreSQL 14.4 knob configurations and
+//! shows (Figure 1) that the same workload's average cost varies 2–3x across
+//! them. [`KnobConfig::sample`] plays the same role here: planner cost
+//! constants, memory limits, and enable_* switches are drawn from realistic
+//! ranges.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A PostgreSQL-style knob configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobConfig {
+    /// Planner cost of a sequential page read (cost units).
+    pub seq_page_cost: f64,
+    /// Planner cost of a random page read (cost units).
+    pub random_page_cost: f64,
+    /// Planner cost of processing one tuple.
+    pub cpu_tuple_cost: f64,
+    /// Planner cost of processing one index entry.
+    pub cpu_index_tuple_cost: f64,
+    /// Planner cost of evaluating one operator/expression.
+    pub cpu_operator_cost: f64,
+    /// Memory available to a single sort/hash node, in kilobytes.
+    pub work_mem_kb: u64,
+    /// Buffer cache size, in megabytes.
+    pub shared_buffers_mb: u64,
+    /// Planner's assumption about the OS+DB cache size, in megabytes.
+    pub effective_cache_size_mb: u64,
+    /// Whether the planner may choose sequential scans.
+    pub enable_seqscan: bool,
+    /// Whether the planner may choose index scans.
+    pub enable_indexscan: bool,
+    /// Whether the planner may choose hash joins.
+    pub enable_hashjoin: bool,
+    /// Whether the planner may choose merge joins.
+    pub enable_mergejoin: bool,
+    /// Whether the planner may choose nested-loop joins.
+    pub enable_nestloop: bool,
+    /// Whether the executor may use extra parallel workers.
+    pub max_parallel_workers: u32,
+}
+
+impl Default for KnobConfig {
+    /// PostgreSQL 14 defaults.
+    fn default() -> Self {
+        KnobConfig {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+            work_mem_kb: 4 * 1024,
+            shared_buffers_mb: 128,
+            effective_cache_size_mb: 4 * 1024,
+            enable_seqscan: true,
+            enable_indexscan: true,
+            enable_hashjoin: true,
+            enable_mergejoin: true,
+            enable_nestloop: true,
+            max_parallel_workers: 2,
+        }
+    }
+}
+
+impl KnobConfig {
+    /// Draw a random but realistic knob configuration (the paper's
+    /// "randomly generate 20 database configurations").
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        KnobConfig {
+            seq_page_cost: rng.gen_range(0.5..2.0),
+            random_page_cost: rng.gen_range(1.1..8.0),
+            cpu_tuple_cost: rng.gen_range(0.005..0.03),
+            cpu_index_tuple_cost: rng.gen_range(0.002..0.01),
+            cpu_operator_cost: rng.gen_range(0.001..0.006),
+            work_mem_kb: *[1024u64, 4096, 16_384, 65_536, 262_144]
+                .get(rng.gen_range(0..5))
+                .expect("index in range"),
+            shared_buffers_mb: *[64u64, 128, 512, 2048, 8192]
+                .get(rng.gen_range(0..5))
+                .expect("index in range"),
+            effective_cache_size_mb: *[1024u64, 4096, 16_384]
+                .get(rng.gen_range(0..3))
+                .expect("index in range"),
+            enable_seqscan: true,
+            enable_indexscan: rng.gen_bool(0.85),
+            enable_hashjoin: rng.gen_bool(0.85),
+            enable_mergejoin: rng.gen_bool(0.85),
+            enable_nestloop: rng.gen_bool(0.9),
+            max_parallel_workers: rng.gen_range(0..=8),
+        }
+    }
+
+    /// Buffer pool capacity in 8 KiB pages implied by `shared_buffers_mb`.
+    pub fn buffer_pool_pages(&self) -> usize {
+        ((self.shared_buffers_mb as usize) * 1024 * 1024 / qcfe_storage::PAGE_SIZE).max(16)
+    }
+
+    /// Memory available to one sort or hash node, in bytes.
+    pub fn work_mem_bytes(&self) -> u64 {
+        self.work_mem_kb * 1024
+    }
+
+    /// A multiplicative CPU speed-up factor from parallelism, with
+    /// diminishing returns (Amdahl-style: only part of an operator
+    /// parallelises).
+    pub fn parallel_speedup(&self) -> f64 {
+        let w = self.max_parallel_workers as f64;
+        1.0 + 0.35 * w.ln_1p()
+    }
+
+    /// Render the knobs as `SET` statements (useful for debugging and docs).
+    pub fn to_sql(&self) -> String {
+        format!(
+            "SET seq_page_cost = {};\nSET random_page_cost = {};\nSET cpu_tuple_cost = {};\n\
+             SET cpu_index_tuple_cost = {};\nSET cpu_operator_cost = {};\nSET work_mem = '{}kB';\n\
+             SET shared_buffers = '{}MB';\nSET effective_cache_size = '{}MB';\n\
+             SET enable_seqscan = {};\nSET enable_indexscan = {};\nSET enable_hashjoin = {};\n\
+             SET enable_mergejoin = {};\nSET enable_nestloop = {};\nSET max_parallel_workers = {};",
+            self.seq_page_cost,
+            self.random_page_cost,
+            self.cpu_tuple_cost,
+            self.cpu_index_tuple_cost,
+            self.cpu_operator_cost,
+            self.work_mem_kb,
+            self.shared_buffers_mb,
+            self.effective_cache_size_mb,
+            self.enable_seqscan,
+            self.enable_indexscan,
+            self.enable_hashjoin,
+            self.enable_mergejoin,
+            self.enable_nestloop,
+            self.max_parallel_workers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defaults_match_postgres_14() {
+        let k = KnobConfig::default();
+        assert_eq!(k.seq_page_cost, 1.0);
+        assert_eq!(k.random_page_cost, 4.0);
+        assert_eq!(k.cpu_tuple_cost, 0.01);
+        assert_eq!(k.work_mem_kb, 4096);
+        assert!(k.enable_seqscan && k.enable_indexscan);
+    }
+
+    #[test]
+    fn sampled_configs_are_in_range_and_vary() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let configs: Vec<KnobConfig> = (0..50).map(|_| KnobConfig::sample(&mut rng)).collect();
+        for c in &configs {
+            assert!(c.random_page_cost >= 1.1 && c.random_page_cost <= 8.0);
+            assert!(c.cpu_tuple_cost > 0.0);
+            assert!(c.buffer_pool_pages() >= 16);
+        }
+        // at least two distinct work_mem settings across 50 draws
+        let distinct_wm: std::collections::HashSet<u64> =
+            configs.iter().map(|c| c.work_mem_kb).collect();
+        assert!(distinct_wm.len() >= 2);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let k = KnobConfig { shared_buffers_mb: 128, ..Default::default() };
+        assert_eq!(k.buffer_pool_pages(), 128 * 1024 * 1024 / 8192);
+        assert_eq!(k.work_mem_bytes(), 4096 * 1024);
+        let none = KnobConfig { max_parallel_workers: 0, ..Default::default() };
+        assert_eq!(none.parallel_speedup(), 1.0);
+        let many = KnobConfig { max_parallel_workers: 8, ..Default::default() };
+        assert!(many.parallel_speedup() > none.parallel_speedup());
+        assert!(many.parallel_speedup() < 3.0, "diminishing returns");
+    }
+
+    #[test]
+    fn sql_rendering_mentions_every_knob() {
+        let sql = KnobConfig::default().to_sql();
+        for knob in [
+            "seq_page_cost",
+            "random_page_cost",
+            "cpu_tuple_cost",
+            "work_mem",
+            "shared_buffers",
+            "enable_hashjoin",
+            "max_parallel_workers",
+        ] {
+            assert!(sql.contains(knob), "missing {knob}");
+        }
+    }
+}

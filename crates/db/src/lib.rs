@@ -1,0 +1,90 @@
+//! # qcfe-db — mini relational database substrate
+//!
+//! The QCFE paper labels queries by running them on PostgreSQL 14.4 under
+//! twenty knob configurations and two hardware setups. This crate replaces
+//! that setup with a deterministic, laptop-scale substrate that exposes the
+//! same observable surface:
+//!
+//! * a [`catalog`](crate::catalog) of tables and columns,
+//! * columnar [`data`](crate::data) with exact predicate/join/group
+//!   evaluation (so *actual* cardinalities are real, not sampled),
+//! * ANALYZE-style [`stats`](crate::stats) with histogram/MCV selectivity
+//!   estimation (so *estimated* cardinalities err like a real system),
+//! * PostgreSQL-flavoured [`knobs`](crate::knobs) and hardware/storage
+//!   [`env`](crate::env)ironments — the paper's "ignored variables",
+//! * a cost-based [`planner`](crate::planner) producing physical
+//!   [`plan`](crate::plan) trees,
+//! * an analytical [`cost`](crate::cost) model (the PGSQL baseline), and
+//! * an [`executor`](crate::executor) that simulates execution, producing
+//!   per-operator actual latencies from the environment's true cost
+//!   coefficients plus noise.
+//!
+//! ```
+//! use qcfe_db::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // one tiny table
+//! let mut catalog = Catalog::new();
+//! catalog.add_table(
+//!     TableBuilder::new("t")
+//!         .column("id", DataType::Int)
+//!         .column("v", DataType::Int)
+//!         .primary_key("id"),
+//! );
+//! let data = TableData::new(vec![
+//!     ColumnVector::Int((0..1000).collect()),
+//!     ColumnVector::Int((0..1000).map(|i| i % 10).collect()),
+//! ]);
+//! let db = Database::build(catalog, vec![data], DbEnvironment::reference());
+//!
+//! let q = Query::scan("t").filter(Predicate::Compare {
+//!     column: ColumnRef::new("t", "id"),
+//!     op: CompareOp::Lt,
+//!     value: Value::Int(100),
+//! });
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let executed = db.execute(&q, &mut rng).unwrap();
+//! assert_eq!(executed.root.actual_rows, 100.0);
+//! assert!(executed.total_ms > 0.0);
+//! ```
+
+pub mod catalog;
+pub mod cost;
+pub mod data;
+pub mod database;
+pub mod env;
+pub mod executor;
+pub mod expr;
+pub mod knobs;
+pub mod plan;
+pub mod planner;
+pub mod query;
+pub mod stats;
+pub mod types;
+
+pub use catalog::{Catalog, Column, TableBuilder, TableId, TableSchema};
+pub use data::{ColumnVector, TableData};
+pub use database::{Database, DbError, IndexMeta};
+pub use env::{CostCoefficients, DbEnvironment, HardwareProfile};
+pub use executor::{execute_plan, ExecutedQuery};
+pub use expr::{ColumnRef, CompareOp, JoinCondition, Predicate};
+pub use knobs::KnobConfig;
+pub use plan::{OperatorKind, PhysicalOp, PlanNode};
+pub use planner::plan_query;
+pub use query::{Aggregate, Query};
+pub use stats::{ColumnStats, TableStats};
+pub use types::{DataType, Value};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::catalog::{Catalog, Column, TableBuilder, TableSchema};
+    pub use crate::data::{ColumnVector, TableData};
+    pub use crate::database::{Database, DbError};
+    pub use crate::env::{CostCoefficients, DbEnvironment, HardwareProfile};
+    pub use crate::executor::ExecutedQuery;
+    pub use crate::expr::{ColumnRef, CompareOp, JoinCondition, Predicate};
+    pub use crate::knobs::KnobConfig;
+    pub use crate::plan::{OperatorKind, PhysicalOp, PlanNode};
+    pub use crate::query::{Aggregate, Query};
+    pub use crate::types::{DataType, Value};
+}

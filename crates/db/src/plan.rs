@@ -1,0 +1,372 @@
+//! Physical plan trees.
+//!
+//! A [`PlanNode`] carries the physical operator, its children, the
+//! planner-estimated cardinality/width/cost and — after simulation — the
+//! actual cardinality and timing, mirroring `EXPLAIN (ANALYZE)` output. The
+//! per-node actual times are the labels used both to fit the feature
+//! snapshot and to train QPPNet's operator-level neural units.
+
+use crate::expr::{ColumnRef, JoinCondition, Predicate};
+use crate::query::Aggregate;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The kind of a physical operator (used for one-hot encodings and for the
+/// per-operator feature snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Full sequential scan of a heap relation.
+    SeqScan,
+    /// B+tree index scan.
+    IndexScan,
+    /// In-memory or external sort.
+    Sort,
+    /// Hash or group aggregate.
+    Aggregate,
+    /// Hash join.
+    HashJoin,
+    /// Merge join.
+    MergeJoin,
+    /// Nested-loop join.
+    NestedLoop,
+    /// Materialisation of an intermediate result.
+    Materialize,
+    /// Row-limit node.
+    Limit,
+}
+
+impl OperatorKind {
+    /// All operator kinds, in a stable order used for one-hot encoding.
+    pub const ALL: [OperatorKind; 9] = [
+        OperatorKind::SeqScan,
+        OperatorKind::IndexScan,
+        OperatorKind::Sort,
+        OperatorKind::Aggregate,
+        OperatorKind::HashJoin,
+        OperatorKind::MergeJoin,
+        OperatorKind::NestedLoop,
+        OperatorKind::Materialize,
+        OperatorKind::Limit,
+    ];
+
+    /// Index of this kind within [`OperatorKind::ALL`].
+    pub fn index(&self) -> usize {
+        OperatorKind::ALL
+            .iter()
+            .position(|k| k == self)
+            .expect("kind present in ALL")
+    }
+
+    /// Human-readable name (matches PostgreSQL node labels loosely).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OperatorKind::SeqScan => "Seq Scan",
+            OperatorKind::IndexScan => "Index Scan",
+            OperatorKind::Sort => "Sort",
+            OperatorKind::Aggregate => "Aggregate",
+            OperatorKind::HashJoin => "Hash Join",
+            OperatorKind::MergeJoin => "Merge Join",
+            OperatorKind::NestedLoop => "Nested Loop",
+            OperatorKind::Materialize => "Materialize",
+            OperatorKind::Limit => "Limit",
+        }
+    }
+
+    /// Whether the operator is a join.
+    pub fn is_join(&self) -> bool {
+        matches!(
+            self,
+            OperatorKind::HashJoin | OperatorKind::MergeJoin | OperatorKind::NestedLoop
+        )
+    }
+
+    /// Whether the operator is a base-relation scan.
+    pub fn is_scan(&self) -> bool {
+        matches!(self, OperatorKind::SeqScan | OperatorKind::IndexScan)
+    }
+}
+
+/// A physical operator with its parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalOp {
+    /// Sequential scan of `table`.
+    SeqScan {
+        /// Scanned table name.
+        table: String,
+    },
+    /// Index scan of `table` using the index on `column`.
+    IndexScan {
+        /// Scanned table name.
+        table: String,
+        /// Indexed column driving the scan.
+        column: String,
+    },
+    /// Sort on the given keys.
+    Sort {
+        /// Sort keys.
+        keys: Vec<ColumnRef>,
+    },
+    /// Grouping/aggregation.
+    Aggregate {
+        /// GROUP BY columns.
+        group_by: Vec<ColumnRef>,
+        /// Aggregate functions computed.
+        functions: Vec<Aggregate>,
+    },
+    /// Hash join on an equi-join condition.
+    HashJoin {
+        /// Join condition.
+        condition: JoinCondition,
+    },
+    /// Merge join on an equi-join condition (children must be sorted).
+    MergeJoin {
+        /// Join condition.
+        condition: JoinCondition,
+    },
+    /// Nested-loop join, optionally with a join condition (cross join when
+    /// absent).
+    NestedLoop {
+        /// Join condition, if any.
+        condition: Option<JoinCondition>,
+    },
+    /// Materialise the child output.
+    Materialize,
+    /// Pass through at most `count` rows.
+    Limit {
+        /// Row limit.
+        count: u64,
+    },
+}
+
+impl PhysicalOp {
+    /// The operator kind (for encodings and snapshots).
+    pub fn kind(&self) -> OperatorKind {
+        match self {
+            PhysicalOp::SeqScan { .. } => OperatorKind::SeqScan,
+            PhysicalOp::IndexScan { .. } => OperatorKind::IndexScan,
+            PhysicalOp::Sort { .. } => OperatorKind::Sort,
+            PhysicalOp::Aggregate { .. } => OperatorKind::Aggregate,
+            PhysicalOp::HashJoin { .. } => OperatorKind::HashJoin,
+            PhysicalOp::MergeJoin { .. } => OperatorKind::MergeJoin,
+            PhysicalOp::NestedLoop { .. } => OperatorKind::NestedLoop,
+            PhysicalOp::Materialize => OperatorKind::Materialize,
+            PhysicalOp::Limit { .. } => OperatorKind::Limit,
+        }
+    }
+
+    /// The base table this operator scans, if it is a scan.
+    pub fn scanned_table(&self) -> Option<&str> {
+        match self {
+            PhysicalOp::SeqScan { table } | PhysicalOp::IndexScan { table, .. } => Some(table),
+            _ => None,
+        }
+    }
+}
+
+/// A node of a physical plan tree with planner estimates and (after
+/// simulation) actuals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// The physical operator.
+    pub op: PhysicalOp,
+    /// Child nodes (0 for scans, 1 for sort/aggregate/materialize/limit,
+    /// 2 for joins).
+    pub children: Vec<PlanNode>,
+    /// Filter predicates evaluated at this node (scans only in this model).
+    pub predicates: Vec<Predicate>,
+    /// Planner-estimated output rows.
+    pub est_rows: f64,
+    /// Planner-estimated output width in bytes.
+    pub est_width: f64,
+    /// Planner-estimated total cost in cost units (includes children).
+    pub est_cost: f64,
+    /// Actual output rows (filled by the execution simulator).
+    pub actual_rows: f64,
+    /// Actual time spent in this node alone, milliseconds.
+    pub actual_self_ms: f64,
+    /// Actual time including children, milliseconds.
+    pub actual_total_ms: f64,
+}
+
+impl PlanNode {
+    /// Create a node with zeroed estimates.
+    pub fn new(op: PhysicalOp, children: Vec<PlanNode>) -> Self {
+        PlanNode {
+            op,
+            children,
+            predicates: Vec::new(),
+            est_rows: 0.0,
+            est_width: 0.0,
+            est_cost: 0.0,
+            actual_rows: 0.0,
+            actual_self_ms: 0.0,
+            actual_total_ms: 0.0,
+        }
+    }
+
+    /// Attach filter predicates (builder style).
+    pub fn with_predicates(mut self, predicates: Vec<Predicate>) -> Self {
+        self.predicates = predicates;
+        self
+    }
+
+    /// Number of nodes in the subtree rooted here.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Depth of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+
+    /// Pre-order iterator over the subtree.
+    pub fn iter_preorder(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::with_capacity(self.node_count());
+        fn walk<'a>(node: &'a PlanNode, out: &mut Vec<&'a PlanNode>) {
+            out.push(node);
+            for c in &node.children {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Mutable pre-order traversal applying `f` to every node.
+    pub fn for_each_mut<F: FnMut(&mut PlanNode)>(&mut self, f: &mut F) {
+        f(self);
+        for c in &mut self.children {
+            c.for_each_mut(f);
+        }
+    }
+
+    /// All operator kinds appearing in the subtree.
+    pub fn operator_kinds(&self) -> Vec<OperatorKind> {
+        self.iter_preorder().iter().map(|n| n.op.kind()).collect()
+    }
+
+    /// All base tables scanned in the subtree.
+    pub fn scanned_tables(&self) -> Vec<&str> {
+        self.iter_preorder()
+            .iter()
+            .filter_map(|n| n.op.scanned_table())
+            .collect()
+    }
+
+    /// Render the plan as indented text, in the spirit of `EXPLAIN ANALYZE`.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let detail = match &self.op {
+            PhysicalOp::SeqScan { table } => format!(" on {table}"),
+            PhysicalOp::IndexScan { table, column } => format!(" on {table} using {column}"),
+            PhysicalOp::Sort { keys } => {
+                let k: Vec<String> = keys.iter().map(|c| c.to_string()).collect();
+                format!(" by {}", k.join(", "))
+            }
+            PhysicalOp::HashJoin { condition }
+            | PhysicalOp::MergeJoin { condition } => format!(" on {}", condition.to_sql()),
+            PhysicalOp::NestedLoop { condition: Some(c) } => format!(" on {}", c.to_sql()),
+            PhysicalOp::Limit { count } => format!(" {count}"),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{pad}{}{} (est_rows={:.0} est_cost={:.2}) (actual_rows={:.0} self={:.3}ms total={:.3}ms)",
+            self.op.kind().name(),
+            detail,
+            self.est_rows,
+            self.est_cost,
+            self.actual_rows,
+            self.actual_self_ms,
+            self.actual_total_ms
+        );
+        for c in &self.children {
+            c.explain_into(out, indent + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ColumnRef;
+
+    fn join_plan() -> PlanNode {
+        let scan_a = PlanNode::new(PhysicalOp::SeqScan { table: "orders".into() }, vec![]);
+        let scan_b = PlanNode::new(
+            PhysicalOp::IndexScan { table: "customer".into(), column: "c_custkey".into() },
+            vec![],
+        );
+        let join = PlanNode::new(
+            PhysicalOp::HashJoin {
+                condition: JoinCondition::new(
+                    ColumnRef::new("orders", "o_custkey"),
+                    ColumnRef::new("customer", "c_custkey"),
+                ),
+            },
+            vec![scan_a, scan_b],
+        );
+        let sort = PlanNode::new(
+            PhysicalOp::Sort { keys: vec![ColumnRef::new("orders", "o_orderdate")] },
+            vec![join],
+        );
+        PlanNode::new(PhysicalOp::Limit { count: 10 }, vec![sort])
+    }
+
+    #[test]
+    fn operator_kind_properties() {
+        assert_eq!(OperatorKind::ALL.len(), 9);
+        for (i, k) in OperatorKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert!(OperatorKind::HashJoin.is_join());
+        assert!(!OperatorKind::Sort.is_join());
+        assert!(OperatorKind::SeqScan.is_scan());
+        assert!(!OperatorKind::Aggregate.is_scan());
+        assert_eq!(OperatorKind::NestedLoop.name(), "Nested Loop");
+    }
+
+    #[test]
+    fn tree_shape_accessors() {
+        let plan = join_plan();
+        assert_eq!(plan.node_count(), 5);
+        assert_eq!(plan.depth(), 4);
+        let kinds = plan.operator_kinds();
+        assert_eq!(kinds[0], OperatorKind::Limit);
+        assert!(kinds.contains(&OperatorKind::HashJoin));
+        assert_eq!(plan.scanned_tables(), vec!["orders", "customer"]);
+        assert_eq!(plan.iter_preorder().len(), 5);
+    }
+
+    #[test]
+    fn physical_op_kind_and_table() {
+        let op = PhysicalOp::IndexScan { table: "t".into(), column: "c".into() };
+        assert_eq!(op.kind(), OperatorKind::IndexScan);
+        assert_eq!(op.scanned_table(), Some("t"));
+        assert_eq!(PhysicalOp::Materialize.scanned_table(), None);
+    }
+
+    #[test]
+    fn for_each_mut_updates_every_node() {
+        let mut plan = join_plan();
+        plan.for_each_mut(&mut |n| n.est_rows = 42.0);
+        assert!(plan.iter_preorder().iter().all(|n| n.est_rows == 42.0));
+    }
+
+    #[test]
+    fn explain_renders_every_operator() {
+        let text = join_plan().explain();
+        for needle in ["Limit", "Sort", "Hash Join", "Seq Scan on orders", "Index Scan on customer"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // indentation grows with depth
+        assert!(text.lines().last().unwrap().starts_with("      "));
+    }
+}

@@ -1,0 +1,264 @@
+//! Cost-based physical planner.
+//!
+//! The planner mirrors PostgreSQL's high-level decisions at a much smaller
+//! scale: access-path selection (sequential vs index scan, gated by the
+//! `enable_*` knobs and estimated selectivity), greedy join ordering by
+//! estimated cardinality, join-method selection (hash / merge / nested
+//! loop, again knob-gated and memory-aware), then aggregation, sorting and
+//! limit on top. Planner estimates use only statistics — never the true
+//! data — so estimation error behaves like a real system's.
+
+use crate::database::{Database, DbError};
+use crate::expr::{JoinCondition, Predicate};
+use crate::plan::{PhysicalOp, PlanNode};
+use crate::query::Query;
+
+/// Selectivity below which an available index is preferred over a
+/// sequential scan (with default page-cost knobs).
+const INDEX_SCAN_SELECTIVITY_THRESHOLD: f64 = 0.08;
+
+/// Inner-relation cardinality below which a nested-loop join is considered
+/// cheap enough to prefer.
+const NESTLOOP_INNER_ROWS_THRESHOLD: f64 = 256.0;
+
+/// Plan a query against a database.
+pub fn plan_query(db: &Database, query: &Query) -> Result<PlanNode, DbError> {
+    if query.tables.is_empty() {
+        return Err(DbError::EmptyQuery);
+    }
+    // 1. Access paths for every base table.
+    let mut relations: Vec<PlanNode> = Vec::with_capacity(query.tables.len());
+    for table in &query.tables {
+        relations.push(plan_scan(db, query, table)?);
+    }
+
+    // 2. Join ordering (greedy smallest-first) and method selection.
+    let mut current = {
+        // start from the relation with the smallest estimated cardinality
+        let (idx, _) = relations
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.est_rows.partial_cmp(&b.1.est_rows).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one relation");
+        relations.remove(idx)
+    };
+    let mut remaining = relations;
+    let mut pending_joins: Vec<JoinCondition> = query.joins.clone();
+
+    while !remaining.is_empty() {
+        // Find a remaining relation connected to the current subtree.
+        let joined_tables: Vec<String> =
+            current.scanned_tables().iter().map(|s| s.to_string()).collect();
+        let connected = remaining.iter().position(|rel| {
+            let rel_table = rel.op.scanned_table().unwrap_or_default().to_string();
+            pending_joins.iter().any(|j| {
+                (j.left.table == rel_table && joined_tables.contains(&j.right.table))
+                    || (j.right.table == rel_table && joined_tables.contains(&j.left.table))
+            })
+        });
+        // Fall back to a cross product with the smallest remaining relation
+        // when the join graph is disconnected.
+        let next_idx = connected.unwrap_or(0);
+        let next = remaining.remove(next_idx);
+        let next_table = next.op.scanned_table().unwrap_or_default().to_string();
+
+        let condition_idx = pending_joins.iter().position(|j| {
+            (j.left.table == next_table && joined_tables.contains(&j.right.table))
+                || (j.right.table == next_table && joined_tables.contains(&j.left.table))
+        });
+        let condition = condition_idx.map(|i| pending_joins.remove(i));
+
+        current = plan_join(db, current, next, condition)?;
+    }
+
+    // 3. Aggregation.
+    if query.is_aggregate_query() {
+        let input_rows = current.est_rows;
+        let groups = estimate_group_count(db, query, input_rows)?;
+        let mut agg = PlanNode::new(
+            PhysicalOp::Aggregate {
+                group_by: query.group_by.clone(),
+                functions: query.aggregates.clone(),
+            },
+            vec![current],
+        );
+        agg.est_rows = groups;
+        agg.est_width = agg.children[0].est_width.min(64.0) + 16.0;
+        current = agg;
+    }
+
+    // 4. Ordering.
+    if !query.order_by.is_empty() {
+        let mut sort = PlanNode::new(PhysicalOp::Sort { keys: query.order_by.clone() }, vec![current]);
+        sort.est_rows = sort.children[0].est_rows;
+        sort.est_width = sort.children[0].est_width;
+        current = sort;
+    }
+
+    // 5. Limit.
+    if let Some(n) = query.limit {
+        let mut limit = PlanNode::new(PhysicalOp::Limit { count: n }, vec![current]);
+        limit.est_rows = limit.children[0].est_rows.min(n as f64);
+        limit.est_width = limit.children[0].est_width;
+        current = limit;
+    }
+
+    // 6. Cost the whole tree with the analytical model.
+    crate::cost::estimate_plan_cost(db, &mut current);
+    Ok(current)
+}
+
+/// Choose an access path for one base table.
+fn plan_scan(db: &Database, query: &Query, table: &str) -> Result<PlanNode, DbError> {
+    let schema = db.schema(table)?;
+    let stats = db.table_stats(table)?;
+    let predicates: Vec<Predicate> = query.predicates_for(table).into_iter().cloned().collect();
+
+    // Resolve predicate columns for selectivity estimation.
+    let mut resolved: Vec<(usize, &Predicate)> = Vec::with_capacity(predicates.len());
+    for p in &predicates {
+        let col = db.column_index(table, &p.column().column)?;
+        resolved.push((col, p));
+    }
+    let selectivity = stats.conjunction_selectivity(&resolved);
+    let est_rows = (stats.row_count as f64 * selectivity).max(1.0);
+
+    let knobs = &db.environment().knobs;
+    // Candidate index: the most selective indexed predicate column.
+    let candidate_index = resolved
+        .iter()
+        .filter(|(col, _)| schema.has_index(*col))
+        .map(|(col, p)| (*col, stats.columns[*col].selectivity(p)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Effective threshold shifts with the random/seq page cost ratio: a
+    // cheaper random read (e.g. random_page_cost = 1.1) makes index scans
+    // attractive for larger fractions, like PostgreSQL.
+    let ratio = (knobs.random_page_cost / knobs.seq_page_cost).max(0.5);
+    let threshold = (INDEX_SCAN_SELECTIVITY_THRESHOLD * 4.0 / ratio).clamp(0.005, 0.35);
+
+    let use_index = knobs.enable_indexscan
+        && candidate_index
+            .map(|(_, sel)| sel <= threshold || !knobs.enable_seqscan)
+            .unwrap_or(false);
+
+    let mut node = if use_index {
+        let (col, _) = candidate_index.expect("checked above");
+        PlanNode::new(
+            PhysicalOp::IndexScan { table: table.to_string(), column: schema.column(col).name.clone() },
+            vec![],
+        )
+    } else {
+        PlanNode::new(PhysicalOp::SeqScan { table: table.to_string() }, vec![])
+    }
+    .with_predicates(predicates);
+
+    node.est_rows = est_rows;
+    node.est_width = schema.tuple_width() as f64;
+    Ok(node)
+}
+
+/// Choose a join method and build the join node.
+fn plan_join(
+    db: &Database,
+    outer: PlanNode,
+    inner: PlanNode,
+    condition: Option<JoinCondition>,
+) -> Result<PlanNode, DbError> {
+    let knobs = &db.environment().knobs;
+    let outer_rows = outer.est_rows;
+    let inner_rows = inner.est_rows;
+
+    // Join cardinality estimate.
+    let est_rows = match &condition {
+        Some(cond) => {
+            let sel = join_selectivity(db, cond)?;
+            (outer_rows * inner_rows * sel).max(1.0)
+        }
+        None => (outer_rows * inner_rows).max(1.0),
+    };
+    let est_width = outer.est_width + inner.est_width;
+
+    // Method selection.
+    let inner_bytes = inner_rows * inner.est_width;
+    let fits_work_mem = inner_bytes <= knobs.work_mem_bytes() as f64;
+
+    let node = match &condition {
+        None => {
+            // Cross join: nested loop with the inner materialised.
+            let mut mat = PlanNode::new(PhysicalOp::Materialize, vec![inner]);
+            mat.est_rows = inner_rows;
+            mat.est_width = mat.children[0].est_width;
+            PlanNode::new(PhysicalOp::NestedLoop { condition: None }, vec![outer, mat])
+        }
+        Some(cond) => {
+            let nestloop_ok = knobs.enable_nestloop && inner_rows <= NESTLOOP_INNER_ROWS_THRESHOLD;
+            if nestloop_ok && (!knobs.enable_hashjoin || inner_rows <= 64.0) {
+                let mut mat = PlanNode::new(PhysicalOp::Materialize, vec![inner]);
+                mat.est_rows = inner_rows;
+                mat.est_width = mat.children[0].est_width;
+                PlanNode::new(
+                    PhysicalOp::NestedLoop { condition: Some(cond.clone()) },
+                    vec![outer, mat],
+                )
+            } else if knobs.enable_hashjoin && (fits_work_mem || !knobs.enable_mergejoin) {
+                PlanNode::new(PhysicalOp::HashJoin { condition: cond.clone() }, vec![outer, inner])
+            } else if knobs.enable_mergejoin {
+                // Merge join needs sorted inputs.
+                let sort_key_outer = cond.left.clone();
+                let sort_key_inner = cond.right.clone();
+                let mut sort_outer =
+                    PlanNode::new(PhysicalOp::Sort { keys: vec![sort_key_outer] }, vec![outer]);
+                sort_outer.est_rows = outer_rows;
+                sort_outer.est_width = sort_outer.children[0].est_width;
+                let mut sort_inner =
+                    PlanNode::new(PhysicalOp::Sort { keys: vec![sort_key_inner] }, vec![inner]);
+                sort_inner.est_rows = inner_rows;
+                sort_inner.est_width = sort_inner.children[0].est_width;
+                PlanNode::new(
+                    PhysicalOp::MergeJoin { condition: cond.clone() },
+                    vec![sort_outer, sort_inner],
+                )
+            } else if knobs.enable_hashjoin {
+                PlanNode::new(PhysicalOp::HashJoin { condition: cond.clone() }, vec![outer, inner])
+            } else {
+                // Everything disabled: fall back to nested loop.
+                let mut mat = PlanNode::new(PhysicalOp::Materialize, vec![inner]);
+                mat.est_rows = inner_rows;
+                mat.est_width = mat.children[0].est_width;
+                PlanNode::new(
+                    PhysicalOp::NestedLoop { condition: Some(cond.clone()) },
+                    vec![outer, mat],
+                )
+            }
+        }
+    };
+
+    let mut node = node;
+    node.est_rows = est_rows;
+    node.est_width = est_width;
+    Ok(node)
+}
+
+/// Estimated selectivity of an equi-join condition.
+fn join_selectivity(db: &Database, cond: &JoinCondition) -> Result<f64, DbError> {
+    let left_stats = db.table_stats(&cond.left.table)?;
+    let right_stats = db.table_stats(&cond.right.table)?;
+    let left_col = db.column_index(&cond.left.table, &cond.left.column)?;
+    let right_col = db.column_index(&cond.right.table, &cond.right.column)?;
+    Ok(left_stats.join_selectivity(left_col, right_stats, right_col))
+}
+
+/// Estimated number of groups produced by the GROUP BY clause.
+fn estimate_group_count(db: &Database, query: &Query, input_rows: f64) -> Result<f64, DbError> {
+    if query.group_by.is_empty() {
+        return Ok(1.0);
+    }
+    let mut groups = 1.0;
+    for col in &query.group_by {
+        let stats = db.table_stats(&col.table)?;
+        let idx = db.column_index(&col.table, &col.column)?;
+        groups *= stats.columns[idx].distinct_count.max(1) as f64;
+    }
+    Ok(groups.min(input_rows.max(1.0)))
+}

@@ -1,0 +1,227 @@
+//! Logical query specification and SQL rendering.
+//!
+//! The workload generators produce [`Query`] values (select-project-join
+//! blocks with optional grouping, ordering and limits — exactly the fragment
+//! exercised by TPC-H, job-light and Sysbench's read-only mix). Queries can
+//! render themselves to SQL text; the simplified-template machinery in
+//! `qcfe-core` parses that text with the keyword table of the paper's
+//! Algorithm 1.
+
+use crate::expr::{ColumnRef, JoinCondition, Predicate};
+use serde::{Deserialize, Serialize};
+
+/// An aggregate function over a column (or `*`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(column)`.
+    Sum(ColumnRef),
+    /// `AVG(column)`.
+    Avg(ColumnRef),
+    /// `MIN(column)`.
+    Min(ColumnRef),
+    /// `MAX(column)`.
+    Max(ColumnRef),
+}
+
+impl Aggregate {
+    /// Render as SQL.
+    pub fn to_sql(&self) -> String {
+        match self {
+            Aggregate::CountStar => "COUNT(*)".to_string(),
+            Aggregate::Sum(c) => format!("SUM({c})"),
+            Aggregate::Avg(c) => format!("AVG({c})"),
+            Aggregate::Min(c) => format!("MIN({c})"),
+            Aggregate::Max(c) => format!("MAX({c})"),
+        }
+    }
+}
+
+/// A logical query: single SPJ block with optional aggregation/ordering.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Query {
+    /// Tables referenced (FROM clause), by name.
+    pub tables: Vec<String>,
+    /// Equi-join conditions between the tables.
+    pub joins: Vec<JoinCondition>,
+    /// Conjunctive filter predicates on base tables.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// Aggregate expressions in the SELECT list (empty = `SELECT *`).
+    pub aggregates: Vec<Aggregate>,
+    /// ORDER BY columns.
+    pub order_by: Vec<ColumnRef>,
+    /// LIMIT, if any.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Start building a query over one table.
+    pub fn scan(table: impl Into<String>) -> Self {
+        Query { tables: vec![table.into()], ..Default::default() }
+    }
+
+    /// Add a joined table with its join condition (builder style).
+    pub fn join(mut self, table: impl Into<String>, condition: JoinCondition) -> Self {
+        self.tables.push(table.into());
+        self.joins.push(condition);
+        self
+    }
+
+    /// Add a filter predicate (builder style).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicates.push(predicate);
+        self
+    }
+
+    /// Add a GROUP BY column (builder style).
+    pub fn group(mut self, column: ColumnRef) -> Self {
+        self.group_by.push(column);
+        self
+    }
+
+    /// Add an aggregate to the SELECT list (builder style).
+    pub fn aggregate(mut self, agg: Aggregate) -> Self {
+        self.aggregates.push(agg);
+        self
+    }
+
+    /// Add an ORDER BY column (builder style).
+    pub fn order(mut self, column: ColumnRef) -> Self {
+        self.order_by.push(column);
+        self
+    }
+
+    /// Set a LIMIT (builder style).
+    pub fn limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// All predicates that apply to the given base table.
+    pub fn predicates_for(&self, table: &str) -> Vec<&Predicate> {
+        self.predicates
+            .iter()
+            .filter(|p| p.column().table == table)
+            .collect()
+    }
+
+    /// Whether the query joins more than one table.
+    pub fn is_join_query(&self) -> bool {
+        self.tables.len() > 1
+    }
+
+    /// Whether the query aggregates (GROUP BY or aggregate functions).
+    pub fn is_aggregate_query(&self) -> bool {
+        !self.group_by.is_empty() || !self.aggregates.is_empty()
+    }
+
+    /// Render the query as SQL text.
+    pub fn to_sql(&self) -> String {
+        let select_list = if self.aggregates.is_empty() {
+            "*".to_string()
+        } else {
+            let mut items: Vec<String> = self.group_by.iter().map(|c| c.to_string()).collect();
+            items.extend(self.aggregates.iter().map(|a| a.to_sql()));
+            items.join(", ")
+        };
+        let mut sql = format!("SELECT {select_list} FROM {}", self.tables.join(", "));
+
+        let mut conditions: Vec<String> = self.joins.iter().map(|j| j.to_sql()).collect();
+        conditions.extend(self.predicates.iter().map(|p| p.to_sql()));
+        if !conditions.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&conditions.join(" AND "));
+        }
+        if !self.group_by.is_empty() {
+            let cols: Vec<String> = self.group_by.iter().map(|c| c.to_string()).collect();
+            sql.push_str(" GROUP BY ");
+            sql.push_str(&cols.join(", "));
+        }
+        if !self.order_by.is_empty() {
+            let cols: Vec<String> = self.order_by.iter().map(|c| c.to_string()).collect();
+            sql.push_str(" ORDER BY ");
+            sql.push_str(&cols.join(", "));
+        }
+        if let Some(n) = self.limit {
+            sql.push_str(&format!(" LIMIT {n}"));
+        }
+        sql.push(';');
+        sql
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CompareOp;
+    use crate::types::Value;
+
+    fn sample_query() -> Query {
+        Query::scan("orders")
+            .join(
+                "customer",
+                JoinCondition::new(
+                    ColumnRef::new("orders", "o_custkey"),
+                    ColumnRef::new("customer", "c_custkey"),
+                ),
+            )
+            .filter(Predicate::Compare {
+                column: ColumnRef::new("orders", "o_totalprice"),
+                op: CompareOp::Gt,
+                value: Value::Float(1000.0),
+            })
+            .group(ColumnRef::new("customer", "c_name"))
+            .aggregate(Aggregate::CountStar)
+            .aggregate(Aggregate::Sum(ColumnRef::new("orders", "o_totalprice")))
+            .order(ColumnRef::new("customer", "c_name"))
+            .limit(10)
+    }
+
+    #[test]
+    fn builder_accumulates_clauses() {
+        let q = sample_query();
+        assert_eq!(q.tables, vec!["orders", "customer"]);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.predicates.len(), 1);
+        assert!(q.is_join_query());
+        assert!(q.is_aggregate_query());
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.predicates_for("orders").len(), 1);
+        assert!(q.predicates_for("customer").is_empty());
+    }
+
+    #[test]
+    fn sql_rendering_contains_all_clauses() {
+        let sql = sample_query().to_sql();
+        assert!(sql.starts_with("SELECT customer.c_name, COUNT(*), SUM(orders.o_totalprice) FROM"));
+        assert!(sql.contains("orders, customer"));
+        assert!(sql.contains("WHERE orders.o_custkey = customer.c_custkey"));
+        assert!(sql.contains("orders.o_totalprice > 1000.0000"));
+        assert!(sql.contains("GROUP BY customer.c_name"));
+        assert!(sql.contains("ORDER BY customer.c_name"));
+        assert!(sql.ends_with("LIMIT 10;"));
+    }
+
+    #[test]
+    fn simple_scan_renders_select_star() {
+        let q = Query::scan("sbtest1").filter(Predicate::Compare {
+            column: ColumnRef::new("sbtest1", "id"),
+            op: CompareOp::Eq,
+            value: Value::Int(5),
+        });
+        assert_eq!(q.to_sql(), "SELECT * FROM sbtest1 WHERE sbtest1.id = 5;");
+        assert!(!q.is_join_query());
+        assert!(!q.is_aggregate_query());
+    }
+
+    #[test]
+    fn aggregates_render() {
+        assert_eq!(Aggregate::CountStar.to_sql(), "COUNT(*)");
+        assert_eq!(Aggregate::Avg(ColumnRef::new("t", "x")).to_sql(), "AVG(t.x)");
+        assert_eq!(Aggregate::Min(ColumnRef::new("t", "x")).to_sql(), "MIN(t.x)");
+        assert_eq!(Aggregate::Max(ColumnRef::new("t", "x")).to_sql(), "MAX(t.x)");
+    }
+}

@@ -1,0 +1,303 @@
+//! Table statistics (ANALYZE) and selectivity estimation.
+//!
+//! These are the "data statistics" features that existing learned estimators
+//! already encode (and that the PostgreSQL baseline uses). The statistics are
+//! equi-depth histograms plus most-common-value lists and distinct counts,
+//! mirroring PostgreSQL's `pg_stats`.
+
+use crate::data::{ColumnVector, TableData};
+use crate::expr::{CompareOp, Predicate};
+use crate::types::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of histogram buckets collected per column.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Number of most-common values tracked per column.
+pub const MCV_COUNT: usize = 8;
+
+/// Statistics of one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of rows sampled (here: all rows).
+    pub row_count: u64,
+    /// Number of distinct values.
+    pub distinct_count: u64,
+    /// Fraction of NULLs (always 0 for the synthetic generators, kept for
+    /// completeness).
+    pub null_fraction: f64,
+    /// Minimum value (numeric view), if the column is numeric.
+    pub min: Option<f64>,
+    /// Maximum value (numeric view), if the column is numeric.
+    pub max: Option<f64>,
+    /// Equi-depth histogram bucket boundaries (numeric columns only),
+    /// `buckets + 1` entries.
+    pub histogram: Vec<f64>,
+    /// Most common values and their frequencies (fraction of rows).
+    pub mcvs: Vec<(String, f64)>,
+}
+
+impl ColumnStats {
+    /// Collect statistics for a column.
+    pub fn analyze(column: &ColumnVector) -> Self {
+        let row_count = column.len() as u64;
+        let distinct_count = column.distinct_count().max(1);
+
+        // Numeric summary.
+        let mut numeric: Vec<f64> = (0..column.len())
+            .filter_map(|i| column.value(i).as_f64())
+            .collect();
+        let (min, max, histogram) = if numeric.is_empty() {
+            (None, None, Vec::new())
+        } else {
+            numeric.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let min = numeric[0];
+            let max = numeric[numeric.len() - 1];
+            let mut hist = Vec::with_capacity(HISTOGRAM_BUCKETS + 1);
+            for b in 0..=HISTOGRAM_BUCKETS {
+                let pos = (b * (numeric.len() - 1)) / HISTOGRAM_BUCKETS;
+                hist.push(numeric[pos]);
+            }
+            (Some(min), Some(max), hist)
+        };
+
+        // Most common values.
+        let mut freq: HashMap<String, u64> = HashMap::new();
+        for i in 0..column.len() {
+            *freq.entry(column.value(i).to_sql()).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<(String, u64)> = freq.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mcvs = pairs
+            .into_iter()
+            .take(MCV_COUNT)
+            .map(|(v, c)| (v, c as f64 / row_count.max(1) as f64))
+            .collect();
+
+        ColumnStats {
+            row_count,
+            distinct_count,
+            null_fraction: 0.0,
+            min,
+            max,
+            histogram,
+            mcvs,
+        }
+    }
+
+    /// Estimated selectivity of `column <op> literal` using the histogram,
+    /// MCVs and distinct count — a simplified PostgreSQL `clause_selectivity`.
+    pub fn selectivity(&self, predicate: &Predicate) -> f64 {
+        let sel = match predicate {
+            Predicate::Compare { op, value, .. } => match op {
+                CompareOp::Eq => self.equality_selectivity(value),
+                CompareOp::Neq => 1.0 - self.equality_selectivity(value),
+                CompareOp::Lt | CompareOp::Le => self.range_fraction_below(value),
+                CompareOp::Gt | CompareOp::Ge => 1.0 - self.range_fraction_below(value),
+            },
+            Predicate::Between { low, high, .. } => {
+                (self.range_fraction_below(high) - self.range_fraction_below(low)).max(0.0)
+            }
+            Predicate::InList { values, .. } => values
+                .iter()
+                .map(|v| self.equality_selectivity(v))
+                .sum::<f64>()
+                .min(1.0),
+            // LIKE with a leading wildcard: PostgreSQL falls back to a
+            // constant default selectivity.
+            Predicate::Like { pattern, .. } => {
+                if pattern.starts_with('%') {
+                    0.1
+                } else {
+                    0.02
+                }
+            }
+        };
+        sel.clamp(1e-6, 1.0)
+    }
+
+    fn equality_selectivity(&self, value: &Value) -> f64 {
+        let rendered = value.to_sql();
+        if let Some((_, f)) = self.mcvs.iter().find(|(v, _)| *v == rendered) {
+            return *f;
+        }
+        // Not an MCV: assume the remaining mass is spread uniformly over the
+        // remaining distinct values.
+        let mcv_mass: f64 = self.mcvs.iter().map(|(_, f)| f).sum();
+        let remaining_distinct = self
+            .distinct_count
+            .saturating_sub(self.mcvs.len() as u64)
+            .max(1) as f64;
+        ((1.0 - mcv_mass).max(0.0) / remaining_distinct).max(1.0 / self.row_count.max(1) as f64)
+    }
+
+    /// Fraction of rows with value strictly below `value` according to the
+    /// equi-depth histogram (numeric columns); 1/3 default otherwise.
+    fn range_fraction_below(&self, value: &Value) -> f64 {
+        let Some(v) = value.as_f64() else { return 1.0 / 3.0 };
+        if self.histogram.is_empty() {
+            return 1.0 / 3.0;
+        }
+        let (Some(min), Some(max)) = (self.min, self.max) else { return 1.0 / 3.0 };
+        if v <= min {
+            return 0.0;
+        }
+        if v >= max {
+            return 1.0;
+        }
+        // Find the bucket containing v and interpolate within it.
+        let buckets = self.histogram.len() - 1;
+        for b in 0..buckets {
+            let lo = self.histogram[b];
+            let hi = self.histogram[b + 1];
+            if v >= lo && v <= hi {
+                let within = if (hi - lo).abs() < 1e-12 { 0.5 } else { (v - lo) / (hi - lo) };
+                return (b as f64 + within) / buckets as f64;
+            }
+        }
+        1.0
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Number of rows.
+    pub row_count: u64,
+    /// Number of heap pages.
+    pub page_count: u64,
+    /// Per-column statistics, in schema column order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// ANALYZE a table: collect statistics for every column.
+    pub fn analyze(data: &TableData, tuple_width: usize) -> Self {
+        let row_count = data.row_count() as u64;
+        let page_count = qcfe_storage::page::pages_for(row_count, tuple_width);
+        let columns = (0..data.column_count())
+            .map(|c| ColumnStats::analyze(data.column(c)))
+            .collect();
+        TableStats { row_count, page_count, columns }
+    }
+
+    /// Estimated selectivity of a conjunction of predicates over this table,
+    /// assuming attribute independence (the PostgreSQL default).
+    pub fn conjunction_selectivity(&self, predicates: &[(usize, &Predicate)]) -> f64 {
+        predicates
+            .iter()
+            .map(|(col, p)| self.columns[*col].selectivity(p))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Estimated join selectivity for an equi-join between a column of this
+    /// table and a column of `other` (PostgreSQL's `1 / max(ndv_l, ndv_r)`).
+    pub fn join_selectivity(&self, column: usize, other: &TableStats, other_column: usize) -> f64 {
+        let ndv_l = self.columns[column].distinct_count.max(1) as f64;
+        let ndv_r = other.columns[other_column].distinct_count.max(1) as f64;
+        (1.0 / ndv_l.max(ndv_r)).clamp(1e-9, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ColumnRef;
+
+    fn cref() -> ColumnRef {
+        ColumnRef::new("t", "c")
+    }
+
+    fn uniform_int_column(n: i64) -> ColumnVector {
+        ColumnVector::Int((0..n).collect())
+    }
+
+    #[test]
+    fn analyze_uniform_column() {
+        let stats = ColumnStats::analyze(&uniform_int_column(1000));
+        assert_eq!(stats.row_count, 1000);
+        assert_eq!(stats.distinct_count, 1000);
+        assert_eq!(stats.min, Some(0.0));
+        assert_eq!(stats.max, Some(999.0));
+        assert_eq!(stats.histogram.len(), HISTOGRAM_BUCKETS + 1);
+        assert!(stats.mcvs.len() <= MCV_COUNT);
+    }
+
+    #[test]
+    fn range_selectivity_tracks_true_fraction() {
+        let stats = ColumnStats::analyze(&uniform_int_column(1000));
+        let p = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(250) };
+        let sel = stats.selectivity(&p);
+        assert!((sel - 0.25).abs() < 0.05, "sel {sel}");
+        let p = Predicate::Compare { column: cref(), op: CompareOp::Gt, value: Value::Int(900) };
+        let sel = stats.selectivity(&p);
+        assert!((sel - 0.1).abs() < 0.05, "sel {sel}");
+        let p = Predicate::Between {
+            column: cref(),
+            low: Value::Int(100),
+            high: Value::Int(300),
+        };
+        let sel = stats.selectivity(&p);
+        assert!((sel - 0.2).abs() < 0.05, "sel {sel}");
+    }
+
+    #[test]
+    fn equality_selectivity_uses_mcvs_for_skew() {
+        // 900 copies of 1, and 100 distinct tail values.
+        let mut vals = vec![1i64; 900];
+        vals.extend(2..102);
+        let stats = ColumnStats::analyze(&ColumnVector::Int(vals));
+        let hot = Predicate::Compare { column: cref(), op: CompareOp::Eq, value: Value::Int(1) };
+        let cold = Predicate::Compare { column: cref(), op: CompareOp::Eq, value: Value::Int(50) };
+        assert!(stats.selectivity(&hot) > 0.85);
+        assert!(stats.selectivity(&cold) < 0.02);
+    }
+
+    #[test]
+    fn out_of_range_predicates_clamp() {
+        let stats = ColumnStats::analyze(&uniform_int_column(100));
+        let below = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(-5) };
+        assert!(stats.selectivity(&below) <= 1e-5);
+        let above = Predicate::Compare { column: cref(), op: CompareOp::Le, value: Value::Int(1000) };
+        assert!(stats.selectivity(&above) >= 0.999);
+    }
+
+    #[test]
+    fn like_and_text_defaults() {
+        let col = ColumnVector::Text((0..100).map(|i| format!("v{i}")).collect());
+        let stats = ColumnStats::analyze(&col);
+        assert!(stats.min.is_none());
+        let p = Predicate::Like { column: cref(), pattern: "%x%".into() };
+        assert!((stats.selectivity(&p) - 0.1).abs() < 1e-9);
+        let p = Predicate::Like { column: cref(), pattern: "v1%".into() };
+        assert!((stats.selectivity(&p) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_stats_and_conjunction() {
+        let data = TableData::new(vec![uniform_int_column(1000), uniform_int_column(1000)]);
+        let stats = TableStats::analyze(&data, 100);
+        assert_eq!(stats.row_count, 1000);
+        assert!(stats.page_count > 1);
+        let p1 = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(500) };
+        let p2 = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(100) };
+        let sel = stats.conjunction_selectivity(&[(0, &p1), (1, &p2)]);
+        assert!((sel - 0.05).abs() < 0.02, "sel {sel}");
+        assert_eq!(stats.conjunction_selectivity(&[]), 1.0);
+    }
+
+    #[test]
+    fn join_selectivity_uses_larger_ndv() {
+        let big = TableStats::analyze(&TableData::new(vec![uniform_int_column(10_000)]), 8);
+        let small = TableStats::analyze(
+            &TableData::new(vec![ColumnVector::Int((0..100).map(|i| i % 10).collect())]),
+            8,
+        );
+        let sel = big.join_selectivity(0, &small, 0);
+        assert!((sel - 1.0 / 10_000.0).abs() < 1e-9);
+        let sel2 = small.join_selectivity(0, &big, 0);
+        assert_eq!(sel, sel2);
+    }
+}

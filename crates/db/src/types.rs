@@ -1,0 +1,245 @@
+//! Value and data-type primitives shared by the catalog, expressions and the
+//! execution simulator.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types supported by the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (used for decimals such as prices).
+    Float,
+    /// Variable-length string.
+    Text,
+    /// Date stored as days since 1970-01-01.
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Approximate on-disk width in bytes, used for tuple-width estimates.
+    pub fn width_bytes(&self) -> usize {
+        match self {
+            DataType::Int => 8,
+            DataType::Float => 8,
+            DataType::Text => 32,
+            DataType::Date => 8,
+            DataType::Bool => 1,
+        }
+    }
+
+    /// Whether values of this type have a natural total order usable for
+    /// histograms and B+tree indexes.
+    pub fn is_orderable(&self) -> bool {
+        !matches!(self, DataType::Bool)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Date => "DATE",
+            DataType::Bool => "BOOL",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Floating point value.
+    Float(f64),
+    /// Text value.
+    Text(String),
+    /// Date value, days since epoch.
+    Date(i64),
+    /// Boolean value.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The value's data type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// Is this the SQL NULL value?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value (ints, floats, dates and bools coerce;
+    /// text and NULL do not).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Date(v) => Some(*v as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Text(_) | Value::Null => None,
+        }
+    }
+
+    /// Integer view of the value if it is integer-like.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Date(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
+            _ => None,
+        }
+    }
+
+    /// Compare two values with SQL-ish semantics: NULL compares as `None`,
+    /// numeric types compare numerically, text compares lexicographically.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Render the value as a SQL literal.
+    pub fn to_sql(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v:.4}"),
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+            Value::Date(d) => format!("'{}'", format_date(*d)),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Null => "NULL".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_sql())
+    }
+}
+
+/// Render a days-since-epoch date as `YYYY-MM-DD` (civil-from-days
+/// algorithm, proleptic Gregorian calendar).
+pub fn format_date(days_since_epoch: i64) -> String {
+    let z = days_since_epoch + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Parse a `YYYY-MM-DD` date into days since epoch (inverse of
+/// [`format_date`]); returns `None` on malformed input.
+pub fn parse_date(s: &str) -> Option<i64> {
+    let mut parts = s.split('-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: i64 = parts.next()?.parse().ok()?;
+    let d: i64 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let y_adj = if m <= 2 { y - 1 } else { y };
+    let era = if y_adj >= 0 { y_adj } else { y_adj - 399 } / 400;
+    let yoe = y_adj - era * 400;
+    let mp = if m > 2 { m - 3 } else { m + 9 };
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    Some(era * 146_097 + doe - 719_468)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_orderability() {
+        assert_eq!(DataType::Int.width_bytes(), 8);
+        assert_eq!(DataType::Text.width_bytes(), 32);
+        assert!(DataType::Date.is_orderable());
+        assert!(!DataType::Bool.is_orderable());
+        assert_eq!(DataType::Float.to_string(), "FLOAT");
+    }
+
+    #[test]
+    fn value_type_and_coercions() {
+        assert_eq!(Value::Int(3).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Date(10).as_i64(), Some(10));
+        assert_eq!(Value::Float(1.5).as_i64(), None);
+    }
+
+    #[test]
+    fn comparisons_follow_sql_semantics() {
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Text("abc".into()).compare(&Value::Text("abd".into())), Some(Ordering::Less));
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn sql_rendering() {
+        assert_eq!(Value::Int(42).to_sql(), "42");
+        assert_eq!(Value::Text("o'hara".into()).to_sql(), "'o''hara'");
+        assert_eq!(Value::Bool(true).to_sql(), "TRUE");
+        assert_eq!(Value::Null.to_sql(), "NULL");
+        assert_eq!(Value::Float(2.5).to_sql(), "2.5000");
+        assert_eq!(format!("{}", Value::Int(7)), "7");
+    }
+
+    #[test]
+    fn date_roundtrip() {
+        for &(days, text) in &[
+            (0, "1970-01-01"),
+            (365, "1971-01-01"),
+            (19_723, "2024-01-01"),
+            (8_400, "1992-12-31"),
+        ] {
+            assert_eq!(format_date(days), text);
+            assert_eq!(parse_date(text), Some(days));
+        }
+        assert_eq!(parse_date("not-a-date"), None);
+        assert_eq!(parse_date("2024-13-01"), None);
+    }
+
+    #[test]
+    fn date_value_renders_as_quoted_literal() {
+        assert_eq!(Value::Date(0).to_sql(), "'1970-01-01'");
+    }
+}

@@ -1,0 +1,82 @@
+//! Finite-difference gradient checking helpers.
+//!
+//! Used by the test-suites of this crate and of `qcfe-core` to validate that
+//! analytic gradients (backprop and input gradients) match numerical
+//! derivatives — an essential guard given that the paper's GD baseline and
+//! the difference-propagation scores both depend on these quantities.
+
+use crate::mlp::Mlp;
+
+/// Numerically estimate the gradient of the first output unit of `mlp` with
+/// respect to each input feature using central differences.
+pub fn numeric_input_gradient(mlp: &Mlp, features: &[f64], epsilon: f64) -> Vec<f64> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let mut grad = Vec::with_capacity(features.len());
+    let mut probe = features.to_vec();
+    for i in 0..features.len() {
+        let original = probe[i];
+        probe[i] = original + epsilon;
+        let plus = mlp.predict_one(&probe);
+        probe[i] = original - epsilon;
+        let minus = mlp.predict_one(&probe);
+        probe[i] = original;
+        grad.push((plus - minus) / (2.0 * epsilon));
+    }
+    grad
+}
+
+/// Relative error between two gradient vectors, defined as
+/// `max_i |a_i - b_i| / max(1, max_i |a_i|, max_i |b_i|)`.
+pub fn relative_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "gradient vectors must have equal length");
+    let max_diff = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max);
+    let scale = a
+        .iter()
+        .chain(b)
+        .map(|v| v.abs())
+        .fold(1.0_f64, f64::max);
+    max_diff / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::Mlp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relative_error_of_identical_vectors_is_zero() {
+        assert_eq!(relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_is_scale_invariant_denominator() {
+        let e = relative_error(&[1000.0], &[1001.0]);
+        assert!(e < 0.01);
+        let e = relative_error(&[0.0], &[0.5]);
+        assert_eq!(e, 0.5);
+    }
+
+    #[test]
+    fn numeric_gradient_of_smooth_network_is_close_to_analytic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(&[4, 10, 6, 1], Activation::Sigmoid, &mut rng);
+        let x = [0.2, -0.4, 0.9, 0.05];
+        let analytic = mlp.input_gradient(&x);
+        let numeric = numeric_input_gradient(&mlp, &x, 1e-5);
+        assert!(relative_error(&analytic, &numeric) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(&[2, 2, 1], Activation::Relu, &mut rng);
+        let _ = numeric_input_gradient(&mlp, &[0.0, 0.0], 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! A fully-connected layer with cached forward state and an explicit
+//! backward pass.
+//!
+//! The layer computes `Y = act(X * W + b)` for a batch `X` (one sample per
+//! row). The backward pass consumes `dL/dY` and produces `dL/dX` while
+//! accumulating `dL/dW` and `dL/db` internally for the optimizer to consume.
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A dense (fully-connected) layer.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    /// Weight matrix of shape `(input_dim, output_dim)`.
+    weights: Matrix,
+    /// Bias vector of length `output_dim`.
+    biases: Vec<f64>,
+    /// Activation applied element-wise to the affine output.
+    activation: Activation,
+    /// Cached input of the most recent forward pass (batch x input_dim).
+    cached_input: Option<Matrix>,
+    /// Cached pre-activation of the most recent forward pass (batch x output_dim).
+    cached_pre_activation: Option<Matrix>,
+    /// Accumulated weight gradient.
+    grad_weights: Matrix,
+    /// Accumulated bias gradient.
+    grad_biases: Vec<f64>,
+}
+
+impl DenseLayer {
+    /// Create a layer with Xavier-uniform weights and zero biases.
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        DenseLayer {
+            weights: Matrix::xavier_uniform(input_dim, output_dim, rng),
+            biases: vec![0.0; output_dim],
+            activation,
+            cached_input: None,
+            cached_pre_activation: None,
+            grad_weights: Matrix::zeros(input_dim, output_dim),
+            grad_biases: vec![0.0; output_dim],
+        }
+    }
+
+    /// Create a layer with explicitly provided parameters (used in tests and
+    /// for reproducing the worked example of Figure 4 in the paper).
+    pub fn with_parameters(weights: Matrix, biases: Vec<f64>, activation: Activation) -> Self {
+        assert_eq!(weights.cols(), biases.len(), "bias length must equal output dim");
+        let (input_dim, output_dim) = weights.shape();
+        DenseLayer {
+            weights,
+            biases,
+            activation,
+            cached_input: None,
+            cached_pre_activation: None,
+            grad_weights: Matrix::zeros(input_dim, output_dim),
+            grad_biases: vec![0.0; output_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    pub fn parameter_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.biases.len()
+    }
+
+    /// Immutable access to the weights.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Immutable access to the biases.
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// Mutable access to the weights (used by optimizers).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Mutable access to the biases (used by optimizers).
+    pub fn biases_mut(&mut self) -> &mut [f64] {
+        &mut self.biases
+    }
+
+    /// Accumulated weight gradient from the most recent backward pass.
+    pub fn grad_weights(&self) -> &Matrix {
+        &self.grad_weights
+    }
+
+    /// Accumulated bias gradient from the most recent backward pass.
+    pub fn grad_biases(&self) -> &[f64] {
+        &self.grad_biases
+    }
+
+    /// Forward pass, caching the state needed for `backward`.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "forward: input has {} columns, layer expects {}",
+            input.cols(),
+            self.input_dim()
+        );
+        let pre = input.matmul(&self.weights).add_row_broadcast(&self.biases);
+        let out = pre.map(|v| self.activation.apply(v));
+        self.cached_input = Some(input.clone());
+        self.cached_pre_activation = Some(pre);
+        out
+    }
+
+    /// Forward pass without caching; usable on `&self` for pure inference.
+    pub fn forward_inference(&self, input: &Matrix) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim(), "forward_inference: dimension mismatch");
+        input
+            .matmul(&self.weights)
+            .add_row_broadcast(&self.biases)
+            .map(|v| self.activation.apply(v))
+    }
+
+    /// Backward pass.
+    ///
+    /// `grad_output` is `dL/dY` with one row per batch sample. Gradients with
+    /// respect to the parameters are *accumulated* (use [`zero_grad`] between
+    /// optimizer steps); the return value is `dL/dX`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let pre = self
+            .cached_pre_activation
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_output.shape(), pre.shape(), "backward: grad shape mismatch");
+
+        // dZ = dY ⊙ act'(Z)
+        let mut grad_pre = grad_output.clone();
+        for r in 0..grad_pre.rows() {
+            for c in 0..grad_pre.cols() {
+                let d = self.activation.derivative(pre.get(r, c));
+                grad_pre.set(r, c, grad_pre.get(r, c) * d);
+            }
+        }
+
+        // dW += X^T dZ ; db += colsum(dZ)
+        let grad_w = input.t_matmul(&grad_pre);
+        self.grad_weights.add_assign(&grad_w);
+        for (gb, s) in self.grad_biases.iter_mut().zip(grad_pre.col_sums()) {
+            *gb += s;
+        }
+
+        // dX = dZ W^T
+        grad_pre.matmul_t(&self.weights)
+    }
+
+    /// Functional forward pass that does not touch the internal cache.
+    ///
+    /// Returns `(pre_activation, output)`; the caller owns the cache. This is
+    /// what the tree-structured QPPNet trainer uses, because a single shared
+    /// neural unit is applied to many plan nodes before any backward pass
+    /// runs.
+    pub fn forward_explicit(&self, input: &Matrix) -> (Matrix, Matrix) {
+        assert_eq!(input.cols(), self.input_dim(), "forward_explicit: dimension mismatch");
+        let pre = input.matmul(&self.weights).add_row_broadcast(&self.biases);
+        let out = pre.map(|v| self.activation.apply(v));
+        (pre, out)
+    }
+
+    /// Functional backward pass using caller-provided cached state.
+    ///
+    /// Accumulates parameter gradients exactly like [`DenseLayer::backward`]
+    /// but takes the forward-pass `input` and `pre_activation` explicitly
+    /// instead of reading the internal cache.
+    pub fn backward_explicit(
+        &mut self,
+        input: &Matrix,
+        pre_activation: &Matrix,
+        grad_output: &Matrix,
+    ) -> Matrix {
+        assert_eq!(grad_output.shape(), pre_activation.shape(), "backward_explicit: grad shape");
+        assert_eq!(input.rows(), pre_activation.rows(), "backward_explicit: batch size");
+        let mut grad_pre = grad_output.clone();
+        for r in 0..grad_pre.rows() {
+            for c in 0..grad_pre.cols() {
+                let d = self.activation.derivative(pre_activation.get(r, c));
+                grad_pre.set(r, c, grad_pre.get(r, c) * d);
+            }
+        }
+        let grad_w = input.t_matmul(&grad_pre);
+        self.grad_weights.add_assign(&grad_w);
+        for (gb, s) in self.grad_biases.iter_mut().zip(grad_pre.col_sums()) {
+            *gb += s;
+        }
+        grad_pre.matmul_t(&self.weights)
+    }
+
+    /// Reset the accumulated parameter gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights = Matrix::zeros(self.input_dim(), self.output_dim());
+        for g in &mut self.grad_biases {
+            *g = 0.0;
+        }
+    }
+
+    /// Drop cached forward state (frees memory between epochs).
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+        self.cached_pre_activation = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_layer() -> DenseLayer {
+        // 2 inputs -> 2 outputs, identity activation, hand-set weights.
+        let w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        DenseLayer::with_parameters(w, vec![0.5, -0.5], Activation::Identity)
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut l = tiny_layer();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let y = l.forward(&x);
+        // [1,1] * [[1,2],[3,4]] + [0.5,-0.5] = [4.5, 5.5]
+        assert_eq!(y.row(0), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn relu_masks_negative_preactivations() {
+        let w = Matrix::from_vec(1, 2, vec![1.0, -1.0]);
+        let mut l = DenseLayer::with_parameters(w, vec![0.0, 0.0], Activation::Relu);
+        let y = l.forward(&Matrix::from_vec(1, 1, vec![2.0]));
+        assert_eq!(y.row(0), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_produces_expected_gradients() {
+        let mut l = tiny_layer();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let _ = l.forward(&x);
+        let grad_in = l.backward(&Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        // dX = dY * W^T = [1,1] * [[1,3],[2,4]] = [3, 7]
+        assert_eq!(grad_in.row(0), &[3.0, 7.0]);
+        // dW = X^T dY = [[1],[2]] * [1,1] = [[1,1],[2,2]]
+        assert_eq!(l.grad_weights().as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(l.grad_biases(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zero_grad() {
+        let mut l = tiny_layer();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        for _ in 0..3 {
+            let _ = l.forward(&x);
+            let _ = l.backward(&Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        }
+        assert_eq!(l.grad_weights().get(0, 0), 3.0);
+        l.zero_grad();
+        assert_eq!(l.grad_weights().get(0, 0), 0.0);
+        assert_eq!(l.grad_biases(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut l = DenseLayer::new(4, 3, Activation::Tanh, &mut rng);
+        let x = Matrix::from_vec(2, 4, (0..8).map(|i| i as f64 * 0.1).collect());
+        let a = l.forward(&x);
+        let b = l.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parameter_count_is_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let l = DenseLayer::new(10, 5, Activation::Relu, &mut rng);
+        assert_eq!(l.parameter_count(), 10 * 5 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = tiny_layer();
+        let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+}

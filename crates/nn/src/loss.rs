@@ -1,0 +1,190 @@
+//! Loss functions for scalar-output regression models.
+//!
+//! Query cost spans several orders of magnitude, so besides the plain MSE the
+//! crate offers a log-space MSE (`LogMse`) which is the loss actually used by
+//! the QPPNet/MSCN reimplementations: minimising squared error between
+//! `ln(1 + predicted)` and `ln(1 + actual)` closely tracks the q-error metric
+//! reported by the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported scalar regression losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error in linear space.
+    Mse,
+    /// Mean absolute error.
+    Mae,
+    /// Mean squared error between `ln(1 + pred)` and `ln(1 + actual)`.
+    LogMse,
+    /// Huber loss with delta = 1.0.
+    Huber,
+}
+
+impl Loss {
+    /// Loss value for a batch of (prediction, target) pairs.
+    pub fn value(&self, predictions: &[f64], targets: &[f64]) -> f64 {
+        assert_eq!(predictions.len(), targets.len(), "loss: length mismatch");
+        if predictions.is_empty() {
+            return 0.0;
+        }
+        let n = predictions.len() as f64;
+        match self {
+            Loss::Mse => {
+                predictions
+                    .iter()
+                    .zip(targets)
+                    .map(|(p, t)| (p - t).powi(2))
+                    .sum::<f64>()
+                    / n
+            }
+            Loss::Mae => {
+                predictions
+                    .iter()
+                    .zip(targets)
+                    .map(|(p, t)| (p - t).abs())
+                    .sum::<f64>()
+                    / n
+            }
+            Loss::LogMse => {
+                predictions
+                    .iter()
+                    .zip(targets)
+                    .map(|(p, t)| (log1p_clamped(*p) - log1p_clamped(*t)).powi(2))
+                    .sum::<f64>()
+                    / n
+            }
+            Loss::Huber => {
+                predictions
+                    .iter()
+                    .zip(targets)
+                    .map(|(p, t)| {
+                        let d = (p - t).abs();
+                        if d <= 1.0 {
+                            0.5 * d * d
+                        } else {
+                            d - 0.5
+                        }
+                    })
+                    .sum::<f64>()
+                    / n
+            }
+        }
+    }
+
+    /// Per-sample gradient `dL/dprediction` (already divided by the batch size).
+    pub fn gradient(&self, predictions: &[f64], targets: &[f64]) -> Vec<f64> {
+        assert_eq!(predictions.len(), targets.len(), "loss gradient: length mismatch");
+        let n = predictions.len().max(1) as f64;
+        match self {
+            Loss::Mse => predictions
+                .iter()
+                .zip(targets)
+                .map(|(p, t)| 2.0 * (p - t) / n)
+                .collect(),
+            Loss::Mae => predictions
+                .iter()
+                .zip(targets)
+                .map(|(p, t)| {
+                    let d = p - t;
+                    if d == 0.0 {
+                        0.0
+                    } else {
+                        d.signum() / n
+                    }
+                })
+                .collect(),
+            Loss::LogMse => predictions
+                .iter()
+                .zip(targets)
+                .map(|(p, t)| {
+                    let lp = log1p_clamped(*p);
+                    let lt = log1p_clamped(*t);
+                    // d/dp (lp - lt)^2 = 2 (lp - lt) * 1/(1 + max(p, 0))
+                    2.0 * (lp - lt) / (1.0 + p.max(0.0)) / n
+                })
+                .collect(),
+            Loss::Huber => predictions
+                .iter()
+                .zip(targets)
+                .map(|(p, t)| {
+                    let d = p - t;
+                    if d.abs() <= 1.0 {
+                        d / n
+                    } else {
+                        d.signum() / n
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `ln(1 + max(x, 0))`, guarding against negative intermediate predictions.
+#[inline]
+fn log1p_clamped(x: f64) -> f64 {
+    (1.0 + x.max(0.0)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let preds = vec![1.0, 2.0];
+        let targets = vec![0.0, 4.0];
+        assert!((Loss::Mse.value(&preds, &targets) - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        let g = Loss::Mse.gradient(&preds, &targets);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_is_scale_of_absolute_errors() {
+        let preds = vec![3.0, -1.0];
+        let targets = vec![1.0, 1.0];
+        assert!((Loss::Mae.value(&preds, &targets) - 2.0).abs() < 1e-12);
+        let g = Loss::Mae.gradient(&preds, &targets);
+        assert_eq!(g, vec![0.5, -0.5]);
+    }
+
+    #[test]
+    fn perfect_predictions_give_zero_loss() {
+        let v = vec![1.5, 200.0, 0.01];
+        for loss in [Loss::Mse, Loss::Mae, Loss::LogMse, Loss::Huber] {
+            assert_eq!(loss.value(&v, &v), 0.0, "{loss:?}");
+            assert!(loss.gradient(&v, &v).iter().all(|g| g.abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn logmse_compresses_large_errors() {
+        let preds = vec![10_000.0];
+        let targets = vec![1_000.0];
+        let lin = Loss::Mse.value(&preds, &targets);
+        let log = Loss::LogMse.value(&preds, &targets);
+        assert!(log < lin, "log-space loss must be far smaller for large costs");
+        assert!(log > 0.0);
+    }
+
+    #[test]
+    fn logmse_gradient_sign_matches_error_direction() {
+        let g_over = Loss::LogMse.gradient(&[100.0], &[10.0]);
+        assert!(g_over[0] > 0.0, "over-prediction should push the output down");
+        let g_under = Loss::LogMse.gradient(&[10.0], &[100.0]);
+        assert!(g_under[0] < 0.0, "under-prediction should push the output up");
+    }
+
+    #[test]
+    fn huber_is_quadratic_near_zero_and_linear_far_away() {
+        assert!((Loss::Huber.value(&[0.5], &[0.0]) - 0.125).abs() < 1e-12);
+        assert!((Loss::Huber.value(&[3.0], &[0.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_zero_loss() {
+        assert_eq!(Loss::Mse.value(&[], &[]), 0.0);
+        assert!(Loss::Mse.gradient(&[], &[]).is_empty());
+    }
+}

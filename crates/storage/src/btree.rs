@@ -1,0 +1,359 @@
+//! An in-memory B+tree index mapping `i64` keys to [`TupleId`]s.
+//!
+//! The tree is used two ways by the database substrate:
+//!
+//! 1. functionally — point lookups and range scans during simulated index
+//!    scans, so actual matched-tuple counts are exact;
+//! 2. structurally — `height()` and `leaf_page_count()` feed the index-scan
+//!    I/O model (root-to-leaf descent = random page reads, leaf traversal =
+//!    mostly sequential reads).
+//!
+//! Duplicate keys are supported (secondary indexes on skewed benchmark
+//! columns have heavy duplication).
+
+use crate::page::TupleId;
+use crate::StorageError;
+
+/// Default branching factor. Chosen so that a node roughly corresponds to an
+/// 8 KiB page holding (key, pointer) pairs of ~32 bytes each.
+pub const DEFAULT_ORDER: usize = 256;
+
+/// A B+tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// Separator keys; child `i` holds keys < `keys[i]`, the last child
+        /// holds the rest.
+        keys: Vec<i64>,
+        children: Vec<Node>,
+    },
+    Leaf {
+        /// Sorted keys.
+        keys: Vec<i64>,
+        /// One list of tuple ids per key (duplicates collapse onto one entry).
+        values: Vec<Vec<TupleId>>,
+    },
+}
+
+/// An in-memory B+tree.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    root: Node,
+    order: usize,
+    entry_count: u64,
+    distinct_keys: u64,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new(DEFAULT_ORDER)
+    }
+}
+
+impl BPlusTree {
+    /// Create an empty tree with the given branching factor (minimum 4).
+    pub fn new(order: usize) -> Self {
+        BPlusTree {
+            root: Node::Leaf { keys: Vec::new(), values: Vec::new() },
+            order: order.max(4),
+            entry_count: 0,
+            distinct_keys: 0,
+        }
+    }
+
+    /// Number of (key, tuple) entries.
+    pub fn len(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> u64 {
+        self.distinct_keys
+    }
+
+    /// Height of the tree (a single leaf has height 1).
+    pub fn height(&self) -> u32 {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+
+    /// Number of leaf nodes, a proxy for leaf pages.
+    pub fn leaf_page_count(&self) -> u64 {
+        fn count(node: &Node) -> u64 {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Internal { children, .. } => children.iter().map(count).sum(),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Insert a (key, tuple id) pair.
+    pub fn insert(&mut self, key: i64, tid: TupleId) {
+        let (split, inserted_new_key) = Self::insert_rec(&mut self.root, key, tid, self.order);
+        if let Some((sep, right)) = split {
+            // Grow a new root.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf { keys: Vec::new(), values: Vec::new() },
+            );
+            self.root = Node::Internal { keys: vec![sep], children: vec![old_root, *right] };
+        }
+        self.entry_count += 1;
+        if inserted_new_key {
+            self.distinct_keys += 1;
+        }
+    }
+
+    /// Recursive insert. Returns `(split, inserted_new_key)` where `split` is
+    /// `Some((separator, right_sibling))` if this node overflowed.
+    fn insert_rec(
+        node: &mut Node,
+        key: i64,
+        tid: TupleId,
+        order: usize,
+    ) -> (Option<(i64, Box<Node>)>, bool) {
+        match node {
+            Node::Leaf { keys, values } => {
+                let inserted_new_key = match keys.binary_search(&key) {
+                    Ok(pos) => {
+                        values[pos].push(tid);
+                        false
+                    }
+                    Err(pos) => {
+                        keys.insert(pos, key);
+                        values.insert(pos, vec![tid]);
+                        true
+                    }
+                };
+                if keys.len() > order {
+                    let mid = keys.len() / 2;
+                    let right_keys = keys.split_off(mid);
+                    let right_values = values.split_off(mid);
+                    let sep = right_keys[0];
+                    (
+                        Some((sep, Box::new(Node::Leaf { keys: right_keys, values: right_values }))),
+                        inserted_new_key,
+                    )
+                } else {
+                    (None, inserted_new_key)
+                }
+            }
+            Node::Internal { keys, children } => {
+                let child_idx = match keys.binary_search(&key) {
+                    Ok(pos) => pos + 1,
+                    Err(pos) => pos,
+                };
+                let (split, inserted_new_key) =
+                    Self::insert_rec(&mut children[child_idx], key, tid, order);
+                if let Some((sep, right)) = split {
+                    keys.insert(child_idx, sep);
+                    children.insert(child_idx + 1, *right);
+                    if keys.len() > order {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid];
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // remove the separator moving up
+                        let right_children = children.split_off(mid + 1);
+                        return (
+                            Some((
+                                sep_up,
+                                Box::new(Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                }),
+                            )),
+                            inserted_new_key,
+                        );
+                    }
+                }
+                (None, inserted_new_key)
+            }
+        }
+    }
+
+    /// Exact-match lookup; returns all tuple ids for the key.
+    pub fn get(&self, key: i64) -> Result<&[TupleId], StorageError> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(&key) {
+                        Ok(pos) => pos + 1,
+                        Err(pos) => pos,
+                    };
+                    node = &children[idx];
+                }
+                Node::Leaf { keys, values } => {
+                    return match keys.binary_search(&key) {
+                        Ok(pos) => Ok(&values[pos]),
+                        Err(_) => Err(StorageError::KeyNotFound(key)),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Inclusive range scan; returns matching tuple ids in key order.
+    pub fn range(&self, lo: i64, hi: i64) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        Self::range_rec(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_rec(node: &Node, lo: i64, hi: i64, out: &mut Vec<TupleId>) {
+        match node {
+            Node::Leaf { keys, values } => {
+                let start = keys.partition_point(|&k| k < lo);
+                for (k, vs) in keys[start..].iter().zip(&values[start..]) {
+                    if *k > hi {
+                        break;
+                    }
+                    out.extend_from_slice(vs);
+                }
+            }
+            Node::Internal { keys, children } => {
+                // Visit every child that may overlap [lo, hi].
+                let first = keys.partition_point(|&k| k <= lo);
+                let first = first.min(children.len() - 1);
+                for (i, child) in children.iter().enumerate().skip(first.saturating_sub(1)) {
+                    // child i covers keys < keys[i] (or the tail)
+                    let child_min_bound = if i == 0 { i64::MIN } else { keys[i - 1] };
+                    if child_min_bound > hi {
+                        break;
+                    }
+                    Self::range_rec(child, lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// Number of leaf nodes a range scan over `matched` entries touches.
+    pub fn leaf_pages_for_range(&self, matched: u64) -> u64 {
+        if self.entry_count == 0 {
+            return 1;
+        }
+        let per_leaf = (self.entry_count as f64 / self.leaf_page_count() as f64).max(1.0);
+        ((matched as f64 / per_leaf).ceil() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u64) -> TupleId {
+        TupleId::new(i / 100, (i % 100) as u16)
+    }
+
+    #[test]
+    fn empty_tree_properties() {
+        let t = BPlusTree::new(8);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaf_page_count(), 1);
+        assert!(t.get(42).is_err());
+        assert!(t.range(0, 100).is_empty());
+    }
+
+    #[test]
+    fn insert_and_point_lookup() {
+        let mut t = BPlusTree::new(8);
+        for i in 0..1000 {
+            t.insert(i, tid(i as u64));
+        }
+        assert_eq!(t.len(), 1000);
+        for i in (0..1000).step_by(37) {
+            let hits = t.get(i).unwrap();
+            assert_eq!(hits, &[tid(i as u64)]);
+        }
+        assert!(t.get(5000).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_accumulate() {
+        let mut t = BPlusTree::new(8);
+        for i in 0..100 {
+            t.insert(7, tid(i));
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(7).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn range_scan_returns_sorted_matches() {
+        let mut t = BPlusTree::new(8);
+        // insert in a scrambled order
+        let mut keys: Vec<i64> = (0..2000).collect();
+        let mut state = 12345u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            t.insert(k, tid(k as u64));
+        }
+        let hits = t.range(500, 699);
+        assert_eq!(hits.len(), 200);
+        // every returned tid decodes back into the 500..=699 key range
+        for h in &hits {
+            let k = h.page * 100 + h.slot as u64;
+            assert!((500..=699).contains(&(k as i64)));
+        }
+        assert!(t.range(10, 5).is_empty());
+        assert_eq!(t.range(-100, -1).len(), 0);
+        assert_eq!(t.range(0, 5000).len(), 2000);
+    }
+
+    #[test]
+    fn tree_grows_in_height_and_leaves() {
+        let mut t = BPlusTree::new(8);
+        for i in 0..5000 {
+            t.insert(i, tid(i as u64));
+        }
+        assert!(t.height() >= 3, "height {}", t.height());
+        assert!(t.leaf_page_count() > 100);
+        // structure invariant: all keys reachable
+        assert_eq!(t.range(0, 4999).len(), 5000);
+    }
+
+    #[test]
+    fn leaf_pages_for_range_scales_with_match_count() {
+        let mut t = BPlusTree::new(64);
+        for i in 0..10_000 {
+            t.insert(i, tid(i as u64));
+        }
+        let small = t.leaf_pages_for_range(10);
+        let large = t.leaf_pages_for_range(5_000);
+        assert!(small >= 1);
+        assert!(large > small);
+        assert!(large <= t.leaf_page_count());
+    }
+
+    #[test]
+    fn default_order_handles_bulk_load() {
+        let mut t = BPlusTree::default();
+        for i in 0..20_000 {
+            t.insert(i % 997, tid(i as u64));
+        }
+        assert_eq!(t.len(), 20_000);
+        assert_eq!(t.distinct_keys() as usize, 997.min(t.distinct_keys() as usize));
+        let hits = t.get(3).unwrap();
+        assert!(hits.len() >= 20);
+    }
+}

@@ -1,0 +1,239 @@
+//! LRU buffer pool.
+//!
+//! The buffer pool converts *logical* page accesses into *physical* reads:
+//! pages that are already cached cost only CPU, pages that miss cost a disk
+//! read. Its capacity is driven by the `shared_buffers` knob of the database
+//! environment, which is one of the "ignored variables" whose influence the
+//! feature snapshot has to capture.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::page::PageId;
+
+/// Result of touching one page through the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The page was already resident.
+    Hit,
+    /// The page had to be read from disk (and possibly evicted another page).
+    Miss,
+}
+
+/// Aggregate buffer pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferPoolStats {
+    /// Number of logical accesses.
+    pub accesses: u64,
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses (physical reads).
+    pub misses: u64,
+    /// Number of evictions performed.
+    pub evictions: u64,
+}
+
+impl BufferPoolStats {
+    /// Hit ratio in `[0, 1]` (1.0 when there were no accesses).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A table-aware page key: pages of different relations must not collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferKey {
+    /// Identifier of the relation (or index) the page belongs to.
+    pub relation: u32,
+    /// Page number within the relation.
+    pub page: PageId,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Map from key to LRU clock value.
+    resident: HashMap<BufferKey, u64>,
+    clock: u64,
+    stats: BufferPoolStats,
+}
+
+/// An LRU buffer pool with a fixed page capacity.
+///
+/// The pool is thread-safe (interior mutability behind a `parking_lot`
+/// mutex) so the workload collector can label queries from multiple threads.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Create a pool with room for `capacity` pages (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BufferPool { capacity: capacity.max(1), inner: Mutex::new(PoolInner::default()) }
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Touch a single page, returning whether it hit or missed.
+    pub fn access(&self, relation: u32, page: PageId) -> AccessOutcome {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        inner.stats.accesses += 1;
+        let key = BufferKey { relation, page };
+        let clock = inner.clock;
+        if inner.resident.contains_key(&key) {
+            inner.resident.insert(key, clock);
+            inner.stats.hits += 1;
+            return AccessOutcome::Hit;
+        }
+        inner.stats.misses += 1;
+        if inner.resident.len() >= self.capacity {
+            // Evict the least recently used page.
+            if let Some((&victim, _)) = inner.resident.iter().min_by_key(|(_, &ts)| ts) {
+                inner.resident.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.resident.insert(key, clock);
+        AccessOutcome::Miss
+    }
+
+    /// Touch a run of sequential pages `[start, start + count)` of one
+    /// relation, returning the number of physical reads incurred.
+    pub fn access_sequential(&self, relation: u32, start: PageId, count: u64) -> u64 {
+        let mut misses = 0;
+        for p in start..start.saturating_add(count) {
+            if self.access(relation, p) == AccessOutcome::Miss {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> BufferPoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().resident.len()
+    }
+
+    /// Drop all cached pages and reset statistics (used between experiment
+    /// configurations so environments do not leak cache state into each
+    /// other).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.resident.clear();
+        inner.stats = BufferPoolStats::default();
+        inner.clock = 0;
+    }
+
+    /// Estimate, without touching the pool, what fraction of `pages_needed`
+    /// accesses would physically hit disk for a relation of `relation_pages`
+    /// pages given the pool capacity — the analytical shortcut used by the
+    /// planner (Mackert–Lohman style approximation).
+    pub fn expected_miss_fraction(&self, relation_pages: u64, pages_needed: u64) -> f64 {
+        if pages_needed == 0 {
+            return 0.0;
+        }
+        let cap = self.capacity as f64;
+        let rel = relation_pages.max(1) as f64;
+        if rel <= cap {
+            // The whole relation fits: only the first touch of each page misses.
+            (rel.min(pages_needed as f64) / pages_needed as f64).min(1.0)
+        } else {
+            // Larger than the cache: assume the cached fraction hits.
+            (1.0 - cap / rel).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_after_first_miss() {
+        let pool = BufferPool::new(10);
+        assert_eq!(pool.access(0, 1), AccessOutcome::Miss);
+        assert_eq!(pool.access(0, 1), AccessOutcome::Hit);
+        let s = pool.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let pool = BufferPool::new(3);
+        for p in 0..3 {
+            pool.access(0, p);
+        }
+        assert_eq!(pool.resident_pages(), 3);
+        // touch page 0 so it becomes most recent; page 1 is now LRU
+        pool.access(0, 0);
+        pool.access(0, 99); // evicts page 1
+        assert_eq!(pool.resident_pages(), 3);
+        assert_eq!(pool.access(0, 0), AccessOutcome::Hit);
+        assert_eq!(pool.access(0, 1), AccessOutcome::Miss, "page 1 must have been evicted");
+        assert!(pool.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn relations_do_not_collide() {
+        let pool = BufferPool::new(10);
+        pool.access(1, 5);
+        assert_eq!(pool.access(2, 5), AccessOutcome::Miss);
+        assert_eq!(pool.access(1, 5), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn sequential_access_counts_misses() {
+        let pool = BufferPool::new(100);
+        let misses = pool.access_sequential(0, 0, 50);
+        assert_eq!(misses, 50);
+        let misses = pool.access_sequential(0, 0, 50);
+        assert_eq!(misses, 0, "second scan is fully cached");
+        let misses = pool.access_sequential(0, 0, 200);
+        assert!(misses >= 150, "pages beyond capacity must miss");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let pool = BufferPool::new(4);
+        pool.access_sequential(0, 0, 10);
+        pool.clear();
+        assert_eq!(pool.resident_pages(), 0);
+        assert_eq!(pool.stats(), BufferPoolStats::default());
+        assert_eq!(pool.stats().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn expected_miss_fraction_behaviour() {
+        let pool = BufferPool::new(100);
+        // relation fits in cache: repeated scans mostly hit
+        let f = pool.expected_miss_fraction(50, 500);
+        assert!(f <= 0.1 + 1e-9);
+        // relation much larger than cache: most accesses miss
+        let f = pool.expected_miss_fraction(10_000, 10_000);
+        assert!(f > 0.9);
+        assert_eq!(pool.expected_miss_fraction(10, 0), 0.0);
+    }
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufferPool>();
+    }
+}

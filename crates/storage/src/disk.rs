@@ -1,0 +1,162 @@
+//! Disk hardware profiles.
+//!
+//! The paper's Figure 1 shows that the *same* queries cost 2–3x more or less
+//! depending on the database environment; the disk is one of the largest
+//! contributors. A [`DiskProfile`] converts physical sequential/random page
+//! reads into milliseconds, with per-device ratios taken from typical
+//! published latencies (HDD ~ 10 ms seeks, SATA SSD ~ 100 µs, NVMe ~ 20 µs).
+
+use serde::{Deserialize, Serialize};
+
+/// The class of storage device backing the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskKind {
+    /// Spinning disk: cheap sequential reads, very expensive random reads.
+    Hdd,
+    /// SATA solid-state disk.
+    SataSsd,
+    /// NVMe solid-state disk.
+    NvmeSsd,
+    /// Everything already in the OS page cache (e.g. a RAM-disk test rig).
+    InMemory,
+}
+
+impl DiskKind {
+    /// All supported kinds (useful when sampling environments).
+    pub const ALL: [DiskKind; 4] =
+        [DiskKind::Hdd, DiskKind::SataSsd, DiskKind::NvmeSsd, DiskKind::InMemory];
+}
+
+/// Timing model of a disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskProfile {
+    /// Device class.
+    pub kind: DiskKind,
+    /// Milliseconds to read one 8 KiB page sequentially.
+    pub sequential_page_ms: f64,
+    /// Milliseconds to read one 8 KiB page at a random offset.
+    pub random_page_ms: f64,
+    /// Milliseconds to write one 8 KiB page.
+    pub write_page_ms: f64,
+}
+
+impl DiskProfile {
+    /// Canonical profile for a device class.
+    pub fn of(kind: DiskKind) -> Self {
+        match kind {
+            DiskKind::Hdd => DiskProfile {
+                kind,
+                sequential_page_ms: 0.05,
+                random_page_ms: 4.0,
+                write_page_ms: 0.08,
+            },
+            DiskKind::SataSsd => DiskProfile {
+                kind,
+                sequential_page_ms: 0.015,
+                random_page_ms: 0.10,
+                write_page_ms: 0.03,
+            },
+            DiskKind::NvmeSsd => DiskProfile {
+                kind,
+                sequential_page_ms: 0.004,
+                random_page_ms: 0.02,
+                write_page_ms: 0.008,
+            },
+            DiskKind::InMemory => DiskProfile {
+                kind,
+                sequential_page_ms: 0.0005,
+                random_page_ms: 0.0008,
+                write_page_ms: 0.0005,
+            },
+        }
+    }
+
+    /// Total read time for a mix of sequential and random physical page reads.
+    pub fn read_time_ms(&self, sequential_pages: f64, random_pages: f64) -> f64 {
+        sequential_pages.max(0.0) * self.sequential_page_ms
+            + random_pages.max(0.0) * self.random_page_ms
+    }
+
+    /// Total write time for `pages` physical page writes.
+    pub fn write_time_ms(&self, pages: f64) -> f64 {
+        pages.max(0.0) * self.write_page_ms
+    }
+
+    /// Ratio of random to sequential page cost — the physical analogue of
+    /// PostgreSQL's `random_page_cost / seq_page_cost`.
+    pub fn random_to_sequential_ratio(&self) -> f64 {
+        self.random_page_ms / self.sequential_page_ms
+    }
+
+    /// Derive a scaled profile, e.g. to model a throttled cloud volume.
+    pub fn scaled(&self, factor: f64) -> DiskProfile {
+        DiskProfile {
+            kind: self.kind,
+            sequential_page_ms: self.sequential_page_ms * factor,
+            random_page_ms: self.random_page_ms * factor,
+            write_page_ms: self.write_page_ms * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_profiles_are_ordered_by_speed() {
+        let hdd = DiskProfile::of(DiskKind::Hdd);
+        let sata = DiskProfile::of(DiskKind::SataSsd);
+        let nvme = DiskProfile::of(DiskKind::NvmeSsd);
+        let mem = DiskProfile::of(DiskKind::InMemory);
+        assert!(hdd.random_page_ms > sata.random_page_ms);
+        assert!(sata.random_page_ms > nvme.random_page_ms);
+        assert!(nvme.random_page_ms > mem.random_page_ms);
+    }
+
+    #[test]
+    fn hdd_has_a_large_random_penalty() {
+        let hdd = DiskProfile::of(DiskKind::Hdd);
+        assert!(hdd.random_to_sequential_ratio() > 20.0);
+        let nvme = DiskProfile::of(DiskKind::NvmeSsd);
+        assert!(nvme.random_to_sequential_ratio() < 10.0);
+    }
+
+    #[test]
+    fn read_time_is_linear_in_page_counts() {
+        let d = DiskProfile::of(DiskKind::SataSsd);
+        let t1 = d.read_time_ms(100.0, 10.0);
+        let t2 = d.read_time_ms(200.0, 20.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-9);
+        assert_eq!(d.read_time_ms(0.0, 0.0), 0.0);
+        // negative inputs are clamped rather than producing negative time
+        assert_eq!(d.read_time_ms(-5.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn scaled_profile_multiplies_all_latencies() {
+        let d = DiskProfile::of(DiskKind::NvmeSsd).scaled(3.0);
+        let base = DiskProfile::of(DiskKind::NvmeSsd);
+        assert!((d.sequential_page_ms - 3.0 * base.sequential_page_ms).abs() < 1e-12);
+        assert!((d.random_page_ms - 3.0 * base.random_page_ms).abs() < 1e-12);
+        assert!((d.write_page_ms - 3.0 * base.write_page_ms).abs() < 1e-12);
+        assert_eq!(d.kind, DiskKind::NvmeSsd);
+    }
+
+    #[test]
+    fn write_time_accumulates() {
+        let d = DiskProfile::of(DiskKind::Hdd);
+        assert!(d.write_time_ms(10.0) > 0.0);
+        assert_eq!(d.write_time_ms(-1.0), 0.0);
+    }
+
+    #[test]
+    fn all_kinds_enumerated() {
+        assert_eq!(DiskKind::ALL.len(), 4);
+        for k in DiskKind::ALL {
+            let p = DiskProfile::of(k);
+            assert!(p.sequential_page_ms > 0.0);
+            assert!(p.random_page_ms >= p.sequential_page_ms);
+        }
+    }
+}

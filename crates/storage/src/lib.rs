@@ -1,0 +1,132 @@
+//! # qcfe-storage — storage-engine substrate
+//!
+//! The QCFE paper's "ignored variables" include the *storage structure*
+//! (B+tree vs LSM), the *hardware* (disk and memory) and the buffer-cache
+//! behaviour of the DBMS. To reproduce the paper without a running
+//! PostgreSQL instance, this crate provides a small but real storage engine
+//! that the `qcfe-db` execution simulator drives:
+//!
+//! * [`page`] — slotted pages with a fixed 8 KiB size (PostgreSQL's default),
+//! * [`heap`] — heap files built from slotted pages,
+//! * [`btree`] — an order-configurable B+tree index mapping integer keys to
+//!   tuple ids, with range scans and height/leaf accounting,
+//! * [`lsm`] — a simple leveled LSM tree used as the alternative storage
+//!   format, exhibiting the higher read-amplification the paper alludes to,
+//! * [`buffer`] — an LRU buffer pool that turns logical page accesses into
+//!   physical reads depending on `shared_buffers`-style capacity,
+//! * [`disk`] — disk/hardware profiles that translate physical I/O counts
+//!   into time.
+//!
+//! The execution simulator asks this crate two kinds of questions: "how many
+//! logical/physical page accesses does this access path perform?" and "how
+//! long do those accesses take on this hardware?". Both are deterministic,
+//! which keeps the experiment harness reproducible.
+
+pub mod btree;
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod lsm;
+pub mod page;
+
+pub use btree::BPlusTree;
+pub use buffer::{AccessOutcome, BufferPool, BufferPoolStats};
+pub use disk::{DiskKind, DiskProfile};
+pub use heap::HeapFile;
+pub use lsm::LsmTree;
+pub use page::{Page, PageId, SlotId, TupleId, PAGE_SIZE};
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The tuple does not fit in a page.
+    TupleTooLarge {
+        /// Size of the tuple that was rejected.
+        size: usize,
+        /// Maximum tuple size a page can hold.
+        max: usize,
+    },
+    /// A page id was out of range for the file.
+    InvalidPage(u64),
+    /// A slot id was out of range for the page.
+    InvalidSlot {
+        /// Page on which the access was attempted.
+        page: u64,
+        /// Slot index that was requested.
+        slot: u16,
+    },
+    /// A key was not found where one was required.
+    KeyNotFound(i64),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::TupleTooLarge { size, max } => {
+                write!(f, "tuple of {size} bytes exceeds the page payload limit of {max} bytes")
+            }
+            StorageError::InvalidPage(id) => write!(f, "page {id} does not exist"),
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "slot {slot} does not exist on page {page}")
+            }
+            StorageError::KeyNotFound(k) => write!(f, "key {k} not found"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Physical storage format of a relation, one of the paper's
+/// "ignored variables".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StorageFormat {
+    /// Heap file with optional B+tree secondary indexes (PostgreSQL-style).
+    HeapBTree,
+    /// Log-structured merge tree (RocksDB-style), higher read amplification,
+    /// cheaper writes.
+    Lsm,
+}
+
+impl StorageFormat {
+    /// All supported formats, useful for environment sampling.
+    pub const ALL: [StorageFormat; 2] = [StorageFormat::HeapBTree, StorageFormat::Lsm];
+
+    /// Multiplier applied to point/range read I/O relative to a plain heap +
+    /// B+tree layout. LSM pays read amplification across levels.
+    pub fn read_amplification(&self) -> f64 {
+        match self {
+            StorageFormat::HeapBTree => 1.0,
+            StorageFormat::Lsm => 1.6,
+        }
+    }
+
+    /// Multiplier applied to write I/O. LSM writes are cheaper (sequential).
+    pub fn write_amplification(&self) -> f64 {
+        match self {
+            StorageFormat::HeapBTree => 1.0,
+            StorageFormat::Lsm => 0.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = StorageError::TupleTooLarge { size: 9000, max: 8000 };
+        assert!(e.to_string().contains("9000"));
+        assert!(StorageError::InvalidPage(7).to_string().contains('7'));
+        assert!(StorageError::InvalidSlot { page: 1, slot: 2 }.to_string().contains("slot 2"));
+        assert!(StorageError::KeyNotFound(-5).to_string().contains("-5"));
+    }
+
+    #[test]
+    fn storage_formats_have_sensible_amplification() {
+        assert_eq!(StorageFormat::HeapBTree.read_amplification(), 1.0);
+        assert!(StorageFormat::Lsm.read_amplification() > 1.0);
+        assert!(StorageFormat::Lsm.write_amplification() < 1.0);
+        assert_eq!(StorageFormat::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! A simple leveled LSM tree.
+//!
+//! This is the "alternative storage structure" of the paper's ignored
+//! variables. It is deliberately small: an in-memory memtable plus a list of
+//! sorted immutable runs per level, with size-tiered flush/compaction. What
+//! the cost simulator needs from it is (a) functional reads so actual
+//! cardinalities stay exact and (b) structural read-amplification numbers
+//! (how many runs a lookup has to consult).
+
+use crate::page::TupleId;
+
+/// Entries per memtable before it is flushed into level 0.
+pub const DEFAULT_MEMTABLE_CAPACITY: usize = 4096;
+
+/// Growth factor between levels.
+pub const LEVEL_FANOUT: usize = 4;
+
+/// One immutable sorted run.
+#[derive(Debug, Clone, Default)]
+struct SortedRun {
+    /// Sorted (key, tuple id) pairs.
+    entries: Vec<(i64, TupleId)>,
+}
+
+impl SortedRun {
+    fn get(&self, key: i64) -> Vec<TupleId> {
+        let start = self.entries.partition_point(|(k, _)| *k < key);
+        self.entries[start..]
+            .iter()
+            .take_while(|(k, _)| *k == key)
+            .map(|(_, t)| *t)
+            .collect()
+    }
+
+    fn range(&self, lo: i64, hi: i64, out: &mut Vec<TupleId>) {
+        let start = self.entries.partition_point(|(k, _)| *k < lo);
+        for (k, t) in &self.entries[start..] {
+            if *k > hi {
+                break;
+            }
+            out.push(*t);
+        }
+    }
+}
+
+/// A leveled LSM tree over `i64` keys.
+#[derive(Debug, Clone)]
+pub struct LsmTree {
+    memtable: Vec<(i64, TupleId)>,
+    memtable_capacity: usize,
+    /// `levels[0]` may contain several overlapping runs; deeper levels hold
+    /// one (conceptually compacted) run each in this simplified model.
+    levels: Vec<Vec<SortedRun>>,
+    entry_count: u64,
+    flush_count: u64,
+    compaction_count: u64,
+}
+
+impl Default for LsmTree {
+    fn default() -> Self {
+        Self::new(DEFAULT_MEMTABLE_CAPACITY)
+    }
+}
+
+impl LsmTree {
+    /// Create an empty tree with the given memtable capacity (minimum 16).
+    pub fn new(memtable_capacity: usize) -> Self {
+        LsmTree {
+            memtable: Vec::new(),
+            memtable_capacity: memtable_capacity.max(16),
+            levels: Vec::new(),
+            entry_count: 0,
+            flush_count: 0,
+            compaction_count: 0,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// True when no entries have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count == 0
+    }
+
+    /// Number of levels currently materialised.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of memtable flushes so far.
+    pub fn flush_count(&self) -> u64 {
+        self.flush_count
+    }
+
+    /// Number of compactions so far.
+    pub fn compaction_count(&self) -> u64 {
+        self.compaction_count
+    }
+
+    /// Total number of sorted runs a point lookup may need to consult
+    /// (memtable + all runs). This is the read-amplification proxy used by
+    /// the cost model.
+    pub fn run_count(&self) -> usize {
+        1 + self.levels.iter().map(|l| l.len()).sum::<usize>()
+    }
+
+    /// Insert a (key, tuple id) pair.
+    pub fn insert(&mut self, key: i64, tid: TupleId) {
+        self.memtable.push((key, tid));
+        self.entry_count += 1;
+        if self.memtable.len() >= self.memtable_capacity {
+            self.flush();
+        }
+    }
+
+    /// Flush the memtable into level 0 and trigger compaction if needed.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.memtable);
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(SortedRun { entries });
+        self.flush_count += 1;
+        self.maybe_compact(0);
+    }
+
+    /// Size-tiered compaction: when a level accumulates `LEVEL_FANOUT` runs
+    /// they are merged into a single run one level down.
+    fn maybe_compact(&mut self, level: usize) {
+        if self.levels[level].len() < LEVEL_FANOUT {
+            return;
+        }
+        let runs = std::mem::take(&mut self.levels[level]);
+        let mut merged: Vec<(i64, TupleId)> =
+            runs.into_iter().flat_map(|r| r.entries).collect();
+        merged.sort_unstable_by_key(|(k, _)| *k);
+        if self.levels.len() <= level + 1 {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level + 1].push(SortedRun { entries: merged });
+        self.compaction_count += 1;
+        self.maybe_compact(level + 1);
+    }
+
+    /// Point lookup: all tuple ids stored under `key`.
+    pub fn get(&self, key: i64) -> Vec<TupleId> {
+        let mut out: Vec<TupleId> = self
+            .memtable
+            .iter()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, t)| *t)
+            .collect();
+        for level in &self.levels {
+            for run in level {
+                out.extend(run.get(key));
+            }
+        }
+        out
+    }
+
+    /// Inclusive range scan.
+    pub fn range(&self, lo: i64, hi: i64) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        for (k, t) in &self.memtable {
+            if (lo..=hi).contains(k) {
+                out.push(*t);
+            }
+        }
+        for level in &self.levels {
+            for run in level {
+                run.range(lo, hi, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u64) -> TupleId {
+        TupleId::new(i, 0)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = LsmTree::default();
+        assert!(t.is_empty());
+        assert_eq!(t.run_count(), 1);
+        assert!(t.get(1).is_empty());
+        assert!(t.range(0, 10).is_empty());
+    }
+
+    #[test]
+    fn inserts_are_readable_before_and_after_flush() {
+        let mut t = LsmTree::new(16);
+        for i in 0..100 {
+            t.insert(i, tid(i as u64));
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.flush_count() > 0, "small memtable must have flushed");
+        for i in (0..100).step_by(7) {
+            assert_eq!(t.get(i), vec![tid(i as u64)]);
+        }
+    }
+
+    #[test]
+    fn range_scan_finds_all_matches_across_runs() {
+        let mut t = LsmTree::new(32);
+        for i in (0..1000).rev() {
+            t.insert(i, tid(i as u64));
+        }
+        let hits = t.range(100, 199);
+        assert_eq!(hits.len(), 100);
+        assert!(t.range(2000, 3000).is_empty());
+        assert!(t.range(50, 10).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let mut t = LsmTree::new(16);
+        for i in 0..64 {
+            t.insert(5, tid(i));
+        }
+        assert_eq!(t.get(5).len(), 64);
+    }
+
+    #[test]
+    fn compaction_bounds_run_count() {
+        let mut t = LsmTree::new(16);
+        for i in 0..10_000 {
+            t.insert(i % 200, tid(i as u64));
+        }
+        assert!(t.compaction_count() > 0);
+        // with fanout 4 and periodic compaction, runs stay manageable
+        assert!(t.run_count() < 40, "run count {}", t.run_count());
+        assert!(t.level_count() >= 2);
+        // all data still present
+        assert_eq!(t.range(0, 199).len(), 10_000);
+    }
+
+    #[test]
+    fn explicit_flush_is_idempotent_when_memtable_empty() {
+        let mut t = LsmTree::new(1000);
+        t.insert(1, tid(1));
+        t.flush();
+        let flushes = t.flush_count();
+        t.flush();
+        assert_eq!(t.flush_count(), flushes);
+        assert_eq!(t.get(1), vec![tid(1)]);
+    }
+}

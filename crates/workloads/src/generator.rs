@@ -1,0 +1,158 @@
+//! Low-level synthetic data generation helpers (skewed integers, strings,
+//! dates, correlated columns).
+
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+
+/// Draw a Zipf-distributed value in `[1, n]` with exponent `s`.
+/// Falls back to uniform when the distribution cannot be constructed.
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, n: u64, s: f64) -> u64 {
+    match Zipf::new(n.max(1), s.max(0.01)) {
+        Ok(dist) => dist.sample(rng) as u64,
+        Err(_) => rng.gen_range(1..=n.max(1)),
+    }
+}
+
+/// A skew specification for generated columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf-distributed with the given exponent (1.0 = classic Zipf).
+    Zipf(f64),
+}
+
+/// Generate `count` integers over `[min, max]` with the given skew.
+pub fn int_column<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    min: i64,
+    max: i64,
+    skew: Skew,
+) -> Vec<i64> {
+    let span = (max - min).max(0) as u64 + 1;
+    (0..count)
+        .map(|_| match skew {
+            Skew::Uniform => rng.gen_range(min..=max.max(min)),
+            Skew::Zipf(s) => min + (zipf(rng, span, s) - 1) as i64,
+        })
+        .collect()
+}
+
+/// Generate a dense key column `0..count` (primary keys).
+pub fn key_column(count: usize) -> Vec<i64> {
+    (0..count as i64).collect()
+}
+
+/// Generate a foreign-key column referencing `0..parent_count` with skew.
+pub fn fk_column<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    parent_count: usize,
+    skew: Skew,
+) -> Vec<i64> {
+    int_column(rng, count, 0, parent_count.saturating_sub(1).max(0) as i64, skew)
+}
+
+/// Generate floats over `[min, max)` uniformly.
+pub fn float_column<R: Rng + ?Sized>(rng: &mut R, count: usize, min: f64, max: f64) -> Vec<f64> {
+    (0..count).map(|_| rng.gen_range(min..max)).collect()
+}
+
+/// Generate dates (days since epoch) uniformly over `[min_day, max_day]`.
+pub fn date_column<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    min_day: i64,
+    max_day: i64,
+) -> Vec<i64> {
+    (0..count).map(|_| rng.gen_range(min_day..=max_day)).collect()
+}
+
+/// Generate strings of the form `prefix_<k>` where `k` is drawn from
+/// `[0, cardinality)`, giving a text column with a controlled distinct count.
+pub fn text_column<R: Rng + ?Sized>(
+    rng: &mut R,
+    count: usize,
+    prefix: &str,
+    cardinality: usize,
+) -> Vec<String> {
+    (0..count)
+        .map(|_| format!("{prefix}_{}", rng.gen_range(0..cardinality.max(1))))
+        .collect()
+}
+
+/// Pick a random element of a slice.
+pub fn choose<'a, T, R: Rng + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn key_column_is_dense() {
+        let k = key_column(100);
+        assert_eq!(k.len(), 100);
+        assert_eq!(k[0], 0);
+        assert_eq!(k[99], 99);
+    }
+
+    #[test]
+    fn int_column_respects_bounds() {
+        let mut r = rng();
+        let vals = int_column(&mut r, 1000, 10, 20, Skew::Uniform);
+        assert!(vals.iter().all(|&v| (10..=20).contains(&v)));
+        let vals = int_column(&mut r, 1000, 0, 999, Skew::Zipf(1.1));
+        assert!(vals.iter().all(|&v| (0..=999).contains(&v)));
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_values() {
+        let mut r = rng();
+        let vals = int_column(&mut r, 5000, 0, 999, Skew::Zipf(1.2));
+        let small = vals.iter().filter(|&&v| v < 10).count();
+        let large = vals.iter().filter(|&&v| v >= 990).count();
+        assert!(small > large * 5, "small {small} large {large}");
+    }
+
+    #[test]
+    fn fk_column_references_parent_range() {
+        let mut r = rng();
+        let fks = fk_column(&mut r, 500, 50, Skew::Uniform);
+        assert!(fks.iter().all(|&v| (0..50).contains(&v)));
+    }
+
+    #[test]
+    fn float_and_date_columns_in_range() {
+        let mut r = rng();
+        let fs = float_column(&mut r, 200, 1.0, 2.0);
+        assert!(fs.iter().all(|&v| (1.0..2.0).contains(&v)));
+        let ds = date_column(&mut r, 200, 8000, 9000);
+        assert!(ds.iter().all(|&v| (8000..=9000).contains(&v)));
+    }
+
+    #[test]
+    fn text_column_has_bounded_cardinality() {
+        let mut r = rng();
+        let ts = text_column(&mut r, 1000, "color", 7);
+        let distinct: std::collections::HashSet<&String> = ts.iter().collect();
+        assert!(distinct.len() <= 7);
+        assert!(ts[0].starts_with("color_"));
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let mut r = rng();
+        let items = [1, 2, 3];
+        for _ in 0..10 {
+            assert!(items.contains(choose(&mut r, &items)));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! job-light-shaped benchmark over an IMDB-like schema.
+//!
+//! The real job-light workload consists of 70 queries, each joining `title`
+//! with one to four of the satellite tables (`movie_companies`, `cast_info`,
+//! `movie_info`, `movie_info_idx`, `movie_keyword`) on `movie_id`, with
+//! simple range/equality predicates. The templates here are generated
+//! programmatically with the same structure and the same size distribution.
+
+use crate::generator as gen;
+use crate::template::{Benchmark, ParamDomain, ParamOp, PredicateSpec, QueryTemplate};
+use qcfe_db::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Satellite tables joinable to `title`.
+pub const SATELLITES: [&str; 5] =
+    ["movie_companies", "cast_info", "movie_info", "movie_info_idx", "movie_keyword"];
+
+/// Base row counts at scale 1.0 (downscaled from the real IMDB sizes by
+/// roughly 50x so that scale = 1.0 stays laptop friendly).
+fn base_rows(table: &str) -> usize {
+    match table {
+        "title" => 50_000,
+        "movie_companies" => 52_000,
+        "cast_info" => 72_000,
+        "movie_info" => 60_000,
+        "movie_info_idx" => 27_000,
+        "movie_keyword" => 45_000,
+        _ => 10_000,
+    }
+}
+
+/// Rows for a table at the given scale.
+pub fn rows_at_scale(table: &str, scale: f64) -> usize {
+    ((base_rows(table) as f64 * scale) as usize).max(200)
+}
+
+/// Build the IMDB-subset catalog used by job-light.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("title")
+            .column("id", DataType::Int)
+            .column("kind_id", DataType::Int)
+            .column("production_year", DataType::Int)
+            .primary_key("id")
+            .index("production_year"),
+    );
+    c.add_table(
+        TableBuilder::new("movie_companies")
+            .column("id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("company_id", DataType::Int)
+            .column("company_type_id", DataType::Int)
+            .primary_key("id")
+            .index("movie_id"),
+    );
+    c.add_table(
+        TableBuilder::new("cast_info")
+            .column("id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("person_id", DataType::Int)
+            .column("role_id", DataType::Int)
+            .primary_key("id")
+            .index("movie_id"),
+    );
+    c.add_table(
+        TableBuilder::new("movie_info")
+            .column("id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("info_type_id", DataType::Int)
+            .primary_key("id")
+            .index("movie_id"),
+    );
+    c.add_table(
+        TableBuilder::new("movie_info_idx")
+            .column("id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("info_type_id", DataType::Int)
+            .primary_key("id")
+            .index("movie_id"),
+    );
+    c.add_table(
+        TableBuilder::new("movie_keyword")
+            .column("id", DataType::Int)
+            .column("movie_id", DataType::Int)
+            .column("keyword_id", DataType::Int)
+            .primary_key("id")
+            .index("movie_id"),
+    );
+    c
+}
+
+/// Generate data for every table at the given scale.
+pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_title = rows_at_scale("title", scale);
+
+    let title = TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n_title)),
+        ColumnVector::Int(gen::int_column(&mut rng, n_title, 1, 7, gen::Skew::Zipf(1.0))),
+        ColumnVector::Int(gen::int_column(&mut rng, n_title, 1880, 2019, gen::Skew::Zipf(0.4))),
+    ]);
+
+    let satellite = |rng: &mut StdRng, table: &str, extra_card: i64, extra_skew: gen::Skew| {
+        let n = rows_at_scale(table, scale);
+        TableData::new(vec![
+            ColumnVector::Int(gen::key_column(n)),
+            ColumnVector::Int(gen::fk_column(rng, n, n_title, gen::Skew::Zipf(0.7))),
+            ColumnVector::Int(gen::int_column(rng, n, 1, extra_card, extra_skew)),
+            // fourth column only for tables that have one; added below
+        ])
+    };
+
+    let movie_companies = {
+        let n = rows_at_scale("movie_companies", scale);
+        TableData::new(vec![
+            ColumnVector::Int(gen::key_column(n)),
+            ColumnVector::Int(gen::fk_column(&mut rng, n, n_title, gen::Skew::Zipf(0.7))),
+            ColumnVector::Int(gen::int_column(&mut rng, n, 1, 5000, gen::Skew::Zipf(1.0))),
+            ColumnVector::Int(gen::int_column(&mut rng, n, 1, 2, gen::Skew::Uniform)),
+        ])
+    };
+    let cast_info = {
+        let n = rows_at_scale("cast_info", scale);
+        TableData::new(vec![
+            ColumnVector::Int(gen::key_column(n)),
+            ColumnVector::Int(gen::fk_column(&mut rng, n, n_title, gen::Skew::Zipf(0.7))),
+            ColumnVector::Int(gen::int_column(&mut rng, n, 1, 100_000, gen::Skew::Zipf(0.9))),
+            ColumnVector::Int(gen::int_column(&mut rng, n, 1, 11, gen::Skew::Zipf(0.8))),
+        ])
+    };
+    let movie_info = satellite(&mut rng, "movie_info", 113, gen::Skew::Zipf(1.0));
+    let movie_info_idx = satellite(&mut rng, "movie_info_idx", 113, gen::Skew::Zipf(1.0));
+    let movie_keyword = {
+        let n = rows_at_scale("movie_keyword", scale);
+        TableData::new(vec![
+            ColumnVector::Int(gen::key_column(n)),
+            ColumnVector::Int(gen::fk_column(&mut rng, n, n_title, gen::Skew::Zipf(0.7))),
+            ColumnVector::Int(gen::int_column(&mut rng, n, 1, 20_000, gen::Skew::Zipf(1.1))),
+        ])
+    };
+
+    vec![title, movie_companies, cast_info, movie_info, movie_info_idx, movie_keyword]
+}
+
+fn title_year_pred() -> PredicateSpec {
+    PredicateSpec::always(
+        ColumnRef::new("title", "production_year"),
+        ParamOp::Compare(None),
+        ParamDomain::IntRange { min: 1950, max: 2015 },
+    )
+}
+
+fn satellite_pred(table: &str) -> Option<PredicateSpec> {
+    let (column, max) = match table {
+        "movie_companies" => ("company_type_id", 2),
+        "cast_info" => ("role_id", 11),
+        "movie_info" | "movie_info_idx" => ("info_type_id", 113),
+        "movie_keyword" => ("keyword_id", 20_000),
+        _ => return None,
+    };
+    Some(PredicateSpec::sometimes(
+        ColumnRef::new(table, column),
+        if table == "movie_keyword" { ParamOp::Compare(None) } else { ParamOp::Eq },
+        ParamDomain::IntRange { min: 1, max },
+        0.7,
+    ))
+}
+
+/// The 70 job-light-style templates: every non-empty subset of satellites of
+/// size 1–4 combined with a few predicate variants, truncated to 70.
+pub fn templates() -> Vec<QueryTemplate> {
+    let mut out = Vec::new();
+    let mut id = 0usize;
+
+    // Enumerate subsets of the 5 satellites with 1..=4 members.
+    for mask in 1u32..(1 << SATELLITES.len()) {
+        let members: Vec<&str> = SATELLITES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
+        if members.len() > 4 {
+            continue;
+        }
+        // Two predicate variants per join shape: with and without the
+        // title.kind_id filter.
+        for variant in 0..3 {
+            if out.len() >= 70 {
+                break;
+            }
+            id += 1;
+            let mut predicates = vec![title_year_pred()];
+            if variant >= 1 {
+                predicates.push(PredicateSpec::always(
+                    ColumnRef::new("title", "kind_id"),
+                    ParamOp::Eq,
+                    ParamDomain::IntRange { min: 1, max: 7 },
+                ));
+            }
+            if variant == 2 {
+                for m in &members {
+                    if let Some(p) = satellite_pred(m) {
+                        predicates.push(p);
+                    }
+                }
+            }
+            let mut tables = vec!["title".to_string()];
+            tables.extend(members.iter().map(|m| m.to_string()));
+            let joins = members
+                .iter()
+                .map(|m| {
+                    JoinCondition::new(ColumnRef::new("title", "id"), ColumnRef::new(*m, "movie_id"))
+                })
+                .collect();
+            out.push(QueryTemplate {
+                id,
+                name: format!("joblight_{id:02}_{}", members.join("_")),
+                tables,
+                joins,
+                predicates,
+                group_by: vec![],
+                aggregates: vec![Aggregate::CountStar],
+                order_by: vec![],
+                limit: None,
+            });
+        }
+        if out.len() >= 70 {
+            break;
+        }
+    }
+    out
+}
+
+/// Build the job-light-style benchmark at a given scale.
+pub fn benchmark(scale: f64, seed: u64) -> Benchmark {
+    Benchmark {
+        name: "job-light".into(),
+        catalog: catalog(),
+        data: generate_data(scale, seed),
+        templates: templates(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalog_has_title_and_satellites() {
+        let c = catalog();
+        assert_eq!(c.table_count(), 6);
+        assert!(c.table_by_name("title").is_some());
+        for s in SATELLITES {
+            let t = c.table_by_name(s).unwrap();
+            assert!(t.column_index("movie_id").is_some(), "{s} must have movie_id");
+            assert!(t.has_index(t.column_index("movie_id").unwrap()));
+        }
+    }
+
+    #[test]
+    fn templates_have_job_light_shape() {
+        let ts = templates();
+        assert_eq!(ts.len(), 70, "job-light has 70 queries");
+        for t in &ts {
+            assert_eq!(t.tables[0], "title");
+            assert_eq!(t.joins.len(), t.tables.len() - 1);
+            assert!(t.tables.len() >= 2 && t.tables.len() <= 5);
+            assert_eq!(t.aggregates, vec![Aggregate::CountStar]);
+        }
+        // all join sizes 1..=4 appear
+        let sizes: std::collections::HashSet<usize> = ts.iter().map(|t| t.joins.len()).collect();
+        assert!(sizes.contains(&1) && sizes.contains(&2) && sizes.contains(&3) && sizes.contains(&4));
+    }
+
+    #[test]
+    fn data_generates_and_queries_execute() {
+        let bench = benchmark(0.01, 3);
+        assert_eq!(bench.data.len(), 6);
+        let db = bench.build_database(DbEnvironment::reference());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for t in bench.templates.iter().step_by(9) {
+            let q = t.instantiate(&mut rng);
+            let executed = db.execute(&q, &mut rng).expect("query should run");
+            assert!(executed.total_ms > 0.0);
+            assert!(executed.root.node_count() >= 2 + t.joins.len());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! # qcfe-workloads — benchmark schemas, data generators and query templates
+//!
+//! Provides the three benchmarks the QCFE paper evaluates on, rebuilt as
+//! synthetic but structurally faithful workloads over the `qcfe-db`
+//! substrate:
+//!
+//! * [`tpch`] — the eight-table TPC-H schema with 22 query templates,
+//! * [`joblight`] — an IMDB-subset schema with the 70 join templates of
+//!   job-light,
+//! * [`sysbench`] — the single-table `oltp_read_only` mix.
+//!
+//! All three expose a `benchmark(scale, seed) -> Benchmark` constructor; the
+//! returned [`Benchmark`](template::Benchmark) bundles catalog, data and
+//! templates and can build a [`qcfe_db::Database`] for any environment.
+
+pub mod generator;
+pub mod joblight;
+pub mod sysbench;
+pub mod template;
+pub mod tpch;
+
+pub use template::{Benchmark, ParamDomain, ParamOp, PredicateSpec, QueryTemplate};
+
+/// Which benchmark to build (used by the experiment harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BenchmarkKind {
+    /// TPC-H-style OLAP workload.
+    Tpch,
+    /// job-light-style IMDB join workload.
+    JobLight,
+    /// Sysbench-style OLTP read-only workload.
+    Sysbench,
+}
+
+impl BenchmarkKind {
+    /// All benchmarks, in the order the paper reports them.
+    pub const ALL: [BenchmarkKind; 3] =
+        [BenchmarkKind::Tpch, BenchmarkKind::Sysbench, BenchmarkKind::JobLight];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BenchmarkKind::Tpch => "TPCH",
+            BenchmarkKind::JobLight => "job-light",
+            BenchmarkKind::Sysbench => "Sysbench",
+        }
+    }
+
+    /// Build the benchmark at the given scale.
+    pub fn build(&self, scale: f64, seed: u64) -> Benchmark {
+        match self {
+            BenchmarkKind::Tpch => tpch::benchmark(scale, seed),
+            BenchmarkKind::JobLight => joblight::benchmark(scale, seed),
+            BenchmarkKind::Sysbench => sysbench::benchmark(scale, seed),
+        }
+    }
+
+    /// A scale factor suitable for fast experiments on a laptop (used by the
+    /// `--quick` mode of the harness).
+    pub fn quick_scale(&self) -> f64 {
+        match self {
+            BenchmarkKind::Tpch => 0.001,
+            BenchmarkKind::JobLight => 0.02,
+            BenchmarkKind::Sysbench => 0.002,
+        }
+    }
+
+    /// The default scale factor used by the full experiment harness.
+    pub fn default_scale(&self) -> f64 {
+        match self {
+            BenchmarkKind::Tpch => 0.004,
+            BenchmarkKind::JobLight => 0.1,
+            BenchmarkKind::Sysbench => 0.01,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_kinds_enumerate_and_build() {
+        assert_eq!(BenchmarkKind::ALL.len(), 3);
+        for kind in BenchmarkKind::ALL {
+            assert!(!kind.name().is_empty());
+            assert!(kind.quick_scale() <= kind.default_scale());
+            let bench = kind.build(kind.quick_scale(), 1);
+            assert!(!bench.templates.is_empty(), "{:?}", kind);
+            assert!(bench.total_rows() > 0);
+            assert_eq!(bench.catalog.table_count(), bench.data.len());
+        }
+    }
+
+    #[test]
+    fn template_counts_match_the_paper() {
+        assert_eq!(tpch::templates().len(), 22);
+        assert_eq!(joblight::templates().len(), 70);
+        assert_eq!(sysbench::templates_for(1000).len(), 5);
+    }
+}

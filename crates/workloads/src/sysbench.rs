@@ -1,0 +1,199 @@
+//! Sysbench-style OLTP benchmark: a single `sbtest1` table and the
+//! `oltp_read_only` query mix (point selects, simple/sum/order/distinct
+//! range queries).
+
+use crate::generator as gen;
+use crate::template::{Benchmark, ParamDomain, ParamOp, PredicateSpec, QueryTemplate};
+use qcfe_db::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default table size used by the paper (5,000,000 rows); scaled down by the
+/// `scale` argument of [`benchmark`].
+pub const FULL_TABLE_SIZE: usize = 5_000_000;
+
+/// Rows at the given scale (min 1000 so range queries stay meaningful).
+pub fn rows_at_scale(scale: f64) -> usize {
+    ((FULL_TABLE_SIZE as f64 * scale) as usize).max(1000)
+}
+
+/// Build the sysbench catalog (a single table, as in `oltp_common.lua`).
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("sbtest1")
+            .column("id", DataType::Int)
+            .column("k", DataType::Int)
+            .column("c", DataType::Text)
+            .column("pad", DataType::Text)
+            .primary_key("id")
+            .index("k"),
+    );
+    c
+}
+
+/// Generate the `sbtest1` data.
+pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows_at_scale(scale);
+    vec![TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n)),
+        ColumnVector::Int(gen::int_column(&mut rng, n, 0, n as i64 / 2, gen::Skew::Zipf(0.9))),
+        ColumnVector::Text(gen::text_column(&mut rng, n, "c", 997)),
+        ColumnVector::Text(gen::text_column(&mut rng, n, "pad", 97)),
+    ])]
+}
+
+/// The five query shapes of `oltp_read_only.lua`.
+pub fn templates_for(rows: usize) -> Vec<QueryTemplate> {
+    let id_domain = ParamDomain::IntRange { min: 0, max: rows.saturating_sub(100).max(1) as i64 };
+    let idc = ColumnRef::new("sbtest1", "id");
+    let kc = ColumnRef::new("sbtest1", "k");
+    let cc = ColumnRef::new("sbtest1", "c");
+
+    vec![
+        // 1. Point selects: SELECT c FROM sbtest1 WHERE id = ?
+        QueryTemplate {
+            id: 1,
+            name: "point_select".into(),
+            tables: vec!["sbtest1".into()],
+            joins: vec![],
+            predicates: vec![PredicateSpec::always(idc.clone(), ParamOp::Eq, id_domain.clone())],
+            group_by: vec![],
+            aggregates: vec![],
+            order_by: vec![],
+            limit: None,
+        },
+        // 2. Simple ranges: WHERE id BETWEEN ? AND ?+99
+        QueryTemplate {
+            id: 2,
+            name: "simple_range".into(),
+            tables: vec!["sbtest1".into()],
+            joins: vec![],
+            predicates: vec![PredicateSpec::always(
+                idc.clone(),
+                ParamOp::Between { width: 99 },
+                id_domain.clone(),
+            )],
+            group_by: vec![],
+            aggregates: vec![],
+            order_by: vec![],
+            limit: None,
+        },
+        // 3. Sum ranges: SELECT SUM(k) WHERE id BETWEEN ...
+        QueryTemplate {
+            id: 3,
+            name: "sum_range".into(),
+            tables: vec!["sbtest1".into()],
+            joins: vec![],
+            predicates: vec![PredicateSpec::always(
+                idc.clone(),
+                ParamOp::Between { width: 99 },
+                id_domain.clone(),
+            )],
+            group_by: vec![],
+            aggregates: vec![Aggregate::Sum(kc.clone())],
+            order_by: vec![],
+            limit: None,
+        },
+        // 4. Order ranges: SELECT c WHERE id BETWEEN ... ORDER BY c
+        QueryTemplate {
+            id: 4,
+            name: "order_range".into(),
+            tables: vec!["sbtest1".into()],
+            joins: vec![],
+            predicates: vec![PredicateSpec::always(
+                idc.clone(),
+                ParamOp::Between { width: 99 },
+                id_domain.clone(),
+            )],
+            group_by: vec![],
+            aggregates: vec![],
+            order_by: vec![cc.clone()],
+            limit: None,
+        },
+        // 5. Distinct ranges: SELECT DISTINCT c WHERE id BETWEEN ... ORDER BY c
+        //    (DISTINCT modelled as GROUP BY c).
+        QueryTemplate {
+            id: 5,
+            name: "distinct_range".into(),
+            tables: vec!["sbtest1".into()],
+            joins: vec![],
+            predicates: vec![PredicateSpec::always(
+                idc,
+                ParamOp::Between { width: 99 },
+                id_domain,
+            )],
+            group_by: vec![cc.clone()],
+            aggregates: vec![Aggregate::CountStar],
+            order_by: vec![cc],
+            limit: None,
+        },
+    ]
+}
+
+/// Build the sysbench benchmark at a given scale.
+pub fn benchmark(scale: f64, seed: u64) -> Benchmark {
+    let data = generate_data(scale, seed);
+    let rows = data[0].row_count();
+    Benchmark {
+        name: "sysbench".into(),
+        catalog: catalog(),
+        data,
+        templates: templates_for(rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalog_matches_oltp_common() {
+        let c = catalog();
+        assert_eq!(c.table_count(), 1);
+        let t = c.table_by_name("sbtest1").unwrap();
+        assert_eq!(t.columns.len(), 4);
+        assert_eq!(t.primary_key, Some(0));
+        assert!(t.has_index(1), "secondary index on k");
+    }
+
+    #[test]
+    fn five_read_only_templates() {
+        let ts = templates_for(10_000);
+        assert_eq!(ts.len(), 5);
+        let names: Vec<&str> = ts.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["point_select", "simple_range", "sum_range", "order_range", "distinct_range"]
+        );
+        assert!(ts.iter().all(|t| t.tables == vec!["sbtest1".to_string()]));
+    }
+
+    #[test]
+    fn queries_execute_with_sensible_cardinalities() {
+        let bench = benchmark(0.002, 21);
+        let rows = bench.data[0].row_count();
+        assert!(rows >= 1000);
+        let db = bench.build_database(DbEnvironment::reference());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+
+        // point select returns exactly one row
+        let q = bench.templates[0].instantiate(&mut rng);
+        let e = db.execute(&q, &mut rng).unwrap();
+        assert_eq!(e.root.actual_rows, 1.0);
+
+        // simple range returns about 100 rows
+        let q = bench.templates[1].instantiate(&mut rng);
+        let e = db.execute(&q, &mut rng).unwrap();
+        assert!(e.root.actual_rows >= 50.0 && e.root.actual_rows <= 100.0, "{}", e.root.actual_rows);
+
+        // distinct range produces a sort + aggregate in the plan
+        let q = bench.templates[4].instantiate(&mut rng);
+        let plan = db.plan(&q).unwrap();
+        let kinds = plan.operator_kinds();
+        assert!(kinds.contains(&OperatorKind::Sort));
+        assert!(kinds.contains(&OperatorKind::Aggregate));
+    }
+}

@@ -1,0 +1,331 @@
+//! Parameterised query templates and the `Benchmark` bundle.
+//!
+//! A [`QueryTemplate`] fixes the structural part of a query (tables, join
+//! graph, grouping, ordering) and leaves predicate constants to be drawn at
+//! instantiation time — exactly how TPC-H query templates and the job-light
+//! workload behave, and the representation the paper's Algorithm 1 consumes
+//! ("original query templates").
+
+use qcfe_db::prelude::*;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The domain a predicate parameter is drawn from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamDomain {
+    /// Integer range (inclusive).
+    IntRange {
+        /// Minimum value.
+        min: i64,
+        /// Maximum value.
+        max: i64,
+    },
+    /// Float range.
+    FloatRange {
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+    },
+    /// Date range in days since epoch (inclusive).
+    DateRange {
+        /// Minimum day.
+        min: i64,
+        /// Maximum day.
+        max: i64,
+    },
+    /// One of a fixed list of values.
+    Choice(Vec<Value>),
+    /// A LIKE pattern built as `%<word>%` from one of the listed words.
+    LikeWords(Vec<String>),
+}
+
+impl ParamDomain {
+    /// Draw one literal from the domain.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Value {
+        match self {
+            ParamDomain::IntRange { min, max } => Value::Int(rng.gen_range(*min..=*max.max(min))),
+            ParamDomain::FloatRange { min, max } => {
+                Value::Float(rng.gen_range(*min..max.max(min + 1e-9)))
+            }
+            ParamDomain::DateRange { min, max } => Value::Date(rng.gen_range(*min..=*max.max(min))),
+            ParamDomain::Choice(values) => values[rng.gen_range(0..values.len())].clone(),
+            ParamDomain::LikeWords(words) => {
+                Value::Text(words[rng.gen_range(0..words.len())].clone())
+            }
+        }
+    }
+}
+
+/// The shape of a parameterised predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamOp {
+    /// A single comparison with a random operator from the given set
+    /// (`None` = any of `<, <=, >, >=, =`).
+    Compare(Option<CompareOp>),
+    /// `BETWEEN x AND x + width`.
+    Between {
+        /// Width of the interval in domain units.
+        width: i64,
+    },
+    /// `IN (k random values)`.
+    In {
+        /// Number of list elements.
+        k: usize,
+    },
+    /// `LIKE '%word%'`.
+    Like,
+    /// Equality (point predicate).
+    Eq,
+}
+
+/// A parameterised predicate slot of a template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredicateSpec {
+    /// The constrained column.
+    pub column: ColumnRef,
+    /// The predicate shape.
+    pub op: ParamOp,
+    /// The literal domain.
+    pub domain: ParamDomain,
+    /// Probability that this predicate is included at instantiation time
+    /// (1.0 = always), matching optional predicates in benchmark templates.
+    pub probability: f64,
+}
+
+impl PredicateSpec {
+    /// A predicate that is always included.
+    pub fn always(column: ColumnRef, op: ParamOp, domain: ParamDomain) -> Self {
+        PredicateSpec { column, op, domain, probability: 1.0 }
+    }
+
+    /// A predicate included with the given probability.
+    pub fn sometimes(column: ColumnRef, op: ParamOp, domain: ParamDomain, probability: f64) -> Self {
+        PredicateSpec { column, op, domain, probability }
+    }
+
+    /// Instantiate the predicate (or `None` if it was probabilistically
+    /// dropped).
+    pub fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Predicate> {
+        if self.probability < 1.0 && !rng.gen_bool(self.probability) {
+            return None;
+        }
+        Some(match self.op {
+            ParamOp::Compare(fixed) => {
+                let op = fixed.unwrap_or_else(|| {
+                    *[CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge, CompareOp::Eq]
+                        .get(rng.gen_range(0..5))
+                        .expect("in range")
+                });
+                Predicate::Compare { column: self.column.clone(), op, value: self.domain.sample(rng) }
+            }
+            ParamOp::Eq => Predicate::Compare {
+                column: self.column.clone(),
+                op: CompareOp::Eq,
+                value: self.domain.sample(rng),
+            },
+            ParamOp::Between { width } => {
+                let low = self.domain.sample(rng);
+                let high = match &low {
+                    Value::Int(v) => Value::Int(v + width),
+                    Value::Date(v) => Value::Date(v + width),
+                    Value::Float(v) => Value::Float(v + width as f64),
+                    other => other.clone(),
+                };
+                Predicate::Between { column: self.column.clone(), low, high }
+            }
+            ParamOp::In { k } => {
+                let values = (0..k.max(1)).map(|_| self.domain.sample(rng)).collect();
+                Predicate::InList { column: self.column.clone(), values }
+            }
+            ParamOp::Like => {
+                let word = match self.domain.sample(rng) {
+                    Value::Text(w) => w,
+                    other => other.to_sql(),
+                };
+                Predicate::Like { column: self.column.clone(), pattern: format!("%{word}%") }
+            }
+        })
+    }
+}
+
+/// A parameterised query template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTemplate {
+    /// Template id within its benchmark (e.g. TPC-H query number).
+    pub id: usize,
+    /// Human-readable name, e.g. `"q1_pricing_summary"`.
+    pub name: String,
+    /// Tables in the FROM clause.
+    pub tables: Vec<String>,
+    /// Join conditions.
+    pub joins: Vec<JoinCondition>,
+    /// Parameterised predicates.
+    pub predicates: Vec<PredicateSpec>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// Aggregates in the SELECT list.
+    pub aggregates: Vec<Aggregate>,
+    /// ORDER BY columns.
+    pub order_by: Vec<ColumnRef>,
+    /// LIMIT, if any.
+    pub limit: Option<u64>,
+}
+
+impl QueryTemplate {
+    /// Instantiate the template into a concrete query with random literals.
+    pub fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R) -> Query {
+        Query {
+            tables: self.tables.clone(),
+            joins: self.joins.clone(),
+            predicates: self.predicates.iter().filter_map(|p| p.instantiate(rng)).collect(),
+            group_by: self.group_by.clone(),
+            aggregates: self.aggregates.clone(),
+            order_by: self.order_by.clone(),
+            limit: self.limit,
+        }
+    }
+
+    /// Render one representative SQL text of the template (with literals
+    /// replaced by a sample); used by the simplified-template parser.
+    pub fn representative_sql<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        self.instantiate(rng).to_sql()
+    }
+}
+
+/// A complete benchmark: schema, data and query templates.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (`"tpch"`, `"job-light"`, `"sysbench"`).
+    pub name: String,
+    /// Catalog of tables.
+    pub catalog: Catalog,
+    /// Data per table, in table-id order.
+    pub data: Vec<TableData>,
+    /// Query templates.
+    pub templates: Vec<QueryTemplate>,
+}
+
+impl Benchmark {
+    /// Build a database instance of this benchmark under an environment.
+    /// Data is cloned so the same benchmark can back many environments.
+    pub fn build_database(&self, env: DbEnvironment) -> Database {
+        Database::build(self.catalog.clone(), self.data.clone(), env)
+    }
+
+    /// Instantiate a random query from a random template.
+    pub fn random_query<R: Rng + ?Sized>(&self, rng: &mut R) -> Query {
+        let t = &self.templates[rng.gen_range(0..self.templates.len())];
+        t.instantiate(rng)
+    }
+
+    /// Instantiate `count` queries round-robin across the templates
+    /// (the paper's "40 × 22 queries per configuration" pattern).
+    pub fn queries_round_robin<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Query> {
+        (0..count)
+            .map(|i| self.templates[i % self.templates.len()].instantiate(rng))
+            .collect()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.data.iter().map(|d| d.row_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn domains_sample_within_bounds() {
+        let mut r = rng();
+        for _ in 0..50 {
+            match (ParamDomain::IntRange { min: 5, max: 10 }).sample(&mut r) {
+                Value::Int(v) => assert!((5..=10).contains(&v)),
+                other => panic!("unexpected {other:?}"),
+            }
+            match (ParamDomain::DateRange { min: 100, max: 200 }).sample(&mut r) {
+                Value::Date(v) => assert!((100..=200).contains(&v)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let choice = ParamDomain::Choice(vec![Value::Int(1), Value::Int(2)]);
+        assert!(matches!(choice.sample(&mut r), Value::Int(1) | Value::Int(2)));
+        assert!(matches!(
+            ParamDomain::LikeWords(vec!["green".into()]).sample(&mut r),
+            Value::Text(_)
+        ));
+    }
+
+    #[test]
+    fn predicate_specs_instantiate_each_shape() {
+        let mut r = rng();
+        let col = ColumnRef::new("t", "c");
+        let spec = PredicateSpec::always(
+            col.clone(),
+            ParamOp::Between { width: 10 },
+            ParamDomain::IntRange { min: 0, max: 100 },
+        );
+        assert!(matches!(spec.instantiate(&mut r), Some(Predicate::Between { .. })));
+        let spec = PredicateSpec::always(
+            col.clone(),
+            ParamOp::In { k: 3 },
+            ParamDomain::IntRange { min: 0, max: 10 },
+        );
+        match spec.instantiate(&mut r) {
+            Some(Predicate::InList { values, .. }) => assert_eq!(values.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        let spec = PredicateSpec::always(
+            col.clone(),
+            ParamOp::Like,
+            ParamDomain::LikeWords(vec!["steel".into()]),
+        );
+        match spec.instantiate(&mut r) {
+            Some(Predicate::Like { pattern, .. }) => assert_eq!(pattern, "%steel%"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let never = PredicateSpec::sometimes(
+            col,
+            ParamOp::Eq,
+            ParamDomain::IntRange { min: 0, max: 1 },
+            0.0,
+        );
+        assert!(never.instantiate(&mut r).is_none());
+    }
+
+    #[test]
+    fn template_instantiation_preserves_structure() {
+        let mut r = rng();
+        let template = QueryTemplate {
+            id: 1,
+            name: "demo".into(),
+            tables: vec!["a".into(), "b".into()],
+            joins: vec![JoinCondition::new(ColumnRef::new("a", "x"), ColumnRef::new("b", "y"))],
+            predicates: vec![PredicateSpec::always(
+                ColumnRef::new("a", "v"),
+                ParamOp::Compare(None),
+                ParamDomain::IntRange { min: 0, max: 100 },
+            )],
+            group_by: vec![ColumnRef::new("b", "g")],
+            aggregates: vec![Aggregate::CountStar],
+            order_by: vec![],
+            limit: Some(5),
+        };
+        let q1 = template.instantiate(&mut r);
+        let q2 = template.instantiate(&mut r);
+        assert_eq!(q1.tables, q2.tables);
+        assert_eq!(q1.joins, q2.joins);
+        assert_eq!(q1.limit, Some(5));
+        // literals should differ at least sometimes across instantiations
+        let sql: Vec<String> = (0..10).map(|_| template.representative_sql(&mut r)).collect();
+        let distinct: std::collections::HashSet<&String> = sql.iter().collect();
+        assert!(distinct.len() > 1, "parameters should vary");
+    }
+}

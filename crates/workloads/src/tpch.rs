@@ -1,0 +1,807 @@
+//! TPC-H-shaped benchmark: the eight-table schema, a scaled-down synthetic
+//! data generator, and 22 parameterised query templates whose join/group/sort
+//! structure follows the official queries (restricted to the
+//! select-project-join-aggregate fragment supported by the substrate).
+
+use crate::generator as gen;
+use crate::template::{Benchmark, ParamDomain, ParamOp, PredicateSpec, QueryTemplate};
+use qcfe_db::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// First shippable date in the generated data (1992-01-01).
+pub const DATE_MIN: i64 = 8035;
+/// Last shippable date in the generated data (1998-12-31).
+pub const DATE_MAX: i64 = 10_592;
+
+/// Row counts at scale factor 1.0 (the official TPC-H sizes).
+const SF1_ROWS: [(&str, usize); 8] = [
+    ("region", 5),
+    ("nation", 25),
+    ("supplier", 10_000),
+    ("customer", 150_000),
+    ("part", 200_000),
+    ("partsupp", 800_000),
+    ("orders", 1_500_000),
+    ("lineitem", 6_000_000),
+];
+
+/// Number of rows for a table at the given scale factor (minimum sensible
+/// sizes are enforced so tiny scale factors still produce joinable data).
+pub fn rows_at_scale(table: &str, scale: f64) -> usize {
+    let base = SF1_ROWS
+        .iter()
+        .find(|(t, _)| *t == table)
+        .map(|(_, n)| *n)
+        .unwrap_or(1000);
+    ((base as f64 * scale) as usize).max(match table {
+        "region" => 5,
+        "nation" => 25,
+        _ => 50,
+    })
+}
+
+/// Build the TPC-H catalog.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableBuilder::new("region")
+            .column("r_regionkey", DataType::Int)
+            .column("r_name", DataType::Text)
+            .primary_key("r_regionkey"),
+    );
+    c.add_table(
+        TableBuilder::new("nation")
+            .column("n_nationkey", DataType::Int)
+            .column("n_regionkey", DataType::Int)
+            .column("n_name", DataType::Text)
+            .primary_key("n_nationkey")
+            .index("n_regionkey"),
+    );
+    c.add_table(
+        TableBuilder::new("supplier")
+            .column("s_suppkey", DataType::Int)
+            .column("s_nationkey", DataType::Int)
+            .column("s_acctbal", DataType::Float)
+            .primary_key("s_suppkey")
+            .index("s_nationkey"),
+    );
+    c.add_table(
+        TableBuilder::new("customer")
+            .column("c_custkey", DataType::Int)
+            .column("c_nationkey", DataType::Int)
+            .column("c_acctbal", DataType::Float)
+            .column("c_mktsegment", DataType::Text)
+            .primary_key("c_custkey")
+            .index("c_nationkey"),
+    );
+    c.add_table(
+        TableBuilder::new("part")
+            .column("p_partkey", DataType::Int)
+            .column("p_size", DataType::Int)
+            .column("p_retailprice", DataType::Float)
+            .column("p_brand", DataType::Text)
+            .column("p_type", DataType::Text)
+            .column("p_container", DataType::Text)
+            .primary_key("p_partkey"),
+    );
+    c.add_table(
+        TableBuilder::new("partsupp")
+            .column("ps_partkey", DataType::Int)
+            .column("ps_suppkey", DataType::Int)
+            .column("ps_availqty", DataType::Int)
+            .column("ps_supplycost", DataType::Float)
+            .index("ps_partkey")
+            .index("ps_suppkey"),
+    );
+    c.add_table(
+        TableBuilder::new("orders")
+            .column("o_orderkey", DataType::Int)
+            .column("o_custkey", DataType::Int)
+            .column("o_totalprice", DataType::Float)
+            .column("o_orderdate", DataType::Date)
+            .column("o_orderstatus", DataType::Text)
+            .column("o_orderpriority", DataType::Text)
+            .primary_key("o_orderkey")
+            .index("o_custkey")
+            .index("o_orderdate"),
+    );
+    c.add_table(
+        TableBuilder::new("lineitem")
+            .column("l_orderkey", DataType::Int)
+            .column("l_partkey", DataType::Int)
+            .column("l_suppkey", DataType::Int)
+            .column("l_quantity", DataType::Float)
+            .column("l_extendedprice", DataType::Float)
+            .column("l_discount", DataType::Float)
+            .column("l_shipdate", DataType::Date)
+            .column("l_returnflag", DataType::Text)
+            .column("l_linestatus", DataType::Text)
+            .index("l_orderkey")
+            .index("l_partkey")
+            .index("l_shipdate"),
+    );
+    c
+}
+
+/// Generate data for every table at the given scale factor.
+pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_region = rows_at_scale("region", scale);
+    let n_nation = rows_at_scale("nation", scale);
+    let n_supplier = rows_at_scale("supplier", scale);
+    let n_customer = rows_at_scale("customer", scale);
+    let n_part = rows_at_scale("part", scale);
+    let n_partsupp = rows_at_scale("partsupp", scale);
+    let n_orders = rows_at_scale("orders", scale);
+    let n_lineitem = rows_at_scale("lineitem", scale);
+
+    let region = TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n_region)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_region, "region", 5)),
+    ]);
+    let nation = TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n_nation)),
+        ColumnVector::Int(gen::fk_column(&mut rng, n_nation, n_region, gen::Skew::Uniform)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_nation, "nation", 25)),
+    ]);
+    let supplier = TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n_supplier)),
+        ColumnVector::Int(gen::fk_column(&mut rng, n_supplier, n_nation, gen::Skew::Uniform)),
+        ColumnVector::Float(gen::float_column(&mut rng, n_supplier, -999.0, 9999.0)),
+    ]);
+    let customer = TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n_customer)),
+        ColumnVector::Int(gen::fk_column(&mut rng, n_customer, n_nation, gen::Skew::Uniform)),
+        ColumnVector::Float(gen::float_column(&mut rng, n_customer, -999.0, 9999.0)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_customer, "segment", 5)),
+    ]);
+    let part = TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n_part)),
+        ColumnVector::Int(gen::int_column(&mut rng, n_part, 1, 50, gen::Skew::Uniform)),
+        ColumnVector::Float(gen::float_column(&mut rng, n_part, 900.0, 2100.0)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_part, "brand", 25)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_part, "type", 150)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_part, "container", 40)),
+    ]);
+    let partsupp = TableData::new(vec![
+        ColumnVector::Int(gen::fk_column(&mut rng, n_partsupp, n_part, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::fk_column(&mut rng, n_partsupp, n_supplier, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::int_column(&mut rng, n_partsupp, 1, 9999, gen::Skew::Uniform)),
+        ColumnVector::Float(gen::float_column(&mut rng, n_partsupp, 1.0, 1000.0)),
+    ]);
+    let orders = TableData::new(vec![
+        ColumnVector::Int(gen::key_column(n_orders)),
+        ColumnVector::Int(gen::fk_column(&mut rng, n_orders, n_customer, gen::Skew::Zipf(0.8))),
+        ColumnVector::Float(gen::float_column(&mut rng, n_orders, 850.0, 480_000.0)),
+        ColumnVector::Int(gen::date_column(&mut rng, n_orders, DATE_MIN, DATE_MAX)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_orders, "status", 3)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_orders, "prio", 5)),
+    ]);
+    let lineitem = TableData::new(vec![
+        ColumnVector::Int(gen::fk_column(&mut rng, n_lineitem, n_orders, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::fk_column(&mut rng, n_lineitem, n_part, gen::Skew::Zipf(0.6))),
+        ColumnVector::Int(gen::fk_column(&mut rng, n_lineitem, n_supplier, gen::Skew::Uniform)),
+        ColumnVector::Float(gen::float_column(&mut rng, n_lineitem, 1.0, 50.0)),
+        ColumnVector::Float(gen::float_column(&mut rng, n_lineitem, 900.0, 105_000.0)),
+        ColumnVector::Float(gen::float_column(&mut rng, n_lineitem, 0.0, 0.1)),
+        ColumnVector::Int(gen::date_column(&mut rng, n_lineitem, DATE_MIN, DATE_MAX)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_lineitem, "flag", 3)),
+        ColumnVector::Text(gen::text_column(&mut rng, n_lineitem, "ls", 2)),
+    ]);
+
+    vec![region, nation, supplier, customer, part, partsupp, orders, lineitem]
+}
+
+fn cr(table: &str, column: &str) -> ColumnRef {
+    ColumnRef::new(table, column)
+}
+
+fn join(lt: &str, lc: &str, rt: &str, rc: &str) -> JoinCondition {
+    JoinCondition::new(cr(lt, lc), cr(rt, rc))
+}
+
+fn date_pred(table: &str, column: &str) -> PredicateSpec {
+    PredicateSpec::always(
+        cr(table, column),
+        ParamOp::Compare(None),
+        ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX },
+    )
+}
+
+/// The 22 query templates. Each mirrors the corresponding TPC-H query's
+/// join graph, grouping and ordering, with correlated/sub-query parts
+/// flattened into the supported SPJA fragment.
+pub fn templates() -> Vec<QueryTemplate> {
+    let mut t = Vec::with_capacity(22);
+
+    // Q1: pricing summary report — scan lineitem, group by flags.
+    t.push(QueryTemplate {
+        id: 1,
+        name: "q1_pricing_summary".into(),
+        tables: vec!["lineitem".into()],
+        joins: vec![],
+        predicates: vec![date_pred("lineitem", "l_shipdate")],
+        group_by: vec![cr("lineitem", "l_returnflag"), cr("lineitem", "l_linestatus")],
+        aggregates: vec![
+            Aggregate::Sum(cr("lineitem", "l_quantity")),
+            Aggregate::Sum(cr("lineitem", "l_extendedprice")),
+            Aggregate::Avg(cr("lineitem", "l_discount")),
+            Aggregate::CountStar,
+        ],
+        order_by: vec![cr("lineitem", "l_returnflag")],
+        limit: None,
+    });
+
+    // Q2: minimum cost supplier — part/partsupp/supplier/nation/region join.
+    t.push(QueryTemplate {
+        id: 2,
+        name: "q2_min_cost_supplier".into(),
+        tables: vec!["part".into(), "partsupp".into(), "supplier".into(), "nation".into(), "region".into()],
+        joins: vec![
+            join("part", "p_partkey", "partsupp", "ps_partkey"),
+            join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+            join("supplier", "s_nationkey", "nation", "n_nationkey"),
+            join("nation", "n_regionkey", "region", "r_regionkey"),
+        ],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("part", "p_size"),
+                ParamOp::Eq,
+                ParamDomain::IntRange { min: 1, max: 50 },
+            ),
+            PredicateSpec::always(
+                cr("part", "p_type"),
+                ParamOp::Like,
+                ParamDomain::LikeWords((0..20).map(|i| format!("type_{i}")).collect()),
+            ),
+        ],
+        group_by: vec![],
+        aggregates: vec![Aggregate::Min(cr("partsupp", "ps_supplycost"))],
+        order_by: vec![],
+        limit: Some(100),
+    });
+
+    // Q3: shipping priority — customer/orders/lineitem.
+    t.push(QueryTemplate {
+        id: 3,
+        name: "q3_shipping_priority".into(),
+        tables: vec!["customer".into(), "orders".into(), "lineitem".into()],
+        joins: vec![
+            join("customer", "c_custkey", "orders", "o_custkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+        ],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("customer", "c_mktsegment"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..5).map(|i| Value::Text(format!("segment_{i}"))).collect()),
+            ),
+            date_pred("orders", "o_orderdate"),
+            date_pred("lineitem", "l_shipdate"),
+        ],
+        group_by: vec![cr("orders", "o_orderkey"), cr("orders", "o_orderdate")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![cr("orders", "o_orderdate")],
+        limit: Some(10),
+    });
+
+    // Q4: order priority checking — orders/lineitem.
+    t.push(QueryTemplate {
+        id: 4,
+        name: "q4_order_priority".into(),
+        tables: vec!["orders".into(), "lineitem".into()],
+        joins: vec![join("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("orders", "o_orderdate"),
+                ParamOp::Between { width: 90 },
+                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 90 },
+            ),
+        ],
+        group_by: vec![cr("orders", "o_orderpriority")],
+        aggregates: vec![Aggregate::CountStar],
+        order_by: vec![cr("orders", "o_orderpriority")],
+        limit: None,
+    });
+
+    // Q5: local supplier volume — 6-way join collapsed to 5 supported tables.
+    t.push(QueryTemplate {
+        id: 5,
+        name: "q5_local_supplier_volume".into(),
+        tables: vec!["customer".into(), "orders".into(), "lineitem".into(), "supplier".into(), "nation".into()],
+        joins: vec![
+            join("customer", "c_custkey", "orders", "o_custkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+            join("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+        predicates: vec![PredicateSpec::always(
+            cr("orders", "o_orderdate"),
+            ParamOp::Between { width: 365 },
+            ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 365 },
+        )],
+        group_by: vec![cr("nation", "n_name")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![cr("nation", "n_name")],
+        limit: None,
+    });
+
+    // Q6: revenue change forecast — single-table range scan + aggregate.
+    t.push(QueryTemplate {
+        id: 6,
+        name: "q6_forecast_revenue".into(),
+        tables: vec!["lineitem".into()],
+        joins: vec![],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("lineitem", "l_shipdate"),
+                ParamOp::Between { width: 365 },
+                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 365 },
+            ),
+            PredicateSpec::always(
+                cr("lineitem", "l_discount"),
+                ParamOp::Between { width: 0 },
+                ParamDomain::FloatRange { min: 0.02, max: 0.09 },
+            ),
+            PredicateSpec::always(
+                cr("lineitem", "l_quantity"),
+                ParamOp::Compare(Some(CompareOp::Lt)),
+                ParamDomain::FloatRange { min: 24.0, max: 25.0 },
+            ),
+        ],
+        group_by: vec![],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![],
+        limit: None,
+    });
+
+    // Q7: volume shipping.
+    t.push(QueryTemplate {
+        id: 7,
+        name: "q7_volume_shipping".into(),
+        tables: vec!["supplier".into(), "lineitem".into(), "orders".into(), "customer".into(), "nation".into()],
+        joins: vec![
+            join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            join("customer", "c_custkey", "orders", "o_custkey"),
+            join("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+        predicates: vec![date_pred("lineitem", "l_shipdate")],
+        group_by: vec![cr("nation", "n_name")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![cr("nation", "n_name")],
+        limit: None,
+    });
+
+    // Q8: national market share.
+    t.push(QueryTemplate {
+        id: 8,
+        name: "q8_market_share".into(),
+        tables: vec!["part".into(), "lineitem".into(), "orders".into(), "customer".into(), "nation".into(), "region".into()],
+        joins: vec![
+            join("part", "p_partkey", "lineitem", "l_partkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            join("customer", "c_custkey", "orders", "o_custkey"),
+            join("customer", "c_nationkey", "nation", "n_nationkey"),
+            join("nation", "n_regionkey", "region", "r_regionkey"),
+        ],
+        predicates: vec![
+            date_pred("orders", "o_orderdate"),
+            PredicateSpec::always(
+                cr("part", "p_type"),
+                ParamOp::Like,
+                ParamDomain::LikeWords((0..20).map(|i| format!("type_{i}")).collect()),
+            ),
+        ],
+        group_by: vec![cr("nation", "n_name")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![cr("nation", "n_name")],
+        limit: None,
+    });
+
+    // Q9: product type profit.
+    t.push(QueryTemplate {
+        id: 9,
+        name: "q9_product_profit".into(),
+        tables: vec!["part".into(), "lineitem".into(), "partsupp".into(), "orders".into(), "supplier".into()],
+        joins: vec![
+            join("part", "p_partkey", "lineitem", "l_partkey"),
+            join("partsupp", "ps_partkey", "lineitem", "l_partkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+        ],
+        predicates: vec![PredicateSpec::always(
+            cr("part", "p_brand"),
+            ParamOp::Like,
+            ParamDomain::LikeWords((0..25).map(|i| format!("brand_{i}")).collect()),
+        )],
+        group_by: vec![cr("orders", "o_orderstatus")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![cr("orders", "o_orderstatus")],
+        limit: None,
+    });
+
+    // Q10: returned item reporting.
+    t.push(QueryTemplate {
+        id: 10,
+        name: "q10_returned_items".into(),
+        tables: vec!["customer".into(), "orders".into(), "lineitem".into(), "nation".into()],
+        joins: vec![
+            join("customer", "c_custkey", "orders", "o_custkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            join("customer", "c_nationkey", "nation", "n_nationkey"),
+        ],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("orders", "o_orderdate"),
+                ParamOp::Between { width: 90 },
+                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 90 },
+            ),
+            PredicateSpec::always(
+                cr("lineitem", "l_returnflag"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..3).map(|i| Value::Text(format!("flag_{i}"))).collect()),
+            ),
+        ],
+        group_by: vec![cr("customer", "c_custkey"), cr("nation", "n_name")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![cr("customer", "c_custkey")],
+        limit: Some(20),
+    });
+
+    // Q11: important stock identification.
+    t.push(QueryTemplate {
+        id: 11,
+        name: "q11_important_stock".into(),
+        tables: vec!["partsupp".into(), "supplier".into(), "nation".into()],
+        joins: vec![
+            join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+            join("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+        predicates: vec![PredicateSpec::always(
+            cr("nation", "n_name"),
+            ParamOp::Eq,
+            ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+        )],
+        group_by: vec![cr("partsupp", "ps_partkey")],
+        aggregates: vec![Aggregate::Sum(cr("partsupp", "ps_supplycost"))],
+        order_by: vec![cr("partsupp", "ps_partkey")],
+        limit: Some(100),
+    });
+
+    // Q12: shipping modes and order priority.
+    t.push(QueryTemplate {
+        id: 12,
+        name: "q12_shipping_modes".into(),
+        tables: vec!["orders".into(), "lineitem".into()],
+        joins: vec![join("orders", "o_orderkey", "lineitem", "l_orderkey")],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("lineitem", "l_shipdate"),
+                ParamOp::Between { width: 365 },
+                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 365 },
+            ),
+            PredicateSpec::always(
+                cr("lineitem", "l_linestatus"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..2).map(|i| Value::Text(format!("ls_{i}"))).collect()),
+            ),
+        ],
+        group_by: vec![cr("orders", "o_orderpriority")],
+        aggregates: vec![Aggregate::CountStar],
+        order_by: vec![cr("orders", "o_orderpriority")],
+        limit: None,
+    });
+
+    // Q13: customer distribution.
+    t.push(QueryTemplate {
+        id: 13,
+        name: "q13_customer_distribution".into(),
+        tables: vec!["customer".into(), "orders".into()],
+        joins: vec![join("customer", "c_custkey", "orders", "o_custkey")],
+        predicates: vec![PredicateSpec::always(
+            cr("orders", "o_orderpriority"),
+            ParamOp::Eq,
+            ParamDomain::Choice((0..5).map(|i| Value::Text(format!("prio_{i}"))).collect()),
+        )],
+        group_by: vec![cr("customer", "c_custkey")],
+        aggregates: vec![Aggregate::CountStar],
+        order_by: vec![cr("customer", "c_custkey")],
+        limit: Some(50),
+    });
+
+    // Q14: promotion effect.
+    t.push(QueryTemplate {
+        id: 14,
+        name: "q14_promotion_effect".into(),
+        tables: vec!["lineitem".into(), "part".into()],
+        joins: vec![join("lineitem", "l_partkey", "part", "p_partkey")],
+        predicates: vec![PredicateSpec::always(
+            cr("lineitem", "l_shipdate"),
+            ParamOp::Between { width: 30 },
+            ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 30 },
+        )],
+        group_by: vec![],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![],
+        limit: None,
+    });
+
+    // Q15: top supplier.
+    t.push(QueryTemplate {
+        id: 15,
+        name: "q15_top_supplier".into(),
+        tables: vec!["lineitem".into(), "supplier".into()],
+        joins: vec![join("lineitem", "l_suppkey", "supplier", "s_suppkey")],
+        predicates: vec![PredicateSpec::always(
+            cr("lineitem", "l_shipdate"),
+            ParamOp::Between { width: 90 },
+            ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 90 },
+        )],
+        group_by: vec![cr("supplier", "s_suppkey")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![cr("supplier", "s_suppkey")],
+        limit: Some(10),
+    });
+
+    // Q16: parts/supplier relationship.
+    t.push(QueryTemplate {
+        id: 16,
+        name: "q16_parts_supplier".into(),
+        tables: vec!["partsupp".into(), "part".into()],
+        joins: vec![join("partsupp", "ps_partkey", "part", "p_partkey")],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("part", "p_brand"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("brand_{i}"))).collect()),
+            ),
+            PredicateSpec::always(
+                cr("part", "p_size"),
+                ParamOp::In { k: 8 },
+                ParamDomain::IntRange { min: 1, max: 50 },
+            ),
+        ],
+        group_by: vec![cr("part", "p_brand"), cr("part", "p_type"), cr("part", "p_size")],
+        aggregates: vec![Aggregate::CountStar],
+        order_by: vec![cr("part", "p_brand")],
+        limit: None,
+    });
+
+    // Q17: small-quantity-order revenue.
+    t.push(QueryTemplate {
+        id: 17,
+        name: "q17_small_quantity".into(),
+        tables: vec!["lineitem".into(), "part".into()],
+        joins: vec![join("lineitem", "l_partkey", "part", "p_partkey")],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("part", "p_brand"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("brand_{i}"))).collect()),
+            ),
+            PredicateSpec::always(
+                cr("part", "p_container"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..40).map(|i| Value::Text(format!("container_{i}"))).collect()),
+            ),
+            PredicateSpec::always(
+                cr("lineitem", "l_quantity"),
+                ParamOp::Compare(Some(CompareOp::Lt)),
+                ParamDomain::FloatRange { min: 2.0, max: 10.0 },
+            ),
+        ],
+        group_by: vec![],
+        aggregates: vec![Aggregate::Avg(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![],
+        limit: None,
+    });
+
+    // Q18: large volume customer.
+    t.push(QueryTemplate {
+        id: 18,
+        name: "q18_large_volume_customer".into(),
+        tables: vec!["customer".into(), "orders".into(), "lineitem".into()],
+        joins: vec![
+            join("customer", "c_custkey", "orders", "o_custkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+        ],
+        predicates: vec![PredicateSpec::always(
+            cr("lineitem", "l_quantity"),
+            ParamOp::Compare(Some(CompareOp::Gt)),
+            ParamDomain::FloatRange { min: 30.0, max: 49.0 },
+        )],
+        group_by: vec![cr("customer", "c_custkey"), cr("orders", "o_orderkey")],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_quantity"))],
+        order_by: vec![cr("orders", "o_orderkey")],
+        limit: Some(100),
+    });
+
+    // Q19: discounted revenue.
+    t.push(QueryTemplate {
+        id: 19,
+        name: "q19_discounted_revenue".into(),
+        tables: vec!["lineitem".into(), "part".into()],
+        joins: vec![join("lineitem", "l_partkey", "part", "p_partkey")],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("part", "p_container"),
+                ParamOp::In { k: 4 },
+                ParamDomain::Choice((0..40).map(|i| Value::Text(format!("container_{i}"))).collect()),
+            ),
+            PredicateSpec::always(
+                cr("lineitem", "l_quantity"),
+                ParamOp::Between { width: 10 },
+                ParamDomain::FloatRange { min: 1.0, max: 30.0 },
+            ),
+            PredicateSpec::always(
+                cr("part", "p_size"),
+                ParamOp::Between { width: 10 },
+                ParamDomain::IntRange { min: 1, max: 40 },
+            ),
+        ],
+        group_by: vec![],
+        aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
+        order_by: vec![],
+        limit: None,
+    });
+
+    // Q20: potential part promotion.
+    t.push(QueryTemplate {
+        id: 20,
+        name: "q20_potential_promotion".into(),
+        tables: vec!["supplier".into(), "nation".into(), "partsupp".into()],
+        joins: vec![
+            join("supplier", "s_nationkey", "nation", "n_nationkey"),
+            join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        ],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("nation", "n_name"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+            ),
+            PredicateSpec::always(
+                cr("partsupp", "ps_availqty"),
+                ParamOp::Compare(Some(CompareOp::Gt)),
+                ParamDomain::IntRange { min: 100, max: 9000 },
+            ),
+        ],
+        group_by: vec![cr("supplier", "s_suppkey")],
+        aggregates: vec![Aggregate::CountStar],
+        order_by: vec![cr("supplier", "s_suppkey")],
+        limit: Some(100),
+    });
+
+    // Q21: suppliers who kept orders waiting.
+    t.push(QueryTemplate {
+        id: 21,
+        name: "q21_suppliers_waiting".into(),
+        tables: vec!["supplier".into(), "lineitem".into(), "orders".into(), "nation".into()],
+        joins: vec![
+            join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+            join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            join("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("orders", "o_orderstatus"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..3).map(|i| Value::Text(format!("status_{i}"))).collect()),
+            ),
+            PredicateSpec::always(
+                cr("nation", "n_name"),
+                ParamOp::Eq,
+                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+            ),
+        ],
+        group_by: vec![cr("supplier", "s_suppkey")],
+        aggregates: vec![Aggregate::CountStar],
+        order_by: vec![cr("supplier", "s_suppkey")],
+        limit: Some(100),
+    });
+
+    // Q22: global sales opportunity.
+    t.push(QueryTemplate {
+        id: 22,
+        name: "q22_global_sales".into(),
+        tables: vec!["customer".into(), "nation".into()],
+        joins: vec![join("customer", "c_nationkey", "nation", "n_nationkey")],
+        predicates: vec![
+            PredicateSpec::always(
+                cr("customer", "c_acctbal"),
+                ParamOp::Compare(Some(CompareOp::Gt)),
+                ParamDomain::FloatRange { min: 0.0, max: 5000.0 },
+            ),
+            PredicateSpec::always(
+                cr("nation", "n_name"),
+                ParamOp::In { k: 7 },
+                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+            ),
+        ],
+        group_by: vec![cr("customer", "c_nationkey")],
+        aggregates: vec![Aggregate::CountStar, Aggregate::Sum(cr("customer", "c_acctbal"))],
+        order_by: vec![cr("customer", "c_nationkey")],
+        limit: None,
+    });
+
+    t
+}
+
+/// Build the full TPC-H-style benchmark at a given scale factor.
+pub fn benchmark(scale: f64, seed: u64) -> Benchmark {
+    Benchmark {
+        name: "tpch".into(),
+        catalog: catalog(),
+        data: generate_data(scale, seed),
+        templates: templates(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalog_has_eight_tables_with_keys() {
+        let c = catalog();
+        assert_eq!(c.table_count(), 8);
+        for name in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"] {
+            assert!(c.table_by_name(name).is_some(), "missing {name}");
+        }
+        assert!(c.table_by_name("orders").unwrap().primary_key.is_some());
+        assert!(c.table_by_name("lineitem").unwrap().has_index(0));
+    }
+
+    #[test]
+    fn data_respects_scale_and_schema() {
+        let data = generate_data(0.001, 1);
+        let c = catalog();
+        assert_eq!(data.len(), c.table_count());
+        for (schema, d) in c.tables().zip(&data) {
+            assert_eq!(schema.columns.len(), d.column_count(), "table {}", schema.name);
+            assert!(d.row_count() > 0);
+        }
+        // lineitem is the largest table
+        let lineitem_rows = data[7].row_count();
+        assert!(data.iter().all(|d| d.row_count() <= lineitem_rows));
+        assert_eq!(rows_at_scale("region", 0.001), 5);
+        assert!(rows_at_scale("lineitem", 0.001) >= 1000);
+    }
+
+    #[test]
+    fn twenty_two_templates_instantiate_valid_sql() {
+        let ts = templates();
+        assert_eq!(ts.len(), 22);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for t in &ts {
+            let q = t.instantiate(&mut rng);
+            assert!(!q.tables.is_empty());
+            assert_eq!(q.joins.len(), t.joins.len());
+            let sql = q.to_sql();
+            assert!(sql.starts_with("SELECT"), "{sql}");
+            assert!(sql.contains("FROM"));
+        }
+        // ids are 1..=22 and unique
+        let ids: std::collections::HashSet<usize> = ts.iter().map(|t| t.id).collect();
+        assert_eq!(ids.len(), 22);
+    }
+
+    #[test]
+    fn benchmark_queries_plan_and_execute() {
+        let bench = benchmark(0.0005, 7);
+        let db = bench.build_database(DbEnvironment::reference());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // every template must survive plan + execute on the reference env
+        for t in &bench.templates {
+            let q = t.instantiate(&mut rng);
+            let executed = db
+                .execute(&q, &mut rng)
+                .unwrap_or_else(|e| panic!("template {} failed: {e}", t.name));
+            assert!(executed.total_ms > 0.0, "template {}", t.name);
+            assert!(executed.root.node_count() >= 1);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Feature-reduction demo: compare the greedy, gradient and
+//! difference-propagation strategies on a real operator-level dataset and
+//! show which features each one keeps.
+//!
+//! Run with: `cargo run --release --example feature_reduction_demo`
+
+use qcfe::core::collect::collect_workload;
+use qcfe::core::encoding::FeatureEncoder;
+use qcfe::core::estimators::QppNetEstimator;
+use qcfe::core::reduction::{reduce, ReductionMethod};
+use qcfe::db::plan::OperatorKind;
+use qcfe::db::prelude::*;
+use qcfe::nn::{Activation, Loss, Mlp, Optimizer, TrainConfig};
+use qcfe::workloads::BenchmarkKind;
+use rand::SeedableRng;
+
+fn main() {
+    let kind = BenchmarkKind::Tpch;
+    let bench = kind.build(kind.quick_scale(), 19);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+    let envs = DbEnvironment::sample_knob_configs(2, HardwareProfile::h1(), &mut rng);
+    let workload = collect_workload(&bench, &envs, 120, 19);
+
+    let encoder = FeatureEncoder::new(&bench.catalog, true);
+    let datasets = QppNetEstimator::operator_datasets(&encoder, &workload, None);
+    let Some(data) = datasets.get(&OperatorKind::SeqScan) else {
+        println!("no seq-scan samples collected");
+        return;
+    };
+    println!(
+        "Seq Scan operator dataset: {} samples x {} features",
+        data.len(),
+        data.dim()
+    );
+
+    // The learned cost model the reduction methods interrogate.
+    let mut model = Mlp::new(&[data.dim(), 16, 1], Activation::Relu, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 60,
+        batch_size: 32,
+        optimizer: Optimizer::adam(0.01),
+        loss: Loss::LogMse,
+        shuffle: true,
+    };
+    model.train(data, &cfg, &mut rng);
+
+    let names = encoder.feature_names();
+    for method in [ReductionMethod::Greedy, ReductionMethod::Gradient, ReductionMethod::DiffProp] {
+        let outcome = reduce(method, &model, data, 100, &mut rng);
+        println!(
+            "\n{:<8} kept {:>3}/{:<3} features ({:.1}% reduced) in {:.1} ms",
+            method.name(),
+            outcome.kept.len(),
+            outcome.original_dim,
+            outcome.reduction_ratio() * 100.0,
+            outcome.runtime_ms
+        );
+        let mut top: Vec<(usize, f64)> =
+            outcome.kept.iter().map(|&k| (k, outcome.scores[k])).collect();
+        top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        println!("  most important kept features:");
+        for (idx, score) in top.into_iter().take(5) {
+            println!("    {:<28} score {:.5}", names[idx], score);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: build a small benchmark, collect labeled queries under a few
+//! knob configurations, and compare QCFE(mscn) against plain MSCN and the
+//! PostgreSQL baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qcfe::core::pipeline::{prepare_context, run_method, ContextConfig, EstimatorKind, RunConfig};
+use qcfe::workloads::BenchmarkKind;
+
+fn main() {
+    let kind = BenchmarkKind::Sysbench;
+    println!("Preparing {} context (data, environments, labels, snapshots)...", kind.name());
+    let ctx = prepare_context(kind, &ContextConfig::quick(kind));
+    println!(
+        "Collected {} labeled queries under {} environments.",
+        ctx.workload.len(),
+        ctx.workload.environments.len()
+    );
+    println!(
+        "Snapshot collection cost: original workload {:.1} ms vs simplified templates {:.1} ms (simulated).",
+        ctx.fso_collection_ms, ctx.fst_collection_ms
+    );
+
+    let run = RunConfig::new(150, 25, 42);
+    for est in [EstimatorKind::Pgsql, EstimatorKind::Mscn, EstimatorKind::QcfeMscn] {
+        let result = run_method(&ctx, est, &run);
+        println!(
+            "{:<12} pearson {:>6.3}  mean q-error {:>10.3}  train {:>6.2}s",
+            est.name(),
+            result.accuracy.pearson,
+            result.accuracy.mean_q_error,
+            result.train.train_time_s
+        );
+    }
+    println!("\nQCFE should match or beat plain MSCN while the PostgreSQL baseline trails far behind.");
+}

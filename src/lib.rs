@@ -1,0 +1,17 @@
+//! Umbrella crate for the QCFE reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single `qcfe` crate:
+//!
+//! * [`nn`] — the dense neural-network substrate,
+//! * [`storage`] — pages, B+tree/LSM storage, buffer pool, disk model,
+//! * [`db`] — catalog, statistics, planner, plan trees, knobs, execution simulator,
+//! * [`workloads`] — TPC-H / job-light / Sysbench style benchmarks,
+//! * [`core`] — the paper's contribution: feature snapshot, simplified
+//!   templates, feature reduction and the QPPNet/MSCN estimators.
+
+pub use qcfe_core as core;
+pub use qcfe_db as db;
+pub use qcfe_nn as nn;
+pub use qcfe_storage as storage;
+pub use qcfe_workloads as workloads;

@@ -1,0 +1,117 @@
+//! Cross-crate integration tests: benchmark generation → planning →
+//! execution simulation → feature engineering → learned estimation.
+
+use qcfe::core::pipeline::{
+    prepare_context, run_method, ContextConfig, EstimatorKind, RunConfig, SnapshotSource,
+};
+use qcfe::core::reduction::ReductionMethod;
+use qcfe::db::prelude::*;
+use qcfe::workloads::BenchmarkKind;
+use rand::SeedableRng;
+
+fn quick_ctx(kind: BenchmarkKind) -> qcfe::core::pipeline::ExperimentContext {
+    let cfg = ContextConfig {
+        environments: 2,
+        queries_per_env: 50,
+        template_scale: 1,
+        seed: 77,
+        data_scale: kind.quick_scale(),
+    };
+    prepare_context(kind, &cfg)
+}
+
+#[test]
+fn every_benchmark_template_plans_and_executes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for kind in BenchmarkKind::ALL {
+        let bench = kind.build(kind.quick_scale() / 2.0, 3);
+        let db = bench.build_database(DbEnvironment::reference());
+        for template in &bench.templates {
+            let q = template.instantiate(&mut rng);
+            let plan = db.plan(&q).unwrap_or_else(|e| panic!("{}: {e}", template.name));
+            assert!(plan.est_cost > 0.0);
+            let executed = db.execute(&q, &mut rng).unwrap();
+            assert!(executed.total_ms > 0.0);
+            assert!(executed.root.node_count() >= plan.node_count());
+        }
+    }
+}
+
+#[test]
+fn environment_changes_shift_simulated_costs() {
+    let kind = BenchmarkKind::Sysbench;
+    let bench = kind.build(kind.quick_scale(), 5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let query = bench.templates[1].instantiate(&mut rng);
+
+    // A slow environment (HDD, tiny cache) vs a fast one (NVMe, big cache).
+    let mut slow_env = DbEnvironment::reference();
+    slow_env.hardware = HardwareProfile::cloud_small();
+    slow_env.knobs.shared_buffers_mb = 16;
+    let fast_env = DbEnvironment {
+        hardware: HardwareProfile::h2(),
+        ..DbEnvironment::reference()
+    };
+
+    let run_avg = |env: DbEnvironment| {
+        let db = bench.build_database(env);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut total = 0.0;
+        for _ in 0..10 {
+            total += db.execute(&query, &mut rng).unwrap().total_ms;
+        }
+        total / 10.0
+    };
+    let slow = run_avg(slow_env);
+    let fast = run_avg(fast_env);
+    assert!(
+        slow > fast * 1.3,
+        "slow environment ({slow:.3} ms) should be clearly slower than fast ({fast:.3} ms)"
+    );
+}
+
+#[test]
+fn qcfe_pipeline_beats_postgres_baseline_on_sysbench() {
+    let ctx = quick_ctx(BenchmarkKind::Sysbench);
+    let run = RunConfig::new(80, 25, 11);
+    let pg = run_method(&ctx, EstimatorKind::Pgsql, &run);
+    let qcfe = run_method(&ctx, EstimatorKind::QcfeMscn, &run);
+    assert!(
+        qcfe.accuracy.mean_q_error < pg.accuracy.mean_q_error,
+        "QCFE(mscn) q-error {} must beat PGSQL {}",
+        qcfe.accuracy.mean_q_error,
+        pg.accuracy.mean_q_error
+    );
+    assert!(qcfe.accuracy.pearson.is_finite());
+    assert!(qcfe.accuracy.median_q_error <= pg.accuracy.median_q_error);
+}
+
+#[test]
+fn snapshot_sources_and_reductions_compose() {
+    let ctx = quick_ctx(BenchmarkKind::Sysbench);
+    for (source, reduction) in [
+        (SnapshotSource::Original, ReductionMethod::DiffProp),
+        (SnapshotSource::Template, ReductionMethod::None),
+        (SnapshotSource::Original, ReductionMethod::Gradient),
+    ] {
+        let run = RunConfig {
+            snapshot_source: source,
+            reduction,
+            ..RunConfig::new(80, 10, 13)
+        };
+        let result = run_method(&ctx, EstimatorKind::QcfeMscn, &run);
+        assert!(result.accuracy.mean_q_error.is_finite());
+        assert!(result.accuracy.mean_q_error >= 1.0);
+    }
+}
+
+#[test]
+fn simulated_collection_cost_favours_simplified_templates() {
+    let ctx = quick_ctx(BenchmarkKind::Tpch);
+    assert!(ctx.fst_collection_ms < ctx.fso_collection_ms);
+    assert!(ctx.simplified_template_count > 0);
+    // both snapshot flavours must cover the scan operators
+    for snap in ctx.snapshots_fst.iter().flatten() {
+        assert!(!snap.covered_operators().is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests over the core invariants of the reproduction.
+
+use proptest::prelude::*;
+use qcfe::core::metrics::{pearson, percentile, q_error, q_errors};
+use qcfe::core::snapshot::{FeatureSnapshot, OperatorSample};
+use qcfe::db::plan::OperatorKind;
+use qcfe::db::stats::ColumnStats;
+use qcfe::db::data::ColumnVector;
+use qcfe::db::expr::{ColumnRef, CompareOp, Predicate};
+use qcfe::db::types::Value;
+use qcfe::nn::{least_squares, Matrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Q-error is symmetric, at least 1, and 1 exactly for perfect predictions.
+    #[test]
+    fn q_error_properties(actual in 0.001f64..1e6, predicted in 0.001f64..1e6) {
+        let q = q_error(actual, predicted);
+        prop_assert!(q >= 1.0 - 1e-12);
+        prop_assert!((q - q_error(predicted, actual)).abs() < 1e-9);
+        prop_assert!((q_error(actual, actual) - 1.0).abs() < 1e-12);
+    }
+
+    /// Pearson correlation is bounded by [-1, 1] and invariant to affine
+    /// rescaling of the predictions.
+    #[test]
+    fn pearson_bounds_and_affine_invariance(values in prop::collection::vec(0.1f64..1e4, 3..40)) {
+        let noisy: Vec<f64> = values.iter().enumerate().map(|(i, v)| v * (1.0 + 0.01 * (i % 5) as f64)).collect();
+        let r = pearson(&values, &noisy);
+        prop_assert!(r <= 1.0 + 1e-9 && r >= -1.0 - 1e-9);
+        let rescaled: Vec<f64> = noisy.iter().map(|v| 3.0 * v + 10.0).collect();
+        prop_assert!((pearson(&values, &noisy) - pearson(&values, &rescaled)).abs() < 1e-9);
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone(values in prop::collection::vec(0.0f64..1e5, 1..60)) {
+        let p25 = percentile(&values, 25.0);
+        let p50 = percentile(&values, 50.0);
+        let p95 = percentile(&values, 95.0);
+        prop_assert!(p25 <= p50 + 1e-9);
+        prop_assert!(p50 <= p95 + 1e-9);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p25 >= min - 1e-9 && p95 <= max + 1e-9);
+    }
+
+    /// Mean q-error of identical vectors is exactly 1.
+    #[test]
+    fn identical_predictions_have_unit_q_error(values in prop::collection::vec(0.01f64..1e4, 1..50)) {
+        let qs = q_errors(&values, &values);
+        prop_assert!(qs.iter().all(|q| (q - 1.0).abs() < 1e-9));
+    }
+
+    /// The feature snapshot recovers linear coefficients from noise-free
+    /// operator samples for any positive slope/intercept.
+    #[test]
+    fn snapshot_recovers_linear_coefficients(c0 in 0.0001f64..0.1, c1 in 0.0f64..10.0) {
+        let samples: Vec<OperatorSample> = (1..=40)
+            .map(|i| {
+                let n = (i * 25) as f64;
+                OperatorSample { kind: OperatorKind::SeqScan, n1: n, n2: 0.0, self_ms: c0 * n + c1 }
+            })
+            .collect();
+        let snap = FeatureSnapshot::fit(&samples);
+        let c = snap.coefficients(OperatorKind::SeqScan);
+        prop_assert!((c[0] - c0).abs() < 1e-6 * (1.0 + c0));
+        prop_assert!((c[1] - c1).abs() < 1e-4 * (1.0 + c1));
+    }
+
+    /// Least squares reproduces exact solutions of well-conditioned systems.
+    #[test]
+    fn least_squares_exact_fit(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, 1.0]).collect();
+        let ys: Vec<f64> = (0..30).map(|i| a * i as f64 + b).collect();
+        let beta = least_squares(&Matrix::from_rows(&xs), &ys).unwrap();
+        prop_assert!((beta[0] - a).abs() < 1e-6);
+        prop_assert!((beta[1] - b).abs() < 1e-6);
+    }
+
+    /// Histogram selectivity estimates of uniform integer columns track the
+    /// true fraction within a loose tolerance.
+    #[test]
+    fn selectivity_tracks_truth_on_uniform_data(cutoff in 50i64..950) {
+        let column = ColumnVector::Int((0..1000).collect());
+        let stats = ColumnStats::analyze(&column);
+        let pred = Predicate::Compare {
+            column: ColumnRef::new("t", "c"),
+            op: CompareOp::Lt,
+            value: Value::Int(cutoff),
+        };
+        let est = stats.selectivity(&pred);
+        let truth = cutoff as f64 / 1000.0;
+        prop_assert!((est - truth).abs() < 0.08, "est {est} truth {truth}");
+    }
+
+    /// Predicate evaluation agrees with selection-bitmap counting.
+    #[test]
+    fn bitmap_count_matches_direct_evaluation(threshold in 0i64..100) {
+        let column = ColumnVector::Int((0..100).collect());
+        let pred = Predicate::Compare {
+            column: ColumnRef::new("t", "c"),
+            op: CompareOp::Ge,
+            value: Value::Int(threshold),
+        };
+        let matches = column.evaluate(&pred).iter().filter(|b| **b).count() as i64;
+        prop_assert_eq!(matches, 100 - threshold);
+    }
+}
