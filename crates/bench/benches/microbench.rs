@@ -1,8 +1,11 @@
-//! Criterion microbenchmarks: inference latency, training step cost,
-//! snapshot fitting and feature-reduction runtime — the time-efficiency side
-//! of the paper's "time-accuracy" comparisons.
+//! Microbenchmarks: inference latency, snapshot fitting and feature-reduction
+//! runtime — the time-efficiency side of the paper's "time-accuracy"
+//! comparisons.
+//!
+//! Criterion is unavailable offline, so this is a plain `harness = false`
+//! bench binary with warm-up plus median-of-samples timing. Run with
+//! `cargo bench -p qcfe-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use qcfe_core::collect::collect_workload;
 use qcfe_core::encoding::FeatureEncoder;
 use qcfe_core::estimators::MscnEstimator;
@@ -12,71 +15,110 @@ use qcfe_core::snapshot::{operator_samples_from, FeatureSnapshot};
 use qcfe_db::env::{DbEnvironment, HardwareProfile};
 use qcfe_workloads::BenchmarkKind;
 use rand::SeedableRng;
+use std::time::Instant;
 
-fn bench_inference(c: &mut Criterion) {
+/// Time `f` with a short warm-up, returning the median per-iteration time in
+/// microseconds over `samples` measured batches.
+fn bench<F: FnMut()>(name: &str, samples: usize, iters_per_sample: usize, mut f: F) {
+    for _ in 0..iters_per_sample.min(3) {
+        f();
+    }
+    let mut times_us: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e6 / iters_per_sample as f64
+        })
+        .collect();
+    times_us.sort_by(|a, b| a.total_cmp(b));
+    let median = times_us[times_us.len() / 2];
+    println!("{name:<44} {median:>12.2} us/iter  ({samples} samples x {iters_per_sample} iters)");
+}
+
+fn bench_inference() {
     let kind = BenchmarkKind::Sysbench;
     let ctx = prepare_context(kind, &ContextConfig::quick(kind));
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let (train, test) = ctx.workload.split(0.8, 1);
     let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
-    let (mscn, _) = MscnEstimator::train(encoder, &train, Some(&ctx.snapshots_fso), None, 20, &mut rng);
+    let (mscn, _) = MscnEstimator::train(
+        encoder,
+        &train,
+        Some(&ctx.snapshots_fso),
+        None,
+        20,
+        &mut rng,
+    );
     let sample = &test.queries[0];
     let snapshot = ctx.snapshots_fso[sample.env_index].as_ref();
 
-    c.bench_function("mscn_single_plan_inference", |b| {
-        b.iter(|| mscn.predict(&sample.executed.root, snapshot))
+    bench("mscn_single_plan_inference", 20, 200, || {
+        std::hint::black_box(mscn.predict(&sample.executed.root, snapshot));
     });
 }
 
-fn bench_snapshot_fit(c: &mut Criterion) {
+fn bench_snapshot_fit() {
     let kind = BenchmarkKind::Sysbench;
-    let bench = kind.build(kind.quick_scale(), 3);
+    let bench_data = kind.build(kind.quick_scale(), 3);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let envs = DbEnvironment::sample_knob_configs(1, HardwareProfile::h1(), &mut rng);
-    let workload = collect_workload(&bench, &envs, 100, 3);
-    let executions: Vec<_> = workload.queries.iter().map(|q| q.executed.clone()).collect();
+    let workload = collect_workload(&bench_data, &envs, 100, 3);
+    let executions: Vec<_> = workload
+        .queries
+        .iter()
+        .map(|q| q.executed.clone())
+        .collect();
     let samples = operator_samples_from(&executions);
 
-    c.bench_function("feature_snapshot_least_squares_fit", |b| {
-        b.iter(|| FeatureSnapshot::fit(&samples))
+    bench("feature_snapshot_least_squares_fit", 20, 20, || {
+        std::hint::black_box(FeatureSnapshot::fit(&samples));
     });
 }
 
-fn bench_reduction(c: &mut Criterion) {
+fn bench_reduction() {
     use qcfe_nn::{Activation, Dataset, Mlp};
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let xs: Vec<Vec<f64>> = (0..300)
-        .map(|i| (0..40).map(|k| ((i * (k + 3)) % 17) as f64 / 17.0).collect())
+        .map(|i| {
+            (0..40)
+                .map(|k| ((i * (k + 3)) % 17) as f64 / 17.0)
+                .collect()
+        })
         .collect();
-    let ys: Vec<f64> = xs.iter().map(|x| x.iter().take(5).sum::<f64>() * 10.0).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().take(5).sum::<f64>() * 10.0)
+        .collect();
     let data = Dataset::new(xs, ys).unwrap();
     let model = Mlp::new(&[40, 32, 1], Activation::Relu, &mut rng);
 
-    let mut group = c.benchmark_group("feature_reduction");
-    group.bench_function("difference_propagation_n100", |b| {
-        b.iter(|| diffprop_reduction(&model, &data, 100, &mut rng))
+    let mut diff_rng = rand::rngs::StdRng::seed_from_u64(6);
+    bench("feature_reduction/difference_propagation", 10, 3, || {
+        std::hint::black_box(diffprop_reduction(&model, &data, 100, &mut diff_rng));
     });
-    group.bench_function("gradient_importance", |b| {
-        b.iter(|| gradient_reduction(&model, &data))
+    bench("feature_reduction/gradient_importance", 10, 3, || {
+        std::hint::black_box(gradient_reduction(&model, &data));
     });
-    group.finish();
 }
 
-fn bench_execution_simulator(c: &mut Criterion) {
+fn bench_execution_simulator() {
     let kind = BenchmarkKind::Tpch;
-    let bench = kind.build(kind.quick_scale(), 7);
-    let db = bench.build_database(DbEnvironment::reference());
+    let bench_data = kind.build(kind.quick_scale(), 7);
+    let db = bench_data.build_database(DbEnvironment::reference());
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let query = bench.templates[0].instantiate(&mut rng);
+    let query = bench_data.templates[0].instantiate(&mut rng);
 
-    c.bench_function("tpch_q1_plan_and_execute", |b| {
-        b.iter(|| db.execute(&query, &mut rng).unwrap())
+    bench("tpch_q1_plan_and_execute", 20, 5, || {
+        std::hint::black_box(db.execute(&query, &mut rng).unwrap());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_inference, bench_snapshot_fit, bench_reduction, bench_execution_simulator
+fn main() {
+    println!("QCFE microbenchmarks (plain harness)");
+    bench_inference();
+    bench_snapshot_fit();
+    bench_reduction();
+    bench_execution_simulator();
 }
-criterion_main!(benches);

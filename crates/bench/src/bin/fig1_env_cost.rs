@@ -22,7 +22,11 @@ fn main() {
     );
 
     for kind in [BenchmarkKind::Tpch, BenchmarkKind::Sysbench] {
-        let scale = if quick { kind.quick_scale() } else { kind.default_scale() };
+        let scale = if quick {
+            kind.quick_scale()
+        } else {
+            kind.default_scale()
+        };
         let bench = kind.build(scale, seed);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let envs = DbEnvironment::sample_knob_configs(env_count, HardwareProfile::h1(), &mut rng);

@@ -9,7 +9,11 @@ use qcfe_workloads::BenchmarkKind;
 
 fn main() {
     let (quick, seed) = parse_common_args();
-    let scales: Vec<usize> = if quick { vec![150] } else { vec![500, 1000, 2000] };
+    let scales: Vec<usize> = if quick {
+        vec![150]
+    } else {
+        vec![500, 1000, 2000]
+    };
     let estimators = [
         EstimatorKind::QcfeMscn,
         EstimatorKind::QcfeQpp,
@@ -22,7 +26,10 @@ fn main() {
         let cfg = if quick {
             ContextConfig::quick(kind)
         } else {
-            ContextConfig { seed, ..ContextConfig::full(kind) }
+            ContextConfig {
+                seed,
+                ..ContextConfig::full(kind)
+            }
         };
         let ctx = prepare_context(kind, &cfg);
         let mut table = ReportTable::new(

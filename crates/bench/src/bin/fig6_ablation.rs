@@ -23,12 +23,21 @@ fn main() {
         let cfg = if quick {
             ContextConfig::quick(kind)
         } else {
-            ContextConfig { seed, ..ContextConfig::full(kind) }
+            ContextConfig {
+                seed,
+                ..ContextConfig::full(kind)
+            }
         };
         let ctx = prepare_context(kind, &cfg);
         let mut table = ReportTable::new(
             format!("Figure 6 — {}", kind.name()),
-            &["variant", "mean q-error", "p50 q-error", "p95 q-error", "pearson"],
+            &[
+                "variant",
+                "mean q-error",
+                "p50 q-error",
+                "p95 q-error",
+                "pearson",
+            ],
         );
         for variant in AblationVariant::ALL {
             let (snapshot_source, reduction) = variant.config();

@@ -17,12 +17,20 @@ fn main() {
     let cfg = if quick {
         ContextConfig::quick(kind)
     } else {
-        ContextConfig { seed, ..ContextConfig::full(kind) }
+        ContextConfig {
+            seed,
+            ..ContextConfig::full(kind)
+        }
     };
     let ctx = prepare_context(kind, &cfg);
 
-    let methods = [ReductionMethod::Greedy, ReductionMethod::Gradient, ReductionMethod::DiffProp];
-    let mut per_method: HashMap<ReductionMethod, HashMap<OperatorKind, (usize, f64)>> = HashMap::new();
+    let methods = [
+        ReductionMethod::Greedy,
+        ReductionMethod::Gradient,
+        ReductionMethod::DiffProp,
+    ];
+    let mut per_method: HashMap<ReductionMethod, HashMap<OperatorKind, (usize, f64)>> =
+        HashMap::new();
     for method in methods {
         let run = RunConfig {
             reduction: method,
@@ -40,7 +48,13 @@ fn main() {
     let mut report = ExperimentReport::new("fig7", "features removed per operator (TPCH)", quick);
     let mut table = ReportTable::new(
         "Figure 7 — feature reduction per operator",
-        &["operator", "Greedy removed", "GD removed", "FR removed", "FR ratio"],
+        &[
+            "operator",
+            "Greedy removed",
+            "GD removed",
+            "FR removed",
+            "FR ratio",
+        ],
     );
     for op in OperatorKind::ALL {
         let get = |m: ReductionMethod| {

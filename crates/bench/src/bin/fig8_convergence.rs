@@ -22,7 +22,10 @@ fn main() {
     let cfg = if quick {
         ContextConfig::quick(kind)
     } else {
-        ContextConfig { seed, ..ContextConfig::full(kind) }
+        ContextConfig {
+            seed,
+            ..ContextConfig::full(kind)
+        }
     };
     let iterations = if quick { 10 } else { 30 };
 
@@ -41,10 +44,19 @@ fn main() {
         hardware: HardwareProfile::h2(),
         ..DbEnvironment::reference()
     };
-    let h2 = collect_workload(&ctx.benchmark, &[h2_env], if quick { 80 } else { 300 }, seed + 3);
+    let h2 = collect_workload(
+        &ctx.benchmark,
+        &[h2_env],
+        if quick { 80 } else { 300 },
+        seed + 3,
+    );
     let (h2_train, h2_test) = h2.split(0.8, seed + 4);
     let fso_h2: EnvSnapshots = vec![Some(FeatureSnapshot::fit_from_executions(
-        &h2_train.queries.iter().map(|q| q.executed.clone()).collect::<Vec<_>>(),
+        &h2_train
+            .queries
+            .iter()
+            .map(|q| q.executed.clone())
+            .collect::<Vec<_>>(),
     ))];
 
     let mut direct = QppNetEstimator::new(encoder, None, &mut rng);
@@ -63,7 +75,11 @@ fn main() {
         ]);
     }
 
-    let mut report = ExperimentReport::new("fig8", "convergence of direct vs transferred model (TPCH)", quick);
+    let mut report = ExperimentReport::new(
+        "fig8",
+        "convergence of direct vs transferred model (TPCH)",
+        quick,
+    );
     report.add_table(table);
     println!("{}", report.render());
     report.save_json();

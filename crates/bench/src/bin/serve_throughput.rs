@@ -1,0 +1,118 @@
+//! Serving-layer throughput benchmark: closed-loop clients against the
+//! micro-batching `EstimationService`, swept over client counts and with
+//! batching effectively on/off (max_batch 1 vs 32).
+//!
+//! Emits the standard report JSON under `target/experiments/` and a
+//! machine-readable `BENCH_serve.json` at the workspace root so future PRs
+//! can track the serving perf trajectory.
+//!
+//! Usage: `cargo run --release -p qcfe-bench --bin serve_throughput [--quick] [--seed N]`
+
+use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
+use qcfe_core::cost_model::CostModel;
+use qcfe_core::encoding::FeatureEncoder;
+use qcfe_core::estimators::MscnEstimator;
+use qcfe_core::pipeline::{prepare_context, ContextConfig};
+use qcfe_serve::prelude::*;
+use qcfe_workloads::{run_closed_loop, BenchmarkKind, ClosedLoopConfig};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let kind = BenchmarkKind::Sysbench;
+    let requests_per_client = if quick { 50 } else { 250 };
+    let client_counts: &[usize] = if quick { &[1, 8] } else { &[1, 4, 8, 16, 32] };
+
+    eprintln!("[serve] preparing {} context...", kind.name());
+    let ctx = prepare_context(
+        kind,
+        &ContextConfig {
+            seed,
+            ..ContextConfig::quick(kind)
+        },
+    );
+    let env = ctx.workload.environments[0].clone();
+    let snapshot = ctx.snapshots_fso[0].clone().expect("snapshot fitted");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+    eprintln!("[serve] training QCFE(mscn)...");
+    let (mscn, _) = MscnEstimator::train(
+        encoder,
+        &ctx.workload,
+        Some(&ctx.snapshots_fso),
+        None,
+        if quick { 15 } else { 30 },
+        &mut rng,
+    );
+    let model: Arc<dyn CostModel> = Arc::new(mscn);
+    let db = ctx.benchmark.build_database(env);
+
+    let mut report = ExperimentReport::new(
+        "serve",
+        format!(
+            "closed-loop serving throughput, {requests_per_client} requests/client, seed {seed}"
+        ),
+        quick,
+    );
+    let mut table = ReportTable::new(
+        "EstimationService throughput",
+        &[
+            "clients",
+            "max_batch",
+            "throughput (est/s)",
+            "client p50 (ms)",
+            "client p99 (ms)",
+            "mean batch",
+            "cache hit rate",
+        ],
+    );
+
+    for &clients in client_counts {
+        for max_batch in [1usize, 32] {
+            let service = EstimationService::start(
+                Arc::clone(&model),
+                Some(snapshot.clone()),
+                ServiceConfig {
+                    workers: 2,
+                    queue_capacity: 256,
+                    max_batch,
+                    encoding_cache_capacity: 4096,
+                },
+            );
+            let handle = service.handle();
+            let load = ClosedLoopConfig::new(clients, requests_per_client, seed + 100);
+            let run = run_closed_loop(&ctx.benchmark, &load, |query| {
+                let plan = db.plan(&query).map_err(|e| e.to_string())?;
+                Ok(handle.estimate(plan).map_err(|e| e.to_string())?.cost_ms)
+            });
+            let metrics = service.shutdown();
+            assert_eq!(run.errors, 0, "serving must not drop closed-loop requests");
+            table.push_row(vec![
+                clients.to_string(),
+                max_batch.to_string(),
+                format!("{:.0}", run.throughput_qps()),
+                fmt3(run.latency_percentile_ms(50.0)),
+                fmt3(run.latency_percentile_ms(99.0)),
+                fmt3(metrics.mean_batch_size),
+                fmt3(metrics.cache_hit_rate),
+            ]);
+            eprintln!(
+                "[serve] clients={clients} max_batch={max_batch}: {:.0} est/s, p99 {:.3} ms, mean batch {:.2}, cache {:.0}%",
+                run.throughput_qps(),
+                run.latency_percentile_ms(99.0),
+                metrics.mean_batch_size,
+                100.0 * metrics.cache_hit_rate,
+            );
+        }
+    }
+
+    report.add_table(table);
+    println!("{}", report.render());
+    if let Some(path) = report.save_json() {
+        eprintln!("[serve] report saved to {}", path.display());
+    }
+    if let Some(path) = report.save_bench_json() {
+        eprintln!("[serve] bench trajectory saved to {}", path.display());
+    }
+}

@@ -9,11 +9,33 @@ use qcfe_workloads::BenchmarkKind;
 
 fn main() {
     let (quick, seed) = parse_common_args();
-    let scales: Vec<usize> = if quick { vec![100, 200] } else { vec![500, 1000, 2000] };
+    let scales: Vec<usize> = if quick {
+        vec![100, 200]
+    } else {
+        vec![500, 1000, 2000]
+    };
     let iterations = |kind: BenchmarkKind| match kind {
-        BenchmarkKind::Tpch => if quick { 10 } else { 40 },
-        BenchmarkKind::JobLight => if quick { 12 } else { 60 },
-        BenchmarkKind::Sysbench => if quick { 8 } else { 20 },
+        BenchmarkKind::Tpch => {
+            if quick {
+                10
+            } else {
+                40
+            }
+        }
+        BenchmarkKind::JobLight => {
+            if quick {
+                12
+            } else {
+                60
+            }
+        }
+        BenchmarkKind::Sysbench => {
+            if quick {
+                8
+            } else {
+                20
+            }
+        }
     };
 
     let mut report = ExperimentReport::new(
@@ -26,14 +48,23 @@ fn main() {
         let cfg = if quick {
             ContextConfig::quick(bench_kind)
         } else {
-            ContextConfig { seed, ..ContextConfig::full(bench_kind) }
+            ContextConfig {
+                seed,
+                ..ContextConfig::full(bench_kind)
+            }
         };
         eprintln!("[table4] preparing {} context...", bench_kind.name());
         let ctx = prepare_context(bench_kind, &cfg);
 
         let mut table = ReportTable::new(
             format!("Table IV — {}", bench_kind.name()),
-            &["model", "scale", "pearson", "mean q-error", "train time (s)"],
+            &[
+                "model",
+                "scale",
+                "pearson",
+                "mean q-error",
+                "train time (s)",
+            ],
         );
         for &scale in &scales {
             for est in EstimatorKind::ALL {

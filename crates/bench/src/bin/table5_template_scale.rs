@@ -15,17 +15,28 @@ fn main() {
     let sample_size = if quick { 150 } else { 1000 };
     let iterations = if quick { 6 } else { 30 };
 
-    let mut report = ExperimentReport::new("table5", "template-scale robustness (FSO vs FST)", quick);
+    let mut report =
+        ExperimentReport::new("table5", "template-scale robustness (FSO vs FST)", quick);
     for kind in [BenchmarkKind::Tpch, BenchmarkKind::JobLight] {
         let mut table = ReportTable::new(
             format!("Table V — {}", kind.name()),
-            &["snapshot", "template scale", "mean q-error", "collection cost (ms, simulated)", "#templates"],
+            &[
+                "snapshot",
+                "template scale",
+                "mean q-error",
+                "collection cost (ms, simulated)",
+                "#templates",
+            ],
         );
         for &tscale in &template_scales {
             let cfg = ContextConfig {
                 template_scale: tscale,
                 seed,
-                ..if quick { ContextConfig::quick(kind) } else { ContextConfig::full(kind) }
+                ..if quick {
+                    ContextConfig::quick(kind)
+                } else {
+                    ContextConfig::full(kind)
+                }
             };
             let ctx = prepare_context(kind, &cfg);
             // FSO row only once (its collection cost does not depend on the

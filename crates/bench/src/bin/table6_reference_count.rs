@@ -10,20 +10,38 @@ use qcfe_workloads::BenchmarkKind;
 
 fn main() {
     let (quick, seed) = parse_common_args();
-    let reference_counts: Vec<usize> = if quick { vec![50, 100] } else { vec![200, 250, 300, 400, 500] };
+    let reference_counts: Vec<usize> = if quick {
+        vec![50, 100]
+    } else {
+        vec![200, 250, 300, 400, 500]
+    };
     let sample_size = if quick { 150 } else { 800 };
     let kind = BenchmarkKind::Tpch;
     let cfg = if quick {
         ContextConfig::quick(kind)
     } else {
-        ContextConfig { seed, ..ContextConfig::full(kind) }
+        ContextConfig {
+            seed,
+            ..ContextConfig::full(kind)
+        }
     };
     let ctx = prepare_context(kind, &cfg);
 
-    let mut report = ExperimentReport::new("table6", "reference-count robustness (TPCH, QCFE(qpp))", quick);
+    let mut report = ExperimentReport::new(
+        "table6",
+        "reference-count robustness (TPCH, QCFE(qpp))",
+        quick,
+    );
     let mut table = ReportTable::new(
         "Table VI — number of reference points",
-        &["N", "mean q-error", "p95 q-error", "p90 q-error", "FR runtime (ms)", "reduction ratio"],
+        &[
+            "N",
+            "mean q-error",
+            "p95 q-error",
+            "p90 q-error",
+            "FR runtime (ms)",
+            "reduction ratio",
+        ],
     );
     for &n in &reference_counts {
         let run = RunConfig {

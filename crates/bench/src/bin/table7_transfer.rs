@@ -19,13 +19,20 @@ use std::time::Instant;
 
 fn main() {
     let (quick, seed) = parse_common_args();
-    let mut report = ExperimentReport::new("table7_fig8", "hardware transferability of the feature snapshot", quick);
+    let mut report = ExperimentReport::new(
+        "table7_fig8",
+        "hardware transferability of the feature snapshot",
+        quick,
+    );
 
     for kind in [BenchmarkKind::Tpch, BenchmarkKind::JobLight] {
         let cfg = if quick {
             ContextConfig::quick(kind)
         } else {
-            ContextConfig { seed, ..ContextConfig::full(kind) }
+            ContextConfig {
+                seed,
+                ..ContextConfig::full(kind)
+            }
         };
         let basis_iterations = if quick { 8 } else { 40 };
         let finetune_iterations = basis_iterations / 4;
@@ -37,7 +44,12 @@ fn main() {
         let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
         let (h1_train, _) = ctx.workload.split(0.8, seed);
         let mut basis = QppNetEstimator::new(encoder.clone(), None, &mut rng);
-        let basis_stats = basis.train(&h1_train, Some(&ctx.snapshots_fso), basis_iterations, &mut rng);
+        let basis_stats = basis.train(
+            &h1_train,
+            Some(&ctx.snapshots_fso),
+            basis_iterations,
+            &mut rng,
+        );
 
         // 2. Collect a small labeled set on the new hardware h2.
         let h2_env = DbEnvironment {
@@ -45,13 +57,22 @@ fn main() {
             hardware: HardwareProfile::h2(),
             ..DbEnvironment::reference()
         };
-        let h2_workload = collect_workload(&ctx.benchmark, &[h2_env.clone()], h2_queries, seed + 7);
+        let h2_workload = collect_workload(
+            &ctx.benchmark,
+            std::slice::from_ref(&h2_env),
+            h2_queries,
+            seed + 7,
+        );
         let (h2_train, h2_test) = h2_workload.split(0.8, seed + 8);
 
         // 3. Snapshots on h2: from the labeled originals (FSO) and from the
         //    simplified templates (FST).
         let fso_h2: EnvSnapshots = vec![Some(FeatureSnapshot::fit_from_executions(
-            &h2_train.queries.iter().map(|q| q.executed.clone()).collect::<Vec<_>>(),
+            &h2_train
+                .queries
+                .iter()
+                .map(|q| q.executed.clone())
+                .collect::<Vec<_>>(),
         ))];
         let reference_db = ctx.benchmark.build_database(DbEnvironment::reference());
         let abstract_ = DataAbstract::from_database(&reference_db);
@@ -61,7 +82,12 @@ fn main() {
             .iter()
             .map(|t| t.representative_sql(&mut rng))
             .collect();
-        let simplified = simplified_queries(&original_sql, &abstract_, cfg.template_scale.max(1), &mut rng);
+        let simplified = simplified_queries(
+            &original_sql,
+            &abstract_,
+            cfg.template_scale.max(1),
+            &mut rng,
+        );
         let fst_h2: EnvSnapshots = vec![Some(FeatureSnapshot::fit_from_executions(
             &execute_queries(&ctx.benchmark, &h2_env, &simplified, seed + 9),
         ))];
@@ -128,8 +154,14 @@ fn main() {
         for i in 0..direct_curve.len().max(trans_curve.len()) {
             curve.push_row(vec![
                 (i + 1).to_string(),
-                direct_curve.get(i).map(|v| fmt3(*v)).unwrap_or_else(|| "-".into()),
-                trans_curve.get(i).map(|v| fmt3(*v)).unwrap_or_else(|| "-".into()),
+                direct_curve
+                    .get(i)
+                    .map(|v| fmt3(*v))
+                    .unwrap_or_else(|| "-".into()),
+                trans_curve
+                    .get(i)
+                    .map(|v| fmt3(*v))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         report.add_table(curve);

@@ -5,6 +5,8 @@
 //! small amount of code they share: result tables, output formatting, and
 //! the `--quick` switch.
 
+pub mod json;
 pub mod report;
 
+pub use json::Json;
 pub use report::{ExperimentReport, ReportTable};

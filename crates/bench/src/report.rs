@@ -5,6 +5,7 @@
 //! the terminal output mirrors the paper's tables) and serialised as JSON
 //! under `target/experiments/` so EXPERIMENTS.md can be regenerated.
 
+use crate::json::{Json, JsonError};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -32,7 +33,11 @@ impl ReportTable {
 
     /// Append a row; the number of cells must match the headers.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(cells);
     }
 
@@ -53,7 +58,11 @@ impl ReportTable {
             .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header_line.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -112,6 +121,106 @@ impl ExperimentReport {
         out
     }
 
+    /// Serialise to a JSON document (hand-rolled writer; object keys in a
+    /// stable order so report files diff cleanly).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("id".into(), Json::String(self.id.clone())),
+            ("description".into(), Json::String(self.description.clone())),
+            ("quick".into(), Json::Bool(self.quick)),
+            (
+                "tables".into(),
+                Json::Array(
+                    self.tables
+                        .iter()
+                        .map(|t| {
+                            Json::Object(vec![
+                                ("title".into(), Json::String(t.title.clone())),
+                                (
+                                    "headers".into(),
+                                    Json::Array(
+                                        t.headers.iter().cloned().map(Json::String).collect(),
+                                    ),
+                                ),
+                                (
+                                    "rows".into(),
+                                    Json::Array(
+                                        t.rows
+                                            .iter()
+                                            .map(|r| {
+                                                Json::Array(
+                                                    r.iter().cloned().map(Json::String).collect(),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse a report previously written by [`ExperimentReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let bad = |what: &str| JsonError {
+            message: what.into(),
+            offset: 0,
+        };
+        let doc = Json::parse(text)?;
+        let str_field = |v: &Json, key: &str| -> Result<String, JsonError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("missing string field '{key}'")))
+        };
+        let mut report = ExperimentReport {
+            id: str_field(&doc, "id")?,
+            description: str_field(&doc, "description")?,
+            quick: doc
+                .get("quick")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad("missing bool field 'quick'"))?,
+            tables: Vec::new(),
+        };
+        let tables = doc
+            .get("tables")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing array field 'tables'"))?;
+        for t in tables {
+            let strings = |v: &Json| -> Result<Vec<String>, JsonError> {
+                v.as_array()
+                    .ok_or_else(|| bad("expected array of strings"))?
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("expected string cell"))
+                    })
+                    .collect()
+            };
+            let headers = strings(
+                t.get("headers")
+                    .ok_or_else(|| bad("table missing 'headers'"))?,
+            )?;
+            let rows = t
+                .get("rows")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("table missing 'rows'"))?
+                .iter()
+                .map(strings)
+                .collect::<Result<Vec<_>, _>>()?;
+            report.tables.push(ReportTable {
+                title: str_field(t, "title")?,
+                headers,
+                rows,
+            });
+        }
+        Ok(report)
+    }
+
     /// Write the report to `target/experiments/<id>.json` (best effort) and
     /// return the path used.
     pub fn save_json(&self) -> Option<PathBuf> {
@@ -120,9 +229,37 @@ impl ExperimentReport {
             return None;
         }
         let path = dir.join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self).ok()?;
-        std::fs::write(&path, json).ok()?;
+        std::fs::write(&path, self.to_json().pretty()).ok()?;
         Some(path)
+    }
+
+    /// Write the report as machine-readable `BENCH_<id>.json` at a stable
+    /// path (the workspace root when invoked via cargo, else the current
+    /// directory), so successive PRs can track the perf trajectory.
+    pub fn save_bench_json(&self) -> Option<PathBuf> {
+        let root = workspace_root().unwrap_or_else(|| PathBuf::from("."));
+        let path = root.join(format!("BENCH_{}.json", self.id));
+        std::fs::write(&path, self.to_json().pretty()).ok()?;
+        Some(path)
+    }
+}
+
+/// Locate the cargo workspace root: walk up from `CARGO_MANIFEST_DIR`
+/// looking for a `Cargo.toml` that declares `[workspace]`. Works no matter
+/// how deeply the calling crate is nested (or if it *is* the root).
+fn workspace_root() -> Option<PathBuf> {
+    let manifest_dir = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let mut dir = PathBuf::from(manifest_dir);
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
     }
 }
 
@@ -174,8 +311,8 @@ mod tests {
         let mut t = ReportTable::new("TPCH", &["model", "pearson"]);
         t.push_row(vec!["MSCN".into(), "0.983".into()]);
         r.add_table(t);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let json = r.to_json().pretty();
+        let back = ExperimentReport::from_json(&json).unwrap();
         assert_eq!(back, r);
         assert!(r.render().contains("[quick mode]"));
     }

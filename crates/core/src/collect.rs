@@ -45,7 +45,10 @@ impl LabeledWorkload {
 
     /// The labeled queries collected under one environment.
     pub fn for_environment(&self, env_index: usize) -> Vec<&LabeledQuery> {
-        self.queries.iter().filter(|q| q.env_index == env_index).collect()
+        self.queries
+            .iter()
+            .filter(|q| q.env_index == env_index)
+            .collect()
     }
 
     /// A deterministic subsample of `n` labeled queries (the paper's
@@ -111,7 +114,10 @@ pub fn collect_workload(
         let db = benchmark.build_database(env.clone());
         for q in benchmark.queries_round_robin(queries_per_env, &mut rng) {
             if let Ok(executed) = db.execute(&q, &mut rng) {
-                queries.push(LabeledQuery { env_index, executed });
+                queries.push(LabeledQuery {
+                    env_index,
+                    executed,
+                });
             }
         }
     }

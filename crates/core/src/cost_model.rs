@@ -1,0 +1,167 @@
+//! The [`CostModel`] trait: a uniform, thread-safe inference interface over
+//! every estimator in the workspace.
+//!
+//! The experiment pipeline trains concrete estimator types
+//! ([`MscnEstimator`], [`QppNetEstimator`], [`PgEstimator`]); the serving
+//! layer (`qcfe-serve`) needs to hold *any* of them behind
+//! `Arc<dyn CostModel>` and, where possible, run inference over micro-batches
+//! of requests. Models with a flat plan encoding (MSCN-style) expose it via
+//! [`CostModel::encode_plan`] so the service can coalesce encodings into one
+//! matrix pass; tree-structured models fall back to per-plan prediction.
+
+use crate::estimators::{MscnEstimator, PgEstimator, QppNetEstimator};
+use crate::snapshot::FeatureSnapshot;
+use qcfe_db::plan::PlanNode;
+use qcfe_nn::Matrix;
+
+/// A trained cost estimator usable from concurrent serving threads.
+pub trait CostModel: Send + Sync {
+    /// Display name (matches the paper's table labels).
+    fn name(&self) -> &'static str;
+
+    /// Predict the latency (ms) of one physical plan.
+    fn predict_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64;
+
+    /// Flat feature encoding of a plan, when the model supports batched
+    /// inference over encodings (`None` for tree-structured models).
+    fn encode_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> Option<Vec<f64>> {
+        let _ = (root, snapshot);
+        None
+    }
+
+    /// Batched inference over encodings produced by
+    /// [`CostModel::encode_plan`]. The default panics; implementors that
+    /// return `Some` encodings must override it.
+    fn predict_encoded(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let _ = rows;
+        unreachable!("predict_encoded called on a model without a flat encoding")
+    }
+
+    /// Whether [`CostModel::encode_plan`] returns `Some` (i.e. the service
+    /// can micro-batch this model's inference).
+    fn supports_batching(&self) -> bool {
+        false
+    }
+}
+
+impl CostModel for MscnEstimator {
+    fn name(&self) -> &'static str {
+        "MSCN"
+    }
+
+    fn predict_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+        self.predict(root, snapshot)
+    }
+
+    fn encode_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> Option<Vec<f64>> {
+        let features = self.encoder().encode_plan(root, snapshot);
+        Some(self.mask().iter().map(|&i| features[i]).collect())
+    }
+
+    fn predict_encoded(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let batch = Matrix::from_rows(rows);
+        let out = self.model().predict(&batch);
+        (0..out.rows()).map(|r| out.get(r, 0).max(1e-6)).collect()
+    }
+
+    fn supports_batching(&self) -> bool {
+        true
+    }
+}
+
+impl CostModel for QppNetEstimator {
+    fn name(&self) -> &'static str {
+        "QPPNet"
+    }
+
+    fn predict_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+        self.predict(root, snapshot)
+    }
+}
+
+impl CostModel for PgEstimator {
+    fn name(&self) -> &'static str {
+        "PGSQL"
+    }
+
+    fn predict_plan(&self, root: &PlanNode, _snapshot: Option<&FeatureSnapshot>) -> f64 {
+        self.predict(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::collect_workload;
+    use crate::encoding::FeatureEncoder;
+    use qcfe_db::env::{DbEnvironment, HardwareProfile};
+    use qcfe_workloads::BenchmarkKind;
+    use rand::SeedableRng;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn estimators_are_thread_safe() {
+        assert_send_sync::<MscnEstimator>();
+        assert_send_sync::<QppNetEstimator>();
+        assert_send_sync::<PgEstimator>();
+        assert_send_sync::<std::sync::Arc<dyn CostModel>>();
+    }
+
+    #[test]
+    fn batched_and_single_inference_agree_for_mscn() {
+        let bench = BenchmarkKind::Sysbench.build(0.0005, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let envs = DbEnvironment::sample_knob_configs(1, HardwareProfile::h1(), &mut rng);
+        let workload = collect_workload(&bench, &envs, 30, 17);
+        let encoder = FeatureEncoder::new(&bench.catalog, false);
+        let (mscn, _) = MscnEstimator::train(encoder, &workload, None, None, 10, &mut rng);
+
+        let model: &dyn CostModel = &mscn;
+        assert!(model.supports_batching());
+        assert_eq!(model.name(), "MSCN");
+        let encodings: Vec<Vec<f64>> = workload
+            .queries
+            .iter()
+            .map(|q| {
+                model
+                    .encode_plan(&q.executed.root, None)
+                    .expect("mscn encodes")
+            })
+            .collect();
+        let batched = model.predict_encoded(&encodings);
+        assert_eq!(batched.len(), workload.len());
+        for (q, b) in workload.queries.iter().zip(&batched) {
+            let single = model.predict_plan(&q.executed.root, None);
+            assert!(
+                (single - b).abs() < 1e-9,
+                "batched {b} deviates from single {single}"
+            );
+        }
+        assert!(model.predict_encoded(&[]).is_empty());
+    }
+
+    #[test]
+    fn tree_models_do_not_advertise_batching() {
+        let bench = BenchmarkKind::Sysbench.build(0.0005, 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let encoder = FeatureEncoder::new(&bench.catalog, false);
+        let qpp = QppNetEstimator::new(encoder, None, &mut rng);
+        let model: &dyn CostModel = &qpp;
+        assert!(!model.supports_batching());
+        assert_eq!(model.name(), "QPPNet");
+
+        let pg: &dyn CostModel = &PgEstimator;
+        assert!(!pg.supports_batching());
+        let envs = DbEnvironment::sample_knob_configs(1, HardwareProfile::h1(), &mut rng);
+        let workload = collect_workload(&bench, &envs, 5, 2);
+        for q in &workload.queries {
+            assert!(pg.encode_plan(&q.executed.root, None).is_none());
+            assert!(pg.predict_plan(&q.executed.root, None) > 0.0);
+            assert!(model.predict_plan(&q.executed.root, None) > 0.0);
+        }
+    }
+}

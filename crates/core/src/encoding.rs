@@ -67,7 +67,12 @@ impl FeatureEncoder {
                 feature_names.push(format!("fs:c{i}"));
             }
         }
-        FeatureEncoder { tables, columns, include_snapshot, feature_names }
+        FeatureEncoder {
+            tables,
+            columns,
+            include_snapshot,
+            feature_names,
+        }
     }
 
     /// Whether this encoder appends the feature snapshot.
@@ -81,7 +86,11 @@ impl FeatureEncoder {
             + self.tables.len()
             + self.columns.len()
             + NODE_NUMERIC_DIM
-            + if self.include_snapshot { SNAPSHOT_DIM } else { 0 }
+            + if self.include_snapshot {
+                SNAPSHOT_DIM
+            } else {
+                0
+            }
     }
 
     /// Dimensionality of the pooled plan-level encoding.
@@ -121,7 +130,11 @@ impl FeatureEncoder {
         // Table one-hot (scans only).
         let scanned = node.op.scanned_table();
         for t in &self.tables {
-            v.push(if scanned == Some(t.as_str()) { 1.0 } else { 0.0 });
+            v.push(if scanned == Some(t.as_str()) {
+                1.0
+            } else {
+                0.0
+            });
         }
         // Index-column one-hot (index scans only).
         let index_col = match &node.op {
@@ -129,7 +142,11 @@ impl FeatureEncoder {
             _ => None,
         };
         for (t, c) in &self.columns {
-            v.push(if index_col == Some((t.as_str(), c.as_str())) { 1.0 } else { 0.0 });
+            v.push(if index_col == Some((t.as_str(), c.as_str())) {
+                1.0
+            } else {
+                0.0
+            });
         }
         // Numeric features.
         let child_rows: f64 = node.children.iter().map(|c| c.est_rows).sum();
@@ -146,7 +163,11 @@ impl FeatureEncoder {
                 .map(|s| s.coefficients(kind))
                 .unwrap_or([0.0; SNAPSHOT_DIM]);
             // Scale the constant-ish coefficients into a comparable range.
-            v.extend(coeffs.iter().map(|c| (1.0 + c.abs() * 1000.0).ln() * c.signum()));
+            v.extend(
+                coeffs
+                    .iter()
+                    .map(|c| (1.0 + c.abs() * 1000.0).ln() * c.signum()),
+            );
         }
         debug_assert_eq!(v.len(), self.node_dim());
         v
@@ -209,13 +230,22 @@ mod tests {
                 .column("y", DataType::Int)
                 .primary_key("x"),
         );
-        c.add_table(TableBuilder::new("b").column("z", DataType::Int).primary_key("z"));
+        c.add_table(
+            TableBuilder::new("b")
+                .column("z", DataType::Int)
+                .primary_key("z"),
+        );
         c
     }
 
     fn plan() -> PlanNode {
-        let mut scan_a =
-            PlanNode::new(PhysicalOp::IndexScan { table: "a".into(), column: "x".into() }, vec![]);
+        let mut scan_a = PlanNode::new(
+            PhysicalOp::IndexScan {
+                table: "a".into(),
+                column: "x".into(),
+            },
+            vec![],
+        );
         scan_a.est_rows = 100.0;
         let mut scan_b = PlanNode::new(PhysicalOp::SeqScan { table: "b".into() }, vec![]);
         scan_b.est_rows = 1000.0;
@@ -252,7 +282,11 @@ mod tests {
         let (kind, root_vec) = &nodes[0];
         assert_eq!(*kind, OperatorKind::HashJoin);
         assert_eq!(root_vec[OperatorKind::HashJoin.index()], 1.0);
-        assert_eq!(root_vec.iter().take(9).sum::<f64>(), 1.0, "exactly one op bit");
+        assert_eq!(
+            root_vec.iter().take(9).sum::<f64>(),
+            1.0,
+            "exactly one op bit"
+        );
         // index scan on a.x sets table 'a' and index column a.x
         let (_, scan_vec) = &nodes[1];
         assert_eq!(scan_vec[OperatorKind::IndexScan.index()], 1.0);
@@ -281,7 +315,10 @@ mod tests {
         let nodes = enc.encode_plan_nodes(&p, Some(&snap));
         let seq_vec = &nodes[2].1;
         let fs = enc.snapshot_feature_indices();
-        assert!(seq_vec[fs[0]] != 0.0, "seq scan snapshot coefficient must be present");
+        assert!(
+            seq_vec[fs[0]] != 0.0,
+            "seq scan snapshot coefficient must be present"
+        );
         // hash join has no fitted coefficients -> zeros
         let join_vec = &nodes[0].1;
         assert_eq!(join_vec[fs[0]], 0.0);

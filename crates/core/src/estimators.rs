@@ -53,8 +53,10 @@ impl PgEstimator {
 /// Per-environment snapshots used when encoding labeled queries.
 pub type EnvSnapshots = Vec<Option<FeatureSnapshot>>;
 
-fn snapshot_for<'a>(snapshots: Option<&'a EnvSnapshots>, env_index: usize) -> Option<&'a FeatureSnapshot> {
-    snapshots.and_then(|s| s.get(env_index)).and_then(|o| o.as_ref())
+fn snapshot_for(snapshots: Option<&EnvSnapshots>, env_index: usize) -> Option<&FeatureSnapshot> {
+    snapshots
+        .and_then(|s| s.get(env_index))
+        .and_then(|o| o.as_ref())
 }
 
 /// Project a feature vector onto the kept indices of a mask.
@@ -107,7 +109,11 @@ impl MscnEstimator {
         let full = Self::build_dataset(&encoder, workload, snapshots);
         let mask = mask.unwrap_or_else(|| (0..full.dim()).collect());
         let data = full.project_columns(&mask).expect("valid mask");
-        let mut mlp = Mlp::new(&[data.dim(), Self::HIDDEN, Self::HIDDEN / 2, 1], Activation::Relu, rng);
+        let mut mlp = Mlp::new(
+            &[data.dim(), Self::HIDDEN, Self::HIDDEN / 2, 1],
+            Activation::Relu,
+            rng,
+        );
         let cfg = TrainConfig {
             epochs: iterations,
             batch_size: 64,
@@ -127,11 +133,17 @@ impl MscnEstimator {
     /// Predict the latency of a plan under an (optional) snapshot.
     pub fn predict(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
         let features = self.encoder.encode_plan(root, snapshot);
-        self.mlp.predict_one(&project(&features, &self.mask)).max(1e-6)
+        self.mlp
+            .predict_one(&project(&features, &self.mask))
+            .max(1e-6)
     }
 
     /// Evaluate on a labeled workload.
-    pub fn evaluate(&self, workload: &LabeledWorkload, snapshots: Option<&EnvSnapshots>) -> AccuracyReport {
+    pub fn evaluate(
+        &self,
+        workload: &LabeledWorkload,
+        snapshots: Option<&EnvSnapshots>,
+    ) -> AccuracyReport {
         let actuals = workload.actual_costs();
         let preds: Vec<f64> = workload
             .queries
@@ -142,7 +154,11 @@ impl MscnEstimator {
     }
 
     /// Average single-query inference latency in microseconds.
-    pub fn inference_latency_us(&self, workload: &LabeledWorkload, snapshots: Option<&EnvSnapshots>) -> f64 {
+    pub fn inference_latency_us(
+        &self,
+        workload: &LabeledWorkload,
+        snapshots: Option<&EnvSnapshots>,
+    ) -> f64 {
         if workload.is_empty() {
             return 0.0;
         }
@@ -230,7 +246,12 @@ impl QppNetEstimator {
             );
             units.insert(kind, unit);
         }
-        QppNetEstimator { encoder, masks, units, node_dim }
+        QppNetEstimator {
+            encoder,
+            masks,
+            units,
+            node_dim,
+        }
     }
 
     /// The per-operator feature masks.
@@ -243,13 +264,18 @@ impl QppNetEstimator {
         &self.encoder
     }
 
-    fn unit_input(&self, kind: OperatorKind, node_features: &[f64], child_outputs: &[Vec<f64>]) -> Vec<f64> {
+    fn unit_input(
+        &self,
+        kind: OperatorKind,
+        node_features: &[f64],
+        child_outputs: &[Vec<f64>],
+    ) -> Vec<f64> {
         let mask = &self.masks[&kind];
         let mut input = project(node_features, mask);
         for slot in 0..MAX_CHILDREN {
             match child_outputs.get(slot) {
                 Some(v) => input.extend_from_slice(v),
-                None => input.extend(std::iter::repeat(0.0).take(DATA_VECTOR_DIM)),
+                None => input.extend(std::iter::repeat_n(0.0, DATA_VECTOR_DIM)),
             }
         }
         input
@@ -258,7 +284,12 @@ impl QppNetEstimator {
     /// Inference-only forward pass over a plan; returns the root's predicted
     /// latency (ms).
     pub fn predict(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
-        fn walk(est: &QppNetEstimator, node: &PlanNode, depth: usize, snapshot: Option<&FeatureSnapshot>) -> Vec<f64> {
+        fn walk(
+            est: &QppNetEstimator,
+            node: &PlanNode,
+            depth: usize,
+            snapshot: Option<&FeatureSnapshot>,
+        ) -> Vec<f64> {
             let child_outputs: Vec<Vec<f64>> = node
                 .children
                 .iter()
@@ -269,11 +300,20 @@ impl QppNetEstimator {
             let input = est.unit_input(kind, &features, &child_outputs);
             est.units[&kind].predict_vec(&input)
         }
-        walk(self, root, 0, snapshot).first().copied().unwrap_or(0.0).max(1e-6)
+        walk(self, root, 0, snapshot)
+            .first()
+            .copied()
+            .unwrap_or(0.0)
+            .max(1e-6)
     }
 
     /// Training forward pass keeping caches for backprop.
-    fn forward_train(&self, node: &PlanNode, depth: usize, snapshot: Option<&FeatureSnapshot>) -> ForwardNode {
+    fn forward_train(
+        &self,
+        node: &PlanNode,
+        depth: usize,
+        snapshot: Option<&FeatureSnapshot>,
+    ) -> ForwardNode {
         let children: Vec<ForwardNode> = node
             .children
             .iter()
@@ -295,7 +335,12 @@ impl QppNetEstimator {
 
     /// Backward pass through the tree, accumulating gradients in the units.
     /// Returns the summed node loss of the tree.
-    fn backward_tree(&mut self, fwd: &ForwardNode, grad_from_parent: Vec<f64>, node_count: f64) -> f64 {
+    fn backward_tree(
+        &mut self,
+        fwd: &ForwardNode,
+        grad_from_parent: Vec<f64>,
+        node_count: f64,
+    ) -> f64 {
         // Loss on this node's latency prediction (log-space MSE), averaged
         // over the plan's node count.
         let pred = fwd.output[0];
@@ -368,7 +413,11 @@ impl QppNetEstimator {
     }
 
     /// Evaluate on a labeled workload.
-    pub fn evaluate(&self, workload: &LabeledWorkload, snapshots: Option<&EnvSnapshots>) -> AccuracyReport {
+    pub fn evaluate(
+        &self,
+        workload: &LabeledWorkload,
+        snapshots: Option<&EnvSnapshots>,
+    ) -> AccuracyReport {
         let actuals = workload.actual_costs();
         let preds: Vec<f64> = workload
             .queries
@@ -477,10 +526,13 @@ mod tests {
     fn operator_datasets_cover_plan_operators() {
         let (w, encoder, _) = workload();
         let datasets = QppNetEstimator::operator_datasets(&encoder, &w, None);
-        assert!(datasets.contains_key(&OperatorKind::SeqScan) || datasets.contains_key(&OperatorKind::IndexScan));
+        assert!(
+            datasets.contains_key(&OperatorKind::SeqScan)
+                || datasets.contains_key(&OperatorKind::IndexScan)
+        );
         for (kind, d) in &datasets {
             assert_eq!(d.dim(), encoder.node_dim(), "{kind:?}");
-            assert!(d.len() > 0);
+            assert!(!d.is_empty());
         }
     }
 }

@@ -16,6 +16,8 @@
 //! * [`encoding`] — the operator/plan encodings shared by the estimators;
 //! * [`estimators`] — the PostgreSQL baseline plus MSCN-style and
 //!   QPPNet-style learned estimators (and their QCFE variants);
+//! * [`cost_model`] — the thread-safe [`CostModel`] inference trait the
+//!   online serving layer (`qcfe-serve`) consumes;
 //! * [`collect`] — labeled-workload collection across environments;
 //! * [`metrics`] — q-error, Pearson correlation, percentiles;
 //! * [`pipeline`] — the end-to-end experiment driver used by the
@@ -35,6 +37,7 @@
 //! ```
 
 pub mod collect;
+pub mod cost_model;
 pub mod encoding;
 pub mod estimators;
 pub mod metrics;
@@ -44,6 +47,7 @@ pub mod snapshot;
 pub mod templates;
 
 pub use collect::{collect_workload, LabeledQuery, LabeledWorkload};
+pub use cost_model::CostModel;
 pub use encoding::FeatureEncoder;
 pub use estimators::{MscnEstimator, PgEstimator, QppNetEstimator, TrainStats};
 pub use metrics::AccuracyReport;
@@ -52,4 +56,4 @@ pub use pipeline::{
     MethodResult, RunConfig, SnapshotSource,
 };
 pub use reduction::{ReductionMethod, ReductionOutcome};
-pub use snapshot::{FeatureSnapshot, OperatorSample, SNAPSHOT_DIM};
+pub use snapshot::{FeatureSnapshot, OperatorSample, SnapshotCodecError, SNAPSHOT_DIM};

@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(q_error(10.0, 10.0), 1.0);
         assert_eq!(q_error(10.0, 5.0), 2.0);
         assert_eq!(q_error(5.0, 10.0), 2.0);
-        assert!(q_error(1.0, 0.0) > 1000.0, "zero prediction is clamped, not infinite");
+        assert!(
+            q_error(1.0, 0.0) > 1000.0,
+            "zero prediction is clamped, not infinite"
+        );
         assert!(q_error(0.0, 0.0).is_finite());
     }
 

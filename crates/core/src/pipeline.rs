@@ -135,7 +135,12 @@ pub fn prepare_context(kind: BenchmarkKind, config: &ContextConfig) -> Experimen
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
     let environments =
         DbEnvironment::sample_knob_configs(config.environments, HardwareProfile::h1(), &mut rng);
-    let workload = collect_workload(&benchmark, &environments, config.queries_per_env, config.seed);
+    let workload = collect_workload(
+        &benchmark,
+        &environments,
+        config.queries_per_env,
+        config.seed,
+    );
 
     // Original-template SQL for Algorithm 1 and the data abstract.
     let reference_db = benchmark.build_database(DbEnvironment::reference());
@@ -145,7 +150,12 @@ pub fn prepare_context(kind: BenchmarkKind, config: &ContextConfig) -> Experimen
         .iter()
         .map(|t| t.representative_sql(&mut rng))
         .collect();
-    let simplified = simplified_queries(&original_sql, &data_abstract, config.template_scale, &mut rng);
+    let simplified = simplified_queries(
+        &original_sql,
+        &data_abstract,
+        config.template_scale,
+        &mut rng,
+    );
     let simplified_template_count = if config.template_scale > 0 {
         simplified.len() / config.template_scale.max(1)
     } else {
@@ -247,7 +257,11 @@ fn train_auxiliary_model(data: &Dataset, rng: &mut StdRng) -> Mlp {
 }
 
 /// Run one estimator variant against a prepared context.
-pub fn run_method(ctx: &ExperimentContext, kind: EstimatorKind, config: &RunConfig) -> MethodResult {
+pub fn run_method(
+    ctx: &ExperimentContext,
+    kind: EstimatorKind,
+    config: &RunConfig,
+) -> MethodResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let sample = ctx.workload.subsample(config.sample_size, config.seed);
     let (train, test) = sample.split(0.8, config.seed + 1);
@@ -268,7 +282,11 @@ pub fn run_method(ctx: &ExperimentContext, kind: EstimatorKind, config: &RunConf
             MethodResult {
                 kind,
                 accuracy: pg.evaluate(&test),
-                train: TrainStats { train_time_s: 0.0, iterations: 0, final_loss: 0.0 },
+                train: TrainStats {
+                    train_time_s: 0.0,
+                    iterations: 0,
+                    final_loss: 0.0,
+                },
                 operator_reductions: HashMap::new(),
                 plan_reduction: None,
             }
@@ -278,16 +296,29 @@ pub fn run_method(ctx: &ExperimentContext, kind: EstimatorKind, config: &RunConf
             // Feature reduction (QCFE only): score plan-level features with a
             // quickly-trained auxiliary model, then train the real model on
             // the reduced feature set.
-            let (mask, plan_reduction) = if kind.is_qcfe() && config.reduction != ReductionMethod::None {
-                let full = MscnEstimator::build_dataset(&encoder, &train, snapshots);
-                let aux = train_auxiliary_model(&full, &mut rng);
-                let outcome = reduce(config.reduction, &aux, &full, config.reference_count, &mut rng);
-                (Some(outcome.kept.clone()), Some(outcome))
-            } else {
-                (None, None)
-            };
-            let (model, stats) =
-                MscnEstimator::train(encoder, &train, snapshots, mask, config.iterations, &mut rng);
+            let (mask, plan_reduction) =
+                if kind.is_qcfe() && config.reduction != ReductionMethod::None {
+                    let full = MscnEstimator::build_dataset(&encoder, &train, snapshots);
+                    let aux = train_auxiliary_model(&full, &mut rng);
+                    let outcome = reduce(
+                        config.reduction,
+                        &aux,
+                        &full,
+                        config.reference_count,
+                        &mut rng,
+                    );
+                    (Some(outcome.kept.clone()), Some(outcome))
+                } else {
+                    (None, None)
+                };
+            let (model, stats) = MscnEstimator::train(
+                encoder,
+                &train,
+                snapshots,
+                mask,
+                config.iterations,
+                &mut rng,
+            );
             MethodResult {
                 kind,
                 accuracy: model.evaluate(&test, snapshots),
@@ -307,8 +338,13 @@ pub fn run_method(ctx: &ExperimentContext, kind: EstimatorKind, config: &RunConf
                     match datasets.get(&op) {
                         Some(data) if data.len() >= 16 => {
                             let aux = train_auxiliary_model(data, &mut rng);
-                            let outcome =
-                                reduce(config.reduction, &aux, data, config.reference_count, &mut rng);
+                            let outcome = reduce(
+                                config.reduction,
+                                &aux,
+                                data,
+                                config.reference_count,
+                                &mut rng,
+                            );
                             masks.insert(op, outcome.kept.clone());
                             operator_reductions.insert(op, outcome);
                         }
@@ -421,8 +457,16 @@ mod tests {
     #[test]
     fn run_method_produces_results_for_all_estimators() {
         let ctx = tiny_context();
-        let run = RunConfig { sample_size: 60, iterations: 8, ..RunConfig::new(60, 8, 3) };
-        for kind in [EstimatorKind::Pgsql, EstimatorKind::Mscn, EstimatorKind::QcfeMscn] {
+        let run = RunConfig {
+            sample_size: 60,
+            iterations: 8,
+            ..RunConfig::new(60, 8, 3)
+        };
+        for kind in [
+            EstimatorKind::Pgsql,
+            EstimatorKind::Mscn,
+            EstimatorKind::QcfeMscn,
+        ] {
             let result = run_method(&ctx, kind, &run);
             assert!(result.accuracy.mean_q_error >= 1.0, "{kind:?}");
             assert!(result.accuracy.samples > 0);
@@ -435,7 +479,11 @@ mod tests {
     #[test]
     fn qcfe_qpp_produces_per_operator_reductions() {
         let ctx = tiny_context();
-        let run = RunConfig { sample_size: 60, iterations: 4, ..RunConfig::new(60, 4, 3) };
+        let run = RunConfig {
+            sample_size: 60,
+            iterations: 4,
+            ..RunConfig::new(60, 4, 3)
+        };
         let result = run_method(&ctx, EstimatorKind::QcfeQpp, &run);
         assert!(!result.operator_reductions.is_empty());
         for outcome in result.operator_reductions.values() {
@@ -447,7 +495,10 @@ mod tests {
     #[test]
     fn ablation_variants_enumerate_configurations() {
         assert_eq!(AblationVariant::ALL.len(), 5);
-        assert_eq!(AblationVariant::FsoFr.config(), (SnapshotSource::Original, ReductionMethod::DiffProp));
+        assert_eq!(
+            AblationVariant::FsoFr.config(),
+            (SnapshotSource::Original, ReductionMethod::DiffProp)
+        );
         assert_eq!(AblationVariant::Fst.config().0, SnapshotSource::Template);
         assert_eq!(AblationVariant::FsoGreedy.name(), "FSO+Greedy");
     }

@@ -82,7 +82,12 @@ impl ReductionOutcome {
 
 /// An outcome that keeps everything (the `None` method).
 pub fn keep_all(dim: usize) -> ReductionOutcome {
-    ReductionOutcome { kept: (0..dim).collect(), scores: vec![1.0; dim], runtime_ms: 0.0, original_dim: dim }
+    ReductionOutcome {
+        kept: (0..dim).collect(),
+        scores: vec![1.0; dim],
+        runtime_ms: 0.0,
+        original_dim: dim,
+    }
 }
 
 /// Dispatch a reduction method.
@@ -150,7 +155,12 @@ pub fn greedy_reduction(model: &Mlp, data: &Dataset) -> ReductionOutcome {
     let scores = (0..dim)
         .map(|f| if dropped.contains(&f) { 0.0 } else { 1.0 })
         .collect();
-    ReductionOutcome { kept, scores, runtime_ms: start.elapsed().as_secs_f64() * 1000.0, original_dim: dim }
+    ReductionOutcome {
+        kept,
+        scores,
+        runtime_ms: start.elapsed().as_secs_f64() * 1000.0,
+        original_dim: dim,
+    }
 }
 
 /// The gradient (GD) baseline: average absolute input gradient per feature.
@@ -171,8 +181,17 @@ pub fn gradient_reduction(model: &Mlp, data: &Dataset) -> ReductionOutcome {
     let max_score = scores.iter().cloned().fold(0.0_f64, f64::max);
     let threshold = max_score * 1e-6;
     let kept: Vec<usize> = (0..dim).filter(|&f| scores[f] > threshold).collect();
-    let kept = if kept.is_empty() { (0..dim).collect() } else { kept };
-    ReductionOutcome { kept, scores, runtime_ms: start.elapsed().as_secs_f64() * 1000.0, original_dim: dim }
+    let kept = if kept.is_empty() {
+        (0..dim).collect()
+    } else {
+        kept
+    };
+    ReductionOutcome {
+        kept,
+        scores,
+        runtime_ms: start.elapsed().as_secs_f64() * 1000.0,
+        original_dim: dim,
+    }
 }
 
 /// Algorithm 3: difference-propagation feature reduction.
@@ -194,13 +213,21 @@ pub fn diffprop_reduction<R: Rng + ?Sized>(
     let reference = data.subsample(reference_count.max(1), rng);
 
     // Pre-compute outputs and first-hidden activations for both sets.
-    let d_out: Vec<f64> = data.features().iter().map(|x| model.predict_one(x)).collect();
+    let d_out: Vec<f64> = data
+        .features()
+        .iter()
+        .map(|x| model.predict_one(x))
+        .collect();
     let d_hidden: Vec<Vec<f64>> = data
         .features()
         .iter()
         .map(|x| model.first_hidden_activations(x))
         .collect();
-    let r_out: Vec<f64> = reference.features().iter().map(|x| model.predict_one(x)).collect();
+    let r_out: Vec<f64> = reference
+        .features()
+        .iter()
+        .map(|x| model.predict_one(x))
+        .collect();
     let r_hidden: Vec<Vec<f64>> = reference
         .features()
         .iter()
@@ -242,8 +269,17 @@ pub fn diffprop_reduction<R: Rng + ?Sized>(
     let max_score = scores.iter().cloned().fold(0.0_f64, f64::max);
     let threshold = max_score * 1e-6;
     let kept: Vec<usize> = (0..dim).filter(|&f| scores[f] > threshold).collect();
-    let kept = if kept.is_empty() { (0..dim).collect() } else { kept };
-    ReductionOutcome { kept, scores, runtime_ms: start.elapsed().as_secs_f64() * 1000.0, original_dim: dim }
+    let kept = if kept.is_empty() {
+        (0..dim).collect()
+    } else {
+        kept
+    };
+    ReductionOutcome {
+        kept,
+        scores,
+        runtime_ms: start.elapsed().as_secs_f64() * 1000.0,
+        original_dim: dim,
+    }
 }
 
 #[cfg(test)]
@@ -319,7 +355,10 @@ mod tests {
         let out = greedy_reduction(&mlp, &data);
         let dropped: Vec<usize> = (0..data.dim()).filter(|f| !out.kept.contains(f)).collect();
         let after = masked_q_error(&mlp, &data, &dropped);
-        assert!(after <= before + 1e-9, "greedy must not hurt training q-error");
+        assert!(
+            after <= before + 1e-9,
+            "greedy must not hurt training q-error"
+        );
         assert!(!out.kept.is_empty());
     }
 

@@ -48,7 +48,12 @@ pub fn operator_samples(executed: &ExecutedQuery) -> Vec<OperatorSample> {
             1 => (node.children[0].actual_rows, 0.0),
             _ => (node.children[0].actual_rows, node.children[1].actual_rows),
         };
-        out.push(OperatorSample { kind: node.op.kind(), n1, n2, self_ms: node.actual_self_ms });
+        out.push(OperatorSample {
+            kind: node.op.kind(),
+            n1,
+            n2,
+            self_ms: node.actual_self_ms,
+        });
         for c in &node.children {
             walk(c, out);
         }
@@ -84,6 +89,47 @@ pub fn formula_arity(kind: OperatorKind) -> usize {
         _ => 2,
     }
 }
+
+/// Magic prefix of the binary snapshot codec.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"QCFS";
+
+/// Current version of the binary snapshot codec.
+pub const SNAPSHOT_CODEC_VERSION: u32 = 1;
+
+/// Errors produced when decoding a persisted feature snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotCodecError {
+    /// The buffer did not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The buffer's codec version is not understood by this build.
+    UnsupportedVersion(u32),
+    /// The buffer ended before the declared entries were read.
+    Truncated,
+    /// An operator index outside [`OperatorKind::ALL`].
+    UnknownOperator(u8),
+    /// Extra bytes after the declared entries.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for SnapshotCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotCodecError::BadMagic => write!(f, "not a QCFS snapshot (bad magic)"),
+            SnapshotCodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot codec version {v}")
+            }
+            SnapshotCodecError::Truncated => write!(f, "snapshot buffer truncated"),
+            SnapshotCodecError::UnknownOperator(i) => {
+                write!(f, "unknown operator index {i} in snapshot")
+            }
+            SnapshotCodecError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after snapshot entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotCodecError {}
 
 /// A fitted feature snapshot: per operator kind, `SNAPSHOT_DIM` coefficients.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -126,7 +172,10 @@ impl FeatureSnapshot {
             }
             coefficients.insert(kind, packed);
         }
-        FeatureSnapshot { coefficients, collection_cost_ms: 0.0 }
+        FeatureSnapshot {
+            coefficients,
+            collection_cost_ms: 0.0,
+        }
     }
 
     /// Fit a snapshot from whole executed queries, recording the collection
@@ -142,7 +191,10 @@ impl FeatureSnapshot {
     /// Coefficient vector for an operator (zeros when the operator never
     /// appeared in the labeled set).
     pub fn coefficients(&self, kind: OperatorKind) -> [f64; SNAPSHOT_DIM] {
-        self.coefficients.get(&kind).copied().unwrap_or([0.0; SNAPSHOT_DIM])
+        self.coefficients
+            .get(&kind)
+            .copied()
+            .unwrap_or([0.0; SNAPSHOT_DIM])
     }
 
     /// Predicted operator time from the fitted logical formula (used in
@@ -163,6 +215,99 @@ impl FeatureSnapshot {
         kinds
     }
 
+    /// Sorted `(operator, coefficients)` view of the snapshot (stable order
+    /// for codecs and diffing).
+    pub fn entries(&self) -> Vec<(OperatorKind, [f64; SNAPSHOT_DIM])> {
+        let mut entries: Vec<_> = self.coefficients.iter().map(|(k, c)| (*k, *c)).collect();
+        entries.sort_by_key(|(k, _)| k.index());
+        entries
+    }
+
+    /// Rebuild a snapshot from entries (the inverse of
+    /// [`FeatureSnapshot::entries`]); duplicate operators keep the last
+    /// entry.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (OperatorKind, [f64; SNAPSHOT_DIM])>,
+        collection_cost_ms: f64,
+    ) -> Self {
+        FeatureSnapshot {
+            coefficients: entries.into_iter().collect(),
+            collection_cost_ms,
+        }
+    }
+
+    /// Serialise to the versioned `QCFS` binary format.
+    ///
+    /// Layout (all little-endian): magic `"QCFS"`, `u32` version,
+    /// `f64` collection cost, `u32` entry count, then per entry one `u8`
+    /// operator index ([`OperatorKind::index`]) followed by
+    /// [`SNAPSHOT_DIM`] raw `f64` bit patterns. Coefficients round-trip
+    /// bit-exactly, so a reloaded snapshot produces *identical* estimates.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let entries = self.entries();
+        let mut out =
+            Vec::with_capacity(SNAPSHOT_MAGIC.len() + 16 + entries.len() * (1 + 8 * SNAPSHOT_DIM));
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_CODEC_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.collection_cost_ms.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (kind, coeffs) in entries {
+            out.push(kind.index() as u8);
+            for c in coeffs {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse the `QCFS` binary format written by [`FeatureSnapshot::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotCodecError> {
+        fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], SnapshotCodecError> {
+            if cursor.len() < n {
+                return Err(SnapshotCodecError::Truncated);
+            }
+            let (head, tail) = cursor.split_at(n);
+            *cursor = tail;
+            Ok(head)
+        }
+        let mut cursor = bytes;
+        if take(&mut cursor, SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+            return Err(SnapshotCodecError::BadMagic);
+        }
+        let version = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes"));
+        if version != SNAPSHOT_CODEC_VERSION {
+            return Err(SnapshotCodecError::UnsupportedVersion(version));
+        }
+        let collection_cost_ms =
+            f64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+        // Bound the declared count by what the buffer can actually hold
+        // (1 index byte + SNAPSHOT_DIM f64s per entry) before allocating,
+        // so a corrupted count field cannot trigger a huge allocation.
+        if count > cursor.len() / (1 + 8 * SNAPSHOT_DIM) {
+            return Err(SnapshotCodecError::Truncated);
+        }
+        let mut coefficients = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let index = take(&mut cursor, 1)?[0] as usize;
+            let kind = *OperatorKind::ALL
+                .get(index)
+                .ok_or(SnapshotCodecError::UnknownOperator(index as u8))?;
+            let mut coeffs = [0.0; SNAPSHOT_DIM];
+            for c in &mut coeffs {
+                *c = f64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes"));
+            }
+            coefficients.insert(kind, coeffs);
+        }
+        if !cursor.is_empty() {
+            return Err(SnapshotCodecError::TrailingBytes(cursor.len()));
+        }
+        Ok(FeatureSnapshot {
+            coefficients,
+            collection_cost_ms,
+        })
+    }
+
     /// Root-mean-square relative difference between two snapshots over the
     /// operators they share — used to compare FST against FSO (Table V) and
     /// to verify hardware transfer (Table VII).
@@ -170,7 +315,9 @@ impl FeatureSnapshot {
         let mut acc = 0.0;
         let mut count = 0usize;
         for (kind, a) in &self.coefficients {
-            let Some(b) = other.coefficients.get(kind) else { continue };
+            let Some(b) = other.coefficients.get(kind) else {
+                continue;
+            };
             for (x, y) in a.iter().zip(b.iter()) {
                 let scale = x.abs().max(y.abs());
                 if scale > 1e-12 {
@@ -195,7 +342,12 @@ mod tests {
         (1..=60)
             .map(|i| {
                 let n = (i * 50) as f64;
-                OperatorSample { kind, n1: n, n2: 0.0, self_ms: c0 * n + c1 }
+                OperatorSample {
+                    kind,
+                    n1: n,
+                    n2: 0.0,
+                    self_ms: c0 * n + c1,
+                }
             })
             .collect()
     }
@@ -261,7 +413,10 @@ mod tests {
             self_ms: 1.0,
         }]);
         assert_eq!(snap.coefficients(OperatorKind::Limit), [0.0; SNAPSHOT_DIM]);
-        assert_eq!(snap.coefficients(OperatorKind::HashJoin), [0.0; SNAPSHOT_DIM]);
+        assert_eq!(
+            snap.coefficients(OperatorKind::HashJoin),
+            [0.0; SNAPSHOT_DIM]
+        );
         assert_eq!(snap.predict(OperatorKind::HashJoin, 10.0, 10.0), 0.0);
     }
 
@@ -272,6 +427,88 @@ mod tests {
         assert!(slow.relative_difference(&fast) > 0.5);
         assert!(slow.relative_difference(&slow) < 1e-12);
         assert_eq!(slow.covered_operators(), vec![OperatorKind::SeqScan]);
+    }
+
+    #[test]
+    fn binary_codec_roundtrips_bit_exactly() {
+        let mut samples = linear_samples(OperatorKind::SeqScan, 0.0031, 0.77);
+        samples.extend(linear_samples(OperatorKind::Sort, 0.0007, 2.2));
+        let mut snap = FeatureSnapshot::fit(&samples);
+        snap.collection_cost_ms = 123.456;
+        let bytes = snap.to_bytes();
+        let back = FeatureSnapshot::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back, snap, "codec must be bit-exact");
+        assert_eq!(back.relative_difference(&snap), 0.0);
+        assert_eq!(back.collection_cost_ms, 123.456);
+        // predictions are identical, not merely close
+        for kind in [OperatorKind::SeqScan, OperatorKind::Sort] {
+            assert_eq!(
+                back.predict(kind, 5000.0, 0.0).to_bits(),
+                snap.predict(kind, 5000.0, 0.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn codec_rejects_corrupted_buffers() {
+        let snap = FeatureSnapshot::fit(&linear_samples(OperatorKind::SeqScan, 0.002, 0.5));
+        let bytes = snap.to_bytes();
+        assert_eq!(
+            FeatureSnapshot::from_bytes(b"QC"),
+            Err(SnapshotCodecError::Truncated)
+        );
+        assert_eq!(
+            FeatureSnapshot::from_bytes(b"nope"),
+            Err(SnapshotCodecError::BadMagic)
+        );
+        assert_eq!(
+            FeatureSnapshot::from_bytes(b"XXXX\x01\x00\x00\x00"),
+            Err(SnapshotCodecError::BadMagic)
+        );
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert_eq!(
+            FeatureSnapshot::from_bytes(&wrong_version),
+            Err(SnapshotCodecError::UnsupportedVersion(99))
+        );
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 3);
+        assert_eq!(
+            FeatureSnapshot::from_bytes(&truncated),
+            Err(SnapshotCodecError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            FeatureSnapshot::from_bytes(&trailing),
+            Err(SnapshotCodecError::TrailingBytes(1))
+        );
+        // a corrupted count field must fail cleanly, not allocate huge
+        let mut huge_count = bytes.clone();
+        huge_count[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            FeatureSnapshot::from_bytes(&huge_count),
+            Err(SnapshotCodecError::Truncated)
+        );
+        let mut bad_op = bytes;
+        // first entry's operator-index byte: magic(4) + version(4) + cost(8) + count(4)
+        bad_op[20] = 200;
+        assert_eq!(
+            FeatureSnapshot::from_bytes(&bad_op),
+            Err(SnapshotCodecError::UnknownOperator(200))
+        );
+    }
+
+    #[test]
+    fn entries_are_sorted_and_rebuild_the_snapshot() {
+        let mut samples = linear_samples(OperatorKind::Sort, 0.001, 1.0);
+        samples.extend(linear_samples(OperatorKind::SeqScan, 0.002, 0.5));
+        let snap = FeatureSnapshot::fit(&samples);
+        let entries = snap.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].0.index() < entries[1].0.index());
+        let rebuilt = FeatureSnapshot::from_entries(entries, snap.collection_cost_ms);
+        assert_eq!(rebuilt, snap);
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct Column {
 impl Column {
     /// Construct a column.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Column { name: name.into(), data_type }
+        Column {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -58,7 +61,11 @@ impl TableSchema {
 
     /// Approximate width of one tuple in bytes.
     pub fn tuple_width(&self) -> usize {
-        self.columns.iter().map(|c| c.data_type.width_bytes()).sum::<usize>() + 24
+        self.columns
+            .iter()
+            .map(|c| c.data_type.width_bytes())
+            .sum::<usize>()
+            + 24
     }
 }
 
@@ -74,7 +81,10 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start defining a table.
     pub fn new(name: impl Into<String>) -> Self {
-        TableBuilder { name: name.into(), ..Default::default() }
+        TableBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Add a column.
@@ -112,7 +122,13 @@ impl TableBuilder {
         indexed_columns.sort_unstable();
         indexed_columns.dedup();
         let primary_key = self.primary_key.as_deref().map(col_idx);
-        TableSchema { id, name: self.name, columns: self.columns, indexed_columns, primary_key }
+        TableSchema {
+            id,
+            name: self.name,
+            columns: self.columns,
+            indexed_columns,
+            primary_key,
+        }
     }
 }
 
@@ -235,6 +251,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "not defined")]
     fn unknown_index_column_panics() {
-        let _ = TableBuilder::new("t").column("a", DataType::Int).index("zzz").build(0);
+        let _ = TableBuilder::new("t")
+            .column("a", DataType::Int)
+            .index("zzz")
+            .build(0);
     }
 }

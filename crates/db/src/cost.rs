@@ -27,9 +27,14 @@ fn fill(db: &Database, node: &mut PlanNode, knobs: &crate::knobs::KnobConfig) {
 
     let self_cost = match &node.op {
         PhysicalOp::SeqScan { table } => {
-            let stats = db.table_stats(table).map(|s| s.clone()).unwrap_or_else(|_| {
-                crate::stats::TableStats { row_count: 1, page_count: 1, columns: vec![] }
-            });
+            let stats =
+                db.table_stats(table)
+                    .cloned()
+                    .unwrap_or_else(|_| crate::stats::TableStats {
+                        row_count: 1,
+                        page_count: 1,
+                        columns: vec![],
+                    });
             let quals = node.predicates.len() as f64;
             knobs.seq_page_cost * stats.page_count as f64
                 + knobs.cpu_tuple_cost * stats.row_count as f64
@@ -39,9 +44,15 @@ fn fill(db: &Database, node: &mut PlanNode, knobs: &crate::knobs::KnobConfig) {
             let matched = node.est_rows.max(1.0);
             let meta = db
                 .index_meta(table, column)
-                .unwrap_or(crate::database::IndexMeta { height: 2, leaf_pages: 1 });
+                .unwrap_or(crate::database::IndexMeta {
+                    height: 2,
+                    leaf_pages: 1,
+                });
             let leaf_fraction = {
-                let rows = db.table_stats(table).map(|s| s.row_count.max(1)).unwrap_or(1) as f64;
+                let rows = db
+                    .table_stats(table)
+                    .map(|s| s.row_count.max(1))
+                    .unwrap_or(1) as f64;
                 (matched / rows).clamp(0.0, 1.0)
             };
             let leaf_pages = (meta.leaf_pages as f64 * leaf_fraction).ceil().max(1.0);
@@ -64,7 +75,10 @@ fn fill(db: &Database, node: &mut PlanNode, knobs: &crate::knobs::KnobConfig) {
             };
             sort_cpu + knobs.cpu_tuple_cost * n + spill
         }
-        PhysicalOp::Aggregate { group_by, functions } => {
+        PhysicalOp::Aggregate {
+            group_by,
+            functions,
+        } => {
             let n = node.children[0].est_rows.max(1.0);
             let per_row_ops = (group_by.len() + functions.len()).max(1) as f64;
             knobs.cpu_operator_cost * per_row_ops * n + knobs.cpu_tuple_cost * node.est_rows

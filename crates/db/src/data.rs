@@ -83,7 +83,9 @@ impl ColumnVector {
     /// Evaluate a predicate over the whole column, returning a selection
     /// bitmap.
     pub fn evaluate(&self, predicate: &Predicate) -> Vec<bool> {
-        (0..self.len()).map(|i| predicate.evaluate(&self.value(i))).collect()
+        (0..self.len())
+            .map(|i| predicate.evaluate(&self.value(i)))
+            .collect()
     }
 
     /// Count of distinct values (exact; the columns are small enough).
@@ -309,8 +311,16 @@ mod tests {
     #[test]
     fn count_matching_conjunction() {
         let t = sample();
-        let p1 = Predicate::Compare { column: cref(), op: CompareOp::Ge, value: Value::Int(50) };
-        let p2 = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(60) };
+        let p1 = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Ge,
+            value: Value::Int(50),
+        };
+        let p2 = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Lt,
+            value: Value::Int(60),
+        };
         assert_eq!(t.count_matching(&[(0, &p1), (0, &p2)]), 10);
         assert_eq!(t.count_matching(&[]), 100);
         let bitmap = t.selection_bitmap(&[(0, &p1), (0, &p2)]);
@@ -335,7 +345,10 @@ mod tests {
     #[test]
     fn text_predicate_over_column() {
         let t = sample();
-        let p = Predicate::Like { column: cref(), pattern: "name_3%".into() };
+        let p = Predicate::Like {
+            column: cref(),
+            pattern: "name_3%".into(),
+        };
         let matches = t.column(2).evaluate(&p).iter().filter(|b| **b).count();
         assert_eq!(matches, 10);
     }

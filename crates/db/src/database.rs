@@ -98,7 +98,14 @@ impl Database {
         }
 
         let buffer = BufferPool::new(env.buffer_pool_pages());
-        Database { catalog, data, stats, env, buffer, indexes }
+        Database {
+            catalog,
+            data,
+            stats,
+            env,
+            buffer,
+            indexes,
+        }
     }
 
     /// The catalog.
@@ -146,10 +153,12 @@ impl Database {
     /// Resolve a column name to its index, with a helpful error.
     pub fn column_index(&self, table: &str, column: &str) -> Result<usize, DbError> {
         let schema = self.schema(table)?;
-        schema.column_index(column).ok_or_else(|| DbError::UnknownColumn {
-            table: table.to_string(),
-            column: column.to_string(),
-        })
+        schema
+            .column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })
     }
 
     /// Physical index metadata for `(table, column)`, falling back to an
@@ -159,7 +168,10 @@ impl Database {
         let schema = self.schema(table)?;
         let col = self.column_index(table, column)?;
         if let Some(tree) = self.indexes.get(&(schema.id, col)) {
-            return Ok(IndexMeta { height: tree.height(), leaf_pages: tree.leaf_page_count() });
+            return Ok(IndexMeta {
+                height: tree.height(),
+                leaf_pages: tree.leaf_page_count(),
+            });
         }
         // Analytic fallback: fanout-256 tree over row_count entries.
         let rows = self.stats[schema.id as usize].row_count.max(1) as f64;

@@ -69,7 +69,9 @@ impl HardwareProfile {
             name: format!("hw-{}", rng.gen_range(0..100_000)),
             cpu_speed: rng.gen_range(0.5..1.6),
             cores: rng.gen_range(2..=16),
-            memory_gb: *[4u32, 8, 16, 32, 64].get(rng.gen_range(0..5)).expect("in range"),
+            memory_gb: *[4u32, 8, 16, 32, 64]
+                .get(rng.gen_range(0..5usize))
+                .expect("in range"),
             disk,
         }
     }
@@ -184,6 +186,102 @@ impl DbEnvironment {
     pub fn buffer_pool_pages(&self) -> usize {
         self.knobs.buffer_pool_pages()
     }
+
+    /// A stable fingerprint of every "ignored variable" that influences
+    /// query cost: the knob configuration, the hardware profile, the
+    /// storage format and the OS overhead factor.
+    ///
+    /// Two environments with the same fingerprint produce the same true
+    /// cost coefficients, so a feature snapshot persisted under a
+    /// fingerprint can be reused whenever the serving environment matches —
+    /// the paper's cross-restart / cross-machine snapshot transfer
+    /// workflow. The environment's `name` is deliberately excluded: it
+    /// labels experiments, it does not change costs.
+    pub fn fingerprint(&self) -> EnvFingerprint {
+        let mut h = Fnv1a::new();
+        self.knobs.hash_into(&mut h);
+        self.hardware.hash_into(&mut h);
+        h.write_u64(self.storage_format.read_amplification().to_bits());
+        h.write_u64(self.os_overhead.to_bits());
+        EnvFingerprint(h.finish())
+    }
+}
+
+/// A 64-bit environment fingerprint (see [`DbEnvironment::fingerprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EnvFingerprint(pub u64);
+
+impl EnvFingerprint {
+    /// Fixed-width hex rendering, safe for use in file names.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the rendering of [`EnvFingerprint::to_hex`].
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok().map(EnvFingerprint)
+    }
+}
+
+impl std::fmt::Display for EnvFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// A tiny FNV-1a hasher used for environment fingerprints (stable across
+/// platforms and Rust versions, unlike `DefaultHasher`).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Start a new hash with the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold raw bytes into the hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Fold a `u64` into the hash (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a boolean into the hash.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[v as u8]);
+    }
+
+    /// The accumulated hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl HardwareProfile {
+    /// Fold every cost-relevant field (not the display name) into an
+    /// environment fingerprint.
+    pub fn hash_into(&self, h: &mut Fnv1a) {
+        h.write_u64(self.cpu_speed.to_bits());
+        h.write_u64(self.cores as u64);
+        h.write_u64(self.memory_gb as u64);
+        h.write_u64(self.disk as u64);
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +307,10 @@ mod tests {
             assert!(v > 0.0);
         }
         assert!(c.cr > c.cs, "random reads cost more than sequential");
-        assert!(c.ct > c.ci, "full tuple processing costs more than index entry");
+        assert!(
+            c.ct > c.ci,
+            "full tuple processing costs more than index entry"
+        );
         assert!(c.cs > c.ct, "page I/O costs more than one tuple of CPU");
     }
 
@@ -220,7 +321,10 @@ mod tests {
         env.hardware = HardwareProfile::h2();
         let fast = env.true_coefficients();
         assert!(fast.ct < slow.ct);
-        assert!(fast.cr < slow.cr, "NVMe + more memory lowers random read cost");
+        assert!(
+            fast.cr < slow.cr,
+            "NVMe + more memory lowers random read cost"
+        );
     }
 
     #[test]
@@ -244,9 +348,57 @@ mod tests {
         let max = pools.iter().max().unwrap();
         assert!(max > min, "shared_buffers should vary across environments");
         // names are unique
-        let names: std::collections::HashSet<&str> =
-            envs.iter().map(|e| e.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = envs.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names.len(), envs.len());
+    }
+
+    #[test]
+    fn fingerprints_key_on_cost_relevant_fields_only() {
+        let env = DbEnvironment::reference();
+        let fp = env.fingerprint();
+        // deterministic
+        assert_eq!(fp, DbEnvironment::reference().fingerprint());
+        // the display name is not cost-relevant
+        let mut renamed = env.clone();
+        renamed.name = "env-renamed".into();
+        assert_eq!(renamed.fingerprint(), fp);
+        // every ignored variable moves the fingerprint
+        let mut knobbed = env.clone();
+        knobbed.knobs.random_page_cost = 2.5;
+        assert_ne!(knobbed.fingerprint(), fp);
+        let mut hw = env.clone();
+        hw.hardware = HardwareProfile::h2();
+        assert_ne!(hw.fingerprint(), fp);
+        let mut lsm = env.clone();
+        lsm.storage_format = StorageFormat::Lsm;
+        assert_ne!(lsm.fingerprint(), fp);
+        let mut os = env.clone();
+        os.os_overhead = 1.1;
+        assert_ne!(os.fingerprint(), fp);
+    }
+
+    #[test]
+    fn fingerprint_hex_roundtrips() {
+        let fp = DbEnvironment::reference().fingerprint();
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(EnvFingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(EnvFingerprint::from_hex("xyz"), None);
+        assert_eq!(EnvFingerprint::from_hex("zzzzzzzzzzzzzzzz"), None);
+        assert_eq!(format!("{fp}"), hex);
+    }
+
+    #[test]
+    fn sampled_environments_have_distinct_fingerprints() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let envs = DbEnvironment::sample_knob_configs(20, HardwareProfile::h1(), &mut rng);
+        let fps: std::collections::HashSet<EnvFingerprint> =
+            envs.iter().map(|e| e.fingerprint()).collect();
+        assert_eq!(
+            fps.len(),
+            envs.len(),
+            "20 random environments should not collide"
+        );
     }
 
     #[test]
@@ -257,6 +409,9 @@ mod tests {
         env.knobs.max_parallel_workers = 8;
         let parallel = env.true_coefficients();
         assert!(parallel.ct < serial.ct);
-        assert_eq!(parallel.cs, serial.cs, "I/O cost not affected by worker count");
+        assert_eq!(
+            parallel.cs, serial.cs,
+            "I/O cost not affected by worker count"
+        );
     }
 }

@@ -156,7 +156,10 @@ fn exec_node<R: Rng + ?Sized>(
             let ms = coef.co * 2.0 * n * (n + 1.0).log2() + coef.ct * n + spill_ms;
             (input, ms)
         }
-        PhysicalOp::Aggregate { group_by, functions } => {
+        PhysicalOp::Aggregate {
+            group_by,
+            functions,
+        } => {
             let input = child_results.pop().expect("aggregate has one child");
             let n = input.logical_rows();
             let groups = actual_group_count(db, &input, group_by);
@@ -251,7 +254,12 @@ fn exec_seq_scan(
     let resolved: Vec<(usize, &crate::expr::Predicate)> = node
         .predicates
         .iter()
-        .map(|p| (schema.column_index(&p.column().column).expect("validated"), p))
+        .map(|p| {
+            (
+                schema.column_index(&p.column().column).expect("validated"),
+                p,
+            )
+        })
         .collect();
     let bitmap = data.selection_bitmap(&resolved);
     let rows: Vec<u32> = bitmap
@@ -266,7 +274,14 @@ fn exec_seq_scan(
     let quals = node.predicates.len() as f64;
     let ms = coef.cs * physical as f64 + coef.ct * total_rows + coef.co * quals * total_rows;
 
-    (Intermediate { tables: vec![table.to_string()], rows, multiplier: 1.0 }, ms)
+    (
+        Intermediate {
+            tables: vec![table.to_string()],
+            rows,
+            multiplier: 1.0,
+        },
+        ms,
+    )
 }
 
 /// Index scan: same actual cardinality as a filtered scan, but the I/O model
@@ -285,7 +300,12 @@ fn exec_index_scan(
     let resolved: Vec<(usize, &crate::expr::Predicate)> = node
         .predicates
         .iter()
-        .map(|p| (schema.column_index(&p.column().column).expect("validated"), p))
+        .map(|p| {
+            (
+                schema.column_index(&p.column().column).expect("validated"),
+                p,
+            )
+        })
         .collect();
     let bitmap = data.selection_bitmap(&resolved);
     let rows: Vec<u32> = bitmap
@@ -297,7 +317,10 @@ fn exec_index_scan(
 
     let meta = db
         .index_meta(table, column)
-        .unwrap_or(crate::database::IndexMeta { height: 2, leaf_pages: 1 });
+        .unwrap_or(crate::database::IndexMeta {
+            height: 2,
+            leaf_pages: 1,
+        });
     let leaf_fraction = (matched / stats.row_count.max(1) as f64).clamp(0.0, 1.0);
     let leaf_pages = (meta.leaf_pages as f64 * leaf_fraction).ceil().max(1.0);
     let heap_pages = matched.min(stats.page_count as f64);
@@ -314,7 +337,14 @@ fn exec_index_scan(
         + coef.ct * matched
         + coef.co * quals * matched;
 
-    (Intermediate { tables: vec![table.to_string()], rows, multiplier: 1.0 }, ms)
+    (
+        Intermediate {
+            tables: vec![table.to_string()],
+            rows,
+            multiplier: 1.0,
+        },
+        ms,
+    )
 }
 
 /// Hash-join two intermediates on an (optional) equi-join condition.
@@ -351,7 +381,11 @@ fn join_intermediates(
         } else {
             multiplier_base * total as f64 / produced as f64
         };
-        return Intermediate { tables, rows, multiplier };
+        return Intermediate {
+            tables,
+            rows,
+            multiplier,
+        };
     };
 
     // Work out which side each end of the condition lives on.
@@ -374,14 +408,22 @@ fn join_intermediates(
     let inner_col_idx = db
         .column_index(&inner_ref.table, &inner_ref.column)
         .expect("planner validated columns");
-    let outer_col = db.table_data(&outer_ref.table).expect("validated").column(outer_col_idx);
-    let inner_col = db.table_data(&inner_ref.table).expect("validated").column(inner_col_idx);
+    let outer_col = db
+        .table_data(&outer_ref.table)
+        .expect("validated")
+        .column(outer_col_idx);
+    let inner_col = db
+        .table_data(&inner_ref.table)
+        .expect("validated")
+        .column(inner_col_idx);
 
     // Build on the inner side.
     let mut hash: HashMap<i64, Vec<u32>> = HashMap::with_capacity(inner.materialized_rows());
     for i in 0..inner.materialized_rows() {
         let base_row = inner.component(i, inner_pos) as usize;
-        hash.entry(join_key(inner_col, base_row)).or_default().push(i as u32);
+        hash.entry(join_key(inner_col, base_row))
+            .or_default()
+            .push(i as u32);
     }
 
     // Probe from the outer side, counting everything but materialising at
@@ -406,7 +448,11 @@ fn join_intermediates(
     } else {
         multiplier_base * total_matches as f64 / produced as f64
     };
-    Intermediate { tables, rows, multiplier }
+    Intermediate {
+        tables,
+        rows,
+        multiplier,
+    }
 }
 
 fn push_joined_row(
@@ -440,8 +486,12 @@ fn actual_group_count(
     // Resolve each group column to (component position, column index).
     let mut resolved = Vec::with_capacity(group_by.len());
     for col in group_by {
-        let Some(pos) = input.table_position(&col.table) else { continue };
-        let Ok(idx) = db.column_index(&col.table, &col.column) else { continue };
+        let Some(pos) = input.table_position(&col.table) else {
+            continue;
+        };
+        let Ok(idx) = db.column_index(&col.table, &col.column) else {
+            continue;
+        };
         let data = db.table_data(&col.table).expect("validated");
         resolved.push((pos, idx, data));
     }

@@ -21,7 +21,10 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Construct a column reference.
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColumnRef { table: table.into(), column: column.into() }
+        ColumnRef {
+            table: table.into(),
+            column: column.into(),
+        }
     }
 }
 
@@ -148,9 +151,9 @@ impl Predicate {
                 matches!(v.compare(low), Some(o) if o != std::cmp::Ordering::Less)
                     && matches!(v.compare(high), Some(o) if o != std::cmp::Ordering::Greater)
             }
-            Predicate::InList { values, .. } => {
-                values.iter().any(|allowed| v.compare(allowed) == Some(std::cmp::Ordering::Equal))
-            }
+            Predicate::InList { values, .. } => values
+                .iter()
+                .any(|allowed| v.compare(allowed) == Some(std::cmp::Ordering::Equal)),
             Predicate::Like { pattern, .. } => match v {
                 Value::Text(s) => like_match(pattern, s),
                 _ => false,
@@ -265,7 +268,11 @@ mod tests {
 
     #[test]
     fn compare_predicate_evaluation() {
-        let p = Predicate::Compare { column: col(), op: CompareOp::Gt, value: Value::Int(10) };
+        let p = Predicate::Compare {
+            column: col(),
+            op: CompareOp::Gt,
+            value: Value::Int(10),
+        };
         assert!(p.evaluate(&Value::Int(11)));
         assert!(!p.evaluate(&Value::Int(10)));
         assert!(!p.evaluate(&Value::Null));
@@ -276,7 +283,11 @@ mod tests {
 
     #[test]
     fn between_and_in_predicates() {
-        let b = Predicate::Between { column: col(), low: Value::Int(5), high: Value::Int(10) };
+        let b = Predicate::Between {
+            column: col(),
+            low: Value::Int(5),
+            high: Value::Int(10),
+        };
         assert!(b.evaluate(&Value::Int(5)));
         assert!(b.evaluate(&Value::Int(10)));
         assert!(!b.evaluate(&Value::Int(11)));
@@ -301,7 +312,10 @@ mod tests {
         assert!(!like_match("exact", "not exact!"));
         assert!(!like_match("a%b", "acx"));
         assert!(like_match("a%b%c", "a--b--c"));
-        let p = Predicate::Like { column: col(), pattern: "%green%".into() };
+        let p = Predicate::Like {
+            column: col(),
+            pattern: "%green%".into(),
+        };
         assert!(p.evaluate(&Value::Text("dark green metal".into())));
         assert!(!p.evaluate(&Value::Int(5)));
     }

@@ -75,13 +75,13 @@ impl KnobConfig {
             cpu_index_tuple_cost: rng.gen_range(0.002..0.01),
             cpu_operator_cost: rng.gen_range(0.001..0.006),
             work_mem_kb: *[1024u64, 4096, 16_384, 65_536, 262_144]
-                .get(rng.gen_range(0..5))
+                .get(rng.gen_range(0..5usize))
                 .expect("index in range"),
             shared_buffers_mb: *[64u64, 128, 512, 2048, 8192]
-                .get(rng.gen_range(0..5))
+                .get(rng.gen_range(0..5usize))
                 .expect("index in range"),
             effective_cache_size_mb: *[1024u64, 4096, 16_384]
-                .get(rng.gen_range(0..3))
+                .get(rng.gen_range(0..3usize))
                 .expect("index in range"),
             enable_seqscan: true,
             enable_indexscan: rng.gen_bool(0.85),
@@ -108,6 +108,25 @@ impl KnobConfig {
     pub fn parallel_speedup(&self) -> f64 {
         let w = self.max_parallel_workers as f64;
         1.0 + 0.35 * w.ln_1p()
+    }
+
+    /// Fold every knob into an environment fingerprint (see
+    /// [`crate::env::DbEnvironment::fingerprint`]).
+    pub fn hash_into(&self, h: &mut crate::env::Fnv1a) {
+        h.write_u64(self.seq_page_cost.to_bits());
+        h.write_u64(self.random_page_cost.to_bits());
+        h.write_u64(self.cpu_tuple_cost.to_bits());
+        h.write_u64(self.cpu_index_tuple_cost.to_bits());
+        h.write_u64(self.cpu_operator_cost.to_bits());
+        h.write_u64(self.work_mem_kb);
+        h.write_u64(self.shared_buffers_mb);
+        h.write_u64(self.effective_cache_size_mb);
+        h.write_bool(self.enable_seqscan);
+        h.write_bool(self.enable_indexscan);
+        h.write_bool(self.enable_hashjoin);
+        h.write_bool(self.enable_mergejoin);
+        h.write_bool(self.enable_nestloop);
+        h.write_u64(self.max_parallel_workers as u64);
     }
 
     /// Render the knobs as `SET` statements (useful for debugging and docs).
@@ -168,12 +187,21 @@ mod tests {
 
     #[test]
     fn derived_quantities() {
-        let k = KnobConfig { shared_buffers_mb: 128, ..Default::default() };
+        let k = KnobConfig {
+            shared_buffers_mb: 128,
+            ..Default::default()
+        };
         assert_eq!(k.buffer_pool_pages(), 128 * 1024 * 1024 / 8192);
         assert_eq!(k.work_mem_bytes(), 4096 * 1024);
-        let none = KnobConfig { max_parallel_workers: 0, ..Default::default() };
+        let none = KnobConfig {
+            max_parallel_workers: 0,
+            ..Default::default()
+        };
         assert_eq!(none.parallel_speedup(), 1.0);
-        let many = KnobConfig { max_parallel_workers: 8, ..Default::default() };
+        let many = KnobConfig {
+            max_parallel_workers: 8,
+            ..Default::default()
+        };
         assert!(many.parallel_speedup() > none.parallel_speedup());
         assert!(many.parallel_speedup() < 3.0, "diminishing returns");
     }

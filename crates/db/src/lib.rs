@@ -65,7 +65,7 @@ pub mod types;
 pub use catalog::{Catalog, Column, TableBuilder, TableId, TableSchema};
 pub use data::{ColumnVector, TableData};
 pub use database::{Database, DbError, IndexMeta};
-pub use env::{CostCoefficients, DbEnvironment, HardwareProfile};
+pub use env::{CostCoefficients, DbEnvironment, EnvFingerprint, HardwareProfile};
 pub use executor::{execute_plan, ExecutedQuery};
 pub use expr::{ColumnRef, CompareOp, JoinCondition, Predicate};
 pub use knobs::KnobConfig;

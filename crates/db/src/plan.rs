@@ -270,8 +270,9 @@ impl PlanNode {
                 let k: Vec<String> = keys.iter().map(|c| c.to_string()).collect();
                 format!(" by {}", k.join(", "))
             }
-            PhysicalOp::HashJoin { condition }
-            | PhysicalOp::MergeJoin { condition } => format!(" on {}", condition.to_sql()),
+            PhysicalOp::HashJoin { condition } | PhysicalOp::MergeJoin { condition } => {
+                format!(" on {}", condition.to_sql())
+            }
             PhysicalOp::NestedLoop { condition: Some(c) } => format!(" on {}", c.to_sql()),
             PhysicalOp::Limit { count } => format!(" {count}"),
             _ => String::new(),
@@ -299,9 +300,17 @@ mod tests {
     use crate::expr::ColumnRef;
 
     fn join_plan() -> PlanNode {
-        let scan_a = PlanNode::new(PhysicalOp::SeqScan { table: "orders".into() }, vec![]);
+        let scan_a = PlanNode::new(
+            PhysicalOp::SeqScan {
+                table: "orders".into(),
+            },
+            vec![],
+        );
         let scan_b = PlanNode::new(
-            PhysicalOp::IndexScan { table: "customer".into(), column: "c_custkey".into() },
+            PhysicalOp::IndexScan {
+                table: "customer".into(),
+                column: "c_custkey".into(),
+            },
             vec![],
         );
         let join = PlanNode::new(
@@ -314,7 +323,9 @@ mod tests {
             vec![scan_a, scan_b],
         );
         let sort = PlanNode::new(
-            PhysicalOp::Sort { keys: vec![ColumnRef::new("orders", "o_orderdate")] },
+            PhysicalOp::Sort {
+                keys: vec![ColumnRef::new("orders", "o_orderdate")],
+            },
             vec![join],
         );
         PlanNode::new(PhysicalOp::Limit { count: 10 }, vec![sort])
@@ -347,7 +358,10 @@ mod tests {
 
     #[test]
     fn physical_op_kind_and_table() {
-        let op = PhysicalOp::IndexScan { table: "t".into(), column: "c".into() };
+        let op = PhysicalOp::IndexScan {
+            table: "t".into(),
+            column: "c".into(),
+        };
         assert_eq!(op.kind(), OperatorKind::IndexScan);
         assert_eq!(op.scanned_table(), Some("t"));
         assert_eq!(PhysicalOp::Materialize.scanned_table(), None);
@@ -363,7 +377,13 @@ mod tests {
     #[test]
     fn explain_renders_every_operator() {
         let text = join_plan().explain();
-        for needle in ["Limit", "Sort", "Hash Join", "Seq Scan on orders", "Index Scan on customer"] {
+        for needle in [
+            "Limit",
+            "Sort",
+            "Hash Join",
+            "Seq Scan on orders",
+            "Index Scan on customer",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
         // indentation grows with depth

@@ -38,7 +38,11 @@ pub fn plan_query(db: &Database, query: &Query) -> Result<PlanNode, DbError> {
         let (idx, _) = relations
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.est_rows.partial_cmp(&b.1.est_rows).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.1.est_rows
+                    .partial_cmp(&b.1.est_rows)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("at least one relation");
         relations.remove(idx)
     };
@@ -47,8 +51,11 @@ pub fn plan_query(db: &Database, query: &Query) -> Result<PlanNode, DbError> {
 
     while !remaining.is_empty() {
         // Find a remaining relation connected to the current subtree.
-        let joined_tables: Vec<String> =
-            current.scanned_tables().iter().map(|s| s.to_string()).collect();
+        let joined_tables: Vec<String> = current
+            .scanned_tables()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let connected = remaining.iter().position(|rel| {
             let rel_table = rel.op.scanned_table().unwrap_or_default().to_string();
             pending_joins.iter().any(|j| {
@@ -89,7 +96,12 @@ pub fn plan_query(db: &Database, query: &Query) -> Result<PlanNode, DbError> {
 
     // 4. Ordering.
     if !query.order_by.is_empty() {
-        let mut sort = PlanNode::new(PhysicalOp::Sort { keys: query.order_by.clone() }, vec![current]);
+        let mut sort = PlanNode::new(
+            PhysicalOp::Sort {
+                keys: query.order_by.clone(),
+            },
+            vec![current],
+        );
         sort.est_rows = sort.children[0].est_rows;
         sort.est_width = sort.children[0].est_width;
         current = sort;
@@ -145,11 +157,19 @@ fn plan_scan(db: &Database, query: &Query, table: &str) -> Result<PlanNode, DbEr
     let mut node = if use_index {
         let (col, _) = candidate_index.expect("checked above");
         PlanNode::new(
-            PhysicalOp::IndexScan { table: table.to_string(), column: schema.column(col).name.clone() },
+            PhysicalOp::IndexScan {
+                table: table.to_string(),
+                column: schema.column(col).name.clone(),
+            },
             vec![],
         )
     } else {
-        PlanNode::new(PhysicalOp::SeqScan { table: table.to_string() }, vec![])
+        PlanNode::new(
+            PhysicalOp::SeqScan {
+                table: table.to_string(),
+            },
+            vec![],
+        )
     }
     .with_predicates(predicates);
 
@@ -198,36 +218,60 @@ fn plan_join(
                 mat.est_rows = inner_rows;
                 mat.est_width = mat.children[0].est_width;
                 PlanNode::new(
-                    PhysicalOp::NestedLoop { condition: Some(cond.clone()) },
+                    PhysicalOp::NestedLoop {
+                        condition: Some(cond.clone()),
+                    },
                     vec![outer, mat],
                 )
             } else if knobs.enable_hashjoin && (fits_work_mem || !knobs.enable_mergejoin) {
-                PlanNode::new(PhysicalOp::HashJoin { condition: cond.clone() }, vec![outer, inner])
+                PlanNode::new(
+                    PhysicalOp::HashJoin {
+                        condition: cond.clone(),
+                    },
+                    vec![outer, inner],
+                )
             } else if knobs.enable_mergejoin {
                 // Merge join needs sorted inputs.
                 let sort_key_outer = cond.left.clone();
                 let sort_key_inner = cond.right.clone();
-                let mut sort_outer =
-                    PlanNode::new(PhysicalOp::Sort { keys: vec![sort_key_outer] }, vec![outer]);
+                let mut sort_outer = PlanNode::new(
+                    PhysicalOp::Sort {
+                        keys: vec![sort_key_outer],
+                    },
+                    vec![outer],
+                );
                 sort_outer.est_rows = outer_rows;
                 sort_outer.est_width = sort_outer.children[0].est_width;
-                let mut sort_inner =
-                    PlanNode::new(PhysicalOp::Sort { keys: vec![sort_key_inner] }, vec![inner]);
+                let mut sort_inner = PlanNode::new(
+                    PhysicalOp::Sort {
+                        keys: vec![sort_key_inner],
+                    },
+                    vec![inner],
+                );
                 sort_inner.est_rows = inner_rows;
                 sort_inner.est_width = sort_inner.children[0].est_width;
                 PlanNode::new(
-                    PhysicalOp::MergeJoin { condition: cond.clone() },
+                    PhysicalOp::MergeJoin {
+                        condition: cond.clone(),
+                    },
                     vec![sort_outer, sort_inner],
                 )
             } else if knobs.enable_hashjoin {
-                PlanNode::new(PhysicalOp::HashJoin { condition: cond.clone() }, vec![outer, inner])
+                PlanNode::new(
+                    PhysicalOp::HashJoin {
+                        condition: cond.clone(),
+                    },
+                    vec![outer, inner],
+                )
             } else {
                 // Everything disabled: fall back to nested loop.
                 let mut mat = PlanNode::new(PhysicalOp::Materialize, vec![inner]);
                 mat.est_rows = inner_rows;
                 mat.est_width = mat.children[0].est_width;
                 PlanNode::new(
-                    PhysicalOp::NestedLoop { condition: Some(cond.clone()) },
+                    PhysicalOp::NestedLoop {
+                        condition: Some(cond.clone()),
+                    },
                     vec![outer, mat],
                 )
             }

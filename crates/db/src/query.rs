@@ -60,7 +60,10 @@ pub struct Query {
 impl Query {
     /// Start building a query over one table.
     pub fn scan(table: impl Into<String>) -> Self {
-        Query { tables: vec![table.into()], ..Default::default() }
+        Query {
+            tables: vec![table.into()],
+            ..Default::default()
+        }
     }
 
     /// Add a joined table with its join condition (builder style).
@@ -220,8 +223,17 @@ mod tests {
     #[test]
     fn aggregates_render() {
         assert_eq!(Aggregate::CountStar.to_sql(), "COUNT(*)");
-        assert_eq!(Aggregate::Avg(ColumnRef::new("t", "x")).to_sql(), "AVG(t.x)");
-        assert_eq!(Aggregate::Min(ColumnRef::new("t", "x")).to_sql(), "MIN(t.x)");
-        assert_eq!(Aggregate::Max(ColumnRef::new("t", "x")).to_sql(), "MAX(t.x)");
+        assert_eq!(
+            Aggregate::Avg(ColumnRef::new("t", "x")).to_sql(),
+            "AVG(t.x)"
+        );
+        assert_eq!(
+            Aggregate::Min(ColumnRef::new("t", "x")).to_sql(),
+            "MIN(t.x)"
+        );
+        assert_eq!(
+            Aggregate::Max(ColumnRef::new("t", "x")).to_sql(),
+            "MAX(t.x)"
+        );
     }
 }

@@ -135,11 +135,15 @@ impl ColumnStats {
     /// Fraction of rows with value strictly below `value` according to the
     /// equi-depth histogram (numeric columns); 1/3 default otherwise.
     fn range_fraction_below(&self, value: &Value) -> f64 {
-        let Some(v) = value.as_f64() else { return 1.0 / 3.0 };
+        let Some(v) = value.as_f64() else {
+            return 1.0 / 3.0;
+        };
         if self.histogram.is_empty() {
             return 1.0 / 3.0;
         }
-        let (Some(min), Some(max)) = (self.min, self.max) else { return 1.0 / 3.0 };
+        let (Some(min), Some(max)) = (self.min, self.max) else {
+            return 1.0 / 3.0;
+        };
         if v <= min {
             return 0.0;
         }
@@ -152,7 +156,11 @@ impl ColumnStats {
             let lo = self.histogram[b];
             let hi = self.histogram[b + 1];
             if v >= lo && v <= hi {
-                let within = if (hi - lo).abs() < 1e-12 { 0.5 } else { (v - lo) / (hi - lo) };
+                let within = if (hi - lo).abs() < 1e-12 {
+                    0.5
+                } else {
+                    (v - lo) / (hi - lo)
+                };
                 return (b as f64 + within) / buckets as f64;
             }
         }
@@ -179,7 +187,11 @@ impl TableStats {
         let columns = (0..data.column_count())
             .map(|c| ColumnStats::analyze(data.column(c)))
             .collect();
-        TableStats { row_count, page_count, columns }
+        TableStats {
+            row_count,
+            page_count,
+            columns,
+        }
     }
 
     /// Estimated selectivity of a conjunction of predicates over this table,
@@ -228,10 +240,18 @@ mod tests {
     #[test]
     fn range_selectivity_tracks_true_fraction() {
         let stats = ColumnStats::analyze(&uniform_int_column(1000));
-        let p = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(250) };
+        let p = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Lt,
+            value: Value::Int(250),
+        };
         let sel = stats.selectivity(&p);
         assert!((sel - 0.25).abs() < 0.05, "sel {sel}");
-        let p = Predicate::Compare { column: cref(), op: CompareOp::Gt, value: Value::Int(900) };
+        let p = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Gt,
+            value: Value::Int(900),
+        };
         let sel = stats.selectivity(&p);
         assert!((sel - 0.1).abs() < 0.05, "sel {sel}");
         let p = Predicate::Between {
@@ -249,8 +269,16 @@ mod tests {
         let mut vals = vec![1i64; 900];
         vals.extend(2..102);
         let stats = ColumnStats::analyze(&ColumnVector::Int(vals));
-        let hot = Predicate::Compare { column: cref(), op: CompareOp::Eq, value: Value::Int(1) };
-        let cold = Predicate::Compare { column: cref(), op: CompareOp::Eq, value: Value::Int(50) };
+        let hot = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Eq,
+            value: Value::Int(1),
+        };
+        let cold = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Eq,
+            value: Value::Int(50),
+        };
         assert!(stats.selectivity(&hot) > 0.85);
         assert!(stats.selectivity(&cold) < 0.02);
     }
@@ -258,9 +286,17 @@ mod tests {
     #[test]
     fn out_of_range_predicates_clamp() {
         let stats = ColumnStats::analyze(&uniform_int_column(100));
-        let below = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(-5) };
+        let below = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Lt,
+            value: Value::Int(-5),
+        };
         assert!(stats.selectivity(&below) <= 1e-5);
-        let above = Predicate::Compare { column: cref(), op: CompareOp::Le, value: Value::Int(1000) };
+        let above = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Le,
+            value: Value::Int(1000),
+        };
         assert!(stats.selectivity(&above) >= 0.999);
     }
 
@@ -269,9 +305,15 @@ mod tests {
         let col = ColumnVector::Text((0..100).map(|i| format!("v{i}")).collect());
         let stats = ColumnStats::analyze(&col);
         assert!(stats.min.is_none());
-        let p = Predicate::Like { column: cref(), pattern: "%x%".into() };
+        let p = Predicate::Like {
+            column: cref(),
+            pattern: "%x%".into(),
+        };
         assert!((stats.selectivity(&p) - 0.1).abs() < 1e-9);
-        let p = Predicate::Like { column: cref(), pattern: "v1%".into() };
+        let p = Predicate::Like {
+            column: cref(),
+            pattern: "v1%".into(),
+        };
         assert!((stats.selectivity(&p) - 0.02).abs() < 1e-9);
     }
 
@@ -281,8 +323,16 @@ mod tests {
         let stats = TableStats::analyze(&data, 100);
         assert_eq!(stats.row_count, 1000);
         assert!(stats.page_count > 1);
-        let p1 = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(500) };
-        let p2 = Predicate::Compare { column: cref(), op: CompareOp::Lt, value: Value::Int(100) };
+        let p1 = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Lt,
+            value: Value::Int(500),
+        };
+        let p2 = Predicate::Compare {
+            column: cref(),
+            op: CompareOp::Lt,
+            value: Value::Int(100),
+        };
         let sel = stats.conjunction_selectivity(&[(0, &p1), (1, &p2)]);
         assert!((sel - 0.05).abs() < 0.02, "sel {sel}");
         assert_eq!(stats.conjunction_selectivity(&[]), 1.0);

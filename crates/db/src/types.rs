@@ -206,11 +206,20 @@ mod tests {
     #[test]
     fn comparisons_follow_sql_semantics() {
         assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Text("abc".into()).compare(&Value::Text("abd".into())), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Text("abc".into()).compare(&Value::Text("abd".into())),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Null.compare(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).compare(&Value::Null), None);
-        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Bool(false).compare(&Value::Bool(true)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl Dataset {
     /// (the core operation performed by feature reduction).
     pub fn project_columns(&self, keep: &[usize]) -> Result<Dataset, NnError> {
         if keep.is_empty() {
-            return Err(NnError::InvalidDataset("cannot project to zero columns".into()));
+            return Err(NnError::InvalidDataset(
+                "cannot project to zero columns".into(),
+            ));
         }
         let dim = self.dim();
         if let Some(&bad) = keep.iter().find(|&&c| c >= dim) {
@@ -224,7 +226,11 @@ impl Scaler {
                         }
                     })
                     .collect();
-                Scaler { kind, offsets: mins, divisors }
+                Scaler {
+                    kind,
+                    offsets: mins,
+                    divisors,
+                }
             }
             ScalerKind::Standard => {
                 let mut means = vec![0.0; dim];
@@ -253,7 +259,11 @@ impl Scaler {
                         }
                     })
                     .collect();
-                Scaler { kind, offsets: means, divisors }
+                Scaler {
+                    kind,
+                    offsets: means,
+                    divisors,
+                }
             }
         }
     }
@@ -274,8 +284,15 @@ impl Scaler {
 
     /// Transform a whole dataset, preserving targets.
     pub fn transform(&self, data: &Dataset) -> Dataset {
-        let features = data.features().iter().map(|r| self.transform_row(r)).collect();
-        Dataset { features, targets: data.targets().to_vec() }
+        let features = data
+            .features()
+            .iter()
+            .map(|r| self.transform_row(r))
+            .collect();
+        Dataset {
+            features,
+            targets: data.targets().to_vec(),
+        }
     }
 }
 

@@ -34,11 +34,7 @@ pub fn relative_error(a: &[f64], b: &[f64]) -> f64 {
         .zip(b)
         .map(|(x, y)| (x - y).abs())
         .fold(0.0_f64, f64::max);
-    let scale = a
-        .iter()
-        .chain(b)
-        .map(|v| v.abs())
-        .fold(1.0_f64, f64::max);
+    let scale = a.iter().chain(b).map(|v| v.abs()).fold(1.0_f64, f64::max);
     max_diff / scale
 }
 

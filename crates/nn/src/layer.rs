@@ -50,7 +50,11 @@ impl DenseLayer {
     /// Create a layer with explicitly provided parameters (used in tests and
     /// for reproducing the worked example of Figure 4 in the paper).
     pub fn with_parameters(weights: Matrix, biases: Vec<f64>, activation: Activation) -> Self {
-        assert_eq!(weights.cols(), biases.len(), "bias length must equal output dim");
+        assert_eq!(
+            weights.cols(),
+            biases.len(),
+            "bias length must equal output dim"
+        );
         let (input_dim, output_dim) = weights.shape();
         DenseLayer {
             weights,
@@ -131,7 +135,11 @@ impl DenseLayer {
 
     /// Forward pass without caching; usable on `&self` for pure inference.
     pub fn forward_inference(&self, input: &Matrix) -> Matrix {
-        assert_eq!(input.cols(), self.input_dim(), "forward_inference: dimension mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "forward_inference: dimension mismatch"
+        );
         input
             .matmul(&self.weights)
             .add_row_broadcast(&self.biases)
@@ -155,7 +163,11 @@ impl DenseLayer {
             .cached_pre_activation
             .as_ref()
             .expect("backward called before forward");
-        assert_eq!(grad_output.shape(), pre.shape(), "backward: grad shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            pre.shape(),
+            "backward: grad shape mismatch"
+        );
 
         // dZ = dY ⊙ act'(Z)
         let mut grad_pre = grad_output.clone();
@@ -184,7 +196,11 @@ impl DenseLayer {
     /// neural unit is applied to many plan nodes before any backward pass
     /// runs.
     pub fn forward_explicit(&self, input: &Matrix) -> (Matrix, Matrix) {
-        assert_eq!(input.cols(), self.input_dim(), "forward_explicit: dimension mismatch");
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "forward_explicit: dimension mismatch"
+        );
         let pre = input.matmul(&self.weights).add_row_broadcast(&self.biases);
         let out = pre.map(|v| self.activation.apply(v));
         (pre, out)
@@ -201,8 +217,16 @@ impl DenseLayer {
         pre_activation: &Matrix,
         grad_output: &Matrix,
     ) -> Matrix {
-        assert_eq!(grad_output.shape(), pre_activation.shape(), "backward_explicit: grad shape");
-        assert_eq!(input.rows(), pre_activation.rows(), "backward_explicit: batch size");
+        assert_eq!(
+            grad_output.shape(),
+            pre_activation.shape(),
+            "backward_explicit: grad shape"
+        );
+        assert_eq!(
+            input.rows(),
+            pre_activation.rows(),
+            "backward_explicit: batch size"
+        );
         let mut grad_pre = grad_output.clone();
         for r in 0..grad_pre.rows() {
             for c in 0..grad_pre.cols() {

@@ -108,7 +108,9 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = NnError::ShapeMismatch { context: "matmul 2x3 * 4x5".into() };
+        let e = NnError::ShapeMismatch {
+            context: "matmul 2x3 * 4x5".into(),
+        };
         assert!(e.to_string().contains("matmul"));
         let e = NnError::InvalidDataset("empty".into());
         assert!(e.to_string().contains("empty"));

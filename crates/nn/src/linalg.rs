@@ -82,8 +82,12 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinAlgErro
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                aug[row][k] -= factor * aug[col][k];
+            let (pivot_row, elim_row) = {
+                let (head, tail) = aug.split_at_mut(row);
+                (&head[col], &mut tail[0])
+            };
+            for (k, cell) in elim_row.iter_mut().enumerate().take(n + 1).skip(col) {
+                *cell -= factor * pivot_row[k];
             }
         }
     }
@@ -149,9 +153,8 @@ pub fn ridge_regression(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, 
 /// `X^T y` as a vector.
 fn xt_vec(x: &Matrix, y: &[f64]) -> Vec<f64> {
     let mut out = vec![0.0; x.cols()];
-    for r in 0..x.rows() {
+    for (r, &yr) in y.iter().enumerate().take(x.rows()) {
         let row = x.row(r);
-        let yr = y[r];
         for (o, &v) in out.iter_mut().zip(row) {
             *o += v * yr;
         }
@@ -202,7 +205,10 @@ mod tests {
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
-        assert_eq!(solve_linear_system(&a, &[1.0, 2.0]), Err(LinAlgError::SingularMatrix));
+        assert_eq!(
+            solve_linear_system(&a, &[1.0, 2.0]),
+            Err(LinAlgError::SingularMatrix)
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl Loss {
 
     /// Per-sample gradient `dL/dprediction` (already divided by the batch size).
     pub fn gradient(&self, predictions: &[f64], targets: &[f64]) -> Vec<f64> {
-        assert_eq!(predictions.len(), targets.len(), "loss gradient: length mismatch");
+        assert_eq!(
+            predictions.len(),
+            targets.len(),
+            "loss gradient: length mismatch"
+        );
         let n = predictions.len().max(1) as f64;
         match self {
             Loss::Mse => predictions
@@ -164,16 +168,25 @@ mod tests {
         let targets = vec![1_000.0];
         let lin = Loss::Mse.value(&preds, &targets);
         let log = Loss::LogMse.value(&preds, &targets);
-        assert!(log < lin, "log-space loss must be far smaller for large costs");
+        assert!(
+            log < lin,
+            "log-space loss must be far smaller for large costs"
+        );
         assert!(log > 0.0);
     }
 
     #[test]
     fn logmse_gradient_sign_matches_error_direction() {
         let g_over = Loss::LogMse.gradient(&[100.0], &[10.0]);
-        assert!(g_over[0] > 0.0, "over-prediction should push the output down");
+        assert!(
+            g_over[0] > 0.0,
+            "over-prediction should push the output down"
+        );
         let g_under = Loss::LogMse.gradient(&[10.0], &[100.0]);
-        assert!(g_under[0] < 0.0, "under-prediction should push the output up");
+        assert!(
+            g_under[0] < 0.0,
+            "under-prediction should push the output up"
+        );
     }
 
     #[test]

@@ -17,12 +17,20 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with a constant value.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Build a matrix from a flat row-major vector.
@@ -30,7 +38,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "from_vec: data length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -45,20 +57,36 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
-            assert_eq!(r.len(), cols, "from_rows: all rows must have the same length");
+            assert_eq!(
+                r.len(),
+                cols,
+                "from_rows: all rows must have the same length"
+            );
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build a single-row matrix from a slice.
     pub fn row_vector(values: &[f64]) -> Self {
-        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Build a single-column matrix from a slice.
     pub fn col_vector(values: &[f64]) -> Self {
-        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -74,7 +102,9 @@ impl Matrix {
     /// for the ReLU/sigmoid MLPs used by QPPNet and MSCN.
     pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let limit = (6.0 / (rows + cols) as f64).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -219,8 +249,17 @@ impl Matrix {
     /// Element-wise addition.
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "add: shapes must agree");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise in-place addition.
@@ -234,21 +273,43 @@ impl Matrix {
     /// Element-wise subtraction.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "sub: shapes must agree");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise (Hadamard) product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard: shapes must agree");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Multiply every element by a scalar.
     pub fn scale(&self, s: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place scalar multiply-accumulate: `self += other * s`.
@@ -261,7 +322,11 @@ impl Matrix {
 
     /// Broadcast-add a row vector to every row (used for bias addition).
     pub fn add_row_broadcast(&self, row: &[f64]) -> Matrix {
-        assert_eq!(self.cols, row.len(), "add_row_broadcast: length must equal cols");
+        assert_eq!(
+            self.cols,
+            row.len(),
+            "add_row_broadcast: length must equal cols"
+        );
         let mut out = self.clone();
         for r in 0..out.rows {
             for (v, b) in out.row_mut(r).iter_mut().zip(row.iter()) {
@@ -285,7 +350,11 @@ impl Matrix {
     /// Apply a function to every element, returning a new matrix.
     pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Apply a function to every element in place.

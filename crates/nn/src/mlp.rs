@@ -86,7 +86,11 @@ impl Mlp {
     ///
     /// # Panics
     /// Panics if fewer than two sizes are given.
-    pub fn new<R: Rng + ?Sized>(sizes: &[usize], hidden_activation: Activation, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        hidden_activation: Activation,
+        rng: &mut R,
+    ) -> Self {
         Self::with_output_activation(sizes, hidden_activation, Activation::Identity, rng)
     }
 
@@ -98,13 +102,23 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut R,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least an input and an output size");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least an input and an output size"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
-            let act = if i + 2 == sizes.len() { output_activation } else { hidden_activation };
+            let act = if i + 2 == sizes.len() {
+                output_activation
+            } else {
+                hidden_activation
+            };
             layers.push(DenseLayer::new(sizes[i], sizes[i + 1], act, rng));
         }
-        Mlp { layers, optimizer_state: None }
+        Mlp {
+            layers,
+            optimizer_state: None,
+        }
     }
 
     /// Build an MLP directly from explicit layers (used to reproduce the
@@ -118,7 +132,10 @@ impl Mlp {
                 "consecutive layer dimensions must agree"
             );
         }
-        Mlp { layers, optimizer_state: None }
+        Mlp {
+            layers,
+            optimizer_state: None,
+        }
     }
 
     /// Input dimensionality.
@@ -202,14 +219,24 @@ impl Mlp {
             pre_activations.push(pre);
             cur = out;
         }
-        (cur, MlpCache { inputs, pre_activations })
+        (
+            cur,
+            MlpCache {
+                inputs,
+                pre_activations,
+            },
+        )
     }
 
     /// Functional backward pass for a prior [`Mlp::forward_cached`] call.
     /// Accumulates parameter gradients and returns the gradient with respect
     /// to the network input.
     pub fn backward_cached(&mut self, cache: &MlpCache, grad_output: &Matrix) -> Matrix {
-        assert_eq!(cache.inputs.len(), self.layers.len(), "cache/layer count mismatch");
+        assert_eq!(
+            cache.inputs.len(),
+            self.layers.len(),
+            "cache/layer count mismatch"
+        );
         let mut grad = grad_output.clone();
         for (idx, layer) in self.layers.iter_mut().enumerate().rev() {
             grad = layer.backward_explicit(&cache.inputs[idx], &cache.pre_activations[idx], &grad);
@@ -293,7 +320,11 @@ impl Mlp {
         config: &TrainConfig,
         rng: &mut R,
     ) -> TrainHistory {
-        assert_eq!(self.output_dim(), 1, "train() requires a scalar-output network");
+        assert_eq!(
+            self.output_dim(),
+            1,
+            "train() requires a scalar-output network"
+        );
         assert_eq!(
             data.dim(),
             self.input_dim(),
@@ -324,7 +355,10 @@ impl Mlp {
             epoch_losses.push(epoch_loss / batches_seen.max(1) as f64);
         }
 
-        TrainHistory { epoch_losses, wall_time: start.elapsed() }
+        TrainHistory {
+            epoch_losses,
+            wall_time: start.elapsed(),
+        }
     }
 }
 
@@ -345,7 +379,7 @@ mod tests {
         assert_eq!(mlp.input_dim(), 5);
         assert_eq!(mlp.output_dim(), 1);
         assert_eq!(mlp.layer_count(), 3);
-        assert_eq!(mlp.parameter_count(), 5 * 8 + 8 + 8 * 3 + 3 + 3 * 1 + 1);
+        assert_eq!(mlp.parameter_count(), 5 * 8 + 8 + 8 * 3 + 3 + 3 + 1);
     }
 
     #[test]
@@ -477,7 +511,11 @@ mod tests {
         let mut r = rng();
         let data = Dataset::new(vec![vec![1.0], vec![1.0]], vec![0.0, 0.0]).unwrap();
         let mut mlp = Mlp::new(&[1, 4, 1], Activation::Relu, &mut r);
-        let cfg = TrainConfig { epochs: 200, loss: Loss::Mse, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 200,
+            loss: Loss::Mse,
+            ..Default::default()
+        };
         mlp.train(&data, &cfg, &mut r);
         assert!(mlp.evaluate_loss(&data, Loss::Mse) < 1e-3);
     }

@@ -34,12 +34,20 @@ pub enum Optimizer {
 impl Optimizer {
     /// Plain SGD with the given learning rate.
     pub fn sgd(learning_rate: f64) -> Self {
-        Optimizer::Sgd { learning_rate, momentum: 0.0 }
+        Optimizer::Sgd {
+            learning_rate,
+            momentum: 0.0,
+        }
     }
 
     /// Adam with the conventional default hyper-parameters.
     pub fn adam(learning_rate: f64) -> Self {
-        Optimizer::Adam { learning_rate, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+        Optimizer::Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
     }
 
     /// The configured learning rate.
@@ -55,10 +63,21 @@ impl Optimizer {
     /// the transfer-learning experiment).
     pub fn with_learning_rate(&self, learning_rate: f64) -> Self {
         match *self {
-            Optimizer::Sgd { momentum, .. } => Optimizer::Sgd { learning_rate, momentum },
-            Optimizer::Adam { beta1, beta2, epsilon, .. } => {
-                Optimizer::Adam { learning_rate, beta1, beta2, epsilon }
-            }
+            Optimizer::Sgd { momentum, .. } => Optimizer::Sgd {
+                learning_rate,
+                momentum,
+            },
+            Optimizer::Adam {
+                beta1,
+                beta2,
+                epsilon,
+                ..
+            } => Optimizer::Adam {
+                learning_rate,
+                beta1,
+                beta2,
+                epsilon,
+            },
         }
     }
 }
@@ -86,9 +105,18 @@ impl OptimizerState {
             .map(|l| Matrix::zeros(l.input_dim(), l.output_dim()))
             .collect::<Vec<_>>();
         let v_weights = m_weights.clone();
-        let m_biases = layers.iter().map(|l| vec![0.0; l.output_dim()]).collect::<Vec<_>>();
+        let m_biases = layers
+            .iter()
+            .map(|l| vec![0.0; l.output_dim()])
+            .collect::<Vec<_>>();
         let v_biases = m_biases.clone();
-        OptimizerState { m_weights, v_weights, m_biases, v_biases, step: 0 }
+        OptimizerState {
+            m_weights,
+            v_weights,
+            m_biases,
+            v_biases,
+            step: 0,
+        }
     }
 
     /// Number of optimizer steps taken so far.
@@ -99,14 +127,26 @@ impl OptimizerState {
     /// Apply one update step to all layers using their accumulated gradients,
     /// then zero the gradients.
     pub fn apply(&mut self, optimizer: &Optimizer, layers: &mut [DenseLayer]) {
-        assert_eq!(layers.len(), self.m_weights.len(), "optimizer state / layer count mismatch");
+        assert_eq!(
+            layers.len(),
+            self.m_weights.len(),
+            "optimizer state / layer count mismatch"
+        );
         self.step += 1;
         for (idx, layer) in layers.iter_mut().enumerate() {
             match *optimizer {
-                Optimizer::Sgd { learning_rate, momentum } => {
+                Optimizer::Sgd {
+                    learning_rate,
+                    momentum,
+                } => {
                     self.sgd_update(idx, layer, learning_rate, momentum);
                 }
-                Optimizer::Adam { learning_rate, beta1, beta2, epsilon } => {
+                Optimizer::Adam {
+                    learning_rate,
+                    beta1,
+                    beta2,
+                    epsilon,
+                } => {
                     self.adam_update(idx, layer, learning_rate, beta1, beta2, epsilon);
                 }
             }
@@ -234,7 +274,10 @@ mod tests {
         // two identical steps with momentum: second step moves further
         let mut layers = vec![make()];
         let mut state = OptimizerState::for_layers(&layers);
-        let opt = Optimizer::Sgd { learning_rate: 0.1, momentum: 0.9 };
+        let opt = Optimizer::Sgd {
+            learning_rate: 0.1,
+            momentum: 0.9,
+        };
         state.apply(&opt, &mut layers);
         let after_first = layers[0].weights().get(0, 0);
         // re-create the same gradient and apply again
@@ -244,7 +287,10 @@ mod tests {
         let after_second = layers[0].weights().get(0, 0);
         let first_delta = 1.0 - after_first;
         let second_delta = after_first - after_second;
-        assert!(second_delta > first_delta, "momentum should accelerate the update");
+        assert!(
+            second_delta > first_delta,
+            "momentum should accelerate the update"
+        );
     }
 
     #[test]
@@ -262,7 +308,11 @@ mod tests {
     fn with_learning_rate_preserves_other_hyperparameters() {
         let adam = Optimizer::adam(0.01).with_learning_rate(0.1);
         match adam {
-            Optimizer::Adam { learning_rate, beta1, .. } => {
+            Optimizer::Adam {
+                learning_rate,
+                beta1,
+                ..
+            } => {
                 assert_eq!(learning_rate, 0.1);
                 assert_eq!(beta1, 0.9);
             }

@@ -1,0 +1,86 @@
+//! # qcfe-serve — the online cost-estimation service layer
+//!
+//! The QCFE paper frames snapshot-based cost estimation as something a
+//! *running database* consults per query, yet the experiment pipeline
+//! (`qcfe_core::pipeline`) builds, trains and discards everything per call.
+//! This crate supplies the serving substrate that turns those trained
+//! artifacts into a long-lived, concurrent estimation node:
+//!
+//! * [`store::SnapshotStore`] — feature snapshots persisted to disk in the
+//!   versioned `QCFS` binary codec, keyed by the
+//!   [`qcfe_db::EnvFingerprint`] derived from knobs + hardware + storage
+//!   format. Snapshots survive restarts and transfer across machines with
+//!   matching environments (the paper's FST workflow), and round-trip
+//!   bit-exactly: a reloaded snapshot produces identical estimates.
+//! * [`registry::ModelRegistry`] — trained estimators behind
+//!   `Arc<dyn CostModel + Send + Sync>` keyed by
+//!   `(benchmark, estimator, fingerprint)`, with LRU eviction bounding
+//!   resident models.
+//! * [`service::EstimationService`] — a worker-thread pool draining a
+//!   bounded request queue with **micro-batched inference**: concurrent
+//!   requests are coalesced, encoded through an LRU plan-encoding cache and
+//!   pushed through the MLP as one matrix batch.
+//! * [`metrics::ServiceMetrics`] — lock-free throughput, latency
+//!   percentiles, queue depth, batch sizes and cache hit rate.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use qcfe_serve::prelude::*;
+//! use qcfe_core::pipeline::{prepare_context, ContextConfig, EstimatorKind};
+//! use qcfe_core::estimators::MscnEstimator;
+//! use qcfe_core::encoding::FeatureEncoder;
+//! use qcfe_workloads::BenchmarkKind;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! // Train once …
+//! let kind = BenchmarkKind::Sysbench;
+//! let ctx = prepare_context(kind, &ContextConfig::quick(kind));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+//! let (model, _) =
+//!     MscnEstimator::train(encoder, &ctx.workload, Some(&ctx.snapshots_fso), None, 30, &mut rng);
+//!
+//! // … persist the environment's snapshot …
+//! let env = &ctx.workload.environments[0];
+//! let store = SnapshotStore::open("target/snapshots").unwrap();
+//! let snapshot = ctx.snapshots_fso[0].clone().unwrap();
+//! store.save(kind, env.fingerprint(), &snapshot).unwrap();
+//!
+//! // … register the model and serve concurrently.
+//! let registry = ModelRegistry::new(8);
+//! let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint());
+//! registry.insert(key, Arc::new(model));
+//! let service = EstimationService::start(
+//!     registry.get(&key).unwrap(),
+//!     Some(snapshot),
+//!     ServiceConfig::default(),
+//! );
+//! let handle = service.handle();
+//! // handle.estimate(plan) from any number of client threads …
+//! ```
+
+pub mod lru;
+pub mod metrics;
+pub mod registry;
+pub mod service;
+pub mod store;
+
+pub use lru::LruCache;
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use registry::{ModelKey, ModelRegistry, RegistryStats};
+pub use service::{
+    plan_key, Estimate, EstimationService, ServiceConfig, ServiceError, ServiceHandle,
+};
+pub use store::{SnapshotStore, StoreError};
+
+/// Convenient glob import for downstream crates, benches and examples.
+pub mod prelude {
+    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::registry::{ModelKey, ModelRegistry};
+    pub use crate::service::{
+        Estimate, EstimationService, ServiceConfig, ServiceError, ServiceHandle,
+    };
+    pub use crate::store::SnapshotStore;
+}

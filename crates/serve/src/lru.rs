@@ -1,0 +1,150 @@
+//! A small least-recently-used map used by the model registry and the
+//! plan-encoding cache.
+//!
+//! Implemented as a `HashMap` plus a `BTreeMap` recency index (logical
+//! clock → key), giving `O(log n)` touch/evict without external crates.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A bounded map that evicts the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is resident (does not touch recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Look up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (value, stamp) = self.map.get_mut(key)?;
+        self.recency.remove(stamp);
+        self.recency.insert(clock, key.clone());
+        *stamp = clock;
+        Some(value)
+    }
+
+    /// Insert or replace `key`, marking it most recently used. Returns the
+    /// evicted `(key, value)` pair when the insert pushed the cache over
+    /// capacity.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.clock += 1;
+        if let Some((_, stamp)) = self.map.get(&key) {
+            self.recency.remove(stamp);
+        }
+        self.map.insert(key.clone(), (value, self.clock));
+        self.recency.insert(self.clock, key);
+        if self.map.len() > self.capacity {
+            let (_, victim) = self.recency.pop_first().expect("cache non-empty");
+            let (value, _) = self.map.remove(&victim).expect("victim resident");
+            self.evictions += 1;
+            return Some((victim, value));
+        }
+        None
+    }
+
+    /// Remove `key` if resident.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (value, stamp) = self.map.remove(key)?;
+        self.recency.remove(&stamp);
+        Some(value)
+    }
+
+    /// Keys ordered from least to most recently used (tests/diagnostics).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        self.recency.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        assert!(lru.insert("a", 1).is_none());
+        assert!(lru.insert("b", 2).is_none());
+        // touch "a" so "b" becomes the victim
+        assert_eq!(lru.get(&"a"), Some(&1));
+        let evicted = lru.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.contains(&"a") && lru.contains(&"c"));
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert!(lru.insert("a", 10).is_none());
+        assert_eq!(lru.get(&"a"), Some(&10));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions(), 0);
+    }
+
+    #[test]
+    fn remove_and_recency_order() {
+        let mut lru = LruCache::new(3);
+        lru.insert(1, "x");
+        lru.insert(2, "y");
+        lru.insert(3, "z");
+        lru.get(&1);
+        assert_eq!(lru.keys_by_recency(), vec![2, 3, 1]);
+        assert_eq!(lru.remove(&3), Some("z"));
+        assert_eq!(lru.remove(&3), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut lru = LruCache::new(0);
+        assert_eq!(lru.capacity(), 1);
+        lru.insert(1, 1);
+        let evicted = lru.insert(2, 2);
+        assert_eq!(evicted, Some((1, 1)));
+    }
+}

@@ -1,0 +1,258 @@
+//! Service observability: throughput, latency percentiles, queue depth,
+//! batch sizes and cache hit rate.
+//!
+//! All counters are atomics so the hot path never takes a lock for
+//! bookkeeping. Latencies land in a 40-bucket power-of-two histogram
+//! (microsecond resolution; the top bucket, 2^39 µs, is ~6 days);
+//! percentiles are read from the histogram with geometric-midpoint
+//! interpolation, which is plenty for a serving dashboard.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Number of power-of-two latency buckets.
+const BUCKETS: usize = 40;
+
+/// Live metrics of one [`crate::service::EstimationService`].
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    started_at: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+    queue_depth: AtomicUsize,
+    queue_high_water: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        ServiceMetrics {
+            started_at: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_high_water: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record a request entering the queue.
+    pub fn record_submit(&self, queue_depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.store(queue_depth, Ordering::Relaxed);
+        self.queue_high_water
+            .fetch_max(queue_depth as u64, Ordering::Relaxed);
+    }
+
+    /// Record a request rejected at admission (queue full / closed).
+    pub fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one drained micro-batch.
+    pub fn record_batch(&self, batch_size: usize, queue_depth: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.max_batch
+            .fetch_max(batch_size as u64, Ordering::Relaxed);
+        self.queue_depth.store(queue_depth, Ordering::Relaxed);
+    }
+
+    /// Record one completed request with its end-to-end latency.
+    pub fn record_completion(&self, latency_us: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let us = latency_us.max(0.0).round() as u64;
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an encoding-cache lookup.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Latency percentile (0–100) from the histogram, in microseconds.
+    fn percentile_us(&self, counts: &[u64; BUCKETS], p: f64) -> f64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // geometric midpoint of bucket [2^i, 2^(i+1))
+                return (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+            }
+        }
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+
+    /// A consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counts: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.latency_buckets[i].load(Ordering::Relaxed));
+        let completed = self.completed.load(Ordering::Relaxed);
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        let elapsed_s = self.started_at.elapsed().as_secs_f64().max(1e-9);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            throughput_qps: completed as f64 / elapsed_s,
+            mean_latency_us: if completed == 0 {
+                0.0
+            } else {
+                self.latency_sum_us.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+            p50_latency_us: self.percentile_us(&counts, 50.0),
+            p95_latency_us: self.percentile_us(&counts, 95.0),
+            p99_latency_us: self.percentile_us(&counts, 99.0),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed) as usize,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            max_batch_size: self.max_batch.load(Ordering::Relaxed) as usize,
+            cache_hit_rate: if cache_hits + cache_misses == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / (cache_hits + cache_misses) as f64
+            },
+        }
+    }
+}
+
+/// A point-in-time view of [`ServiceMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Completed requests per second since service start.
+    pub throughput_qps: f64,
+    /// Mean end-to-end latency (µs).
+    pub mean_latency_us: f64,
+    /// Median end-to-end latency (µs, histogram-interpolated).
+    pub p50_latency_us: f64,
+    /// 95th-percentile latency (µs).
+    pub p95_latency_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_latency_us: f64,
+    /// Queue depth at the last event.
+    pub queue_depth: usize,
+    /// Maximum queue depth observed.
+    pub queue_high_water: usize,
+    /// Mean requests per drained micro-batch.
+    pub mean_batch_size: f64,
+    /// Largest micro-batch drained.
+    pub max_batch_size: usize,
+    /// Encoding-cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_into_snapshot() {
+        let m = ServiceMetrics::new();
+        m.record_submit(1);
+        m.record_submit(2);
+        m.record_submit(3);
+        m.record_reject();
+        m.record_batch(2, 1);
+        m.record_cache(true);
+        m.record_cache(false);
+        m.record_completion(100.0);
+        m.record_completion(200.0);
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.queue_high_water, 3);
+        assert_eq!(s.mean_batch_size, 2.0);
+        assert_eq!(s.max_batch_size, 2);
+        assert_eq!(s.cache_hit_rate, 0.5);
+        assert_eq!(s.mean_latency_us, 150.0);
+        assert!(s.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_recorded_latencies() {
+        let m = ServiceMetrics::new();
+        // 90 fast requests (~64us) and 10 slow ones (~8192us)
+        for _ in 0..90 {
+            m.record_completion(64.0);
+        }
+        for _ in 0..10 {
+            m.record_completion(8192.0);
+        }
+        let s = m.snapshot();
+        assert!(
+            s.p50_latency_us >= 64.0 && s.p50_latency_us < 256.0,
+            "p50 {}",
+            s.p50_latency_us
+        );
+        assert!(s.p99_latency_us >= 8192.0, "p99 {}", s.p99_latency_us);
+        assert!(s.p50_latency_us <= s.p95_latency_us);
+        assert!(s.p95_latency_us <= s.p99_latency_us);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let s = ServiceMetrics::new().snapshot();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.mean_latency_us, 0.0);
+        assert_eq!(s.p50_latency_us, 0.0);
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_land_in_the_first_bucket() {
+        let m = ServiceMetrics::new();
+        m.record_completion(0.0);
+        m.record_completion(0.4);
+        let s = m.snapshot();
+        assert_eq!(s.completed, 2);
+        assert!(s.p50_latency_us <= 2.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The model registry: trained estimators behind `Arc<dyn CostModel>`,
+//! keyed by `(benchmark, estimator, environment fingerprint)`.
+//!
+//! A long-lived estimation node trains (or receives) one model per serving
+//! key and looks it up on every request. The registry bounds resident
+//! models with LRU eviction — a node serving many environments keeps only
+//! the hot ones in memory and refits or reloads cold ones on demand.
+
+use crate::lru::LruCache;
+use qcfe_core::cost_model::CostModel;
+use qcfe_core::pipeline::EstimatorKind;
+use qcfe_db::env::EnvFingerprint;
+use qcfe_workloads::BenchmarkKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The serving key of one trained model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// The benchmark/schema the model was trained on.
+    pub benchmark: BenchmarkKind,
+    /// The estimator family.
+    pub estimator: EstimatorKind,
+    /// The environment fingerprint the training labels came from.
+    pub fingerprint: EnvFingerprint,
+}
+
+impl ModelKey {
+    /// Convenience constructor.
+    pub fn new(
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+    ) -> Self {
+        ModelKey {
+            benchmark,
+            estimator,
+            fingerprint,
+        }
+    }
+}
+
+/// Registry statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Models evicted by the LRU policy.
+    pub evictions: u64,
+    /// Currently resident models.
+    pub resident: usize,
+}
+
+/// A bounded, thread-safe registry of trained cost models.
+pub struct ModelRegistry {
+    inner: Mutex<LruCache<ModelKey, Arc<dyn CostModel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ModelRegistry")
+            .field("resident", &stats.resident)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("evictions", &stats.evictions)
+            .finish()
+    }
+}
+
+impl ModelRegistry {
+    /// Create a registry holding at most `capacity` models.
+    pub fn new(capacity: usize) -> Self {
+        ModelRegistry {
+            inner: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Register (or replace) a model; returns the evicted entry if the
+    /// insert pushed the registry over capacity.
+    pub fn insert(
+        &self,
+        key: ModelKey,
+        model: Arc<dyn CostModel>,
+    ) -> Option<(ModelKey, Arc<dyn CostModel>)> {
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .insert(key, model)
+    }
+
+    /// Look up a model, marking it most recently used.
+    pub fn get(&self, key: &ModelKey) -> Option<Arc<dyn CostModel>> {
+        let found = self
+            .inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Look up without touching recency or hit counters.
+    pub fn contains(&self, key: &ModelKey) -> bool {
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .contains(key)
+    }
+
+    /// Remove a model.
+    pub fn remove(&self, key: &ModelKey) -> Option<Arc<dyn CostModel>> {
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .remove(key)
+    }
+
+    /// Number of resident models.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry mutex poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup/eviction statistics.
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.inner.lock().expect("registry mutex poisoned");
+        RegistryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: inner.evictions(),
+            resident: inner.len(),
+        }
+    }
+
+    /// Look up a model or build, register and return it.
+    ///
+    /// The build runs outside the registry lock (training can take minutes
+    /// and must not block lookups), so concurrent callers racing on a cold
+    /// key may each run `build` — but the re-check under the lock makes the
+    /// first registration win and every caller converge on that single
+    /// resident instance; losers' builds are dropped.
+    pub fn get_or_insert_with<F>(&self, key: ModelKey, build: F) -> Arc<dyn CostModel>
+    where
+        F: FnOnce() -> Arc<dyn CostModel>,
+    {
+        if let Some(model) = self.get(&key) {
+            return model;
+        }
+        let model = build();
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        if let Some(existing) = inner.get(&key) {
+            return Arc::clone(existing);
+        }
+        inner.insert(key, Arc::clone(&model));
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcfe_core::estimators::PgEstimator;
+    use qcfe_db::DbEnvironment;
+
+    fn key(tag: u64) -> ModelKey {
+        let mut env = DbEnvironment::reference();
+        env.knobs.work_mem_kb = 1024 + tag;
+        ModelKey::new(
+            BenchmarkKind::Sysbench,
+            EstimatorKind::Pgsql,
+            env.fingerprint(),
+        )
+    }
+
+    fn pg_model() -> Arc<dyn CostModel> {
+        Arc::new(PgEstimator)
+    }
+
+    #[test]
+    fn lookup_hits_and_misses_are_counted() {
+        let registry = ModelRegistry::new(4);
+        assert!(registry.is_empty());
+        assert!(registry.get(&key(1)).is_none());
+        registry.insert(key(1), pg_model());
+        assert!(registry.get(&key(1)).is_some());
+        assert!(registry.contains(&key(1)));
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses, stats.resident), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_overflow_evicts_least_recently_used() {
+        let registry = ModelRegistry::new(2);
+        registry.insert(key(1), pg_model());
+        registry.insert(key(2), pg_model());
+        // touch key(1) so key(2) is the LRU victim
+        assert!(registry.get(&key(1)).is_some());
+        let evicted = registry.insert(key(3), pg_model());
+        assert_eq!(evicted.map(|(k, _)| k), Some(key(2)));
+        assert_eq!(registry.len(), 2);
+        assert!(registry.contains(&key(1)) && registry.contains(&key(3)));
+        assert_eq!(registry.stats().evictions, 1);
+    }
+
+    #[test]
+    fn get_or_insert_builds_once() {
+        let registry = ModelRegistry::new(2);
+        let mut builds = 0;
+        for _ in 0..3 {
+            registry.get_or_insert_with(key(7), || {
+                builds += 1;
+                pg_model()
+            });
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn racing_get_or_insert_converges_on_one_instance() {
+        let registry = std::sync::Arc::new(ModelRegistry::new(4));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let registry = std::sync::Arc::clone(&registry);
+                std::thread::spawn(move || registry.get_or_insert_with(key(3), pg_model))
+            })
+            .collect();
+        let models: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let resident = registry.get(&key(3)).expect("registered");
+        for model in &models {
+            assert!(
+                Arc::ptr_eq(model, &resident),
+                "every racer must converge on the resident instance"
+            );
+        }
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn keys_distinguish_every_dimension() {
+        let fp = DbEnvironment::reference().fingerprint();
+        let base = ModelKey::new(BenchmarkKind::Tpch, EstimatorKind::Mscn, fp);
+        assert_ne!(
+            base,
+            ModelKey::new(BenchmarkKind::Sysbench, EstimatorKind::Mscn, fp)
+        );
+        assert_ne!(
+            base,
+            ModelKey::new(BenchmarkKind::Tpch, EstimatorKind::QcfeMscn, fp)
+        );
+        assert_ne!(
+            base,
+            ModelKey::new(BenchmarkKind::Tpch, EstimatorKind::Mscn, key(9).fingerprint)
+        );
+    }
+}

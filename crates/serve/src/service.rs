@@ -1,0 +1,559 @@
+//! The estimation service: a worker-thread pool draining a bounded request
+//! queue with micro-batched inference.
+//!
+//! Requests (physical plans) are pushed by any number of client threads via
+//! a cloneable [`ServiceHandle`]. Workers drain up to
+//! [`ServiceConfig::max_batch`] queued requests at a time; for models with a
+//! flat encoding ([`CostModel::supports_batching`]) the batch is encoded —
+//! through an LRU plan-encoding cache — into one matrix and pushed through
+//! the MLP in a single pass, which is where the serving-side throughput win
+//! over per-query inference comes from. Tree-structured models (QPPNet)
+//! still benefit from the queue's amortised wake-ups but predict per plan.
+//!
+//! Backpressure: [`ServiceHandle::estimate`] blocks while the queue is at
+//! capacity (closed-loop clients), [`ServiceHandle::try_estimate`] returns
+//! [`ServiceError::QueueFull`] instead (open-loop clients that shed load).
+
+use crate::lru::LruCache;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use qcfe_core::cost_model::CostModel;
+use qcfe_core::snapshot::FeatureSnapshot;
+use qcfe_db::env::Fnv1a;
+use qcfe_db::plan::PlanNode;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tunables of one estimation service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity (admission control).
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one inference batch.
+    pub max_batch: usize,
+    /// Capacity of the LRU plan-encoding cache.
+    pub encoding_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 32,
+            encoding_cache_capacity: 4096,
+        }
+    }
+}
+
+/// One answered estimation request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Predicted query latency in milliseconds.
+    pub cost_ms: f64,
+    /// Size of the micro-batch this request was served in.
+    pub batch_size: usize,
+    /// Whether the plan encoding came from the cache.
+    pub encoding_cache_hit: bool,
+}
+
+/// Service-side request failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The service is shut down (or shut down while the request was queued).
+    Closed,
+    /// The bounded queue was full (only from [`ServiceHandle::try_estimate`]).
+    QueueFull,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Closed => write!(f, "estimation service is closed"),
+            ServiceError::QueueFull => write!(f, "estimation queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A stable 64-bit key of a plan's cost-relevant structure, used by the
+/// encoding cache. Two plans with equal keys encode identically.
+pub fn plan_key(root: &PlanNode) -> u64 {
+    fn walk(node: &PlanNode, h: &mut Fnv1a) {
+        h.write_u64(node.op.kind().index() as u64);
+        if let Some(table) = node.op.scanned_table() {
+            h.write_bytes(table.as_bytes());
+            h.write_bytes(b"\0");
+        }
+        // The index column is part of the encoder's one-hot blocks, so it
+        // must be part of the cache key too.
+        if let qcfe_db::plan::PhysicalOp::IndexScan { column, .. } = &node.op {
+            h.write_bytes(column.as_bytes());
+            h.write_bytes(b"\0");
+        }
+        h.write_u64(node.est_rows.to_bits());
+        h.write_u64(node.est_width.to_bits());
+        h.write_u64(node.est_cost.to_bits());
+        h.write_u64(node.predicates.len() as u64);
+        h.write_u64(node.children.len() as u64);
+        for child in &node.children {
+            walk(child, h);
+        }
+    }
+    let mut h = Fnv1a::new();
+    walk(root, &mut h);
+    h.finish()
+}
+
+struct Job {
+    plan: PlanNode,
+    submitted_at: Instant,
+    reply: mpsc::Sender<Estimate>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    model: Arc<dyn CostModel>,
+    snapshot: Option<FeatureSnapshot>,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    encoding_cache: Mutex<LruCache<u64, Vec<f64>>>,
+    metrics: ServiceMetrics,
+}
+
+impl Shared {
+    fn worker_loop(&self) {
+        loop {
+            let batch: Vec<Job> = {
+                let mut queue = self.queue.lock().expect("service queue poisoned");
+                loop {
+                    if !queue.jobs.is_empty() {
+                        break;
+                    }
+                    if queue.closed {
+                        return;
+                    }
+                    queue = self.not_empty.wait(queue).expect("service queue poisoned");
+                }
+                let n = queue.jobs.len().min(self.config.max_batch);
+                let batch: Vec<Job> = queue.jobs.drain(..n).collect();
+                self.metrics.record_batch(batch.len(), queue.jobs.len());
+                batch
+            };
+            // Space freed: wake every blocked submitter.
+            self.not_full.notify_all();
+            self.process_batch(batch);
+        }
+    }
+
+    fn process_batch(&self, batch: Vec<Job>) {
+        let snapshot = self.snapshot.as_ref();
+        let batch_size = batch.len();
+        if self.model.supports_batching() {
+            // Two lock acquisitions per drained batch (probe, then insert
+            // misses), not per request — encoding itself runs unlocked.
+            let keys: Vec<u64> = batch.iter().map(|job| plan_key(&job.plan)).collect();
+            let mut rows: Vec<Option<Vec<f64>>> = {
+                let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
+                keys.iter().map(|key| cache.get(key).cloned()).collect()
+            };
+            let hits: Vec<bool> = rows.iter().map(Option::is_some).collect();
+            let mut fresh: Vec<(u64, Vec<f64>)> = Vec::new();
+            for ((slot, job), key) in rows.iter_mut().zip(&batch).zip(&keys) {
+                if slot.is_none() {
+                    let encoding = self
+                        .model
+                        .encode_plan(&job.plan, snapshot)
+                        .expect("batching model must encode");
+                    fresh.push((*key, encoding.clone()));
+                    *slot = Some(encoding);
+                }
+            }
+            if !fresh.is_empty() {
+                let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
+                for (key, encoding) in fresh {
+                    cache.insert(key, encoding);
+                }
+            }
+            for &hit in &hits {
+                self.metrics.record_cache(hit);
+            }
+            let rows: Vec<Vec<f64>> = rows.into_iter().map(|r| r.expect("filled")).collect();
+            let predictions = self.model.predict_encoded(&rows);
+            debug_assert_eq!(predictions.len(), batch_size);
+            for ((job, cost_ms), hit) in batch.into_iter().zip(predictions).zip(hits) {
+                self.complete(
+                    job,
+                    Estimate {
+                        cost_ms,
+                        batch_size,
+                        encoding_cache_hit: hit,
+                    },
+                );
+            }
+        } else {
+            for job in batch {
+                let cost_ms = self.model.predict_plan(&job.plan, snapshot);
+                self.complete(
+                    job,
+                    Estimate {
+                        cost_ms,
+                        batch_size,
+                        encoding_cache_hit: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn complete(&self, job: Job, estimate: Estimate) {
+        self.metrics
+            .record_completion(job.submitted_at.elapsed().as_secs_f64() * 1e6);
+        // A client that gave up (dropped the receiver) is not an error.
+        let _ = job.reply.send(estimate);
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("service queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// A cloneable client handle onto a running [`EstimationService`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServiceHandle {
+    /// Submit a plan and block until its estimate is ready. Applies
+    /// backpressure: blocks while the queue is at capacity.
+    pub fn estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
+        self.submit(plan, true)
+    }
+
+    /// Submit without blocking on a full queue.
+    pub fn try_estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
+        self.submit(plan, false)
+    }
+
+    fn submit(&self, plan: PlanNode, block_on_full: bool) -> Result<Estimate, ServiceError> {
+        let shared = &self.shared;
+        let (reply, response) = mpsc::channel();
+        {
+            let mut queue = shared.queue.lock().expect("service queue poisoned");
+            while queue.jobs.len() >= shared.config.queue_capacity && !queue.closed {
+                if !block_on_full {
+                    shared.metrics.record_reject();
+                    return Err(ServiceError::QueueFull);
+                }
+                queue = shared.not_full.wait(queue).expect("service queue poisoned");
+            }
+            if queue.closed {
+                shared.metrics.record_reject();
+                return Err(ServiceError::Closed);
+            }
+            queue.jobs.push_back(Job {
+                plan,
+                submitted_at: Instant::now(),
+                reply,
+            });
+            shared.metrics.record_submit(queue.jobs.len());
+        }
+        shared.not_empty.notify_one();
+        response.recv().map_err(|_| ServiceError::Closed)
+    }
+
+    /// Live metrics of the service.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+}
+
+/// A running estimation service (worker pool + queue + cache + metrics).
+///
+/// Dropping the service shuts it down: queued requests are drained, new
+/// submissions fail with [`ServiceError::Closed`].
+pub struct EstimationService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EstimationService {
+    /// Start the worker pool for `model` under `snapshot`.
+    pub fn start(
+        model: Arc<dyn CostModel>,
+        snapshot: Option<FeatureSnapshot>,
+        config: ServiceConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            config: ServiceConfig {
+                workers: config.workers.max(1),
+                queue_capacity: config.queue_capacity.max(1),
+                max_batch: config.max_batch.max(1),
+                encoding_cache_capacity: config.encoding_cache_capacity.max(1),
+            },
+            model,
+            snapshot,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            encoding_cache: Mutex::new(LruCache::new(config.encoding_cache_capacity.max(1))),
+            metrics: ServiceMetrics::new(),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qcfe-serve-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        EstimationService { shared, workers }
+    }
+
+    /// A cloneable client handle.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Live metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The service configuration in effect.
+    pub fn config(&self) -> ServiceConfig {
+        self.shared.config
+    }
+
+    /// Stop accepting work, drain queued requests and join the workers.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_in_place();
+        self.shared.metrics.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for EstimationService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcfe_db::plan::PhysicalOp;
+
+    /// A deterministic stub: cost = 2 * est_rows, batching optional.
+    #[derive(Debug)]
+    struct DoubleRows {
+        batching: bool,
+    }
+
+    impl CostModel for DoubleRows {
+        fn name(&self) -> &'static str {
+            "DoubleRows"
+        }
+
+        fn predict_plan(&self, root: &PlanNode, _snapshot: Option<&FeatureSnapshot>) -> f64 {
+            2.0 * root.est_rows
+        }
+
+        fn encode_plan(
+            &self,
+            root: &PlanNode,
+            _snapshot: Option<&FeatureSnapshot>,
+        ) -> Option<Vec<f64>> {
+            self.batching.then(|| vec![root.est_rows])
+        }
+
+        fn predict_encoded(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+            rows.iter().map(|r| 2.0 * r[0]).collect()
+        }
+
+        fn supports_batching(&self) -> bool {
+            self.batching
+        }
+    }
+
+    fn scan_plan(rows: f64) -> PlanNode {
+        let mut node = PlanNode::new(PhysicalOp::SeqScan { table: "t".into() }, vec![]);
+        node.est_rows = rows;
+        node.est_cost = rows * 0.01;
+        node
+    }
+
+    fn start(batching: bool, config: ServiceConfig) -> EstimationService {
+        EstimationService::start(Arc::new(DoubleRows { batching }), None, config)
+    }
+
+    #[test]
+    fn estimates_flow_through_the_batched_path() {
+        let service = start(true, ServiceConfig::default());
+        let handle = service.handle();
+        for rows in [1.0, 10.0, 250.0] {
+            let estimate = handle.estimate(scan_plan(rows)).unwrap();
+            assert_eq!(estimate.cost_ms, 2.0 * rows);
+            assert!(estimate.batch_size >= 1);
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.completed, 3);
+        assert_eq!(metrics.rejected, 0);
+    }
+
+    #[test]
+    fn estimates_flow_through_the_unbatched_path() {
+        let service = start(
+            false,
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let estimate = handle.estimate(scan_plan(7.0)).unwrap();
+        assert_eq!(estimate.cost_ms, 14.0);
+        assert!(!estimate.encoding_cache_hit);
+        let metrics = service.shutdown();
+        assert_eq!(
+            metrics.cache_hit_rate, 0.0,
+            "no cache traffic without batching"
+        );
+    }
+
+    #[test]
+    fn repeated_plans_hit_the_encoding_cache() {
+        let service = start(
+            true,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let first = handle.estimate(scan_plan(42.0)).unwrap();
+        assert!(!first.encoding_cache_hit, "cold cache");
+        for _ in 0..5 {
+            let again = handle.estimate(scan_plan(42.0)).unwrap();
+            assert!(again.encoding_cache_hit, "warm cache");
+        }
+        assert!(service.metrics().cache_hit_rate > 0.7);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_fail_closed() {
+        let service = start(true, ServiceConfig::default());
+        let handle = service.handle();
+        assert!(handle.estimate(scan_plan(1.0)).is_ok());
+        drop(service);
+        assert_eq!(handle.estimate(scan_plan(1.0)), Err(ServiceError::Closed));
+        assert_eq!(
+            handle.try_estimate(scan_plan(1.0)),
+            Err(ServiceError::Closed)
+        );
+    }
+
+    #[test]
+    fn plan_keys_distinguish_structure_but_not_actuals() {
+        let a = scan_plan(10.0);
+        let b = scan_plan(10.0);
+        assert_eq!(plan_key(&a), plan_key(&b));
+        let mut c = scan_plan(10.0);
+        c.est_rows = 11.0;
+        assert_ne!(plan_key(&a), plan_key(&c));
+        let mut d = scan_plan(10.0);
+        d.actual_rows = 999.0; // actuals do not exist at serving time
+        assert_eq!(plan_key(&a), plan_key(&d));
+        // index scans on the same table via different columns encode
+        // differently, so they must key differently
+        let index_scan = |column: &str| {
+            let mut node = PlanNode::new(
+                PhysicalOp::IndexScan {
+                    table: "t".into(),
+                    column: column.into(),
+                },
+                vec![],
+            );
+            node.est_rows = 10.0;
+            node.est_cost = 0.1;
+            node
+        };
+        assert_ne!(plan_key(&index_scan("a")), plan_key(&index_scan("b")));
+        let join = PlanNode::new(
+            PhysicalOp::NestedLoop { condition: None },
+            vec![scan_plan(10.0), scan_plan(10.0)],
+        );
+        assert_ne!(plan_key(&a), plan_key(&join));
+    }
+
+    #[test]
+    fn try_estimate_sheds_load_when_the_queue_is_full() {
+        // One worker, tiny queue: stall the worker with a burst from
+        // background threads, then check try_estimate rejects.
+        let service = start(
+            true,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1,
+                encoding_cache_capacity: 16,
+            },
+        );
+        let handle = service.handle();
+        let mut clients = Vec::new();
+        for i in 0..64 {
+            let h = handle.clone();
+            clients.push(std::thread::spawn(move || {
+                h.estimate(scan_plan(i as f64)).unwrap()
+            }));
+        }
+        // With 64 closed-loop submissions racing a single worker over a
+        // 2-slot queue, an open-loop prober should observe QueueFull at
+        // least once.
+        let mut saw_full = false;
+        for _ in 0..200 {
+            match handle.try_estimate(scan_plan(5.0)) {
+                Err(ServiceError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+                Ok(_) => {}
+            }
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        let metrics = service.shutdown();
+        assert!(metrics.completed >= 64);
+        if saw_full {
+            assert!(metrics.rejected >= 1);
+        }
+    }
+}

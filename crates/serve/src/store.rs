@@ -1,0 +1,314 @@
+//! Disk persistence for feature snapshots, keyed by environment fingerprint.
+//!
+//! The paper's FST workflow fits a snapshot once per environment and reuses
+//! it for every model trained under that environment — including after a
+//! restart or on a different machine with the same configuration. The store
+//! lays snapshots out as
+//!
+//! ```text
+//! <root>/<benchmark>/<fingerprint>.qcfs
+//! ```
+//!
+//! using the versioned `QCFS` binary codec of
+//! [`qcfe_core::snapshot::FeatureSnapshot::to_bytes`], which round-trips
+//! coefficients bit-exactly: a reloaded snapshot yields *identical*
+//! estimates, not merely close ones. Writes go through a temp file plus
+//! rename so a crashed writer never leaves a torn snapshot behind.
+
+use qcfe_core::snapshot::{FeatureSnapshot, SnapshotCodecError};
+use qcfe_db::env::EnvFingerprint;
+use qcfe_workloads::BenchmarkKind;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors from the snapshot store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file exists but does not decode (corruption or version skew).
+    Codec(SnapshotCodecError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot store I/O error: {e}"),
+            StoreError::Codec(e) => write!(f, "snapshot store codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SnapshotCodecError> for StoreError {
+    fn from(e: SnapshotCodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// File-system slug for a benchmark directory.
+fn benchmark_slug(kind: BenchmarkKind) -> &'static str {
+    match kind {
+        BenchmarkKind::Tpch => "tpch",
+        BenchmarkKind::JobLight => "joblight",
+        BenchmarkKind::Sysbench => "sysbench",
+    }
+}
+
+/// A directory of persisted feature snapshots keyed by
+/// `(benchmark, environment fingerprint)`.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    root: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Extension of snapshot files.
+    pub const EXTENSION: &'static str = "qcfs";
+
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(SnapshotStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path a snapshot is stored at.
+    pub fn path_for(&self, benchmark: BenchmarkKind, fingerprint: EnvFingerprint) -> PathBuf {
+        self.root.join(benchmark_slug(benchmark)).join(format!(
+            "{}.{}",
+            fingerprint.to_hex(),
+            Self::EXTENSION
+        ))
+    }
+
+    /// Persist a snapshot (atomic temp-file + rename).
+    ///
+    /// The temp name is unique per process *and* per call so concurrent
+    /// savers of the same key never interleave writes into one file; the
+    /// final rename is atomic, last writer wins.
+    pub fn save(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+        snapshot: &FeatureSnapshot,
+    ) -> Result<PathBuf, StoreError> {
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = self.path_for(benchmark, fingerprint);
+        let dir = path.parent().expect("store paths have a parent");
+        std::fs::create_dir_all(dir)?;
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".{}.{}.{}.tmp",
+            fingerprint.to_hex(),
+            std::process::id(),
+            seq
+        ));
+        std::fs::write(&tmp, snapshot.to_bytes())?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(path)
+    }
+
+    /// Load a snapshot; `Ok(None)` when never persisted.
+    pub fn load(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<Option<FeatureSnapshot>, StoreError> {
+        let path = self.path_for(benchmark, fingerprint);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(FeatureSnapshot::from_bytes(&bytes)?))
+    }
+
+    /// Whether a snapshot is persisted for the key.
+    pub fn contains(&self, benchmark: BenchmarkKind, fingerprint: EnvFingerprint) -> bool {
+        self.path_for(benchmark, fingerprint).is_file()
+    }
+
+    /// Delete a persisted snapshot; returns whether one existed.
+    pub fn remove(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<bool, StoreError> {
+        match std::fs::remove_file(self.path_for(benchmark, fingerprint)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Fingerprints persisted for a benchmark, in ascending order.
+    pub fn list(&self, benchmark: BenchmarkKind) -> Result<Vec<EnvFingerprint>, StoreError> {
+        let dir = self.root.join(benchmark_slug(benchmark));
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(Self::EXTENSION) {
+                continue;
+            }
+            if let Some(fp) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(EnvFingerprint::from_hex)
+            {
+                out.push(fp);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Load the snapshot for an environment, or fit one with `fit` and
+    /// persist it — the serving layer's "warm start after restart" path.
+    pub fn load_or_insert_with<F>(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+        fit: F,
+    ) -> Result<FeatureSnapshot, StoreError>
+    where
+        F: FnOnce() -> FeatureSnapshot,
+    {
+        if let Some(snapshot) = self.load(benchmark, fingerprint)? {
+            return Ok(snapshot);
+        }
+        let snapshot = fit();
+        self.save(benchmark, fingerprint, &snapshot)?;
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcfe_core::snapshot::OperatorSample;
+    use qcfe_db::plan::OperatorKind;
+    use qcfe_db::DbEnvironment;
+
+    fn sample_snapshot(slope: f64) -> FeatureSnapshot {
+        let samples: Vec<OperatorSample> = (1..=40)
+            .map(|i| {
+                let n = (i * 50) as f64;
+                OperatorSample {
+                    kind: OperatorKind::SeqScan,
+                    n1: n,
+                    n2: 0.0,
+                    self_ms: slope * n + 0.25,
+                }
+            })
+            .collect();
+        FeatureSnapshot::fit(&samples)
+    }
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("qcfe-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).expect("store opens")
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let store = temp_store("roundtrip");
+        let fp = DbEnvironment::reference().fingerprint();
+        let snap = sample_snapshot(0.004);
+        let path = store.save(BenchmarkKind::Sysbench, fp, &snap).unwrap();
+        assert!(path.is_file());
+        let loaded = store
+            .load(BenchmarkKind::Sysbench, fp)
+            .unwrap()
+            .expect("present");
+        assert_eq!(loaded, snap);
+        assert_eq!(loaded.relative_difference(&snap), 0.0);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn missing_snapshots_read_as_none_and_listing_tracks_saves() {
+        let store = temp_store("listing");
+        let fp1 = DbEnvironment::reference().fingerprint();
+        let mut env2 = DbEnvironment::reference();
+        env2.os_overhead = 1.07;
+        let fp2 = env2.fingerprint();
+        assert!(store.load(BenchmarkKind::Tpch, fp1).unwrap().is_none());
+        assert!(store.list(BenchmarkKind::Tpch).unwrap().is_empty());
+        store
+            .save(BenchmarkKind::Tpch, fp1, &sample_snapshot(0.001))
+            .unwrap();
+        store
+            .save(BenchmarkKind::Tpch, fp2, &sample_snapshot(0.002))
+            .unwrap();
+        let mut expected = vec![fp1, fp2];
+        expected.sort();
+        assert_eq!(store.list(BenchmarkKind::Tpch).unwrap(), expected);
+        assert!(store.contains(BenchmarkKind::Tpch, fp1));
+        assert!(
+            !store.contains(BenchmarkKind::Sysbench, fp1),
+            "keys are per benchmark"
+        );
+        assert!(store.remove(BenchmarkKind::Tpch, fp1).unwrap());
+        assert!(!store.remove(BenchmarkKind::Tpch, fp1).unwrap());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn load_or_insert_fits_once_then_reuses() {
+        let store = temp_store("loi");
+        let fp = DbEnvironment::reference().fingerprint();
+        let mut fits = 0;
+        let first = store
+            .load_or_insert_with(BenchmarkKind::JobLight, fp, || {
+                fits += 1;
+                sample_snapshot(0.003)
+            })
+            .unwrap();
+        let second = store
+            .load_or_insert_with(BenchmarkKind::JobLight, fp, || {
+                fits += 1;
+                sample_snapshot(0.009)
+            })
+            .unwrap();
+        assert_eq!(fits, 1, "second call must come from disk");
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupted_files_surface_codec_errors() {
+        let store = temp_store("corrupt");
+        let fp = DbEnvironment::reference().fingerprint();
+        let path = store.path_for(BenchmarkKind::Sysbench, fp);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"garbage").unwrap();
+        match store.load(BenchmarkKind::Sysbench, fp) {
+            Err(StoreError::Codec(_)) => {}
+            other => panic!("expected codec error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline subset of `rand_distr`: the [`Normal`] and [`Zipf`] distributions
+//! used by the execution simulator and the synthetic data generators.
+//!
+//! See the sibling `rand` shim for why this exists (no crates.io access in
+//! the build environment).
+
+use rand::{Rng, RngCore};
+
+/// Types that can be sampled given a source of randomness.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Errors from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A parameter was non-finite, non-positive, or otherwise out of range.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidParameter(what) => write!(f, "invalid distribution parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution, sampled via Marsaglia's polar method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::InvalidParameter(
+                "Normal requires finite mean and std_dev >= 0",
+            ));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; one of the pair is discarded to stay
+        // stateless.
+        loop {
+            let u = rng.gen_range(-1.0f64..1.0);
+            let v = rng.gen_range(-1.0f64..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// Zipf distribution over `{1, …, n}` with exponent `s`, sampled by inverting
+/// the continuous power-law CDF (an excellent approximation for the skew
+/// modelling this workspace needs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution; requires `n >= 1` and finite `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 || !s.is_finite() || s <= 0.0 {
+            return Err(Error::InvalidParameter("Zipf requires n >= 1 and s > 0"));
+        }
+        Ok(Zipf { n, s })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.n == 1 {
+            return 1.0;
+        }
+        let n = self.n as f64;
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            // s == 1: CDF ∝ ln(x), invert directly.
+            n.powf(u)
+        } else {
+            let e = 1.0 - self.s;
+            (u * (n.powf(e) - 1.0) + 1.0).powf(1.0 / e)
+        };
+        x.clamp(1.0, n).floor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matches_mean_and_spread() {
+        let mut r = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn zipf_bounds_and_skew() {
+        let mut r = StdRng::seed_from_u64(2);
+        let d = Zipf::new(1000, 1.2).unwrap();
+        let xs: Vec<f64> = (0..5000).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|&x| (1.0..=1000.0).contains(&x)));
+        let small = xs.iter().filter(|&&x| x <= 10.0).count();
+        let large = xs.iter().filter(|&&x| x > 990.0).count();
+        assert!(small > large * 5, "small {small} large {large}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters_and_handles_n1() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        let mut r = StdRng::seed_from_u64(3);
+        let d = Zipf::new(1, 2.0).unwrap();
+        assert_eq!(d.sample(&mut r), 1.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline `serde` shim.
+//!
+//! Re-exports the no-op [`Serialize`]/[`Deserialize`] derive macros so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without crates.io access. Actual persistence in this workspace goes
+//! through hand-written codecs (see `qcfe_core::snapshot::FeatureSnapshot::to_bytes`
+//! and `qcfe_bench::json`).
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The build environment has no crates.io access, so real serde is
+//! unavailable. The workspace keeps its `#[derive(Serialize, Deserialize)]`
+//! annotations (they document intent and keep the code drop-in compatible
+//! with real serde should it become available) and persistence is done by
+//! hand-written codecs instead (`qcfe_core::snapshot` binary codec,
+//! `qcfe_bench::json` writer).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the annotation is documentation-only in this build.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the annotation is documentation-only in this build.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

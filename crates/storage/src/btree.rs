@@ -54,7 +54,10 @@ impl BPlusTree {
     /// Create an empty tree with the given branching factor (minimum 4).
     pub fn new(order: usize) -> Self {
         BPlusTree {
-            root: Node::Leaf { keys: Vec::new(), values: Vec::new() },
+            root: Node::Leaf {
+                keys: Vec::new(),
+                values: Vec::new(),
+            },
             order: order.max(4),
             entry_count: 0,
             distinct_keys: 0,
@@ -105,9 +108,15 @@ impl BPlusTree {
             // Grow a new root.
             let old_root = std::mem::replace(
                 &mut self.root,
-                Node::Leaf { keys: Vec::new(), values: Vec::new() },
+                Node::Leaf {
+                    keys: Vec::new(),
+                    values: Vec::new(),
+                },
             );
-            self.root = Node::Internal { keys: vec![sep], children: vec![old_root, *right] };
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, *right],
+            };
         }
         self.entry_count += 1;
         if inserted_new_key {
@@ -142,7 +151,13 @@ impl BPlusTree {
                     let right_values = values.split_off(mid);
                     let sep = right_keys[0];
                     (
-                        Some((sep, Box::new(Node::Leaf { keys: right_keys, values: right_values }))),
+                        Some((
+                            sep,
+                            Box::new(Node::Leaf {
+                                keys: right_keys,
+                                values: right_values,
+                            }),
+                        )),
                         inserted_new_key,
                     )
                 } else {
@@ -352,7 +367,10 @@ mod tests {
             t.insert(i % 997, tid(i as u64));
         }
         assert_eq!(t.len(), 20_000);
-        assert_eq!(t.distinct_keys() as usize, 997.min(t.distinct_keys() as usize));
+        assert_eq!(
+            t.distinct_keys() as usize,
+            997.min(t.distinct_keys() as usize)
+        );
         let hits = t.get(3).unwrap();
         assert!(hits.len() >= 20);
     }

@@ -6,8 +6,8 @@
 //! environment, which is one of the "ignored variables" whose influence the
 //! feature snapshot has to capture.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::page::PageId;
 
@@ -63,8 +63,8 @@ struct PoolInner {
 
 /// An LRU buffer pool with a fixed page capacity.
 ///
-/// The pool is thread-safe (interior mutability behind a `parking_lot`
-/// mutex) so the workload collector can label queries from multiple threads.
+/// The pool is thread-safe (interior mutability behind a mutex) so the
+/// workload collector can label queries from multiple threads.
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
@@ -74,7 +74,10 @@ pub struct BufferPool {
 impl BufferPool {
     /// Create a pool with room for `capacity` pages (minimum 1).
     pub fn new(capacity: usize) -> Self {
-        BufferPool { capacity: capacity.max(1), inner: Mutex::new(PoolInner::default()) }
+        BufferPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PoolInner::default()),
+        }
     }
 
     /// Pool capacity in pages.
@@ -84,13 +87,13 @@ impl BufferPool {
 
     /// Touch a single page, returning whether it hit or missed.
     pub fn access(&self, relation: u32, page: PageId) -> AccessOutcome {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("buffer pool mutex poisoned");
         inner.clock += 1;
         inner.stats.accesses += 1;
         let key = BufferKey { relation, page };
         let clock = inner.clock;
-        if inner.resident.contains_key(&key) {
-            inner.resident.insert(key, clock);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = inner.resident.entry(key) {
+            e.insert(clock);
             inner.stats.hits += 1;
             return AccessOutcome::Hit;
         }
@@ -120,19 +123,23 @@ impl BufferPool {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> BufferPoolStats {
-        self.inner.lock().stats
+        self.inner.lock().expect("buffer pool mutex poisoned").stats
     }
 
     /// Number of currently resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.inner.lock().resident.len()
+        self.inner
+            .lock()
+            .expect("buffer pool mutex poisoned")
+            .resident
+            .len()
     }
 
     /// Drop all cached pages and reset statistics (used between experiment
     /// configurations so environments do not leak cache state into each
     /// other).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("buffer pool mutex poisoned");
         inner.resident.clear();
         inner.stats = BufferPoolStats::default();
         inner.clock = 0;
@@ -186,7 +193,11 @@ mod tests {
         pool.access(0, 99); // evicts page 1
         assert_eq!(pool.resident_pages(), 3);
         assert_eq!(pool.access(0, 0), AccessOutcome::Hit);
-        assert_eq!(pool.access(0, 1), AccessOutcome::Miss, "page 1 must have been evicted");
+        assert_eq!(
+            pool.access(0, 1),
+            AccessOutcome::Miss,
+            "page 1 must have been evicted"
+        );
         assert!(pool.stats().evictions >= 1);
     }
 

@@ -23,8 +23,12 @@ pub enum DiskKind {
 
 impl DiskKind {
     /// All supported kinds (useful when sampling environments).
-    pub const ALL: [DiskKind; 4] =
-        [DiskKind::Hdd, DiskKind::SataSsd, DiskKind::NvmeSsd, DiskKind::InMemory];
+    pub const ALL: [DiskKind; 4] = [
+        DiskKind::Hdd,
+        DiskKind::SataSsd,
+        DiskKind::NvmeSsd,
+        DiskKind::InMemory,
+    ];
 }
 
 /// Timing model of a disk.

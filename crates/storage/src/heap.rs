@@ -18,7 +18,10 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create an empty heap file.
     pub fn new() -> Self {
-        HeapFile { pages: Vec::new(), tuple_count: 0 }
+        HeapFile {
+            pages: Vec::new(),
+            tuple_count: 0,
+        }
     }
 
     /// Number of pages in the file (at least 1 for cost purposes).

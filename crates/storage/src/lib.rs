@@ -63,7 +63,10 @@ impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StorageError::TupleTooLarge { size, max } => {
-                write!(f, "tuple of {size} bytes exceeds the page payload limit of {max} bytes")
+                write!(
+                    f,
+                    "tuple of {size} bytes exceeds the page payload limit of {max} bytes"
+                )
             }
             StorageError::InvalidPage(id) => write!(f, "page {id} does not exist"),
             StorageError::InvalidSlot { page, slot } => {
@@ -115,10 +118,15 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable_messages() {
-        let e = StorageError::TupleTooLarge { size: 9000, max: 8000 };
+        let e = StorageError::TupleTooLarge {
+            size: 9000,
+            max: 8000,
+        };
         assert!(e.to_string().contains("9000"));
         assert!(StorageError::InvalidPage(7).to_string().contains('7'));
-        assert!(StorageError::InvalidSlot { page: 1, slot: 2 }.to_string().contains("slot 2"));
+        assert!(StorageError::InvalidSlot { page: 1, slot: 2 }
+            .to_string()
+            .contains("slot 2"));
         assert!(StorageError::KeyNotFound(-5).to_string().contains("-5"));
     }
 

@@ -138,8 +138,7 @@ impl LsmTree {
             return;
         }
         let runs = std::mem::take(&mut self.levels[level]);
-        let mut merged: Vec<(i64, TupleId)> =
-            runs.into_iter().flat_map(|r| r.entries).collect();
+        let mut merged: Vec<(i64, TupleId)> = runs.into_iter().flat_map(|r| r.entries).collect();
         merged.sort_unstable_by_key(|(k, _)| *k);
         if self.levels.len() <= level + 1 {
             self.levels.push(Vec::new());

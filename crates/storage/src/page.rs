@@ -64,7 +64,12 @@ pub struct Page {
 impl Page {
     /// Create an empty page with the given id.
     pub fn new(id: PageId) -> Self {
-        Page { id, data: vec![0u8; PAGE_SIZE], slots: Vec::new(), free_end: PAGE_SIZE }
+        Page {
+            id,
+            data: vec![0u8; PAGE_SIZE],
+            slots: Vec::new(),
+            free_end: PAGE_SIZE,
+        }
     }
 
     /// The page id.
@@ -113,7 +118,10 @@ impl Page {
         let start = self.free_end - payload.len();
         self.data[start..self.free_end].copy_from_slice(payload);
         self.free_end = start;
-        let slot = Slot { offset: start as u16, length: payload.len() as u16 };
+        let slot = Slot {
+            offset: start as u16,
+            length: payload.len() as u16,
+        };
         self.slots.push(slot);
         Ok((self.slots.len() - 1) as SlotId)
     }
@@ -123,7 +131,10 @@ impl Page {
         let s = self
             .slots
             .get(slot as usize)
-            .ok_or(StorageError::InvalidSlot { page: self.id, slot })?;
+            .ok_or(StorageError::InvalidSlot {
+                page: self.id,
+                slot,
+            })?;
         Ok(&self.data[s.offset as usize..(s.offset + s.length) as usize])
     }
 
@@ -205,7 +216,10 @@ mod tests {
             p.insert(&tuple).unwrap();
             inserted += 1;
         }
-        assert!(inserted >= 7, "expected at least 7 KB of payload, got {inserted}");
+        assert!(
+            inserted >= 7,
+            "expected at least 7 KB of payload, got {inserted}"
+        );
         assert!(p.insert(&tuple).is_err());
         // existing data is still intact after the failed insert
         assert_eq!(p.get(0).unwrap(), &tuple[..]);
@@ -225,7 +239,7 @@ mod tests {
         assert_eq!(pages_for(0, 100), 1);
         // 100-byte tuples: ~74 per page
         let pages = pages_for(10_000, 100);
-        assert!(pages >= 130 && pages <= 140, "pages {pages}");
+        assert!((130..=140).contains(&pages), "pages {pages}");
         // wider tuples need more pages
         assert!(pages_for(10_000, 400) > pages);
         // monotone in tuple count

@@ -51,7 +51,7 @@ pub fn fk_column<R: Rng + ?Sized>(
     parent_count: usize,
     skew: Skew,
 ) -> Vec<i64> {
-    int_column(rng, count, 0, parent_count.saturating_sub(1).max(0) as i64, skew)
+    int_column(rng, count, 0, parent_count.saturating_sub(1) as i64, skew)
 }
 
 /// Generate floats over `[min, max)` uniformly.
@@ -66,7 +66,9 @@ pub fn date_column<R: Rng + ?Sized>(
     min_day: i64,
     max_day: i64,
 ) -> Vec<i64> {
-    (0..count).map(|_| rng.gen_range(min_day..=max_day)).collect()
+    (0..count)
+        .map(|_| rng.gen_range(min_day..=max_day))
+        .collect()
 }
 
 /// Generate strings of the form `prefix_<k>` where `k` is drawn from

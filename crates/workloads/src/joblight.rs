@@ -13,8 +13,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Satellite tables joinable to `title`.
-pub const SATELLITES: [&str; 5] =
-    ["movie_companies", "cast_info", "movie_info", "movie_info_idx", "movie_keyword"];
+pub const SATELLITES: [&str; 5] = [
+    "movie_companies",
+    "cast_info",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+];
 
 /// Base row counts at scale 1.0 (downscaled from the real IMDB sizes by
 /// roughly 50x so that scale = 1.0 stays laptop friendly).
@@ -98,8 +103,20 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
 
     let title = TableData::new(vec![
         ColumnVector::Int(gen::key_column(n_title)),
-        ColumnVector::Int(gen::int_column(&mut rng, n_title, 1, 7, gen::Skew::Zipf(1.0))),
-        ColumnVector::Int(gen::int_column(&mut rng, n_title, 1880, 2019, gen::Skew::Zipf(0.4))),
+        ColumnVector::Int(gen::int_column(
+            &mut rng,
+            n_title,
+            1,
+            7,
+            gen::Skew::Zipf(1.0),
+        )),
+        ColumnVector::Int(gen::int_column(
+            &mut rng,
+            n_title,
+            1880,
+            2019,
+            gen::Skew::Zipf(0.4),
+        )),
     ]);
 
     let satellite = |rng: &mut StdRng, table: &str, extra_card: i64, extra_skew: gen::Skew| {
@@ -126,7 +143,13 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
         TableData::new(vec![
             ColumnVector::Int(gen::key_column(n)),
             ColumnVector::Int(gen::fk_column(&mut rng, n, n_title, gen::Skew::Zipf(0.7))),
-            ColumnVector::Int(gen::int_column(&mut rng, n, 1, 100_000, gen::Skew::Zipf(0.9))),
+            ColumnVector::Int(gen::int_column(
+                &mut rng,
+                n,
+                1,
+                100_000,
+                gen::Skew::Zipf(0.9),
+            )),
             ColumnVector::Int(gen::int_column(&mut rng, n, 1, 11, gen::Skew::Zipf(0.8))),
         ])
     };
@@ -137,18 +160,34 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
         TableData::new(vec![
             ColumnVector::Int(gen::key_column(n)),
             ColumnVector::Int(gen::fk_column(&mut rng, n, n_title, gen::Skew::Zipf(0.7))),
-            ColumnVector::Int(gen::int_column(&mut rng, n, 1, 20_000, gen::Skew::Zipf(1.1))),
+            ColumnVector::Int(gen::int_column(
+                &mut rng,
+                n,
+                1,
+                20_000,
+                gen::Skew::Zipf(1.1),
+            )),
         ])
     };
 
-    vec![title, movie_companies, cast_info, movie_info, movie_info_idx, movie_keyword]
+    vec![
+        title,
+        movie_companies,
+        cast_info,
+        movie_info,
+        movie_info_idx,
+        movie_keyword,
+    ]
 }
 
 fn title_year_pred() -> PredicateSpec {
     PredicateSpec::always(
         ColumnRef::new("title", "production_year"),
         ParamOp::Compare(None),
-        ParamDomain::IntRange { min: 1950, max: 2015 },
+        ParamDomain::IntRange {
+            min: 1950,
+            max: 2015,
+        },
     )
 }
 
@@ -162,7 +201,11 @@ fn satellite_pred(table: &str) -> Option<PredicateSpec> {
     };
     Some(PredicateSpec::sometimes(
         ColumnRef::new(table, column),
-        if table == "movie_keyword" { ParamOp::Compare(None) } else { ParamOp::Eq },
+        if table == "movie_keyword" {
+            ParamOp::Compare(None)
+        } else {
+            ParamOp::Eq
+        },
         ParamDomain::IntRange { min: 1, max },
         0.7,
     ))
@@ -212,7 +255,10 @@ pub fn templates() -> Vec<QueryTemplate> {
             let joins = members
                 .iter()
                 .map(|m| {
-                    JoinCondition::new(ColumnRef::new("title", "id"), ColumnRef::new(*m, "movie_id"))
+                    JoinCondition::new(
+                        ColumnRef::new("title", "id"),
+                        ColumnRef::new(*m, "movie_id"),
+                    )
                 })
                 .collect();
             out.push(QueryTemplate {
@@ -256,7 +302,10 @@ mod tests {
         assert!(c.table_by_name("title").is_some());
         for s in SATELLITES {
             let t = c.table_by_name(s).unwrap();
-            assert!(t.column_index("movie_id").is_some(), "{s} must have movie_id");
+            assert!(
+                t.column_index("movie_id").is_some(),
+                "{s} must have movie_id"
+            );
             assert!(t.has_index(t.column_index("movie_id").unwrap()));
         }
     }
@@ -273,7 +322,9 @@ mod tests {
         }
         // all join sizes 1..=4 appear
         let sizes: std::collections::HashSet<usize> = ts.iter().map(|t| t.joins.len()).collect();
-        assert!(sizes.contains(&1) && sizes.contains(&2) && sizes.contains(&3) && sizes.contains(&4));
+        assert!(
+            sizes.contains(&1) && sizes.contains(&2) && sizes.contains(&3) && sizes.contains(&4)
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! * [`tpch`] — the eight-table TPC-H schema with 22 query templates,
 //! * [`joblight`] — an IMDB-subset schema with the 70 join templates of
 //!   job-light,
-//! * [`sysbench`] — the single-table `oltp_read_only` mix.
+//! * [`sysbench`] — the single-table `oltp_read_only` mix,
+//! * [`loadgen`] — a closed-loop load generator for driving online services
+//!   (e.g. `qcfe-serve`) with benchmark queries from concurrent clients.
 //!
 //! All three expose a `benchmark(scale, seed) -> Benchmark` constructor; the
 //! returned [`Benchmark`](template::Benchmark) bundles catalog, data and
@@ -15,10 +17,12 @@
 
 pub mod generator;
 pub mod joblight;
+pub mod loadgen;
 pub mod sysbench;
 pub mod template;
 pub mod tpch;
 
+pub use loadgen::{run_closed_loop, ClosedLoopConfig, LoadReport};
 pub use template::{Benchmark, ParamDomain, ParamOp, PredicateSpec, QueryTemplate};
 
 /// Which benchmark to build (used by the experiment harness).
@@ -34,8 +38,11 @@ pub enum BenchmarkKind {
 
 impl BenchmarkKind {
     /// All benchmarks, in the order the paper reports them.
-    pub const ALL: [BenchmarkKind; 3] =
-        [BenchmarkKind::Tpch, BenchmarkKind::Sysbench, BenchmarkKind::JobLight];
+    pub const ALL: [BenchmarkKind; 3] = [
+        BenchmarkKind::Tpch,
+        BenchmarkKind::Sysbench,
+        BenchmarkKind::JobLight,
+    ];
 
     /// Display name as used in the paper's tables.
     pub fn name(&self) -> &'static str {

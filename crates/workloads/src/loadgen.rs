@@ -1,0 +1,192 @@
+//! A closed-loop load generator for driving online services with benchmark
+//! queries.
+//!
+//! Each client thread instantiates queries from the benchmark's templates
+//! and calls a user-supplied `submit` function synchronously — the next
+//! request is only issued once the previous one completed (a closed loop),
+//! which is how the serving layer's backpressure is meant to be exercised.
+//! The generator is generic over `submit` so this crate stays independent
+//! of the serving stack: `qcfe-serve` tests and benches pass a closure that
+//! plans the query and calls the service handle.
+
+use crate::template::Benchmark;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Closed-loop run parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedLoopConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Base seed; client `i` draws queries from `seed + i`.
+    pub seed: u64,
+}
+
+impl ClosedLoopConfig {
+    /// Convenience constructor.
+    pub fn new(clients: usize, requests_per_client: usize, seed: u64) -> Self {
+        ClosedLoopConfig {
+            clients,
+            requests_per_client,
+            seed,
+        }
+    }
+}
+
+/// Aggregate outcome of a closed-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Wall-clock duration of the whole run in seconds.
+    pub wall_s: f64,
+    /// Successfully answered requests.
+    pub completed: usize,
+    /// Failed requests.
+    pub errors: usize,
+    /// Client-observed end-to-end latency of every completed request (ms).
+    pub latencies_ms: Vec<f64>,
+    /// The value returned by `submit` for every completed request (for an
+    /// estimation service: the predicted cost in ms).
+    pub estimates: Vec<f64>,
+}
+
+impl LoadReport {
+    /// Completed requests per second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.wall_s
+        }
+    }
+
+    /// Latency percentile (0–100) over completed requests, in ms.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Mean latency over completed requests, in ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64
+    }
+}
+
+/// Drive `submit` from `config.clients` closed-loop client threads, each
+/// issuing `config.requests_per_client` benchmark queries.
+///
+/// `submit` receives an instantiated [`crate::template::Benchmark`] query
+/// and returns the service's answer, or an error string for failed
+/// requests (failures are counted, not retried).
+pub fn run_closed_loop<F>(benchmark: &Benchmark, config: &ClosedLoopConfig, submit: F) -> LoadReport
+where
+    F: Fn(qcfe_db::query::Query) -> Result<f64, String> + Send + Sync,
+{
+    let results: Mutex<(Vec<f64>, Vec<f64>, usize)> = Mutex::new((Vec::new(), Vec::new(), 0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let submit = &submit;
+            let results = &results;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client as u64));
+                let mut latencies = Vec::with_capacity(config.requests_per_client);
+                let mut estimates = Vec::with_capacity(config.requests_per_client);
+                let mut errors = 0usize;
+                for _ in 0..config.requests_per_client {
+                    let query = benchmark.random_query(&mut rng);
+                    let issued = Instant::now();
+                    match submit(query) {
+                        Ok(estimate) => {
+                            latencies.push(issued.elapsed().as_secs_f64() * 1e3);
+                            estimates.push(estimate);
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                let mut all = results.lock().expect("loadgen results poisoned");
+                all.0.extend(latencies);
+                all.1.extend(estimates);
+                all.2 += errors;
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let (latencies_ms, estimates, errors) = results.into_inner().expect("loadgen results poisoned");
+    LoadReport {
+        wall_s,
+        completed: latencies_ms.len(),
+        errors,
+        latencies_ms,
+        estimates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchmarkKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn closed_loop_issues_the_configured_request_count() {
+        let bench = BenchmarkKind::Sysbench.build(0.001, 1);
+        let served = AtomicUsize::new(0);
+        let config = ClosedLoopConfig::new(4, 25, 7);
+        let report = run_closed_loop(&bench, &config, |query| {
+            served.fetch_add(1, Ordering::Relaxed);
+            // every template produces a plannable query object
+            assert!(!query.tables.is_empty());
+            Ok(1.5)
+        });
+        assert_eq!(served.load(Ordering::Relaxed), 100);
+        assert_eq!(report.completed, 100);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.estimates.len(), 100);
+        assert!(report.estimates.iter().all(|&e| e == 1.5));
+        assert!(report.throughput_qps() > 0.0);
+        assert!(report.mean_latency_ms() >= 0.0);
+        assert!(report.latency_percentile_ms(50.0) <= report.latency_percentile_ms(99.0));
+    }
+
+    #[test]
+    fn errors_are_counted_not_retried() {
+        let bench = BenchmarkKind::Sysbench.build(0.001, 1);
+        let calls = AtomicUsize::new(0);
+        let config = ClosedLoopConfig::new(2, 10, 3);
+        let report = run_closed_loop(&bench, &config, |_| {
+            if calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                Err("boom".into())
+            } else {
+                Ok(1.0)
+            }
+        });
+        assert_eq!(report.completed + report.errors, 20);
+        assert_eq!(report.errors, 10);
+    }
+
+    #[test]
+    fn empty_report_percentiles_are_zero() {
+        let report = LoadReport {
+            wall_s: 0.0,
+            completed: 0,
+            errors: 0,
+            latencies_ms: Vec::new(),
+            estimates: Vec::new(),
+        };
+        assert_eq!(report.throughput_qps(), 0.0);
+        assert_eq!(report.latency_percentile_ms(99.0), 0.0);
+        assert_eq!(report.mean_latency_ms(), 0.0);
+    }
+}

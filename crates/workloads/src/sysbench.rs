@@ -38,7 +38,13 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
     let n = rows_at_scale(scale);
     vec![TableData::new(vec![
         ColumnVector::Int(gen::key_column(n)),
-        ColumnVector::Int(gen::int_column(&mut rng, n, 0, n as i64 / 2, gen::Skew::Zipf(0.9))),
+        ColumnVector::Int(gen::int_column(
+            &mut rng,
+            n,
+            0,
+            n as i64 / 2,
+            gen::Skew::Zipf(0.9),
+        )),
         ColumnVector::Text(gen::text_column(&mut rng, n, "c", 997)),
         ColumnVector::Text(gen::text_column(&mut rng, n, "pad", 97)),
     ])]
@@ -46,7 +52,10 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
 
 /// The five query shapes of `oltp_read_only.lua`.
 pub fn templates_for(rows: usize) -> Vec<QueryTemplate> {
-    let id_domain = ParamDomain::IntRange { min: 0, max: rows.saturating_sub(100).max(1) as i64 };
+    let id_domain = ParamDomain::IntRange {
+        min: 0,
+        max: rows.saturating_sub(100).max(1) as i64,
+    };
     let idc = ColumnRef::new("sbtest1", "id");
     let kc = ColumnRef::new("sbtest1", "k");
     let cc = ColumnRef::new("sbtest1", "c");
@@ -58,7 +67,11 @@ pub fn templates_for(rows: usize) -> Vec<QueryTemplate> {
             name: "point_select".into(),
             tables: vec!["sbtest1".into()],
             joins: vec![],
-            predicates: vec![PredicateSpec::always(idc.clone(), ParamOp::Eq, id_domain.clone())],
+            predicates: vec![PredicateSpec::always(
+                idc.clone(),
+                ParamOp::Eq,
+                id_domain.clone(),
+            )],
             group_by: vec![],
             aggregates: vec![],
             order_by: vec![],
@@ -166,7 +179,13 @@ mod tests {
         let names: Vec<&str> = ts.iter().map(|t| t.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["point_select", "simple_range", "sum_range", "order_range", "distinct_range"]
+            vec![
+                "point_select",
+                "simple_range",
+                "sum_range",
+                "order_range",
+                "distinct_range"
+            ]
         );
         assert!(ts.iter().all(|t| t.tables == vec!["sbtest1".to_string()]));
     }
@@ -187,7 +206,11 @@ mod tests {
         // simple range returns about 100 rows
         let q = bench.templates[1].instantiate(&mut rng);
         let e = db.execute(&q, &mut rng).unwrap();
-        assert!(e.root.actual_rows >= 50.0 && e.root.actual_rows <= 100.0, "{}", e.root.actual_rows);
+        assert!(
+            e.root.actual_rows >= 50.0 && e.root.actual_rows <= 100.0,
+            "{}",
+            e.root.actual_rows
+        );
 
         // distinct range produces a sort + aggregate in the plan
         let q = bench.templates[4].instantiate(&mut rng);

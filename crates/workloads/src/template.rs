@@ -96,12 +96,27 @@ pub struct PredicateSpec {
 impl PredicateSpec {
     /// A predicate that is always included.
     pub fn always(column: ColumnRef, op: ParamOp, domain: ParamDomain) -> Self {
-        PredicateSpec { column, op, domain, probability: 1.0 }
+        PredicateSpec {
+            column,
+            op,
+            domain,
+            probability: 1.0,
+        }
     }
 
     /// A predicate included with the given probability.
-    pub fn sometimes(column: ColumnRef, op: ParamOp, domain: ParamDomain, probability: f64) -> Self {
-        PredicateSpec { column, op, domain, probability }
+    pub fn sometimes(
+        column: ColumnRef,
+        op: ParamOp,
+        domain: ParamDomain,
+        probability: f64,
+    ) -> Self {
+        PredicateSpec {
+            column,
+            op,
+            domain,
+            probability,
+        }
     }
 
     /// Instantiate the predicate (or `None` if it was probabilistically
@@ -113,11 +128,21 @@ impl PredicateSpec {
         Some(match self.op {
             ParamOp::Compare(fixed) => {
                 let op = fixed.unwrap_or_else(|| {
-                    *[CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge, CompareOp::Eq]
-                        .get(rng.gen_range(0..5))
-                        .expect("in range")
+                    *[
+                        CompareOp::Lt,
+                        CompareOp::Le,
+                        CompareOp::Gt,
+                        CompareOp::Ge,
+                        CompareOp::Eq,
+                    ]
+                    .get(rng.gen_range(0..5usize))
+                    .expect("in range")
                 });
-                Predicate::Compare { column: self.column.clone(), op, value: self.domain.sample(rng) }
+                Predicate::Compare {
+                    column: self.column.clone(),
+                    op,
+                    value: self.domain.sample(rng),
+                }
             }
             ParamOp::Eq => Predicate::Compare {
                 column: self.column.clone(),
@@ -132,18 +157,28 @@ impl PredicateSpec {
                     Value::Float(v) => Value::Float(v + width as f64),
                     other => other.clone(),
                 };
-                Predicate::Between { column: self.column.clone(), low, high }
+                Predicate::Between {
+                    column: self.column.clone(),
+                    low,
+                    high,
+                }
             }
             ParamOp::In { k } => {
                 let values = (0..k.max(1)).map(|_| self.domain.sample(rng)).collect();
-                Predicate::InList { column: self.column.clone(), values }
+                Predicate::InList {
+                    column: self.column.clone(),
+                    values,
+                }
             }
             ParamOp::Like => {
                 let word = match self.domain.sample(rng) {
                     Value::Text(w) => w,
                     other => other.to_sql(),
                 };
-                Predicate::Like { column: self.column.clone(), pattern: format!("%{word}%") }
+                Predicate::Like {
+                    column: self.column.clone(),
+                    pattern: format!("%{word}%"),
+                }
             }
         })
     }
@@ -178,7 +213,11 @@ impl QueryTemplate {
         Query {
             tables: self.tables.clone(),
             joins: self.joins.clone(),
-            predicates: self.predicates.iter().filter_map(|p| p.instantiate(rng)).collect(),
+            predicates: self
+                .predicates
+                .iter()
+                .filter_map(|p| p.instantiate(rng))
+                .collect(),
             group_by: self.group_by.clone(),
             aggregates: self.aggregates.clone(),
             order_by: self.order_by.clone(),
@@ -256,7 +295,10 @@ mod tests {
             }
         }
         let choice = ParamDomain::Choice(vec![Value::Int(1), Value::Int(2)]);
-        assert!(matches!(choice.sample(&mut r), Value::Int(1) | Value::Int(2)));
+        assert!(matches!(
+            choice.sample(&mut r),
+            Value::Int(1) | Value::Int(2)
+        ));
         assert!(matches!(
             ParamDomain::LikeWords(vec!["green".into()]).sample(&mut r),
             Value::Text(_)
@@ -272,7 +314,10 @@ mod tests {
             ParamOp::Between { width: 10 },
             ParamDomain::IntRange { min: 0, max: 100 },
         );
-        assert!(matches!(spec.instantiate(&mut r), Some(Predicate::Between { .. })));
+        assert!(matches!(
+            spec.instantiate(&mut r),
+            Some(Predicate::Between { .. })
+        ));
         let spec = PredicateSpec::always(
             col.clone(),
             ParamOp::In { k: 3 },
@@ -307,7 +352,10 @@ mod tests {
             id: 1,
             name: "demo".into(),
             tables: vec!["a".into(), "b".into()],
-            joins: vec![JoinCondition::new(ColumnRef::new("a", "x"), ColumnRef::new("b", "y"))],
+            joins: vec![JoinCondition::new(
+                ColumnRef::new("a", "x"),
+                ColumnRef::new("b", "y"),
+            )],
             predicates: vec![PredicateSpec::always(
                 ColumnRef::new("a", "v"),
                 ParamOp::Compare(None),
@@ -324,7 +372,9 @@ mod tests {
         assert_eq!(q1.joins, q2.joins);
         assert_eq!(q1.limit, Some(5));
         // literals should differ at least sometimes across instantiations
-        let sql: Vec<String> = (0..10).map(|_| template.representative_sql(&mut r)).collect();
+        let sql: Vec<String> = (0..10)
+            .map(|_| template.representative_sql(&mut r))
+            .collect();
         let distinct: std::collections::HashSet<&String> = sql.iter().collect();
         assert!(distinct.len() > 1, "parameters should vary");
     }

@@ -142,17 +142,32 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
     ]);
     let nation = TableData::new(vec![
         ColumnVector::Int(gen::key_column(n_nation)),
-        ColumnVector::Int(gen::fk_column(&mut rng, n_nation, n_region, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_nation,
+            n_region,
+            gen::Skew::Uniform,
+        )),
         ColumnVector::Text(gen::text_column(&mut rng, n_nation, "nation", 25)),
     ]);
     let supplier = TableData::new(vec![
         ColumnVector::Int(gen::key_column(n_supplier)),
-        ColumnVector::Int(gen::fk_column(&mut rng, n_supplier, n_nation, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_supplier,
+            n_nation,
+            gen::Skew::Uniform,
+        )),
         ColumnVector::Float(gen::float_column(&mut rng, n_supplier, -999.0, 9999.0)),
     ]);
     let customer = TableData::new(vec![
         ColumnVector::Int(gen::key_column(n_customer)),
-        ColumnVector::Int(gen::fk_column(&mut rng, n_customer, n_nation, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_customer,
+            n_nation,
+            gen::Skew::Uniform,
+        )),
         ColumnVector::Float(gen::float_column(&mut rng, n_customer, -999.0, 9999.0)),
         ColumnVector::Text(gen::text_column(&mut rng, n_customer, "segment", 5)),
     ]);
@@ -165,23 +180,59 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
         ColumnVector::Text(gen::text_column(&mut rng, n_part, "container", 40)),
     ]);
     let partsupp = TableData::new(vec![
-        ColumnVector::Int(gen::fk_column(&mut rng, n_partsupp, n_part, gen::Skew::Uniform)),
-        ColumnVector::Int(gen::fk_column(&mut rng, n_partsupp, n_supplier, gen::Skew::Uniform)),
-        ColumnVector::Int(gen::int_column(&mut rng, n_partsupp, 1, 9999, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_partsupp,
+            n_part,
+            gen::Skew::Uniform,
+        )),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_partsupp,
+            n_supplier,
+            gen::Skew::Uniform,
+        )),
+        ColumnVector::Int(gen::int_column(
+            &mut rng,
+            n_partsupp,
+            1,
+            9999,
+            gen::Skew::Uniform,
+        )),
         ColumnVector::Float(gen::float_column(&mut rng, n_partsupp, 1.0, 1000.0)),
     ]);
     let orders = TableData::new(vec![
         ColumnVector::Int(gen::key_column(n_orders)),
-        ColumnVector::Int(gen::fk_column(&mut rng, n_orders, n_customer, gen::Skew::Zipf(0.8))),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_orders,
+            n_customer,
+            gen::Skew::Zipf(0.8),
+        )),
         ColumnVector::Float(gen::float_column(&mut rng, n_orders, 850.0, 480_000.0)),
         ColumnVector::Int(gen::date_column(&mut rng, n_orders, DATE_MIN, DATE_MAX)),
         ColumnVector::Text(gen::text_column(&mut rng, n_orders, "status", 3)),
         ColumnVector::Text(gen::text_column(&mut rng, n_orders, "prio", 5)),
     ]);
     let lineitem = TableData::new(vec![
-        ColumnVector::Int(gen::fk_column(&mut rng, n_lineitem, n_orders, gen::Skew::Uniform)),
-        ColumnVector::Int(gen::fk_column(&mut rng, n_lineitem, n_part, gen::Skew::Zipf(0.6))),
-        ColumnVector::Int(gen::fk_column(&mut rng, n_lineitem, n_supplier, gen::Skew::Uniform)),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_lineitem,
+            n_orders,
+            gen::Skew::Uniform,
+        )),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_lineitem,
+            n_part,
+            gen::Skew::Zipf(0.6),
+        )),
+        ColumnVector::Int(gen::fk_column(
+            &mut rng,
+            n_lineitem,
+            n_supplier,
+            gen::Skew::Uniform,
+        )),
         ColumnVector::Float(gen::float_column(&mut rng, n_lineitem, 1.0, 50.0)),
         ColumnVector::Float(gen::float_column(&mut rng, n_lineitem, 900.0, 105_000.0)),
         ColumnVector::Float(gen::float_column(&mut rng, n_lineitem, 0.0, 0.1)),
@@ -190,7 +241,9 @@ pub fn generate_data(scale: f64, seed: u64) -> Vec<TableData> {
         ColumnVector::Text(gen::text_column(&mut rng, n_lineitem, "ls", 2)),
     ]);
 
-    vec![region, nation, supplier, customer, part, partsupp, orders, lineitem]
+    vec![
+        region, nation, supplier, customer, part, partsupp, orders, lineitem,
+    ]
 }
 
 fn cr(table: &str, column: &str) -> ColumnRef {
@@ -205,7 +258,10 @@ fn date_pred(table: &str, column: &str) -> PredicateSpec {
     PredicateSpec::always(
         cr(table, column),
         ParamOp::Compare(None),
-        ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX },
+        ParamDomain::DateRange {
+            min: DATE_MIN,
+            max: DATE_MAX,
+        },
     )
 }
 
@@ -222,7 +278,10 @@ pub fn templates() -> Vec<QueryTemplate> {
         tables: vec!["lineitem".into()],
         joins: vec![],
         predicates: vec![date_pred("lineitem", "l_shipdate")],
-        group_by: vec![cr("lineitem", "l_returnflag"), cr("lineitem", "l_linestatus")],
+        group_by: vec![
+            cr("lineitem", "l_returnflag"),
+            cr("lineitem", "l_linestatus"),
+        ],
         aggregates: vec![
             Aggregate::Sum(cr("lineitem", "l_quantity")),
             Aggregate::Sum(cr("lineitem", "l_extendedprice")),
@@ -237,7 +296,13 @@ pub fn templates() -> Vec<QueryTemplate> {
     t.push(QueryTemplate {
         id: 2,
         name: "q2_min_cost_supplier".into(),
-        tables: vec!["part".into(), "partsupp".into(), "supplier".into(), "nation".into(), "region".into()],
+        tables: vec![
+            "part".into(),
+            "partsupp".into(),
+            "supplier".into(),
+            "nation".into(),
+            "region".into(),
+        ],
         joins: vec![
             join("part", "p_partkey", "partsupp", "ps_partkey"),
             join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
@@ -275,7 +340,11 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("customer", "c_mktsegment"),
                 ParamOp::Eq,
-                ParamDomain::Choice((0..5).map(|i| Value::Text(format!("segment_{i}"))).collect()),
+                ParamDomain::Choice(
+                    (0..5)
+                        .map(|i| Value::Text(format!("segment_{i}")))
+                        .collect(),
+                ),
             ),
             date_pred("orders", "o_orderdate"),
             date_pred("lineitem", "l_shipdate"),
@@ -292,13 +361,14 @@ pub fn templates() -> Vec<QueryTemplate> {
         name: "q4_order_priority".into(),
         tables: vec!["orders".into(), "lineitem".into()],
         joins: vec![join("orders", "o_orderkey", "lineitem", "l_orderkey")],
-        predicates: vec![
-            PredicateSpec::always(
-                cr("orders", "o_orderdate"),
-                ParamOp::Between { width: 90 },
-                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 90 },
-            ),
-        ],
+        predicates: vec![PredicateSpec::always(
+            cr("orders", "o_orderdate"),
+            ParamOp::Between { width: 90 },
+            ParamDomain::DateRange {
+                min: DATE_MIN,
+                max: DATE_MAX - 90,
+            },
+        )],
         group_by: vec![cr("orders", "o_orderpriority")],
         aggregates: vec![Aggregate::CountStar],
         order_by: vec![cr("orders", "o_orderpriority")],
@@ -309,7 +379,13 @@ pub fn templates() -> Vec<QueryTemplate> {
     t.push(QueryTemplate {
         id: 5,
         name: "q5_local_supplier_volume".into(),
-        tables: vec!["customer".into(), "orders".into(), "lineitem".into(), "supplier".into(), "nation".into()],
+        tables: vec![
+            "customer".into(),
+            "orders".into(),
+            "lineitem".into(),
+            "supplier".into(),
+            "nation".into(),
+        ],
         joins: vec![
             join("customer", "c_custkey", "orders", "o_custkey"),
             join("orders", "o_orderkey", "lineitem", "l_orderkey"),
@@ -319,7 +395,10 @@ pub fn templates() -> Vec<QueryTemplate> {
         predicates: vec![PredicateSpec::always(
             cr("orders", "o_orderdate"),
             ParamOp::Between { width: 365 },
-            ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 365 },
+            ParamDomain::DateRange {
+                min: DATE_MIN,
+                max: DATE_MAX - 365,
+            },
         )],
         group_by: vec![cr("nation", "n_name")],
         aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
@@ -337,17 +416,26 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("lineitem", "l_shipdate"),
                 ParamOp::Between { width: 365 },
-                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 365 },
+                ParamDomain::DateRange {
+                    min: DATE_MIN,
+                    max: DATE_MAX - 365,
+                },
             ),
             PredicateSpec::always(
                 cr("lineitem", "l_discount"),
                 ParamOp::Between { width: 0 },
-                ParamDomain::FloatRange { min: 0.02, max: 0.09 },
+                ParamDomain::FloatRange {
+                    min: 0.02,
+                    max: 0.09,
+                },
             ),
             PredicateSpec::always(
                 cr("lineitem", "l_quantity"),
                 ParamOp::Compare(Some(CompareOp::Lt)),
-                ParamDomain::FloatRange { min: 24.0, max: 25.0 },
+                ParamDomain::FloatRange {
+                    min: 24.0,
+                    max: 25.0,
+                },
             ),
         ],
         group_by: vec![],
@@ -360,7 +448,13 @@ pub fn templates() -> Vec<QueryTemplate> {
     t.push(QueryTemplate {
         id: 7,
         name: "q7_volume_shipping".into(),
-        tables: vec!["supplier".into(), "lineitem".into(), "orders".into(), "customer".into(), "nation".into()],
+        tables: vec![
+            "supplier".into(),
+            "lineitem".into(),
+            "orders".into(),
+            "customer".into(),
+            "nation".into(),
+        ],
         joins: vec![
             join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
             join("orders", "o_orderkey", "lineitem", "l_orderkey"),
@@ -378,7 +472,14 @@ pub fn templates() -> Vec<QueryTemplate> {
     t.push(QueryTemplate {
         id: 8,
         name: "q8_market_share".into(),
-        tables: vec!["part".into(), "lineitem".into(), "orders".into(), "customer".into(), "nation".into(), "region".into()],
+        tables: vec![
+            "part".into(),
+            "lineitem".into(),
+            "orders".into(),
+            "customer".into(),
+            "nation".into(),
+            "region".into(),
+        ],
         joins: vec![
             join("part", "p_partkey", "lineitem", "l_partkey"),
             join("orders", "o_orderkey", "lineitem", "l_orderkey"),
@@ -404,7 +505,13 @@ pub fn templates() -> Vec<QueryTemplate> {
     t.push(QueryTemplate {
         id: 9,
         name: "q9_product_profit".into(),
-        tables: vec!["part".into(), "lineitem".into(), "partsupp".into(), "orders".into(), "supplier".into()],
+        tables: vec![
+            "part".into(),
+            "lineitem".into(),
+            "partsupp".into(),
+            "orders".into(),
+            "supplier".into(),
+        ],
         joins: vec![
             join("part", "p_partkey", "lineitem", "l_partkey"),
             join("partsupp", "ps_partkey", "lineitem", "l_partkey"),
@@ -426,7 +533,12 @@ pub fn templates() -> Vec<QueryTemplate> {
     t.push(QueryTemplate {
         id: 10,
         name: "q10_returned_items".into(),
-        tables: vec!["customer".into(), "orders".into(), "lineitem".into(), "nation".into()],
+        tables: vec![
+            "customer".into(),
+            "orders".into(),
+            "lineitem".into(),
+            "nation".into(),
+        ],
         joins: vec![
             join("customer", "c_custkey", "orders", "o_custkey"),
             join("orders", "o_orderkey", "lineitem", "l_orderkey"),
@@ -436,7 +548,10 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("orders", "o_orderdate"),
                 ParamOp::Between { width: 90 },
-                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 90 },
+                ParamDomain::DateRange {
+                    min: DATE_MIN,
+                    max: DATE_MAX - 90,
+                },
             ),
             PredicateSpec::always(
                 cr("lineitem", "l_returnflag"),
@@ -462,7 +577,11 @@ pub fn templates() -> Vec<QueryTemplate> {
         predicates: vec![PredicateSpec::always(
             cr("nation", "n_name"),
             ParamOp::Eq,
-            ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+            ParamDomain::Choice(
+                (0..25)
+                    .map(|i| Value::Text(format!("nation_{i}")))
+                    .collect(),
+            ),
         )],
         group_by: vec![cr("partsupp", "ps_partkey")],
         aggregates: vec![Aggregate::Sum(cr("partsupp", "ps_supplycost"))],
@@ -480,7 +599,10 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("lineitem", "l_shipdate"),
                 ParamOp::Between { width: 365 },
-                ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 365 },
+                ParamDomain::DateRange {
+                    min: DATE_MIN,
+                    max: DATE_MAX - 365,
+                },
             ),
             PredicateSpec::always(
                 cr("lineitem", "l_linestatus"),
@@ -520,7 +642,10 @@ pub fn templates() -> Vec<QueryTemplate> {
         predicates: vec![PredicateSpec::always(
             cr("lineitem", "l_shipdate"),
             ParamOp::Between { width: 30 },
-            ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 30 },
+            ParamDomain::DateRange {
+                min: DATE_MIN,
+                max: DATE_MAX - 30,
+            },
         )],
         group_by: vec![],
         aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
@@ -537,7 +662,10 @@ pub fn templates() -> Vec<QueryTemplate> {
         predicates: vec![PredicateSpec::always(
             cr("lineitem", "l_shipdate"),
             ParamOp::Between { width: 90 },
-            ParamDomain::DateRange { min: DATE_MIN, max: DATE_MAX - 90 },
+            ParamDomain::DateRange {
+                min: DATE_MIN,
+                max: DATE_MAX - 90,
+            },
         )],
         group_by: vec![cr("supplier", "s_suppkey")],
         aggregates: vec![Aggregate::Sum(cr("lineitem", "l_extendedprice"))],
@@ -563,7 +691,11 @@ pub fn templates() -> Vec<QueryTemplate> {
                 ParamDomain::IntRange { min: 1, max: 50 },
             ),
         ],
-        group_by: vec![cr("part", "p_brand"), cr("part", "p_type"), cr("part", "p_size")],
+        group_by: vec![
+            cr("part", "p_brand"),
+            cr("part", "p_type"),
+            cr("part", "p_size"),
+        ],
         aggregates: vec![Aggregate::CountStar],
         order_by: vec![cr("part", "p_brand")],
         limit: None,
@@ -584,12 +716,19 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("part", "p_container"),
                 ParamOp::Eq,
-                ParamDomain::Choice((0..40).map(|i| Value::Text(format!("container_{i}"))).collect()),
+                ParamDomain::Choice(
+                    (0..40)
+                        .map(|i| Value::Text(format!("container_{i}")))
+                        .collect(),
+                ),
             ),
             PredicateSpec::always(
                 cr("lineitem", "l_quantity"),
                 ParamOp::Compare(Some(CompareOp::Lt)),
-                ParamDomain::FloatRange { min: 2.0, max: 10.0 },
+                ParamDomain::FloatRange {
+                    min: 2.0,
+                    max: 10.0,
+                },
             ),
         ],
         group_by: vec![],
@@ -610,7 +749,10 @@ pub fn templates() -> Vec<QueryTemplate> {
         predicates: vec![PredicateSpec::always(
             cr("lineitem", "l_quantity"),
             ParamOp::Compare(Some(CompareOp::Gt)),
-            ParamDomain::FloatRange { min: 30.0, max: 49.0 },
+            ParamDomain::FloatRange {
+                min: 30.0,
+                max: 49.0,
+            },
         )],
         group_by: vec![cr("customer", "c_custkey"), cr("orders", "o_orderkey")],
         aggregates: vec![Aggregate::Sum(cr("lineitem", "l_quantity"))],
@@ -628,12 +770,19 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("part", "p_container"),
                 ParamOp::In { k: 4 },
-                ParamDomain::Choice((0..40).map(|i| Value::Text(format!("container_{i}"))).collect()),
+                ParamDomain::Choice(
+                    (0..40)
+                        .map(|i| Value::Text(format!("container_{i}")))
+                        .collect(),
+                ),
             ),
             PredicateSpec::always(
                 cr("lineitem", "l_quantity"),
                 ParamOp::Between { width: 10 },
-                ParamDomain::FloatRange { min: 1.0, max: 30.0 },
+                ParamDomain::FloatRange {
+                    min: 1.0,
+                    max: 30.0,
+                },
             ),
             PredicateSpec::always(
                 cr("part", "p_size"),
@@ -660,12 +809,19 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("nation", "n_name"),
                 ParamOp::Eq,
-                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+                ParamDomain::Choice(
+                    (0..25)
+                        .map(|i| Value::Text(format!("nation_{i}")))
+                        .collect(),
+                ),
             ),
             PredicateSpec::always(
                 cr("partsupp", "ps_availqty"),
                 ParamOp::Compare(Some(CompareOp::Gt)),
-                ParamDomain::IntRange { min: 100, max: 9000 },
+                ParamDomain::IntRange {
+                    min: 100,
+                    max: 9000,
+                },
             ),
         ],
         group_by: vec![cr("supplier", "s_suppkey")],
@@ -678,7 +834,12 @@ pub fn templates() -> Vec<QueryTemplate> {
     t.push(QueryTemplate {
         id: 21,
         name: "q21_suppliers_waiting".into(),
-        tables: vec!["supplier".into(), "lineitem".into(), "orders".into(), "nation".into()],
+        tables: vec![
+            "supplier".into(),
+            "lineitem".into(),
+            "orders".into(),
+            "nation".into(),
+        ],
         joins: vec![
             join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
             join("orders", "o_orderkey", "lineitem", "l_orderkey"),
@@ -693,7 +854,11 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("nation", "n_name"),
                 ParamOp::Eq,
-                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+                ParamDomain::Choice(
+                    (0..25)
+                        .map(|i| Value::Text(format!("nation_{i}")))
+                        .collect(),
+                ),
             ),
         ],
         group_by: vec![cr("supplier", "s_suppkey")],
@@ -712,16 +877,26 @@ pub fn templates() -> Vec<QueryTemplate> {
             PredicateSpec::always(
                 cr("customer", "c_acctbal"),
                 ParamOp::Compare(Some(CompareOp::Gt)),
-                ParamDomain::FloatRange { min: 0.0, max: 5000.0 },
+                ParamDomain::FloatRange {
+                    min: 0.0,
+                    max: 5000.0,
+                },
             ),
             PredicateSpec::always(
                 cr("nation", "n_name"),
                 ParamOp::In { k: 7 },
-                ParamDomain::Choice((0..25).map(|i| Value::Text(format!("nation_{i}"))).collect()),
+                ParamDomain::Choice(
+                    (0..25)
+                        .map(|i| Value::Text(format!("nation_{i}")))
+                        .collect(),
+                ),
             ),
         ],
         group_by: vec![cr("customer", "c_nationkey")],
-        aggregates: vec![Aggregate::CountStar, Aggregate::Sum(cr("customer", "c_acctbal"))],
+        aggregates: vec![
+            Aggregate::CountStar,
+            Aggregate::Sum(cr("customer", "c_acctbal")),
+        ],
         order_by: vec![cr("customer", "c_nationkey")],
         limit: None,
     });
@@ -748,7 +923,9 @@ mod tests {
     fn catalog_has_eight_tables_with_keys() {
         let c = catalog();
         assert_eq!(c.table_count(), 8);
-        for name in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"] {
+        for name in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
             assert!(c.table_by_name(name).is_some(), "missing {name}");
         }
         assert!(c.table_by_name("orders").unwrap().primary_key.is_some());
@@ -761,7 +938,12 @@ mod tests {
         let c = catalog();
         assert_eq!(data.len(), c.table_count());
         for (schema, d) in c.tables().zip(&data) {
-            assert_eq!(schema.columns.len(), d.column_count(), "table {}", schema.name);
+            assert_eq!(
+                schema.columns.len(),
+                d.column_count(),
+                "table {}",
+                schema.name
+            );
             assert!(d.row_count() > 0);
         }
         // lineitem is the largest table

@@ -45,7 +45,11 @@ fn main() {
     model.train(data, &cfg, &mut rng);
 
     let names = encoder.feature_names();
-    for method in [ReductionMethod::Greedy, ReductionMethod::Gradient, ReductionMethod::DiffProp] {
+    for method in [
+        ReductionMethod::Greedy,
+        ReductionMethod::Gradient,
+        ReductionMethod::DiffProp,
+    ] {
         let outcome = reduce(method, &model, data, 100, &mut rng);
         println!(
             "\n{:<8} kept {:>3}/{:<3} features ({:.1}% reduced) in {:.1} ms",
@@ -55,8 +59,11 @@ fn main() {
             outcome.reduction_ratio() * 100.0,
             outcome.runtime_ms
         );
-        let mut top: Vec<(usize, f64)> =
-            outcome.kept.iter().map(|&k| (k, outcome.scores[k])).collect();
+        let mut top: Vec<(usize, f64)> = outcome
+            .kept
+            .iter()
+            .map(|&k| (k, outcome.scores[k]))
+            .collect();
         top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         println!("  most important kept features:");
         for (idx, score) in top.into_iter().take(5) {

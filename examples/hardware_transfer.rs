@@ -33,7 +33,11 @@ fn main() {
     let h2 = collect_workload(&ctx.benchmark, &[h2_env], 100, 23);
     let (h2_train, h2_test) = h2.split(0.8, 2);
     let h2_snapshot: EnvSnapshots = vec![Some(FeatureSnapshot::fit_from_executions(
-        &h2_train.queries.iter().map(|q| q.executed.clone()).collect::<Vec<_>>(),
+        &h2_train
+            .queries
+            .iter()
+            .map(|q| q.executed.clone())
+            .collect::<Vec<_>>(),
     ))];
 
     let zero_shot = basis.evaluate(&h2_test, Some(&h2_snapshot));
@@ -45,11 +49,17 @@ fn main() {
     let mut transferred = basis.clone();
     transferred.train(&h2_train, Some(&h2_snapshot), 3, &mut rng);
     let after = transferred.evaluate(&h2_test, Some(&h2_snapshot));
-    println!("After 3 fine-tuning iterations: mean q-error {:.3}", after.mean_q_error);
+    println!(
+        "After 3 fine-tuning iterations: mean q-error {:.3}",
+        after.mean_q_error
+    );
 
     let mut direct = QppNetEstimator::new(encoder, None, &mut rng);
     direct.train(&h2_train, Some(&h2_snapshot), 12, &mut rng);
     let scratch = direct.evaluate(&h2_test, Some(&h2_snapshot));
-    println!("Training from scratch on h2 (12 iterations): mean q-error {:.3}", scratch.mean_q_error);
+    println!(
+        "Training from scratch on h2 (12 iterations): mean q-error {:.3}",
+        scratch.mean_q_error
+    );
     println!("\nThe transferred model reaches comparable accuracy with a quarter of the training.");
 }

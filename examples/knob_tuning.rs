@@ -35,12 +35,19 @@ fn main() {
     }
     let min = averages.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = averages.iter().cloned().fold(0.0_f64, f64::max);
-    println!("  spread: {:.2}x between the cheapest and the most expensive configuration\n", max / min);
+    println!(
+        "  spread: {:.2}x between the cheapest and the most expensive configuration\n",
+        max / min
+    );
 
     // The per-environment feature snapshots make that spread visible to the model.
     println!("Fitted seq-scan snapshot coefficients (c0 = ms/tuple-ish slope, c1 = intercept):");
     for (i, env) in envs.iter().enumerate() {
-        let execs: Vec<_> = workload.for_environment(i).iter().map(|q| q.executed.clone()).collect();
+        let execs: Vec<_> = workload
+            .for_environment(i)
+            .iter()
+            .map(|q| q.executed.clone())
+            .collect();
         let snapshot = FeatureSnapshot::fit_from_executions(&execs);
         let c = snapshot.coefficients(OperatorKind::SeqScan);
         println!("  {:<8} c0={:+.6}  c1={:+.4}", env.name, c[0], c[1]);

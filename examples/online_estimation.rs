@@ -1,0 +1,106 @@
+//! Online estimation walkthrough: train a QCFE(mscn) estimator, persist its
+//! environment's feature snapshot, then serve concurrent estimation traffic
+//! through the micro-batching service.
+//!
+//! ```sh
+//! cargo run --release --example online_estimation
+//! ```
+
+use qcfe::core::encoding::FeatureEncoder;
+use qcfe::core::estimators::MscnEstimator;
+use qcfe::core::pipeline::{prepare_context, ContextConfig, EstimatorKind};
+use qcfe::serve::prelude::*;
+use qcfe::workloads::{run_closed_loop, BenchmarkKind, ClosedLoopConfig};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Offline phase: label a workload, fit snapshots, train the model.
+    let kind = BenchmarkKind::Sysbench;
+    println!("== offline phase: preparing {} context ==", kind.name());
+    let ctx = prepare_context(kind, &ContextConfig::quick(kind));
+    let env = ctx.workload.environments[0].clone();
+    let snapshot = ctx.snapshots_fso[0].clone().expect("snapshot fitted");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+    let (model, stats) = MscnEstimator::train(
+        encoder,
+        &ctx.workload,
+        Some(&ctx.snapshots_fso),
+        None,
+        30,
+        &mut rng,
+    );
+    println!(
+        "trained QCFE(mscn) in {:.2}s (final loss {:.4})",
+        stats.train_time_s, stats.final_loss
+    );
+
+    // 2. Persist the snapshot under the environment's fingerprint so a
+    //    restarted node (or another machine with the same configuration)
+    //    reuses it without re-running the labeling queries.
+    let store = SnapshotStore::open("target/snapshots").expect("store opens");
+    let fingerprint = env.fingerprint();
+    let path = store
+        .save(kind, fingerprint, &snapshot)
+        .expect("snapshot saved");
+    println!(
+        "persisted snapshot for env fingerprint {fingerprint} at {}",
+        path.display()
+    );
+
+    // 3. Register the trained model under its serving key.
+    let registry = ModelRegistry::new(8);
+    let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, fingerprint);
+    registry.insert(key, Arc::new(model));
+
+    // 4. Online phase: start the service and drive it with 8 closed-loop
+    //    clients planning fresh template queries.
+    let reloaded = store
+        .load(kind, fingerprint)
+        .expect("load ok")
+        .expect("present");
+    assert_eq!(reloaded.relative_difference(&snapshot), 0.0);
+    let service = EstimationService::start(
+        registry.get(&key).expect("registered"),
+        Some(reloaded),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 128,
+            max_batch: 16,
+            encoding_cache_capacity: 2048,
+        },
+    );
+    let handle = service.handle();
+    let db = ctx.benchmark.build_database(env);
+    let report = run_closed_loop(&ctx.benchmark, &ClosedLoopConfig::new(8, 50, 9), |query| {
+        let plan = db.plan(&query).map_err(|e| e.to_string())?;
+        Ok(handle.estimate(plan).map_err(|e| e.to_string())?.cost_ms)
+    });
+
+    let metrics = service.shutdown();
+    println!("\n== online phase: 8 closed-loop clients x 50 requests ==");
+    println!(
+        "completed        {} requests ({} errors)",
+        report.completed, report.errors
+    );
+    println!(
+        "throughput       {:.0} estimates/s",
+        report.throughput_qps()
+    );
+    println!(
+        "client latency   p50 {:.3} ms   p99 {:.3} ms",
+        report.latency_percentile_ms(50.0),
+        report.latency_percentile_ms(99.0)
+    );
+    println!(
+        "service          mean batch {:.2} (max {}), cache hit rate {:.1}%",
+        metrics.mean_batch_size,
+        metrics.max_batch_size,
+        100.0 * metrics.cache_hit_rate
+    );
+    println!(
+        "service latency  p50 {:.0} us   p95 {:.0} us   p99 {:.0} us",
+        metrics.p50_latency_us, metrics.p95_latency_us, metrics.p99_latency_us
+    );
+}

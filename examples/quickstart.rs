@@ -9,7 +9,10 @@ use qcfe::workloads::BenchmarkKind;
 
 fn main() {
     let kind = BenchmarkKind::Sysbench;
-    println!("Preparing {} context (data, environments, labels, snapshots)...", kind.name());
+    println!(
+        "Preparing {} context (data, environments, labels, snapshots)...",
+        kind.name()
+    );
     let ctx = prepare_context(kind, &ContextConfig::quick(kind));
     println!(
         "Collected {} labeled queries under {} environments.",
@@ -22,7 +25,11 @@ fn main() {
     );
 
     let run = RunConfig::new(150, 25, 42);
-    for est in [EstimatorKind::Pgsql, EstimatorKind::Mscn, EstimatorKind::QcfeMscn] {
+    for est in [
+        EstimatorKind::Pgsql,
+        EstimatorKind::Mscn,
+        EstimatorKind::QcfeMscn,
+    ] {
         let result = run_method(&ctx, est, &run);
         println!(
             "{:<12} pearson {:>6.3}  mean q-error {:>10.3}  train {:>6.2}s",
@@ -32,5 +39,7 @@ fn main() {
             result.train.train_time_s
         );
     }
-    println!("\nQCFE should match or beat plain MSCN while the PostgreSQL baseline trails far behind.");
+    println!(
+        "\nQCFE should match or beat plain MSCN while the PostgreSQL baseline trails far behind."
+    );
 }

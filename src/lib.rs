@@ -8,10 +8,14 @@
 //! * [`db`] — catalog, statistics, planner, plan trees, knobs, execution simulator,
 //! * [`workloads`] — TPC-H / job-light / Sysbench style benchmarks,
 //! * [`core`] — the paper's contribution: feature snapshot, simplified
-//!   templates, feature reduction and the QPPNet/MSCN estimators.
+//!   templates, feature reduction and the QPPNet/MSCN estimators,
+//! * [`serve`] — the online estimation service layer: persisted snapshot
+//!   store keyed by environment fingerprint, model registry, and a
+//!   concurrent micro-batching inference service with metrics.
 
 pub use qcfe_core as core;
 pub use qcfe_db as db;
 pub use qcfe_nn as nn;
+pub use qcfe_serve as serve;
 pub use qcfe_storage as storage;
 pub use qcfe_workloads as workloads;

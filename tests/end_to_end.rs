@@ -28,7 +28,9 @@ fn every_benchmark_template_plans_and_executes() {
         let db = bench.build_database(DbEnvironment::reference());
         for template in &bench.templates {
             let q = template.instantiate(&mut rng);
-            let plan = db.plan(&q).unwrap_or_else(|e| panic!("{}: {e}", template.name));
+            let plan = db
+                .plan(&q)
+                .unwrap_or_else(|e| panic!("{}: {e}", template.name));
             assert!(plan.est_cost > 0.0);
             let executed = db.execute(&q, &mut rng).unwrap();
             assert!(executed.total_ms > 0.0);
@@ -73,7 +75,9 @@ fn environment_changes_shift_simulated_costs() {
 #[test]
 fn qcfe_pipeline_beats_postgres_baseline_on_sysbench() {
     let ctx = quick_ctx(BenchmarkKind::Sysbench);
-    let run = RunConfig::new(80, 25, 11);
+    // 100 samples / 60 iterations gives the learned model a comfortable
+    // margin over the analytical baseline across PRNG seeds.
+    let run = RunConfig::new(100, 60, 11);
     let pg = run_method(&ctx, EstimatorKind::Pgsql, &run);
     let qcfe = run_method(&ctx, EstimatorKind::QcfeMscn, &run);
     assert!(

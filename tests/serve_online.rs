@@ -1,0 +1,192 @@
+//! Integration tests of the online estimation service layer: train →
+//! persist snapshot → simulated restart → identical estimates, plus a
+//! concurrent closed-loop smoke test against the running service.
+
+use qcfe::core::cost_model::CostModel;
+use qcfe::core::encoding::FeatureEncoder;
+use qcfe::core::estimators::MscnEstimator;
+use qcfe::core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
+use qcfe::serve::prelude::*;
+use qcfe::serve::ServiceError;
+use qcfe::workloads::{run_closed_loop, BenchmarkKind, ClosedLoopConfig};
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn quick_ctx() -> ExperimentContext {
+    let kind = BenchmarkKind::Sysbench;
+    let cfg = ContextConfig {
+        environments: 2,
+        queries_per_env: 50,
+        template_scale: 1,
+        seed: 21,
+        data_scale: kind.quick_scale(),
+    };
+    prepare_context(kind, &cfg)
+}
+
+fn train_mscn(ctx: &ExperimentContext) -> MscnEstimator {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+    let (model, _) = MscnEstimator::train(
+        encoder,
+        &ctx.workload,
+        Some(&ctx.snapshots_fso),
+        None,
+        20,
+        &mut rng,
+    );
+    model
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qcfe-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Acceptance criterion: a snapshot persisted by `SnapshotStore` is
+/// reloaded after a simulated restart and produces identical estimates.
+#[test]
+fn snapshot_survives_restart_with_identical_estimates() {
+    let ctx = quick_ctx();
+    let kind = BenchmarkKind::Sysbench;
+    let env = &ctx.workload.environments[0];
+    let snapshot = ctx.snapshots_fso[0].clone().expect("fitted");
+    let model = Arc::new(train_mscn(&ctx));
+    let dir = temp_dir("restart");
+
+    // "Process 1": persist the snapshot and record estimates.
+    let before: Vec<f64> = {
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.save(kind, env.fingerprint(), &snapshot).unwrap();
+        ctx.workload
+            .queries
+            .iter()
+            .take(20)
+            .map(|q| model.predict_plan(&q.executed.root, Some(&snapshot)))
+            .collect()
+    };
+
+    // "Process 2" (after restart): a fresh store handle over the same
+    // directory, snapshot loaded from disk.
+    let store = SnapshotStore::open(&dir).unwrap();
+    let reloaded = store
+        .load(kind, env.fingerprint())
+        .unwrap()
+        .expect("snapshot persisted across restart");
+    assert_eq!(
+        reloaded.relative_difference(&snapshot),
+        0.0,
+        "round-trip must be exact"
+    );
+
+    let service = EstimationService::start(model.clone(), Some(reloaded), ServiceConfig::default());
+    let handle = service.handle();
+    for (q, expected) in ctx.workload.queries.iter().take(20).zip(&before) {
+        let estimate = handle.estimate(q.executed.root.clone()).unwrap();
+        assert_eq!(
+            estimate.cost_ms.to_bits(),
+            expected.to_bits(),
+            "reloaded snapshot must give bit-identical estimates"
+        );
+    }
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance criterion: the service sustains a closed-loop load test of
+/// ≥ 8 concurrent clients with micro-batching enabled, every request
+/// getting a finite estimate.
+#[test]
+fn concurrent_closed_loop_load_with_micro_batching() {
+    let ctx = quick_ctx();
+    let env = ctx.workload.environments[0].clone();
+    let snapshot = ctx.snapshots_fso[0].clone().expect("fitted");
+    let model: Arc<dyn CostModel> = Arc::new(train_mscn(&ctx));
+    assert!(
+        model.supports_batching(),
+        "MSCN serves through the batched path"
+    );
+
+    let service = EstimationService::start(
+        model,
+        Some(snapshot),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 16,
+            encoding_cache_capacity: 1024,
+        },
+    );
+    let handle = service.handle();
+    let db = ctx.benchmark.build_database(env);
+
+    let config = ClosedLoopConfig::new(8, 40, 5);
+    let report = run_closed_loop(&ctx.benchmark, &config, |query| {
+        let plan = db.plan(&query).map_err(|e| e.to_string())?;
+        let estimate = handle.estimate(plan).map_err(|e| e.to_string())?;
+        Ok(estimate.cost_ms)
+    });
+
+    assert_eq!(report.errors, 0, "no request may fail");
+    assert_eq!(report.completed, 8 * 40);
+    assert!(
+        report.estimates.iter().all(|e| e.is_finite() && *e > 0.0),
+        "every estimate must be finite and positive"
+    );
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, 320);
+    assert!(metrics.throughput_qps > 0.0);
+    assert!(metrics.mean_batch_size >= 1.0);
+    assert!(metrics.p50_latency_us <= metrics.p99_latency_us);
+}
+
+/// The registry serves models by key and keeps serving after eviction of
+/// cold entries.
+#[test]
+fn registry_integrates_with_the_service() {
+    let ctx = quick_ctx();
+    let kind = BenchmarkKind::Sysbench;
+    let fp0 = ctx.workload.environments[0].fingerprint();
+    let fp1 = ctx.workload.environments[1].fingerprint();
+    assert_ne!(fp0, fp1, "sampled environments fingerprint distinctly");
+
+    let registry = ModelRegistry::new(1);
+    let model: Arc<dyn CostModel> = Arc::new(train_mscn(&ctx));
+    registry.insert(
+        ModelKey::new(kind, EstimatorKind::QcfeMscn, fp0),
+        Arc::clone(&model),
+    );
+    // Over-capacity insert evicts the first environment's model …
+    registry.insert(
+        ModelKey::new(kind, EstimatorKind::QcfeMscn, fp1),
+        Arc::clone(&model),
+    );
+    assert!(registry
+        .get(&ModelKey::new(kind, EstimatorKind::QcfeMscn, fp0))
+        .is_none());
+
+    // … but the resident one still serves requests.
+    let resident = registry
+        .get(&ModelKey::new(kind, EstimatorKind::QcfeMscn, fp1))
+        .expect("resident model");
+    let service = EstimationService::start(
+        resident,
+        ctx.snapshots_fso[1].clone(),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let estimate = handle
+        .estimate(ctx.workload.queries[0].executed.root.clone())
+        .unwrap();
+    assert!(estimate.cost_ms.is_finite() && estimate.cost_ms > 0.0);
+    drop(service);
+    assert_eq!(
+        handle.estimate(ctx.workload.queries[0].executed.root.clone()),
+        Err(ServiceError::Closed)
+    );
+}
