@@ -1,77 +1,49 @@
 //! Serving-layer throughput benchmark: closed-loop clients against the
 //! micro-batching `EstimationService`, swept over client counts and with
-//! batching effectively on/off (max_batch 1 vs 32).
+//! batching effectively on/off (max_batch 1 vs 32), plus a direct
+//! batched-vs-scalar comparison and batch-size sweep of the
+//! operator-grouped QPPNet inference engine.
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
 //! can track the serving perf trajectory.
+//!
+//! The run fails (CI gate) if batched QPPNet inference falls below the
+//! scalar per-plan path.
 //!
 //! Usage: `cargo run --release -p qcfe-bench --bin serve_throughput [--quick] [--seed N]`
 
 use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
 use qcfe_core::cost_model::CostModel;
 use qcfe_core::encoding::FeatureEncoder;
-use qcfe_core::estimators::MscnEstimator;
-use qcfe_core::pipeline::{prepare_context, ContextConfig};
+use qcfe_core::estimators::{MscnEstimator, QppNetEstimator};
+use qcfe_core::pipeline::{prepare_context, ContextConfig, ExperimentContext};
+use qcfe_core::snapshot::FeatureSnapshot;
+use qcfe_db::plan::PlanNode;
 use qcfe_serve::prelude::*;
 use qcfe_workloads::{run_closed_loop, BenchmarkKind, ClosedLoopConfig};
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn main() {
-    let (quick, seed) = parse_common_args();
-    let kind = BenchmarkKind::Sysbench;
-    let requests_per_client = if quick { 50 } else { 250 };
-    let client_counts: &[usize] = if quick { &[1, 8] } else { &[1, 4, 8, 16, 32] };
-
-    eprintln!("[serve] preparing {} context...", kind.name());
-    let ctx = prepare_context(
-        kind,
-        &ContextConfig {
-            seed,
-            ..ContextConfig::quick(kind)
-        },
-    );
+/// One closed-loop service sweep for a model, appended to `table`.
+#[allow(clippy::too_many_arguments)]
+fn service_sweep(
+    table: &mut ReportTable,
+    model_name: &str,
+    model: &Arc<dyn CostModel>,
+    snapshot: &FeatureSnapshot,
+    ctx: &ExperimentContext,
+    client_counts: &[usize],
+    requests_per_client: usize,
+    seed: u64,
+) {
     let env = ctx.workload.environments[0].clone();
-    let snapshot = ctx.snapshots_fso[0].clone().expect("snapshot fitted");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
-    eprintln!("[serve] training QCFE(mscn)...");
-    let (mscn, _) = MscnEstimator::train(
-        encoder,
-        &ctx.workload,
-        Some(&ctx.snapshots_fso),
-        None,
-        if quick { 15 } else { 30 },
-        &mut rng,
-    );
-    let model: Arc<dyn CostModel> = Arc::new(mscn);
     let db = ctx.benchmark.build_database(env);
-
-    let mut report = ExperimentReport::new(
-        "serve",
-        format!(
-            "closed-loop serving throughput, {requests_per_client} requests/client, seed {seed}"
-        ),
-        quick,
-    );
-    let mut table = ReportTable::new(
-        "EstimationService throughput",
-        &[
-            "clients",
-            "max_batch",
-            "throughput (est/s)",
-            "client p50 (ms)",
-            "client p99 (ms)",
-            "mean batch",
-            "cache hit rate",
-        ],
-    );
-
     for &clients in client_counts {
         for max_batch in [1usize, 32] {
             let service = EstimationService::start(
-                Arc::clone(&model),
+                Arc::clone(model),
                 Some(snapshot.clone()),
                 ServiceConfig {
                     workers: 2,
@@ -89,6 +61,7 @@ fn main() {
             let metrics = service.shutdown();
             assert_eq!(run.errors, 0, "serving must not drop closed-loop requests");
             table.push_row(vec![
+                model_name.to_string(),
                 clients.to_string(),
                 max_batch.to_string(),
                 format!("{:.0}", run.throughput_qps()),
@@ -98,7 +71,7 @@ fn main() {
                 fmt3(metrics.cache_hit_rate),
             ]);
             eprintln!(
-                "[serve] clients={clients} max_batch={max_batch}: {:.0} est/s, p99 {:.3} ms, mean batch {:.2}, cache {:.0}%",
+                "[serve] {model_name} clients={clients} max_batch={max_batch}: {:.0} est/s, p99 {:.3} ms, mean batch {:.2}, cache {:.0}%",
                 run.throughput_qps(),
                 run.latency_percentile_ms(99.0),
                 metrics.mean_batch_size,
@@ -106,8 +79,162 @@ fn main() {
             );
         }
     }
+}
 
+fn main() {
+    let (quick, seed) = parse_common_args();
+    let kind = BenchmarkKind::Sysbench;
+    let requests_per_client = if quick { 50 } else { 250 };
+    let client_counts: &[usize] = if quick { &[1, 8] } else { &[1, 4, 8, 16, 32] };
+
+    eprintln!("[serve] preparing {} context...", kind.name());
+    let ctx = prepare_context(
+        kind,
+        &ContextConfig {
+            seed,
+            ..ContextConfig::quick(kind)
+        },
+    );
+    let snapshot = ctx.snapshots_fso[0].clone().expect("snapshot fitted");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    eprintln!("[serve] training QCFE(mscn)...");
+    let (mscn, _) = MscnEstimator::train(
+        FeatureEncoder::new(&ctx.benchmark.catalog, true),
+        &ctx.workload,
+        Some(&ctx.snapshots_fso),
+        None,
+        if quick { 15 } else { 30 },
+        &mut rng,
+    );
+    eprintln!("[serve] training QCFE(qpp)...");
+    let mut qpp = QppNetEstimator::new(
+        FeatureEncoder::new(&ctx.benchmark.catalog, true),
+        None,
+        &mut rng,
+    );
+    qpp.train(
+        &ctx.workload,
+        Some(&ctx.snapshots_fso),
+        if quick { 3 } else { 8 },
+        &mut rng,
+    );
+
+    let mut report = ExperimentReport::new(
+        "serve",
+        format!(
+            "closed-loop serving throughput + QPPNet batched-vs-scalar, {requests_per_client} requests/client, seed {seed}"
+        ),
+        quick,
+    );
+
+    // ---------------------------------------------------------------
+    // Direct (no service) QPPNet inference: scalar vs operator-grouped
+    // batched, swept over the plans-per-predict_batch-call batch size.
+    // ---------------------------------------------------------------
+    let plans: Vec<&PlanNode> = ctx
+        .workload
+        .queries
+        .iter()
+        .map(|q| &q.executed.root)
+        .collect();
+    let passes = if quick { 3 } else { 4 };
+    let reps = 9;
+    // Warm-up: fills thread-local and per-call scratch buffers.
+    let _ = qpp.predict_batch(&plans, Some(&snapshot));
+
+    // Best-of-`reps` timing windows: the shortest window is the least
+    // disturbed by transient machine load, the standard microbenchmark
+    // defence against noisy neighbours.
+    let best_throughput = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for _ in 0..passes {
+                f();
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (passes * plans.len()) as f64 / best
+    };
+
+    let scalar_tput = best_throughput(&|| {
+        for plan in &plans {
+            let _ = qpp.predict_scalar(plan, Some(&snapshot));
+        }
+    });
+
+    let mut qpp_table = ReportTable::new(
+        "QPPNet operator-grouped batching (direct inference)",
+        &["batch size", "throughput (plans/s)", "speedup vs scalar"],
+    );
+    qpp_table.push_row(vec![
+        "scalar".into(),
+        format!("{scalar_tput:.0}"),
+        fmt3(1.0),
+    ]);
+    let mut batched_best_tput: f64 = 0.0;
+    for &batch_size in &[1usize, 8, 32, 128] {
+        let tput = best_throughput(&|| {
+            for chunk in plans.chunks(batch_size) {
+                let _ = qpp.predict_batch(chunk, Some(&snapshot));
+            }
+        });
+        if batch_size > 1 {
+            batched_best_tput = batched_best_tput.max(tput);
+        }
+        qpp_table.push_row(vec![
+            batch_size.to_string(),
+            format!("{tput:.0}"),
+            fmt3(tput / scalar_tput),
+        ]);
+        eprintln!(
+            "[serve] qppnet batch={batch_size}: {tput:.0} plans/s ({:.2}x scalar)",
+            tput / scalar_tput
+        );
+    }
+    report.add_table(qpp_table);
+
+    // ---------------------------------------------------------------
+    // Service-side closed-loop sweeps for both model families.
+    // ---------------------------------------------------------------
+    let mut table = ReportTable::new(
+        "EstimationService throughput",
+        &[
+            "model",
+            "clients",
+            "max_batch",
+            "throughput (est/s)",
+            "client p50 (ms)",
+            "client p99 (ms)",
+            "mean batch",
+            "cache hit rate",
+        ],
+    );
+    let mscn_model: Arc<dyn CostModel> = Arc::new(mscn);
+    service_sweep(
+        &mut table,
+        "QCFE(mscn)",
+        &mscn_model,
+        &snapshot,
+        &ctx,
+        client_counts,
+        requests_per_client,
+        seed,
+    );
+    let qpp_model: Arc<dyn CostModel> = Arc::new(qpp);
+    let qpp_clients: &[usize] = if quick { &[8] } else { &[8, 32] };
+    service_sweep(
+        &mut table,
+        "QCFE(qpp)",
+        &qpp_model,
+        &snapshot,
+        &ctx,
+        qpp_clients,
+        requests_per_client,
+        seed,
+    );
     report.add_table(table);
+
     println!("{}", report.render());
     if let Some(path) = report.save_json() {
         eprintln!("[serve] report saved to {}", path.display());
@@ -115,4 +242,15 @@ fn main() {
     if let Some(path) = report.save_bench_json() {
         eprintln!("[serve] bench trajectory saved to {}", path.display());
     }
+
+    // CI regression gate: operator-grouped batching must never fall below
+    // the scalar per-plan path.
+    assert!(
+        batched_best_tput >= scalar_tput,
+        "batched QPPNet regressed below scalar: {batched_best_tput:.0} < {scalar_tput:.0} plans/s"
+    );
+    eprintln!(
+        "[serve] QPPNet batched/scalar speedup: {:.2}x",
+        batched_best_tput / scalar_tput
+    );
 }

@@ -3,16 +3,23 @@
 //!
 //! The experiment pipeline trains concrete estimator types
 //! ([`MscnEstimator`], [`QppNetEstimator`], [`PgEstimator`]); the serving
-//! layer (`qcfe-serve`) needs to hold *any* of them behind
-//! `Arc<dyn CostModel>` and, where possible, run inference over micro-batches
-//! of requests. Models with a flat plan encoding (MSCN-style) expose it via
-//! [`CostModel::encode_plan`] so the service can coalesce encodings into one
-//! matrix pass; tree-structured models fall back to per-plan prediction.
+//! layer (`qcfe-serve`) holds *any* of them behind `Arc<dyn CostModel>` and
+//! drains its request queue through the **uniform batch API**,
+//! [`CostModel::predict_batch`]: one call per drained micro-batch, every
+//! model free to exploit the batch shape however it can. MSCN-style models
+//! coalesce all encodings into one matrix pass; the QPPNet implementation
+//! runs staged operator-grouped batching over the union of all plan trees
+//! (see [`QppNetEstimator::predict_batch`]); the analytical baseline simply
+//! maps over the batch.
+//!
+//! Models with a *flat* plan encoding additionally expose it via
+//! [`CostModel::encode_plan`] / [`CostModel::predict_encoded`] so the
+//! service can memoise encodings in its LRU plan-encoding cache and skip
+//! the encoding work for repeated plans.
 
 use crate::estimators::{MscnEstimator, PgEstimator, QppNetEstimator};
 use crate::snapshot::FeatureSnapshot;
 use qcfe_db::plan::PlanNode;
-use qcfe_nn::Matrix;
 
 /// A trained cost estimator usable from concurrent serving threads.
 pub trait CostModel: Send + Sync {
@@ -22,8 +29,21 @@ pub trait CostModel: Send + Sync {
     /// Predict the latency (ms) of one physical plan.
     fn predict_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64;
 
-    /// Flat feature encoding of a plan, when the model supports batched
-    /// inference over encodings (`None` for tree-structured models).
+    /// Batched inference over a micro-batch of plans: the uniform entry
+    /// point the serving layer drains its queue through. Implementations
+    /// must return one prediction per plan, in order, and must agree with
+    /// per-plan [`CostModel::predict_plan`] results. The default maps the
+    /// scalar path over the batch.
+    fn predict_batch(&self, plans: &[&PlanNode], snapshot: Option<&FeatureSnapshot>) -> Vec<f64> {
+        plans
+            .iter()
+            .map(|p| self.predict_plan(p, snapshot))
+            .collect()
+    }
+
+    /// Flat feature encoding of a plan, when the model has one (`None` for
+    /// tree-structured models). Used by the serving layer to memoise
+    /// encodings in its plan-encoding cache.
     fn encode_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> Option<Vec<f64>> {
         let _ = (root, snapshot);
         None
@@ -38,8 +58,9 @@ pub trait CostModel: Send + Sync {
     }
 
     /// Whether [`CostModel::encode_plan`] returns `Some` (i.e. the service
-    /// can micro-batch this model's inference).
-    fn supports_batching(&self) -> bool {
+    /// can cache this model's plan encodings). Every model batches through
+    /// [`CostModel::predict_batch`] regardless of this flag.
+    fn has_flat_encoding(&self) -> bool {
         false
     }
 }
@@ -53,21 +74,24 @@ impl CostModel for MscnEstimator {
         self.predict(root, snapshot)
     }
 
+    fn predict_batch(&self, plans: &[&PlanNode], snapshot: Option<&FeatureSnapshot>) -> Vec<f64> {
+        MscnEstimator::predict_batch(self, plans, snapshot)
+    }
+
     fn encode_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> Option<Vec<f64>> {
         let features = self.encoder().encode_plan(root, snapshot);
         Some(self.mask().iter().map(|&i| features[i]).collect())
     }
 
     fn predict_encoded(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        if rows.is_empty() {
-            return Vec::new();
-        }
-        let batch = Matrix::from_rows(rows);
-        let out = self.model().predict(&batch);
-        (0..out.rows()).map(|r| out.get(r, 0).max(1e-6)).collect()
+        self.model()
+            .predict_rows(rows)
+            .into_iter()
+            .map(|p| p.max(1e-6))
+            .collect()
     }
 
-    fn supports_batching(&self) -> bool {
+    fn has_flat_encoding(&self) -> bool {
         true
     }
 }
@@ -80,6 +104,10 @@ impl CostModel for QppNetEstimator {
     fn predict_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
         self.predict(root, snapshot)
     }
+
+    fn predict_batch(&self, plans: &[&PlanNode], snapshot: Option<&FeatureSnapshot>) -> Vec<f64> {
+        QppNetEstimator::predict_batch(self, plans, snapshot)
+    }
 }
 
 impl CostModel for PgEstimator {
@@ -90,6 +118,8 @@ impl CostModel for PgEstimator {
     fn predict_plan(&self, root: &PlanNode, _snapshot: Option<&FeatureSnapshot>) -> f64 {
         self.predict(root)
     }
+    // The trait's default predict_batch (map predict_plan over the batch) is
+    // already the right batching strategy for the analytical baseline.
 }
 
 #[cfg(test)]
@@ -97,6 +127,8 @@ mod tests {
     use super::*;
     use crate::collect::collect_workload;
     use crate::encoding::FeatureEncoder;
+    use crate::estimators::EnvSnapshots;
+    use crate::snapshot::FeatureSnapshot;
     use qcfe_db::env::{DbEnvironment, HardwareProfile};
     use qcfe_workloads::BenchmarkKind;
     use rand::SeedableRng;
@@ -111,17 +143,84 @@ mod tests {
         assert_send_sync::<std::sync::Arc<dyn CostModel>>();
     }
 
-    #[test]
-    fn batched_and_single_inference_agree_for_mscn() {
+    /// ≥ 100 random plans across two environments, with fitted snapshots.
+    fn equivalence_fixture() -> (
+        crate::collect::LabeledWorkload,
+        EnvSnapshots,
+        FeatureEncoder,
+    ) {
         let bench = BenchmarkKind::Sysbench.build(0.0005, 3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let envs = DbEnvironment::sample_knob_configs(1, HardwareProfile::h1(), &mut rng);
-        let workload = collect_workload(&bench, &envs, 30, 17);
-        let encoder = FeatureEncoder::new(&bench.catalog, false);
+        let envs = DbEnvironment::sample_knob_configs(2, HardwareProfile::h1(), &mut rng);
+        let workload = collect_workload(&bench, &envs, 60, 17);
+        assert!(
+            workload.len() >= 100,
+            "need ≥100 plans, got {}",
+            workload.len()
+        );
+        let snapshots: EnvSnapshots = (0..envs.len())
+            .map(|env_index| {
+                let executions: Vec<_> = workload
+                    .for_environment(env_index)
+                    .iter()
+                    .map(|q| q.executed.clone())
+                    .collect();
+                Some(FeatureSnapshot::fit_from_executions(&executions))
+            })
+            .collect();
+        let encoder = FeatureEncoder::new(&bench.catalog, true);
+        (workload, snapshots, encoder)
+    }
+
+    /// Satellite acceptance: `predict_batch` matches per-plan `predict`
+    /// within 1e-9 for all three estimators, across ≥100 random plans and
+    /// multiple snapshots (fitted per environment, plus `None`).
+    #[test]
+    fn predict_batch_matches_scalar_for_all_estimators() {
+        let (workload, snapshots, encoder) = equivalence_fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (mscn, _) = MscnEstimator::train(
+            encoder.clone(),
+            &workload,
+            Some(&snapshots),
+            None,
+            8,
+            &mut rng,
+        );
+        let qpp = QppNetEstimator::new(encoder, None, &mut rng);
+        let models: Vec<Box<dyn CostModel>> =
+            vec![Box::new(PgEstimator), Box::new(mscn), Box::new(qpp)];
+        let plans: Vec<&qcfe_db::plan::PlanNode> =
+            workload.queries.iter().map(|q| &q.executed.root).collect();
+
+        for model in &models {
+            let snapshot_cases: Vec<Option<&FeatureSnapshot>> = std::iter::once(None)
+                .chain(snapshots.iter().map(|s| s.as_ref()))
+                .collect();
+            for snapshot in snapshot_cases {
+                let batched = model.predict_batch(&plans, snapshot);
+                assert_eq!(batched.len(), plans.len(), "{}", model.name());
+                for (plan, b) in plans.iter().zip(&batched) {
+                    let single = model.predict_plan(plan, snapshot);
+                    assert!(
+                        (single - b).abs() <= 1e-9,
+                        "{}: batched {b} deviates from scalar {single}",
+                        model.name()
+                    );
+                }
+            }
+            assert!(model.predict_batch(&[], None).is_empty());
+        }
+    }
+
+    #[test]
+    fn batched_and_encoded_inference_agree_for_mscn() {
+        let (workload, _, encoder) = equivalence_fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let (mscn, _) = MscnEstimator::train(encoder, &workload, None, None, 10, &mut rng);
 
         let model: &dyn CostModel = &mscn;
-        assert!(model.supports_batching());
+        assert!(model.has_flat_encoding());
         assert_eq!(model.name(), "MSCN");
         let encodings: Vec<Vec<f64>> = workload
             .queries
@@ -132,30 +231,30 @@ mod tests {
                     .expect("mscn encodes")
             })
             .collect();
-        let batched = model.predict_encoded(&encodings);
-        assert_eq!(batched.len(), workload.len());
-        for (q, b) in workload.queries.iter().zip(&batched) {
+        let encoded = model.predict_encoded(&encodings);
+        assert_eq!(encoded.len(), workload.len());
+        for (q, b) in workload.queries.iter().zip(&encoded) {
             let single = model.predict_plan(&q.executed.root, None);
             assert!(
                 (single - b).abs() < 1e-9,
-                "batched {b} deviates from single {single}"
+                "encoded {b} deviates from single {single}"
             );
         }
         assert!(model.predict_encoded(&[]).is_empty());
     }
 
     #[test]
-    fn tree_models_do_not_advertise_batching() {
+    fn only_flat_models_advertise_encodings() {
         let bench = BenchmarkKind::Sysbench.build(0.0005, 3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let encoder = FeatureEncoder::new(&bench.catalog, false);
         let qpp = QppNetEstimator::new(encoder, None, &mut rng);
         let model: &dyn CostModel = &qpp;
-        assert!(!model.supports_batching());
+        assert!(!model.has_flat_encoding());
         assert_eq!(model.name(), "QPPNet");
 
         let pg: &dyn CostModel = &PgEstimator;
-        assert!(!pg.supports_batching());
+        assert!(!pg.has_flat_encoding());
         let envs = DbEnvironment::sample_knob_configs(1, HardwareProfile::h1(), &mut rng);
         let workload = collect_workload(&bench, &envs, 5, 2);
         for q in &workload.queries {

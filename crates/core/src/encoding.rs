@@ -121,7 +121,34 @@ impl FeatureEncoder {
         snapshot: Option<&FeatureSnapshot>,
     ) -> Vec<f64> {
         let mut v = Vec::with_capacity(self.node_dim());
+        self.encode_node_into(node, depth, snapshot, &mut v);
+        v
+    }
 
+    /// Append one node's encoding ([`FeatureEncoder::node_dim`] values) to a
+    /// caller-owned buffer. This is the allocation-free variant behind the
+    /// batched inference path, which packs every node of a micro-batch into
+    /// one flat feature arena.
+    pub fn encode_node_into(
+        &self,
+        node: &PlanNode,
+        depth: usize,
+        snapshot: Option<&FeatureSnapshot>,
+        v: &mut Vec<f64>,
+    ) {
+        let start = v.len();
+        self.encode_node_prefix_into(node, depth, v);
+        self.append_snapshot_block(node.op.kind(), snapshot, v);
+        debug_assert_eq!(v.len() - start, self.node_dim());
+    }
+
+    /// Append the snapshot-independent prefix of a node encoding (one-hots
+    /// plus numeric features). Together with
+    /// [`FeatureEncoder::append_snapshot_block`] this composes exactly
+    /// [`FeatureEncoder::encode_node_into`]; the split lets the batched
+    /// QPPNet engine compute the (kind-constant) snapshot block once per
+    /// operator kind instead of once per node.
+    pub(crate) fn encode_node_prefix_into(&self, node: &PlanNode, depth: usize, v: &mut Vec<f64>) {
         // Operator one-hot.
         let kind = node.op.kind();
         for k in OperatorKind::ALL {
@@ -157,7 +184,17 @@ impl FeatureEncoder {
         v.push(node.children.len() as f64);
         v.push((1.0 + child_rows.max(0.0)).ln());
         v.push(depth as f64);
-        // Feature snapshot.
+    }
+
+    /// Append the feature-snapshot block for one operator kind (a no-op for
+    /// encoders built without the snapshot). The block depends only on
+    /// `(kind, snapshot)`, never on the individual node.
+    pub(crate) fn append_snapshot_block(
+        &self,
+        kind: OperatorKind,
+        snapshot: Option<&FeatureSnapshot>,
+        v: &mut Vec<f64>,
+    ) {
         if self.include_snapshot {
             let coeffs = snapshot
                 .map(|s| s.coefficients(kind))
@@ -169,8 +206,6 @@ impl FeatureEncoder {
                     .map(|c| (1.0 + c.abs() * 1000.0).ln() * c.signum()),
             );
         }
-        debug_assert_eq!(v.len(), self.node_dim());
-        v
     }
 
     /// Encode every node of a plan (pre-order), together with its depth.

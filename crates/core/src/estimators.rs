@@ -10,9 +10,10 @@ use crate::encoding::FeatureEncoder;
 use crate::metrics::AccuracyReport;
 use crate::snapshot::FeatureSnapshot;
 use qcfe_db::plan::{OperatorKind, PlanNode};
-use qcfe_nn::{Activation, Dataset, Loss, Matrix, Mlp, Optimizer, TrainConfig};
+use qcfe_nn::{Activation, Dataset, InferenceScratch, Loss, Matrix, Mlp, Optimizer, TrainConfig};
 use rand::Rng;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 /// Training statistics reported in the paper's tables.
@@ -52,6 +53,15 @@ impl PgEstimator {
 
 /// Per-environment snapshots used when encoding labeled queries.
 pub type EnvSnapshots = Vec<Option<FeatureSnapshot>>;
+
+/// Mean per-query inference latency through the scalar and batched paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceLatency {
+    /// One prediction per call, microseconds per query.
+    pub scalar_us: f64,
+    /// Whole-workload batched prediction, microseconds per query.
+    pub batched_us: f64,
+}
 
 fn snapshot_for(snapshots: Option<&EnvSnapshots>, env_index: usize) -> Option<&FeatureSnapshot> {
     snapshots
@@ -138,6 +148,25 @@ impl MscnEstimator {
             .max(1e-6)
     }
 
+    /// Batched prediction over many plans: every plan is encoded, then the
+    /// whole batch runs through the MLP in a single matrix pass. Results are
+    /// bit-identical to per-plan [`MscnEstimator::predict`].
+    pub fn predict_batch(
+        &self,
+        plans: &[&PlanNode],
+        snapshot: Option<&FeatureSnapshot>,
+    ) -> Vec<f64> {
+        let rows: Vec<Vec<f64>> = plans
+            .iter()
+            .map(|p| project(&self.encoder.encode_plan(p, snapshot), &self.mask))
+            .collect();
+        self.mlp
+            .predict_rows(&rows)
+            .into_iter()
+            .map(|p| p.max(1e-6))
+            .collect()
+    }
+
     /// Evaluate on a labeled workload.
     pub fn evaluate(
         &self,
@@ -153,20 +182,43 @@ impl MscnEstimator {
         AccuracyReport::compute(&actuals, &preds)
     }
 
-    /// Average single-query inference latency in microseconds.
+    /// Average per-query inference latency through both the scalar and the
+    /// batched path. The batched probe groups queries by environment so
+    /// every group shares one snapshot (and thus one matrix pass).
     pub fn inference_latency_us(
         &self,
         workload: &LabeledWorkload,
         snapshots: Option<&EnvSnapshots>,
-    ) -> f64 {
+    ) -> InferenceLatency {
         if workload.is_empty() {
-            return 0.0;
+            return InferenceLatency {
+                scalar_us: 0.0,
+                batched_us: 0.0,
+            };
         }
+        let n = workload.len() as f64;
         let start = Instant::now();
         for q in &workload.queries {
             let _ = self.predict(&q.executed.root, snapshot_for(snapshots, q.env_index));
         }
-        start.elapsed().as_secs_f64() * 1e6 / workload.len() as f64
+        let scalar_us = start.elapsed().as_secs_f64() * 1e6 / n;
+
+        let mut by_env: BTreeMap<usize, Vec<&PlanNode>> = BTreeMap::new();
+        for q in &workload.queries {
+            by_env
+                .entry(q.env_index)
+                .or_default()
+                .push(&q.executed.root);
+        }
+        let start = Instant::now();
+        for (env_index, plans) in &by_env {
+            let _ = self.predict_batch(plans, snapshot_for(snapshots, *env_index));
+        }
+        let batched_us = start.elapsed().as_secs_f64() * 1e6 / n;
+        InferenceLatency {
+            scalar_us,
+            batched_us,
+        }
     }
 
     /// The trained network (used by feature reduction and tests).
@@ -200,6 +252,13 @@ pub const MAX_CHILDREN: usize = 2;
 /// operator kind; a node's unit consumes the node encoding plus its
 /// children's output vectors and emits a data vector whose first entry is
 /// the node's predicted (inclusive) latency.
+///
+/// Inference is *operator-grouped batched*: the nodes of every plan in a
+/// batch are bucketed by `(stage, OperatorKind)` — where a node's stage is
+/// its height above the leaves — and each bucket runs through its neural
+/// unit in a single matrix forward, children before parents, with child
+/// data vectors scattered back into the parents' feature rows between
+/// stages. See [`QppNetEstimator::predict_batch`].
 #[derive(Debug, Clone)]
 pub struct QppNetEstimator {
     encoder: FeatureEncoder,
@@ -207,6 +266,68 @@ pub struct QppNetEstimator {
     masks: HashMap<OperatorKind, Vec<usize>>,
     units: HashMap<OperatorKind, Mlp>,
     node_dim: usize,
+}
+
+/// Execution statistics of one [`QppNetEstimator::predict_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QppBatchStats {
+    /// Neural-unit matrix forwards executed (one per non-empty
+    /// `(stage, OperatorKind)` bucket).
+    pub forward_calls: usize,
+    /// Number of stages (maximum node height + 1).
+    pub stages: usize,
+    /// Total plan nodes in the batch.
+    pub nodes: usize,
+}
+
+/// One plan node flattened into the batch arena; its features live at
+/// `id * node_dim` in the shared flat feature buffer.
+struct FlatNode {
+    kind: OperatorKind,
+    /// Child arena ids; `usize::MAX` marks an absent slot. Children beyond
+    /// [`MAX_CHILDREN`] are still predicted but (exactly as in the scalar
+    /// walk) do not feed the parent's input.
+    children: [usize; MAX_CHILDREN],
+    height: usize,
+}
+
+/// Reusable per-thread buffers of the batched QPPNet engine: after warm-up
+/// a [`QppNetEstimator::predict_batch`] call performs no steady-state heap
+/// allocations beyond its result vector.
+struct QppBatchScratch {
+    arena: Vec<FlatNode>,
+    features: Vec<f64>,
+    roots: Vec<usize>,
+    /// Node-id buckets per stage, indexed by [`OperatorKind::index`].
+    buckets: Vec<[Vec<usize>; OperatorKind::ALL.len()]>,
+    outputs: Vec<[f64; DATA_VECTOR_DIM]>,
+    input: Matrix,
+    nn: InferenceScratch,
+    /// Per-kind snapshot blocks for the current call (the buffers are
+    /// reused across calls; `blocks_filled` is reset per call because the
+    /// snapshot may differ).
+    snapshot_blocks: [Vec<f64>; OperatorKind::ALL.len()],
+    blocks_filled: [bool; OperatorKind::ALL.len()],
+}
+
+impl QppBatchScratch {
+    fn new() -> Self {
+        QppBatchScratch {
+            arena: Vec::new(),
+            features: Vec::new(),
+            roots: Vec::new(),
+            buckets: Vec::new(),
+            outputs: Vec::new(),
+            input: Matrix::default(),
+            nn: InferenceScratch::new(),
+            snapshot_blocks: std::array::from_fn(|_| Vec::new()),
+            blocks_filled: [false; OperatorKind::ALL.len()],
+        }
+    }
+}
+
+thread_local! {
+    static QPP_SCRATCH: RefCell<QppBatchScratch> = RefCell::new(QppBatchScratch::new());
 }
 
 /// Intermediate forward state for one node (used during training).
@@ -282,8 +403,18 @@ impl QppNetEstimator {
     }
 
     /// Inference-only forward pass over a plan; returns the root's predicted
-    /// latency (ms).
+    /// latency (ms). Routes through the operator-grouped batched engine with
+    /// a batch of one.
     pub fn predict(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+        self.predict_batch(&[root], snapshot)[0]
+    }
+
+    /// Reference scalar implementation: the original recursive tree walk
+    /// running one allocating 1-row neural-unit forward per node. Kept
+    /// verbatim as the ground truth the batched engine is verified against
+    /// bit-for-bit, and as the baseline of the serving benchmark's
+    /// batched-vs-scalar comparison.
+    pub fn predict_scalar(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
         fn walk(
             est: &QppNetEstimator,
             node: &PlanNode,
@@ -298,13 +429,211 @@ impl QppNetEstimator {
             let kind = node.op.kind();
             let features = est.encoder.encode_node(node, depth, snapshot);
             let input = est.unit_input(kind, &features, &child_outputs);
-            est.units[&kind].predict_vec(&input)
+            let out = est.units[&kind].predict(&Matrix::row_vector(&input));
+            out.row(0).to_vec()
         }
         walk(self, root, 0, snapshot)
             .first()
             .copied()
             .unwrap_or(0.0)
             .max(1e-6)
+    }
+
+    /// Operator-grouped batched inference over many plans.
+    ///
+    /// Nodes from *all* plans are flattened into one arena and processed in
+    /// stages from the leaves up (a node's stage is its height). Within a
+    /// stage, nodes are bucketed by [`OperatorKind`] and each bucket runs
+    /// through its neural unit in a single allocation-free matrix forward;
+    /// the resulting data vectors are scattered into the parents' input rows
+    /// for the next stages. Per-plan results are bit-identical to scalar
+    /// tree-walking inference because every row of a batched forward is
+    /// computed with the same operation order as a 1-row forward.
+    pub fn predict_batch(
+        &self,
+        plans: &[&PlanNode],
+        snapshot: Option<&FeatureSnapshot>,
+    ) -> Vec<f64> {
+        self.predict_batch_with_stats(plans, snapshot).0
+    }
+
+    /// Flatten one plan into the arena, returning its root's arena id.
+    #[allow(clippy::too_many_arguments)]
+    fn flatten_plan(
+        &self,
+        node: &PlanNode,
+        depth: usize,
+        snapshot: Option<&FeatureSnapshot>,
+        arena: &mut Vec<FlatNode>,
+        features: &mut Vec<f64>,
+        // Lazily-computed snapshot block per operator kind: the block is a
+        // function of `(kind, snapshot)` only, so computing it once per kind
+        // (instead of per node) is bit-identical and skips the per-node
+        // logarithm transforms. The buffers are reused across calls.
+        snapshot_blocks: &mut [Vec<f64>; OperatorKind::ALL.len()],
+        blocks_filled: &mut [bool; OperatorKind::ALL.len()],
+    ) -> usize {
+        let mut children = [usize::MAX; MAX_CHILDREN];
+        let mut height = 0;
+        for (slot, child) in node.children.iter().enumerate() {
+            let cid = self.flatten_plan(
+                child,
+                depth + 1,
+                snapshot,
+                arena,
+                features,
+                snapshot_blocks,
+                blocks_filled,
+            );
+            height = height.max(arena[cid].height + 1);
+            if slot < MAX_CHILDREN {
+                children[slot] = cid;
+            }
+        }
+        let kind = node.op.kind();
+        self.encoder.encode_node_prefix_into(node, depth, features);
+        let block = &mut snapshot_blocks[kind.index()];
+        if !blocks_filled[kind.index()] {
+            block.clear();
+            self.encoder.append_snapshot_block(kind, snapshot, block);
+            blocks_filled[kind.index()] = true;
+        }
+        features.extend_from_slice(block);
+        arena.push(FlatNode {
+            kind,
+            children,
+            height,
+        });
+        // The engine reads features back as `&features[id * node_dim ..]`,
+        // so prefix + snapshot block must append exactly node_dim values.
+        debug_assert_eq!(features.len(), arena.len() * self.node_dim);
+        arena.len() - 1
+    }
+
+    /// [`QppNetEstimator::predict_batch`] plus execution statistics (used by
+    /// tests and the serving benchmark to verify grouping happens).
+    ///
+    /// The engine is allocation-free in steady state: node encodings are
+    /// packed into one flat feature arena (stride
+    /// [`FeatureEncoder::node_dim`]), child links live in fixed-size slots,
+    /// stage buckets are per-kind vectors, and everything — including the
+    /// neural-unit input matrix and [`InferenceScratch`] — lives in a
+    /// reusable thread-local [`QppBatchScratch`].
+    pub fn predict_batch_with_stats(
+        &self,
+        plans: &[&PlanNode],
+        snapshot: Option<&FeatureSnapshot>,
+    ) -> (Vec<f64>, QppBatchStats) {
+        QPP_SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            let QppBatchScratch {
+                arena,
+                features,
+                roots,
+                buckets,
+                outputs,
+                input,
+                nn,
+                snapshot_blocks,
+                blocks_filled,
+            } = s;
+            let node_dim = self.node_dim;
+            arena.clear();
+            features.clear();
+            roots.clear();
+            // The snapshot may differ between calls, so the cached blocks
+            // must be recomputed — but their buffers are reused.
+            *blocks_filled = [false; OperatorKind::ALL.len()];
+            for plan in plans {
+                let root = self.flatten_plan(
+                    plan,
+                    0,
+                    snapshot,
+                    arena,
+                    features,
+                    snapshot_blocks,
+                    blocks_filled,
+                );
+                roots.push(root);
+            }
+            let stages = arena.iter().map(|n| n.height + 1).max().unwrap_or(0);
+
+            // Node-id buckets per (stage, kind); fixed per-kind slots keep
+            // the execution order deterministic (OperatorKind::ALL order).
+            while buckets.len() < stages {
+                buckets.push(std::array::from_fn(|_| Vec::new()));
+            }
+            for stage in buckets.iter_mut().take(stages) {
+                for bucket in stage.iter_mut() {
+                    bucket.clear();
+                }
+            }
+            for (id, node) in arena.iter().enumerate() {
+                buckets[node.height][node.kind.index()].push(id);
+            }
+
+            outputs.clear();
+            outputs.resize(arena.len(), [0.0; DATA_VECTOR_DIM]);
+            let mut forward_calls = 0usize;
+            for stage in buckets.iter().take(stages) {
+                for (kind_index, ids) in stage.iter().enumerate() {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let kind = OperatorKind::ALL[kind_index];
+                    let mask = &self.masks[&kind];
+                    // The unreduced (identity) mask is the common case; copy
+                    // the feature block wholesale instead of gathering per
+                    // index.
+                    let identity_mask =
+                        mask.len() == node_dim && mask.iter().enumerate().all(|(i, &m)| m == i);
+                    // Every element of every row is written below, so the
+                    // matrix contents need no zero-fill.
+                    input.reshape_unspecified(
+                        ids.len(),
+                        mask.len() + MAX_CHILDREN * DATA_VECTOR_DIM,
+                    );
+                    for (r, &id) in ids.iter().enumerate() {
+                        let node = &arena[id];
+                        let feats = &features[id * node_dim..(id + 1) * node_dim];
+                        let row = input.row_mut(r);
+                        if identity_mask {
+                            row[..node_dim].copy_from_slice(feats);
+                        } else {
+                            for (j, &fi) in mask.iter().enumerate() {
+                                row[j] = feats[fi];
+                            }
+                        }
+                        // Children always live at lower stages, so their data
+                        // vectors are final by now; absent slots read zero.
+                        for (slot, &cid) in node.children.iter().enumerate() {
+                            let start = mask.len() + slot * DATA_VECTOR_DIM;
+                            let slot_out = if cid == usize::MAX {
+                                &[0.0; DATA_VECTOR_DIM]
+                            } else {
+                                &outputs[cid]
+                            };
+                            row[start..start + DATA_VECTOR_DIM].copy_from_slice(slot_out);
+                        }
+                    }
+                    let out = self.units[&kind].predict_batch_into(input, nn);
+                    forward_calls += 1;
+                    for (r, &id) in ids.iter().enumerate() {
+                        outputs[id].copy_from_slice(out.row(r));
+                    }
+                }
+            }
+
+            let preds = roots.iter().map(|&r| outputs[r][0].max(1e-6)).collect();
+            (
+                preds,
+                QppBatchStats {
+                    forward_calls,
+                    stages,
+                    nodes: arena.len(),
+                },
+            )
+        })
     }
 
     /// Training forward pass keeping caches for backprop.
@@ -499,7 +828,9 @@ mod tests {
         let report = mscn.evaluate(&test, None);
         assert!(report.mean_q_error.is_finite());
         assert!(report.pearson > 0.0, "pearson {}", report.pearson);
-        assert!(mscn.inference_latency_us(&test, None) > 0.0);
+        let latency = mscn.inference_latency_us(&test, None);
+        assert!(latency.scalar_us > 0.0);
+        assert!(latency.batched_us > 0.0);
         assert_eq!(mscn.mask().len(), mscn.encoder().plan_dim());
     }
 
@@ -520,6 +851,79 @@ mod tests {
             after.mean_q_error
         );
         assert!(after.pearson.is_finite());
+    }
+
+    #[test]
+    fn qppnet_batched_inference_matches_scalar_bit_for_bit() {
+        let (w, _, encoder_fs) = workload();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut qpp = QppNetEstimator::new(encoder_fs, None, &mut rng);
+        qpp.train(&w, None, 2, &mut rng);
+        let plans: Vec<&PlanNode> = w.queries.iter().map(|q| &q.executed.root).collect();
+        let batched = qpp.predict_batch(&plans, None);
+        for (plan, b) in plans.iter().zip(&batched) {
+            let reference = qpp.predict_scalar(plan, None);
+            assert_eq!(
+                reference.to_bits(),
+                b.to_bits(),
+                "batched {b} != reference scalar walk {reference}"
+            );
+            let single = qpp.predict(plan, None);
+            assert_eq!(
+                single.to_bits(),
+                b.to_bits(),
+                "batch-of-one {single} != {b}"
+            );
+        }
+    }
+
+    /// Tentpole acceptance: batched QPPNet inference is operator-grouped —
+    /// exactly one neural-unit forward per non-empty `(stage, kind)` bucket,
+    /// far fewer than one per node.
+    #[test]
+    fn qppnet_batching_groups_forwards_by_stage_and_operator() {
+        let (w, _, encoder_fs) = workload();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let qpp = QppNetEstimator::new(encoder_fs, None, &mut rng);
+        let plans: Vec<&PlanNode> = w.queries.iter().map(|q| &q.executed.root).collect();
+        let (preds, stats) = qpp.predict_batch_with_stats(&plans, None);
+        assert_eq!(preds.len(), plans.len());
+
+        // Recompute the expected bucket count independently of the engine:
+        // the distinct (height, kind) pairs across every node in the batch.
+        fn heights(node: &PlanNode, acc: &mut Vec<(usize, OperatorKind)>) -> usize {
+            let h = node
+                .children
+                .iter()
+                .map(|c| heights(c, acc) + 1)
+                .max()
+                .unwrap_or(0);
+            acc.push((h, node.op.kind()));
+            h
+        }
+        let mut pairs = Vec::new();
+        let mut max_height = 0;
+        let mut total_nodes = 0;
+        for plan in &plans {
+            max_height = max_height.max(heights(plan, &mut pairs));
+            total_nodes += plan.node_count();
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        assert_eq!(stats.forward_calls, pairs.len());
+        assert_eq!(stats.stages, max_height + 1);
+        assert_eq!(stats.nodes, total_nodes);
+        assert!(
+            stats.forward_calls < total_nodes / 2,
+            "grouping must coalesce forwards: {} calls over {} nodes",
+            stats.forward_calls,
+            total_nodes
+        );
+
+        // A single-plan batch still groups same-kind nodes at equal heights.
+        let (_, single) = qpp.predict_batch_with_stats(&plans[..1], None);
+        assert!(single.forward_calls <= single.nodes);
     }
 
     #[test]

@@ -146,6 +146,21 @@ impl DenseLayer {
             .map(|v| self.activation.apply(v))
     }
 
+    /// Allocation-free variant of [`DenseLayer::forward_inference`]: writes
+    /// the activations into a caller-owned buffer (reshaped in place). This
+    /// is the kernel behind the batched inference path — the buffer is part
+    /// of an [`crate::mlp::InferenceScratch`] reused across calls.
+    pub fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "forward_inference_into: dimension mismatch"
+        );
+        input.matmul_into(&self.weights, out);
+        out.add_row_broadcast_assign(&self.biases);
+        out.map_inplace(|v| self.activation.apply(v));
+    }
+
     /// Backward pass.
     ///
     /// `grad_output` is `dL/dY` with one row per batch sample. Gradients with
@@ -320,6 +335,20 @@ mod tests {
         let a = l.forward(&x);
         let b = l.forward_inference(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_inference_into_matches_forward_inference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let l = DenseLayer::new(5, 3, Activation::Relu, &mut rng);
+        let x = Matrix::from_vec(4, 5, (0..20).map(|i| i as f64 * 0.07 - 0.5).collect());
+        let mut out = Matrix::default();
+        l.forward_inference_into(&x, &mut out);
+        assert_eq!(out, l.forward_inference(&x));
+        // Reuse with a different batch size.
+        let y = Matrix::from_vec(1, 5, (0..5).map(|i| i as f64).collect());
+        l.forward_inference_into(&y, &mut out);
+        assert_eq!(out, l.forward_inference(&y));
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * an [`Mlp`](mlp::Mlp) that composes the above and can additionally return
 //!   the gradient of its output with respect to its *input* (needed by the
 //!   gradient feature-reduction baseline of the paper),
+//! * an allocation-free batched inference path
+//!   ([`Mlp::predict_batch_into`](mlp::Mlp::predict_batch_into) with
+//!   caller-owned [`InferenceScratch`](mlp::InferenceScratch) buffers) used
+//!   by the serving layer's operator-grouped micro-batching,
 //! * a tiny linear-algebra module with a least-squares solver (used to fit
 //!   the feature-snapshot coefficients of Table I),
 //! * dataset utilities (mini-batching, shuffling, train/test split, scaling).
@@ -61,7 +65,7 @@ pub use layer::DenseLayer;
 pub use linalg::{least_squares, ridge_regression, solve_linear_system, LinAlgError};
 pub use loss::Loss;
 pub use matrix::Matrix;
-pub use mlp::{Mlp, TrainConfig, TrainHistory};
+pub use mlp::{InferenceScratch, Mlp, TrainConfig, TrainHistory};
 pub use optimizer::Optimizer;
 
 /// Convenient glob import for downstream crates.
@@ -72,7 +76,7 @@ pub mod prelude {
     pub use crate::linalg::{least_squares, ridge_regression};
     pub use crate::loss::Loss;
     pub use crate::matrix::Matrix;
-    pub use crate::mlp::{Mlp, TrainConfig, TrainHistory};
+    pub use crate::mlp::{InferenceScratch, Mlp, TrainConfig, TrainHistory};
     pub use crate::optimizer::Optimizer;
 }
 

@@ -7,7 +7,11 @@
 use rand::Rng;
 
 /// A dense, row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The default value is the empty `0x0` matrix, which makes `Matrix` usable
+/// as a reusable scratch buffer: [`Matrix::reset`] reshapes it in place
+/// without shrinking the backing allocation.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -169,6 +173,34 @@ impl Matrix {
         self.data
     }
 
+    /// Reshape in place to `rows x cols`, zero-filled. The backing allocation
+    /// is kept (and grown only when needed), so a matrix reused as a scratch
+    /// buffer stops allocating once it has seen its largest shape.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape in place to `rows x cols` leaving the element values
+    /// unspecified (whatever the buffer previously held, zero where it has
+    /// to grow). For scratch buffers whose every element the caller writes
+    /// before reading — skips the full zero-fill of [`Matrix::reset`].
+    pub fn reshape_unspecified(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape in place to a single row holding a copy of `values`.
+    pub fn reset_from_row(&mut self, values: &[f64]) {
+        self.rows = 1;
+        self.cols = values.len();
+        self.data.clear();
+        self.data.extend_from_slice(values);
+    }
+
     /// Matrix multiplication `self * other`.
     ///
     /// # Panics
@@ -195,6 +227,35 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Matrix multiplication `self * other` written into a caller-owned
+    /// output buffer (reshaped in place), so repeated inference passes do
+    /// not allocate.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into: inner dimensions must agree ({}x{} * {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset(self.rows, other.cols);
+        // Same i-k-j loop order as `matmul` so results are bit-identical.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
     }
 
     /// `self^T * other`, computed without materialising the transpose.
@@ -334,6 +395,21 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// In-place variant of [`Matrix::add_row_broadcast`]: add a row vector to
+    /// every row without allocating.
+    pub fn add_row_broadcast_assign(&mut self, row: &[f64]) {
+        assert_eq!(
+            self.cols,
+            row.len(),
+            "add_row_broadcast_assign: length must equal cols"
+        );
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(row.iter()) {
+                *v += *b;
+            }
+        }
     }
 
     /// Column-wise sums, returned as a vector of length `cols`.
@@ -480,5 +556,37 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_and_reuses_capacity() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // A second call into the same (now stale-shaped) buffer still agrees.
+        let c = Matrix::from_vec(3, 4, (0..12).map(|i| i as f64 * 0.25).collect());
+        a.matmul_into(&c, &mut out);
+        assert_eq!(out, a.matmul(&c));
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes_in_place() {
+        let mut m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.reset(1, 3);
+        assert_eq!(m.shape(), (1, 3));
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+        m.reset_from_row(&[5.0, 6.0]);
+        assert_eq!(m.shape(), (1, 2));
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_assign_matches_allocating_variant() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut b = a.clone();
+        b.add_row_broadcast_assign(&[10.0, 20.0, 30.0]);
+        assert_eq!(b, a.add_row_broadcast(&[10.0, 20.0, 30.0]));
     }
 }

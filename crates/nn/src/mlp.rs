@@ -10,6 +10,19 @@
 //!   building blocks used by the QPPNet reimplementation, where one MLP per
 //!   operator type is applied at every matching node of a plan tree and the
 //!   gradients flow from parents into the outputs of children.
+//!
+//! # Batched, allocation-free inference
+//!
+//! The serving hot path is [`Mlp::predict_batch_into`]: a whole batch of
+//! feature rows is pushed through the network in one matrix pass per layer,
+//! writing every intermediate into a caller-owned [`InferenceScratch`] whose
+//! buffers are reused across calls — after warm-up the forward pass performs
+//! zero heap allocations. The convenience wrappers ([`Mlp::predict_vec`],
+//! [`Mlp::predict_one`], [`Mlp::predict_rows`]) route through the same path
+//! via a thread-local scratch, so single-row prediction no longer builds a
+//! fresh 1-row [`Matrix`] per call. Batched and per-row results are
+//! bit-identical because every kernel visits elements in the same order
+//! row-by-row.
 
 use crate::activation::Activation;
 use crate::dataset::Dataset;
@@ -18,6 +31,7 @@ use crate::loss::Loss;
 use crate::matrix::Matrix;
 use crate::optimizer::{Optimizer, OptimizerState};
 use rand::Rng;
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 /// Configuration for the flat mini-batch training loop.
@@ -71,6 +85,33 @@ pub struct MlpCache {
     inputs: Vec<Matrix>,
     /// Pre-activation values, one per layer.
     pre_activations: Vec<Matrix>,
+}
+
+/// Caller-owned scratch buffers for the allocation-free batched forward
+/// pass ([`Mlp::predict_batch_into`]).
+///
+/// The two ping-pong matrices hold successive layer activations; they are
+/// reshaped in place per call, so after the first call at a given batch
+/// size the forward pass allocates nothing. One scratch can be shared
+/// across networks of different shapes (the buffers grow to the largest
+/// shape seen).
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl InferenceScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread (input staging, scratch) pair backing the convenience
+    /// single-row / row-slice prediction wrappers.
+    static TLS_SCRATCH: RefCell<(Matrix, InferenceScratch)> = RefCell::new(Default::default());
 }
 
 /// A dense feed-forward network.
@@ -181,20 +222,72 @@ impl Mlp {
         cur
     }
 
+    /// Allocation-free batched inference: one matrix pass per layer, every
+    /// intermediate written into the caller-owned `scratch`. Returns a
+    /// borrow of the output matrix living inside the scratch (one row per
+    /// input row). Results are bit-identical to [`Mlp::predict`].
+    pub fn predict_batch_into<'a>(
+        &self,
+        x: &Matrix,
+        scratch: &'a mut InferenceScratch,
+    ) -> &'a Matrix {
+        let InferenceScratch { ping, pong } = scratch;
+        let mut src: &mut Matrix = ping;
+        let mut dst: &mut Matrix = pong;
+        let (first, rest) = self.layers.split_first().expect("non-empty");
+        first.forward_inference_into(x, src);
+        for layer in rest {
+            layer.forward_inference_into(src, dst);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+
     /// Predict a scalar for a single feature vector (first output unit).
     pub fn predict_one(&self, features: &[f64]) -> f64 {
-        self.predict_vec(features)[0]
+        TLS_SCRATCH.with(|cell| {
+            let (input, scratch) = &mut *cell.borrow_mut();
+            input.reset_from_row(features);
+            self.predict_batch_into(input, scratch).get(0, 0)
+        })
     }
 
     /// Predict the full output vector for a single feature vector.
     pub fn predict_vec(&self, features: &[f64]) -> Vec<f64> {
-        let x = Matrix::row_vector(features);
-        self.predict(&x).row(0).to_vec()
+        TLS_SCRATCH.with(|cell| {
+            let (input, scratch) = &mut *cell.borrow_mut();
+            input.reset_from_row(features);
+            self.predict_batch_into(input, scratch).row(0).to_vec()
+        })
+    }
+
+    /// Predict scalars (first output unit) for a slice of feature rows in
+    /// one batched pass through the thread-local scratch.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn predict_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        TLS_SCRATCH.with(|cell| {
+            let (input, scratch) = &mut *cell.borrow_mut();
+            input.reset(rows.len(), rows[0].len());
+            for (r, row) in rows.iter().enumerate() {
+                input.row_mut(r).copy_from_slice(row);
+            }
+            let out = self.predict_batch_into(input, scratch);
+            (0..out.rows()).map(|r| out.get(r, 0)).collect()
+        })
     }
 
     /// Predict scalars (first output unit) for every row of a dataset.
+    /// Uses a local scratch: this one-shot whole-dataset path would
+    /// otherwise pin dataset-sized buffers in the thread-local for the
+    /// thread's remaining lifetime.
     pub fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
-        let out = self.predict(&data.feature_matrix());
+        let mut scratch = InferenceScratch::new();
+        let out = self.predict_batch_into(&data.feature_matrix(), &mut scratch);
         (0..out.rows()).map(|r| out.get(r, 0)).collect()
     }
 
@@ -420,6 +513,51 @@ mod tests {
         assert!(hist.epoch_losses[0] > hist.final_loss());
         let pred = mlp.predict_one(&[0.5, 0.5]);
         assert!((pred - 2.0).abs() < 0.4, "pred {pred}");
+    }
+
+    #[test]
+    fn predict_batch_into_is_bit_identical_to_predict() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[4, 9, 5, 2], Activation::Relu, &mut r);
+        let x = Matrix::from_rows(&[
+            vec![0.1, -0.2, 0.3, 0.7],
+            vec![1.5, 0.0, -0.4, 0.2],
+            vec![-1.0, 2.0, 0.5, 0.0],
+        ]);
+        let mut scratch = InferenceScratch::new();
+        let batched = mlp.predict_batch_into(&x, &mut scratch).clone();
+        assert_eq!(batched, mlp.predict(&x));
+        // Reusing the scratch across calls and batch sizes stays exact.
+        let y = Matrix::from_rows(&[vec![0.9, 0.9, 0.9, 0.9]]);
+        assert_eq!(*mlp.predict_batch_into(&y, &mut scratch), mlp.predict(&y));
+    }
+
+    #[test]
+    fn scratch_is_shareable_across_network_shapes() {
+        let mut r = rng();
+        let a = Mlp::new(&[3, 8, 1], Activation::Tanh, &mut r);
+        let b = Mlp::new(&[6, 4, 4, 2], Activation::Relu, &mut r);
+        let xa = Matrix::from_rows(&[vec![0.1, 0.2, 0.3]]);
+        let xb = Matrix::from_rows(&[vec![0.5; 6], vec![-0.5; 6]]);
+        let mut scratch = InferenceScratch::new();
+        assert_eq!(*a.predict_batch_into(&xa, &mut scratch), a.predict(&xa));
+        assert_eq!(*b.predict_batch_into(&xb, &mut scratch), b.predict(&xb));
+        assert_eq!(*a.predict_batch_into(&xa, &mut scratch), a.predict(&xa));
+    }
+
+    #[test]
+    fn predict_rows_matches_per_row_prediction() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[5, 12, 1], Activation::Relu, &mut r);
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| (0..5).map(|j| ((i * 5 + j) as f64).sin()).collect())
+            .collect();
+        let batched = mlp.predict_rows(&rows);
+        assert_eq!(batched.len(), rows.len());
+        for (row, b) in rows.iter().zip(&batched) {
+            assert_eq!(mlp.predict_one(row).to_bits(), b.to_bits());
+        }
+        assert!(mlp.predict_rows(&[]).is_empty());
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //!   `(benchmark, estimator, fingerprint)`, with LRU eviction bounding
 //!   resident models.
 //! * [`service::EstimationService`] — a worker-thread pool draining a
-//!   bounded request queue with **micro-batched inference**: concurrent
-//!   requests are coalesced, encoded through an LRU plan-encoding cache and
-//!   pushed through the MLP as one matrix batch.
+//!   bounded request queue with **micro-batched inference**: every drained
+//!   batch flows through the uniform `CostModel::predict_batch` API, so
+//!   flat models run one matrix pass over all encodings (through an LRU
+//!   plan-encoding cache) and tree-structured QPPNet models run staged
+//!   operator-grouped forwards across every plan in the batch.
 //! * [`metrics::ServiceMetrics`] — lock-free throughput, latency
 //!   percentiles, queue depth, batch sizes and cache hit rate.
 //!

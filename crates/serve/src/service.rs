@@ -3,12 +3,14 @@
 //!
 //! Requests (physical plans) are pushed by any number of client threads via
 //! a cloneable [`ServiceHandle`]. Workers drain up to
-//! [`ServiceConfig::max_batch`] queued requests at a time; for models with a
-//! flat encoding ([`CostModel::supports_batching`]) the batch is encoded —
-//! through an LRU plan-encoding cache — into one matrix and pushed through
-//! the MLP in a single pass, which is where the serving-side throughput win
-//! over per-query inference comes from. Tree-structured models (QPPNet)
-//! still benefit from the queue's amortised wake-ups but predict per plan.
+//! [`ServiceConfig::max_batch`] queued requests at a time and push the whole
+//! drained batch through the model's **uniform batch API**
+//! ([`CostModel::predict_batch`]) — every registered model batches, whether
+//! it is a flat MLP (one matrix pass over all encodings), a tree-structured
+//! QPPNet (staged operator-grouped forwards across all plans in the batch)
+//! or the analytical baseline. Models exposing a flat encoding
+//! ([`CostModel::has_flat_encoding`]) additionally route through the LRU
+//! plan-encoding cache so repeated plans skip the encoding work entirely.
 //!
 //! Backpressure: [`ServiceHandle::estimate`] blocks while the queue is at
 //! capacity (closed-loop clients), [`ServiceHandle::try_estimate`] returns
@@ -157,64 +159,79 @@ impl Shared {
         }
     }
 
+    /// Run one drained micro-batch through the model's uniform batch API
+    /// and complete every request. All models batch; the only per-model
+    /// difference is whether the plan-encoding cache applies.
     fn process_batch(&self, batch: Vec<Job>) {
-        let snapshot = self.snapshot.as_ref();
         let batch_size = batch.len();
-        if self.model.supports_batching() {
-            // Two lock acquisitions per drained batch (probe, then insert
-            // misses), not per request — encoding itself runs unlocked.
-            let keys: Vec<u64> = batch.iter().map(|job| plan_key(&job.plan)).collect();
-            let mut rows: Vec<Option<Vec<f64>>> = {
-                let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
-                keys.iter().map(|key| cache.get(key).cloned()).collect()
-            };
-            let hits: Vec<bool> = rows.iter().map(Option::is_some).collect();
-            let mut fresh: Vec<(u64, Vec<f64>)> = Vec::new();
-            for ((slot, job), key) in rows.iter_mut().zip(&batch).zip(&keys) {
-                if slot.is_none() {
-                    let encoding = self
-                        .model
-                        .encode_plan(&job.plan, snapshot)
-                        .expect("batching model must encode");
-                    fresh.push((*key, encoding.clone()));
-                    *slot = Some(encoding);
-                }
-            }
-            if !fresh.is_empty() {
-                let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
-                for (key, encoding) in fresh {
-                    cache.insert(key, encoding);
-                }
-            }
-            for &hit in &hits {
-                self.metrics.record_cache(hit);
-            }
-            let rows: Vec<Vec<f64>> = rows.into_iter().map(|r| r.expect("filled")).collect();
-            let predictions = self.model.predict_encoded(&rows);
-            debug_assert_eq!(predictions.len(), batch_size);
-            for ((job, cost_ms), hit) in batch.into_iter().zip(predictions).zip(hits) {
-                self.complete(
-                    job,
-                    Estimate {
-                        cost_ms,
-                        batch_size,
-                        encoding_cache_hit: hit,
-                    },
-                );
-            }
-        } else {
-            for job in batch {
-                let cost_ms = self.model.predict_plan(&job.plan, snapshot);
-                self.complete(
-                    job,
-                    Estimate {
-                        cost_ms,
-                        batch_size,
-                        encoding_cache_hit: false,
-                    },
-                );
+        let (predictions, hits) = self.batched_predictions(&batch);
+        // A wrong-length result would otherwise leave the truncated jobs
+        // un-replied and their clients blocked forever; panicking drops the
+        // whole batch's reply senders and (via the worker's abort-on-panic
+        // guard) closes the service, failing every current and future
+        // waiter with `Closed` and surfacing the broken model.
+        assert_eq!(
+            predictions.len(),
+            batch_size,
+            "{} predict_batch returned {} predictions for {batch_size} plans",
+            self.model.name(),
+            predictions.len(),
+        );
+        for ((job, cost_ms), hit) in batch.into_iter().zip(predictions).zip(hits) {
+            self.complete(
+                job,
+                Estimate {
+                    cost_ms,
+                    batch_size,
+                    encoding_cache_hit: hit,
+                },
+            );
+        }
+    }
+
+    /// Batched inference for one drained micro-batch, returning one
+    /// prediction and one cache-hit flag per request. Models with a flat
+    /// encoding go through the LRU plan-encoding cache and predict over
+    /// encodings; everything else predicts straight over the plans.
+    fn batched_predictions(&self, batch: &[Job]) -> (Vec<f64>, Vec<bool>) {
+        let snapshot = self.snapshot.as_ref();
+        if !self.model.has_flat_encoding() {
+            let plans: Vec<&PlanNode> = batch.iter().map(|job| &job.plan).collect();
+            return (
+                self.model.predict_batch(&plans, snapshot),
+                vec![false; batch.len()],
+            );
+        }
+        // Two lock acquisitions per drained batch (probe, then insert
+        // misses), not per request — encoding itself runs unlocked.
+        let keys: Vec<u64> = batch.iter().map(|job| plan_key(&job.plan)).collect();
+        let mut rows: Vec<Option<Vec<f64>>> = {
+            let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
+            keys.iter().map(|key| cache.get(key).cloned()).collect()
+        };
+        let hits: Vec<bool> = rows.iter().map(Option::is_some).collect();
+        let mut fresh: Vec<(u64, Vec<f64>)> = Vec::new();
+        for ((slot, job), key) in rows.iter_mut().zip(batch).zip(&keys) {
+            if slot.is_none() {
+                let encoding = self
+                    .model
+                    .encode_plan(&job.plan, snapshot)
+                    .expect("flat-encoding model must encode");
+                fresh.push((*key, encoding.clone()));
+                *slot = Some(encoding);
             }
         }
+        if !fresh.is_empty() {
+            let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
+            for (key, encoding) in fresh {
+                cache.insert(key, encoding);
+            }
+        }
+        for &hit in &hits {
+            self.metrics.record_cache(hit);
+        }
+        let rows: Vec<Vec<f64>> = rows.into_iter().map(|r| r.expect("filled")).collect();
+        (self.model.predict_encoded(&rows), hits)
     }
 
     fn complete(&self, job: Job, estimate: Estimate) {
@@ -228,6 +245,25 @@ impl Shared {
         self.queue.lock().expect("service queue poisoned").closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Close the service *and* drop every queued job so their clients
+    /// observe [`ServiceError::Closed`] instead of waiting for a worker
+    /// that no longer exists. Called when a worker dies on a model panic;
+    /// tolerates a poisoned queue lock because it runs during unwinding.
+    fn abort(&self) {
+        let dropped: Vec<Job> = {
+            let mut queue = self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            queue.closed = true;
+            queue.jobs.drain(..).collect()
+        };
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        // Dropping the jobs drops their reply senders, failing the waiters.
+        drop(dropped);
     }
 }
 
@@ -321,7 +357,22 @@ impl EstimationService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("qcfe-serve-{i}"))
-                    .spawn(move || shared.worker_loop())
+                    .spawn(move || {
+                        // If a worker dies (a model panicking inside
+                        // predict_batch), close the service and fail queued
+                        // requests rather than leaving clients blocked on a
+                        // queue nobody drains.
+                        struct AbortOnPanic(Arc<Shared>);
+                        impl Drop for AbortOnPanic {
+                            fn drop(&mut self) {
+                                if std::thread::panicking() {
+                                    self.0.abort();
+                                }
+                            }
+                        }
+                        let _guard = AbortOnPanic(Arc::clone(&shared));
+                        shared.worker_loop();
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -370,10 +421,21 @@ mod tests {
     use super::*;
     use qcfe_db::plan::PhysicalOp;
 
-    /// A deterministic stub: cost = 2 * est_rows, batching optional.
+    /// A deterministic stub: cost = 2 * est_rows, flat encoding optional.
+    /// Records the size of every `predict_batch` call it receives.
     #[derive(Debug)]
     struct DoubleRows {
-        batching: bool,
+        flat_encoding: bool,
+        largest_batch: std::sync::atomic::AtomicUsize,
+    }
+
+    impl DoubleRows {
+        fn new(flat_encoding: bool) -> Self {
+            DoubleRows {
+                flat_encoding,
+                largest_batch: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
     }
 
     impl CostModel for DoubleRows {
@@ -385,20 +447,30 @@ mod tests {
             2.0 * root.est_rows
         }
 
+        fn predict_batch(
+            &self,
+            plans: &[&PlanNode],
+            _snapshot: Option<&FeatureSnapshot>,
+        ) -> Vec<f64> {
+            self.largest_batch
+                .fetch_max(plans.len(), std::sync::atomic::Ordering::Relaxed);
+            plans.iter().map(|p| 2.0 * p.est_rows).collect()
+        }
+
         fn encode_plan(
             &self,
             root: &PlanNode,
             _snapshot: Option<&FeatureSnapshot>,
         ) -> Option<Vec<f64>> {
-            self.batching.then(|| vec![root.est_rows])
+            self.flat_encoding.then(|| vec![root.est_rows])
         }
 
         fn predict_encoded(&self, rows: &[Vec<f64>]) -> Vec<f64> {
             rows.iter().map(|r| 2.0 * r[0]).collect()
         }
 
-        fn supports_batching(&self) -> bool {
-            self.batching
+        fn has_flat_encoding(&self) -> bool {
+            self.flat_encoding
         }
     }
 
@@ -409,12 +481,12 @@ mod tests {
         node
     }
 
-    fn start(batching: bool, config: ServiceConfig) -> EstimationService {
-        EstimationService::start(Arc::new(DoubleRows { batching }), None, config)
+    fn start(flat_encoding: bool, config: ServiceConfig) -> EstimationService {
+        EstimationService::start(Arc::new(DoubleRows::new(flat_encoding)), None, config)
     }
 
     #[test]
-    fn estimates_flow_through_the_batched_path() {
+    fn estimates_flow_through_the_encoded_path() {
         let service = start(true, ServiceConfig::default());
         let handle = service.handle();
         for rows in [1.0, 10.0, 250.0] {
@@ -428,7 +500,7 @@ mod tests {
     }
 
     #[test]
-    fn estimates_flow_through_the_unbatched_path() {
+    fn estimates_flow_through_the_uniform_batch_api() {
         let service = start(
             false,
             ServiceConfig {
@@ -443,7 +515,43 @@ mod tests {
         let metrics = service.shutdown();
         assert_eq!(
             metrics.cache_hit_rate, 0.0,
-            "no cache traffic without batching"
+            "no cache traffic without a flat encoding"
+        );
+    }
+
+    /// Models without a flat encoding receive the whole drained micro-batch
+    /// in one `predict_batch` call rather than per-plan scalar calls.
+    #[test]
+    fn queued_requests_reach_the_model_as_one_batch() {
+        let model = Arc::new(DoubleRows::new(false));
+        let service = EstimationService::start(
+            Arc::clone(&model) as Arc<dyn CostModel>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 256,
+                max_batch: 64,
+                encoding_cache_capacity: 16,
+            },
+        );
+        let handle = service.handle();
+        let clients: Vec<_> = (0..32)
+            .map(|i| {
+                let h = handle.clone();
+                std::thread::spawn(move || h.estimate(scan_plan(i as f64 + 1.0)).unwrap())
+            })
+            .collect();
+        for (i, c) in clients.into_iter().enumerate() {
+            assert_eq!(c.join().unwrap().cost_ms, 2.0 * (i as f64 + 1.0));
+        }
+        let metrics = service.shutdown();
+        let largest = model
+            .largest_batch
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(largest >= 1);
+        assert_eq!(
+            largest, metrics.max_batch_size,
+            "the model must see exactly the drained batches"
         );
     }
 
@@ -464,6 +572,45 @@ mod tests {
             assert!(again.encoding_cache_hit, "warm cache");
         }
         assert!(service.metrics().cache_hit_rate > 0.7);
+    }
+
+    /// A model violating the predict_batch length contract must fail the
+    /// affected requests (via the worker panic dropping their reply
+    /// senders), not leave clients blocked forever.
+    #[test]
+    fn wrong_length_predict_batch_fails_requests_instead_of_hanging() {
+        #[derive(Debug)]
+        struct ShortBatch;
+        impl CostModel for ShortBatch {
+            fn name(&self) -> &'static str {
+                "ShortBatch"
+            }
+            fn predict_plan(&self, _: &PlanNode, _: Option<&FeatureSnapshot>) -> f64 {
+                1.0
+            }
+            fn predict_batch(&self, _: &[&PlanNode], _: Option<&FeatureSnapshot>) -> Vec<f64> {
+                Vec::new() // always the wrong length
+            }
+        }
+        // One worker: after its panic nobody else could drain the queue, so
+        // this also exercises the abort-on-panic guard that closes the
+        // service instead of leaving it a zombie.
+        let service = EstimationService::start(
+            Arc::new(ShortBatch),
+            None,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        assert_eq!(handle.estimate(scan_plan(1.0)), Err(ServiceError::Closed));
+        // Subsequent requests must fail fast, not hang on a dead worker.
+        assert_eq!(handle.estimate(scan_plan(2.0)), Err(ServiceError::Closed));
+        assert_eq!(
+            handle.try_estimate(scan_plan(3.0)),
+            Err(ServiceError::Closed)
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use qcfe::core::cost_model::CostModel;
 use qcfe::core::encoding::FeatureEncoder;
-use qcfe::core::estimators::MscnEstimator;
+use qcfe::core::estimators::{MscnEstimator, QppNetEstimator};
 use qcfe::core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
 use qcfe::serve::prelude::*;
 use qcfe::serve::ServiceError;
@@ -105,8 +105,8 @@ fn concurrent_closed_loop_load_with_micro_batching() {
     let snapshot = ctx.snapshots_fso[0].clone().expect("fitted");
     let model: Arc<dyn CostModel> = Arc::new(train_mscn(&ctx));
     assert!(
-        model.supports_batching(),
-        "MSCN serves through the batched path"
+        model.has_flat_encoding(),
+        "MSCN serves through the cached encoding path"
     );
 
     let service = EstimationService::start(
@@ -140,6 +140,54 @@ fn concurrent_closed_loop_load_with_micro_batching() {
     assert!(metrics.throughput_qps > 0.0);
     assert!(metrics.mean_batch_size >= 1.0);
     assert!(metrics.p50_latency_us <= metrics.p99_latency_us);
+}
+
+/// Acceptance criterion of the unified batching refactor: routing every
+/// model through the service's uniform batch API leaves the results
+/// unchanged — each served estimate equals the model's direct per-plan
+/// prediction, for both the flat (MSCN) and the tree-structured (QPPNet)
+/// estimator.
+#[test]
+fn service_routing_preserves_direct_predictions() {
+    let ctx = quick_ctx();
+    let snapshot = ctx.snapshots_fso[0].clone().expect("fitted");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+    let mut qpp = QppNetEstimator::new(encoder, None, &mut rng);
+    qpp.train(&ctx.workload, Some(&ctx.snapshots_fso), 2, &mut rng);
+
+    let models: Vec<Arc<dyn CostModel>> = vec![Arc::new(train_mscn(&ctx)), Arc::new(qpp)];
+    for model in models {
+        let direct: Vec<f64> = ctx
+            .workload
+            .queries
+            .iter()
+            .take(40)
+            .map(|q| model.predict_plan(&q.executed.root, Some(&snapshot)))
+            .collect();
+        let service = EstimationService::start(
+            Arc::clone(&model),
+            Some(snapshot.clone()),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 64,
+                max_batch: 16,
+                encoding_cache_capacity: 1024,
+            },
+        );
+        let handle = service.handle();
+        for (q, expected) in ctx.workload.queries.iter().take(40).zip(&direct) {
+            let estimate = handle.estimate(q.executed.root.clone()).unwrap();
+            assert!(
+                (estimate.cost_ms - expected).abs() <= 1e-9,
+                "{}: served {} deviates from direct {expected}",
+                model.name(),
+                estimate.cost_ms
+            );
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.completed, 40);
+    }
 }
 
 /// The registry serves models by key and keeps serving after eviction of
