@@ -2,14 +2,17 @@
 //! micro-batching `EstimationService`, swept over client counts and with
 //! batching effectively on/off (max_batch 1 vs 32), plus a direct
 //! batched-vs-scalar comparison and batch-size sweep of the
-//! operator-grouped QPPNet inference engine.
+//! operator-grouped QPPNet inference engine, and a routed-gateway section
+//! comparing one `QcfeGateway` front door (1 client per environment across
+//! 4 environments) against the equivalent hand-wired per-service setup.
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
 //! can track the serving perf trajectory.
 //!
 //! The run fails (CI gate) if batched QPPNet inference falls below the
-//! scalar per-plan path.
+//! scalar per-plan path, or if routed-gateway aggregate throughput falls
+//! more than 20% below the hand-wired per-service baseline.
 //!
 //! Usage: `cargo run --release -p qcfe-bench --bin serve_throughput [--quick] [--seed N]`
 
@@ -17,7 +20,7 @@ use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable}
 use qcfe_core::cost_model::CostModel;
 use qcfe_core::encoding::FeatureEncoder;
 use qcfe_core::estimators::{MscnEstimator, QppNetEstimator};
-use qcfe_core::pipeline::{prepare_context, ContextConfig, ExperimentContext};
+use qcfe_core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::plan::PlanNode;
 use qcfe_serve::prelude::*;
@@ -88,10 +91,13 @@ fn main() {
     let client_counts: &[usize] = if quick { &[1, 8] } else { &[1, 4, 8, 16, 32] };
 
     eprintln!("[serve] preparing {} context...", kind.name());
+    // 4 environments: the routed-gateway section needs ≥4 distinct
+    // fingerprints (the single-service sweeps keep using environment 0).
     let ctx = prepare_context(
         kind,
         &ContextConfig {
             seed,
+            environments: 4,
             ..ContextConfig::quick(kind)
         },
     );
@@ -235,6 +241,149 @@ fn main() {
     );
     report.add_table(table);
 
+    // ---------------------------------------------------------------
+    // Routed gateway vs hand-wired per-service baseline: 1 closed-loop
+    // client per environment across all 4 environments. Same models,
+    // same snapshots, same per-shard service configuration — the only
+    // difference is whether requests go through the typed front door.
+    // ---------------------------------------------------------------
+    let env_count = ctx.workload.environments.len();
+    let shard_config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 256,
+        max_batch: 32,
+        encoding_cache_capacity: 4096,
+    };
+    let dbs: Vec<_> = ctx
+        .workload
+        .environments
+        .iter()
+        .map(|env| ctx.benchmark.build_database(env.clone()))
+        .collect();
+    let snapshots: Vec<FeatureSnapshot> = (0..env_count)
+        .map(|i| ctx.snapshots_fso[i].clone().expect("snapshot fitted"))
+        .collect();
+
+    // Hand-wired: one EstimationService per environment, assembled by the
+    // caller exactly as pre-gateway code did.
+    let services: Vec<EstimationService> = snapshots
+        .iter()
+        .map(|snapshot| {
+            EstimationService::start(
+                Arc::clone(&mscn_model),
+                Some(snapshot.clone()),
+                shard_config,
+            )
+        })
+        .collect();
+    let started = Instant::now();
+    let handwired_completed: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..env_count)
+            .map(|i| {
+                let handle = services[i].handle();
+                let db = &dbs[i];
+                let benchmark = &ctx.benchmark;
+                scope.spawn(move || {
+                    let load = ClosedLoopConfig::new(1, requests_per_client, seed + 300 + i as u64);
+                    let run = run_closed_loop(benchmark, &load, |query| {
+                        let plan = db.plan(&query).map_err(|e| e.to_string())?;
+                        Ok(handle.estimate(plan).map_err(|e| e.to_string())?.cost_ms)
+                    });
+                    assert_eq!(run.errors, 0, "hand-wired serving must not fail");
+                    run.completed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let handwired_tput = handwired_completed as f64 / started.elapsed().as_secs_f64();
+    drop(services);
+
+    // Routed: one QcfeGateway owning everything; clients submit typed
+    // requests naming only their environment.
+    let gw_root = std::env::temp_dir().join(format!(
+        "qcfe-serve-bench-gateway-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&gw_root);
+    let gateway = QcfeGateway::builder(&gw_root)
+        .service_config(shard_config)
+        .build()
+        .expect("gateway builds");
+    for (env, snapshot) in ctx.workload.environments.iter().zip(&snapshots) {
+        gateway
+            .publish_snapshot(kind, env, snapshot)
+            .expect("snapshot published");
+        gateway.register_model(
+            ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint()),
+            Arc::clone(&mscn_model),
+        );
+    }
+    let started = Instant::now();
+    let gateway_completed: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..env_count)
+            .map(|i| {
+                let gateway = &gateway;
+                // Shared per client: each request clones the pointer, not
+                // the knob/hardware structs.
+                let env = Arc::new(ctx.workload.environments[i].clone());
+                let db = &dbs[i];
+                let benchmark = &ctx.benchmark;
+                scope.spawn(move || {
+                    let load = ClosedLoopConfig::new(1, requests_per_client, seed + 300 + i as u64);
+                    let run = run_closed_loop(benchmark, &load, |query| {
+                        let plan = db.plan(&query).map_err(|e| e.to_string())?;
+                        let request = EstimateRequest::new(kind, Arc::clone(&env), plan);
+                        Ok(gateway
+                            .estimate(request)
+                            .map_err(|e| e.to_string())?
+                            .cost_ms)
+                    });
+                    assert_eq!(run.errors, 0, "routed serving must not fail");
+                    run.completed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let gateway_tput = gateway_completed as f64 / started.elapsed().as_secs_f64();
+    let gateway_stats = gateway.stats();
+    assert_eq!(
+        gateway_stats.shard_starts as usize, env_count,
+        "each environment must start exactly one shard"
+    );
+    let _ = std::fs::remove_dir_all(&gw_root);
+
+    let mut gw_table = ReportTable::new(
+        "Routed gateway vs hand-wired services (QCFE(mscn), 1 client per environment)",
+        &[
+            "setup",
+            "environments",
+            "clients",
+            "aggregate throughput (est/s)",
+            "ratio vs hand-wired",
+        ],
+    );
+    gw_table.push_row(vec![
+        "hand-wired per-service".into(),
+        env_count.to_string(),
+        env_count.to_string(),
+        format!("{handwired_tput:.0}"),
+        fmt3(1.0),
+    ]);
+    gw_table.push_row(vec![
+        "routed QcfeGateway".into(),
+        env_count.to_string(),
+        env_count.to_string(),
+        format!("{gateway_tput:.0}"),
+        fmt3(gateway_tput / handwired_tput),
+    ]);
+    report.add_table(gw_table);
+    eprintln!(
+        "[serve] routed gateway across {env_count} envs: {gateway_tput:.0} est/s vs hand-wired {handwired_tput:.0} est/s ({:.2}x)",
+        gateway_tput / handwired_tput
+    );
+
     println!("{}", report.render());
     if let Some(path) = report.save_json() {
         eprintln!("[serve] report saved to {}", path.display());
@@ -252,5 +401,14 @@ fn main() {
     eprintln!(
         "[serve] QPPNet batched/scalar speedup: {:.2}x",
         batched_best_tput / scalar_tput
+    );
+
+    // CI regression gate: routing through the gateway must stay within 20%
+    // of the equivalent hand-wired per-service setup (the front door adds
+    // fingerprint hashing and one shard-map lookup per request, nothing
+    // that should cost real throughput).
+    assert!(
+        gateway_tput >= 0.8 * handwired_tput,
+        "routed gateway regressed below 80% of hand-wired: {gateway_tput:.0} vs {handwired_tput:.0} est/s"
     );
 }

@@ -187,6 +187,45 @@ impl DbEnvironment {
         self.knobs.buffer_pool_pages()
     }
 
+    /// Number of entries in [`DbEnvironment::knob_vector`].
+    pub const VECTOR_DIM: usize = KnobConfig::VECTOR_DIM + 7;
+
+    /// The environment's numeric feature vector: every cost-relevant
+    /// "ignored variable" — knobs, hardware, storage format and OS
+    /// overhead — flattened into `Self::VECTOR_DIM` roughly unit-scale
+    /// components.
+    ///
+    /// Where [`DbEnvironment::fingerprint`] is an exact identity (any bit
+    /// of difference yields a new fingerprint), the knob vector is a
+    /// *geometry*: [`knob_distance`] between two environments' vectors is
+    /// small when their cost coefficients are close. The serving layer
+    /// persists this vector next to each environment's feature snapshot so
+    /// an unseen environment can warm-start from the nearest persisted
+    /// neighbour (the paper's Table VII snapshot-transfer workflow, online).
+    pub fn knob_vector(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(Self::VECTOR_DIM);
+        self.knobs.knob_vector_into(&mut out);
+        let disk = self.hardware.disk_profile();
+        out.push(self.hardware.cpu_speed);
+        out.push((self.hardware.cores as f64).log2() / 4.0);
+        out.push((self.hardware.memory_gb as f64).log2() / 6.0);
+        // Disk timings span ~2 orders of magnitude across device classes;
+        // a negated log10 keeps faster disks at larger coordinates with an
+        // O(1) spread.
+        out.push(-disk.sequential_page_ms.log10() / 2.0);
+        out.push(-disk.random_page_ms.log10() / 2.0);
+        out.push(self.storage_format.read_amplification());
+        out.push(self.os_overhead);
+        debug_assert_eq!(out.len(), Self::VECTOR_DIM);
+        out
+    }
+
+    /// Euclidean [`knob_distance`] between this environment's knob vector
+    /// and another's. Zero for cost-identical configurations.
+    pub fn distance_to(&self, other: &DbEnvironment) -> f64 {
+        knob_distance(&self.knob_vector(), &other.knob_vector())
+    }
+
     /// A stable fingerprint of every "ignored variable" that influences
     /// query cost: the knob configuration, the hardware profile, the
     /// storage format and the OS overhead factor.
@@ -205,6 +244,24 @@ impl DbEnvironment {
         h.write_u64(self.os_overhead.to_bits());
         EnvFingerprint(h.finish())
     }
+}
+
+/// Euclidean distance between two environment knob vectors (see
+/// [`DbEnvironment::knob_vector`]).
+///
+/// Mismatched lengths compare as infinitely far apart rather than
+/// panicking: the serving layer feeds this function vectors deserialized
+/// from disk, and a stale file written under an older vector layout must
+/// simply never win a nearest-neighbour search.
+pub fn knob_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// A 64-bit environment fingerprint (see [`DbEnvironment::fingerprint`]).
@@ -386,6 +443,109 @@ mod tests {
         assert_eq!(EnvFingerprint::from_hex("xyz"), None);
         assert_eq!(EnvFingerprint::from_hex("zzzzzzzzzzzzzzzz"), None);
         assert_eq!(format!("{fp}"), hex);
+    }
+
+    /// Seeded property test (≥1000 cases): `to_hex`/`from_hex` round-trip
+    /// every fingerprint, and mutated renderings — odd-length, non-hex and
+    /// over-long — are all rejected.
+    #[test]
+    fn fingerprint_hex_roundtrip_property() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xfee1);
+        for case in 0..1000u64 {
+            // Mix a seeded random draw with structured edge values so the
+            // loop covers 0, MAX and single-bit patterns too.
+            let raw: u64 = match case % 5 {
+                0 => rng.gen_range(0..=u64::MAX),
+                1 => rng.gen_range(0..=u64::MAX) & 0xff,
+                2 => 1u64 << (case % 64) as u32,
+                3 => u64::MAX,
+                _ => 0,
+            };
+            let fp = EnvFingerprint(raw);
+            let hex = fp.to_hex();
+            assert_eq!(hex.len(), 16, "fixed-width rendering");
+            assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert_eq!(EnvFingerprint::from_hex(&hex), Some(fp), "round-trip");
+
+            // Odd-length prefixes are rejected.
+            let odd = &hex[..(1 + 2 * (case as usize % 8))];
+            assert_eq!(odd.len() % 2, 1);
+            assert_eq!(EnvFingerprint::from_hex(odd), None, "odd length {odd:?}");
+            // Even-length but short inputs are rejected too.
+            let short = &hex[..(2 * (case as usize % 8))];
+            assert_eq!(EnvFingerprint::from_hex(short), None, "short {short:?}");
+            // Over-long inputs are rejected.
+            let long = format!("{hex}0");
+            assert_eq!(EnvFingerprint::from_hex(&long), None, "over-long");
+            let very_long = format!("{hex}{hex}");
+            assert_eq!(EnvFingerprint::from_hex(&very_long), None, "double-long");
+            // A non-hex byte anywhere poisons the parse.
+            let pos = case as usize % 16;
+            let mut bad = hex.clone().into_bytes();
+            bad[pos] = b'g' + (case % 20) as u8; // 'g'..'z': never a hex digit
+            let bad = String::from_utf8(bad).unwrap();
+            assert_eq!(EnvFingerprint::from_hex(&bad), None, "non-hex {bad:?}");
+        }
+    }
+
+    #[test]
+    fn knob_vectors_have_the_declared_dimension_and_unit_scale() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let envs = DbEnvironment::sample_knob_configs(20, HardwareProfile::h1(), &mut rng);
+        for env in &envs {
+            let v = env.knob_vector();
+            assert_eq!(v.len(), DbEnvironment::VECTOR_DIM);
+            for (i, x) in v.iter().enumerate() {
+                assert!(x.is_finite(), "component {i} not finite");
+                assert!(x.abs() < 10.0, "component {i} = {x} is badly scaled");
+            }
+        }
+    }
+
+    #[test]
+    fn knob_distance_is_a_metric_over_environments() {
+        let reference = DbEnvironment::reference();
+        assert_eq!(reference.distance_to(&reference), 0.0);
+        // The display name does not move the geometry.
+        let mut renamed = reference.clone();
+        renamed.name = "env-renamed".into();
+        assert_eq!(reference.distance_to(&renamed), 0.0);
+        // Every cost-relevant field does.
+        let mut knobbed = reference.clone();
+        knobbed.knobs.random_page_cost = 8.0;
+        assert!(reference.distance_to(&knobbed) > 0.0);
+        let mut hw = reference.clone();
+        hw.hardware = HardwareProfile::h2();
+        assert!(reference.distance_to(&hw) > 0.0);
+        // Symmetry.
+        assert_eq!(reference.distance_to(&hw), hw.distance_to(&reference));
+        // A tiny perturbation is closer than a different machine.
+        let mut nudged = reference.clone();
+        nudged.os_overhead = 1.0001;
+        assert!(reference.distance_to(&nudged) < reference.distance_to(&hw));
+        // Length-mismatched raw vectors never win a nearest search.
+        assert_eq!(knob_distance(&[1.0], &[1.0, 2.0]), f64::INFINITY);
+        assert_eq!(knob_distance(&[], &[]), 0.0);
+    }
+
+    /// The geometry agrees with the ground truth: among sampled
+    /// environments, a small knob perturbation of one of them is nearest —
+    /// in knob-vector distance — to the environment it was derived from.
+    #[test]
+    fn perturbed_environments_are_nearest_to_their_origin() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let envs = DbEnvironment::sample_knob_configs(10, HardwareProfile::h1(), &mut rng);
+        for (i, origin) in envs.iter().enumerate() {
+            let mut probe = origin.clone();
+            probe.os_overhead += 0.0003;
+            assert_ne!(probe.fingerprint(), origin.fingerprint());
+            let nearest = envs
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| probe.distance_to(a).total_cmp(&probe.distance_to(b)))
+                .map(|(j, _)| j);
+            assert_eq!(nearest, Some(i), "probe of env {i} matched env {nearest:?}");
+        }
     }
 
     #[test]

@@ -129,6 +129,35 @@ impl KnobConfig {
         h.write_u64(self.max_parallel_workers as u64);
     }
 
+    /// Number of entries [`KnobConfig::knob_vector_into`] appends.
+    pub const VECTOR_DIM: usize = 14;
+
+    /// Append this configuration's numeric feature vector to `out`.
+    ///
+    /// Each component is scaled so a "typical" spread across sampled
+    /// configurations is O(1): planner cost constants are divided by their
+    /// realistic upper bound, memory sizes enter on a log2 scale, and the
+    /// `enable_*` switches contribute 0/1. The vector is the coordinate
+    /// space of [`crate::env::knob_distance`], which the serving layer uses
+    /// for nearest-fingerprint snapshot transfer — dimensions with larger
+    /// spread dominate the metric, so the scaling here *is* the metric.
+    pub fn knob_vector_into(&self, out: &mut Vec<f64>) {
+        out.push(self.seq_page_cost / 2.0);
+        out.push(self.random_page_cost / 8.0);
+        out.push(self.cpu_tuple_cost / 0.03);
+        out.push(self.cpu_index_tuple_cost / 0.01);
+        out.push(self.cpu_operator_cost / 0.006);
+        out.push((self.work_mem_kb as f64).max(1.0).log2() / 18.0);
+        out.push((self.shared_buffers_mb as f64).max(1.0).log2() / 13.0);
+        out.push((self.effective_cache_size_mb as f64).max(1.0).log2() / 14.0);
+        out.push(self.enable_seqscan as u8 as f64);
+        out.push(self.enable_indexscan as u8 as f64);
+        out.push(self.enable_hashjoin as u8 as f64);
+        out.push(self.enable_mergejoin as u8 as f64);
+        out.push(self.enable_nestloop as u8 as f64);
+        out.push(self.max_parallel_workers as f64 / 8.0);
+    }
+
     /// Render the knobs as `SET` statements (useful for debugging and docs).
     pub fn to_sql(&self) -> String {
         format!(

@@ -1,0 +1,147 @@
+//! The unified error taxonomy of the serving front door.
+//!
+//! Every fallible gateway operation returns [`QcfeError`]: the lower-level
+//! [`ServiceError`] (queue/lifecycle failures) and [`StoreError`]
+//! (snapshot persistence failures) convert into it via `From`, and the
+//! gateway adds the routing-level failures — a missing model, an
+//! unresolvable snapshot, a blown deadline. Clients match one enum instead
+//! of threading three error types through their call sites.
+
+use crate::registry::ModelKey;
+use crate::service::ServiceError;
+use crate::store::StoreError;
+use qcfe_db::env::EnvFingerprint;
+use qcfe_workloads::BenchmarkKind;
+use std::time::Duration;
+
+/// Any failure of the serving front door.
+#[derive(Debug)]
+pub enum QcfeError {
+    /// The shard's estimation service failed the request (queue full on a
+    /// load-shedding submit, or the service closed mid-flight).
+    Service(ServiceError),
+    /// The snapshot store failed (I/O, codec or knob-vector corruption).
+    Store(StoreError),
+    /// A QCFE estimator was requested for an environment with no persisted
+    /// snapshot and no transfer candidate (or transfer was disabled).
+    SnapshotMissing {
+        /// The benchmark the request targeted.
+        benchmark: BenchmarkKind,
+        /// The fingerprint no snapshot could be resolved for.
+        fingerprint: EnvFingerprint,
+    },
+    /// No model is registered under the request's serving key and the
+    /// gateway has no model provider that can supply one.
+    ModelMissing {
+        /// The serving key that could not be resolved.
+        key: ModelKey,
+    },
+    /// The request's deadline elapsed before an estimate was produced.
+    DeadlineExceeded {
+        /// Time spent inside the gateway when the deadline fired.
+        elapsed: Duration,
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Display for QcfeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QcfeError::Service(e) => write!(f, "estimation service error: {e}"),
+            QcfeError::Store(e) => write!(f, "{e}"),
+            QcfeError::SnapshotMissing {
+                benchmark,
+                fingerprint,
+            } => write!(
+                f,
+                "no feature snapshot resolvable for {} environment {fingerprint}",
+                benchmark.name()
+            ),
+            QcfeError::ModelMissing { key } => write!(
+                f,
+                "no {} model registered for {} environment {} and no provider supplied one",
+                key.estimator.name(),
+                key.benchmark.name(),
+                key.fingerprint
+            ),
+            QcfeError::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "deadline of {:.3} ms exceeded after {:.3} ms",
+                deadline.as_secs_f64() * 1e3,
+                elapsed.as_secs_f64() * 1e3
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QcfeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QcfeError::Service(e) => Some(e),
+            QcfeError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServiceError> for QcfeError {
+    fn from(e: ServiceError) -> Self {
+        QcfeError::Service(e)
+    }
+}
+
+impl From<StoreError> for QcfeError {
+    fn from(e: StoreError) -> Self {
+        QcfeError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcfe_core::pipeline::EstimatorKind;
+    use qcfe_db::DbEnvironment;
+    use std::error::Error;
+
+    #[test]
+    fn lower_level_errors_convert_and_expose_sources() {
+        let service: QcfeError = ServiceError::QueueFull.into();
+        assert!(matches!(
+            service,
+            QcfeError::Service(ServiceError::QueueFull)
+        ));
+        assert!(service.source().is_some());
+        assert!(service.to_string().contains("queue is full"));
+
+        let store: QcfeError = StoreError::Io(std::io::Error::other("disk gone")).into();
+        assert!(matches!(store, QcfeError::Store(_)));
+        assert!(store.source().is_some());
+        assert!(store.to_string().contains("disk gone"));
+    }
+
+    #[test]
+    fn routing_errors_render_their_context() {
+        let fingerprint = DbEnvironment::reference().fingerprint();
+        let missing = QcfeError::SnapshotMissing {
+            benchmark: BenchmarkKind::Tpch,
+            fingerprint,
+        };
+        assert!(missing.to_string().contains(&fingerprint.to_hex()));
+        assert!(missing.source().is_none());
+
+        let key = ModelKey::new(
+            BenchmarkKind::Sysbench,
+            EstimatorKind::QcfeMscn,
+            fingerprint,
+        );
+        let model = QcfeError::ModelMissing { key };
+        assert!(model.to_string().contains("QCFE(mscn)"));
+
+        let deadline = QcfeError::DeadlineExceeded {
+            elapsed: Duration::from_micros(1500),
+            deadline: Duration::from_micros(1000),
+        };
+        assert!(deadline.to_string().contains("deadline"));
+    }
+}

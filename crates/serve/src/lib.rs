@@ -1,29 +1,39 @@
 //! # qcfe-serve — the online cost-estimation service layer
 //!
 //! The QCFE paper frames snapshot-based cost estimation as something a
-//! *running database* consults per query, yet the experiment pipeline
-//! (`qcfe_core::pipeline`) builds, trains and discards everything per call.
-//! This crate supplies the serving substrate that turns those trained
-//! artifacts into a long-lived, concurrent estimation node:
+//! *running database* consults per query, across many concurrent
+//! environments — each `(benchmark, knob configuration)` pair with its own
+//! feature snapshot and trained estimator. This crate's front door is the
+//! [`gateway::QcfeGateway`]: one routed, typed API that owns the
+//! persistence, the model registry and a shard of per-environment
+//! inference services, so callers submit requests instead of wiring
+//! infrastructure.
 //!
+//! * [`gateway::QcfeGateway`] (built via [`gateway::GatewayBuilder`]) —
+//!   routes a typed [`request::EstimateRequest`] to a lazily-started
+//!   per-`(benchmark, estimator, fingerprint)` shard, warm-starts unseen
+//!   environments from the nearest persisted fingerprint in knob-vector
+//!   space (the paper's Table VII snapshot-transfer workflow, online),
+//!   retires idle shards under an LRU cap, and answers with an
+//!   [`request::EstimateResponse`] carrying full provenance.
+//! * [`error::QcfeError`] — the one error taxonomy every fallible gateway
+//!   operation returns; [`service::ServiceError`] and [`store::StoreError`]
+//!   convert into it via `From`.
 //! * [`store::SnapshotStore`] — feature snapshots persisted to disk in the
 //!   versioned `QCFS` binary codec, keyed by the
-//!   [`qcfe_db::EnvFingerprint`] derived from knobs + hardware + storage
-//!   format. Snapshots survive restarts and transfer across machines with
-//!   matching environments (the paper's FST workflow), and round-trip
-//!   bit-exactly: a reloaded snapshot produces identical estimates.
+//!   [`qcfe_db::EnvFingerprint`], with knob-vector sidecars (`QVEC`) that
+//!   make fingerprints searchable for nearest-neighbour transfer.
 //! * [`registry::ModelRegistry`] — trained estimators behind
 //!   `Arc<dyn CostModel + Send + Sync>` keyed by
 //!   `(benchmark, estimator, fingerprint)`, with LRU eviction bounding
 //!   resident models.
 //! * [`service::EstimationService`] — a worker-thread pool draining a
-//!   bounded request queue with **micro-batched inference**: every drained
-//!   batch flows through the uniform `CostModel::predict_batch` API, so
-//!   flat models run one matrix pass over all encodings (through an LRU
-//!   plan-encoding cache) and tree-structured QPPNet models run staged
-//!   operator-grouped forwards across every plan in the batch.
+//!   bounded request queue with **micro-batched inference** through the
+//!   uniform `CostModel::predict_batch` API (the per-shard engine behind
+//!   the gateway; still usable standalone).
 //! * [`metrics::ServiceMetrics`] — lock-free throughput, latency
-//!   percentiles, queue depth, batch sizes and cache hit rate.
+//!   percentiles, queue depth, batch sizes and cache hit rate, surfaced
+//!   per shard via [`gateway::QcfeGateway::shard_metrics`].
 //!
 //! ## Quick start
 //!
@@ -44,43 +54,52 @@
 //! let (model, _) =
 //!     MscnEstimator::train(encoder, &ctx.workload, Some(&ctx.snapshots_fso), None, 30, &mut rng);
 //!
-//! // … persist the environment's snapshot …
-//! let env = &ctx.workload.environments[0];
-//! let store = SnapshotStore::open("target/snapshots").unwrap();
+//! // … build the gateway, publish the environment, register the model …
+//! let env = ctx.workload.environments[0].clone();
 //! let snapshot = ctx.snapshots_fso[0].clone().unwrap();
-//! store.save(kind, env.fingerprint(), &snapshot).unwrap();
-//!
-//! // … register the model and serve concurrently.
-//! let registry = ModelRegistry::new(8);
+//! let gateway = QcfeGateway::builder("target/snapshots").build().unwrap();
+//! gateway.publish_snapshot(kind, &env, &snapshot).unwrap();
 //! let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint());
-//! registry.insert(key, Arc::new(model));
-//! let service = EstimationService::start(
-//!     registry.get(&key).unwrap(),
-//!     Some(snapshot),
-//!     ServiceConfig::default(),
-//! );
-//! let handle = service.handle();
-//! // handle.estimate(plan) from any number of client threads …
+//! gateway.register_model(key, Arc::new(model));
+//!
+//! // … and serve typed requests from any number of client threads.
+//! # let plan: qcfe_db::plan::PlanNode = unimplemented!();
+//! let response = gateway
+//!     .estimate(EstimateRequest::new(kind, env, plan))
+//!     .unwrap();
+//! println!("{} ms via {:?}", response.cost_ms, response.provenance.snapshot_origin);
 //! ```
 
+pub mod error;
+pub mod gateway;
 pub mod lru;
 pub mod metrics;
 pub mod registry;
+pub mod request;
 pub mod service;
 pub mod store;
 
+pub use error::QcfeError;
+pub use gateway::{GatewayBuilder, GatewayStats, ModelProvider, QcfeGateway};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use registry::{ModelKey, ModelRegistry, RegistryStats};
+pub use registry::{EvictedModel, ModelKey, ModelRegistry, RegistryStats};
+pub use request::{EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin};
 pub use service::{
-    plan_key, Estimate, EstimationService, ServiceConfig, ServiceError, ServiceHandle,
+    plan_key, Estimate, EstimationService, PendingEstimate, ServiceConfig, ServiceError,
+    ServiceHandle,
 };
 pub use store::{SnapshotStore, StoreError};
 
 /// Convenient glob import for downstream crates, benches and examples.
 pub mod prelude {
+    pub use crate::error::QcfeError;
+    pub use crate::gateway::{GatewayBuilder, GatewayStats, QcfeGateway};
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::registry::{ModelKey, ModelRegistry};
+    pub use crate::request::{
+        EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin,
+    };
     pub use crate::service::{
         Estimate, EstimationService, ServiceConfig, ServiceError, ServiceHandle,
     };

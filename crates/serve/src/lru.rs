@@ -54,6 +54,12 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.map.contains_key(key)
     }
 
+    /// Look up `key` without touching recency (diagnostics reads that must
+    /// not distort the eviction order).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(value, _)| value)
+    }
+
     /// Look up `key`, marking it most recently used.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.clock += 1;

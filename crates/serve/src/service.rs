@@ -267,6 +267,35 @@ impl Shared {
     }
 }
 
+/// An in-flight estimation request: the ticket returned by
+/// [`ServiceHandle::submit_async`]. Dropping it abandons the request (the
+/// worker's reply is discarded).
+#[derive(Debug)]
+pub struct PendingEstimate {
+    response: mpsc::Receiver<Estimate>,
+}
+
+impl PendingEstimate {
+    /// Block until the estimate is ready.
+    pub fn wait(self) -> Result<Estimate, ServiceError> {
+        self.response.recv().map_err(|_| ServiceError::Closed)
+    }
+
+    /// Block at most `timeout`; `Ok(None)` when it elapses first. The
+    /// request stays in flight — its eventual reply is discarded — so a
+    /// deadline-bound caller can stop waiting without wedging the worker.
+    pub fn wait_timeout(
+        self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<Estimate>, ServiceError> {
+        match self.response.recv_timeout(timeout) {
+            Ok(estimate) => Ok(Some(estimate)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Closed),
+        }
+    }
+}
+
 /// A cloneable client handle onto a running [`EstimationService`].
 #[derive(Clone)]
 pub struct ServiceHandle {
@@ -277,15 +306,31 @@ impl ServiceHandle {
     /// Submit a plan and block until its estimate is ready. Applies
     /// backpressure: blocks while the queue is at capacity.
     pub fn estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
-        self.submit(plan, true)
+        self.submit(plan, true)?.wait()
     }
 
     /// Submit without blocking on a full queue.
     pub fn try_estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
-        self.submit(plan, false)
+        self.submit(plan, false)?.wait()
     }
 
-    fn submit(&self, plan: PlanNode, block_on_full: bool) -> Result<Estimate, ServiceError> {
+    /// Enqueue a plan and return immediately with a [`PendingEstimate`]
+    /// ticket (still applying backpressure while the queue is at
+    /// capacity). Submitting a whole burst before waiting lets one client
+    /// fill a micro-batch on its own — the gateway's multi-plan requests
+    /// flow through here.
+    pub fn submit_async(&self, plan: PlanNode) -> Result<PendingEstimate, ServiceError> {
+        self.submit(plan, true)
+    }
+
+    /// Asynchronous submission with explicit admission policy: blocking
+    /// backpressure (`block_on_full`) or load shedding. The gateway routes
+    /// both of its admission modes through here.
+    pub(crate) fn submit(
+        &self,
+        plan: PlanNode,
+        block_on_full: bool,
+    ) -> Result<PendingEstimate, ServiceError> {
         let shared = &self.shared;
         let (reply, response) = mpsc::channel();
         {
@@ -309,7 +354,7 @@ impl ServiceHandle {
             shared.metrics.record_submit(queue.jobs.len());
         }
         shared.not_empty.notify_one();
-        response.recv().map_err(|_| ServiceError::Closed)
+        Ok(PendingEstimate { response })
     }
 
     /// Live metrics of the service.
@@ -610,6 +655,54 @@ mod tests {
         assert_eq!(
             handle.try_estimate(scan_plan(3.0)),
             Err(ServiceError::Closed)
+        );
+    }
+
+    /// One client submitting a burst asynchronously fills a multi-request
+    /// micro-batch on its own — no concurrent clients needed.
+    #[test]
+    fn submit_async_lets_one_client_fill_a_micro_batch() {
+        /// Doubles rows like `DoubleRows`, but holds each batch briefly so
+        /// a burst queues behind the first drain.
+        #[derive(Debug)]
+        struct SlowDoubleRows(std::sync::atomic::AtomicUsize);
+        impl CostModel for SlowDoubleRows {
+            fn name(&self) -> &'static str {
+                "SlowDoubleRows"
+            }
+            fn predict_plan(&self, root: &PlanNode, _: Option<&FeatureSnapshot>) -> f64 {
+                2.0 * root.est_rows
+            }
+            fn predict_batch(&self, plans: &[&PlanNode], _: Option<&FeatureSnapshot>) -> Vec<f64> {
+                self.0
+                    .fetch_max(plans.len(), std::sync::atomic::Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                plans.iter().map(|p| 2.0 * p.est_rows).collect()
+            }
+        }
+        let model = Arc::new(SlowDoubleRows(std::sync::atomic::AtomicUsize::new(0)));
+        let service = EstimationService::start(
+            Arc::clone(&model) as Arc<dyn CostModel>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 64,
+                encoding_cache_capacity: 16,
+            },
+        );
+        let handle = service.handle();
+        let pending: Vec<PendingEstimate> = (0..16)
+            .map(|i| handle.submit_async(scan_plan(i as f64 + 1.0)).unwrap())
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            let estimate = p.wait().unwrap();
+            assert_eq!(estimate.cost_ms, 2.0 * (i as f64 + 1.0));
+        }
+        drop(service);
+        assert!(
+            model.0.load(std::sync::atomic::Ordering::Relaxed) >= 2,
+            "an async burst must coalesce into multi-request batches"
         );
     }
 

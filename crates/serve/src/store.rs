@@ -16,10 +16,16 @@
 //! rename so a crashed writer never leaves a torn snapshot behind.
 
 use qcfe_core::snapshot::{FeatureSnapshot, SnapshotCodecError};
-use qcfe_db::env::EnvFingerprint;
+use qcfe_db::env::{knob_distance, EnvFingerprint};
+use qcfe_db::DbEnvironment;
 use qcfe_workloads::BenchmarkKind;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Magic prefix of knob-vector sidecar files.
+const VECTOR_MAGIC: &[u8; 4] = b"QVEC";
+/// Current knob-vector codec version.
+const VECTOR_VERSION: u16 = 1;
 
 /// Errors from the snapshot store.
 #[derive(Debug)]
@@ -28,6 +34,8 @@ pub enum StoreError {
     Io(io::Error),
     /// The file exists but does not decode (corruption or version skew).
     Codec(SnapshotCodecError),
+    /// A knob-vector sidecar file exists but does not decode.
+    Vector(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -35,11 +43,20 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "snapshot store I/O error: {e}"),
             StoreError::Codec(e) => write!(f, "snapshot store codec error: {e}"),
+            StoreError::Vector(e) => write!(f, "snapshot store knob-vector error: {e}"),
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            StoreError::Vector(_) => None,
+        }
+    }
+}
 
 impl From<io::Error> for StoreError {
     fn from(e: io::Error) -> Self {
@@ -51,6 +68,32 @@ impl From<SnapshotCodecError> for StoreError {
     fn from(e: SnapshotCodecError) -> Self {
         StoreError::Codec(e)
     }
+}
+
+/// Decode a knob-vector sidecar file.
+fn decode_vector(bytes: &[u8]) -> Result<Vec<f64>, StoreError> {
+    if bytes.len() < 8 || &bytes[..4] != VECTOR_MAGIC {
+        return Err(StoreError::Vector("not a QVEC file (bad magic)".into()));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VECTOR_VERSION {
+        return Err(StoreError::Vector(format!(
+            "unsupported knob-vector version {version}"
+        )));
+    }
+    let dim = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+    let body = &bytes[8..];
+    if body.len() != dim * 8 {
+        return Err(StoreError::Vector(format!(
+            "knob-vector body is {} bytes, expected {} for dim {dim}",
+            body.len(),
+            dim * 8
+        )));
+    }
+    Ok(body
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect())
 }
 
 /// File-system slug for a benchmark directory.
@@ -183,6 +226,159 @@ impl SnapshotStore {
         Ok(out)
     }
 
+    /// Extension of knob-vector sidecar files.
+    pub const VECTOR_EXTENSION: &'static str = "qvec";
+
+    /// Path an environment's knob vector is stored at.
+    pub fn vector_path_for(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+    ) -> PathBuf {
+        self.root.join(benchmark_slug(benchmark)).join(format!(
+            "{}.{}",
+            fingerprint.to_hex(),
+            Self::VECTOR_EXTENSION
+        ))
+    }
+
+    /// Persist an environment's knob vector next to its snapshot (atomic
+    /// temp-file + rename, like [`SnapshotStore::save`]). The vector makes
+    /// the fingerprint *searchable*: nearest-neighbour lookups over
+    /// persisted vectors drive the gateway's cross-environment snapshot
+    /// transfer.
+    pub fn save_vector(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+        vector: &[f64],
+    ) -> Result<PathBuf, StoreError> {
+        static VECTOR_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = self.vector_path_for(benchmark, fingerprint);
+        let dir = path.parent().expect("store paths have a parent");
+        std::fs::create_dir_all(dir)?;
+        let mut bytes = Vec::with_capacity(8 + 8 * vector.len());
+        bytes.extend_from_slice(VECTOR_MAGIC);
+        bytes.extend_from_slice(&VECTOR_VERSION.to_le_bytes());
+        let dim = u16::try_from(vector.len())
+            .map_err(|_| StoreError::Vector(format!("vector dim {} too large", vector.len())))?;
+        bytes.extend_from_slice(&dim.to_le_bytes());
+        for v in vector {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let seq = VECTOR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".{}.{}.{}.vtmp",
+            fingerprint.to_hex(),
+            std::process::id(),
+            seq
+        ));
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(path)
+    }
+
+    /// Load a persisted knob vector; `Ok(None)` when never persisted.
+    pub fn load_vector(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<Option<Vec<f64>>, StoreError> {
+        let path = self.vector_path_for(benchmark, fingerprint);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(decode_vector(&bytes)?))
+    }
+
+    /// Persist both halves of an environment's serving state — its feature
+    /// snapshot and its knob vector — under the environment's fingerprint.
+    /// This is the publication path the gateway uses; environments saved
+    /// this way participate in nearest-fingerprint transfer.
+    pub fn save_env(
+        &self,
+        benchmark: BenchmarkKind,
+        environment: &DbEnvironment,
+        snapshot: &FeatureSnapshot,
+    ) -> Result<PathBuf, StoreError> {
+        let fingerprint = environment.fingerprint();
+        let path = self.save(benchmark, fingerprint, snapshot)?;
+        self.save_vector(benchmark, fingerprint, &environment.knob_vector())?;
+        Ok(path)
+    }
+
+    /// Every persisted `(fingerprint, knob vector)` pair for a benchmark,
+    /// in ascending fingerprint order. Unreadable or corrupt sidecar files
+    /// are skipped — a damaged vector must degrade transfer candidates, not
+    /// fail lookups.
+    pub fn list_vectors(
+        &self,
+        benchmark: BenchmarkKind,
+    ) -> Result<Vec<(EnvFingerprint, Vec<f64>)>, StoreError> {
+        let dir = self.root.join(benchmark_slug(benchmark));
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(Self::VECTOR_EXTENSION) {
+                continue;
+            }
+            let Some(fp) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(EnvFingerprint::from_hex)
+            else {
+                continue;
+            };
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            if let Ok(vector) = decode_vector(&bytes) {
+                out.push((fp, vector));
+            }
+        }
+        out.sort_by_key(|(fp, _)| *fp);
+        Ok(out)
+    }
+
+    /// The persisted environment nearest to `query` in knob-vector space,
+    /// as a `(fingerprint, distance)` pair.
+    ///
+    /// Only environments with *both* a knob vector and a decodable snapshot
+    /// count as candidates (a vector without its snapshot cannot seed a
+    /// warm start), and `exclude` — normally the querying environment's own
+    /// fingerprint — never matches itself.
+    pub fn nearest_environment(
+        &self,
+        benchmark: BenchmarkKind,
+        query: &[f64],
+        exclude: EnvFingerprint,
+    ) -> Result<Option<(EnvFingerprint, f64)>, StoreError> {
+        let mut best: Option<(EnvFingerprint, f64)> = None;
+        for (fp, vector) in self.list_vectors(benchmark)? {
+            if fp == exclude || !self.contains(benchmark, fp) {
+                continue;
+            }
+            let d = knob_distance(query, &vector);
+            if !d.is_finite() {
+                continue;
+            }
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((fp, d));
+            }
+        }
+        Ok(best)
+    }
+
     /// Load the snapshot for an environment, or fit one with `fit` and
     /// persist it — the serving layer's "warm start after restart" path.
     pub fn load_or_insert_with<F>(
@@ -295,6 +491,78 @@ mod tests {
             .unwrap();
         assert_eq!(fits, 1, "second call must come from disk");
         assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn knob_vectors_roundtrip_and_list() {
+        let store = temp_store("vectors");
+        let env = DbEnvironment::reference();
+        let fp = env.fingerprint();
+        assert!(store
+            .load_vector(BenchmarkKind::Tpch, fp)
+            .unwrap()
+            .is_none());
+        assert!(store.list_vectors(BenchmarkKind::Tpch).unwrap().is_empty());
+        store
+            .save_env(BenchmarkKind::Tpch, &env, &sample_snapshot(0.002))
+            .unwrap();
+        let loaded = store
+            .load_vector(BenchmarkKind::Tpch, fp)
+            .unwrap()
+            .expect("vector persisted");
+        assert_eq!(loaded, env.knob_vector());
+        assert_eq!(
+            store.list_vectors(BenchmarkKind::Tpch).unwrap(),
+            vec![(fp, env.knob_vector())]
+        );
+        // Corrupt sidecars are skipped by listing but surfaced by load.
+        std::fs::write(store.vector_path_for(BenchmarkKind::Tpch, fp), b"junk").unwrap();
+        assert!(store.list_vectors(BenchmarkKind::Tpch).unwrap().is_empty());
+        match store.load_vector(BenchmarkKind::Tpch, fp) {
+            Err(StoreError::Vector(_)) => {}
+            other => panic!("expected vector error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn nearest_environment_finds_the_closest_persisted_fingerprint() {
+        let store = temp_store("nearest");
+        let kind = BenchmarkKind::Sysbench;
+        let reference = DbEnvironment::reference();
+        let mut far = reference.clone();
+        far.os_overhead = 1.5;
+        let mut near = reference.clone();
+        near.os_overhead = 1.01;
+        store.save_env(kind, &far, &sample_snapshot(0.001)).unwrap();
+        store
+            .save_env(kind, &near, &sample_snapshot(0.002))
+            .unwrap();
+
+        let query = reference.knob_vector();
+        let (fp, d) = store
+            .nearest_environment(kind, &query, reference.fingerprint())
+            .unwrap()
+            .expect("two candidates persisted");
+        assert_eq!(fp, near.fingerprint(), "closest os_overhead must win");
+        assert!(d > 0.0 && d < reference.distance_to(&far));
+
+        // The querying environment never matches itself.
+        let (self_fp, self_d) = store
+            .nearest_environment(kind, &near.knob_vector(), near.fingerprint())
+            .unwrap()
+            .expect("other candidate remains");
+        assert_eq!(self_fp, far.fingerprint());
+        assert!(self_d > 0.0);
+
+        // A vector whose snapshot was deleted is no longer a candidate.
+        store.remove(kind, near.fingerprint()).unwrap();
+        let (fp, _) = store
+            .nearest_environment(kind, &query, reference.fingerprint())
+            .unwrap()
+            .expect("far candidate remains");
+        assert_eq!(fp, far.fingerprint());
         let _ = std::fs::remove_dir_all(store.root());
     }
 

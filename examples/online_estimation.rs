@@ -1,6 +1,8 @@
-//! Online estimation walkthrough: train a QCFE(mscn) estimator, persist its
-//! environment's feature snapshot, then serve concurrent estimation traffic
-//! through the micro-batching service.
+//! Online estimation walkthrough through the serving front door: train a
+//! QCFE(mscn) estimator, publish its environment through the
+//! [`QcfeGateway`], serve concurrent typed requests, then watch an
+//! *unseen* environment warm-start from the nearest persisted fingerprint
+//! (the paper's snapshot-transfer workflow, online).
 //!
 //! ```sh
 //! cargo run --release --example online_estimation
@@ -36,49 +38,44 @@ fn main() {
         stats.train_time_s, stats.final_loss
     );
 
-    // 2. Persist the snapshot under the environment's fingerprint so a
-    //    restarted node (or another machine with the same configuration)
-    //    reuses it without re-running the labeling queries.
-    let store = SnapshotStore::open("target/snapshots").expect("store opens");
-    let fingerprint = env.fingerprint();
-    let path = store
-        .save(kind, fingerprint, &snapshot)
-        .expect("snapshot saved");
-    println!(
-        "persisted snapshot for env fingerprint {fingerprint} at {}",
-        path.display()
-    );
-
-    // 3. Register the trained model under its serving key.
-    let registry = ModelRegistry::new(8);
-    let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, fingerprint);
-    registry.insert(key, Arc::new(model));
-
-    // 4. Online phase: start the service and drive it with 8 closed-loop
-    //    clients planning fresh template queries.
-    let reloaded = store
-        .load(kind, fingerprint)
-        .expect("load ok")
-        .expect("present");
-    assert_eq!(reloaded.relative_difference(&snapshot), 0.0);
-    let service = EstimationService::start(
-        registry.get(&key).expect("registered"),
-        Some(reloaded),
-        ServiceConfig {
+    // 2. One gateway instead of hand-wired store + registry + service:
+    //    publish the environment (snapshot + knob vector) and register the
+    //    trained model under its serving key.
+    let gateway = QcfeGateway::builder("target/snapshots")
+        .service_config(ServiceConfig {
             workers: 2,
             queue_capacity: 128,
             max_batch: 16,
             encoding_cache_capacity: 2048,
-        },
+        })
+        .build()
+        .expect("gateway builds");
+    let fingerprint = env.fingerprint();
+    let path = gateway
+        .publish_snapshot(kind, &env, &snapshot)
+        .expect("snapshot published");
+    println!(
+        "published environment {fingerprint} (snapshot + knob vector) at {}",
+        path.display()
     );
-    let handle = service.handle();
-    let db = ctx.benchmark.build_database(env);
+    let model: Arc<dyn qcfe::core::cost_model::CostModel> = Arc::new(model);
+    gateway.register_model(
+        ModelKey::new(kind, EstimatorKind::QcfeMscn, fingerprint),
+        Arc::clone(&model),
+    );
+
+    // 3. Online phase: 8 closed-loop clients submit typed requests; the
+    //    gateway routes them all to the environment's shard.
+    let db = ctx.benchmark.build_database(env.clone());
     let report = run_closed_loop(&ctx.benchmark, &ClosedLoopConfig::new(8, 50, 9), |query| {
         let plan = db.plan(&query).map_err(|e| e.to_string())?;
-        Ok(handle.estimate(plan).map_err(|e| e.to_string())?.cost_ms)
+        let request = EstimateRequest::new(kind, env.clone(), plan);
+        Ok(gateway
+            .estimate(request)
+            .map_err(|e| e.to_string())?
+            .cost_ms)
     });
 
-    let metrics = service.shutdown();
     println!("\n== online phase: 8 closed-loop clients x 50 requests ==");
     println!(
         "completed        {} requests ({} errors)",
@@ -93,14 +90,49 @@ fn main() {
         report.latency_percentile_ms(50.0),
         report.latency_percentile_ms(99.0)
     );
-    println!(
-        "service          mean batch {:.2} (max {}), cache hit rate {:.1}%",
-        metrics.mean_batch_size,
-        metrics.max_batch_size,
-        100.0 * metrics.cache_hit_rate
+    let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, fingerprint);
+    if let Some(metrics) = gateway.shard_metrics(&key) {
+        println!(
+            "shard            mean batch {:.2} (max {}), cache hit rate {:.1}%",
+            metrics.mean_batch_size,
+            metrics.max_batch_size,
+            100.0 * metrics.cache_hit_rate
+        );
+        println!(
+            "shard latency    p50 {:.0} us   p95 {:.0} us   p99 {:.0} us",
+            metrics.p50_latency_us, metrics.p95_latency_us, metrics.p99_latency_us
+        );
+    }
+
+    // 4. Transfer: a machine with a slightly different configuration — an
+    //    unseen fingerprint — asks the same gateway. Its shard warm-starts
+    //    from the nearest published knob vector.
+    let mut unseen = env.clone();
+    unseen.os_overhead *= 1.002;
+    assert_ne!(unseen.fingerprint(), fingerprint);
+    gateway.register_model(
+        ModelKey::new(kind, EstimatorKind::QcfeMscn, unseen.fingerprint()),
+        model,
     );
+    let plan = db
+        .plan(&ctx.benchmark.random_query(&mut rng))
+        .expect("plannable");
+    let response = gateway
+        .estimate(EstimateRequest::new(kind, unseen.clone(), plan))
+        .expect("transferred estimate");
+    println!("\n== unseen environment {} ==", unseen.fingerprint());
+    match response.provenance.snapshot_origin {
+        SnapshotOrigin::Transferred { source, distance } => println!(
+            "warm-started from nearest fingerprint {source} (knob distance {distance:.4}); \
+             estimate {:.3} ms in {} us",
+            response.cost_ms, response.provenance.total_us
+        ),
+        other => println!("unexpected snapshot origin {other:?}"),
+    }
+
+    let stats = gateway.stats();
     println!(
-        "service latency  p50 {:.0} us   p95 {:.0} us   p99 {:.0} us",
-        metrics.p50_latency_us, metrics.p95_latency_us, metrics.p99_latency_us
+        "\ngateway          {} requests, {} shards started ({} resident), {} transfers",
+        stats.requests, stats.shard_starts, stats.shards_resident, stats.snapshot_transfers
     );
 }

@@ -1,0 +1,208 @@
+//! Acceptance tests of the `QcfeGateway` front door: one gateway serving
+//! many distinct `(benchmark, fingerprint)` environments concurrently,
+//! shard reuse across requests, and warm-starting an unseen environment
+//! from its nearest persisted fingerprint — asserted through
+//! `EstimateResponse` provenance, per the issue's acceptance criteria.
+
+use qcfe::core::cost_model::CostModel;
+use qcfe::core::encoding::FeatureEncoder;
+use qcfe::core::estimators::MscnEstimator;
+use qcfe::core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
+use qcfe::serve::prelude::*;
+use qcfe::workloads::BenchmarkKind;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const KIND: BenchmarkKind = BenchmarkKind::Sysbench;
+
+/// Four published environments plus enough queries to drive them all.
+fn four_env_ctx() -> ExperimentContext {
+    let cfg = ContextConfig {
+        environments: 4,
+        queries_per_env: 40,
+        template_scale: 1,
+        seed: 77,
+        data_scale: KIND.quick_scale(),
+    };
+    prepare_context(KIND, &cfg)
+}
+
+fn train_mscn(ctx: &ExperimentContext) -> Arc<dyn CostModel> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+    let (model, _) = MscnEstimator::train(
+        encoder,
+        &ctx.workload,
+        Some(&ctx.snapshots_fso),
+        None,
+        15,
+        &mut rng,
+    );
+    Arc::new(model)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qcfe-gateway-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Publish every context environment through the gateway and register the
+/// model under each serving key.
+fn publish_all(gateway: &QcfeGateway, ctx: &ExperimentContext, model: &Arc<dyn CostModel>) {
+    for (env, snapshot) in ctx
+        .workload
+        .environments
+        .iter()
+        .zip(ctx.snapshots_fso.iter())
+    {
+        gateway
+            .publish_snapshot(KIND, env, snapshot.as_ref().expect("fitted"))
+            .unwrap();
+        gateway.register_model(
+            ModelKey::new(KIND, EstimatorKind::QcfeMscn, env.fingerprint()),
+            Arc::clone(model),
+        );
+    }
+}
+
+/// Acceptance criterion: a single `QcfeGateway` serves requests for ≥4
+/// distinct `(benchmark, fingerprint)` environments concurrently — one
+/// client thread per environment — with per-environment provenance and
+/// exactly one shard start per fingerprint.
+#[test]
+fn one_gateway_serves_four_environments_concurrently() {
+    let ctx = four_env_ctx();
+    let model = train_mscn(&ctx);
+    let dir = temp_dir("fourenv");
+    let gateway = Arc::new(
+        QcfeGateway::builder(&dir)
+            .service_config(ServiceConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 16,
+                encoding_cache_capacity: 512,
+            })
+            .build()
+            .unwrap(),
+    );
+    publish_all(&gateway, &ctx, &model);
+
+    let environments = ctx.workload.environments.clone();
+    let fingerprints: std::collections::HashSet<_> =
+        environments.iter().map(|e| e.fingerprint()).collect();
+    assert_eq!(fingerprints.len(), 4, "4 distinct fingerprints");
+
+    const REQUESTS_PER_CLIENT: usize = 25;
+    std::thread::scope(|scope| {
+        for env in &environments {
+            let gateway = Arc::clone(&gateway);
+            let queries = &ctx.workload.queries;
+            scope.spawn(move || {
+                for q in queries.iter().take(REQUESTS_PER_CLIENT) {
+                    let response = gateway
+                        .estimate(EstimateRequest::new(
+                            KIND,
+                            env.clone(),
+                            q.executed.root.clone(),
+                        ))
+                        .unwrap();
+                    assert!(response.cost_ms.is_finite() && response.cost_ms > 0.0);
+                    assert_eq!(
+                        response.provenance.model_key.fingerprint,
+                        env.fingerprint(),
+                        "routed to the right environment's shard"
+                    );
+                    assert_eq!(
+                        response.provenance.snapshot_origin,
+                        SnapshotOrigin::TrainedHere,
+                        "published environments serve their own snapshot"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = gateway.stats();
+    assert_eq!(stats.requests as usize, 4 * REQUESTS_PER_CLIENT);
+    assert_eq!(stats.shard_starts, 4, "one shard per fingerprint");
+    assert_eq!(stats.shards_resident, 4);
+    assert_eq!(stats.snapshot_transfers, 0);
+    for env in &environments {
+        let key = ModelKey::new(KIND, EstimatorKind::QcfeMscn, env.fingerprint());
+        let metrics = gateway.shard_metrics(&key).expect("shard resident");
+        assert_eq!(metrics.completed as usize, REQUESTS_PER_CLIENT);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance criterion: an unseen fingerprint warm-starts from its
+/// nearest persisted neighbour, asserted via `EstimateResponse`
+/// provenance; repeated requests reuse the warm shard.
+#[test]
+fn unseen_environment_warm_starts_from_nearest_fingerprint() {
+    let ctx = four_env_ctx();
+    let model = train_mscn(&ctx);
+    let dir = temp_dir("warmstart");
+    let gateway = QcfeGateway::builder(&dir).build().unwrap();
+    publish_all(&gateway, &ctx, &model);
+
+    // An unseen environment derived from environment 1 by a knob nudge:
+    // new fingerprint, but nearest-in-knob-space to its origin.
+    let origin = &ctx.workload.environments[1];
+    let mut unseen = origin.clone();
+    unseen.os_overhead += 0.0005;
+    assert!(!ctx
+        .workload
+        .environments
+        .iter()
+        .any(|e| e.fingerprint() == unseen.fingerprint()));
+    gateway.register_model(
+        ModelKey::new(KIND, EstimatorKind::QcfeMscn, unseen.fingerprint()),
+        Arc::clone(&model),
+    );
+
+    let plan = ctx.workload.queries[0].executed.root.clone();
+    let response = gateway
+        .estimate(EstimateRequest::new(KIND, unseen.clone(), plan.clone()))
+        .unwrap();
+    match response.provenance.snapshot_origin {
+        SnapshotOrigin::Transferred { source, distance } => {
+            assert_eq!(
+                source,
+                origin.fingerprint(),
+                "the knob-nudged environment must transfer from its origin"
+            );
+            assert!(distance > 0.0);
+            for other in ctx.workload.environments.iter() {
+                if other.fingerprint() != origin.fingerprint() {
+                    assert!(
+                        distance < unseen.distance_to(other),
+                        "source must be the *nearest* persisted fingerprint"
+                    );
+                }
+            }
+        }
+        other => panic!("expected a transferred snapshot, got {other:?}"),
+    }
+    assert!(response.provenance.cold_start);
+    assert_eq!(gateway.stats().snapshot_transfers, 1);
+
+    // The transferred estimate equals a direct prediction under the
+    // origin's snapshot: the transfer really did reuse that snapshot.
+    let origin_snapshot = ctx.snapshots_fso[1].as_ref().expect("fitted");
+    let direct = model.predict_plan(&plan, Some(origin_snapshot));
+    assert_eq!(response.cost_ms.to_bits(), direct.to_bits());
+
+    // Second request: same fingerprint, warm shard, no new transfer.
+    let again = gateway
+        .estimate(EstimateRequest::new(KIND, unseen.clone(), plan))
+        .unwrap();
+    assert!(!again.provenance.cold_start, "shard must be reused");
+    assert!(again.provenance.snapshot_origin.is_transferred());
+    let stats = gateway.stats();
+    assert_eq!(stats.shard_starts, 1);
+    assert_eq!(stats.snapshot_transfers, 1, "transfer happened once");
+    let _ = std::fs::remove_dir_all(&dir);
+}

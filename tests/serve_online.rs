@@ -1,13 +1,13 @@
-//! Integration tests of the online estimation service layer: train →
-//! persist snapshot → simulated restart → identical estimates, plus a
-//! concurrent closed-loop smoke test against the running service.
+//! Integration tests of the online estimation layer through the serving
+//! front door: train → publish through one gateway → simulated restart →
+//! identical estimates, plus a concurrent closed-loop smoke test against
+//! the routed gateway.
 
 use qcfe::core::cost_model::CostModel;
 use qcfe::core::encoding::FeatureEncoder;
 use qcfe::core::estimators::{MscnEstimator, QppNetEstimator};
 use qcfe::core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
 use qcfe::serve::prelude::*;
-use qcfe::serve::ServiceError;
 use qcfe::workloads::{run_closed_loop, BenchmarkKind, ClosedLoopConfig};
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -45,21 +45,23 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Acceptance criterion: a snapshot persisted by `SnapshotStore` is
-/// reloaded after a simulated restart and produces identical estimates.
+/// Acceptance criterion: an environment published through one gateway is
+/// served — from disk, with identical estimates — by a *fresh* gateway
+/// over the same store root (a simulated restart).
 #[test]
-fn snapshot_survives_restart_with_identical_estimates() {
+fn published_snapshot_survives_restart_with_identical_estimates() {
     let ctx = quick_ctx();
     let kind = BenchmarkKind::Sysbench;
-    let env = &ctx.workload.environments[0];
+    let env = ctx.workload.environments[0].clone();
     let snapshot = ctx.snapshots_fso[0].clone().expect("fitted");
     let model = Arc::new(train_mscn(&ctx));
+    let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint());
     let dir = temp_dir("restart");
 
-    // "Process 1": persist the snapshot and record estimates.
+    // "Process 1": publish the environment and record direct estimates.
     let before: Vec<f64> = {
-        let store = SnapshotStore::open(&dir).unwrap();
-        store.save(kind, env.fingerprint(), &snapshot).unwrap();
+        let gateway = QcfeGateway::builder(&dir).build().unwrap();
+        gateway.publish_snapshot(kind, &env, &snapshot).unwrap();
         ctx.workload
             .queries
             .iter()
@@ -68,39 +70,42 @@ fn snapshot_survives_restart_with_identical_estimates() {
             .collect()
     };
 
-    // "Process 2" (after restart): a fresh store handle over the same
-    // directory, snapshot loaded from disk.
-    let store = SnapshotStore::open(&dir).unwrap();
-    let reloaded = store
-        .load(kind, env.fingerprint())
-        .unwrap()
-        .expect("snapshot persisted across restart");
-    assert_eq!(
-        reloaded.relative_difference(&snapshot),
-        0.0,
-        "round-trip must be exact"
-    );
-
-    let service = EstimationService::start(model.clone(), Some(reloaded), ServiceConfig::default());
-    let handle = service.handle();
+    // "Process 2" (after restart): a fresh gateway over the same root. The
+    // model is re-registered (weights are not persisted yet — see
+    // ROADMAP), the snapshot comes from disk.
+    let gateway = QcfeGateway::builder(&dir)
+        .with_model(key, model.clone() as Arc<dyn CostModel>)
+        .build()
+        .unwrap();
     for (q, expected) in ctx.workload.queries.iter().take(20).zip(&before) {
-        let estimate = handle.estimate(q.executed.root.clone()).unwrap();
+        let response = gateway
+            .estimate(EstimateRequest::new(
+                kind,
+                env.clone(),
+                q.executed.root.clone(),
+            ))
+            .unwrap();
         assert_eq!(
-            estimate.cost_ms.to_bits(),
+            response.cost_ms.to_bits(),
             expected.to_bits(),
             "reloaded snapshot must give bit-identical estimates"
         );
+        assert_eq!(
+            response.provenance.snapshot_origin,
+            SnapshotOrigin::TrainedHere,
+            "own fingerprint must not transfer"
+        );
     }
-    drop(service);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Acceptance criterion: the service sustains a closed-loop load test of
+/// Acceptance criterion: the gateway sustains a closed-loop load test of
 /// ≥ 8 concurrent clients with micro-batching enabled, every request
 /// getting a finite estimate.
 #[test]
 fn concurrent_closed_loop_load_with_micro_batching() {
     let ctx = quick_ctx();
+    let kind = BenchmarkKind::Sysbench;
     let env = ctx.workload.environments[0].clone();
     let snapshot = ctx.snapshots_fso[0].clone().expect("fitted");
     let model: Arc<dyn CostModel> = Arc::new(train_mscn(&ctx));
@@ -108,25 +113,28 @@ fn concurrent_closed_loop_load_with_micro_batching() {
         model.has_flat_encoding(),
         "MSCN serves through the cached encoding path"
     );
+    let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint());
+    let dir = temp_dir("closedloop");
 
-    let service = EstimationService::start(
-        model,
-        Some(snapshot),
-        ServiceConfig {
+    let gateway = QcfeGateway::builder(&dir)
+        .service_config(ServiceConfig {
             workers: 2,
             queue_capacity: 64,
             max_batch: 16,
             encoding_cache_capacity: 1024,
-        },
-    );
-    let handle = service.handle();
-    let db = ctx.benchmark.build_database(env);
+        })
+        .with_model(key, model)
+        .build()
+        .unwrap();
+    gateway.publish_snapshot(kind, &env, &snapshot).unwrap();
+    let db = ctx.benchmark.build_database(env.clone());
 
     let config = ClosedLoopConfig::new(8, 40, 5);
     let report = run_closed_loop(&ctx.benchmark, &config, |query| {
         let plan = db.plan(&query).map_err(|e| e.to_string())?;
-        let estimate = handle.estimate(plan).map_err(|e| e.to_string())?;
-        Ok(estimate.cost_ms)
+        let request = EstimateRequest::new(kind, env.clone(), plan);
+        let response = gateway.estimate(request).map_err(|e| e.to_string())?;
+        Ok(response.cost_ms)
     });
 
     assert_eq!(report.errors, 0, "no request may fail");
@@ -135,29 +143,36 @@ fn concurrent_closed_loop_load_with_micro_batching() {
         report.estimates.iter().all(|e| e.is_finite() && *e > 0.0),
         "every estimate must be finite and positive"
     );
-    let metrics = service.shutdown();
+    let stats = gateway.stats();
+    assert_eq!(stats.shard_starts, 1, "one environment, one shard");
+    let metrics = gateway.shard_metrics(&key).expect("shard resident");
     assert_eq!(metrics.completed, 320);
     assert!(metrics.throughput_qps > 0.0);
     assert!(metrics.mean_batch_size >= 1.0);
     assert!(metrics.p50_latency_us <= metrics.p99_latency_us);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Acceptance criterion of the unified batching refactor: routing every
-/// model through the service's uniform batch API leaves the results
+/// Routing every model family through the gateway leaves the results
 /// unchanged — each served estimate equals the model's direct per-plan
 /// prediction, for both the flat (MSCN) and the tree-structured (QPPNet)
 /// estimator.
 #[test]
-fn service_routing_preserves_direct_predictions() {
+fn gateway_routing_preserves_direct_predictions() {
     let ctx = quick_ctx();
+    let kind = BenchmarkKind::Sysbench;
+    let env = ctx.workload.environments[0].clone();
     let snapshot = ctx.snapshots_fso[0].clone().expect("fitted");
     let mut rng = rand::rngs::StdRng::seed_from_u64(31);
     let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
     let mut qpp = QppNetEstimator::new(encoder, None, &mut rng);
     qpp.train(&ctx.workload, Some(&ctx.snapshots_fso), 2, &mut rng);
 
-    let models: Vec<Arc<dyn CostModel>> = vec![Arc::new(train_mscn(&ctx)), Arc::new(qpp)];
-    for model in models {
+    let models: Vec<(EstimatorKind, Arc<dyn CostModel>)> = vec![
+        (EstimatorKind::QcfeMscn, Arc::new(train_mscn(&ctx))),
+        (EstimatorKind::QcfeQpp, Arc::new(qpp)),
+    ];
+    for (estimator, model) in models {
         let direct: Vec<f64> = ctx
             .workload
             .queries
@@ -165,76 +180,90 @@ fn service_routing_preserves_direct_predictions() {
             .take(40)
             .map(|q| model.predict_plan(&q.executed.root, Some(&snapshot)))
             .collect();
-        let service = EstimationService::start(
-            Arc::clone(&model),
-            Some(snapshot.clone()),
-            ServiceConfig {
+        let dir = temp_dir(&format!("routing-{estimator:?}"));
+        let key = ModelKey::new(kind, estimator, env.fingerprint());
+        let gateway = QcfeGateway::builder(&dir)
+            .service_config(ServiceConfig {
                 workers: 2,
                 queue_capacity: 64,
                 max_batch: 16,
                 encoding_cache_capacity: 1024,
-            },
-        );
-        let handle = service.handle();
+            })
+            .with_model(key, Arc::clone(&model))
+            .build()
+            .unwrap();
+        gateway.publish_snapshot(kind, &env, &snapshot).unwrap();
         for (q, expected) in ctx.workload.queries.iter().take(40).zip(&direct) {
-            let estimate = handle.estimate(q.executed.root.clone()).unwrap();
+            let response = gateway
+                .estimate(
+                    EstimateRequest::new(kind, env.clone(), q.executed.root.clone())
+                        .with_estimator(estimator),
+                )
+                .unwrap();
             assert!(
-                (estimate.cost_ms - expected).abs() <= 1e-9,
+                (response.cost_ms - expected).abs() <= 1e-9,
                 "{}: served {} deviates from direct {expected}",
                 model.name(),
-                estimate.cost_ms
+                response.cost_ms
             );
         }
-        let metrics = service.shutdown();
+        let metrics = gateway.shard_metrics(&key).expect("shard resident");
         assert_eq!(metrics.completed, 40);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
-/// The registry serves models by key and keeps serving after eviction of
-/// cold entries.
+/// The gateway's owned registry serves models by key and keeps serving
+/// after eviction of cold entries, with evictions observable in
+/// `GatewayStats`.
 #[test]
-fn registry_integrates_with_the_service() {
+fn registry_eviction_is_observable_and_survivable() {
     let ctx = quick_ctx();
     let kind = BenchmarkKind::Sysbench;
-    let fp0 = ctx.workload.environments[0].fingerprint();
-    let fp1 = ctx.workload.environments[1].fingerprint();
-    assert_ne!(fp0, fp1, "sampled environments fingerprint distinctly");
-
-    let registry = ModelRegistry::new(1);
+    let env0 = ctx.workload.environments[0].clone();
+    let env1 = ctx.workload.environments[1].clone();
+    assert_ne!(
+        env0.fingerprint(),
+        env1.fingerprint(),
+        "sampled environments fingerprint distinctly"
+    );
     let model: Arc<dyn CostModel> = Arc::new(train_mscn(&ctx));
-    registry.insert(
-        ModelKey::new(kind, EstimatorKind::QcfeMscn, fp0),
-        Arc::clone(&model),
-    );
-    // Over-capacity insert evicts the first environment's model …
-    registry.insert(
-        ModelKey::new(kind, EstimatorKind::QcfeMscn, fp1),
-        Arc::clone(&model),
-    );
-    assert!(registry
-        .get(&ModelKey::new(kind, EstimatorKind::QcfeMscn, fp0))
-        .is_none());
+    let key0 = ModelKey::new(kind, EstimatorKind::QcfeMscn, env0.fingerprint());
+    let key1 = ModelKey::new(kind, EstimatorKind::QcfeMscn, env1.fingerprint());
+    let dir = temp_dir("eviction");
+
+    let gateway = QcfeGateway::builder(&dir)
+        .registry_capacity(1)
+        .build()
+        .unwrap();
+    gateway
+        .publish_snapshot(kind, &env1, &ctx.snapshots_fso[1].clone().expect("fitted"))
+        .unwrap();
+    assert!(gateway.register_model(key0, Arc::clone(&model)).is_none());
+    // Over-capacity insert evicts the first environment's model and
+    // reports it — the satellite API under test.
+    let evicted = gateway.register_model(key1, Arc::clone(&model));
+    assert_eq!(evicted.map(|(k, _)| k), Some(key0));
+    assert_eq!(gateway.stats().model_evictions, 1);
+    assert_eq!(gateway.stats().registry.evictions, 1);
 
     // … but the resident one still serves requests.
-    let resident = registry
-        .get(&ModelKey::new(kind, EstimatorKind::QcfeMscn, fp1))
-        .expect("resident model");
-    let service = EstimationService::start(
-        resident,
-        ctx.snapshots_fso[1].clone(),
-        ServiceConfig {
-            workers: 1,
-            ..ServiceConfig::default()
-        },
-    );
-    let handle = service.handle();
-    let estimate = handle
-        .estimate(ctx.workload.queries[0].executed.root.clone())
+    let response = gateway
+        .estimate(EstimateRequest::new(
+            kind,
+            env1.clone(),
+            ctx.workload.queries[0].executed.root.clone(),
+        ))
         .unwrap();
-    assert!(estimate.cost_ms.is_finite() && estimate.cost_ms > 0.0);
-    drop(service);
-    assert_eq!(
-        handle.estimate(ctx.workload.queries[0].executed.root.clone()),
-        Err(ServiceError::Closed)
-    );
+    assert!(response.cost_ms.is_finite() && response.cost_ms > 0.0);
+    // The evicted key's model is gone and nothing can provide it.
+    match gateway.estimate(EstimateRequest::new(
+        kind,
+        env0.clone(),
+        ctx.workload.queries[0].executed.root.clone(),
+    )) {
+        Err(QcfeError::ModelMissing { key }) => assert_eq!(key, key0),
+        other => panic!("expected ModelMissing, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
