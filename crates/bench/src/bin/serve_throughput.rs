@@ -2,9 +2,11 @@
 //! micro-batching `EstimationService`, swept over client counts and with
 //! batching effectively on/off (max_batch 1 vs 32), plus a direct
 //! batched-vs-scalar comparison and batch-size sweep of the
-//! operator-grouped QPPNet inference engine, and a routed-gateway section
+//! operator-grouped QPPNet inference engine, a routed-gateway section
 //! comparing one `QcfeGateway` front door (1 client per environment across
-//! 4 environments) against the equivalent hand-wired per-service setup.
+//! 4 environments) against the equivalent hand-wired per-service setup,
+//! and a cold-restart section timing a rebuilt gateway's first estimate
+//! served from persisted `QCFW` weights against one forced to retrain.
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
@@ -20,6 +22,7 @@ use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable}
 use qcfe_core::cost_model::CostModel;
 use qcfe_core::encoding::FeatureEncoder;
 use qcfe_core::estimators::{MscnEstimator, QppNetEstimator};
+use qcfe_core::model_codec::PersistedModel;
 use qcfe_core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::plan::PlanNode;
@@ -216,6 +219,8 @@ fn main() {
             "cache hit rate",
         ],
     );
+    // The cold-restart section persists and retrains this exact model.
+    let mscn_for_restart = mscn.clone();
     let mscn_model: Arc<dyn CostModel> = Arc::new(mscn);
     service_sweep(
         &mut table,
@@ -384,6 +389,119 @@ fn main() {
         gateway_tput / handwired_tput
     );
 
+    // ---------------------------------------------------------------
+    // Cold restart: time-to-first-estimate of a gateway rebuilt on a
+    // store directory holding persisted QCFW weights (disk load) vs one
+    // that must retrain the same model through its provider. Both serve
+    // the same environment and plan.
+    // ---------------------------------------------------------------
+    let env0 = ctx.workload.environments[0].clone();
+    let restart_plan = dbs[0]
+        .plan(&ctx.benchmark.random_query(&mut rng))
+        .expect("plannable");
+    let restart_key = ModelKey::new(kind, EstimatorKind::QcfeMscn, env0.fingerprint());
+
+    let disk_root = std::env::temp_dir().join(format!(
+        "qcfe-serve-bench-restart-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&disk_root);
+    {
+        // First life: publish snapshot + weights, then "exit".
+        let gateway = QcfeGateway::builder(&disk_root)
+            .service_config(shard_config)
+            .build()
+            .expect("gateway builds");
+        gateway
+            .publish_snapshot(kind, &env0, &snapshot)
+            .expect("snapshot published");
+        gateway
+            .publish_model(restart_key, PersistedModel::Mscn(mscn_for_restart.clone()))
+            .expect("weights published");
+    }
+    let started = Instant::now();
+    let gateway = QcfeGateway::builder(&disk_root)
+        .service_config(shard_config)
+        .build()
+        .expect("gateway rebuilds");
+    let disk_response = gateway
+        .estimate(EstimateRequest::new(
+            kind,
+            env0.clone(),
+            restart_plan.clone(),
+        ))
+        .expect("disk-load estimate");
+    let disk_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        disk_response.provenance.snapshot_origin.is_from_disk(),
+        "cold restart must serve from persisted weights, got {:?}",
+        disk_response.provenance.snapshot_origin
+    );
+    drop(gateway);
+    let _ = std::fs::remove_dir_all(&disk_root);
+
+    let retrain_root = std::env::temp_dir().join(format!(
+        "qcfe-serve-bench-retrain-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&retrain_root);
+    let train_iterations = if quick { 15 } else { 30 };
+    let trainer_workload = ctx.workload.clone();
+    let trainer_snapshots = ctx.snapshots_fso.clone();
+    let trainer_catalog = ctx.benchmark.catalog.clone();
+    let started = Instant::now();
+    let gateway = QcfeGateway::builder(&retrain_root)
+        .service_config(shard_config)
+        .model_provider(move |_, _| {
+            // The pre-QCFW boot path: rebuild the model from the labeled
+            // workload, exactly as the offline phase trained it.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (retrained, _) = MscnEstimator::train(
+                FeatureEncoder::new(&trainer_catalog, true),
+                &trainer_workload,
+                Some(&trainer_snapshots),
+                None,
+                train_iterations,
+                &mut rng,
+            );
+            Some(Arc::new(retrained) as Arc<dyn CostModel>)
+        })
+        .build()
+        .expect("gateway builds");
+    gateway
+        .publish_snapshot(kind, &env0, &snapshot)
+        .expect("snapshot published");
+    let retrain_response = gateway
+        .estimate(EstimateRequest::new(kind, env0, restart_plan))
+        .expect("retrain estimate");
+    let retrain_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        !retrain_response.provenance.snapshot_origin.is_from_disk(),
+        "the retrain baseline must not find persisted weights"
+    );
+    drop(gateway);
+    let _ = std::fs::remove_dir_all(&retrain_root);
+
+    let mut restart_table = ReportTable::new(
+        "Cold restart: time-to-first-estimate (QCFE(mscn))",
+        &["boot path", "time to first estimate (ms)", "speedup"],
+    );
+    restart_table.push_row(vec![
+        "retrain via model provider".into(),
+        fmt3(retrain_ms),
+        fmt3(1.0),
+    ]);
+    restart_table.push_row(vec![
+        "QCFW disk load".into(),
+        fmt3(disk_ms),
+        fmt3(retrain_ms / disk_ms),
+    ]);
+    report.add_table(restart_table);
+    eprintln!(
+        "[serve] cold restart: disk load {disk_ms:.3} ms vs retrain {retrain_ms:.3} ms ({:.1}x faster)",
+        retrain_ms / disk_ms
+    );
+
     println!("{}", report.render());
     if let Some(path) = report.save_json() {
         eprintln!("[serve] report saved to {}", path.display());
@@ -410,5 +528,12 @@ fn main() {
     assert!(
         gateway_tput >= 0.8 * handwired_tput,
         "routed gateway regressed below 80% of hand-wired: {gateway_tput:.0} vs {handwired_tput:.0} est/s"
+    );
+
+    // CI regression gate: a cold restart that loads persisted QCFW weights
+    // must reach its first estimate faster than one that retrains.
+    assert!(
+        disk_ms < retrain_ms,
+        "disk-loaded restart ({disk_ms:.3} ms) must beat retraining ({retrain_ms:.3} ms)"
     );
 }

@@ -41,6 +41,18 @@ impl FeatureEncoder {
                 columns.push((t.name.clone(), c.name.clone()));
             }
         }
+        Self::from_parts(tables, columns, include_snapshot)
+    }
+
+    /// Rebuild an encoder from its catalog-derived parts — the inverse of
+    /// what the `QCFW` model codec persists. Feature names are derived, so
+    /// an encoder round-tripped through
+    /// [`crate::model_codec`] is [`PartialEq`]-identical to the original.
+    pub fn from_parts(
+        tables: Vec<String>,
+        columns: Vec<(String, String)>,
+        include_snapshot: bool,
+    ) -> Self {
         let mut feature_names = Vec::new();
         for k in OperatorKind::ALL {
             feature_names.push(format!("op:{}", k.name()));
@@ -78,6 +90,17 @@ impl FeatureEncoder {
     /// Whether this encoder appends the feature snapshot.
     pub fn includes_snapshot(&self) -> bool {
         self.include_snapshot
+    }
+
+    /// The table names this encoder one-hots over (codec surface).
+    pub(crate) fn tables(&self) -> &[String] {
+        &self.tables
+    }
+
+    /// The `(table, column)` pairs this encoder one-hots over (codec
+    /// surface).
+    pub(crate) fn columns(&self) -> &[(String, String)] {
+        &self.columns
     }
 
     /// Dimensionality of a single node encoding.

@@ -140,6 +140,38 @@ impl MscnEstimator {
         (MscnEstimator { encoder, mask, mlp }, stats)
     }
 
+    /// Reassemble a trained estimator from its persisted parts (the
+    /// inverse of the `QCFW` serialization in [`crate::model_codec`]).
+    /// Rejects structurally inconsistent parts instead of panicking later
+    /// during inference.
+    pub fn from_parts(
+        encoder: FeatureEncoder,
+        mask: Vec<usize>,
+        mlp: Mlp,
+    ) -> Result<Self, crate::model_codec::ModelCodecError> {
+        use crate::model_codec::ModelCodecError;
+        let plan_dim = encoder.plan_dim();
+        if let Some(&bad) = mask.iter().find(|&&i| i >= plan_dim) {
+            return Err(ModelCodecError::Malformed(format!(
+                "MSCN mask index {bad} out of range for plan dim {plan_dim}"
+            )));
+        }
+        if mlp.input_dim() != mask.len() {
+            return Err(ModelCodecError::Malformed(format!(
+                "MSCN network input dim {} does not match mask length {}",
+                mlp.input_dim(),
+                mask.len()
+            )));
+        }
+        if mlp.output_dim() != 1 {
+            return Err(ModelCodecError::Malformed(format!(
+                "MSCN network output dim {} is not scalar",
+                mlp.output_dim()
+            )));
+        }
+        Ok(MscnEstimator { encoder, mask, mlp })
+    }
+
     /// Predict the latency of a plan under an (optional) snapshot.
     pub fn predict(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
         let features = self.encoder.encode_plan(root, snapshot);
@@ -378,6 +410,56 @@ impl QppNetEstimator {
     /// The per-operator feature masks.
     pub fn masks(&self) -> &HashMap<OperatorKind, Vec<usize>> {
         &self.masks
+    }
+
+    /// The per-operator neural units (codec and diagnostics surface).
+    pub fn units(&self) -> &HashMap<OperatorKind, Mlp> {
+        &self.units
+    }
+
+    /// Reassemble a trained estimator from its persisted parts (the
+    /// inverse of the `QCFW` serialization in [`crate::model_codec`]).
+    /// Every operator kind must come with a mask and a neural unit whose
+    /// dimensions agree with the encoder, else inference would panic.
+    pub fn from_parts(
+        encoder: FeatureEncoder,
+        masks: HashMap<OperatorKind, Vec<usize>>,
+        units: HashMap<OperatorKind, Mlp>,
+    ) -> Result<Self, crate::model_codec::ModelCodecError> {
+        use crate::model_codec::ModelCodecError;
+        let node_dim = encoder.node_dim();
+        for kind in OperatorKind::ALL {
+            let mask = masks.get(&kind).ok_or_else(|| {
+                ModelCodecError::Malformed(format!("QPPNet mask missing for {kind:?}"))
+            })?;
+            if let Some(&bad) = mask.iter().find(|&&i| i >= node_dim) {
+                return Err(ModelCodecError::Malformed(format!(
+                    "QPPNet {kind:?} mask index {bad} out of range for node dim {node_dim}"
+                )));
+            }
+            let unit = units.get(&kind).ok_or_else(|| {
+                ModelCodecError::Malformed(format!("QPPNet neural unit missing for {kind:?}"))
+            })?;
+            let expected_input = mask.len() + MAX_CHILDREN * DATA_VECTOR_DIM;
+            if unit.input_dim() != expected_input {
+                return Err(ModelCodecError::Malformed(format!(
+                    "QPPNet {kind:?} unit input dim {} does not match mask-derived dim {expected_input}",
+                    unit.input_dim()
+                )));
+            }
+            if unit.output_dim() != DATA_VECTOR_DIM {
+                return Err(ModelCodecError::Malformed(format!(
+                    "QPPNet {kind:?} unit output dim {} is not the data-vector dim {DATA_VECTOR_DIM}",
+                    unit.output_dim()
+                )));
+            }
+        }
+        Ok(QppNetEstimator {
+            encoder,
+            masks,
+            units,
+            node_dim,
+        })
     }
 
     /// The encoder in use.

@@ -18,6 +18,9 @@
 //!   QPPNet-style learned estimators (and their QCFE variants);
 //! * [`cost_model`] — the thread-safe [`CostModel`] inference trait the
 //!   online serving layer (`qcfe-serve`) consumes;
+//! * [`model_codec`] — the estimator-level payloads of the versioned
+//!   `QCFW` weight codec: trained MSCN/QPPNet state persisted bit-exactly
+//!   so a restarted serving node answers without retraining;
 //! * [`collect`] — labeled-workload collection across environments;
 //! * [`metrics`] — q-error, Pearson correlation, percentiles;
 //! * [`pipeline`] — the end-to-end experiment driver used by the
@@ -41,6 +44,7 @@ pub mod cost_model;
 pub mod encoding;
 pub mod estimators;
 pub mod metrics;
+pub mod model_codec;
 pub mod pipeline;
 pub mod reduction;
 pub mod snapshot;
@@ -51,6 +55,7 @@ pub use cost_model::CostModel;
 pub use encoding::FeatureEncoder;
 pub use estimators::{MscnEstimator, PgEstimator, QppNetEstimator, TrainStats};
 pub use metrics::AccuracyReport;
+pub use model_codec::{ModelCodecError, PersistedModel};
 pub use pipeline::{
     prepare_context, run_method, AblationVariant, ContextConfig, EstimatorKind, ExperimentContext,
     MethodResult, RunConfig, SnapshotSource,

@@ -14,6 +14,26 @@
 //! simplified templates of Algorithm 1 (FST). Because the coefficients move
 //! with knobs, hardware and storage format, appending them to the operator
 //! encoding injects the "ignored variables" into the learned estimator.
+//!
+//! # The binary codec family
+//!
+//! Snapshots persist in the versioned `QCFS` format defined below. It is
+//! the founding member of a small codec family sharing the same
+//! conventions — 4-byte ASCII magic, explicit little-endian version field,
+//! raw `f64` bit patterns (bit-exact round-trips), typed decode errors and
+//! a hard no-panic rule on corrupt input:
+//!
+//! | magic  | contents                | defined in                            |
+//! |--------|-------------------------|---------------------------------------|
+//! | `QCFS` | feature snapshot        | this module                           |
+//! | `QVEC` | environment knob vector | `qcfe_serve::store`                   |
+//! | `QCFW` | trained model weights   | `qcfe_nn::codec` + [`crate::model_codec`] |
+//!
+//! `QCFW` additionally carries a CRC-32 over its payload, because weight
+//! files are large enough that a silently flipped bit would otherwise just
+//! decode to different estimates. Versioning policy across the family: any
+//! layout change bumps the format's version constant, and decoders reject
+//! unknown versions instead of guessing.
 
 use qcfe_db::executor::ExecutedQuery;
 use qcfe_db::plan::{OperatorKind, PlanNode};

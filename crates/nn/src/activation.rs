@@ -27,6 +27,38 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// Every supported activation, in the stable order the `QCFW` weight
+    /// codec uses for its on-disk activation indices. Appending here is a
+    /// compatible change; reordering requires a codec version bump.
+    pub const ALL: [Activation; 6] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::LeakyRelu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Softplus,
+    ];
+
+    /// Stable index of this activation in [`Activation::ALL`]. The
+    /// exhaustive match forces any new variant to pick its codec index at
+    /// compile time (and the codec tests assert it agrees with `ALL`).
+    pub fn index(&self) -> usize {
+        match self {
+            Activation::Identity => 0,
+            Activation::Relu => 1,
+            Activation::LeakyRelu => 2,
+            Activation::Sigmoid => 3,
+            Activation::Tanh => 4,
+            Activation::Softplus => 5,
+        }
+    }
+
+    /// Inverse of [`Activation::index`]; `None` for out-of-range indices
+    /// (e.g. from a corrupted or newer weight file).
+    pub fn from_index(index: usize) -> Option<Activation> {
+        Activation::ALL.get(index).copied()
+    }
+
     /// Apply the activation to a single pre-activation value.
     #[inline]
     pub fn apply(&self, x: f64) -> f64 {

@@ -23,7 +23,10 @@
 //!   by the serving layer's operator-grouped micro-batching,
 //! * a tiny linear-algebra module with a least-squares solver (used to fit
 //!   the feature-snapshot coefficients of Table I),
-//! * dataset utilities (mini-batching, shuffling, train/test split, scaling).
+//! * dataset utilities (mini-batching, shuffling, train/test split, scaling),
+//! * the versioned, checksummed `QCFW` weight codec ([`codec`]) that
+//!   persists trained [`Mlp`](mlp::Mlp) parameters bit-exactly for the
+//!   serving layer's restart-without-retraining path.
 //!
 //! Everything is deterministic given a seeded RNG, which keeps the experiment
 //! harness reproducible run-to-run.
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod activation;
+pub mod codec;
 pub mod dataset;
 pub mod gradcheck;
 pub mod layer;
@@ -60,6 +64,7 @@ pub mod mlp;
 pub mod optimizer;
 
 pub use activation::Activation;
+pub use codec::WeightsCodecError;
 pub use dataset::{Dataset, Scaler, ScalerKind};
 pub use layer::DenseLayer;
 pub use linalg::{least_squares, ridge_regression, solve_linear_system, LinAlgError};

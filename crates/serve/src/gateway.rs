@@ -17,8 +17,12 @@
 //!    knob-vector space ([`SnapshotOrigin::Transferred`] — the paper's
 //!    Table VII snapshot-transfer workflow, online);
 //! 3. **resolves the model** from the owned [`ModelRegistry`], falling
-//!    back to the builder-supplied model provider (and, for the
-//!    analytical `PGSQL` baseline, to the built-in stateless estimator);
+//!    back to the store's persisted `QCFW` weight sidecar
+//!    (load-before-rebuild: a cold-restarted gateway answers from disk
+//!    with provenance [`SnapshotOrigin::LoadedFromDisk`], bit-identical
+//!    and without retraining), then to the builder-supplied model
+//!    provider (and, for the analytical `PGSQL` baseline, to the built-in
+//!    stateless estimator);
 //! 4. answers with an [`EstimateResponse`] whose [`Provenance`] records
 //!    the serving key, the snapshot origin, whether the shard was
 //!    cold-started and where the microseconds went.
@@ -28,13 +32,14 @@
 
 use crate::error::QcfeError;
 use crate::metrics::MetricsSnapshot;
-use crate::registry::{EvictedModel, ModelKey, ModelRegistry, RegistryStats};
+use crate::registry::{EvictedModel, ModelKey, ModelRegistry, ModelSource, RegistryStats};
 use crate::request::{EstimateRequest, EstimateResponse, Provenance, SnapshotOrigin};
 use crate::service::{EstimationService, PendingEstimate, ServiceConfig, ServiceHandle};
 use crate::store::SnapshotStore;
 use crate::LruCache;
 use qcfe_core::cost_model::CostModel;
 use qcfe_core::estimators::PgEstimator;
+use qcfe_core::model_codec::PersistedModel;
 use qcfe_core::pipeline::EstimatorKind;
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::DbEnvironment;
@@ -60,6 +65,9 @@ pub type ModelProvider =
 struct Shard {
     handle: ServiceHandle,
     origin: SnapshotOrigin,
+    /// Whether the shard's model weights came from a persisted `QCFW`
+    /// sidecar (surfaced as [`Provenance::model_from_disk`]).
+    model_from_disk: bool,
     /// Owns the worker pool; kept only for its `Drop` (shutdown + join).
     _service: EstimationService,
 }
@@ -73,6 +81,10 @@ struct GatewayCounters {
     shard_retirements: AtomicU64,
     snapshot_transfers: AtomicU64,
     model_evictions: AtomicU64,
+    model_loads: AtomicU64,
+    /// Incremented by the registry's disk loader (the closure holds its
+    /// own `Arc` to this struct).
+    model_load_failures: AtomicU64,
 }
 
 /// A point-in-time view of the gateway's routing activity.
@@ -91,6 +103,15 @@ pub struct GatewayStats {
     /// Models evicted from the registry, as observed through
     /// [`ModelRegistry::insert`]'s return value.
     pub model_evictions: u64,
+    /// Shard starts whose model came back from persisted `QCFW` weights
+    /// instead of the registry, a provider or a rebuild.
+    pub model_loads: u64,
+    /// Weight-sidecar loads that failed (corrupt or unreadable `QCFW`
+    /// files; each one is quarantined as `<name>.corrupt` and the request
+    /// falls through to the model provider). A nonzero value means
+    /// persistence is broken for some key and restarts are silently paying
+    /// for retraining.
+    pub model_load_failures: u64,
     /// The owned model registry's lookup/eviction statistics.
     pub registry: RegistryStats,
 }
@@ -161,15 +182,49 @@ impl GatewayBuilder {
     }
 
     /// Open the snapshot store and assemble the gateway.
+    ///
+    /// The owned registry gets a default disk-backed loader over the
+    /// store's `QCFW` weight sidecars: any registry miss first tries
+    /// [`SnapshotStore::load_model`], so a cold-restarted gateway answers
+    /// from persisted weights (provenance
+    /// [`SnapshotOrigin::LoadedFromDisk`]) instead of demanding a retrain.
+    /// An unreadable or corrupt weight file degrades to a miss and falls
+    /// through to the builder's model provider.
     pub fn build(self) -> Result<QcfeGateway, QcfeError> {
         let store = SnapshotStore::open(self.root)?;
+        let mut registry = ModelRegistry::new(self.registry_capacity);
+        let counters = Arc::new(GatewayCounters::default());
+        let loader_store = store.clone();
+        let loader_counters = Arc::clone(&counters);
+        registry.set_loader(move |key: &ModelKey| {
+            match loader_store.load_model(key.benchmark, key.estimator, key.fingerprint) {
+                Ok(model) => model.map(PersistedModel::into_cost_model),
+                Err(_) => {
+                    // Corrupt or unreadable weights: count the failure
+                    // (surfaced via GatewayStats::model_load_failures) and
+                    // quarantine the file — re-verified before the rename,
+                    // so a concurrent republish survives — letting later
+                    // restarts see a clean miss instead of silently
+                    // retrying a doomed decode.
+                    loader_counters
+                        .model_load_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = loader_store.quarantine_model(
+                        key.benchmark,
+                        key.estimator,
+                        key.fingerprint,
+                    );
+                    None
+                }
+            }
+        });
         let gateway = QcfeGateway {
             store,
-            registry: ModelRegistry::new(self.registry_capacity),
+            registry,
             shards: Mutex::new(LruCache::new(self.max_shards)),
             service_config: self.service_config,
             model_provider: self.model_provider,
-            counters: GatewayCounters::default(),
+            counters,
         };
         for (key, model) in self.preregistered {
             gateway.register_model(key, model);
@@ -186,7 +241,7 @@ pub struct QcfeGateway {
     shards: Mutex<LruCache<ModelKey, Arc<Shard>>>,
     service_config: ServiceConfig,
     model_provider: Option<Arc<ModelProvider>>,
-    counters: GatewayCounters,
+    counters: Arc<GatewayCounters>,
 }
 
 impl std::fmt::Debug for QcfeGateway {
@@ -238,6 +293,7 @@ impl QcfeGateway {
             provenance: Provenance {
                 model_key: key,
                 snapshot_origin: shard.origin,
+                model_from_disk: shard.model_from_disk,
                 cold_start,
                 service_us,
                 total_us: started.elapsed().as_micros() as u64,
@@ -286,6 +342,7 @@ impl QcfeGateway {
                 provenance: Provenance {
                     model_key: key,
                     snapshot_origin: shard.origin,
+                    model_from_disk: shard.model_from_disk,
                     cold_start: cold_start && index == 0,
                     service_us: submitted.elapsed().as_micros() as u64,
                     total_us: started.elapsed().as_micros() as u64,
@@ -331,10 +388,29 @@ impl QcfeGateway {
         Ok(self.store.save_env(benchmark, environment, snapshot)?)
     }
 
+    /// Publish a trained model: persist its weights as a `QCFW` sidecar in
+    /// the owned store *and* register it under its serving key. A gateway
+    /// rebuilt later on the same store directory reloads the weights on
+    /// demand and serves bit-identical estimates without retraining.
+    pub fn publish_model(
+        &self,
+        key: ModelKey,
+        model: PersistedModel,
+    ) -> Result<PathBuf, QcfeError> {
+        let path = self
+            .store
+            .save_model(key.benchmark, key.estimator, key.fingerprint, &model)?;
+        self.register_model(key, model.into_cost_model());
+        Ok(path)
+    }
+
     /// Register (or replace) a model under its serving key, returning the
     /// entry this insert evicted, if any. Evictions observed here feed
     /// [`GatewayStats::model_evictions`].
     pub fn register_model(&self, key: ModelKey, model: Arc<dyn CostModel>) -> Option<EvictedModel> {
+        // Registry::insert clears the key's disk-load mark under the
+        // registry lock: an in-process registration supersedes any earlier
+        // disk load, atomically with the model swap.
         let evicted = self.registry.insert(key, model);
         if evicted.is_some() {
             self.counters
@@ -353,6 +429,8 @@ impl QcfeGateway {
             shard_retirements: self.counters.shard_retirements.load(Ordering::Relaxed),
             snapshot_transfers: self.counters.snapshot_transfers.load(Ordering::Relaxed),
             model_evictions: self.counters.model_evictions.load(Ordering::Relaxed),
+            model_loads: self.counters.model_loads.load(Ordering::Relaxed),
+            model_load_failures: self.counters.model_load_failures.load(Ordering::Relaxed),
             registry: self.registry.stats(),
         }
     }
@@ -417,7 +495,20 @@ impl QcfeGateway {
             return Ok((Arc::clone(shard), false));
         }
         let (snapshot, origin) = self.resolve_snapshot(&key, environment, allow_transfer)?;
-        let model = self.resolve_model(&key, snapshot.as_ref())?;
+        let (model, model_from_disk) = self.resolve_model(&key, snapshot.as_ref())?;
+        // The transfer statistic tracks what resolve_snapshot actually did,
+        // independent of the provenance override below.
+        let snapshot_transferred = origin.is_transferred();
+        // A disk-restored model rewrites a TrainedHere/None origin to
+        // LoadedFromDisk — the shard serves pre-restart state without
+        // retraining. A Transferred origin is preserved (its source and
+        // distance are the Table VII observables); the disk load stays
+        // visible through Provenance::model_from_disk either way.
+        let origin = if model_from_disk && !snapshot_transferred {
+            SnapshotOrigin::LoadedFromDisk
+        } else {
+            origin
+        };
         let retired;
         let result = {
             let mut shards = self.shards.lock().expect("shard map poisoned");
@@ -430,11 +521,12 @@ impl QcfeGateway {
             let shard = Arc::new(Shard {
                 handle: service.handle(),
                 origin,
+                model_from_disk,
                 _service: service,
             });
             retired = shards.insert(key, Arc::clone(&shard));
             self.counters.shard_starts.fetch_add(1, Ordering::Relaxed);
-            if origin.is_transferred() {
+            if snapshot_transferred {
                 self.counters
                     .snapshot_transfers
                     .fetch_add(1, Ordering::Relaxed);
@@ -488,11 +580,14 @@ impl QcfeGateway {
         Ok((None, SnapshotOrigin::None))
     }
 
-    /// Resolve the serving model for a shard start: registry hit, else the
-    /// builder's model provider, else the built-in stateless `PGSQL`
+    /// Resolve the serving model for a shard start, returning it together
+    /// with whether it was reloaded from persisted `QCFW` weights. The
+    /// order is: registry hit, else the store's weight sidecar
+    /// (load-before-rebuild, via the registry's disk-backed loader), else
+    /// the builder's model provider, else the built-in stateless `PGSQL`
     /// baseline (which needs no training), else a typed failure.
     ///
-    /// Provider results register through
+    /// Loader and provider results register through
     /// [`ModelRegistry::insert_if_absent`], so cold-starters racing on the
     /// same key converge on one resident instance (a losing racer's
     /// provider output is dropped) and the registry can never hold a
@@ -501,9 +596,20 @@ impl QcfeGateway {
         &self,
         key: &ModelKey,
         snapshot: Option<&FeatureSnapshot>,
-    ) -> Result<Arc<dyn CostModel>, QcfeError> {
-        if let Some(model) = self.registry.get(key) {
-            return Ok(model);
+    ) -> Result<(Arc<dyn CostModel>, bool), QcfeError> {
+        if let Some(resolved) = self.registry.get_or_load(key) {
+            if resolved.source == ModelSource::Reloaded {
+                self.counters.model_loads.fetch_add(1, Ordering::Relaxed);
+            }
+            if resolved.evicted.is_some() {
+                self.counters
+                    .model_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // from_disk is the registry's lock-coupled provenance mark:
+            // sticky while the disk-loaded model stays resident, cleared
+            // atomically by any in-process registration.
+            return Ok((resolved.model, resolved.from_disk));
         }
         let built: Option<Arc<dyn CostModel>> = if let Some(provider) = &self.model_provider {
             provider(key, snapshot)
@@ -516,13 +622,16 @@ impl QcfeGateway {
         });
         match built {
             Some(model) => {
+                // insert_if_absent clears the key's disk mark when this
+                // build wins residency (lock-coupled with the insert), so
+                // a stale mark can never tag a retrained model.
                 let (resident, evicted) = self.registry.insert_if_absent(*key, model);
                 if evicted.is_some() {
                     self.counters
                         .model_evictions
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                Ok(resident)
+                Ok((resident, false))
             }
             None => Err(QcfeError::ModelMissing { key: *key }),
         }
@@ -901,6 +1010,285 @@ mod tests {
         assert_eq!(stats.shards_resident, 1, "racers converge on one shard");
         assert_eq!(stats.shard_starts, 1, "only one racer starts the service");
         assert_eq!(stats.requests, 8);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    use crate::test_support::tiny_mscn as tiny_persisted_mscn;
+
+    /// Tentpole acceptance (unit scale): publish weights, drop the gateway,
+    /// rebuild on the same root — the restarted gateway answers from disk,
+    /// bit-identically, with [`SnapshotOrigin::LoadedFromDisk`] provenance
+    /// and no provider in sight.
+    #[test]
+    fn restarted_gateway_serves_from_persisted_weights() {
+        let root = temp_root("restart");
+        let env = DbEnvironment::reference();
+        let key = ModelKey::new(
+            BenchmarkKind::Sysbench,
+            EstimatorKind::Mscn,
+            env.fingerprint(),
+        );
+        let persisted = tiny_persisted_mscn(31);
+        let plans: Vec<PlanNode> = (1..=6).map(|i| scan_plan(i as f64 * 10.0)).collect();
+
+        let before: Vec<u64> = {
+            let gateway = QcfeGateway::builder(&root).build().unwrap();
+            gateway
+                .publish_model(key, persisted.clone())
+                .expect("weights persisted");
+            plans
+                .iter()
+                .map(|p| {
+                    let mut request = mscn_request(&env, 1.0);
+                    request.plan = p.clone();
+                    gateway.estimate(request).unwrap().cost_ms.to_bits()
+                })
+                .collect()
+            // Gateway (and its shards) dropped here — the "process exit".
+        };
+
+        let gateway = QcfeGateway::builder(&root).build().unwrap();
+        for (plan, &expected) in plans.iter().zip(&before) {
+            let mut request = mscn_request(&env, 1.0);
+            request.plan = plan.clone();
+            let response = gateway.estimate(request).unwrap();
+            assert_eq!(
+                response.cost_ms.to_bits(),
+                expected,
+                "restarted gateway must serve bit-identical estimates"
+            );
+            assert!(
+                response.provenance.snapshot_origin.is_from_disk(),
+                "provenance must record the disk load, got {:?}",
+                response.provenance.snapshot_origin
+            );
+            assert!(response.provenance.model_from_disk);
+        }
+        let stats = gateway.stats();
+        assert_eq!(stats.model_loads, 1, "one disk load serves every request");
+        assert_eq!(stats.registry.loads, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Disk-loaded weights do not erase a transferred snapshot's
+    /// provenance: the `Transferred { source, distance }` observables stay
+    /// on the response and the disk load is reported via
+    /// `model_from_disk`.
+    #[test]
+    fn transferred_snapshot_keeps_its_provenance_with_a_disk_model() {
+        let root = temp_root("transfer-disk");
+        let published = env_with_overhead(1.05);
+        let unseen = env_with_overhead(1.051);
+        let key = ModelKey::new(
+            BenchmarkKind::Sysbench,
+            EstimatorKind::Mscn,
+            unseen.fingerprint(),
+        );
+        {
+            let gateway = QcfeGateway::builder(&root).build().unwrap();
+            // The unseen fingerprint has persisted *weights* but no
+            // snapshot of its own; the published neighbour has a snapshot.
+            gateway
+                .publish_snapshot(BenchmarkKind::Sysbench, &published, &tiny_snapshot(0.002))
+                .unwrap();
+            gateway
+                .store()
+                .save_model(
+                    key.benchmark,
+                    key.estimator,
+                    key.fingerprint,
+                    &tiny_persisted_mscn(61),
+                )
+                .unwrap();
+        }
+        let gateway = QcfeGateway::builder(&root).build().unwrap();
+        let response = gateway.estimate(mscn_request(&unseen, 2.0)).unwrap();
+        match response.provenance.snapshot_origin {
+            SnapshotOrigin::Transferred { source, distance } => {
+                assert_eq!(source, published.fingerprint());
+                assert!(distance > 0.0);
+            }
+            other => panic!("transfer observables must survive, got {other:?}"),
+        }
+        assert!(
+            response.provenance.model_from_disk,
+            "the disk load must still be visible"
+        );
+        let stats = gateway.stats();
+        assert_eq!(stats.model_loads, 1);
+        assert_eq!(stats.snapshot_transfers, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A corrupt weight sidecar degrades to a provider call instead of
+    /// serving garbage or failing the request.
+    #[test]
+    fn corrupt_weight_file_falls_through_to_the_provider() {
+        let root = temp_root("corrupt-weights");
+        let env = DbEnvironment::reference();
+        let key = ModelKey::new(
+            BenchmarkKind::Sysbench,
+            EstimatorKind::Mscn,
+            env.fingerprint(),
+        );
+        {
+            let gateway = QcfeGateway::builder(&root).build().unwrap();
+            let path = gateway
+                .publish_model(key, tiny_persisted_mscn(32))
+                .expect("weights persisted");
+            // Flip one payload byte: the CRC makes the file undecodable.
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let provided = Arc::new(AtomicUsize::new(0));
+        let calls = Arc::clone(&provided);
+        let gateway = QcfeGateway::builder(&root)
+            .model_provider(move |_, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(TripleRows) as Arc<dyn CostModel>)
+            })
+            .build()
+            .unwrap();
+        let response = gateway.estimate(mscn_request(&env, 4.0)).unwrap();
+        assert_eq!(response.cost_ms, 12.0, "provider model served");
+        assert_eq!(provided.load(Ordering::Relaxed), 1);
+        assert!(
+            !response.provenance.snapshot_origin.is_from_disk(),
+            "a rebuilt model must not claim disk provenance"
+        );
+        let stats = gateway.stats();
+        assert_eq!(stats.model_loads, 0);
+        assert_eq!(
+            stats.model_load_failures, 1,
+            "the broken sidecar must be observable"
+        );
+        // The corrupt file was quarantined: the canonical path is a clean
+        // miss for future restarts and the evidence is kept alongside.
+        let canonical =
+            gateway
+                .store()
+                .model_path_for(key.benchmark, key.estimator, key.fingerprint);
+        assert!(!canonical.exists(), "corrupt sidecar must be moved aside");
+        let mut quarantined = canonical.into_os_string();
+        quarantined.push(".corrupt");
+        assert!(
+            std::path::PathBuf::from(quarantined).is_file(),
+            "quarantined copy must remain for inspection"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Disk provenance is sticky: with a 1-shard cap, retiring and
+    /// restarting a shard whose disk-loaded model is still
+    /// registry-resident must keep reporting [`SnapshotOrigin::LoadedFromDisk`],
+    /// not flip to [`SnapshotOrigin::TrainedHere`].
+    #[test]
+    fn disk_provenance_survives_shard_retirement() {
+        let root = temp_root("sticky");
+        let env_a = env_with_overhead(1.0);
+        let env_b = env_with_overhead(1.2);
+        let key_for = |env: &DbEnvironment| {
+            ModelKey::new(
+                BenchmarkKind::Sysbench,
+                EstimatorKind::Mscn,
+                env.fingerprint(),
+            )
+        };
+        {
+            let gateway = QcfeGateway::builder(&root).build().unwrap();
+            gateway
+                .publish_model(key_for(&env_a), tiny_persisted_mscn(41))
+                .unwrap();
+            gateway
+                .publish_model(key_for(&env_b), tiny_persisted_mscn(42))
+                .unwrap();
+        }
+        let gateway = QcfeGateway::builder(&root).max_shards(1).build().unwrap();
+        let first = gateway.estimate(mscn_request(&env_a, 1.0)).unwrap();
+        assert!(first.provenance.snapshot_origin.is_from_disk());
+        // Starting B's shard retires A's (cap 1)...
+        let other = gateway.estimate(mscn_request(&env_b, 1.0)).unwrap();
+        assert!(other.provenance.snapshot_origin.is_from_disk());
+        // ...so this request restarts A's shard with the model still
+        // resident in the registry: provenance must not change.
+        let again = gateway.estimate(mscn_request(&env_a, 1.0)).unwrap();
+        assert!(again.provenance.cold_start, "shard was retired");
+        assert!(
+            again.provenance.snapshot_origin.is_from_disk(),
+            "disk provenance must survive shard retirement, got {:?}",
+            again.provenance.snapshot_origin
+        );
+        assert_eq!(
+            gateway.stats().model_loads,
+            2,
+            "each model loaded from disk exactly once"
+        );
+        // An in-process registration supersedes the disk mark (retire A's
+        // shard again first — a running shard keeps its start-time origin).
+        gateway.register_model(key_for(&env_a), Arc::new(TripleRows));
+        gateway.estimate(mscn_request(&env_b, 1.0)).unwrap();
+        let replaced = gateway.estimate(mscn_request(&env_a, 1.0)).unwrap();
+        assert!(
+            !replaced.provenance.snapshot_origin.is_from_disk(),
+            "a freshly registered model is TrainedHere again"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A provider rebuild clears a stale disk mark: once the sidecar is
+    /// gone and the model is retrained, later shard restarts serving the
+    /// registry-resident rebuild must not claim disk provenance.
+    #[test]
+    fn provider_rebuild_clears_stale_disk_provenance() {
+        let root = temp_root("stale-mark");
+        let env_a = env_with_overhead(1.0);
+        let env_b = env_with_overhead(1.2);
+        let key_for = |env: &DbEnvironment| {
+            ModelKey::new(
+                BenchmarkKind::Sysbench,
+                EstimatorKind::Mscn,
+                env.fingerprint(),
+            )
+        };
+        {
+            let gateway = QcfeGateway::builder(&root).build().unwrap();
+            gateway
+                .publish_model(key_for(&env_a), tiny_persisted_mscn(51))
+                .unwrap();
+        }
+        let gateway = QcfeGateway::builder(&root)
+            .max_shards(1)
+            .model_provider(|_, _| Some(Arc::new(TripleRows) as Arc<dyn CostModel>))
+            .build()
+            .unwrap();
+        let first = gateway.estimate(mscn_request(&env_a, 1.0)).unwrap();
+        assert!(first.provenance.snapshot_origin.is_from_disk());
+        // Operator forces a retrain: drop the sidecar and the resident
+        // model.
+        let ka = key_for(&env_a);
+        gateway
+            .store()
+            .remove_model(ka.benchmark, ka.estimator, ka.fingerprint)
+            .unwrap();
+        gateway.registry().remove(&ka);
+        // Retire A's shard (cap 1), then rebuild A via the provider.
+        gateway.estimate(mscn_request(&env_b, 1.0)).unwrap();
+        let rebuilt = gateway.estimate(mscn_request(&env_a, 2.0)).unwrap();
+        assert_eq!(rebuilt.cost_ms, 6.0, "provider model serves");
+        assert!(!rebuilt.provenance.snapshot_origin.is_from_disk());
+        // Retire once more; the provider-built model is still
+        // registry-resident — the stale disk mark must not resurface.
+        gateway.estimate(mscn_request(&env_b, 1.0)).unwrap();
+        let again = gateway.estimate(mscn_request(&env_a, 3.0)).unwrap();
+        assert!(again.provenance.cold_start, "shard was retired");
+        assert_eq!(again.cost_ms, 9.0, "still the provider model");
+        assert!(
+            !again.provenance.snapshot_origin.is_from_disk(),
+            "a retrained model must never resurrect disk provenance, got {:?}",
+            again.provenance.snapshot_origin
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -22,11 +22,15 @@
 //! * [`store::SnapshotStore`] — feature snapshots persisted to disk in the
 //!   versioned `QCFS` binary codec, keyed by the
 //!   [`qcfe_db::EnvFingerprint`], with knob-vector sidecars (`QVEC`) that
-//!   make fingerprints searchable for nearest-neighbour transfer.
+//!   make fingerprints searchable for nearest-neighbour transfer, and
+//!   model-weight sidecars (`QCFW`) that persist trained estimators
+//!   bit-exactly so a restarted node serves without retraining.
 //! * [`registry::ModelRegistry`] — trained estimators behind
 //!   `Arc<dyn CostModel + Send + Sync>` keyed by
 //!   `(benchmark, estimator, fingerprint)`, with LRU eviction bounding
-//!   resident models.
+//!   resident models and an installable loader that lazily reloads
+//!   evicted models from the store's `QCFW` sidecars
+//!   (load-before-rebuild).
 //! * [`service::EstimationService`] — a worker-thread pool draining a
 //!   bounded request queue with **micro-batched inference** through the
 //!   uniform `CostModel::predict_batch` API (the per-shard engine behind
@@ -78,12 +82,16 @@ pub mod registry;
 pub mod request;
 pub mod service;
 pub mod store;
+#[cfg(test)]
+mod test_support;
 
 pub use error::QcfeError;
 pub use gateway::{GatewayBuilder, GatewayStats, ModelProvider, QcfeGateway};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use registry::{EvictedModel, ModelKey, ModelRegistry, RegistryStats};
+pub use registry::{
+    EvictedModel, ModelKey, ModelLoader, ModelRegistry, ModelSource, RegistryStats, ResolvedModel,
+};
 pub use request::{EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin};
 pub use service::{
     plan_key, Estimate, EstimationService, PendingEstimate, ServiceConfig, ServiceError,

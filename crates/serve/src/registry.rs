@@ -5,6 +5,14 @@
 //! key and looks it up on every request. The registry bounds resident
 //! models with LRU eviction — a node serving many environments keeps only
 //! the hot ones in memory and refits or reloads cold ones on demand.
+//!
+//! With a [`ModelLoader`] installed ([`ModelRegistry::set_loader`] — the
+//! gateway wires one backed by the snapshot store's `QCFW` weight
+//! sidecars), a miss consults the loader *before* any rebuild
+//! (load-before-rebuild): an evicted or never-resident model comes back
+//! from disk bit-identical instead of being retrained. Loads run outside
+//! the registry lock and racing reloaders converge on one resident
+//! instance through [`ModelRegistry::insert_if_absent`].
 
 use crate::lru::LruCache;
 use qcfe_core::cost_model::CostModel;
@@ -49,6 +57,8 @@ pub struct RegistryStats {
     pub misses: u64,
     /// Models evicted by the LRU policy.
     pub evictions: u64,
+    /// Models brought back by the installed [`ModelLoader`] (disk reloads).
+    pub loads: u64,
     /// Currently resident models.
     pub resident: usize,
 }
@@ -56,11 +66,80 @@ pub struct RegistryStats {
 /// An entry evicted from the registry: the serving key and its model.
 pub type EvictedModel = (ModelKey, Arc<dyn CostModel>);
 
+/// A fallback invoked on registry misses before any rebuild — typically a
+/// closure around [`crate::store::SnapshotStore::load_model`]. Returning
+/// `None` means nothing is persisted (or the file is unreadable) and the
+/// caller may fall through to training.
+pub type ModelLoader = dyn Fn(&ModelKey) -> Option<Arc<dyn CostModel>> + Send + Sync;
+
+/// How a [`ModelRegistry::get_or_load`] request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSource {
+    /// The model was already resident in the registry.
+    Resident,
+    /// This call performed the disk load through the installed
+    /// [`ModelLoader`] (the model was evicted earlier, or this process
+    /// never trained it) and its registration won.
+    Reloaded,
+}
+
+/// Outcome of a [`ModelRegistry::get_or_load`] resolution.
+pub struct ResolvedModel {
+    /// The model now resident under the key.
+    pub model: Arc<dyn CostModel>,
+    /// Whether this call performed the disk load or found a resident.
+    pub source: ModelSource,
+    /// Whether the resident model's weights came from the disk loader.
+    /// The mark is maintained under the same lock as the cache itself, so
+    /// it always describes the returned model: set when a disk load wins
+    /// registration, sticky while the entry stays resident, and cleared by
+    /// any in-process insert for the key.
+    pub from_disk: bool,
+    /// Entry evicted by a reload's registration, if any, so callers
+    /// tracking evictions observe the same signal as on the insert paths.
+    pub evicted: Option<EvictedModel>,
+}
+
+/// Interior state guarded by one lock: the LRU cache plus the disk-load
+/// provenance marks. One mutex for both makes the marks atomic with every
+/// cache mutation — no interleaving can tag an in-process-registered model
+/// as disk-loaded.
+struct RegistryInner {
+    cache: LruCache<ModelKey, Arc<dyn CostModel>>,
+    disk_loaded: std::collections::HashSet<ModelKey>,
+}
+
+impl RegistryInner {
+    /// Insert plus mark bookkeeping: the key's mark becomes `from_disk`
+    /// and an evicted key loses its mark (it is no longer resident).
+    fn insert_marked(
+        &mut self,
+        key: ModelKey,
+        model: Arc<dyn CostModel>,
+        from_disk: bool,
+    ) -> Option<EvictedModel> {
+        if from_disk {
+            self.disk_loaded.insert(key);
+        } else {
+            self.disk_loaded.remove(&key);
+        }
+        let evicted = self.cache.insert(key, model);
+        if let Some((evicted_key, _)) = &evicted {
+            if *evicted_key != key {
+                self.disk_loaded.remove(evicted_key);
+            }
+        }
+        evicted
+    }
+}
+
 /// A bounded, thread-safe registry of trained cost models.
 pub struct ModelRegistry {
-    inner: Mutex<LruCache<ModelKey, Arc<dyn CostModel>>>,
+    inner: Mutex<RegistryInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    loads: AtomicU64,
+    loader: Option<Arc<ModelLoader>>,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -71,27 +150,105 @@ impl std::fmt::Debug for ModelRegistry {
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
             .field("evictions", &stats.evictions)
+            .field("loads", &stats.loads)
             .finish()
     }
 }
 
 impl ModelRegistry {
-    /// Create a registry holding at most `capacity` models.
+    /// Create a registry holding at most `capacity` models (no loader).
     pub fn new(capacity: usize) -> Self {
         ModelRegistry {
-            inner: Mutex::new(LruCache::new(capacity)),
+            inner: Mutex::new(RegistryInner {
+                cache: LruCache::new(capacity),
+                disk_loaded: std::collections::HashSet::new(),
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            loader: None,
         }
     }
 
+    /// Install (or replace) the miss-time loader. The gateway builder wires
+    /// one backed by the store's `QCFW` weight sidecars, making the
+    /// registry lazily reload evicted models from disk.
+    pub fn set_loader<F>(&mut self, loader: F)
+    where
+        F: Fn(&ModelKey) -> Option<Arc<dyn CostModel>> + Send + Sync + 'static,
+    {
+        self.loader = Some(Arc::new(loader));
+    }
+
+    /// Look up a model, consulting the installed [`ModelLoader`] on a miss
+    /// before giving up. The load runs *outside* the registry lock (it is
+    /// disk I/O plus deserialization) and registers with
+    /// first-registration-wins semantics, so concurrent reloaders of the
+    /// same key converge on a single resident instance — while a key stays
+    /// resident it is never reloaded again. A reloader that loses its
+    /// registration race reports [`ModelSource::Resident`] with the
+    /// winner's `from_disk` mark, never its own.
+    pub fn get_or_load(&self, key: &ModelKey) -> Option<ResolvedModel> {
+        {
+            let mut inner = self.inner.lock().expect("registry mutex poisoned");
+            if let Some(model) = inner.cache.get(key) {
+                let model = Arc::clone(model);
+                let from_disk = inner.disk_loaded.contains(key);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(ResolvedModel {
+                    model,
+                    source: ModelSource::Resident,
+                    from_disk,
+                    evicted: None,
+                });
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let loader = self.loader.as_ref()?;
+        let loaded = loader(key)?;
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        if let Some(existing) = inner.cache.get(key) {
+            // Lost the race: the resident entry — and its mark, which may
+            // have been cleared by a concurrent in-process registration —
+            // wins over our load.
+            let model = Arc::clone(existing);
+            let from_disk = inner.disk_loaded.contains(key);
+            return Some(ResolvedModel {
+                model,
+                source: ModelSource::Resident,
+                from_disk,
+                evicted: None,
+            });
+        }
+        let evicted = inner.insert_marked(*key, Arc::clone(&loaded), true);
+        Some(ResolvedModel {
+            model: loaded,
+            source: ModelSource::Reloaded,
+            from_disk: true,
+            evicted,
+        })
+    }
+
+    /// Whether the key's resident model was brought in by the disk loader.
+    /// `false` for absent keys.
+    pub fn is_disk_loaded(&self, key: &ModelKey) -> bool {
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .disk_loaded
+            .contains(key)
+    }
+
     /// Register (or replace) a model; returns the evicted entry if the
-    /// insert pushed the registry over capacity.
+    /// insert pushed the registry over capacity. An in-process insert
+    /// clears any disk-load mark the key carried.
     pub fn insert(&self, key: ModelKey, model: Arc<dyn CostModel>) -> Option<EvictedModel> {
         self.inner
             .lock()
             .expect("registry mutex poisoned")
-            .insert(key, model)
+            .insert_marked(key, model, false)
     }
 
     /// Look up a model, marking it most recently used.
@@ -100,6 +257,7 @@ impl ModelRegistry {
             .inner
             .lock()
             .expect("registry mutex poisoned")
+            .cache
             .get(key)
             .cloned();
         match &found {
@@ -114,20 +272,24 @@ impl ModelRegistry {
         self.inner
             .lock()
             .expect("registry mutex poisoned")
+            .cache
             .contains(key)
     }
 
-    /// Remove a model.
+    /// Remove a model (and its disk-load mark).
     pub fn remove(&self, key: &ModelKey) -> Option<Arc<dyn CostModel>> {
-        self.inner
-            .lock()
-            .expect("registry mutex poisoned")
-            .remove(key)
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        inner.disk_loaded.remove(key);
+        inner.cache.remove(key)
     }
 
     /// Number of resident models.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("registry mutex poisoned").len()
+        self.inner
+            .lock()
+            .expect("registry mutex poisoned")
+            .cache
+            .len()
     }
 
     /// Whether the registry is empty.
@@ -141,8 +303,9 @@ impl ModelRegistry {
         RegistryStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            evictions: inner.evictions(),
-            resident: inner.len(),
+            evictions: inner.cache.evictions(),
+            loads: self.loads.load(Ordering::Relaxed),
+            resident: inner.cache.len(),
         }
     }
 
@@ -160,33 +323,35 @@ impl ModelRegistry {
         model: Arc<dyn CostModel>,
     ) -> (Arc<dyn CostModel>, Option<EvictedModel>) {
         let mut inner = self.inner.lock().expect("registry mutex poisoned");
-        if let Some(existing) = inner.get(&key) {
+        if let Some(existing) = inner.cache.get(&key) {
             return (Arc::clone(existing), None);
         }
-        let evicted = inner.insert(key, Arc::clone(&model));
+        let evicted = inner.insert_marked(key, Arc::clone(&model), false);
         (model, evicted)
     }
 
-    /// Look up a model or build, register and return it.
+    /// Look up a model or build, register and return it — consulting the
+    /// installed [`ModelLoader`] *before* the rebuild (load-before-rebuild:
+    /// persisted weights always beat retraining).
     ///
-    /// The build runs outside the registry lock (training can take minutes
-    /// and must not block lookups), so concurrent callers racing on a cold
-    /// key may each run `build` — but the re-check under the lock makes the
-    /// first registration win and every caller converge on that single
-    /// resident instance; losers' builds are dropped.
+    /// The load/build runs outside the registry lock (training can take
+    /// minutes and must not block lookups), so concurrent callers racing on
+    /// a cold key may each run `build` — but the re-check under the lock
+    /// makes the first registration win and every caller converge on that
+    /// single resident instance; losers' builds are dropped.
     pub fn get_or_insert_with<F>(&self, key: ModelKey, build: F) -> Arc<dyn CostModel>
     where
         F: FnOnce() -> Arc<dyn CostModel>,
     {
-        if let Some(model) = self.get(&key) {
-            return model;
+        if let Some(resolved) = self.get_or_load(&key) {
+            return resolved.model;
         }
         let model = build();
         let mut inner = self.inner.lock().expect("registry mutex poisoned");
-        if let Some(existing) = inner.get(&key) {
+        if let Some(existing) = inner.cache.get(&key) {
             return Arc::clone(existing);
         }
-        inner.insert(key, Arc::clone(&model));
+        inner.insert_marked(key, Arc::clone(&model), false);
         model
     }
 }
@@ -384,6 +549,72 @@ mod tests {
         }
         assert_eq!(registry.len(), 8);
         assert_eq!(registry.stats().evictions, 0);
+    }
+
+    /// Load-before-rebuild: with a loader installed, a miss reloads instead
+    /// of building, residency suppresses further loads, and eviction makes
+    /// the key reloadable again.
+    #[test]
+    fn loader_is_consulted_before_rebuild_and_only_while_absent() {
+        use std::sync::atomic::AtomicUsize;
+        let loads = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&loads);
+        let mut registry = ModelRegistry::new(2);
+        registry.set_loader(move |k: &ModelKey| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            // Only key(1) is "persisted".
+            (*k == key(1)).then(pg_model)
+        });
+
+        // Persisted key: loaded, never built.
+        let model = registry.get_or_insert_with(key(1), || panic!("must load, not rebuild"));
+        assert!(Arc::strong_count(&model) >= 1);
+        assert_eq!(loads.load(Ordering::Relaxed), 1);
+        assert_eq!(registry.stats().loads, 1);
+        // While resident: neither loaded nor built again.
+        let resolved = registry.get_or_load(&key(1)).expect("resident");
+        assert!(Arc::ptr_eq(&model, &resolved.model));
+        assert_eq!(resolved.source, ModelSource::Resident);
+        assert!(resolved.from_disk, "mark sticks while resident");
+        assert!(registry.is_disk_loaded(&key(1)));
+        assert!(resolved.evicted.is_none());
+        assert_eq!(loads.load(Ordering::Relaxed), 1);
+
+        // Unpersisted key: loader consulted, then built.
+        let mut builds = 0;
+        registry.get_or_insert_with(key(2), || {
+            builds += 1;
+            pg_model()
+        });
+        assert_eq!(builds, 1);
+        assert_eq!(loads.load(Ordering::Relaxed), 2);
+        assert_eq!(registry.stats().loads, 1, "failed loads are not counted");
+
+        // Evict key(1) (capacity 2: insert a third key, with key(2) more
+        // recently used... touch key(2) first so key(1) is the victim).
+        assert!(registry.get(&key(2)).is_some());
+        registry.insert(key(3), pg_model());
+        assert!(!registry.contains(&key(1)), "key(1) evicted");
+        // The evicted key reloads from "disk" exactly once more.
+        let reloaded = registry.get_or_insert_with(key(1), || panic!("must reload"));
+        assert!(
+            !Arc::ptr_eq(&model, &reloaded),
+            "fresh instance after eviction"
+        );
+        assert_eq!(registry.stats().loads, 2);
+    }
+
+    #[test]
+    fn without_a_loader_get_or_load_reports_only_residents() {
+        let registry = ModelRegistry::new(2);
+        assert!(registry.get_or_load(&key(1)).is_none());
+        registry.insert(key(1), pg_model());
+        let resolved = registry.get_or_load(&key(1)).expect("resident");
+        assert_eq!(resolved.source, ModelSource::Resident);
+        assert!(
+            !resolved.from_disk,
+            "in-process inserts never carry the disk mark"
+        );
     }
 
     #[test]

@@ -115,6 +115,15 @@ pub enum SnapshotOrigin {
         /// source environment.
         distance: f64,
     },
+    /// The shard's serving state was restored from persisted `QCFW` model
+    /// weights (plus the fingerprint's own snapshot, when the estimator
+    /// needs one) — a cold-restarted gateway answering *without
+    /// retraining*. Estimates are bit-identical to the pre-restart model.
+    /// When the snapshot itself was transferred from a neighbour, the
+    /// origin stays [`SnapshotOrigin::Transferred`] (preserving its
+    /// observables) and the disk load is reported through
+    /// [`Provenance::model_from_disk`] instead.
+    LoadedFromDisk,
     /// The shard serves without a snapshot (non-QCFE baselines only).
     None,
 }
@@ -123,6 +132,12 @@ impl SnapshotOrigin {
     /// Whether the snapshot was transferred from another fingerprint.
     pub fn is_transferred(&self) -> bool {
         matches!(self, SnapshotOrigin::Transferred { .. })
+    }
+
+    /// Whether the shard's model weights were reloaded from disk instead of
+    /// trained (or registered) in this process.
+    pub fn is_from_disk(&self) -> bool {
+        matches!(self, SnapshotOrigin::LoadedFromDisk)
     }
 }
 
@@ -134,6 +149,13 @@ pub struct Provenance {
     pub model_key: ModelKey,
     /// Where the shard's feature snapshot came from.
     pub snapshot_origin: SnapshotOrigin,
+    /// Whether the shard's model weights were restored from a persisted
+    /// `QCFW` sidecar. Carried separately from [`SnapshotOrigin`] so a
+    /// transferred snapshot keeps its `source`/`distance` observables even
+    /// when the model came from disk (in that combination
+    /// `snapshot_origin` stays [`SnapshotOrigin::Transferred`] and this
+    /// flag records the disk load).
+    pub model_from_disk: bool,
     /// Whether this request started the shard (cold start) rather than
     /// reusing a running one.
     pub cold_start: bool,

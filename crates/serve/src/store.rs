@@ -3,18 +3,27 @@
 //! The paper's FST workflow fits a snapshot once per environment and reuses
 //! it for every model trained under that environment — including after a
 //! restart or on a different machine with the same configuration. The store
-//! lays snapshots out as
+//! lays an environment's serving state out as sibling files:
 //!
 //! ```text
-//! <root>/<benchmark>/<fingerprint>.qcfs
+//! <root>/<benchmark>/<fingerprint>.qcfs             feature snapshot (QCFS)
+//! <root>/<benchmark>/<fingerprint>.qvec             knob vector (QVEC)
+//! <root>/<benchmark>/<fingerprint>.<estimator>.qcfw trained weights (QCFW)
 //! ```
 //!
-//! using the versioned `QCFS` binary codec of
-//! [`qcfe_core::snapshot::FeatureSnapshot::to_bytes`], which round-trips
-//! coefficients bit-exactly: a reloaded snapshot yields *identical*
-//! estimates, not merely close ones. Writes go through a temp file plus
-//! rename so a crashed writer never leaves a torn snapshot behind.
+//! using the versioned binary codec family (`QCFS` in
+//! [`qcfe_core::snapshot`], `QCFW` in [`qcfe_core::model_codec`] /
+//! `qcfe_nn::codec`, `QVEC` below), which round-trips every coefficient and
+//! weight bit-exactly: a reloaded snapshot or model yields *identical*
+//! estimates, not merely close ones. The weight sidecars are what make a
+//! restarted estimator self-serving — [`SnapshotStore::load_model`] hands
+//! back a ready [`PersistedModel`] instead of forcing a retrain. All writes
+//! go through a temp file plus rename so a crashed writer never leaves a
+//! torn file behind, and concurrent readers only ever observe complete
+//! frames.
 
+use qcfe_core::model_codec::{ModelCodecError, PersistedModel};
+use qcfe_core::pipeline::EstimatorKind;
 use qcfe_core::snapshot::{FeatureSnapshot, SnapshotCodecError};
 use qcfe_db::env::{knob_distance, EnvFingerprint};
 use qcfe_db::DbEnvironment;
@@ -36,6 +45,9 @@ pub enum StoreError {
     Codec(SnapshotCodecError),
     /// A knob-vector sidecar file exists but does not decode.
     Vector(String),
+    /// A model-weight sidecar file exists but does not decode, or the
+    /// save/load request is inconsistent with the estimator family.
+    Model(ModelCodecError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -44,6 +56,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "snapshot store I/O error: {e}"),
             StoreError::Codec(e) => write!(f, "snapshot store codec error: {e}"),
             StoreError::Vector(e) => write!(f, "snapshot store knob-vector error: {e}"),
+            StoreError::Model(e) => write!(f, "snapshot store model-weight error: {e}"),
         }
     }
 }
@@ -54,6 +67,7 @@ impl std::error::Error for StoreError {
             StoreError::Io(e) => Some(e),
             StoreError::Codec(e) => Some(e),
             StoreError::Vector(_) => None,
+            StoreError::Model(e) => Some(e),
         }
     }
 }
@@ -67,6 +81,12 @@ impl From<io::Error> for StoreError {
 impl From<SnapshotCodecError> for StoreError {
     fn from(e: SnapshotCodecError) -> Self {
         StoreError::Codec(e)
+    }
+}
+
+impl From<ModelCodecError> for StoreError {
+    fn from(e: ModelCodecError) -> Self {
+        StoreError::Model(e)
     }
 }
 
@@ -105,6 +125,42 @@ fn benchmark_slug(kind: BenchmarkKind) -> &'static str {
     }
 }
 
+/// File-system slug of an estimator family (embedded in weight-sidecar
+/// names).
+fn estimator_slug(kind: EstimatorKind) -> &'static str {
+    match kind {
+        EstimatorKind::Pgsql => "pgsql",
+        EstimatorKind::Mscn => "mscn",
+        EstimatorKind::QppNet => "qppnet",
+        EstimatorKind::QcfeMscn => "qcfe-mscn",
+        EstimatorKind::QcfeQpp => "qcfe-qpp",
+    }
+}
+
+/// Inverse of [`estimator_slug`], used when listing persisted weights.
+fn estimator_from_slug(slug: &str) -> Option<EstimatorKind> {
+    EstimatorKind::ALL
+        .iter()
+        .copied()
+        .find(|k| estimator_slug(*k) == slug)
+}
+
+/// Whether a decoded weight payload belongs to the estimator family it was
+/// requested (or is being saved) under. The analytical `PGSQL` baseline has
+/// no weights at all.
+fn model_matches_estimator(model: &PersistedModel, estimator: EstimatorKind) -> bool {
+    matches!(
+        (model, estimator),
+        (
+            PersistedModel::Mscn(_),
+            EstimatorKind::Mscn | EstimatorKind::QcfeMscn
+        ) | (
+            PersistedModel::QppNet(_),
+            EstimatorKind::QppNet | EstimatorKind::QcfeQpp
+        )
+    )
+}
+
 /// A directory of persisted feature snapshots keyed by
 /// `(benchmark, environment fingerprint)`.
 #[derive(Debug, Clone)]
@@ -115,6 +171,25 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// Extension of snapshot files.
     pub const EXTENSION: &'static str = "qcfs";
+
+    /// The crash-safe write shared by every sidecar kind: a temp file
+    /// unique per process *and* per call (pid + process-wide sequence
+    /// number, so concurrent savers of the same key never interleave
+    /// writes into one file) followed by an atomic rename — last writer
+    /// wins and readers only ever observe complete files.
+    fn write_atomic(path: &Path, tmp_tag: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = path.parent().expect("store paths have a parent");
+        std::fs::create_dir_all(dir)?;
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!(".{tmp_tag}.{}.{}.tmp", std::process::id(), seq));
+        std::fs::write(&tmp, bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
 
     /// Open (creating if needed) a store rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
@@ -137,33 +212,16 @@ impl SnapshotStore {
         ))
     }
 
-    /// Persist a snapshot (atomic temp-file + rename).
-    ///
-    /// The temp name is unique per process *and* per call so concurrent
-    /// savers of the same key never interleave writes into one file; the
-    /// final rename is atomic, last writer wins.
+    /// Persist a snapshot (atomic temp-file + rename via
+    /// [`SnapshotStore::write_atomic`]).
     pub fn save(
         &self,
         benchmark: BenchmarkKind,
         fingerprint: EnvFingerprint,
         snapshot: &FeatureSnapshot,
     ) -> Result<PathBuf, StoreError> {
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let path = self.path_for(benchmark, fingerprint);
-        let dir = path.parent().expect("store paths have a parent");
-        std::fs::create_dir_all(dir)?;
-        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = dir.join(format!(
-            ".{}.{}.{}.tmp",
-            fingerprint.to_hex(),
-            std::process::id(),
-            seq
-        ));
-        std::fs::write(&tmp, snapshot.to_bytes())?;
-        if let Err(e) = std::fs::rename(&tmp, &path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e.into());
-        }
+        Self::write_atomic(&path, &fingerprint.to_hex(), &snapshot.to_bytes())?;
         Ok(path)
     }
 
@@ -253,10 +311,7 @@ impl SnapshotStore {
         fingerprint: EnvFingerprint,
         vector: &[f64],
     ) -> Result<PathBuf, StoreError> {
-        static VECTOR_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let path = self.vector_path_for(benchmark, fingerprint);
-        let dir = path.parent().expect("store paths have a parent");
-        std::fs::create_dir_all(dir)?;
         let mut bytes = Vec::with_capacity(8 + 8 * vector.len());
         bytes.extend_from_slice(VECTOR_MAGIC);
         bytes.extend_from_slice(&VECTOR_VERSION.to_le_bytes());
@@ -266,18 +321,7 @@ impl SnapshotStore {
         for v in vector {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
-        let seq = VECTOR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = dir.join(format!(
-            ".{}.{}.{}.vtmp",
-            fingerprint.to_hex(),
-            std::process::id(),
-            seq
-        ));
-        std::fs::write(&tmp, &bytes)?;
-        if let Err(e) = std::fs::rename(&tmp, &path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e.into());
-        }
+        Self::write_atomic(&path, &format!("{}.qvec", fingerprint.to_hex()), &bytes)?;
         Ok(path)
     }
 
@@ -377,6 +421,174 @@ impl SnapshotStore {
             }
         }
         Ok(best)
+    }
+
+    /// Extension of model-weight sidecar files.
+    pub const MODEL_EXTENSION: &'static str = "qcfw";
+
+    /// Path a trained model's weights are stored at. The estimator family
+    /// is part of the file name because one environment can serve several
+    /// families concurrently.
+    pub fn model_path_for(
+        &self,
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+    ) -> PathBuf {
+        self.root.join(benchmark_slug(benchmark)).join(format!(
+            "{}.{}.{}",
+            fingerprint.to_hex(),
+            estimator_slug(estimator),
+            Self::MODEL_EXTENSION
+        ))
+    }
+
+    /// Persist a trained model's weights next to the environment's snapshot
+    /// (atomic temp-file + rename, like [`SnapshotStore::save`]): readers
+    /// never observe a partially written weight file. Rejects saving a
+    /// model under an estimator family it does not belong to.
+    pub fn save_model(
+        &self,
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+        model: &PersistedModel,
+    ) -> Result<PathBuf, StoreError> {
+        if !model_matches_estimator(model, estimator) {
+            return Err(StoreError::Model(ModelCodecError::Malformed(format!(
+                "a {} payload cannot be saved under the {} estimator key",
+                model.name(),
+                estimator.name()
+            ))));
+        }
+        let path = self.model_path_for(benchmark, estimator, fingerprint);
+        let tag = format!("{}.{}", fingerprint.to_hex(), estimator_slug(estimator));
+        Self::write_atomic(&path, &tag, &model.to_bytes())?;
+        Ok(path)
+    }
+
+    /// Load persisted model weights; `Ok(None)` when never persisted. A
+    /// present-but-corrupt file (or one holding a different estimator
+    /// family than the name claims) surfaces a typed
+    /// [`StoreError::Model`] — never garbage weights.
+    pub fn load_model(
+        &self,
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<Option<PersistedModel>, StoreError> {
+        let path = self.model_path_for(benchmark, estimator, fingerprint);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let model = PersistedModel::from_bytes(&bytes)?;
+        if !model_matches_estimator(&model, estimator) {
+            return Err(StoreError::Model(ModelCodecError::Malformed(format!(
+                "weight file for {} holds a {} payload",
+                estimator.name(),
+                model.name()
+            ))));
+        }
+        Ok(Some(model))
+    }
+
+    /// Whether model weights are persisted for the key.
+    pub fn contains_model(
+        &self,
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+    ) -> bool {
+        self.model_path_for(benchmark, estimator, fingerprint)
+            .is_file()
+    }
+
+    /// Delete persisted model weights; returns whether a file existed.
+    pub fn remove_model(
+        &self,
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<bool, StoreError> {
+        match std::fs::remove_file(self.model_path_for(benchmark, estimator, fingerprint)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Move an *undecodable* weight sidecar aside as `<name>.corrupt`,
+    /// returning the new path (`Ok(None)` when no file existed or the
+    /// current content loads fine). The gateway's disk loader quarantines
+    /// failed files this way: the canonical path reads as a clean miss on
+    /// every later restart (no repeated doomed decode), the evidence stays
+    /// on disk for inspection, and a later `publish_model` rewrites the
+    /// canonical path.
+    ///
+    /// The file is re-verified immediately before the rename, so a
+    /// concurrent republish that already replaced a corrupt sidecar with
+    /// valid weights is left untouched instead of being quarantined on the
+    /// strength of a stale read.
+    pub fn quarantine_model(
+        &self,
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<Option<PathBuf>, StoreError> {
+        if self.load_model(benchmark, estimator, fingerprint).is_ok() {
+            // Absent, or decodes cleanly now (e.g. republished since the
+            // caller's failed read): nothing to quarantine.
+            return Ok(None);
+        }
+        let path = self.model_path_for(benchmark, estimator, fingerprint);
+        let mut quarantined = path.clone().into_os_string();
+        quarantined.push(".corrupt");
+        let quarantined = PathBuf::from(quarantined);
+        match std::fs::rename(&path, &quarantined) {
+            Ok(()) => Ok(Some(quarantined)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Every `(estimator, fingerprint)` pair with persisted weights for a
+    /// benchmark, in ascending `(fingerprint, estimator slug)` order.
+    /// Files with unparseable names are skipped; contents are *not*
+    /// decoded here (listing stays cheap).
+    pub fn list_models(
+        &self,
+        benchmark: BenchmarkKind,
+    ) -> Result<Vec<(EstimatorKind, EnvFingerprint)>, StoreError> {
+        let dir = self.root.join(benchmark_slug(benchmark));
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(Self::MODEL_EXTENSION) {
+                continue;
+            }
+            // The stem of `<hex>.<slug>.qcfw` is `<hex>.<slug>`.
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Some((hex, slug)) = stem.split_once('.') else {
+                continue;
+            };
+            let (Some(fp), Some(estimator)) =
+                (EnvFingerprint::from_hex(hex), estimator_from_slug(slug))
+            else {
+                continue;
+            };
+            out.push((estimator, fp));
+        }
+        out.sort_by_key(|(estimator, fp)| (*fp, estimator_slug(*estimator)));
+        Ok(out)
     }
 
     /// Load the snapshot for an environment, or fit one with `fit` and
@@ -563,6 +775,139 @@ mod tests {
             .unwrap()
             .expect("far candidate remains");
         assert_eq!(fp, far.fingerprint());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    use crate::test_support::tiny_mscn;
+
+    #[test]
+    fn model_weights_roundtrip_and_list() {
+        let store = temp_store("models");
+        let kind = BenchmarkKind::Sysbench;
+        let fp = DbEnvironment::reference().fingerprint();
+        let estimator = qcfe_core::pipeline::EstimatorKind::QcfeMscn;
+        assert!(store.load_model(kind, estimator, fp).unwrap().is_none());
+        assert!(store.list_models(kind).unwrap().is_empty());
+        let model = tiny_mscn(7);
+        let path = store.save_model(kind, estimator, fp, &model).unwrap();
+        assert!(path.is_file());
+        assert!(store.contains_model(kind, estimator, fp));
+        let loaded = store
+            .load_model(kind, estimator, fp)
+            .unwrap()
+            .expect("persisted");
+        assert_eq!(loaded.to_bytes(), model.to_bytes(), "bit-exact round-trip");
+        assert_eq!(store.list_models(kind).unwrap(), vec![(estimator, fp)]);
+        // Weight files are keyed per estimator family.
+        assert!(!store.contains_model(kind, qcfe_core::pipeline::EstimatorKind::Mscn, fp));
+        assert!(store.remove_model(kind, estimator, fp).unwrap());
+        assert!(!store.remove_model(kind, estimator, fp).unwrap());
+        assert!(store.list_models(kind).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn model_family_mismatches_are_rejected_typed() {
+        let store = temp_store("model-family");
+        let kind = BenchmarkKind::Sysbench;
+        let fp = DbEnvironment::reference().fingerprint();
+        let model = tiny_mscn(9);
+        // Saving an MSCN payload under a QPPNet (or weight-free PGSQL) key
+        // fails typed.
+        for wrong in [
+            qcfe_core::pipeline::EstimatorKind::QppNet,
+            qcfe_core::pipeline::EstimatorKind::QcfeQpp,
+            qcfe_core::pipeline::EstimatorKind::Pgsql,
+        ] {
+            match store.save_model(kind, wrong, fp, &model) {
+                Err(StoreError::Model(_)) => {}
+                other => panic!("expected model error, got {other:?}"),
+            }
+        }
+        // A weight file renamed across families is rejected on load.
+        let mscn_key = qcfe_core::pipeline::EstimatorKind::QcfeMscn;
+        let qpp_key = qcfe_core::pipeline::EstimatorKind::QcfeQpp;
+        store.save_model(kind, mscn_key, fp, &model).unwrap();
+        std::fs::rename(
+            store.model_path_for(kind, mscn_key, fp),
+            store.model_path_for(kind, qpp_key, fp),
+        )
+        .unwrap();
+        match store.load_model(kind, qpp_key, fp) {
+            Err(StoreError::Model(_)) => {}
+            other => panic!("expected model error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn quarantine_only_moves_genuinely_corrupt_files() {
+        let store = temp_store("quarantine");
+        let kind = BenchmarkKind::Sysbench;
+        let fp = DbEnvironment::reference().fingerprint();
+        let estimator = qcfe_core::pipeline::EstimatorKind::QcfeMscn;
+        // Nothing persisted: nothing to quarantine.
+        assert!(store
+            .quarantine_model(kind, estimator, fp)
+            .unwrap()
+            .is_none());
+        // A healthy sidecar is re-verified and left untouched — the
+        // defence against quarantining a concurrently republished file.
+        let path = store
+            .save_model(kind, estimator, fp, &tiny_mscn(13))
+            .unwrap();
+        assert!(store
+            .quarantine_model(kind, estimator, fp)
+            .unwrap()
+            .is_none());
+        assert!(path.is_file(), "valid weights must survive");
+        // A corrupt sidecar is moved aside.
+        std::fs::write(&path, b"garbage").unwrap();
+        let quarantined = store
+            .quarantine_model(kind, estimator, fp)
+            .unwrap()
+            .expect("corrupt file quarantined");
+        assert!(!path.exists());
+        assert!(quarantined.is_file());
+        assert!(quarantined.to_string_lossy().ends_with(".corrupt"));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupted_model_files_surface_typed_errors() {
+        let store = temp_store("model-corrupt");
+        let kind = BenchmarkKind::Sysbench;
+        let fp = DbEnvironment::reference().fingerprint();
+        let estimator = qcfe_core::pipeline::EstimatorKind::QcfeMscn;
+        let model = tiny_mscn(11);
+        let path = store.save_model(kind, estimator, fp, &model).unwrap();
+        let valid = std::fs::read(&path).unwrap();
+
+        // Garbage, truncation, flipped magic and a single flipped payload
+        // byte all fail typed — never garbage weights, never a panic.
+        for corrupt in [
+            b"garbage".to_vec(),
+            valid[..valid.len() / 2].to_vec(),
+            {
+                let mut b = valid.clone();
+                b[0] = b'X';
+                b
+            },
+            {
+                let mut b = valid.clone();
+                let last = b.len() - 1;
+                b[last] ^= 0x10;
+                b
+            },
+        ] {
+            std::fs::write(&path, &corrupt).unwrap();
+            match store.load_model(kind, estimator, fp) {
+                Err(StoreError::Model(e)) => {
+                    assert!(!e.to_string().is_empty());
+                }
+                other => panic!("expected model error, got {other:?}"),
+            }
+        }
         let _ = std::fs::remove_dir_all(store.root());
     }
 

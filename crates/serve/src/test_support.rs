@@ -1,0 +1,28 @@
+//! Shared test-only fixtures for the serving crate.
+
+use qcfe_core::encoding::FeatureEncoder;
+use qcfe_core::estimators::MscnEstimator;
+use qcfe_core::model_codec::PersistedModel;
+use qcfe_db::catalog::{Catalog, TableBuilder};
+use qcfe_db::types::DataType;
+use qcfe_nn::{Activation, Mlp};
+use rand::SeedableRng;
+
+/// A deterministic, training-free MSCN estimator assembled from parts
+/// (tiny single-table catalog, seeded random weights) — real persistable
+/// weights without paying for training.
+pub(crate) fn tiny_mscn(seed: u64) -> PersistedModel {
+    let mut catalog = Catalog::new();
+    catalog.add_table(
+        TableBuilder::new("t")
+            .column("x", DataType::Int)
+            .primary_key("x"),
+    );
+    let encoder = FeatureEncoder::new(&catalog, false);
+    let dim = encoder.plan_dim();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mlp = Mlp::new(&[dim, 6, 1], Activation::Relu, &mut rng);
+    PersistedModel::Mscn(
+        MscnEstimator::from_parts(encoder, (0..dim).collect(), mlp).expect("consistent parts"),
+    )
+}

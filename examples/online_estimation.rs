@@ -1,8 +1,10 @@
 //! Online estimation walkthrough through the serving front door: train a
-//! QCFE(mscn) estimator, publish its environment through the
-//! [`QcfeGateway`], serve concurrent typed requests, then watch an
-//! *unseen* environment warm-start from the nearest persisted fingerprint
-//! (the paper's snapshot-transfer workflow, online).
+//! QCFE(mscn) estimator, publish its environment *and its weights* through
+//! the [`QcfeGateway`], serve concurrent typed requests, watch an *unseen*
+//! environment warm-start from the nearest persisted fingerprint (the
+//! paper's snapshot-transfer workflow, online), then simulate a process
+//! restart — the rebuilt gateway answers from the persisted `QCFW` weight
+//! sidecars, bit-identically, without retraining.
 //!
 //! ```sh
 //! cargo run --release --example online_estimation
@@ -10,6 +12,7 @@
 
 use qcfe::core::encoding::FeatureEncoder;
 use qcfe::core::estimators::MscnEstimator;
+use qcfe::core::model_codec::PersistedModel;
 use qcfe::core::pipeline::{prepare_context, ContextConfig, EstimatorKind};
 use qcfe::serve::prelude::*;
 use qcfe::workloads::{run_closed_loop, BenchmarkKind, ClosedLoopConfig};
@@ -39,8 +42,9 @@ fn main() {
     );
 
     // 2. One gateway instead of hand-wired store + registry + service:
-    //    publish the environment (snapshot + knob vector) and register the
-    //    trained model under its serving key.
+    //    publish the environment (snapshot + knob vector) and the trained
+    //    model's weights (QCFW sidecar + in-memory registration) under its
+    //    serving key.
     let gateway = QcfeGateway::builder("target/snapshots")
         .service_config(ServiceConfig {
             workers: 2,
@@ -58,11 +62,18 @@ fn main() {
         "published environment {fingerprint} (snapshot + knob vector) at {}",
         path.display()
     );
-    let model: Arc<dyn qcfe::core::cost_model::CostModel> = Arc::new(model);
-    gateway.register_model(
-        ModelKey::new(kind, EstimatorKind::QcfeMscn, fingerprint),
-        Arc::clone(&model),
+    let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, fingerprint);
+    let weights_path = gateway
+        .publish_model(key, PersistedModel::Mscn(model.clone()))
+        .expect("weights published");
+    println!(
+        "published QCFE(mscn) weights ({} bytes) at {}",
+        std::fs::metadata(&weights_path)
+            .map(|m| m.len())
+            .unwrap_or(0),
+        weights_path.display()
     );
+    let model: Arc<dyn qcfe::core::cost_model::CostModel> = Arc::new(model);
 
     // 3. Online phase: 8 closed-loop clients submit typed requests; the
     //    gateway routes them all to the environment's shard.
@@ -90,7 +101,6 @@ fn main() {
         report.latency_percentile_ms(50.0),
         report.latency_percentile_ms(99.0)
     );
-    let key = ModelKey::new(kind, EstimatorKind::QcfeMscn, fingerprint);
     if let Some(metrics) = gateway.shard_metrics(&key) {
         println!(
             "shard            mean batch {:.2} (max {}), cache hit rate {:.1}%",
@@ -134,5 +144,49 @@ fn main() {
     println!(
         "\ngateway          {} requests, {} shards started ({} resident), {} transfers",
         stats.requests, stats.shard_starts, stats.shards_resident, stats.snapshot_transfers
+    );
+
+    // 5. Restart: drop the gateway (process exit) and rebuild it on the
+    //    same store directory with nothing registered. The QCFW weight
+    //    sidecar brings the model back — same bits, no retraining.
+    let reference_plan = db
+        .plan(&ctx.benchmark.random_query(&mut rng))
+        .expect("plannable");
+    let before_restart = gateway
+        .estimate(EstimateRequest::new(
+            kind,
+            env.clone(),
+            reference_plan.clone(),
+        ))
+        .expect("pre-restart estimate");
+    drop(gateway);
+
+    let restarted = QcfeGateway::builder("target/snapshots")
+        .build()
+        .expect("gateway rebuilds");
+    let after_restart = restarted
+        .estimate(EstimateRequest::new(kind, env.clone(), reference_plan))
+        .expect("post-restart estimate");
+    println!("\n== restart: same store directory, empty registry ==");
+    println!(
+        "pre-restart      {:.6} ms   post-restart {:.6} ms   bit-identical: {}",
+        before_restart.cost_ms,
+        after_restart.cost_ms,
+        before_restart.cost_ms.to_bits() == after_restart.cost_ms.to_bits()
+    );
+    println!(
+        "provenance       {:?} (cold start: {}, {} model loads, zero retrains)",
+        after_restart.provenance.snapshot_origin,
+        after_restart.provenance.cold_start,
+        restarted.stats().model_loads
+    );
+    assert!(
+        after_restart.provenance.snapshot_origin.is_from_disk(),
+        "restart must serve from persisted weights"
+    );
+    assert_eq!(
+        before_restart.cost_ms.to_bits(),
+        after_restart.cost_ms.to_bits(),
+        "persisted weights must reproduce the estimate bit-for-bit"
     );
 }

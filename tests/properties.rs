@@ -11,11 +11,16 @@ use qcfe::db::expr::{ColumnRef, CompareOp, Predicate};
 use qcfe::db::plan::OperatorKind;
 use qcfe::db::stats::ColumnStats;
 use qcfe::db::types::Value;
-use qcfe::nn::{least_squares, Matrix};
+use qcfe::nn::codec::WeightsCodecError;
+use qcfe::nn::{least_squares, Activation, Matrix, Mlp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const CASES: usize = 64;
+
+/// The `QCFW` weight-codec properties run many more cases: the acceptance
+/// bar for model persistence is "any shape, any activation, bit-exact".
+const QCFW_CASES: usize = 1000;
 
 /// Q-error is symmetric, at least 1, and 1 exactly for perfect predictions.
 #[test]
@@ -114,6 +119,118 @@ fn snapshot_recovers_linear_coefficients() {
             c[1],
             c1
         );
+    }
+}
+
+/// Build a random small network: 1–3 hidden layers, dims 1–10, random
+/// hidden and output activations drawn from the full supported set.
+fn random_mlp(rng: &mut StdRng) -> Mlp {
+    let layer_count = rng.gen_range(2usize..=4);
+    let sizes: Vec<usize> = (0..=layer_count)
+        .map(|_| rng.gen_range(1usize..=10))
+        .collect();
+    let hidden = Activation::ALL[rng.gen_range(0..Activation::ALL.len())];
+    let output = Activation::ALL[rng.gen_range(0..Activation::ALL.len())];
+    Mlp::with_output_activation(&sizes, hidden, output, rng)
+}
+
+/// The `QCFW` codec round-trips random `Mlp` shapes and activations
+/// bit-identically: every weight, bias, dimension and activation — and
+/// therefore every prediction — survives persistence exactly.
+#[test]
+fn qcfw_roundtrip_is_bit_identical_for_random_mlps() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for case in 0..QCFW_CASES {
+        let mlp = random_mlp(&mut rng);
+        let bytes = mlp.to_weight_bytes();
+        let back = Mlp::from_weight_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: valid buffer rejected: {e}"));
+        assert_eq!(back.layer_count(), mlp.layer_count(), "case {case}");
+        for (la, lb) in mlp.layers().iter().zip(back.layers()) {
+            assert_eq!(la.input_dim(), lb.input_dim(), "case {case}");
+            assert_eq!(la.output_dim(), lb.output_dim(), "case {case}");
+            assert_eq!(la.activation(), lb.activation(), "case {case}");
+            for (wa, wb) in la.weights().as_slice().iter().zip(lb.weights().as_slice()) {
+                assert_eq!(wa.to_bits(), wb.to_bits(), "case {case}: weight bits");
+            }
+            for (ba, bb) in la.biases().iter().zip(lb.biases()) {
+                assert_eq!(ba.to_bits(), bb.to_bits(), "case {case}: bias bits");
+            }
+        }
+        let input: Vec<f64> = (0..mlp.input_dim())
+            .map(|_| rng.gen_range(-3.0f64..3.0))
+            .collect();
+        assert_eq!(
+            mlp.predict_one(&input).to_bits(),
+            back.predict_one(&input).to_bits(),
+            "case {case}: prediction must be bit-identical"
+        );
+        // Serialization is deterministic: same network, same bytes.
+        assert_eq!(back.to_weight_bytes(), bytes, "case {case}");
+    }
+}
+
+/// `QCFW` decode rejects truncation, flipped magic, unknown versions and
+/// arbitrary single-byte corruption with *typed* errors — never a panic,
+/// never silently different weights.
+#[test]
+fn qcfw_decode_rejects_corruption_with_typed_errors() {
+    let mut rng = StdRng::seed_from_u64(0xBAD5EED);
+    for case in 0..QCFW_CASES {
+        let mlp = random_mlp(&mut rng);
+        let bytes = mlp.to_weight_bytes();
+        match case % 4 {
+            0 => {
+                // Truncation at every kind of boundary.
+                let cut = rng.gen_range(0..bytes.len());
+                let err = Mlp::from_weight_bytes(&bytes[..cut])
+                    .expect_err("truncated buffer must not decode");
+                assert!(
+                    matches!(
+                        err,
+                        WeightsCodecError::Truncated | WeightsCodecError::BadMagic
+                    ),
+                    "case {case}: cut {cut} gave {err:?}"
+                );
+            }
+            1 => {
+                // Flipped magic byte.
+                let mut corrupt = bytes.clone();
+                let index = rng.gen_range(0usize..4);
+                corrupt[index] ^= 0xFF;
+                assert_eq!(
+                    Mlp::from_weight_bytes(&corrupt).expect_err("bad magic must not decode"),
+                    WeightsCodecError::BadMagic,
+                    "case {case}"
+                );
+            }
+            2 => {
+                // Unknown version.
+                let mut corrupt = bytes.clone();
+                let version = rng.gen_range(2u32..=u32::MAX);
+                corrupt[4..8].copy_from_slice(&version.to_le_bytes());
+                assert_eq!(
+                    Mlp::from_weight_bytes(&corrupt).expect_err("unknown version must not decode"),
+                    WeightsCodecError::UnsupportedVersion(version),
+                    "case {case}"
+                );
+            }
+            _ => {
+                // A single flipped byte anywhere in the frame: magic,
+                // version, kind, length, CRC or payload — all typed
+                // rejections (the CRC catches everything the header
+                // validators don't).
+                let mut corrupt = bytes.clone();
+                let index = rng.gen_range(0..corrupt.len());
+                let mask = rng.gen_range(1u8..=255);
+                corrupt[index] ^= mask;
+                let err = Mlp::from_weight_bytes(&corrupt)
+                    .expect_err("single-byte corruption must not decode");
+                // Any variant is acceptable; what matters is a typed error
+                // (and no panic). Exercise Display while at it.
+                assert!(!err.to_string().is_empty(), "case {case}");
+            }
+        }
     }
 }
 

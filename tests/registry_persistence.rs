@@ -1,0 +1,381 @@
+//! Durable-model acceptance tests: a gateway rebuilt on the same store
+//! directory must keep serving — bit-identically, without retraining —
+//! from persisted `QCFW` weight sidecars, and the registry's disk-reload
+//! path must hold up under eviction pressure and concurrent writers.
+
+use qcfe::core::collect::{collect_workload, LabeledWorkload};
+use qcfe::core::encoding::FeatureEncoder;
+use qcfe::core::estimators::{EnvSnapshots, MscnEstimator, QppNetEstimator};
+use qcfe::core::model_codec::PersistedModel;
+use qcfe::core::pipeline::EstimatorKind;
+use qcfe::core::snapshot::FeatureSnapshot;
+use qcfe::db::catalog::{Catalog, TableBuilder};
+use qcfe::db::env::{DbEnvironment, HardwareProfile};
+use qcfe::db::plan::{PhysicalOp, PlanNode};
+use qcfe::db::types::DataType;
+use qcfe::nn::{Activation, DenseLayer, Matrix, Mlp};
+use qcfe::serve::prelude::*;
+use qcfe::serve::registry::ModelRegistry;
+use qcfe::workloads::BenchmarkKind;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qcfe-registry-persistence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small-but-real labeled fixture: 2 environments, fitted snapshots.
+fn fixture() -> (
+    qcfe::workloads::Benchmark,
+    Vec<DbEnvironment>,
+    LabeledWorkload,
+    EnvSnapshots,
+) {
+    let bench = BenchmarkKind::Sysbench.build(0.0005, 3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let envs = DbEnvironment::sample_knob_configs(2, HardwareProfile::h1(), &mut rng);
+    let workload = collect_workload(&bench, &envs, 30, 13);
+    let snapshots: EnvSnapshots = (0..envs.len())
+        .map(|env_index| {
+            let executions: Vec<_> = workload
+                .for_environment(env_index)
+                .iter()
+                .map(|q| q.executed.clone())
+                .collect();
+            Some(FeatureSnapshot::fit_from_executions(&executions))
+        })
+        .collect();
+    (bench, envs, workload, snapshots)
+}
+
+/// Satellite acceptance: train → persist → drop the gateway → rebuild from
+/// the same store directory → identical plans produce bit-identical
+/// estimates for *both* learned families, with provenance asserting the
+/// disk load (no retrain — the rebuilt gateway has no models registered and
+/// no provider installed).
+#[test]
+fn gateway_restart_serves_bit_identical_estimates_from_disk() {
+    let (bench, envs, workload, snapshots) = fixture();
+    let env = envs[0].clone();
+    let snapshot = snapshots[0].clone().expect("snapshot fitted");
+    let kind = BenchmarkKind::Sysbench;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let encoder = FeatureEncoder::new(&bench.catalog, true);
+    let (mscn, _) = MscnEstimator::train(
+        encoder.clone(),
+        &workload,
+        Some(&snapshots),
+        None,
+        8,
+        &mut rng,
+    );
+    let mut qpp = QppNetEstimator::new(encoder, None, &mut rng);
+    qpp.train(&workload, Some(&snapshots), 1, &mut rng);
+
+    let mscn_key = ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint());
+    let qpp_key = ModelKey::new(kind, EstimatorKind::QcfeQpp, env.fingerprint());
+    let plans: Vec<PlanNode> = workload
+        .for_environment(0)
+        .iter()
+        .take(12)
+        .map(|q| q.executed.root.clone())
+        .collect();
+    assert!(plans.len() >= 10, "fixture must supply enough plans");
+
+    let request_for = |env: &DbEnvironment, plan: &PlanNode, estimator: EstimatorKind| {
+        EstimateRequest::new(kind, env.clone(), plan.clone()).with_estimator(estimator)
+    };
+
+    // First life: publish everything, serve, remember the exact bits.
+    let root = temp_root("restart");
+    let before: Vec<(EstimatorKind, u64)> = {
+        let gateway = QcfeGateway::builder(&root).build().expect("gateway builds");
+        gateway
+            .publish_snapshot(kind, &env, &snapshot)
+            .expect("snapshot published");
+        gateway
+            .publish_model(mscn_key, PersistedModel::Mscn(mscn))
+            .expect("mscn weights persisted");
+        gateway
+            .publish_model(qpp_key, PersistedModel::QppNet(qpp))
+            .expect("qpp weights persisted");
+        let mut out = Vec::new();
+        for estimator in [EstimatorKind::QcfeMscn, EstimatorKind::QcfeQpp] {
+            for plan in &plans {
+                let response = gateway
+                    .estimate(request_for(&env, plan, estimator))
+                    .expect("first-life estimate");
+                assert_eq!(
+                    response.provenance.snapshot_origin,
+                    SnapshotOrigin::TrainedHere,
+                    "first life serves in-memory registrations"
+                );
+                out.push((estimator, response.cost_ms.to_bits()));
+            }
+        }
+        out
+        // The gateway (and every shard) drops here: the simulated restart.
+    };
+
+    // Second life: same directory, empty registry, no provider. Everything
+    // must come back from the QCFW sidecars.
+    let gateway = QcfeGateway::builder(&root)
+        .build()
+        .expect("gateway rebuilds");
+    let mut cold_starts = 0;
+    let mut index = 0;
+    for estimator in [EstimatorKind::QcfeMscn, EstimatorKind::QcfeQpp] {
+        for plan in &plans {
+            let response = gateway
+                .estimate(request_for(&env, plan, estimator))
+                .expect("post-restart estimate");
+            let (expected_kind, expected_bits) = before[index];
+            assert_eq!(expected_kind, estimator);
+            assert_eq!(
+                response.cost_ms.to_bits(),
+                expected_bits,
+                "{estimator:?}: restarted gateway must serve bit-identical estimates"
+            );
+            assert!(
+                response.provenance.snapshot_origin.is_from_disk(),
+                "{estimator:?}: provenance must assert the disk load, got {:?}",
+                response.provenance.snapshot_origin
+            );
+            assert!(
+                response.provenance.model_from_disk,
+                "{estimator:?}: the model-origin flag must record the disk load"
+            );
+            cold_starts += usize::from(response.provenance.cold_start);
+            index += 1;
+        }
+    }
+    assert_eq!(cold_starts, 2, "one cold start per estimator family");
+    let stats = gateway.stats();
+    assert_eq!(
+        stats.model_loads, 2,
+        "exactly one disk load per family, zero retrains"
+    );
+    assert_eq!(stats.registry.loads, 2);
+
+    // An unseen third environment still fails typed — disk loading must
+    // not have weakened the missing-model path.
+    let other = envs[1].clone();
+    match gateway.estimate(request_for(&other, &plans[0], EstimatorKind::QcfeQpp)) {
+        Err(QcfeError::ModelMissing { key }) => {
+            assert_eq!(key.fingerprint, other.fingerprint())
+        }
+        other => panic!("expected ModelMissing, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A deterministic, training-free MSCN model whose prediction is exactly
+/// its bias: one identity layer with zero weights. Distinct biases make
+/// every persisted model distinguishable on load.
+fn constant_model(encoder: &FeatureEncoder, value: f64) -> PersistedModel {
+    let dim = encoder.plan_dim();
+    let layer =
+        DenseLayer::with_parameters(Matrix::zeros(dim, 1), vec![value], Activation::Identity);
+    PersistedModel::Mscn(
+        MscnEstimator::from_parts(
+            encoder.clone(),
+            (0..dim).collect(),
+            Mlp::from_layers(vec![layer]),
+        )
+        .expect("consistent parts"),
+    )
+}
+
+fn tiny_encoder() -> FeatureEncoder {
+    let mut catalog = Catalog::new();
+    catalog.add_table(
+        TableBuilder::new("t")
+            .column("x", DataType::Int)
+            .primary_key("x"),
+    );
+    FeatureEncoder::new(&catalog, false)
+}
+
+fn scan_plan() -> PlanNode {
+    PlanNode::new(PhysicalOp::SeqScan { table: "t".into() }, vec![])
+}
+
+/// Satellite acceptance: a capacity-2 registry under eviction pressure from
+/// 8 threads reloads each evicted model from disk — never rebuilds (the
+/// build closure panics), never reloads a key while it is resident beyond
+/// what evictions justify, and never serves a partially written file even
+/// while writers keep rewriting the sidecars (write-to-temp + rename).
+#[test]
+fn evicted_models_reload_from_disk_at_most_once_while_resident() {
+    const THREADS: usize = 8;
+    const ITERS: usize = 60;
+    let root = temp_root("eviction");
+    let store = SnapshotStore::open(&root).expect("store opens");
+    let kind = BenchmarkKind::Sysbench;
+    let encoder = tiny_encoder();
+
+    // One persisted model per thread, each predicting its own constant.
+    let keys: Vec<ModelKey> = (0..THREADS)
+        .map(|i| {
+            let mut env = DbEnvironment::reference();
+            env.knobs.work_mem_kb = 2048 + i as u64;
+            ModelKey::new(kind, EstimatorKind::Mscn, env.fingerprint())
+        })
+        .collect();
+    let models: Vec<PersistedModel> = (0..THREADS)
+        .map(|i| constant_model(&encoder, 1.0 + i as f64))
+        .collect();
+    for (key, model) in keys.iter().zip(&models) {
+        store
+            .save_model(key.benchmark, key.estimator, key.fingerprint, model)
+            .expect("seed weights persisted");
+    }
+
+    let loads = Arc::new(AtomicUsize::new(0));
+    let mut registry = ModelRegistry::new(2);
+    {
+        let store = store.clone();
+        let loads = Arc::clone(&loads);
+        registry.set_loader(move |key: &ModelKey| {
+            let model = store
+                .load_model(key.benchmark, key.estimator, key.fingerprint)
+                .expect("a persisted model must never fail to load (torn file?)")
+                .expect("every key in this test is persisted");
+            loads.fetch_add(1, Ordering::Relaxed);
+            Some(model.into_cost_model())
+        });
+    }
+    let registry = Arc::new(registry);
+
+    let stop_writers = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // Writers keep republishing the same weights; the atomic
+        // temp-file + rename protocol means readers only ever observe
+        // complete frames.
+        for w in 0..2usize {
+            let store = store.clone();
+            let keys = &keys;
+            let models = &models;
+            let stop = Arc::clone(&stop_writers);
+            scope.spawn(move || {
+                let mut i = w;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = &keys[i % keys.len()];
+                    store
+                        .save_model(
+                            key.benchmark,
+                            key.estimator,
+                            key.fingerprint,
+                            &models[i % models.len()],
+                        )
+                        .expect("rewrite succeeds");
+                    i += 1;
+                }
+            });
+        }
+        let mut readers = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            readers.push(scope.spawn(move || {
+                let plan = scan_plan();
+                let expected = 1.0 + i as f64;
+                for _ in 0..ITERS {
+                    let model = registry.get_or_insert_with(*key, || {
+                        panic!("persisted key {i} must reload, never rebuild")
+                    });
+                    let predicted = model.predict_plan(&plan, None);
+                    assert_eq!(
+                        predicted.to_bits(),
+                        expected.to_bits(),
+                        "key {i} must serve its own complete weights"
+                    );
+                }
+            }));
+        }
+        for reader in readers {
+            reader
+                .join()
+                .expect("no reader may observe a torn or wrong file");
+        }
+        stop_writers.store(true, Ordering::Relaxed);
+    });
+
+    let stats = registry.stats();
+    let total_loads = loads.load(Ordering::Relaxed);
+    assert_eq!(stats.loads as usize, total_loads);
+    assert!(stats.resident <= 2, "capacity bound held");
+    assert!(
+        stats.evictions >= (THREADS - 2) as u64,
+        "8 keys through 2 slots must evict, saw {}",
+        stats.evictions
+    );
+    assert!(total_loads >= THREADS, "every key loaded at least once");
+    assert!(
+        total_loads as u64 <= THREADS as u64 + stats.evictions,
+        "{total_loads} loads vs {} evictions: a key was reloaded while resident",
+        stats.evictions
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Weight files only ever appear complete: while a writer saves a large
+/// model repeatedly, a reader polling the path must always decode a full
+/// frame (or see the file as absent before the first rename) — never a
+/// torn prefix.
+#[test]
+fn concurrent_saves_never_expose_partial_weight_files() {
+    let root = temp_root("torn");
+    let store = SnapshotStore::open(&root).expect("store opens");
+    let kind = BenchmarkKind::Sysbench;
+    let encoder = tiny_encoder();
+    let fingerprint = DbEnvironment::reference().fingerprint();
+    let estimator = EstimatorKind::Mscn;
+    // A deeper network to make each write non-trivially sized.
+    let model = {
+        let dim = encoder.plan_dim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mlp = Mlp::new(&[dim, 64, 64, 1], Activation::Relu, &mut rng);
+        PersistedModel::Mscn(
+            MscnEstimator::from_parts(encoder.clone(), (0..dim).collect(), mlp)
+                .expect("consistent parts"),
+        )
+    };
+    let expected = model.to_bytes();
+
+    std::thread::scope(|scope| {
+        let writer_store = store.clone();
+        let writer_model = &model;
+        let writer = scope.spawn(move || {
+            for _ in 0..200 {
+                writer_store
+                    .save_model(kind, estimator, fingerprint, writer_model)
+                    .expect("save succeeds");
+            }
+        });
+        let mut observed = 0usize;
+        while !writer.is_finished() {
+            match store.load_model(kind, estimator, fingerprint) {
+                Ok(None) => {} // before the first rename landed
+                Ok(Some(loaded)) => {
+                    observed += 1;
+                    assert_eq!(
+                        loaded.to_bytes(),
+                        expected,
+                        "a loaded model must always be the complete frame"
+                    );
+                }
+                Err(e) => panic!("reader observed a torn weight file: {e}"),
+            }
+        }
+        writer.join().expect("writer finishes");
+        assert!(observed > 0, "the reader raced at least one complete load");
+    });
+    let _ = std::fs::remove_dir_all(&root);
+}
