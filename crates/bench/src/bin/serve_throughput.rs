@@ -5,8 +5,11 @@
 //! operator-grouped QPPNet inference engine, a routed-gateway section
 //! comparing one `QcfeGateway` front door (1 client per environment across
 //! 4 environments) against the equivalent hand-wired per-service setup,
-//! and a cold-restart section timing a rebuilt gateway's first estimate
-//! served from persisted `QCFW` weights against one forced to retrain.
+//! a cold-restart section timing a rebuilt gateway's first estimate
+//! served from persisted `QCFW` weights against one forced to retrain,
+//! and an online-refinement section measuring a cold environment's
+//! estimate error under a transferred snapshot vs after refitting from
+//! its own streamed labels (gated: refit error ≤ transferred error).
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
@@ -27,7 +30,9 @@ use qcfe_core::pipeline::{prepare_context, ContextConfig, EstimatorKind, Experim
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::plan::PlanNode;
 use qcfe_serve::prelude::*;
-use qcfe_workloads::{run_closed_loop, BenchmarkKind, ClosedLoopConfig};
+use qcfe_workloads::{
+    run_closed_loop, run_feedback_loop, BenchmarkKind, ClosedLoopConfig, ObservedEstimate,
+};
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
@@ -502,6 +507,164 @@ fn main() {
         retrain_ms / disk_ms
     );
 
+    // ---------------------------------------------------------------
+    // Online refinement: a cold environment warm-starts from env 0's
+    // published snapshot (Transferred), its estimate error against
+    // observed executions is measured, its executions then stream through
+    // record_execution (refit + promotion to TrainedHere), and the same
+    // seeded query stream is re-measured. The paper's Table VII loop,
+    // online, with a CI gate: refit error ≤ transferred error.
+    // ---------------------------------------------------------------
+    let env_a = ctx.workload.environments[0].clone();
+    // The coldest plausible start: the environment farthest from env 0 in
+    // knob space borrows env 0's snapshot.
+    let refine_index = (1..env_count)
+        .max_by(|&i, &j| {
+            env_a
+                .distance_to(&ctx.workload.environments[i])
+                .total_cmp(&env_a.distance_to(&ctx.workload.environments[j]))
+        })
+        .expect("≥2 environments");
+    let env_b = Arc::new(ctx.workload.environments[refine_index].clone());
+    let db_b = ctx.benchmark.build_database((*env_b).clone());
+    let refine_root = std::env::temp_dir().join(format!(
+        "qcfe-serve-bench-refine-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&refine_root);
+    let gateway = QcfeGateway::builder(&refine_root)
+        .service_config(shard_config)
+        .refinement(RefinementConfig {
+            refit_threshold: 64,
+            min_drift: 0.0,
+            buffer_capacity: 16384,
+        })
+        .with_model(
+            ModelKey::new(kind, EstimatorKind::QcfeMscn, env_b.fingerprint()),
+            Arc::clone(&mscn_model),
+        )
+        .build()
+        .expect("gateway builds");
+    gateway
+        .publish_snapshot(kind, &env_a, &snapshot)
+        .expect("neighbour published");
+
+    // One closed feedback loop, reused for both measurement phases: plan,
+    // estimate through the gateway, execute on the simulator for the
+    // observed label. One client and identical query + execution-noise
+    // seeds make the two phases submit identical queries against identical
+    // observed labels, so the error delta is the refinement effect and
+    // nothing else (in particular, the refit-≤-transferred gate below
+    // cannot flake on execution noise).
+    let measure_seed = seed + 700;
+    let measure = |expect_refined: bool| {
+        let exec_rng =
+            std::sync::Mutex::new(rand::rngs::StdRng::seed_from_u64(measure_seed ^ 0x0b5e));
+        run_feedback_loop(
+            &ctx.benchmark,
+            &ClosedLoopConfig::new(1, 2 * requests_per_client, measure_seed),
+            |query| {
+                let plan = db_b.plan(&query).map_err(|e| e.to_string())?;
+                let response = gateway
+                    .estimate(EstimateRequest::new(kind, Arc::clone(&env_b), plan))
+                    .map_err(|e| e.to_string())?;
+                assert_eq!(
+                    response.provenance.refined, expect_refined,
+                    "refinement provenance must match the phase"
+                );
+                let executed = db_b
+                    .execute(&query, &mut *exec_rng.lock().expect("rng lock"))
+                    .map_err(|e| e.to_string())?;
+                Ok(ObservedEstimate {
+                    estimate_ms: response.cost_ms,
+                    observed_ms: executed.total_ms,
+                })
+            },
+        )
+    };
+    let transferred_run = measure(false);
+    assert_eq!(
+        transferred_run.errors, 0,
+        "transferred serving must not fail"
+    );
+
+    // Feedback phase: stream fresh executed queries as labels while
+    // estimates keep flowing — the online loop, not a maintenance window.
+    let feedback_rng = std::sync::Mutex::new(rand::rngs::StdRng::seed_from_u64(seed + 800));
+    let feedback_run = run_feedback_loop(
+        &ctx.benchmark,
+        &ClosedLoopConfig::new(2, requests_per_client.max(60), seed + 900),
+        |query| {
+            let executed = db_b
+                .execute(&query, &mut *feedback_rng.lock().expect("rng lock"))
+                .map_err(|e| e.to_string())?;
+            let response = gateway
+                .estimate(EstimateRequest::new(
+                    kind,
+                    Arc::clone(&env_b),
+                    executed.root.clone(),
+                ))
+                .map_err(|e| e.to_string())?;
+            gateway
+                .record_execution(kind, &env_b, &executed)
+                .map_err(|e| e.to_string())?;
+            Ok(ObservedEstimate {
+                estimate_ms: response.cost_ms,
+                observed_ms: executed.total_ms,
+            })
+        },
+    );
+    assert_eq!(feedback_run.errors, 0, "feedback serving must not fail");
+    let refine_stats = gateway.stats();
+    assert!(
+        refine_stats.refits >= 1,
+        "the label stream must trigger a refit"
+    );
+    assert_eq!(
+        refine_stats.promotions, 1,
+        "the transferred shard must be promoted exactly once"
+    );
+
+    let refined_run = measure(true);
+    assert_eq!(refined_run.errors, 0, "refined serving must not fail");
+    let _ = std::fs::remove_dir_all(&refine_root);
+
+    let mut refine_table = ReportTable::new(
+        "Online refinement: estimate error on a cold environment (QCFE(mscn))",
+        &[
+            "phase",
+            "snapshot",
+            "mean q-error",
+            "median q-error",
+            "refits",
+            "promotions",
+        ],
+    );
+    refine_table.push_row(vec![
+        "before feedback".into(),
+        "transferred from nearest".into(),
+        fmt3(transferred_run.mean_q_error()),
+        fmt3(transferred_run.median_q_error()),
+        "0".into(),
+        "0".into(),
+    ]);
+    refine_table.push_row(vec![
+        "after feedback".into(),
+        "refit from own labels".into(),
+        fmt3(refined_run.mean_q_error()),
+        fmt3(refined_run.median_q_error()),
+        refine_stats.refits.to_string(),
+        refine_stats.promotions.to_string(),
+    ]);
+    report.add_table(refine_table);
+    eprintln!(
+        "[serve] refinement: mean q-error {:.3} (transferred) -> {:.3} (refit) over {} labels, {} refits",
+        transferred_run.mean_q_error(),
+        refined_run.mean_q_error(),
+        refine_stats.labels_recorded,
+        refine_stats.refits,
+    );
+
     println!("{}", report.render());
     if let Some(path) = report.save_json() {
         eprintln!("[serve] report saved to {}", path.display());
@@ -535,5 +698,15 @@ fn main() {
     assert!(
         disk_ms < retrain_ms,
         "disk-loaded restart ({disk_ms:.3} ms) must beat retraining ({retrain_ms:.3} ms)"
+    );
+
+    // CI regression gate: online refinement must not make a cold
+    // environment worse — after refit from its own labels, estimate error
+    // is at most the transferred-snapshot error.
+    assert!(
+        refined_run.mean_q_error() <= transferred_run.mean_q_error(),
+        "refit error regressed above transferred error: {:.4} > {:.4}",
+        refined_run.mean_q_error(),
+        transferred_run.mean_q_error()
     );
 }

@@ -33,7 +33,20 @@
 //! files are large enough that a silently flipped bit would otherwise just
 //! decode to different estimates. Versioning policy across the family: any
 //! layout change bumps the format's version constant, and decoders reject
-//! unknown versions instead of guessing.
+//! unknown versions instead of guessing. `QCFS` is at version 2 (version 1
+//! plus a flags byte carrying the [`FeatureSnapshot::refined`] provenance
+//! bit); version-1 buffers still decode, with `refined = false`.
+//!
+//! # Online refinement
+//!
+//! The paper's transfer loop (Table VII) does not end at the warm start: a
+//! cold environment that borrowed a neighbour's snapshot keeps collecting
+//! its *own* labeled operator executions and refits from them.
+//! [`FeatureSnapshot::refit_with`] is that incremental step — it fits fresh
+//! coefficients from the observed labels while retaining the previous
+//! coefficients for operators the feedback window never covered, and marks
+//! the result [`FeatureSnapshot::refined`] so the provenance survives the
+//! codec round-trip.
 
 use qcfe_db::executor::ExecutedQuery;
 use qcfe_db::plan::{OperatorKind, PlanNode};
@@ -113,8 +126,16 @@ pub fn formula_arity(kind: OperatorKind) -> usize {
 /// Magic prefix of the binary snapshot codec.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"QCFS";
 
-/// Current version of the binary snapshot codec.
-pub const SNAPSHOT_CODEC_VERSION: u32 = 1;
+/// Current version of the binary snapshot codec (version 2 added the flags
+/// byte carrying [`FeatureSnapshot::refined`]).
+pub const SNAPSHOT_CODEC_VERSION: u32 = 2;
+
+/// Oldest snapshot codec version this build still decodes.
+pub const SNAPSHOT_CODEC_MIN_VERSION: u32 = 1;
+
+/// Bit 0 of the version-2 flags byte: the snapshot was refined online from
+/// the serving environment's own observed labels.
+const SNAPSHOT_FLAG_REFINED: u8 = 0b0000_0001;
 
 /// Errors produced when decoding a persisted feature snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +150,8 @@ pub enum SnapshotCodecError {
     UnknownOperator(u8),
     /// Extra bytes after the declared entries.
     TrailingBytes(usize),
+    /// A version-2 flags byte with bits this build does not understand.
+    UnknownFlags(u8),
 }
 
 impl std::fmt::Display for SnapshotCodecError {
@@ -145,6 +168,9 @@ impl std::fmt::Display for SnapshotCodecError {
             SnapshotCodecError::TrailingBytes(n) => {
                 write!(f, "{n} trailing bytes after snapshot entries")
             }
+            SnapshotCodecError::UnknownFlags(flags) => {
+                write!(f, "unknown snapshot flag bits {flags:#04x}")
+            }
         }
     }
 }
@@ -158,6 +184,11 @@ pub struct FeatureSnapshot {
     /// Simulated cost (ms of query execution) spent collecting the labeled
     /// set used to fit this snapshot.
     pub collection_cost_ms: f64,
+    /// Whether this snapshot was refined online from the serving
+    /// environment's own observed labels ([`FeatureSnapshot::refit_with`]).
+    /// Carried through the `QCFS` codec (version 2), so a restarted node
+    /// can tell a refined snapshot from a freshly published one.
+    pub refined: bool,
 }
 
 impl FeatureSnapshot {
@@ -195,7 +226,32 @@ impl FeatureSnapshot {
         FeatureSnapshot {
             coefficients,
             collection_cost_ms: 0.0,
+            refined: false,
         }
+    }
+
+    /// Refit this snapshot from freshly observed labels — the online half of
+    /// the paper's transfer loop. Operators the new labels cover (with
+    /// enough samples for their formula arity) get coefficients fitted from
+    /// those labels alone; operators the feedback window never covered (or
+    /// undersampled, which [`FeatureSnapshot::fit`] zeroes) retain this
+    /// snapshot's coefficients, so refinement never forgets what the warm
+    /// start knew. The result is marked [`FeatureSnapshot::refined`] and
+    /// keeps this snapshot's collection cost (feedback labels are free — the
+    /// queries ran anyway).
+    pub fn refit_with(&self, samples: &[OperatorSample]) -> FeatureSnapshot {
+        let mut refit = FeatureSnapshot::fit(samples);
+        for (kind, coeffs) in self.entries() {
+            let fitted = refit.coefficients.get(&kind);
+            // An all-zero fit is `fit`'s undersampled fallback, never a real
+            // least-squares solution over observed runtimes.
+            if fitted.is_none() || fitted == Some(&[0.0; SNAPSHOT_DIM]) {
+                refit.coefficients.insert(kind, coeffs);
+            }
+        }
+        refit.collection_cost_ms = self.collection_cost_ms;
+        refit.refined = true;
+        refit
     }
 
     /// Fit a snapshot from whole executed queries, recording the collection
@@ -253,22 +309,30 @@ impl FeatureSnapshot {
         FeatureSnapshot {
             coefficients: entries.into_iter().collect(),
             collection_cost_ms,
+            refined: false,
         }
     }
 
     /// Serialise to the versioned `QCFS` binary format.
     ///
-    /// Layout (all little-endian): magic `"QCFS"`, `u32` version,
-    /// `f64` collection cost, `u32` entry count, then per entry one `u8`
-    /// operator index ([`OperatorKind::index`]) followed by
-    /// [`SNAPSHOT_DIM`] raw `f64` bit patterns. Coefficients round-trip
-    /// bit-exactly, so a reloaded snapshot produces *identical* estimates.
+    /// Layout (all little-endian): magic `"QCFS"`, `u32` version, `u8`
+    /// flags (bit 0: [`FeatureSnapshot::refined`]), `f64` collection cost,
+    /// `u32` entry count, then per entry one `u8` operator index
+    /// ([`OperatorKind::index`]) followed by [`SNAPSHOT_DIM`] raw `f64` bit
+    /// patterns. Coefficients round-trip bit-exactly, so a reloaded
+    /// snapshot produces *identical* estimates. (Version 1 had no flags
+    /// byte; [`FeatureSnapshot::from_bytes`] still decodes it.)
     pub fn to_bytes(&self) -> Vec<u8> {
         let entries = self.entries();
         let mut out =
-            Vec::with_capacity(SNAPSHOT_MAGIC.len() + 16 + entries.len() * (1 + 8 * SNAPSHOT_DIM));
+            Vec::with_capacity(SNAPSHOT_MAGIC.len() + 17 + entries.len() * (1 + 8 * SNAPSHOT_DIM));
         out.extend_from_slice(SNAPSHOT_MAGIC);
         out.extend_from_slice(&SNAPSHOT_CODEC_VERSION.to_le_bytes());
+        out.push(if self.refined {
+            SNAPSHOT_FLAG_REFINED
+        } else {
+            0
+        });
         out.extend_from_slice(&self.collection_cost_ms.to_le_bytes());
         out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
         for (kind, coeffs) in entries {
@@ -295,9 +359,20 @@ impl FeatureSnapshot {
             return Err(SnapshotCodecError::BadMagic);
         }
         let version = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes"));
-        if version != SNAPSHOT_CODEC_VERSION {
+        if !(SNAPSHOT_CODEC_MIN_VERSION..=SNAPSHOT_CODEC_VERSION).contains(&version) {
             return Err(SnapshotCodecError::UnsupportedVersion(version));
         }
+        // Version 2 added the flags byte; version-1 buffers carry no flags
+        // and decode with `refined = false`.
+        let refined = if version >= 2 {
+            let flags = take(&mut cursor, 1)?[0];
+            if flags & !SNAPSHOT_FLAG_REFINED != 0 {
+                return Err(SnapshotCodecError::UnknownFlags(flags));
+            }
+            flags & SNAPSHOT_FLAG_REFINED != 0
+        } else {
+            false
+        };
         let collection_cost_ms =
             f64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes"));
         let count = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
@@ -325,6 +400,7 @@ impl FeatureSnapshot {
         Ok(FeatureSnapshot {
             coefficients,
             collection_cost_ms,
+            refined,
         })
     }
 
@@ -505,18 +581,97 @@ mod tests {
         );
         // a corrupted count field must fail cleanly, not allocate huge
         let mut huge_count = bytes.clone();
-        huge_count[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        huge_count[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(
             FeatureSnapshot::from_bytes(&huge_count),
             Err(SnapshotCodecError::Truncated)
         );
+        // flag bits this build does not understand are rejected, not guessed
+        let mut bad_flags = bytes.clone();
+        bad_flags[8] = 0x82;
+        assert_eq!(
+            FeatureSnapshot::from_bytes(&bad_flags),
+            Err(SnapshotCodecError::UnknownFlags(0x82))
+        );
         let mut bad_op = bytes;
-        // first entry's operator-index byte: magic(4) + version(4) + cost(8) + count(4)
-        bad_op[20] = 200;
+        // first entry's operator-index byte:
+        // magic(4) + version(4) + flags(1) + cost(8) + count(4)
+        bad_op[21] = 200;
         assert_eq!(
             FeatureSnapshot::from_bytes(&bad_op),
             Err(SnapshotCodecError::UnknownOperator(200))
         );
+    }
+
+    /// A version-1 buffer (no flags byte) still decodes, as an unrefined
+    /// snapshot with identical coefficients.
+    #[test]
+    fn version_one_buffers_decode_as_unrefined() {
+        let snap = FeatureSnapshot::fit(&linear_samples(OperatorKind::SeqScan, 0.002, 0.5));
+        let v2 = snap.to_bytes();
+        let mut v1 = Vec::with_capacity(v2.len() - 1);
+        v1.extend_from_slice(SNAPSHOT_MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[9..]); // cost + count + entries, minus the flags byte
+        let decoded = FeatureSnapshot::from_bytes(&v1).expect("v1 decodes");
+        assert!(!decoded.refined);
+        assert_eq!(decoded, snap);
+    }
+
+    /// The refined provenance bit survives the codec round-trip.
+    #[test]
+    fn refined_flag_roundtrips_through_the_codec() {
+        let samples = linear_samples(OperatorKind::SeqScan, 0.002, 0.5);
+        let refit = FeatureSnapshot::fit(&samples).refit_with(&samples);
+        assert!(refit.refined);
+        let back = FeatureSnapshot::from_bytes(&refit.to_bytes()).expect("decodes");
+        assert!(back.refined, "refined bit must persist");
+        assert_eq!(back, refit);
+    }
+
+    /// Refitting replaces coefficients for operators the labels cover and
+    /// retains the previous coefficients for operators they do not.
+    #[test]
+    fn refit_covers_observed_operators_and_retains_the_rest() {
+        let mut offline = linear_samples(OperatorKind::SeqScan, 0.002, 0.5);
+        offline.extend(linear_samples(OperatorKind::HashJoin, 0.004, 1.0));
+        let warm = FeatureSnapshot::fit(&offline);
+
+        // Feedback only covers SeqScan, with twice the slope, plus a single
+        // Sort sample (undersampled for its 2-coefficient formula).
+        let mut feedback = linear_samples(OperatorKind::SeqScan, 0.004, 0.5);
+        feedback.push(OperatorSample {
+            kind: OperatorKind::Sort,
+            n1: 10.0,
+            n2: 0.0,
+            self_ms: 1.0,
+        });
+        let refit = warm.refit_with(&feedback);
+        assert!(refit.refined);
+        assert_eq!(refit.collection_cost_ms, warm.collection_cost_ms);
+        let c = refit.coefficients(OperatorKind::SeqScan);
+        assert!((c[0] - 0.004).abs() < 1e-9, "observed operator refitted");
+        assert_eq!(
+            refit.coefficients(OperatorKind::HashJoin),
+            warm.coefficients(OperatorKind::HashJoin),
+            "uncovered operator keeps the warm-start coefficients"
+        );
+        assert_eq!(
+            refit.coefficients(OperatorKind::Sort),
+            [0.0; SNAPSHOT_DIM],
+            "an operator neither side ever fitted stays zero"
+        );
+
+        // Refitting on the labels a snapshot was fitted from is idempotent
+        // on the coefficients (only the provenance bit flips).
+        let again = warm.refit_with(&offline);
+        for kind in [OperatorKind::SeqScan, OperatorKind::HashJoin] {
+            let a = warm.coefficients(kind);
+            let b = again.coefficients(kind);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{kind:?} must refit bit-stably");
+            }
+        }
     }
 
     #[test]

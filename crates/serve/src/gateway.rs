@@ -27,11 +27,47 @@
 //!    the serving key, the snapshot origin, whether the shard was
 //!    cold-started and where the microseconds went.
 //!
+//! # The refinement lifecycle: `Transferred` → refit → `TrainedHere`
+//!
+//! Snapshot transfer is only the first half of the paper's Table VII loop:
+//! a shard that warm-started from a neighbour's snapshot serves *borrowed*
+//! coefficients, and should graduate to its own once the environment has
+//! executed enough queries. [`QcfeGateway::record_execution`] closes that
+//! loop online:
+//!
+//! 1. **feedback** — clients report each observed execution (a plan
+//!    annotated with actual rows and timings); the gateway extracts its
+//!    [`qcfe_core::snapshot::OperatorSample`]s and routes them to every
+//!    resident shard of the `(benchmark, fingerprint)`, which accumulates
+//!    them in a bounded per-shard [`crate::refine::LabelBuffer`];
+//! 2. **refit** — once [`crate::refine::RefinementConfig::refit_threshold`]
+//!    samples accumulate, the shard's current snapshot is refit from its
+//!    own labels ([`FeatureSnapshot::refit_with`]: observed operators get
+//!    fresh coefficients, uncovered ones keep the warm-start's). An
+//!    optional drift gate (`min_drift`) skips installs that would not move
+//!    the snapshot. At most one refit runs per trigger, even under
+//!    concurrent feedback writers;
+//! 3. **persist, then swap** — the refit snapshot (marked
+//!    [`FeatureSnapshot::refined`]) is written through the store's atomic
+//!    temp-file + rename *first*, then swapped into the running
+//!    [`EstimationService`] without a restart
+//!    ([`ServiceHandle::install_snapshot`]; in-flight batches finish under
+//!    the old snapshot, later batches use the new one — never a mixture),
+//!    so persisted state is always at least as fresh as served state and a
+//!    restart reloads the refit bit-identically (provenance
+//!    [`SnapshotOrigin::LoadedFromDisk`] + [`Provenance::refined`]);
+//! 4. **promotion** — a shard serving a transferred snapshot flips its
+//!    provenance `Transferred { source, distance }` → `TrainedHere`,
+//!    exactly once and never backwards; [`Provenance::refined`] and
+//!    [`GatewayStats`]`::{refits, promotions}` make the lifecycle
+//!    observable.
+//!
 //! Construction goes through [`GatewayBuilder`]; every failure is a
 //! [`QcfeError`].
 
 use crate::error::QcfeError;
 use crate::metrics::MetricsSnapshot;
+use crate::refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 use crate::registry::{EvictedModel, ModelKey, ModelRegistry, ModelSource, RegistryStats};
 use crate::request::{EstimateRequest, EstimateResponse, Provenance, SnapshotOrigin};
 use crate::service::{EstimationService, PendingEstimate, ServiceConfig, ServiceHandle};
@@ -41,11 +77,12 @@ use qcfe_core::cost_model::CostModel;
 use qcfe_core::estimators::PgEstimator;
 use qcfe_core::model_codec::PersistedModel;
 use qcfe_core::pipeline::EstimatorKind;
-use qcfe_core::snapshot::FeatureSnapshot;
+use qcfe_core::snapshot::{operator_samples, FeatureSnapshot, OperatorSample};
+use qcfe_db::executor::ExecutedQuery;
 use qcfe_db::DbEnvironment;
 use qcfe_workloads::BenchmarkKind;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -64,12 +101,52 @@ pub type ModelProvider =
 /// last reference goes away.
 struct Shard {
     handle: ServiceHandle,
-    origin: SnapshotOrigin,
+    /// The snapshot provenance, mutable because online refinement promotes
+    /// it (`Transferred` → `TrainedHere`, `refined` → true). One mutex
+    /// keeps the pair coherent: a reader sees either the pre-promotion or
+    /// the post-promotion state, never a torn mixture.
+    provenance: Mutex<ShardProvenance>,
     /// Whether the shard's model weights came from a persisted `QCFW`
     /// sidecar (surfaced as [`Provenance::model_from_disk`]).
     model_from_disk: bool,
+    /// Online-refinement state: the label window plus the single-refitter
+    /// guard.
+    refinement: ShardRefinement,
     /// Owns the worker pool; kept only for its `Drop` (shutdown + join).
     _service: EstimationService,
+}
+
+/// The mutable half of a shard's provenance (see [`Shard::provenance`]).
+#[derive(Debug, Clone, Copy)]
+struct ShardProvenance {
+    origin: SnapshotOrigin,
+    refined: bool,
+}
+
+/// Per-shard refinement state.
+struct ShardRefinement {
+    /// Observed labels awaiting (or retained across) refits.
+    buffer: Mutex<LabelBuffer>,
+    /// Held by the one feedback thread performing a triggered refit;
+    /// losers of the compare-exchange skip, so a trigger refits at most
+    /// once no matter how many writers race on it.
+    refitting: AtomicBool,
+}
+
+impl ShardRefinement {
+    fn new(buffer_capacity: usize) -> Self {
+        ShardRefinement {
+            buffer: Mutex::new(LabelBuffer::new(buffer_capacity)),
+            refitting: AtomicBool::new(false),
+        }
+    }
+}
+
+impl Shard {
+    /// A coherent copy of the shard's current provenance pair.
+    fn read_provenance(&self) -> ShardProvenance {
+        *self.provenance.lock().expect("shard provenance poisoned")
+    }
 }
 
 /// Monotonic gateway counters (all relaxed atomics; read via
@@ -85,6 +162,9 @@ struct GatewayCounters {
     /// Incremented by the registry's disk loader (the closure holds its
     /// own `Arc` to this struct).
     model_load_failures: AtomicU64,
+    labels_recorded: AtomicU64,
+    refits: AtomicU64,
+    promotions: AtomicU64,
 }
 
 /// A point-in-time view of the gateway's routing activity.
@@ -112,6 +192,16 @@ pub struct GatewayStats {
     /// persistence is broken for some key and restarts are silently paying
     /// for retraining.
     pub model_load_failures: u64,
+    /// Observed operator samples routed to resident shards through
+    /// [`QcfeGateway::record_execution`].
+    pub labels_recorded: u64,
+    /// Online refits performed: a shard's snapshot fitted from its own
+    /// observed labels, persisted, and swapped into the running service.
+    pub refits: u64,
+    /// `Transferred → TrainedHere` provenance promotions — completed
+    /// Table VII transfer loops. At most one per shard start, never
+    /// reversed.
+    pub promotions: u64,
     /// The owned model registry's lookup/eviction statistics.
     pub registry: RegistryStats,
 }
@@ -122,6 +212,7 @@ pub struct GatewayStats {
 pub struct GatewayBuilder {
     root: PathBuf,
     service_config: ServiceConfig,
+    refinement: RefinementConfig,
     registry_capacity: usize,
     max_shards: usize,
     model_provider: Option<Arc<ModelProvider>>,
@@ -134,6 +225,7 @@ impl GatewayBuilder {
         GatewayBuilder {
             root: root.into(),
             service_config: ServiceConfig::default(),
+            refinement: RefinementConfig::default(),
             registry_capacity: 64,
             max_shards: 16,
             model_provider: None,
@@ -144,6 +236,14 @@ impl GatewayBuilder {
     /// Configuration applied to every shard's estimation service.
     pub fn service_config(mut self, config: ServiceConfig) -> Self {
         self.service_config = config;
+        self
+    }
+
+    /// Online-refinement policy applied to every shard (refit threshold,
+    /// drift gate, label-window size). See
+    /// [`QcfeGateway::record_execution`].
+    pub fn refinement(mut self, config: RefinementConfig) -> Self {
+        self.refinement = config;
         self
     }
 
@@ -223,6 +323,7 @@ impl GatewayBuilder {
             registry,
             shards: Mutex::new(LruCache::new(self.max_shards)),
             service_config: self.service_config,
+            refinement: self.refinement.normalized(),
             model_provider: self.model_provider,
             counters,
         };
@@ -240,6 +341,7 @@ pub struct QcfeGateway {
     registry: ModelRegistry,
     shards: Mutex<LruCache<ModelKey, Arc<Shard>>>,
     service_config: ServiceConfig,
+    refinement: RefinementConfig,
     model_provider: Option<Arc<ModelProvider>>,
     counters: Arc<GatewayCounters>,
 }
@@ -286,13 +388,15 @@ impl QcfeGateway {
             .submit(request.plan, !request.options.shed_load)?;
         let estimate = Self::await_ticket(ticket, deadline, started)?;
         let service_us = submitted.elapsed().as_micros() as u64;
+        let provenance = shard.read_provenance();
         Ok(EstimateResponse {
             cost_ms: estimate.cost_ms,
             batch_size: estimate.batch_size,
             encoding_cache_hit: estimate.encoding_cache_hit,
             provenance: Provenance {
                 model_key: key,
-                snapshot_origin: shard.origin,
+                snapshot_origin: provenance.origin,
+                refined: provenance.refined,
                 model_from_disk: shard.model_from_disk,
                 cold_start,
                 service_us,
@@ -332,24 +436,39 @@ impl QcfeGateway {
         for plan in extra_plans {
             pending.push(shard.handle.submit(plan, block_on_full)?);
         }
-        let mut responses = Vec::with_capacity(plan_count);
-        for (index, ticket) in pending.into_iter().enumerate() {
+        let mut estimates = Vec::with_capacity(plan_count);
+        for ticket in pending {
             let estimate = Self::await_ticket(ticket, deadline, started)?;
-            responses.push(EstimateResponse {
-                cost_ms: estimate.cost_ms,
-                batch_size: estimate.batch_size,
-                encoding_cache_hit: estimate.encoding_cache_hit,
-                provenance: Provenance {
-                    model_key: key,
-                    snapshot_origin: shard.origin,
-                    model_from_disk: shard.model_from_disk,
-                    cold_start: cold_start && index == 0,
-                    service_us: submitted.elapsed().as_micros() as u64,
-                    total_us: started.elapsed().as_micros() as u64,
-                },
-            });
+            estimates.push((
+                estimate,
+                submitted.elapsed().as_micros() as u64,
+                started.elapsed().as_micros() as u64,
+            ));
         }
-        Ok(responses)
+        // Read once, after every reply was consumed — the same point
+        // estimate() reads at, so both paths label a burst consistently
+        // (see the [`Provenance`] docs for the concurrent-refit caveat).
+        let provenance = shard.read_provenance();
+        Ok(estimates
+            .into_iter()
+            .enumerate()
+            .map(
+                |(index, (estimate, service_us, total_us))| EstimateResponse {
+                    cost_ms: estimate.cost_ms,
+                    batch_size: estimate.batch_size,
+                    encoding_cache_hit: estimate.encoding_cache_hit,
+                    provenance: Provenance {
+                        model_key: key,
+                        snapshot_origin: provenance.origin,
+                        refined: provenance.refined,
+                        model_from_disk: shard.model_from_disk,
+                        cold_start: cold_start && index == 0,
+                        service_us,
+                        total_us,
+                    },
+                },
+            )
+            .collect())
     }
 
     /// Wait for one in-flight reply, bounded by the request deadline:
@@ -374,6 +493,163 @@ impl QcfeGateway {
                 }
             }
         }
+    }
+
+    /// Report an observed query execution — the feedback half of the
+    /// paper's Table VII transfer loop.
+    ///
+    /// The executed plan's [`OperatorSample`]s are routed to every resident
+    /// shard of `(benchmark, environment.fingerprint())` (all estimator
+    /// families), accumulating in each shard's bounded label window. Once a
+    /// shard accumulates [`RefinementConfig::refit_threshold`] samples, its
+    /// snapshot is refit from its own labels, persisted (snapshot + knob
+    /// vector, atomic temp-file + rename — persisted state always leads
+    /// served state), swapped into the running service without a restart,
+    /// and — for a shard that warm-started from a transferred snapshot —
+    /// its provenance is promoted `Transferred → TrainedHere`, exactly
+    /// once.
+    ///
+    /// Returns what the call did ([`FeedbackOutcome`]); `shards == 0` means
+    /// no shard of the fingerprint is running and the labels were dropped.
+    /// Shards serving without a snapshot (the analytical `PGSQL` baseline)
+    /// accumulate nothing.
+    pub fn record_execution(
+        &self,
+        benchmark: BenchmarkKind,
+        environment: &DbEnvironment,
+        executed: &ExecutedQuery,
+    ) -> Result<FeedbackOutcome, QcfeError> {
+        let samples = operator_samples(executed);
+        let fingerprint = environment.fingerprint();
+        // Snapshot the owning shards without touching recency (feedback is
+        // not a request) and without holding the routing lock across fits
+        // or disk writes.
+        let owners: Vec<Arc<Shard>> = {
+            let shards = self.shards.lock().expect("shard map poisoned");
+            shards
+                .keys_by_recency()
+                .into_iter()
+                .filter(|key| key.benchmark == benchmark && key.fingerprint == fingerprint)
+                .filter_map(|key| shards.peek(&key).map(Arc::clone))
+                .collect()
+        };
+        let mut outcome = FeedbackOutcome {
+            samples: samples.len(),
+            ..FeedbackOutcome::default()
+        };
+        for shard in owners {
+            // A snapshot-free shard has nothing to refine.
+            if shard.handle.snapshot().is_none() {
+                continue;
+            }
+            outcome.shards += 1;
+            self.counters
+                .labels_recorded
+                .fetch_add(samples.len() as u64, Ordering::Relaxed);
+            self.feed_shard(benchmark, environment, &shard, &samples, &mut outcome)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Accumulate `samples` into one shard's label window and, when the
+    /// refit threshold is reached, perform the refit under the shard's
+    /// single-refitter guard (a trigger refits at most once; racing
+    /// feedback writers skip).
+    fn feed_shard(
+        &self,
+        benchmark: BenchmarkKind,
+        environment: &DbEnvironment,
+        shard: &Shard,
+        samples: &[OperatorSample],
+        outcome: &mut FeedbackOutcome,
+    ) -> Result<(), QcfeError> {
+        let due = {
+            let mut buffer = shard
+                .refinement
+                .buffer
+                .lock()
+                .expect("label buffer poisoned");
+            buffer.push(samples);
+            buffer.since_refit() >= self.refinement.refit_threshold
+        };
+        if !due {
+            return Ok(());
+        }
+        if shard
+            .refinement
+            .refitting
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Acquire)
+            .is_err()
+        {
+            // Another feedback thread owns this trigger.
+            return Ok(());
+        }
+        let result = self.refit_shard(benchmark, environment, shard, outcome);
+        shard.refinement.refitting.store(false, Ordering::Release);
+        result
+    }
+
+    /// One refit pass: fit the label window against the serving snapshot,
+    /// apply the drift gate, persist, swap live, promote. Runs with the
+    /// shard's refit guard held.
+    fn refit_shard(
+        &self,
+        benchmark: BenchmarkKind,
+        environment: &DbEnvironment,
+        shard: &Shard,
+        outcome: &mut FeedbackOutcome,
+    ) -> Result<(), QcfeError> {
+        let labels = {
+            let mut buffer = shard
+                .refinement
+                .buffer
+                .lock()
+                .expect("label buffer poisoned");
+            // Resetting the trigger here (not after the fit) keeps the
+            // window sliding while the fit runs; labels arriving mid-refit
+            // count toward the *next* trigger.
+            buffer.take_window()
+        };
+        let Some(current) = shard.handle.snapshot() else {
+            return Ok(());
+        };
+        let candidate = current.refit_with(&labels);
+        // `relative_difference` only scores operators the *current*
+        // snapshot covers, so an operator first observed through feedback
+        // contributes zero drift — it must force the install regardless,
+        // or a strict drift gate would discard its coefficients forever.
+        let covers_new_operator = candidate.covered_operators().into_iter().any(|kind| {
+            current.coefficients(kind) == [0.0; qcfe_core::snapshot::SNAPSHOT_DIM]
+                && candidate.coefficients(kind) != [0.0; qcfe_core::snapshot::SNAPSHOT_DIM]
+        });
+        if self.refinement.min_drift > 0.0
+            && !covers_new_operator
+            && current.relative_difference(&candidate) < self.refinement.min_drift
+        {
+            // The feedback confirms the serving snapshot; installing the
+            // refit would churn disk and cache for nothing.
+            return Ok(());
+        }
+        // Persist before swapping: a crash between the two leaves disk
+        // *ahead* of the serving state, never behind it, so a restart can
+        // only be fresher. The knob vector rides along, making the refined
+        // environment a transfer candidate for its own future neighbours.
+        self.store.save_env(benchmark, environment, &candidate)?;
+        shard.handle.install_snapshot(Some(Arc::new(candidate)));
+        self.counters.refits.fetch_add(1, Ordering::Relaxed);
+        outcome.refits += 1;
+        let mut provenance = shard.provenance.lock().expect("shard provenance poisoned");
+        if provenance.origin.is_transferred() {
+            // The completed Table VII loop: the shard now serves
+            // coefficients fitted from its own environment's labels.
+            // Promotion is monotonic — nothing ever assigns `Transferred`
+            // back.
+            provenance.origin = SnapshotOrigin::TrainedHere;
+            self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+            outcome.promotions += 1;
+        }
+        provenance.refined = true;
+        Ok(())
     }
 
     /// Publish an environment: persist its feature snapshot *and* its knob
@@ -431,6 +707,9 @@ impl QcfeGateway {
             model_evictions: self.counters.model_evictions.load(Ordering::Relaxed),
             model_loads: self.counters.model_loads.load(Ordering::Relaxed),
             model_load_failures: self.counters.model_load_failures.load(Ordering::Relaxed),
+            labels_recorded: self.counters.labels_recorded.load(Ordering::Relaxed),
+            refits: self.counters.refits.load(Ordering::Relaxed),
+            promotions: self.counters.promotions.load(Ordering::Relaxed),
             registry: self.registry.stats(),
         }
     }
@@ -499,6 +778,9 @@ impl QcfeGateway {
         // The transfer statistic tracks what resolve_snapshot actually did,
         // independent of the provenance override below.
         let snapshot_transferred = origin.is_transferred();
+        // A previous life's online refinement survives the restart through
+        // the persisted snapshot's refined bit.
+        let refined = snapshot.as_ref().is_some_and(|s| s.refined);
         // A disk-restored model rewrites a TrainedHere/None origin to
         // LoadedFromDisk — the shard serves pre-restart state without
         // retraining. A Transferred origin is preserved (its source and
@@ -520,8 +802,9 @@ impl QcfeGateway {
             let service = EstimationService::start(model, snapshot, self.service_config);
             let shard = Arc::new(Shard {
                 handle: service.handle(),
-                origin,
+                provenance: Mutex::new(ShardProvenance { origin, refined }),
                 model_from_disk,
+                refinement: ShardRefinement::new(self.refinement.buffer_capacity),
                 _service: service,
             });
             retired = shards.insert(key, Arc::clone(&shard));
@@ -1289,6 +1572,281 @@ mod tests {
             "a retrained model must never resurrect disk provenance, got {:?}",
             again.provenance.snapshot_origin
         );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A stub whose prediction is the snapshot's SeqScan formula applied to
+    /// the plan's `est_rows` — refinement tests can tell *which* snapshot
+    /// served an estimate, bit-for-bit.
+    #[derive(Debug)]
+    struct SnapshotSlope;
+
+    impl CostModel for SnapshotSlope {
+        fn name(&self) -> &'static str {
+            "SnapshotSlope"
+        }
+        fn predict_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+            snapshot.map_or(-1.0, |s| {
+                s.predict(OperatorKind::SeqScan, root.est_rows, 0.0)
+            })
+        }
+    }
+
+    /// A synthetic observed execution: one SeqScan whose self time follows
+    /// `slope * rows + intercept`.
+    fn executed_scan(rows: f64, slope: f64, intercept: f64) -> qcfe_db::executor::ExecutedQuery {
+        let mut node = PlanNode::new(PhysicalOp::SeqScan { table: "t".into() }, vec![]);
+        node.est_rows = rows;
+        node.actual_rows = rows;
+        node.actual_self_ms = slope * rows + intercept;
+        qcfe_db::executor::ExecutedQuery {
+            total_ms: node.actual_self_ms,
+            root: node,
+        }
+    }
+
+    /// Tentpole (unit scale): streamed labels refit a transferred shard's
+    /// snapshot in place, persist it, and promote the provenance
+    /// `Transferred → TrainedHere` — without restarting the shard.
+    #[test]
+    fn feedback_refits_and_promotes_a_transferred_shard() {
+        let root = temp_root("refine");
+        let neighbour = env_with_overhead(1.05);
+        let unseen = env_with_overhead(1.051);
+        let gateway = QcfeGateway::builder(&root)
+            .with_model(
+                ModelKey::new(
+                    BenchmarkKind::Sysbench,
+                    EstimatorKind::Mscn,
+                    unseen.fingerprint(),
+                ),
+                Arc::new(SnapshotSlope),
+            )
+            .refinement(RefinementConfig {
+                refit_threshold: 8,
+                min_drift: 0.0,
+                buffer_capacity: 64,
+            })
+            .build()
+            .unwrap();
+        gateway
+            .publish_snapshot(BenchmarkKind::Sysbench, &neighbour, &tiny_snapshot(0.002))
+            .unwrap();
+
+        let transferred = gateway.estimate(mscn_request(&unseen, 500.0)).unwrap();
+        assert!(transferred.provenance.snapshot_origin.is_transferred());
+        assert!(!transferred.provenance.refined);
+
+        // The environment's real behaviour is 10x steeper than the
+        // neighbour's snapshot claims.
+        let mut refits = 0;
+        let mut promotions = 0;
+        for i in 0..8 {
+            let outcome = gateway
+                .record_execution(
+                    BenchmarkKind::Sysbench,
+                    &unseen,
+                    &executed_scan((i + 1) as f64 * 40.0, 0.02, 0.25),
+                )
+                .unwrap();
+            assert_eq!(outcome.samples, 1);
+            assert_eq!(outcome.shards, 1);
+            refits += outcome.refits;
+            promotions += outcome.promotions;
+        }
+        assert_eq!(refits, 1, "the 8th sample triggers exactly one refit");
+        assert_eq!(promotions, 1);
+        let stats = gateway.stats();
+        assert_eq!(stats.refits, 1);
+        assert_eq!(stats.promotions, 1);
+        assert_eq!(stats.labels_recorded, 8);
+
+        // The shard now serves its own fitted coefficients, live.
+        let promoted = gateway.estimate(mscn_request(&unseen, 500.0)).unwrap();
+        assert_eq!(
+            promoted.provenance.snapshot_origin,
+            SnapshotOrigin::TrainedHere
+        );
+        assert!(promoted.provenance.refined);
+        assert!(
+            !promoted.provenance.cold_start,
+            "the swap must not restart the shard"
+        );
+        let persisted = gateway
+            .store()
+            .load(BenchmarkKind::Sysbench, unseen.fingerprint())
+            .unwrap()
+            .expect("refit snapshot persisted under the shard's own fingerprint");
+        assert!(persisted.refined);
+        assert_eq!(
+            promoted.cost_ms.to_bits(),
+            persisted
+                .predict(OperatorKind::SeqScan, 500.0, 0.0)
+                .to_bits(),
+            "served estimates must come from the persisted refit snapshot"
+        );
+        let c = persisted.coefficients(OperatorKind::SeqScan);
+        assert!((c[0] - 0.02).abs() < 1e-9, "refit slope {}", c[0]);
+        // The refined environment is now a transfer candidate itself.
+        assert!(gateway
+            .store()
+            .load_vector(BenchmarkKind::Sysbench, unseen.fingerprint())
+            .unwrap()
+            .is_some());
+        let metrics = gateway
+            .shard_metrics(&promoted.provenance.model_key)
+            .expect("resident");
+        assert_eq!(metrics.snapshot_swaps, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The drift gate: feedback that merely confirms the serving snapshot
+    /// triggers a fit but installs nothing — no persist, no swap, no
+    /// promotion.
+    #[test]
+    fn drift_gate_skips_confirming_feedback() {
+        let root = temp_root("drift");
+        let neighbour = env_with_overhead(1.05);
+        let unseen = env_with_overhead(1.051);
+        let slope = 0.002;
+        let gateway = QcfeGateway::builder(&root)
+            .with_model(
+                ModelKey::new(
+                    BenchmarkKind::Sysbench,
+                    EstimatorKind::Mscn,
+                    unseen.fingerprint(),
+                ),
+                Arc::new(SnapshotSlope),
+            )
+            .refinement(RefinementConfig {
+                refit_threshold: 8,
+                min_drift: 0.5,
+                buffer_capacity: 64,
+            })
+            .build()
+            .unwrap();
+        gateway
+            .publish_snapshot(BenchmarkKind::Sysbench, &neighbour, &tiny_snapshot(slope))
+            .unwrap();
+        gateway.estimate(mscn_request(&unseen, 10.0)).unwrap();
+
+        // Feedback follows the transferred snapshot's own line (same slope
+        // and intercept the neighbour fitted): candidate ≈ current.
+        for i in 0..16 {
+            let outcome = gateway
+                .record_execution(
+                    BenchmarkKind::Sysbench,
+                    &unseen,
+                    &executed_scan((i + 1) as f64 * 50.0, slope, 0.25),
+                )
+                .unwrap();
+            assert_eq!(outcome.refits, 0);
+        }
+        let stats = gateway.stats();
+        assert_eq!(stats.refits, 0, "confirming feedback must not refit");
+        assert_eq!(stats.promotions, 0);
+        let response = gateway.estimate(mscn_request(&unseen, 10.0)).unwrap();
+        assert!(response.provenance.snapshot_origin.is_transferred());
+        assert!(!response.provenance.refined);
+        assert!(
+            gateway
+                .store()
+                .load(BenchmarkKind::Sysbench, unseen.fingerprint())
+                .unwrap()
+                .is_none(),
+            "a skipped install must not persist anything"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The drift gate must not starve an operator the warm-start never
+    /// covered: feedback whose shared-operator drift is ~zero but which
+    /// carries a *new* operator's labels still installs the refit
+    /// (`relative_difference` only scores shared operators, so the new
+    /// coefficients would otherwise read as zero drift forever).
+    #[test]
+    fn drift_gate_still_installs_newly_covered_operators() {
+        let root = temp_root("drift-new-op");
+        let neighbour = env_with_overhead(1.05);
+        let unseen = env_with_overhead(1.051);
+        let slope = 0.002;
+        let gateway = QcfeGateway::builder(&root)
+            .with_model(
+                ModelKey::new(
+                    BenchmarkKind::Sysbench,
+                    EstimatorKind::Mscn,
+                    unseen.fingerprint(),
+                ),
+                Arc::new(SnapshotSlope),
+            )
+            .refinement(RefinementConfig {
+                refit_threshold: 16,
+                min_drift: 0.5,
+                buffer_capacity: 64,
+            })
+            .build()
+            .unwrap();
+        // The transferred snapshot covers SeqScan only.
+        gateway
+            .publish_snapshot(BenchmarkKind::Sysbench, &neighbour, &tiny_snapshot(slope))
+            .unwrap();
+        gateway.estimate(mscn_request(&unseen, 10.0)).unwrap();
+
+        // Feedback: SeqScan confirms the transferred line (zero drift on
+        // shared operators), but every execution also carries a Sort the
+        // warm start knows nothing about.
+        for i in 0..8 {
+            let n = (i + 1) as f64 * 50.0;
+            let mut scan = PlanNode::new(PhysicalOp::SeqScan { table: "t".into() }, vec![]);
+            scan.actual_rows = n;
+            scan.actual_self_ms = slope * n + 0.25;
+            let mut sort = PlanNode::new(PhysicalOp::Sort { keys: vec![] }, vec![scan]);
+            sort.actual_rows = n;
+            sort.actual_self_ms = 0.001 * n * (n + 1.0).log2() + 2.0;
+            let executed = qcfe_db::executor::ExecutedQuery {
+                total_ms: sort.actual_self_ms,
+                root: sort,
+            };
+            gateway
+                .record_execution(BenchmarkKind::Sysbench, &unseen, &executed)
+                .unwrap();
+        }
+        let stats = gateway.stats();
+        assert_eq!(
+            stats.refits, 1,
+            "a newly covered operator must force the install"
+        );
+        assert_eq!(stats.promotions, 1);
+        let persisted = gateway
+            .store()
+            .load(BenchmarkKind::Sysbench, unseen.fingerprint())
+            .unwrap()
+            .expect("refit persisted");
+        let sort = persisted.coefficients(OperatorKind::Sort);
+        assert!(
+            sort != [0.0; qcfe_core::snapshot::SNAPSHOT_DIM],
+            "the new operator's coefficients must be live"
+        );
+        assert!((sort[0] - 0.001).abs() < 1e-6, "sort c0 {}", sort[0]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Labels for an environment nobody is serving are dropped, visibly.
+    #[test]
+    fn feedback_without_a_resident_shard_is_dropped() {
+        let root = temp_root("unrouted");
+        let env = DbEnvironment::reference();
+        let gateway = QcfeGateway::builder(&root).build().unwrap();
+        let outcome = gateway
+            .record_execution(
+                BenchmarkKind::Sysbench,
+                &env,
+                &executed_scan(100.0, 0.01, 0.1),
+            )
+            .unwrap();
+        assert_eq!(outcome.samples, 1);
+        assert_eq!(outcome.shards, 0, "no owner: labels dropped");
+        assert_eq!(gateway.stats().labels_recorded, 0);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -16,6 +16,13 @@
 //!   space (the paper's Table VII snapshot-transfer workflow, online),
 //!   retires idle shards under an LRU cap, and answers with an
 //!   [`request::EstimateResponse`] carrying full provenance.
+//! * [`gateway::QcfeGateway::record_execution`] + [`refine`] — the online
+//!   refinement loop: observed executions stream labels into bounded
+//!   per-shard buffers; accumulating past the refit threshold refits the
+//!   shard's snapshot from its own labels, persists it, swaps it into the
+//!   running service without a restart, and promotes a transferred shard's
+//!   provenance `Transferred → TrainedHere` (the paper's full Table VII
+//!   transfer loop, online).
 //! * [`error::QcfeError`] — the one error taxonomy every fallible gateway
 //!   operation returns; [`service::ServiceError`] and [`store::StoreError`]
 //!   convert into it via `From`.
@@ -78,6 +85,7 @@ pub mod error;
 pub mod gateway;
 pub mod lru;
 pub mod metrics;
+pub mod refine;
 pub mod registry;
 pub mod request;
 pub mod service;
@@ -89,6 +97,7 @@ pub use error::QcfeError;
 pub use gateway::{GatewayBuilder, GatewayStats, ModelProvider, QcfeGateway};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 pub use registry::{
     EvictedModel, ModelKey, ModelLoader, ModelRegistry, ModelSource, RegistryStats, ResolvedModel,
 };
@@ -104,6 +113,7 @@ pub mod prelude {
     pub use crate::error::QcfeError;
     pub use crate::gateway::{GatewayBuilder, GatewayStats, QcfeGateway};
     pub use crate::metrics::MetricsSnapshot;
+    pub use crate::refine::{FeedbackOutcome, RefinementConfig};
     pub use crate::registry::{ModelKey, ModelRegistry};
     pub use crate::request::{
         EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin,

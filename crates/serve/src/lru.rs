@@ -101,6 +101,13 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     pub fn keys_by_recency(&self) -> Vec<K> {
         self.recency.values().cloned().collect()
     }
+
+    /// Drop every entry (capacity and the eviction counter are kept —
+    /// invalidation is not eviction).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +150,19 @@ mod tests {
         assert_eq!(lru.remove(&3), Some("z"));
         assert_eq!(lru.remove(&3), None);
         assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_eviction_history() {
+        let mut lru = LruCache::new(1);
+        lru.insert(1, "x");
+        lru.insert(2, "y"); // evicts 1
+        assert_eq!(lru.evictions(), 1);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(lru.keys_by_recency().is_empty());
+        assert_eq!(lru.evictions(), 1, "invalidation is not eviction");
+        assert!(lru.insert(3, "z").is_none(), "cleared cache has room");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub struct ServiceMetrics {
     max_batch: AtomicU64,
     queue_depth: AtomicUsize,
     queue_high_water: AtomicU64,
+    snapshot_swaps: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
 }
@@ -52,6 +53,7 @@ impl ServiceMetrics {
             max_batch: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_high_water: AtomicU64::new(0),
+            snapshot_swaps: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -87,6 +89,12 @@ impl ServiceMetrics {
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
         let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a live snapshot swap (online refinement installing a refit
+    /// snapshot into the running service).
+    pub fn record_snapshot_swap(&self) {
+        self.snapshot_swaps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an encoding-cache lookup.
@@ -141,6 +149,7 @@ impl ServiceMetrics {
             p99_latency_us: self.percentile_us(&counts, 99.0),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed) as usize,
+            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -179,6 +188,8 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Maximum queue depth observed.
     pub queue_high_water: usize,
+    /// Live snapshot swaps performed by online refinement.
+    pub snapshot_swaps: u64,
     /// Mean requests per drained micro-batch.
     pub mean_batch_size: f64,
     /// Largest micro-batch drained.

@@ -142,6 +142,13 @@ impl SnapshotOrigin {
 }
 
 /// How a response was produced.
+///
+/// The snapshot provenance (`snapshot_origin`, `refined`) is read from the
+/// shard when the reply is consumed. A refit landing *concurrently* with an
+/// in-flight request can therefore label that one response with the
+/// neighbouring snapshot generation (the estimate itself is never torn —
+/// each inference batch runs entirely under one snapshot). Once a caller
+/// has observed the promoted provenance, it never regresses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Provenance {
     /// The serving key — benchmark, estimator family and environment
@@ -156,6 +163,15 @@ pub struct Provenance {
     /// `snapshot_origin` stays [`SnapshotOrigin::Transferred`] and this
     /// flag records the disk load).
     pub model_from_disk: bool,
+    /// Whether the serving snapshot has been refined online from this
+    /// environment's own observed labels
+    /// ([`crate::QcfeGateway::record_execution`]): set when a resident
+    /// shard's snapshot was refit and swapped live, and restored across
+    /// restarts from the persisted snapshot's
+    /// [`qcfe_core::snapshot::FeatureSnapshot::refined`] bit. A promoted
+    /// shard reports `TrainedHere` + `refined = true` — the completed
+    /// Table VII loop.
+    pub refined: bool,
     /// Whether this request started the shard (cold start) rather than
     /// reusing a running one.
     pub cold_start: bool,

@@ -15,6 +15,19 @@
 //! Backpressure: [`ServiceHandle::estimate`] blocks while the queue is at
 //! capacity (closed-loop clients), [`ServiceHandle::try_estimate`] returns
 //! [`ServiceError::QueueFull`] instead (open-loop clients that shed load).
+//!
+//! # Live snapshot swaps
+//!
+//! The feature snapshot a service serves under is *replaceable at runtime*
+//! ([`ServiceHandle::install_snapshot`]) — the mechanism behind the
+//! gateway's online refinement, which refits a snapshot from observed
+//! labels and swaps it into the running shard without a restart. The swap
+//! is torn-read-free: every drained micro-batch reads the snapshot `Arc`
+//! exactly once, so a batch is predicted entirely under the old snapshot or
+//! entirely under the new one, never a mixture. The plan-encoding cache is
+//! epoch-guarded for the same reason — encodings embed snapshot
+//! coefficients, so a swap bumps the snapshot epoch and workers neither
+//! read nor populate cache entries from another epoch.
 
 use crate::lru::LruCache;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
@@ -24,7 +37,7 @@ use qcfe_db::env::Fnv1a;
 use qcfe_db::plan::PlanNode;
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -123,14 +136,31 @@ struct QueueState {
     closed: bool,
 }
 
+/// The swappable serving snapshot plus its epoch. The epoch ties the
+/// plan-encoding cache to the snapshot that produced its entries: a swap
+/// bumps it, instantly invalidating every cached encoding.
+struct SnapshotSlot {
+    snapshot: Option<Arc<FeatureSnapshot>>,
+    epoch: u64,
+}
+
+/// The plan-encoding cache, tagged with the snapshot epoch its entries were
+/// encoded under. Workers holding a different epoch treat every probe as a
+/// miss and never insert — a stale encoding can neither be served nor
+/// poison the cache across a swap.
+struct EncodingCache {
+    epoch: u64,
+    cache: LruCache<u64, Vec<f64>>,
+}
+
 struct Shared {
     config: ServiceConfig,
     model: Arc<dyn CostModel>,
-    snapshot: Option<FeatureSnapshot>,
+    snapshot: RwLock<SnapshotSlot>,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
-    encoding_cache: Mutex<LruCache<u64, Vec<f64>>>,
+    encoding_cache: Mutex<EncodingCache>,
     metrics: ServiceMetrics,
 }
 
@@ -193,8 +223,17 @@ impl Shared {
     /// prediction and one cache-hit flag per request. Models with a flat
     /// encoding go through the LRU plan-encoding cache and predict over
     /// encodings; everything else predicts straight over the plans.
+    ///
+    /// The snapshot slot is read exactly once per batch, so a concurrent
+    /// [`Shared::install_snapshot`] can never split a batch across two
+    /// snapshots: every prediction in the batch is made under one snapshot,
+    /// bit-for-bit.
     fn batched_predictions(&self, batch: &[Job]) -> (Vec<f64>, Vec<bool>) {
-        let snapshot = self.snapshot.as_ref();
+        let (snapshot, epoch) = {
+            let slot = self.snapshot.read().expect("snapshot slot poisoned");
+            (slot.snapshot.clone(), slot.epoch)
+        };
+        let snapshot = snapshot.as_deref();
         if !self.model.has_flat_encoding() {
             let plans: Vec<&PlanNode> = batch.iter().map(|job| &job.plan).collect();
             return (
@@ -203,11 +242,19 @@ impl Shared {
             );
         }
         // Two lock acquisitions per drained batch (probe, then insert
-        // misses), not per request — encoding itself runs unlocked.
+        // misses), not per request — encoding itself runs unlocked. A cache
+        // whose epoch differs from this batch's snapshot belongs to another
+        // snapshot: probe nothing, insert nothing.
         let keys: Vec<u64> = batch.iter().map(|job| plan_key(&job.plan)).collect();
         let mut rows: Vec<Option<Vec<f64>>> = {
             let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
-            keys.iter().map(|key| cache.get(key).cloned()).collect()
+            if cache.epoch == epoch {
+                keys.iter()
+                    .map(|key| cache.cache.get(key).cloned())
+                    .collect()
+            } else {
+                vec![None; keys.len()]
+            }
         };
         let hits: Vec<bool> = rows.iter().map(Option::is_some).collect();
         let mut fresh: Vec<(u64, Vec<f64>)> = Vec::new();
@@ -223,8 +270,10 @@ impl Shared {
         }
         if !fresh.is_empty() {
             let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
-            for (key, encoding) in fresh {
-                cache.insert(key, encoding);
+            if cache.epoch == epoch {
+                for (key, encoding) in fresh {
+                    cache.cache.insert(key, encoding);
+                }
             }
         }
         for &hit in &hits {
@@ -232,6 +281,37 @@ impl Shared {
         }
         let rows: Vec<Vec<f64>> = rows.into_iter().map(|r| r.expect("filled")).collect();
         (self.model.predict_encoded(&rows), hits)
+    }
+
+    /// Replace the serving snapshot without stopping the service. In-flight
+    /// batches finish under the snapshot they already read; every batch
+    /// drained after the swap predicts under the new one. The encoding
+    /// cache is invalidated by advancing its epoch (cached encodings embed
+    /// the old snapshot's coefficients) — the `<` guard keeps a slow
+    /// concurrent swapper from rolling a newer epoch back.
+    fn install_snapshot(&self, snapshot: Option<Arc<FeatureSnapshot>>) {
+        let epoch = {
+            let mut slot = self.snapshot.write().expect("snapshot slot poisoned");
+            slot.snapshot = snapshot;
+            slot.epoch += 1;
+            slot.epoch
+        };
+        let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
+        if cache.epoch < epoch {
+            cache.epoch = epoch;
+            cache.cache.clear();
+        }
+        drop(cache);
+        self.metrics.record_snapshot_swap();
+    }
+
+    /// The snapshot currently being served (shared, not cloned).
+    fn snapshot(&self) -> Option<Arc<FeatureSnapshot>> {
+        self.snapshot
+            .read()
+            .expect("snapshot slot poisoned")
+            .snapshot
+            .clone()
     }
 
     fn complete(&self, job: Job, estimate: Estimate) {
@@ -361,6 +441,19 @@ impl ServiceHandle {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
     }
+
+    /// Swap the serving snapshot in place (online refinement). Batches
+    /// already drained finish under the old snapshot; later batches predict
+    /// under the new one — no torn state in between. Invalidates the
+    /// plan-encoding cache, whose entries embed snapshot coefficients.
+    pub fn install_snapshot(&self, snapshot: Option<Arc<FeatureSnapshot>>) {
+        self.shared.install_snapshot(snapshot);
+    }
+
+    /// The snapshot the service currently serves under.
+    pub fn snapshot(&self) -> Option<Arc<FeatureSnapshot>> {
+        self.shared.snapshot()
+    }
 }
 
 /// A running estimation service (worker pool + queue + cache + metrics).
@@ -387,14 +480,20 @@ impl EstimationService {
                 encoding_cache_capacity: config.encoding_cache_capacity.max(1),
             },
             model,
-            snapshot,
+            snapshot: RwLock::new(SnapshotSlot {
+                snapshot: snapshot.map(Arc::new),
+                epoch: 0,
+            }),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            encoding_cache: Mutex::new(LruCache::new(config.encoding_cache_capacity.max(1))),
+            encoding_cache: Mutex::new(EncodingCache {
+                epoch: 0,
+                cache: LruCache::new(config.encoding_cache_capacity.max(1)),
+            }),
             metrics: ServiceMetrics::new(),
         });
         let workers = (0..shared.config.workers)
@@ -717,6 +816,144 @@ mod tests {
             handle.try_estimate(scan_plan(1.0)),
             Err(ServiceError::Closed)
         );
+    }
+
+    /// A model whose prediction is read straight off the snapshot: the
+    /// SeqScan c1 intercept. Lets swap tests assert *which* snapshot served
+    /// a request, bit-for-bit.
+    #[derive(Debug)]
+    struct SnapshotIntercept {
+        flat_encoding: bool,
+    }
+
+    impl SnapshotIntercept {
+        fn value(snapshot: Option<&FeatureSnapshot>) -> f64 {
+            snapshot.map_or(-1.0, |s| {
+                s.coefficients(qcfe_db::plan::OperatorKind::SeqScan)[1]
+            })
+        }
+    }
+
+    impl CostModel for SnapshotIntercept {
+        fn name(&self) -> &'static str {
+            "SnapshotIntercept"
+        }
+        fn predict_plan(&self, _: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+            Self::value(snapshot)
+        }
+        fn encode_plan(
+            &self,
+            _: &PlanNode,
+            snapshot: Option<&FeatureSnapshot>,
+        ) -> Option<Vec<f64>> {
+            self.flat_encoding.then(|| vec![Self::value(snapshot)])
+        }
+        fn predict_encoded(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+            rows.iter().map(|r| r[0]).collect()
+        }
+        fn has_flat_encoding(&self) -> bool {
+            self.flat_encoding
+        }
+    }
+
+    fn intercept_snapshot(intercept: f64) -> FeatureSnapshot {
+        use qcfe_core::snapshot::OperatorSample;
+        let samples: Vec<OperatorSample> = (1..=10)
+            .map(|i| OperatorSample {
+                kind: qcfe_db::plan::OperatorKind::SeqScan,
+                n1: (i * 100) as f64,
+                n2: 0.0,
+                self_ms: 0.001 * (i * 100) as f64 + intercept,
+            })
+            .collect();
+        FeatureSnapshot::fit(&samples)
+    }
+
+    /// `install_snapshot` takes effect on the running service without a
+    /// restart, for both the direct-batch and the cached-encoding paths —
+    /// and the encoding cache never serves an encoding made under the old
+    /// snapshot.
+    #[test]
+    fn installed_snapshots_take_effect_without_restart() {
+        for flat_encoding in [false, true] {
+            let before = intercept_snapshot(2.0);
+            let after = intercept_snapshot(8.0);
+            let expect_before = SnapshotIntercept::value(Some(&before));
+            let expect_after = SnapshotIntercept::value(Some(&after));
+            assert_ne!(expect_before.to_bits(), expect_after.to_bits());
+
+            let service = EstimationService::start(
+                Arc::new(SnapshotIntercept { flat_encoding }),
+                Some(before),
+                ServiceConfig {
+                    workers: 1,
+                    ..ServiceConfig::default()
+                },
+            );
+            let handle = service.handle();
+            // Warm the encoding cache under the old snapshot.
+            for _ in 0..3 {
+                let estimate = handle.estimate(scan_plan(42.0)).unwrap();
+                assert_eq!(estimate.cost_ms.to_bits(), expect_before.to_bits());
+            }
+            handle.install_snapshot(Some(Arc::new(after.clone())));
+            assert_eq!(service.metrics().snapshot_swaps, 1);
+            assert_eq!(
+                handle.snapshot().expect("snapshot installed").to_bytes(),
+                after.to_bytes()
+            );
+            // The very same plan — a guaranteed cache key hit before the
+            // swap — must now predict under the new snapshot.
+            for _ in 0..3 {
+                let estimate = handle.estimate(scan_plan(42.0)).unwrap();
+                assert_eq!(
+                    estimate.cost_ms.to_bits(),
+                    expect_after.to_bits(),
+                    "flat_encoding={flat_encoding}: stale snapshot served after swap"
+                );
+            }
+        }
+    }
+
+    /// Satellite acceptance (deadline gap from the gateway PR): a
+    /// [`PendingEstimate`] whose deadline budget is already exhausted
+    /// returns promptly — bounded wall-clock — even while the worker is
+    /// stuck in slow inference, instead of queuing behind it.
+    #[test]
+    fn wait_timeout_with_exhausted_budget_returns_promptly() {
+        #[derive(Debug)]
+        struct SlowModel;
+        impl CostModel for SlowModel {
+            fn name(&self) -> &'static str {
+                "SlowModel"
+            }
+            fn predict_plan(&self, _: &PlanNode, _: Option<&FeatureSnapshot>) -> f64 {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                1.0
+            }
+        }
+        let service = EstimationService::start(
+            Arc::new(SlowModel),
+            None,
+            ServiceConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        // Occupy the single worker, then queue a second request behind it.
+        let busy = handle.submit_async(scan_plan(1.0)).unwrap();
+        let stuck = handle.submit_async(scan_plan(2.0)).unwrap();
+        let waited = Instant::now();
+        let outcome = stuck.wait_timeout(std::time::Duration::ZERO).unwrap();
+        assert_eq!(outcome, None, "an expired budget must not yield a result");
+        assert!(
+            waited.elapsed() < std::time::Duration::from_millis(100),
+            "a zero budget must return promptly, not wait out inference ({:?})",
+            waited.elapsed()
+        );
+        assert!(busy.wait().is_ok(), "the in-flight request still completes");
     }
 
     #[test]

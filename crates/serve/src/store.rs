@@ -401,6 +401,11 @@ impl SnapshotStore {
     /// count as candidates (a vector without its snapshot cannot seed a
     /// warm start), and `exclude` — normally the querying environment's own
     /// fingerprint — never matches itself.
+    ///
+    /// Deterministic under ties: candidates at exactly equal distance
+    /// resolve to the smallest fingerprint, independent of directory
+    /// enumeration or save order, so transfer provenance is reproducible
+    /// across runs.
     pub fn nearest_environment(
         &self,
         benchmark: BenchmarkKind,
@@ -416,7 +421,13 @@ impl SnapshotStore {
             if !d.is_finite() {
                 continue;
             }
-            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+            // The explicit fingerprint tie-break keeps the result stable
+            // even if the candidate iteration order ever stops being
+            // fingerprint-sorted.
+            if best
+                .map(|(bfp, bd)| d < bd || (d == bd && fp < bfp))
+                .unwrap_or(true)
+            {
                 best = Some((fp, d));
             }
         }
@@ -776,6 +787,41 @@ mod tests {
             .expect("far candidate remains");
         assert_eq!(fp, far.fingerprint());
         let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// Satellite acceptance: equal knob distances tie-break
+    /// deterministically on the fingerprint (smallest wins), regardless of
+    /// the order the candidates were persisted in — so transfer provenance
+    /// is reproducible across runs.
+    #[test]
+    fn nearest_environment_tie_breaks_deterministically_on_fingerprint() {
+        let kind = BenchmarkKind::Sysbench;
+        let query = vec![1.0, 2.0, 3.0];
+        // Two synthetic fingerprints sharing one knob vector: both sit at
+        // distance zero from the query — a perfect tie.
+        let low = EnvFingerprint(0x1111_1111_1111_1111);
+        let high = EnvFingerprint(0xeeee_eeee_eeee_eeee);
+        let probe = EnvFingerprint(0xabcd_abcd_abcd_abcd);
+        for (tag, order) in [("lo-hi", [low, high]), ("hi-lo", [high, low])] {
+            let store = temp_store(&format!("tie-{tag}"));
+            for fp in order {
+                store.save(kind, fp, &sample_snapshot(0.001)).unwrap();
+                store.save_vector(kind, fp, &query).unwrap();
+            }
+            for _ in 0..3 {
+                let (fp, d) = store
+                    .nearest_environment(kind, &query, probe)
+                    .unwrap()
+                    .expect("two candidates");
+                assert_eq!(d, 0.0, "both candidates are exact matches");
+                assert_eq!(
+                    fp, low,
+                    "equal distances must resolve to the smallest fingerprint \
+                     (save order {tag})"
+                );
+            }
+            let _ = std::fs::remove_dir_all(store.root());
+        }
     }
 
     use crate::test_support::tiny_mscn;

@@ -22,7 +22,10 @@ pub mod sysbench;
 pub mod template;
 pub mod tpch;
 
-pub use loadgen::{run_closed_loop, ClosedLoopConfig, LoadReport};
+pub use loadgen::{
+    run_closed_loop, run_feedback_loop, ClosedLoopConfig, FeedbackReport, LoadReport,
+    ObservedEstimate,
+};
 pub use template::{Benchmark, ParamDomain, ParamOp, PredicateSpec, QueryTemplate};
 
 /// Which benchmark to build (used by the experiment harness).

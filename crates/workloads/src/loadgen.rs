@@ -8,6 +8,13 @@
 //! The generator is generic over `submit` so this crate stays independent
 //! of the serving stack: `qcfe-serve` tests and benches pass a closure that
 //! plans the query and calls the service handle.
+//!
+//! [`run_feedback_loop`] is the refinement-aware variant: its closure
+//! reports an *observed* execution label next to every estimate (typically
+//! by executing the query on the simulator and streaming the
+//! `ExecutedQuery` back through the gateway's `record_execution`), and the
+//! resulting [`FeedbackReport`] can score estimate accuracy — the
+//! before/after evidence of the paper's Table VII refinement loop.
 
 use crate::template::Benchmark;
 use rand::rngs::StdRng;
@@ -133,6 +140,126 @@ where
     }
 }
 
+/// One completed request of a feedback-driven closed loop: what the
+/// service estimated and what the execution actually cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedEstimate {
+    /// The service's predicted latency (ms).
+    pub estimate_ms: f64,
+    /// The observed (executed) latency the estimate is judged against (ms).
+    pub observed_ms: f64,
+}
+
+impl ObservedEstimate {
+    /// The pair's q-error: `max(estimate/observed, observed/estimate)`,
+    /// ≥ 1, with 1 meaning a perfect estimate. Non-positive values clamp
+    /// to a tiny floor so degenerate labels cannot produce infinities.
+    pub fn q_error(&self) -> f64 {
+        let estimate = self.estimate_ms.max(1e-9);
+        let observed = self.observed_ms.max(1e-9);
+        (estimate / observed).max(observed / estimate)
+    }
+}
+
+/// Aggregate outcome of a feedback-driven closed-loop run
+/// ([`run_feedback_loop`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackReport {
+    /// Wall-clock duration of the whole run in seconds.
+    pub wall_s: f64,
+    /// Failed requests.
+    pub errors: usize,
+    /// Estimate/observation pair of every completed request.
+    pub pairs: Vec<ObservedEstimate>,
+}
+
+impl FeedbackReport {
+    /// Successfully answered requests.
+    pub fn completed(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Completed requests per second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / self.wall_s
+        }
+    }
+
+    /// Mean q-error across completed requests (0 when nothing completed).
+    pub fn mean_q_error(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs
+            .iter()
+            .map(ObservedEstimate::q_error)
+            .sum::<f64>()
+            / self.pairs.len() as f64
+    }
+
+    /// Median q-error across completed requests (0 when nothing completed).
+    pub fn median_q_error(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let mut qs: Vec<f64> = self.pairs.iter().map(ObservedEstimate::q_error).collect();
+        qs.sort_by(|a, b| a.total_cmp(b));
+        qs[qs.len() / 2]
+    }
+}
+
+/// Drive a feedback-aware closed loop: like [`run_closed_loop`], but the
+/// `submit` closure returns an [`ObservedEstimate`] — the estimate *and*
+/// the observed execution label — so the report can score accuracy.
+///
+/// The query stream is the same seeded draw as [`run_closed_loop`] with
+/// the same `config`, so two runs with identical seeds submit identical
+/// queries: measure estimate error under a transferred snapshot, stream
+/// the labels through the gateway's feedback path, re-run with the same
+/// seed, and the error delta is the refinement effect, nothing else.
+pub fn run_feedback_loop<F>(
+    benchmark: &Benchmark,
+    config: &ClosedLoopConfig,
+    submit: F,
+) -> FeedbackReport
+where
+    F: Fn(qcfe_db::query::Query) -> Result<ObservedEstimate, String> + Send + Sync,
+{
+    let results: Mutex<(Vec<ObservedEstimate>, usize)> = Mutex::new((Vec::new(), 0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let submit = &submit;
+            let results = &results;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(client as u64));
+                let mut pairs = Vec::with_capacity(config.requests_per_client);
+                let mut errors = 0usize;
+                for _ in 0..config.requests_per_client {
+                    let query = benchmark.random_query(&mut rng);
+                    match submit(query) {
+                        Ok(pair) => pairs.push(pair),
+                        Err(_) => errors += 1,
+                    }
+                }
+                let mut all = results.lock().expect("loadgen results poisoned");
+                all.0.extend(pairs);
+                all.1 += errors;
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let (pairs, errors) = results.into_inner().expect("loadgen results poisoned");
+    FeedbackReport {
+        wall_s,
+        errors,
+        pairs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +301,84 @@ mod tests {
         });
         assert_eq!(report.completed + report.errors, 20);
         assert_eq!(report.errors, 10);
+    }
+
+    #[test]
+    fn feedback_loop_scores_estimates_against_observations() {
+        let bench = BenchmarkKind::Sysbench.build(0.001, 1);
+        let config = ClosedLoopConfig::new(2, 20, 11);
+        let calls = AtomicUsize::new(0);
+        let report = run_feedback_loop(&bench, &config, |query| {
+            assert!(!query.tables.is_empty());
+            // Alternate a perfect estimate with a 2x overestimate.
+            if calls.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                Ok(ObservedEstimate {
+                    estimate_ms: 4.0,
+                    observed_ms: 4.0,
+                })
+            } else {
+                Ok(ObservedEstimate {
+                    estimate_ms: 8.0,
+                    observed_ms: 4.0,
+                })
+            }
+        });
+        assert_eq!(report.completed(), 40);
+        assert_eq!(report.errors, 0);
+        assert!((report.mean_q_error() - 1.5).abs() < 1e-9);
+        assert!(report.median_q_error() >= 1.0);
+        assert!(report.throughput_qps() > 0.0);
+        // q-error basics: symmetric, ≥ 1, exact on perfect pairs.
+        let perfect = ObservedEstimate {
+            estimate_ms: 3.0,
+            observed_ms: 3.0,
+        };
+        assert_eq!(perfect.q_error(), 1.0);
+        let over = ObservedEstimate {
+            estimate_ms: 9.0,
+            observed_ms: 3.0,
+        };
+        let under = ObservedEstimate {
+            estimate_ms: 3.0,
+            observed_ms: 9.0,
+        };
+        assert_eq!(over.q_error(), under.q_error());
+    }
+
+    #[test]
+    fn feedback_loop_repeats_the_query_stream_for_equal_seeds() {
+        let bench = BenchmarkKind::Sysbench.build(0.001, 1);
+        let config = ClosedLoopConfig::new(1, 15, 23);
+        let collect = |_tag: &str| {
+            let seen = Mutex::new(Vec::new());
+            run_feedback_loop(&bench, &config, |query| {
+                seen.lock().unwrap().push(format!("{query:?}"));
+                Ok(ObservedEstimate {
+                    estimate_ms: 1.0,
+                    observed_ms: 1.0,
+                })
+            });
+            seen.into_inner().unwrap()
+        };
+        assert_eq!(
+            collect("a"),
+            collect("b"),
+            "same seed must submit the same queries — the before/after \
+             error comparison depends on it"
+        );
+    }
+
+    #[test]
+    fn empty_feedback_report_is_zeroed() {
+        let report = FeedbackReport {
+            wall_s: 0.0,
+            errors: 0,
+            pairs: Vec::new(),
+        };
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.mean_q_error(), 0.0);
+        assert_eq!(report.median_q_error(), 0.0);
+        assert_eq!(report.throughput_qps(), 0.0);
     }
 
     #[test]

@@ -122,6 +122,92 @@ fn snapshot_recovers_linear_coefficients() {
     }
 }
 
+/// Draw a random fitted snapshot: 1–4 operator kinds, each with 4–40
+/// samples following that operator's formula shape at random coefficients
+/// (plus deterministic per-sample jitter so least squares has real work).
+fn random_snapshot_samples(rng: &mut StdRng) -> Vec<OperatorSample> {
+    let kind_count = rng.gen_range(1usize..=4);
+    let mut samples = Vec::new();
+    for _ in 0..kind_count {
+        let kind = OperatorKind::ALL[rng.gen_range(0..OperatorKind::ALL.len())];
+        let c0 = rng.gen_range(0.0001f64..0.05);
+        let c1 = rng.gen_range(0.0f64..5.0);
+        let count = rng.gen_range(4usize..=40);
+        for i in 1..=count {
+            let n1 = (i * rng.gen_range(5usize..50)) as f64;
+            let n2 = if kind == OperatorKind::NestedLoop {
+                (i * 7) as f64
+            } else {
+                0.0
+            };
+            let jitter = 1.0 + 0.01 * ((i % 7) as f64 - 3.0);
+            samples.push(OperatorSample {
+                kind,
+                n1,
+                n2,
+                self_ms: (c0 * (n1 + n2) + c1) * jitter,
+            });
+        }
+    }
+    samples
+}
+
+/// Satellite acceptance (≥1000 seeded cases): `FeatureSnapshot` under
+/// refinement — `fit(samples)` → `to_bytes` → `from_bytes` is bit-identical
+/// (including the refined provenance bit), refitting a snapshot on the very
+/// samples it was fitted from is idempotent on the coefficients, and
+/// `relative_difference` is symmetric, non-negative and exactly zero on
+/// self.
+#[test]
+fn snapshot_refit_and_codec_properties() {
+    let mut rng = StdRng::seed_from_u64(0x05AF_EF17);
+    for case in 0..QCFW_CASES {
+        let samples = random_snapshot_samples(&mut rng);
+        let mut snap = FeatureSnapshot::fit(&samples);
+        snap.collection_cost_ms = rng.gen_range(0.0f64..1e6);
+
+        // Codec round-trip: bit-identical, coefficient by coefficient.
+        let back = FeatureSnapshot::from_bytes(&snap.to_bytes())
+            .unwrap_or_else(|e| panic!("case {case}: valid buffer rejected: {e}"));
+        assert_eq!(back, snap, "case {case}");
+        assert!(!back.refined, "case {case}: fit output is unrefined");
+        for (kind, coeffs) in snap.entries() {
+            for (a, b) in coeffs.iter().zip(back.coefficients(kind).iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}: {kind:?} bits");
+            }
+        }
+
+        // Refit idempotence: refitting on the fitting set keeps every
+        // coefficient bit-stable and only flips the provenance bit — and
+        // that bit survives its own codec round-trip.
+        let refit = snap.refit_with(&samples);
+        assert!(refit.refined, "case {case}");
+        assert_eq!(refit.collection_cost_ms, snap.collection_cost_ms);
+        assert_eq!(refit.entries().len(), snap.entries().len(), "case {case}");
+        for (kind, coeffs) in snap.entries() {
+            for (a, b) in coeffs.iter().zip(refit.coefficients(kind).iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}: {kind:?} refit");
+            }
+        }
+        let refit_back = FeatureSnapshot::from_bytes(&refit.to_bytes())
+            .unwrap_or_else(|e| panic!("case {case}: refit buffer rejected: {e}"));
+        assert!(refit_back.refined, "case {case}: refined bit must persist");
+        assert_eq!(refit_back, refit, "case {case}");
+
+        // relative_difference: zero on self (exactly), non-negative and
+        // symmetric against an independently drawn snapshot.
+        assert_eq!(snap.relative_difference(&snap), 0.0, "case {case}");
+        let other = FeatureSnapshot::fit(&random_snapshot_samples(&mut rng));
+        let ab = snap.relative_difference(&other);
+        let ba = other.relative_difference(&snap);
+        assert!(ab >= 0.0, "case {case}: negative difference {ab}");
+        assert!(
+            (ab - ba).abs() < 1e-12 * (1.0 + ab),
+            "case {case}: asymmetric difference {ab} vs {ba}"
+        );
+    }
+}
+
 /// Build a random small network: 1–3 hidden layers, dims 1–10, random
 /// hidden and output activations drawn from the full supported set.
 fn random_mlp(rng: &mut StdRng) -> Mlp {
