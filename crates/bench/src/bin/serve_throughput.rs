@@ -7,9 +7,13 @@
 //! 4 environments) against the equivalent hand-wired per-service setup,
 //! a cold-restart section timing a rebuilt gateway's first estimate
 //! served from persisted `QCFW` weights against one forced to retrain,
-//! and an online-refinement section measuring a cold environment's
+//! an online-refinement section measuring a cold environment's
 //! estimate error under a transferred snapshot vs after refitting from
-//! its own streamed labels (gated: refit error ≤ transferred error).
+//! its own streamed labels (gated: refit error ≤ transferred error),
+//! and a network section driving the same gateway through the `qcfe-net`
+//! reactor over a loopback Unix-domain socket — N pipelined remote
+//! clients vs the same clients in-process (reported, not gated; every
+//! remote estimate is asserted bit-identical to its in-process twin).
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
@@ -29,6 +33,7 @@ use qcfe_core::model_codec::PersistedModel;
 use qcfe_core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::plan::PlanNode;
+use qcfe_net::{NetServerBuilder, QcfeClient};
 use qcfe_serve::prelude::*;
 use qcfe_workloads::{
     run_closed_loop, run_feedback_loop, BenchmarkKind, ClosedLoopConfig, ObservedEstimate,
@@ -663,6 +668,156 @@ fn main() {
         refined_run.mean_q_error(),
         refine_stats.labels_recorded,
         refine_stats.refits,
+    );
+
+    // ---------------------------------------------------------------
+    // Network front end: the qcfe-net reactor serving the same routed
+    // gateway over a loopback Unix-domain socket. N remote clients each
+    // pipeline their whole request batch through one connection; the
+    // baseline is the same N clients calling `gateway.estimate`
+    // in-process. Reported, not gated — loopback syscall cost is machine
+    // noise, and the in-process sections above already carry the
+    // regression gates — but every remote estimate is asserted
+    // bit-identical to its in-process twin first.
+    // ---------------------------------------------------------------
+    let net_root = std::env::temp_dir().join(format!(
+        "qcfe-serve-bench-net-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&net_root);
+    let gateway = Arc::new(
+        QcfeGateway::builder(&net_root)
+            .service_config(shard_config)
+            .build()
+            .expect("gateway builds"),
+    );
+    for (env, snapshot) in ctx.workload.environments.iter().zip(&snapshots) {
+        gateway
+            .publish_snapshot(kind, env, snapshot)
+            .expect("snapshot published");
+        gateway.register_model(
+            ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint()),
+            Arc::clone(&mscn_model),
+        );
+    }
+    let net_clients = if quick { 8 } else { 16 };
+    let query_plans: Vec<PlanNode> = ctx
+        .workload
+        .queries
+        .iter()
+        .map(|q| q.executed.root.clone())
+        .collect();
+    let net_requests: Vec<Vec<EstimateRequest>> = (0..net_clients)
+        .map(|c| {
+            let env = Arc::new(ctx.workload.environments[c % env_count].clone());
+            (0..requests_per_client)
+                .map(|r| {
+                    EstimateRequest::new(
+                        kind,
+                        Arc::clone(&env),
+                        query_plans[(c + r) % query_plans.len()].clone(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let socket = std::env::temp_dir().join(format!(
+        "qcfe-serve-bench-net-{}-{seed}.sock",
+        std::process::id()
+    ));
+    let server = NetServerBuilder::new(Arc::clone(&gateway))
+        .uds(&socket)
+        .max_connections(net_clients + 4)
+        .start()
+        .expect("net server starts");
+
+    // Bit-identity sanity (also warms every environment's shard before
+    // either timing window): one request per client batch, remote vs
+    // in-process.
+    {
+        let mut client = QcfeClient::connect_uds(&socket).expect("client connects");
+        for batch in &net_requests {
+            let request = &batch[0];
+            let expected = gateway.estimate(request.clone()).expect("in-process");
+            let remote = client.estimate(request).expect("remote");
+            assert_eq!(
+                remote.cost_ms.to_bits(),
+                expected.cost_ms.to_bits(),
+                "remote estimate must be bit-identical to in-process"
+            );
+        }
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for batch in &net_requests {
+            let gateway = &gateway;
+            scope.spawn(move || {
+                for request in batch {
+                    gateway.estimate(request.clone()).expect("in-process");
+                }
+            });
+        }
+    });
+    let inproc_tput = (net_clients * requests_per_client) as f64 / started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for batch in &net_requests {
+            let socket = &socket;
+            scope.spawn(move || {
+                let mut client = QcfeClient::connect_uds(socket).expect("client connects");
+                for request in batch {
+                    client.send(request).expect("send");
+                }
+                for _ in 0..batch.len() {
+                    let response = client.recv().expect("recv");
+                    response.outcome.expect("remote estimate");
+                }
+            });
+        }
+    });
+    let net_tput = (net_clients * requests_per_client) as f64 / started.elapsed().as_secs_f64();
+
+    let net_stats = server.join().expect("clean reactor shutdown");
+    assert_eq!(
+        net_stats.responses_ok as usize,
+        net_clients + net_clients * requests_per_client,
+        "every remote request must be answered"
+    );
+    assert_eq!(net_stats.responses_fault, 0, "no remote request may fault");
+    assert_eq!(net_stats.protocol_errors, 0, "no frame may be malformed");
+    let _ = std::fs::remove_dir_all(&net_root);
+
+    let mut net_table = ReportTable::new(
+        "Network front end: loopback UDS reactor vs in-process gateway (QCFE(mscn))",
+        &[
+            "path",
+            "clients",
+            "requests/client",
+            "aggregate throughput (est/s)",
+            "ratio vs in-process",
+        ],
+    );
+    net_table.push_row(vec![
+        "in-process QcfeGateway".into(),
+        net_clients.to_string(),
+        requests_per_client.to_string(),
+        format!("{inproc_tput:.0}"),
+        fmt3(1.0),
+    ]);
+    net_table.push_row(vec![
+        "qcfe-net UDS reactor (pipelined)".into(),
+        net_clients.to_string(),
+        requests_per_client.to_string(),
+        format!("{net_tput:.0}"),
+        fmt3(net_tput / inproc_tput),
+    ]);
+    report.add_table(net_table);
+    eprintln!(
+        "[serve] network front end: {net_clients} pipelined UDS clients {net_tput:.0} est/s vs in-process {inproc_tput:.0} est/s ({:.2}x)",
+        net_tput / inproc_tput
     );
 
     println!("{}", report.render());

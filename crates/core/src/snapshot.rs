@@ -23,11 +23,12 @@
 //! raw `f64` bit patterns (bit-exact round-trips), typed decode errors and
 //! a hard no-panic rule on corrupt input:
 //!
-//! | magic  | contents                | defined in                            |
-//! |--------|-------------------------|---------------------------------------|
-//! | `QCFS` | feature snapshot        | this module                           |
-//! | `QVEC` | environment knob vector | `qcfe_serve::store`                   |
-//! | `QCFW` | trained model weights   | `qcfe_nn::codec` + [`crate::model_codec`] |
+//! | magic  | contents                  | defined in                            |
+//! |--------|---------------------------|---------------------------------------|
+//! | `QCFS` | feature snapshot          | this module                           |
+//! | `QVEC` | environment knob vector   | `qcfe_serve::store`                   |
+//! | `QCFW` | trained model weights     | `qcfe_nn::codec` + [`crate::model_codec`] |
+//! | `QCFP` | network request/response  | `qcfe_net::wire`                      |
 //!
 //! `QCFW` additionally carries a CRC-32 over its payload, because weight
 //! files are large enough that a silently flipped bit would otherwise just
@@ -36,6 +37,13 @@
 //! unknown versions instead of guessing. `QCFS` is at version 2 (version 1
 //! plus a flags byte carrying the [`FeatureSnapshot::refined`] provenance
 //! bit); version-1 buffers still decode, with `refined = false`.
+//!
+//! `QCFP` is the family's only *wire* format — the length-framed protocol
+//! the `qcfe-net` reactor serves estimates over. It inherits the `QCFW`
+//! CRC-32 (over every frame body, so a flipped bit in transit is a typed
+//! checksum error, not a wrong estimate), adds a per-frame flags byte
+//! whose unknown bits are rejected, and bounds every length field before
+//! allocating — the no-panic rule extended to hostile network input.
 //!
 //! # Online refinement
 //!

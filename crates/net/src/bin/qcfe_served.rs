@@ -1,0 +1,111 @@
+//! `qcfe-served` — serve a snapshot store's estimators over the network.
+//!
+//! ```text
+//! qcfe-served STORE_DIR [--tcp ADDR]... [--uds PATH]... [--max-conns N] [--idle-secs N]
+//! ```
+//!
+//! Opens the gateway over `STORE_DIR` (persisted `QCFS` snapshots and
+//! `QCFW` model weights are loaded on demand — a pre-populated store
+//! serves without retraining) and listens on every `--tcp`/`--uds`
+//! endpoint. With no listener flags it serves on `127.0.0.1:7433`.
+//!
+//! The process runs until stdin reaches EOF (or `SIGINT`/`SIGTERM` kills
+//! it); EOF triggers a graceful shutdown that drains in-flight requests —
+//! scriptable as `qcfe-served store < /dev/null` for a bind-check, or
+//! driven by closing the pipe a supervisor holds open.
+
+use qcfe_net::server::NetServerBuilder;
+use qcfe_serve::QcfeGateway;
+use std::io::Read;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qcfe-served STORE_DIR [--tcp ADDR]... [--uds PATH]... \
+         [--max-conns N] [--idle-secs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut store_dir: Option<String> = None;
+    let mut tcp: Vec<String> = Vec::new();
+    let mut uds: Vec<String> = Vec::new();
+    let mut max_conns = 1024usize;
+    let mut idle_secs = 300u64;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => tcp.push(args.next().unwrap_or_else(|| usage())),
+            "--uds" => uds.push(args.next().unwrap_or_else(|| usage())),
+            "--max-conns" => {
+                max_conns = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--idle-secs" => {
+                idle_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ if store_dir.is_none() && !arg.starts_with('-') => store_dir = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(store_dir) = store_dir else { usage() };
+    if tcp.is_empty() && uds.is_empty() {
+        tcp.push("127.0.0.1:7433".to_string());
+    }
+
+    let gateway = match QcfeGateway::builder(&store_dir).build() {
+        Ok(gateway) => Arc::new(gateway),
+        Err(e) => {
+            eprintln!("qcfe-served: cannot open store {store_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut builder = NetServerBuilder::new(gateway)
+        .max_connections(max_conns)
+        .idle_timeout(Duration::from_secs(idle_secs));
+    for addr in tcp {
+        builder = builder.tcp(addr);
+    }
+    for path in &uds {
+        builder = builder.uds(path);
+    }
+    let handle = match builder.start() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("qcfe-served: cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    for addr in handle.tcp_addrs() {
+        println!("listening tcp {addr}");
+    }
+    for path in handle.uds_paths() {
+        println!("listening uds {}", path.display());
+    }
+
+    // Serve until stdin closes, then drain and exit.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+
+    match handle.join() {
+        Ok(stats) => println!(
+            "served {} ok / {} fault over {} connections",
+            stats.responses_ok, stats.responses_fault, stats.connections_accepted
+        ),
+        Err(e) => {
+            eprintln!("qcfe-served: reactor failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

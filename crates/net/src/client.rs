@@ -1,0 +1,183 @@
+//! Blocking `QCFP` client.
+//!
+//! [`QcfeClient`] speaks the wire protocol over one TCP or Unix-domain
+//! connection. It is deliberately simple — blocking sockets, one buffer —
+//! because the concurrency lives on the server: a client **pipelines** by
+//! calling [`QcfeClient::send`] N times before reaping N responses with
+//! [`QcfeClient::recv`], correlating them by request id. The one-shot
+//! [`QcfeClient::estimate`] wraps a single send/recv pair and converts
+//! the typed wire fault into an error.
+
+use crate::wire::{self, Frame, WireError, WireFault, WireRequest, WireResponse};
+use qcfe_serve::request::{EstimateRequest, EstimateResponse};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Any failure on the client side of a connection.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server closing mid-frame).
+    Io(io::Error),
+    /// The server's bytes did not parse as `QCFP`.
+    Wire(WireError),
+    /// The server answered with a typed fault.
+    Fault(WireFault),
+    /// The server sent a request frame (only servers receive requests).
+    UnexpectedFrame,
+    /// A response arrived for a different correlation id than the one
+    /// [`QcfeClient::estimate`] was waiting on.
+    IdMismatch {
+        /// The id of the request just sent.
+        expected: u64,
+        /// The id the response carried.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Fault(fault) => write!(f, "server fault: {fault}"),
+            ClientError::UnexpectedFrame => write!(f, "server sent a request frame"),
+            ClientError::IdMismatch { expected, got } => {
+                write!(f, "expected response id {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+enum Transport {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Uds(s) => s.read(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.write_all(buf),
+            Transport::Uds(s) => s.write_all(buf),
+        }
+    }
+}
+
+/// A blocking connection to a `qcfe-net` server.
+pub struct QcfeClient {
+    transport: Transport,
+    read_buf: Vec<u8>,
+    next_id: u64,
+}
+
+impl QcfeClient {
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self::over(Transport::Tcp(stream)))
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self, ClientError> {
+        Ok(Self::over(Transport::Uds(UnixStream::connect(path)?)))
+    }
+
+    fn over(transport: Transport) -> Self {
+        QcfeClient {
+            transport,
+            read_buf: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Bound how long a [`QcfeClient::recv`] blocks for server bytes.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        match &self.transport {
+            Transport::Tcp(s) => s.set_read_timeout(timeout)?,
+            Transport::Uds(s) => s.set_read_timeout(timeout)?,
+        }
+        Ok(())
+    }
+
+    /// Encode and send one request without waiting for its response;
+    /// returns the correlation id the response will echo. Call repeatedly
+    /// to pipeline.
+    pub fn send(&mut self, request: &EstimateRequest) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let wire_request = WireRequest::from_estimate_request(id, request)?;
+        self.transport
+            .write_all(&wire::encode_request(&wire_request)?)?;
+        Ok(id)
+    }
+
+    /// Block until the next response frame arrives (whatever its id — the
+    /// server answers pipelined requests in completion order).
+    pub fn recv(&mut self) -> Result<WireResponse, ClientError> {
+        loop {
+            match wire::frame_length(&self.read_buf)? {
+                Some(len) => {
+                    let frame: Vec<u8> = self.read_buf.drain(..len).collect();
+                    return match wire::decode_frame(&frame)? {
+                        Frame::Response(response) => Ok(response),
+                        Frame::Request(_) => Err(ClientError::UnexpectedFrame),
+                    };
+                }
+                None => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.transport.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )));
+                    }
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// One blocking round trip: send, await the matching response (out-of-
+    /// order frames from interleaved pipelining are an error here — use
+    /// [`QcfeClient::send`]/[`QcfeClient::recv`] for pipelined traffic),
+    /// convert a fault into [`ClientError::Fault`].
+    pub fn estimate(&mut self, request: &EstimateRequest) -> Result<EstimateResponse, ClientError> {
+        let id = self.send(request)?;
+        let response = self.recv()?;
+        if response.request_id != id {
+            return Err(ClientError::IdMismatch {
+                expected: id,
+                got: response.request_id,
+            });
+        }
+        match response.outcome {
+            Ok(estimate) => Ok(estimate.into_response()),
+            Err(fault) => Err(ClientError::Fault(fault)),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # qcfe-net — the event-loop network front end
+//!
+//! Everything below [`qcfe_serve::QcfeGateway`] is in-process; this crate
+//! puts the gateway on the network so remote clients submit plans and read
+//! estimates over TCP or Unix-domain sockets:
+//!
+//! * [`wire`] — the `QCFP` wire protocol: length-framed, versioned,
+//!   CRC-checked request/response records with strict unknown-version/flag
+//!   rejection and no-panic bounds-checked decoding.
+//! * [`server`] — a single-threaded reactor (epoll on Linux, `poll`
+//!   elsewhere) multiplexing every connection through non-blocking framed
+//!   reads/writes, submitting decoded requests through the gateway's
+//!   asynchronous [`qcfe_serve::QcfeGateway::submit_with_notify`] path and
+//!   shipping responses as they complete — thousands of in-flight
+//!   estimates without a thread each.
+//! * [`client`] — a small blocking client that connects, pipelines
+//!   requests and reaps responses by correlation id.
+//!
+//! The `qcfe-served` binary glues the pieces together: it opens a store
+//! directory, builds a gateway and serves it on the listeners named on the
+//! command line.
+
+pub mod client;
+pub mod server;
+pub mod sys;
+pub mod wire;
+
+pub use client::{ClientError, QcfeClient};
+pub use server::{NetServerBuilder, ServerHandle, ServerStats};
+pub use wire::{
+    decode_frame, encode_request, encode_response, frame_length, Frame, WireError, WireEstimate,
+    WireFault, WireRequest, WireResponse,
+};

@@ -1,0 +1,943 @@
+//! Single-threaded reactor serving `QCFP` over TCP and Unix-domain
+//! sockets.
+//!
+//! One thread owns every connection. Sockets are nonblocking and
+//! level-polled through [`crate::sys::Poller`]; decoded requests enter the
+//! gateway through its asynchronous
+//! [`QcfeGateway::submit_with_notify`] path, so an in-flight estimate
+//! costs one map entry — not a parked thread — and thousands can be
+//! outstanding at once. Completion hooks (running on the shard worker
+//! threads) push the finished sequence number onto a queue and kick the
+//! reactor's [`crate::sys::Waker`]; the reactor reaps each ticket with the
+//! non-blocking [`PendingResponse::try_wait`] and ships the response frame
+//! on the owning connection.
+//!
+//! ## Backpressure
+//!
+//! The reactor never blocks on admission: every gateway submission sheds
+//! load. When a shard queue is full, the client's own `shed_load` flag
+//! picks the policy — `true` gets a typed
+//! [`WireFault::QueueFull`](crate::wire::WireFault) response immediately;
+//! `false` parks the decoded request on its connection and *pauses
+//! reading from that connection* (the paper's closed-loop client simply
+//! stops being read from, and TCP flow control propagates the stall to
+//! it) until a completion frees queue capacity.
+//!
+//! ## Malformed input
+//!
+//! A frame whose *envelope* is broken — bad magic, unknown version,
+//! oversized length, checksum mismatch — leaves the stream unparseable,
+//! so the reactor ships a best-effort error response (request id 0) and
+//! closes the connection. A frame whose envelope verified but whose
+//! *payload* is invalid (unknown tag, out-of-range deadline, …) is
+//! answered with a typed `BadRequest` carrying the authentic request id,
+//! and the connection lives on.
+
+use crate::sys::{Event, Interest, Poller, Waker, WakerHandle};
+use crate::wire::{
+    self, Frame, WireError, WireEstimate, WireFault, WireRequest, WireResponse, MAX_STRING_LEN,
+};
+use qcfe_serve::{PendingResponse, QcfeError, QcfeGateway};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Token of the reactor's waker registration.
+const WAKER_TOKEN: usize = usize::MAX;
+/// First token handed to connections; listeners use `0..CONN_BASE`.
+const CONN_BASE: usize = 64;
+/// Read chunk size per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+/// Poll timeout when nothing sooner (deadline/idle sweep) is due.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Counters the reactor returns from [`ServerHandle::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Connections refused because the connection cap was reached.
+    pub connections_refused: u64,
+    /// Successful estimates shipped.
+    pub responses_ok: u64,
+    /// Typed fault responses shipped (including `BadRequest`).
+    pub responses_fault: u64,
+    /// Connections dropped for an unparseable stream (bad envelope).
+    pub protocol_errors: u64,
+}
+
+/// Configures and starts a [`ServerHandle`]. Build one via
+/// [`NetServerBuilder::new`], add at least one listener, then
+/// [`NetServerBuilder::start`].
+pub struct NetServerBuilder {
+    gateway: Arc<QcfeGateway>,
+    tcp: Vec<String>,
+    uds: Vec<PathBuf>,
+    max_connections: usize,
+    idle_timeout: Duration,
+    drain_timeout: Duration,
+}
+
+impl NetServerBuilder {
+    /// A builder serving the given gateway.
+    pub fn new(gateway: Arc<QcfeGateway>) -> Self {
+        NetServerBuilder {
+            gateway,
+            tcp: Vec::new(),
+            uds: Vec::new(),
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(300),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Add a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral port —
+    /// read the bound address back from [`ServerHandle::tcp_addrs`]).
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.tcp.push(addr.into());
+        self
+    }
+
+    /// Add a Unix-domain listener at `path`. A stale socket file from a
+    /// previous run is removed first.
+    pub fn uds(mut self, path: impl Into<PathBuf>) -> Self {
+        self.uds.push(path.into());
+        self
+    }
+
+    /// Cap concurrent connections; excess accepts are closed immediately
+    /// (default 1024).
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
+    }
+
+    /// Close connections with no traffic and no in-flight requests after
+    /// this long (default 5 minutes).
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// How long a graceful shutdown waits for in-flight requests to
+    /// complete and responses to flush before forcing the exit
+    /// (default 10 seconds).
+    pub fn drain_timeout(mut self, timeout: Duration) -> Self {
+        self.drain_timeout = timeout;
+        self
+    }
+
+    /// Bind every listener, then spawn the reactor thread. Binding happens
+    /// on the caller's thread so ephemeral ports are resolved — and bind
+    /// failures surface — before this returns.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let mut listeners = Vec::new();
+        let mut tcp_addrs = Vec::new();
+        for addr in &self.tcp {
+            let listener = TcpListener::bind(addr.as_str())?;
+            listener.set_nonblocking(true)?;
+            tcp_addrs.push(listener.local_addr()?);
+            listeners.push(Listener::Tcp(listener));
+        }
+        for path in &self.uds {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            listeners.push(Listener::Uds(listener));
+        }
+        if listeners.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "server needs at least one listener",
+            ));
+        }
+
+        let mut poller = Poller::new()?;
+        let waker = Waker::new()?;
+        poller.register(waker.fd(), WAKER_TOKEN, Interest::READ)?;
+        for (i, listener) in listeners.iter().enumerate() {
+            poller.register(listener.fd(), i, Interest::READ)?;
+        }
+        let wake_handle = waker.handle()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let reactor = Reactor {
+            gateway: self.gateway,
+            poller,
+            waker,
+            wake_handle: wake_handle.clone(),
+            listeners,
+            conns: Vec::new(),
+            pending: HashMap::new(),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            next_seq: 0,
+            shutdown: shutdown.clone(),
+            max_connections: self.max_connections,
+            idle_timeout: self.idle_timeout,
+            drain_timeout: self.drain_timeout,
+            stats: ServerStats::default(),
+        };
+        let thread = std::thread::Builder::new()
+            .name("qcfe-net-reactor".into())
+            .spawn(move || reactor.run())?;
+        Ok(ServerHandle {
+            shutdown,
+            waker: wake_handle,
+            thread: Some(thread),
+            tcp_addrs,
+            uds_paths: self.uds,
+        })
+    }
+}
+
+/// A running reactor. Dropping the handle shuts the server down
+/// gracefully and joins the reactor thread.
+pub struct ServerHandle {
+    shutdown: Arc<AtomicBool>,
+    waker: WakerHandle,
+    thread: Option<std::thread::JoinHandle<io::Result<ServerStats>>>,
+    tcp_addrs: Vec<SocketAddr>,
+    uds_paths: Vec<PathBuf>,
+}
+
+impl ServerHandle {
+    /// Bound TCP addresses, in the order the builder's `tcp` calls added
+    /// them (ephemeral ports resolved).
+    pub fn tcp_addrs(&self) -> &[SocketAddr] {
+        &self.tcp_addrs
+    }
+
+    /// Unix-domain socket paths being listened on.
+    pub fn uds_paths(&self) -> &[PathBuf] {
+        &self.uds_paths
+    }
+
+    /// Begin a graceful shutdown: stop accepting, let in-flight requests
+    /// complete (bounded by the drain timeout), flush and close. Safe to
+    /// call more than once.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
+    /// Shut down (if not already requested) and wait for the reactor to
+    /// exit, returning its lifetime counters.
+    pub fn join(mut self) -> io::Result<ServerStats> {
+        self.shutdown();
+        let result = match self.thread.take() {
+            Some(thread) => thread
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("reactor thread panicked"))),
+            None => Ok(ServerStats::default()),
+        };
+        self.cleanup_uds();
+        result
+    }
+
+    fn cleanup_uds(&self) {
+        for path in &self.uds_paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        self.cleanup_uds();
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Listener {
+    fn fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Uds(l) => l.as_raw_fd(),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
+            }
+            Listener::Uds(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(true)?;
+                Ok(Stream::Uds(stream))
+            }
+        }
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Stream {
+    fn fd(&self) -> RawFd {
+        match self {
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Uds(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+}
+
+struct Conn {
+    stream: Stream,
+    /// Generation of this slot; stamps in-flight requests so a completion
+    /// for a closed connection cannot reach the slot's next tenant.
+    generation: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    last_activity: Instant,
+    in_flight: usize,
+    /// A decoded request waiting for shard queue capacity. While set, the
+    /// connection is not read from (frames behind the stalled one must not
+    /// overtake it).
+    stalled: Option<WireRequest>,
+    /// Peer half-closed (or shutdown draining): stop reading.
+    read_closed: bool,
+    /// Close as soon as the write buffer drains.
+    close_after_flush: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn wants_read(&self, shutting_down: bool) -> bool {
+        !self.read_closed && self.stalled.is_none() && !self.close_after_flush && !shutting_down
+    }
+
+    fn has_backlog(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+}
+
+struct Pending {
+    slot: usize,
+    generation: u64,
+    request_id: u64,
+    response: PendingResponse,
+    expires: Option<Instant>,
+}
+
+struct Reactor {
+    gateway: Arc<QcfeGateway>,
+    poller: Poller,
+    waker: Waker,
+    wake_handle: WakerHandle,
+    listeners: Vec<Listener>,
+    conns: Vec<Option<Conn>>,
+    pending: HashMap<u64, Pending>,
+    completions: Arc<Mutex<Vec<u64>>>,
+    next_seq: u64,
+    shutdown: Arc<AtomicBool>,
+    max_connections: usize,
+    idle_timeout: Duration,
+    drain_timeout: Duration,
+    stats: ServerStats,
+}
+
+impl Reactor {
+    fn run(mut self) -> io::Result<ServerStats> {
+        let mut events: Vec<Event> = Vec::new();
+        let mut accepting = true;
+        let mut drain_until: Option<Instant> = None;
+
+        loop {
+            let shutting_down = self.shutdown.load(Ordering::SeqCst);
+            if shutting_down {
+                if accepting {
+                    // Stop accepting: deregister and drop the listeners so
+                    // new connects fail fast instead of queueing.
+                    for listener in self.listeners.drain(..) {
+                        let _ = self.poller.deregister(listener.fd());
+                    }
+                    accepting = false;
+                    drain_until = Some(Instant::now() + self.drain_timeout);
+                    for slot in 0..self.conns.len() {
+                        if self.conns[slot].is_some() {
+                            self.update_interest(slot, true);
+                        }
+                    }
+                }
+                let drained = self.pending.is_empty()
+                    && self
+                        .conns
+                        .iter()
+                        .flatten()
+                        .all(|c| !c.has_backlog() && c.stalled.is_none());
+                let expired = drain_until.is_some_and(|t| Instant::now() >= t);
+                if drained || expired {
+                    break;
+                }
+            }
+
+            let timeout = self.poll_timeout(shutting_down);
+            self.poller.wait(&mut events, Some(timeout))?;
+
+            for event in events.drain(..) {
+                if event.token == WAKER_TOKEN {
+                    self.waker.drain();
+                } else if event.token < CONN_BASE {
+                    if accepting {
+                        self.accept_all(event.token);
+                    }
+                } else {
+                    let slot = event.token - CONN_BASE;
+                    if event.writable || event.error {
+                        self.flush(slot, shutting_down);
+                    }
+                    if event.readable {
+                        self.readable(slot, shutting_down);
+                    }
+                }
+            }
+
+            self.drain_completions(shutting_down);
+            self.sweep_deadlines(shutting_down);
+            if !shutting_down {
+                self.sweep_idle();
+            }
+        }
+        Ok(self.stats)
+    }
+
+    /// Sleep until the next thing that needs the reactor: the nearest
+    /// in-flight deadline, else the housekeeping tick.
+    fn poll_timeout(&self, shutting_down: bool) -> Duration {
+        let mut timeout = TICK;
+        let now = Instant::now();
+        for pending in self.pending.values() {
+            if let Some(expires) = pending.expires {
+                timeout = timeout.min(expires.saturating_duration_since(now));
+            }
+        }
+        if shutting_down {
+            timeout = timeout.min(Duration::from_millis(10));
+        }
+        timeout
+    }
+
+    fn accept_all(&mut self, listener: usize) {
+        loop {
+            match self.listeners[listener].accept() {
+                Ok(stream) => {
+                    let active = self.conns.iter().flatten().count();
+                    if active >= self.max_connections {
+                        self.stats.connections_refused += 1;
+                        continue; // drop the socket: connection refused
+                    }
+                    self.stats.connections_accepted += 1;
+                    let slot = self
+                        .conns
+                        .iter()
+                        .position(Option::is_none)
+                        .unwrap_or_else(|| {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        });
+                    let generation = self.next_seq; // any unique stamp
+                    self.next_seq += 1;
+                    let fd = stream.fd();
+                    let conn = Conn {
+                        stream,
+                        generation,
+                        read_buf: Vec::new(),
+                        write_buf: Vec::new(),
+                        write_pos: 0,
+                        last_activity: Instant::now(),
+                        in_flight: 0,
+                        stalled: None,
+                        read_closed: false,
+                        close_after_flush: false,
+                        interest: Interest::READ,
+                    };
+                    if self
+                        .poller
+                        .register(fd, CONN_BASE + slot, Interest::READ)
+                        .is_err()
+                    {
+                        continue; // conn dropped; slot stays free
+                    }
+                    self.conns[slot] = Some(conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn readable(&mut self, slot: usize, shutting_down: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if !conn.wants_read(shutting_down) {
+            return;
+        }
+        conn.last_activity = Instant::now();
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        self.parse_frames(slot, shutting_down);
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.read_closed && conn.in_flight == 0 && !conn.has_backlog() {
+            self.close(slot);
+        } else {
+            self.update_interest(slot, shutting_down);
+        }
+    }
+
+    /// Consume every complete frame in the connection's read buffer.
+    /// Stops early when the connection stalls on backpressure or the
+    /// stream desyncs.
+    fn parse_frames(&mut self, slot: usize, shutting_down: bool) {
+        let mut offset = 0;
+        loop {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.stalled.is_some() || conn.close_after_flush {
+                break;
+            }
+            let buf = &conn.read_buf[offset..];
+            match wire::frame_length(buf) {
+                Ok(None) => break,
+                Ok(Some(len)) => {
+                    // Take the frame bytes out so `self` is free for the
+                    // handlers below.
+                    let frame: Vec<u8> = buf[..len].to_vec();
+                    offset += len;
+                    self.handle_frame(slot, &frame, shutting_down);
+                }
+                Err(error) => {
+                    // The stream cannot be re-synchronised: answer with a
+                    // best-effort error frame and close.
+                    self.stats.protocol_errors += 1;
+                    self.protocol_error(slot, 0, &error);
+                    if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                        conn.read_buf.clear();
+                    }
+                    return;
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.read_buf.drain(..offset);
+        }
+    }
+
+    fn handle_frame(&mut self, slot: usize, frame: &[u8], shutting_down: bool) {
+        match wire::decode_frame(frame) {
+            Ok(Frame::Request(request)) => self.submit(slot, *request, shutting_down),
+            Ok(Frame::Response(response)) => {
+                // Clients must not send response frames; the stream is
+                // syntactically fine but semantically broken — reject and
+                // close.
+                self.stats.protocol_errors += 1;
+                self.protocol_error(
+                    slot,
+                    response.request_id,
+                    &WireError::UnknownFrameKind(wire::FRAME_RESPONSE),
+                );
+            }
+            Err(error) => match wire::peek_request_id(frame) {
+                // Envelope verified, payload invalid: typed rejection with
+                // the authentic id, connection survives.
+                Some(request_id) => {
+                    self.send_fault(
+                        slot,
+                        request_id,
+                        WireFault::BadRequest {
+                            message: clip(&error.to_string()),
+                        },
+                        shutting_down,
+                    );
+                }
+                // Checksum failure inside a well-delimited frame.
+                None => {
+                    self.stats.protocol_errors += 1;
+                    self.protocol_error(slot, 0, &error);
+                }
+            },
+        }
+    }
+
+    fn submit(&mut self, slot: usize, request: WireRequest, shutting_down: bool) {
+        if shutting_down {
+            self.send_fault(
+                slot,
+                request.request_id,
+                WireFault::ServiceClosed,
+                shutting_down,
+            );
+            return;
+        }
+        let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+            return;
+        };
+        let generation = conn.generation;
+        let request_id = request.request_id;
+        let client_sheds = request.shed_load;
+        let deadline_us = request.deadline_us;
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let completions = Arc::clone(&self.completions);
+        let wake = self.wake_handle.clone();
+        let notify: qcfe_serve::CompletionNotify = Arc::new(move || {
+            completions.lock().expect("completion queue").push(seq);
+            wake.wake();
+        });
+
+        // The reactor itself always sheds: a full shard queue must never
+        // block the event loop. The client's own flag picks what happens
+        // next.
+        let mut estimate_request = request.clone().into_estimate_request();
+        estimate_request.options.shed_load = true;
+
+        match self
+            .gateway
+            .submit_with_notify(estimate_request, Some(notify))
+        {
+            Ok(response) => {
+                self.pending.insert(
+                    seq,
+                    Pending {
+                        slot,
+                        generation,
+                        request_id,
+                        response,
+                        expires: deadline_us.map(|us| Instant::now() + Duration::from_micros(us)),
+                    },
+                );
+                if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                    conn.in_flight += 1;
+                }
+            }
+            Err(QcfeError::Service(qcfe_serve::ServiceError::QueueFull)) if !client_sheds => {
+                // Park the request and stop reading this connection until
+                // a completion frees capacity.
+                if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                    conn.stalled = Some(request);
+                }
+                self.update_interest(slot, shutting_down);
+            }
+            Err(error) => {
+                self.send_fault(slot, request_id, WireFault::from(&error), shutting_down);
+            }
+        }
+    }
+
+    /// Reap every completed submission the workers have signalled, then
+    /// retry stalled connections against the freed queue capacity.
+    fn drain_completions(&mut self, shutting_down: bool) {
+        loop {
+            let seqs: Vec<u64> = {
+                let mut queue = self.completions.lock().expect("completion queue");
+                std::mem::take(&mut *queue)
+            };
+            if seqs.is_empty() {
+                break;
+            }
+            for seq in seqs {
+                let Some(pending) = self.pending.remove(&seq) else {
+                    continue; // already answered by the deadline sweep
+                };
+                self.finish(pending, shutting_down);
+            }
+        }
+        self.retry_stalled(shutting_down);
+    }
+
+    /// Answer every in-flight request whose deadline has passed without a
+    /// completion; the eventual completion finds nothing and is dropped.
+    fn sweep_deadlines(&mut self, shutting_down: bool) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.expires.is_some_and(|t| now >= t))
+            .map(|(seq, _)| *seq)
+            .collect();
+        for seq in expired {
+            if let Some(pending) = self.pending.remove(&seq) {
+                self.finish(pending, shutting_down);
+            }
+        }
+    }
+
+    /// Turn one reaped submission into a response frame on its connection
+    /// (if that connection is still the same one that submitted it).
+    fn finish(&mut self, pending: Pending, shutting_down: bool) {
+        let Pending {
+            slot,
+            generation,
+            request_id,
+            response,
+            ..
+        } = pending;
+        let live = self
+            .conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|c| c.generation == generation);
+        if live {
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                conn.in_flight = conn.in_flight.saturating_sub(1);
+            }
+        }
+        let outcome = match response.try_wait() {
+            Ok(Some(estimate)) => Ok(WireEstimate::from_response(&estimate)),
+            // Completion signalled but the reply not yet consumable: only a
+            // lapsed deadline (the sweep) lands here before the worker is
+            // done. Answer with the deadline fault.
+            Ok(None) => Err(WireFault::DeadlineExceeded {
+                elapsed_us: 0,
+                deadline_us: 0,
+            }),
+            Err(error) => Err(WireFault::from(&error)),
+        };
+        // The estimate was produced either way — drop it silently if the
+        // submitting connection is gone.
+        if !live {
+            return;
+        }
+        match outcome {
+            Ok(estimate) => {
+                self.stats.responses_ok += 1;
+                self.enqueue(
+                    slot,
+                    WireResponse {
+                        request_id,
+                        outcome: Ok(estimate),
+                    },
+                    shutting_down,
+                );
+            }
+            Err(fault) => self.send_fault(slot, request_id, fault, shutting_down),
+        }
+        let idle_close = self
+            .conns
+            .get(slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|c| c.read_closed && c.in_flight == 0 && !c.has_backlog());
+        if idle_close {
+            self.close(slot);
+        }
+    }
+
+    /// Re-submit parked requests now that completions may have freed
+    /// shard queue capacity; resuming reads happens via `submit` →
+    /// `update_interest` when the stall clears.
+    fn retry_stalled(&mut self, shutting_down: bool) {
+        for slot in 0..self.conns.len() {
+            let Some(request) = self
+                .conns
+                .get_mut(slot)
+                .and_then(Option::as_mut)
+                .and_then(|c| c.stalled.take())
+            else {
+                continue;
+            };
+            self.submit(slot, request, shutting_down);
+            // If it stalled again, submit() re-parked it; otherwise the
+            // connection is readable again and buffered frames resume.
+            let unstalled = self
+                .conns
+                .get(slot)
+                .and_then(Option::as_ref)
+                .is_some_and(|c| c.stalled.is_none());
+            if unstalled {
+                self.parse_frames(slot, shutting_down);
+                self.update_interest(slot, shutting_down);
+            }
+        }
+    }
+
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let idle: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, conn)| {
+                let conn = conn.as_ref()?;
+                let quiet = conn.in_flight == 0 && !conn.has_backlog() && conn.stalled.is_none();
+                (quiet && now.duration_since(conn.last_activity) > self.idle_timeout)
+                    .then_some(slot)
+            })
+            .collect();
+        for slot in idle {
+            self.close(slot);
+        }
+    }
+
+    fn send_fault(&mut self, slot: usize, request_id: u64, fault: WireFault, down: bool) {
+        self.stats.responses_fault += 1;
+        self.enqueue(
+            slot,
+            WireResponse {
+                request_id,
+                outcome: Err(fault),
+            },
+            down,
+        );
+    }
+
+    /// Best-effort error frame for an unparseable stream, then close once
+    /// it flushes.
+    fn protocol_error(&mut self, slot: usize, request_id: u64, error: &WireError) {
+        self.send_fault(
+            slot,
+            request_id,
+            WireFault::BadRequest {
+                message: clip(&error.to_string()),
+            },
+            false,
+        );
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.close_after_flush = true;
+        }
+        self.flush(slot, false);
+    }
+
+    fn enqueue(&mut self, slot: usize, response: WireResponse, shutting_down: bool) {
+        let Ok(bytes) = wire::encode_response(&response) else {
+            // Unencodable response (cannot happen with clipped messages):
+            // nothing sane to send.
+            self.close(slot);
+            return;
+        };
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+            conn.write_buf.extend_from_slice(&bytes);
+            self.flush(slot, shutting_down);
+        }
+    }
+
+    fn flush(&mut self, slot: usize, shutting_down: bool) {
+        let must_close = {
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            let mut close = false;
+            while conn.write_pos < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.write_pos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if !close && conn.write_pos == conn.write_buf.len() {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                if conn.close_after_flush || (conn.read_closed && conn.in_flight == 0) {
+                    close = true;
+                }
+            }
+            close
+        };
+        if must_close {
+            self.close(slot);
+        } else {
+            self.update_interest(slot, shutting_down);
+        }
+    }
+
+    fn update_interest(&mut self, slot: usize, shutting_down: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let desired = Interest {
+            readable: conn.wants_read(shutting_down),
+            writable: conn.has_backlog(),
+        };
+        if desired != conn.interest {
+            conn.interest = desired;
+            let fd = conn.stream.fd();
+            let _ = self.poller.rearm(fd, CONN_BASE + slot, desired);
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            let _ = self.poller.deregister(conn.stream.fd());
+            // In-flight submissions keep their Pending entries; `finish`
+            // sees the generation mismatch and drops the responses.
+        }
+    }
+}
+
+/// Bound a fault message so it always fits the wire's string cap.
+fn clip(message: &str) -> String {
+    if message.len() <= MAX_STRING_LEN {
+        return message.to_string();
+    }
+    let mut end = 1024;
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    message[..end].to_string()
+}

@@ -70,7 +70,9 @@ use crate::metrics::MetricsSnapshot;
 use crate::refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 use crate::registry::{EvictedModel, ModelKey, ModelRegistry, ModelSource, RegistryStats};
 use crate::request::{EstimateRequest, EstimateResponse, Provenance, SnapshotOrigin};
-use crate::service::{EstimationService, PendingEstimate, ServiceConfig, ServiceHandle};
+use crate::service::{
+    CompletionNotify, EstimationService, PendingEstimate, ServiceConfig, ServiceHandle,
+};
 use crate::store::SnapshotStore;
 use crate::LruCache;
 use qcfe_core::cost_model::CostModel;
@@ -385,23 +387,59 @@ impl QcfeGateway {
         let submitted = Instant::now();
         let ticket = shard
             .handle
-            .submit(request.plan, !request.options.shed_load)?;
+            .submit(request.plan, !request.options.shed_load, None)?;
         let estimate = Self::await_ticket(ticket, deadline, started)?;
-        let service_us = submitted.elapsed().as_micros() as u64;
-        let provenance = shard.read_provenance();
-        Ok(EstimateResponse {
-            cost_ms: estimate.cost_ms,
-            batch_size: estimate.batch_size,
-            encoding_cache_hit: estimate.encoding_cache_hit,
-            provenance: Provenance {
-                model_key: key,
-                snapshot_origin: provenance.origin,
-                refined: provenance.refined,
-                model_from_disk: shard.model_from_disk,
-                cold_start,
-                service_us,
-                total_us: started.elapsed().as_micros() as u64,
-            },
+        Ok(assemble_response(
+            estimate, &shard, key, cold_start, started, submitted,
+        ))
+    }
+
+    /// Submit one plan without waiting for the answer: the non-blocking
+    /// half of [`QcfeGateway::estimate`]. Routing, snapshot/model
+    /// resolution and admission run synchronously (a cold start still
+    /// pays its resolution cost here); the returned [`PendingResponse`]
+    /// ticket is then polled with [`PendingResponse::try_wait`] or awaited
+    /// with [`PendingResponse::wait`]. Admission follows
+    /// `options.shed_load`: open-loop submissions fail fast with
+    /// [`crate::service::ServiceError::QueueFull`] instead of blocking —
+    /// the mode event-loop front-ends must use, since a blocked reactor
+    /// thread stalls every connection it multiplexes.
+    pub fn submit(&self, request: EstimateRequest) -> Result<PendingResponse, QcfeError> {
+        self.submit_with_notify(request, None)
+    }
+
+    /// [`QcfeGateway::submit`] with a [`CompletionNotify`] hook that fires
+    /// exactly once when the shard finishes (or drops) the request — the
+    /// wakeup signal a poll-based reactor pairs with
+    /// [`PendingResponse::try_wait`].
+    pub fn submit_with_notify(
+        &self,
+        request: EstimateRequest,
+        notify: Option<CompletionNotify>,
+    ) -> Result<PendingResponse, QcfeError> {
+        let started = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let key = ModelKey::new(
+            request.benchmark,
+            request.options.estimator,
+            request.environment.fingerprint(),
+        );
+        let (shard, cold_start) =
+            self.shard(key, &request.environment, request.options.allow_transfer)?;
+        let deadline = request.deadline;
+        Self::check_deadline(deadline, started)?;
+        let submitted = Instant::now();
+        let ticket = shard
+            .handle
+            .submit(request.plan, !request.options.shed_load, notify)?;
+        Ok(PendingResponse {
+            ticket,
+            shard,
+            key,
+            cold_start,
+            started,
+            submitted,
+            deadline,
         })
     }
 
@@ -432,9 +470,9 @@ impl QcfeGateway {
         let submitted = Instant::now();
         let block_on_full = !request.options.shed_load;
         let mut pending: Vec<PendingEstimate> = Vec::with_capacity(plan_count);
-        pending.push(shard.handle.submit(request.plan, block_on_full)?);
+        pending.push(shard.handle.submit(request.plan, block_on_full, None)?);
         for plan in extra_plans {
-            pending.push(shard.handle.submit(plan, block_on_full)?);
+            pending.push(shard.handle.submit(plan, block_on_full, None)?);
         }
         let mut estimates = Vec::with_capacity(plan_count);
         for ticket in pending {
@@ -918,6 +956,135 @@ impl QcfeGateway {
             }
             None => Err(QcfeError::ModelMissing { key: *key }),
         }
+    }
+}
+
+/// Assemble the caller-facing response from one consumed shard reply: the
+/// single point where both the blocking ([`QcfeGateway::estimate`]) and the
+/// polled ([`PendingResponse`]) paths stamp provenance, so the two are
+/// bit-identical for the same reply.
+fn assemble_response(
+    estimate: crate::service::Estimate,
+    shard: &Shard,
+    key: ModelKey,
+    cold_start: bool,
+    started: Instant,
+    submitted: Instant,
+) -> EstimateResponse {
+    let service_us = submitted.elapsed().as_micros() as u64;
+    let provenance = shard.read_provenance();
+    EstimateResponse {
+        cost_ms: estimate.cost_ms,
+        batch_size: estimate.batch_size,
+        encoding_cache_hit: estimate.encoding_cache_hit,
+        provenance: Provenance {
+            model_key: key,
+            snapshot_origin: provenance.origin,
+            refined: provenance.refined,
+            model_from_disk: shard.model_from_disk,
+            cold_start,
+            service_us,
+            total_us: started.elapsed().as_micros() as u64,
+        },
+    }
+}
+
+/// An admitted-but-unanswered gateway request: the ticket returned by
+/// [`QcfeGateway::submit`]. Holds the shard alive (a concurrent LRU
+/// retirement cannot strand the reply) and carries everything needed to
+/// stamp full [`Provenance`] when the answer is consumed.
+///
+/// Two consumption styles:
+/// * [`PendingResponse::try_wait`] — non-blocking poll, for event loops
+///   multiplexing many tickets on one thread (pair with the
+///   [`CompletionNotify`] hook of [`QcfeGateway::submit_with_notify`]);
+/// * [`PendingResponse::wait`] — block until the answer (or the deadline).
+///
+/// Dropping the ticket abandons the request; the shard's eventual reply is
+/// discarded.
+pub struct PendingResponse {
+    ticket: PendingEstimate,
+    shard: Arc<Shard>,
+    key: ModelKey,
+    cold_start: bool,
+    started: Instant,
+    submitted: Instant,
+    deadline: Option<std::time::Duration>,
+}
+
+impl std::fmt::Debug for PendingResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingResponse")
+            .field("key", &self.key)
+            .field("cold_start", &self.cold_start)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl PendingResponse {
+    /// The serving key the request was routed to.
+    pub fn model_key(&self) -> ModelKey {
+        self.key
+    }
+
+    /// Whether this submission started the shard.
+    pub fn cold_start(&self) -> bool {
+        self.cold_start
+    }
+
+    /// Whether the request's deadline has already elapsed.
+    pub fn deadline_elapsed(&self) -> bool {
+        self.deadline.is_some_and(|d| self.started.elapsed() > d)
+    }
+
+    /// Poll without blocking: `Ok(Some)` with the full response when the
+    /// estimate is ready, `Ok(None)` while it is in flight and within
+    /// budget. A lapsed deadline fails with
+    /// [`QcfeError::DeadlineExceeded`]; a shard that dropped the request
+    /// (shutdown/abort) fails with the service error. An already-produced
+    /// estimate is returned even if the deadline lapsed meanwhile —
+    /// matching [`QcfeGateway::estimate`], which only fails on a deadline
+    /// it actually waited out.
+    pub fn try_wait(&self) -> Result<Option<EstimateResponse>, QcfeError> {
+        match self.ticket.try_wait()? {
+            Some(estimate) => Ok(Some(assemble_response(
+                estimate,
+                &self.shard,
+                self.key,
+                self.cold_start,
+                self.started,
+                self.submitted,
+            ))),
+            None => match self.deadline {
+                Some(deadline) if self.started.elapsed() > deadline => {
+                    Err(QcfeError::DeadlineExceeded {
+                        elapsed: self.started.elapsed(),
+                        deadline,
+                    })
+                }
+                _ => Ok(None),
+            },
+        }
+    }
+
+    /// Block until the answer, bounded by the request deadline — the
+    /// blocking consumption of a submitted ticket, equivalent to having
+    /// called [`QcfeGateway::estimate`].
+    pub fn wait(self) -> Result<EstimateResponse, QcfeError> {
+        let PendingResponse {
+            ticket,
+            shard,
+            key,
+            cold_start,
+            started,
+            submitted,
+            deadline,
+        } = self;
+        let estimate = QcfeGateway::await_ticket(ticket, deadline, started)?;
+        Ok(assemble_response(
+            estimate, &shard, key, cold_start, started, submitted,
+        ))
     }
 }
 

@@ -94,7 +94,7 @@ pub mod store;
 mod test_support;
 
 pub use error::QcfeError;
-pub use gateway::{GatewayBuilder, GatewayStats, ModelProvider, QcfeGateway};
+pub use gateway::{GatewayBuilder, GatewayStats, ModelProvider, PendingResponse, QcfeGateway};
 pub use lru::LruCache;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
@@ -103,15 +103,15 @@ pub use registry::{
 };
 pub use request::{EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin};
 pub use service::{
-    plan_key, Estimate, EstimationService, PendingEstimate, ServiceConfig, ServiceError,
-    ServiceHandle,
+    plan_key, CompletionNotify, Estimate, EstimationService, PendingEstimate, ServiceConfig,
+    ServiceError, ServiceHandle,
 };
 pub use store::{SnapshotStore, StoreError};
 
 /// Convenient glob import for downstream crates, benches and examples.
 pub mod prelude {
     pub use crate::error::QcfeError;
-    pub use crate::gateway::{GatewayBuilder, GatewayStats, QcfeGateway};
+    pub use crate::gateway::{GatewayBuilder, GatewayStats, PendingResponse, QcfeGateway};
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::refine::{FeedbackOutcome, RefinementConfig};
     pub use crate::registry::{ModelKey, ModelRegistry};

@@ -125,10 +125,33 @@ pub fn plan_key(root: &PlanNode) -> u64 {
     h.finish()
 }
 
+/// A completion hook attached to a submission: invoked exactly once when
+/// the request leaves the service, whether it completed normally or was
+/// dropped by an abort. Used by event-loop front-ends (one reactor thread
+/// parking thousands of pending estimates) to wake their poller instead of
+/// blocking a thread per request. The hook runs on a worker thread and
+/// must be cheap and non-blocking (e.g. a self-pipe write).
+pub type CompletionNotify = Arc<dyn Fn() + Send + Sync>;
+
 struct Job {
     plan: PlanNode,
     submitted_at: Instant,
     reply: mpsc::Sender<Estimate>,
+    notify: Option<CompletionNotify>,
+}
+
+impl Drop for Job {
+    /// Fire the completion hook when the job leaves the service — after
+    /// [`Shared::complete`] sent the reply (normal path) *and* when an
+    /// abort drops queued jobs (their reply senders close, so a subsequent
+    /// `try_wait` observes [`ServiceError::Closed`]). Running from `Drop`
+    /// makes the notification unconditional: no exit path can strand a
+    /// poller waiting for a wakeup that never comes.
+    fn drop(&mut self) {
+        if let Some(notify) = self.notify.take() {
+            notify();
+        }
+    }
 }
 
 struct QueueState {
@@ -374,6 +397,19 @@ impl PendingEstimate {
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Closed),
         }
     }
+
+    /// Poll without blocking: `Ok(Some)` when the estimate is ready,
+    /// `Ok(None)` while it is still in flight, [`ServiceError::Closed`]
+    /// once the service dropped the request (shutdown or worker abort).
+    /// The accessor event-loop front-ends pair with a
+    /// [`CompletionNotify`] hook: park the ticket, poll it on wakeup.
+    pub fn try_wait(&self) -> Result<Option<Estimate>, ServiceError> {
+        match self.response.try_recv() {
+            Ok(estimate) => Ok(Some(estimate)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(ServiceError::Closed),
+        }
+    }
 }
 
 /// A cloneable client handle onto a running [`EstimationService`].
@@ -386,12 +422,12 @@ impl ServiceHandle {
     /// Submit a plan and block until its estimate is ready. Applies
     /// backpressure: blocks while the queue is at capacity.
     pub fn estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
-        self.submit(plan, true)?.wait()
+        self.submit(plan, true, None)?.wait()
     }
 
     /// Submit without blocking on a full queue.
     pub fn try_estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
-        self.submit(plan, false)?.wait()
+        self.submit(plan, false, None)?.wait()
     }
 
     /// Enqueue a plan and return immediately with a [`PendingEstimate`]
@@ -400,7 +436,20 @@ impl ServiceHandle {
     /// fill a micro-batch on its own — the gateway's multi-plan requests
     /// flow through here.
     pub fn submit_async(&self, plan: PlanNode) -> Result<PendingEstimate, ServiceError> {
-        self.submit(plan, true)
+        self.submit(plan, true, None)
+    }
+
+    /// [`ServiceHandle::submit_async`] with a [`CompletionNotify`] hook:
+    /// the hook fires exactly once when the request leaves the service
+    /// (reply sent, or dropped by shutdown/abort), after which
+    /// [`PendingEstimate::try_wait`] is guaranteed to make progress. The
+    /// submission half of the event-loop contract.
+    pub fn submit_async_with_notify(
+        &self,
+        plan: PlanNode,
+        notify: CompletionNotify,
+    ) -> Result<PendingEstimate, ServiceError> {
+        self.submit(plan, true, Some(notify))
     }
 
     /// Asynchronous submission with explicit admission policy: blocking
@@ -410,6 +459,7 @@ impl ServiceHandle {
         &self,
         plan: PlanNode,
         block_on_full: bool,
+        notify: Option<CompletionNotify>,
     ) -> Result<PendingEstimate, ServiceError> {
         let shared = &self.shared;
         let (reply, response) = mpsc::channel();
@@ -430,6 +480,7 @@ impl ServiceHandle {
                 plan,
                 submitted_at: Instant::now(),
                 reply,
+                notify,
             });
             shared.metrics.record_submit(queue.jobs.len());
         }
@@ -803,6 +854,95 @@ mod tests {
             model.0.load(std::sync::atomic::Ordering::Relaxed) >= 2,
             "an async burst must coalesce into multi-request batches"
         );
+    }
+
+    /// Satellite acceptance (event-loop front-end contract): `try_wait`
+    /// never blocks, the completion hook fires exactly once when the reply
+    /// lands, and after the hook a `try_wait` yields the estimate.
+    #[test]
+    fn try_wait_with_notify_polls_without_blocking() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let service = start(
+            true,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook = Arc::clone(&fired);
+        let pending = handle
+            .submit_async_with_notify(
+                scan_plan(21.0),
+                Arc::new(move || {
+                    hook.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        // Poll until the hook reports completion; every poll must return
+        // instantly (None or the result), never block.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while fired.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "completion hook never fired");
+            let _ = pending.try_wait().unwrap();
+            std::thread::yield_now();
+        }
+        let estimate = pending
+            .try_wait()
+            .unwrap()
+            .expect("notified ticket must hold its estimate");
+        assert_eq!(estimate.cost_ms, 42.0);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook fires exactly once");
+        // A consumed single-reply ticket reads as closed, not as pending.
+        assert_eq!(pending.try_wait(), Err(ServiceError::Closed));
+    }
+
+    /// The completion hook must also fire when the service aborts with the
+    /// request still queued — the poller wakes and observes `Closed`
+    /// instead of waiting forever on a dropped job.
+    #[test]
+    fn notify_fires_when_an_abort_drops_the_request() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Debug)]
+        struct PanickingModel;
+        impl CostModel for PanickingModel {
+            fn name(&self) -> &'static str {
+                "PanickingModel"
+            }
+            fn predict_plan(&self, _: &PlanNode, _: Option<&FeatureSnapshot>) -> f64 {
+                panic!("model failure");
+            }
+            fn predict_batch(&self, _: &[&PlanNode], _: Option<&FeatureSnapshot>) -> Vec<f64> {
+                panic!("model failure");
+            }
+        }
+        let service = EstimationService::start(
+            Arc::new(PanickingModel),
+            None,
+            ServiceConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook = Arc::clone(&fired);
+        let pending = handle
+            .submit_async_with_notify(
+                scan_plan(1.0),
+                Arc::new(move || {
+                    hook.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while fired.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "abort must fire the hook");
+            std::thread::yield_now();
+        }
+        assert_eq!(pending.try_wait(), Err(ServiceError::Closed));
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //!   templates, feature reduction and the QPPNet/MSCN estimators,
 //! * [`serve`] — the online estimation service layer: persisted snapshot
 //!   store keyed by environment fingerprint, model registry, and a
-//!   concurrent micro-batching inference service with metrics.
+//!   concurrent micro-batching inference service with metrics,
+//! * [`net`] — the network front end: the QCFP length-framed wire
+//!   protocol, a single-threaded reactor server multiplexing TCP and
+//!   Unix-domain clients into the gateway, and a blocking client.
 
 pub use qcfe_core as core;
 pub use qcfe_db as db;
+pub use qcfe_net as net;
 pub use qcfe_nn as nn;
 pub use qcfe_serve as serve;
 pub use qcfe_storage as storage;

@@ -1,0 +1,758 @@
+//! Acceptance tests of the `qcfe-net` front end: the `QCFP` wire codec
+//! under a seeded 1000-case round-trip/corruption property sweep, and the
+//! reactor server driven live over Unix-domain and TCP sockets — ≥64
+//! concurrent pipelined clients, responses bit-identical to in-process
+//! `QcfeGateway::estimate` calls, typed rejection of malformed frames,
+//! the wire-level deadline clamp, and graceful shutdown draining
+//! in-flight requests.
+
+use qcfe::core::cost_model::CostModel;
+use qcfe::core::encoding::FeatureEncoder;
+use qcfe::core::estimators::MscnEstimator;
+use qcfe::core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
+use qcfe::db::env::{DbEnvironment, EnvFingerprint, HardwareProfile};
+use qcfe::db::expr::{ColumnRef, CompareOp, JoinCondition, Predicate};
+use qcfe::db::plan::{PhysicalOp, PlanNode};
+use qcfe::db::query::Aggregate;
+use qcfe::db::types::Value;
+use qcfe::net::client::{ClientError, QcfeClient};
+use qcfe::net::server::NetServerBuilder;
+use qcfe::net::wire::{
+    self, Frame, WireError, WireEstimate, WireFault, WireRequest, WireResponse, MAX_DEADLINE_US,
+    PRELUDE_LEN,
+};
+use qcfe::nn::codec::crc32;
+use qcfe::serve::prelude::*;
+use qcfe::serve::SnapshotOrigin;
+use qcfe::workloads::BenchmarkKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const KIND: BenchmarkKind = BenchmarkKind::Sysbench;
+
+/// The codec property sweep runs the same case count as the `QCFW`
+/// weight-codec properties: the acceptance bar for the wire format is
+/// "any frame, bit-exact; any corruption, typed rejection".
+const QCFP_CASES: usize = 1000;
+
+// ---------------------------------------------------------------------------
+// Seeded generators for the property sweep.
+// ---------------------------------------------------------------------------
+
+/// Full-width draws (the workspace `rand` shim has no `gen()`; an
+/// inclusive full range falls through to the raw 64-bit stream).
+fn any_u64(rng: &mut StdRng) -> u64 {
+    rng.gen_range(0..=u64::MAX)
+}
+
+fn any_u32(rng: &mut StdRng) -> u32 {
+    rng.gen_range(0..=u32::MAX)
+}
+
+fn any_i64(rng: &mut StdRng) -> i64 {
+    any_u64(rng) as i64
+}
+
+fn random_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..12);
+    (0..len)
+        .map(|_| char::from(b'a' + rng.gen_range(0u8..26)))
+        .collect()
+}
+
+fn random_column(rng: &mut StdRng) -> ColumnRef {
+    ColumnRef::new(random_string(rng), random_string(rng))
+}
+
+fn random_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0u8..6) {
+        0 => Value::Int(any_i64(rng)),
+        1 => Value::Float(rng.gen_range(-1e9f64..1e9)),
+        2 => Value::Text(random_string(rng)),
+        3 => Value::Date(rng.gen_range(-100_000i64..100_000)),
+        4 => Value::Bool(rng.gen_bool(0.5)),
+        _ => Value::Null,
+    }
+}
+
+fn random_predicate(rng: &mut StdRng) -> Predicate {
+    match rng.gen_range(0u8..4) {
+        0 => Predicate::Compare {
+            column: random_column(rng),
+            op: CompareOp::ALL[rng.gen_range(0..CompareOp::ALL.len())],
+            value: random_value(rng),
+        },
+        1 => Predicate::Between {
+            column: random_column(rng),
+            low: random_value(rng),
+            high: random_value(rng),
+        },
+        2 => Predicate::InList {
+            column: random_column(rng),
+            values: (0..rng.gen_range(0usize..5))
+                .map(|_| random_value(rng))
+                .collect(),
+        },
+        _ => Predicate::Like {
+            column: random_column(rng),
+            pattern: format!("%{}%", random_string(rng)),
+        },
+    }
+}
+
+fn random_join(rng: &mut StdRng) -> JoinCondition {
+    JoinCondition {
+        left: random_column(rng),
+        right: random_column(rng),
+    }
+}
+
+fn random_plan(rng: &mut StdRng, depth: usize) -> PlanNode {
+    let leaf = depth == 0 || rng.gen_bool(0.4);
+    let (op, children) = if leaf {
+        let op = if rng.gen_bool(0.5) {
+            PhysicalOp::SeqScan {
+                table: random_string(rng),
+            }
+        } else {
+            PhysicalOp::IndexScan {
+                table: random_string(rng),
+                column: random_string(rng),
+            }
+        };
+        (op, vec![])
+    } else {
+        match rng.gen_range(0u8..7) {
+            0 => (
+                PhysicalOp::Sort {
+                    keys: (0..rng.gen_range(0usize..4))
+                        .map(|_| random_column(rng))
+                        .collect(),
+                },
+                vec![random_plan(rng, depth - 1)],
+            ),
+            1 => (
+                PhysicalOp::Aggregate {
+                    group_by: (0..rng.gen_range(0usize..3))
+                        .map(|_| random_column(rng))
+                        .collect(),
+                    functions: (0..rng.gen_range(0usize..3))
+                        .map(|_| match rng.gen_range(0u8..5) {
+                            0 => Aggregate::CountStar,
+                            1 => Aggregate::Sum(random_column(rng)),
+                            2 => Aggregate::Avg(random_column(rng)),
+                            3 => Aggregate::Min(random_column(rng)),
+                            _ => Aggregate::Max(random_column(rng)),
+                        })
+                        .collect(),
+                },
+                vec![random_plan(rng, depth - 1)],
+            ),
+            2 => (
+                PhysicalOp::HashJoin {
+                    condition: random_join(rng),
+                },
+                vec![random_plan(rng, depth - 1), random_plan(rng, depth - 1)],
+            ),
+            3 => (
+                PhysicalOp::MergeJoin {
+                    condition: random_join(rng),
+                },
+                vec![random_plan(rng, depth - 1), random_plan(rng, depth - 1)],
+            ),
+            4 => (
+                PhysicalOp::NestedLoop {
+                    condition: rng.gen_bool(0.5).then(|| random_join(rng)),
+                },
+                vec![random_plan(rng, depth - 1), random_plan(rng, depth - 1)],
+            ),
+            5 => (PhysicalOp::Materialize, vec![random_plan(rng, depth - 1)]),
+            _ => (
+                PhysicalOp::Limit {
+                    count: any_u64(rng),
+                },
+                vec![random_plan(rng, depth - 1)],
+            ),
+        }
+    };
+    let mut node = PlanNode::new(op, children);
+    node.predicates = (0..rng.gen_range(0usize..3))
+        .map(|_| random_predicate(rng))
+        .collect();
+    node.est_rows = rng.gen_range(0.0f64..1e8);
+    node.est_width = rng.gen_range(1.0f64..512.0);
+    node.est_cost = rng.gen_range(0.0f64..1e9);
+    node.actual_rows = rng.gen_range(0.0f64..1e8);
+    node.actual_self_ms = rng.gen_range(0.0f64..1e5);
+    node.actual_total_ms = rng.gen_range(0.0f64..1e6);
+    node
+}
+
+fn random_environment(rng: &mut StdRng) -> DbEnvironment {
+    let hardware = HardwareProfile::sample(rng);
+    DbEnvironment::sample_knob_configs(1, hardware, rng)
+        .pop()
+        .expect("one environment")
+}
+
+fn random_request(rng: &mut StdRng) -> WireRequest {
+    WireRequest {
+        request_id: any_u64(rng),
+        benchmark: BenchmarkKind::ALL[rng.gen_range(0..BenchmarkKind::ALL.len())],
+        estimator: EstimatorKind::ALL[rng.gen_range(0..EstimatorKind::ALL.len())],
+        allow_transfer: rng.gen_bool(0.5),
+        shed_load: rng.gen_bool(0.5),
+        deadline_us: rng
+            .gen_bool(0.5)
+            .then(|| rng.gen_range(0..=MAX_DEADLINE_US)),
+        environment: random_environment(rng),
+        plan: random_plan(rng, 3),
+    }
+}
+
+fn random_response(rng: &mut StdRng) -> WireResponse {
+    let outcome = if rng.gen_bool(0.6) {
+        // Special float shapes (infinities, signed zero, subnormals) mixed
+        // with ordinary magnitudes: the codec must carry each bit pattern.
+        let cost_ms = match rng.gen_range(0u8..5) {
+            0 => f64::INFINITY,
+            1 => -0.0,
+            2 => f64::MIN_POSITIVE / 2.0,
+            _ => rng.gen_range(-1e6f64..1e6),
+        };
+        Ok(WireEstimate {
+            cost_ms,
+            batch_size: any_u32(rng),
+            encoding_cache_hit: rng.gen_bool(0.5),
+            model_from_disk: rng.gen_bool(0.5),
+            refined: rng.gen_bool(0.5),
+            cold_start: rng.gen_bool(0.5),
+            benchmark: BenchmarkKind::ALL[rng.gen_range(0..BenchmarkKind::ALL.len())],
+            estimator: EstimatorKind::ALL[rng.gen_range(0..EstimatorKind::ALL.len())],
+            fingerprint: any_u64(rng),
+            origin: match rng.gen_range(0u8..4) {
+                0 => SnapshotOrigin::TrainedHere,
+                1 => SnapshotOrigin::Transferred {
+                    source: EnvFingerprint(any_u64(rng)),
+                    distance: rng.gen_range(0.0f64..10.0),
+                },
+                2 => SnapshotOrigin::LoadedFromDisk,
+                _ => SnapshotOrigin::None,
+            },
+            service_us: any_u64(rng),
+            total_us: any_u64(rng),
+        })
+    } else {
+        Err(match rng.gen_range(0u8..7) {
+            0 => WireFault::ServiceClosed,
+            1 => WireFault::QueueFull,
+            2 => WireFault::SnapshotMissing {
+                benchmark: BenchmarkKind::ALL[rng.gen_range(0..BenchmarkKind::ALL.len())],
+                fingerprint: any_u64(rng),
+            },
+            3 => WireFault::ModelMissing {
+                benchmark: BenchmarkKind::ALL[rng.gen_range(0..BenchmarkKind::ALL.len())],
+                estimator: EstimatorKind::ALL[rng.gen_range(0..EstimatorKind::ALL.len())],
+                fingerprint: any_u64(rng),
+            },
+            4 => WireFault::DeadlineExceeded {
+                elapsed_us: any_u64(rng),
+                deadline_us: any_u64(rng),
+            },
+            5 => WireFault::Store {
+                message: random_string(rng),
+            },
+            _ => WireFault::BadRequest {
+                message: random_string(rng),
+            },
+        })
+    };
+    WireResponse {
+        request_id: any_u64(rng),
+        outcome,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: 1000 seeded round-trip + corruption cases.
+// ---------------------------------------------------------------------------
+
+/// Every random frame decodes back to an equal value AND re-encodes to the
+/// identical byte string (bit identity — raw `f64` bits, not semantic
+/// equality); every corruption — truncation, flipped magic, unknown
+/// version, a random single-byte flip — is rejected with a typed error,
+/// never a panic.
+#[test]
+fn qcfp_frames_round_trip_bit_exactly_and_reject_corruption() {
+    let mut rng = StdRng::seed_from_u64(0xC0FE);
+    for case in 0..QCFP_CASES {
+        let bytes = if case % 2 == 0 {
+            let request = random_request(&mut rng);
+            let bytes = wire::encode_request(&request).expect("encodable");
+            match wire::decode_frame(&bytes).expect("decodable") {
+                Frame::Request(decoded) => {
+                    assert_eq!(*decoded, request, "case {case}: structural round-trip");
+                    assert_eq!(
+                        wire::encode_request(&decoded).expect("re-encodable"),
+                        bytes,
+                        "case {case}: bit-identical re-encode"
+                    );
+                }
+                other => panic!("case {case}: wrong frame kind {other:?}"),
+            }
+            bytes
+        } else {
+            let response = random_response(&mut rng);
+            let bytes = wire::encode_response(&response).expect("encodable");
+            match wire::decode_frame(&bytes).expect("decodable") {
+                Frame::Response(decoded) => {
+                    assert_eq!(
+                        wire::encode_response(&decoded).expect("re-encodable"),
+                        bytes,
+                        "case {case}: bit-identical re-encode"
+                    );
+                }
+                other => panic!("case {case}: wrong frame kind {other:?}"),
+            }
+            bytes
+        };
+        assert_eq!(
+            wire::frame_length(&bytes).expect("well-formed"),
+            Some(bytes.len()),
+            "case {case}: frame length self-describes"
+        );
+
+        match case % 4 {
+            0 => {
+                // Truncation at a random point is "incomplete", and a
+                // truncated decode is a typed Truncated error.
+                let cut = rng.gen_range(0..bytes.len());
+                assert_eq!(
+                    wire::frame_length(&bytes[..cut]).expect("prefix stays valid"),
+                    None,
+                    "case {case}: truncated frame reads as incomplete"
+                );
+                assert!(
+                    wire::decode_frame(&bytes[..cut]).is_err(),
+                    "case {case}: truncated frame must not decode"
+                );
+            }
+            1 => {
+                let mut corrupt = bytes.clone();
+                let i = rng.gen_range(0usize..4);
+                corrupt[i] ^= 1u8 << rng.gen_range(0u8..8);
+                assert!(
+                    matches!(wire::frame_length(&corrupt), Err(WireError::BadMagic(_))),
+                    "case {case}: flipped magic must reject"
+                );
+            }
+            2 => {
+                let mut corrupt = bytes.clone();
+                let version = rng.gen_range(2u32..u32::MAX);
+                corrupt[4..8].copy_from_slice(&version.to_le_bytes());
+                assert_eq!(
+                    wire::frame_length(&corrupt),
+                    Err(WireError::UnsupportedVersion(version)),
+                    "case {case}: unknown version must reject"
+                );
+            }
+            _ => {
+                // A single flipped bit anywhere must yield a typed error
+                // (CRC-32 catches every single-byte body corruption; the
+                // prelude fields each have their own check).
+                let mut corrupt = bytes.clone();
+                let i = rng.gen_range(0..corrupt.len());
+                corrupt[i] ^= 1u8 << rng.gen_range(0u8..8);
+                assert!(
+                    wire::decode_frame(&corrupt).is_err(),
+                    "case {case}: single-byte flip at {i} must not decode"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-server fixtures.
+// ---------------------------------------------------------------------------
+
+fn ctx_with_envs(environments: usize) -> ExperimentContext {
+    prepare_context(
+        KIND,
+        &ContextConfig {
+            environments,
+            queries_per_env: 30,
+            template_scale: 1,
+            seed: 91,
+            data_scale: KIND.quick_scale(),
+        },
+    )
+}
+
+fn train_mscn(ctx: &ExperimentContext) -> Arc<dyn CostModel> {
+    let mut rng = StdRng::seed_from_u64(8);
+    let encoder = FeatureEncoder::new(&ctx.benchmark.catalog, true);
+    let (model, _) = MscnEstimator::train(
+        encoder,
+        &ctx.workload,
+        Some(&ctx.snapshots_fso),
+        None,
+        12,
+        &mut rng,
+    );
+    Arc::new(model)
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("qcfe-net-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A gateway with every context environment published and served by one
+/// deterministic MSCN model.
+fn served_gateway(ctx: &ExperimentContext, dir: &PathBuf) -> Arc<QcfeGateway> {
+    let model = train_mscn(ctx);
+    let gateway = Arc::new(
+        QcfeGateway::builder(dir)
+            .service_config(ServiceConfig {
+                workers: 2,
+                queue_capacity: 256,
+                max_batch: 16,
+                encoding_cache_capacity: 1024,
+            })
+            .build()
+            .unwrap(),
+    );
+    for (env, snapshot) in ctx
+        .workload
+        .environments
+        .iter()
+        .zip(ctx.snapshots_fso.iter())
+    {
+        gateway
+            .publish_snapshot(KIND, env, snapshot.as_ref().expect("fitted"))
+            .unwrap();
+        gateway.register_model(
+            ModelKey::new(KIND, EstimatorKind::QcfeMscn, env.fingerprint()),
+            Arc::clone(&model),
+        );
+    }
+    gateway
+}
+
+/// Tentpole acceptance criterion: `qcfe-net` serves ≥64 concurrent
+/// pipelined Unix-domain clients from one reactor thread, and every
+/// remote estimate is bit-identical to the same request made in-process
+/// on the same gateway.
+#[test]
+fn uds_server_is_bit_identical_to_in_process_gateway_for_64_pipelined_clients() {
+    const CLIENTS: usize = 64;
+    const REQUESTS_PER_CLIENT: usize = 4;
+
+    let ctx = ctx_with_envs(2);
+    let dir = temp_path("uds-store");
+    let gateway = served_gateway(&ctx, &dir);
+    let socket = temp_path("uds.sock");
+    let server = NetServerBuilder::new(Arc::clone(&gateway))
+        .uds(&socket)
+        .max_connections(CLIENTS + 8)
+        .start()
+        .unwrap();
+
+    // Expected values straight from the in-process front door, same
+    // gateway, same shards.
+    let environments: Vec<Arc<DbEnvironment>> = ctx
+        .workload
+        .environments
+        .iter()
+        .map(|e| Arc::new(e.clone()))
+        .collect();
+    let plans: Vec<PlanNode> = ctx
+        .workload
+        .queries
+        .iter()
+        .take(REQUESTS_PER_CLIENT)
+        .map(|q| q.executed.root.clone())
+        .collect();
+    let requests: Vec<EstimateRequest> = (0..CLIENTS)
+        .flat_map(|c| {
+            let env = Arc::clone(&environments[c % environments.len()]);
+            plans
+                .iter()
+                .map(move |plan| EstimateRequest::new(KIND, Arc::clone(&env), plan.clone()))
+        })
+        .collect();
+    let expected: Vec<EstimateResponse> = requests
+        .iter()
+        .map(|r| gateway.estimate(r.clone()).unwrap())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for client_index in 0..CLIENTS {
+            let socket = &socket;
+            let requests = &requests[client_index * REQUESTS_PER_CLIENT..][..REQUESTS_PER_CLIENT];
+            let expected = &expected[client_index * REQUESTS_PER_CLIENT..][..REQUESTS_PER_CLIENT];
+            scope.spawn(move || {
+                let mut client = QcfeClient::connect_uds(socket).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                // Pipeline the whole batch before reaping anything.
+                let ids: Vec<u64> = requests.iter().map(|r| client.send(r).unwrap()).collect();
+                let mut answered = 0usize;
+                while answered < requests.len() {
+                    let response = client.recv().unwrap();
+                    let slot = ids
+                        .iter()
+                        .position(|id| *id == response.request_id)
+                        .expect("response id matches a sent request");
+                    let estimate = response.outcome.expect("estimate, not a fault");
+                    let want = &expected[slot];
+                    assert_eq!(
+                        estimate.cost_ms.to_bits(),
+                        want.cost_ms.to_bits(),
+                        "remote estimate must be bit-identical to in-process"
+                    );
+                    assert_eq!(
+                        EnvFingerprint(estimate.fingerprint),
+                        want.provenance.model_key.fingerprint,
+                        "served by the same shard key"
+                    );
+                    assert_eq!(estimate.benchmark, want.provenance.model_key.benchmark);
+                    assert_eq!(estimate.estimator, want.provenance.model_key.estimator);
+                    answered += 1;
+                }
+            });
+        }
+    });
+
+    let stats = server.join().unwrap();
+    assert_eq!(stats.connections_accepted, CLIENTS as u64);
+    assert_eq!(stats.responses_ok, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(stats.responses_fault, 0);
+    assert_eq!(stats.protocol_errors, 0);
+    assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same reactor serves TCP: a loopback round trip is bit-identical to
+/// the in-process estimate, and a graceful shutdown drains before the
+/// handle's join returns.
+#[test]
+fn tcp_round_trip_matches_in_process_and_shuts_down_gracefully() {
+    let ctx = ctx_with_envs(1);
+    let dir = temp_path("tcp-store");
+    let gateway = served_gateway(&ctx, &dir);
+    let server = NetServerBuilder::new(Arc::clone(&gateway))
+        .tcp("127.0.0.1:0")
+        .start()
+        .unwrap();
+    let addr = server.tcp_addrs()[0];
+
+    let env = ctx.workload.environments[0].clone();
+    let plan = ctx.workload.queries[0].executed.root.clone();
+    let request = EstimateRequest::new(KIND, env, plan);
+    let expected = gateway.estimate(request.clone()).unwrap();
+
+    let mut client = QcfeClient::connect_tcp(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let response = client.estimate(&request).unwrap();
+    assert_eq!(response.cost_ms.to_bits(), expected.cost_ms.to_bits());
+    assert_eq!(response.provenance.model_key, expected.provenance.model_key);
+
+    let stats = server.join().unwrap();
+    assert_eq!(stats.responses_ok, 1);
+    // The listener is gone after a graceful shutdown.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "no listener after shutdown"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Malformed input over a live connection: a broken envelope gets a
+/// best-effort error frame and the connection closes; a verified envelope
+/// with an invalid payload gets a typed `BadRequest` with the authentic
+/// request id and the connection survives to serve real traffic.
+#[test]
+fn malformed_frames_are_rejected_typed_over_the_wire() {
+    let ctx = ctx_with_envs(1);
+    let dir = temp_path("malformed-store");
+    let gateway = served_gateway(&ctx, &dir);
+    let socket = temp_path("malformed.sock");
+    let server = NetServerBuilder::new(Arc::clone(&gateway))
+        .uds(&socket)
+        .start()
+        .unwrap();
+
+    let env = ctx.workload.environments[0].clone();
+    let plan = ctx.workload.queries[0].executed.root.clone();
+    let request = EstimateRequest::new(KIND, env, plan);
+
+    // 1. Garbage bytes: error frame with id 0, then the server hangs up.
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        raw.write_all(b"definitely not a QCFP frame").unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match raw.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("read error before close: {e}"),
+            }
+        }
+        match wire::decode_frame(&buf).unwrap() {
+            Frame::Response(response) => {
+                assert_eq!(response.request_id, 0, "stream desync answers id 0");
+                assert!(
+                    matches!(response.outcome, Err(WireFault::BadRequest { .. })),
+                    "expected BadRequest, got {:?}",
+                    response.outcome
+                );
+            }
+            other => panic!("expected a response frame, got {other:?}"),
+        }
+    }
+
+    // 2. Valid envelope, hostile payload: patch the wire deadline beyond
+    //    the 60 s clamp and re-seal the CRC. The server must answer a
+    //    typed BadRequest naming the deadline, with the authentic id, and
+    //    keep the connection serving.
+    {
+        let mut wire_request = WireRequest::from_estimate_request(77, &request).unwrap();
+        wire_request.deadline_us = Some(1);
+        let mut bytes = wire::encode_request(&wire_request).unwrap();
+        // kind(1) + flags(1) + id(8) + benchmark(1) + estimator(1) +
+        // options(1) + has_deadline(1) puts the micros field at body
+        // offset 14.
+        let offset = PRELUDE_LEN + 14;
+        bytes[offset..offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let crc = crc32(&bytes[PRELUDE_LEN..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+
+        use std::io::{Read, Write};
+        let mut raw = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        raw.write_all(&bytes).unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let fault_frame = loop {
+            if let Some(len) = wire::frame_length(&buf).unwrap() {
+                break buf.drain(..len).collect::<Vec<u8>>();
+            }
+            let n = raw.read(&mut chunk).unwrap();
+            assert!(n > 0, "server must answer, not hang up");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        match wire::decode_frame(&fault_frame).unwrap() {
+            Frame::Response(response) => {
+                assert_eq!(response.request_id, 77, "authentic id echoed");
+                match response.outcome {
+                    Err(WireFault::BadRequest { message }) => {
+                        assert!(
+                            message.contains("deadline"),
+                            "fault must name the deadline clamp: {message}"
+                        );
+                    }
+                    other => panic!("expected BadRequest, got {other:?}"),
+                }
+            }
+            other => panic!("expected a response frame, got {other:?}"),
+        }
+
+        // The connection survived: a well-formed request on the same
+        // socket is answered normally.
+        let good = wire::encode_request(&WireRequest::from_estimate_request(78, &request).unwrap())
+            .unwrap();
+        raw.write_all(&good).unwrap();
+        let good_frame = loop {
+            if let Some(len) = wire::frame_length(&buf).unwrap() {
+                break buf.drain(..len).collect::<Vec<u8>>();
+            }
+            let n = raw.read(&mut chunk).unwrap();
+            assert!(n > 0, "server must answer the follow-up");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        match wire::decode_frame(&good_frame).unwrap() {
+            Frame::Response(response) => {
+                assert_eq!(response.request_id, 78);
+                let estimate = response.outcome.expect("real estimate after a BadRequest");
+                assert!(estimate.cost_ms.is_finite() && estimate.cost_ms > 0.0);
+            }
+            other => panic!("expected a response frame, got {other:?}"),
+        }
+    }
+
+    // 3. The client-side half of the deadline clamp refuses to encode.
+    let hostile = request
+        .clone()
+        .with_deadline(Duration::from_micros(MAX_DEADLINE_US + 1));
+    let mut client = QcfeClient::connect_uds(&socket).unwrap();
+    match client.estimate(&hostile) {
+        Err(ClientError::Wire(WireError::DeadlineOutOfRange { .. })) => {}
+        other => panic!("expected the encode-side clamp, got {other:?}"),
+    }
+    // An in-range deadline sails through.
+    let bounded = request.with_deadline(Duration::from_secs(30));
+    let response = client.estimate(&bounded).unwrap();
+    assert!(response.cost_ms.is_finite() && response.cost_ms > 0.0);
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A request naming an unknown environment comes back as the typed
+/// `SnapshotMissing` fault — the gateway's error taxonomy crosses the
+/// wire intact.
+#[test]
+fn gateway_faults_cross_the_wire_typed() {
+    let ctx = ctx_with_envs(1);
+    let dir = temp_path("fault-store");
+    let gateway = served_gateway(&ctx, &dir);
+    let socket = temp_path("fault.sock");
+    let server = NetServerBuilder::new(Arc::clone(&gateway))
+        .uds(&socket)
+        .start()
+        .unwrap();
+
+    // An environment nobody published, with transfer disabled: the gateway
+    // fails with SnapshotMissing, and the client sees exactly that.
+    let mut unseen = DbEnvironment::reference();
+    unseen.os_overhead += 0.125;
+    let plan = ctx.workload.queries[0].executed.root.clone();
+    let request = EstimateRequest::new(KIND, unseen.clone(), plan).with_options(RequestOptions {
+        estimator: EstimatorKind::QcfeMscn,
+        allow_transfer: false,
+        shed_load: false,
+    });
+
+    let mut client = QcfeClient::connect_uds(&socket).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    match client.estimate(&request) {
+        Err(ClientError::Fault(WireFault::SnapshotMissing {
+            benchmark,
+            fingerprint,
+        })) => {
+            assert_eq!(benchmark, KIND);
+            assert_eq!(fingerprint, unseen.fingerprint().0);
+        }
+        other => panic!("expected a typed SnapshotMissing fault, got {other:?}"),
+    }
+
+    let stats = server.join().unwrap();
+    assert_eq!(stats.responses_fault, 1);
+    assert_eq!(stats.responses_ok, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
