@@ -137,6 +137,14 @@ impl NetServerBuilder {
     /// on the caller's thread so ephemeral ports are resolved — and bind
     /// failures surface — before this returns.
     pub fn start(self) -> io::Result<ServerHandle> {
+        // Listener tokens occupy `0..CONN_BASE`; one more would collide
+        // with connection slot 0 and misdispatch its readiness events.
+        if self.tcp.len() + self.uds.len() > CONN_BASE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("at most {CONN_BASE} listeners are supported"),
+            ));
+        }
         let mut listeners = Vec::new();
         let mut tcp_addrs = Vec::new();
         for addr in &self.tcp {
@@ -353,6 +361,8 @@ struct Pending {
     generation: u64,
     request_id: u64,
     response: PendingResponse,
+    submitted_at: Instant,
+    deadline_us: Option<u64>,
     expires: Option<Instant>,
 }
 
@@ -652,6 +662,7 @@ impl Reactor {
             .submit_with_notify(estimate_request, Some(notify))
         {
             Ok(response) => {
+                let submitted_at = Instant::now();
                 self.pending.insert(
                     seq,
                     Pending {
@@ -659,7 +670,9 @@ impl Reactor {
                         generation,
                         request_id,
                         response,
-                        expires: deadline_us.map(|us| Instant::now() + Duration::from_micros(us)),
+                        submitted_at,
+                        deadline_us,
+                        expires: deadline_us.map(|us| submitted_at + Duration::from_micros(us)),
                     },
                 );
                 if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
@@ -726,6 +739,8 @@ impl Reactor {
             generation,
             request_id,
             response,
+            submitted_at,
+            deadline_us,
             ..
         } = pending;
         let live = self
@@ -740,12 +755,13 @@ impl Reactor {
         }
         let outcome = match response.try_wait() {
             Ok(Some(estimate)) => Ok(WireEstimate::from_response(&estimate)),
-            // Completion signalled but the reply not yet consumable: only a
-            // lapsed deadline (the sweep) lands here before the worker is
-            // done. Answer with the deadline fault.
+            // Reply not yet consumable: only the deadline sweep lands here,
+            // reaping a request whose budget lapsed before the worker was
+            // done (completion hooks fire strictly after the reply becomes
+            // consumable). Answer with the actual deadline fault.
             Ok(None) => Err(WireFault::DeadlineExceeded {
-                elapsed_us: 0,
-                deadline_us: 0,
+                elapsed_us: submitted_at.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                deadline_us: deadline_us.unwrap_or(0),
             }),
             Err(error) => Err(WireFault::from(&error)),
         };
@@ -814,8 +830,15 @@ impl Reactor {
             .enumerate()
             .filter_map(|(slot, conn)| {
                 let conn = conn.as_ref()?;
-                let quiet = conn.in_flight == 0 && !conn.has_backlog() && conn.stalled.is_none();
-                (quiet && now.duration_since(conn.last_activity) > self.idle_timeout)
+                let quiet = conn.in_flight == 0 && !conn.has_backlog();
+                // A stalled connection is not read from (its parked request
+                // must not be overtaken), so a peer that disconnects while
+                // parked is invisible to the reactor. Bound the park: the
+                // idle timeout doubles as the longest a request may wait
+                // for shard queue capacity before the connection — and its
+                // parked request — is reclaimed.
+                let sweepable = quiet || conn.stalled.is_some();
+                (sweepable && now.duration_since(conn.last_activity) > self.idle_timeout)
                     .then_some(slot)
             })
             .collect();

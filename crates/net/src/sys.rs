@@ -76,14 +76,29 @@ mod imp {
     use std::os::unix::io::RawFd;
     use std::time::Duration;
 
-    // x86_64/aarch64 Linux lays epoll_event out packed (no padding between
-    // the u32 mask and the u64 payload).
-    #[repr(C, packed)]
+    // The kernel's epoll_event is packed (12 bytes, no padding between the
+    // u32 mask and the u64 payload) on x86/x86_64 only; every other Linux
+    // arch (aarch64, riscv64, …) uses the natural 16-byte layout with the
+    // payload at offset 8. Mirror libc: conditional `repr(packed)` on a
+    // `repr(C)` struct, with a per-arch size assertion so a layout drift
+    // fails the build instead of corrupting the event buffer.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[repr(C)]
     #[derive(Clone, Copy)]
     struct EpollEvent {
         events: u32,
         data: u64,
     }
+
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>()
+            == if cfg!(any(target_arch = "x86", target_arch = "x86_64")) {
+                12
+            } else {
+                16
+            },
+        "EpollEvent must match the kernel ABI for this architecture",
+    );
 
     extern "C" {
         fn epoll_create1(flags: c_int) -> c_int;

@@ -136,7 +136,9 @@ pub type CompletionNotify = Arc<dyn Fn() + Send + Sync>;
 struct Job {
     plan: PlanNode,
     submitted_at: Instant,
-    reply: mpsc::Sender<Estimate>,
+    /// `Some` until the job leaves the service; [`Job::drop`] takes it so
+    /// the channel closes *before* the completion hook runs.
+    reply: Option<mpsc::Sender<Estimate>>,
     notify: Option<CompletionNotify>,
 }
 
@@ -147,7 +149,13 @@ impl Drop for Job {
     /// `try_wait` observes [`ServiceError::Closed`]). Running from `Drop`
     /// makes the notification unconditional: no exit path can strand a
     /// poller waiting for a wakeup that never comes.
+    ///
+    /// The reply sender is dropped *before* the hook fires. Otherwise a
+    /// poller woken by the hook could race ahead of this struct's field
+    /// drops and observe the channel still open — `try_wait` returning
+    /// "in flight" for a request the service has already abandoned.
     fn drop(&mut self) {
+        drop(self.reply.take());
         if let Some(notify) = self.notify.take() {
             notify();
         }
@@ -337,11 +345,17 @@ impl Shared {
             .clone()
     }
 
-    fn complete(&self, job: Job, estimate: Estimate) {
+    fn complete(&self, mut job: Job, estimate: Estimate) {
         self.metrics
             .record_completion(job.submitted_at.elapsed().as_secs_f64() * 1e6);
+        // Take the sender out so it closes here, before `job` drops and
+        // fires the completion hook; a hook-woken poller must find the
+        // reply already in the channel (or the channel closed), never a
+        // still-open empty channel.
         // A client that gave up (dropped the receiver) is not an error.
-        let _ = job.reply.send(estimate);
+        if let Some(reply) = job.reply.take() {
+            let _ = reply.send(estimate);
+        }
     }
 
     fn close(&self) {
@@ -479,7 +493,7 @@ impl ServiceHandle {
             queue.jobs.push_back(Job {
                 plan,
                 submitted_at: Instant::now(),
-                reply,
+                reply: Some(reply),
                 notify,
             });
             shared.metrics.record_submit(queue.jobs.len());
@@ -943,6 +957,77 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(pending.try_wait(), Err(ServiceError::Closed));
+    }
+
+    /// Regression: the reply channel must already be closed when the abort
+    /// notify fires. A poller that polls from inside the wakeup (the
+    /// reactor pattern) would otherwise observe a still-open empty channel
+    /// — "in flight" — for a request the service has already dropped, and
+    /// misreport the abort.
+    #[test]
+    fn reply_channel_is_closed_before_the_abort_notify_fires() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+        /// Panics like `PanickingModel`, but only once the gate opens — so
+        /// the test can park the ticket where the hook can reach it before
+        /// the worker drops the job.
+        #[derive(Debug)]
+        struct GatedPanic(Arc<AtomicBool>);
+        impl CostModel for GatedPanic {
+            fn name(&self) -> &'static str {
+                "GatedPanic"
+            }
+            fn predict_plan(&self, _: &PlanNode, _: Option<&FeatureSnapshot>) -> f64 {
+                panic!("model failure");
+            }
+            fn predict_batch(&self, _: &[&PlanNode], _: Option<&FeatureSnapshot>) -> Vec<f64> {
+                while !self.0.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                panic!("model failure");
+            }
+        }
+        let gate = Arc::new(AtomicBool::new(false));
+        let service = EstimationService::start(
+            Arc::new(GatedPanic(Arc::clone(&gate))),
+            None,
+            ServiceConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.handle();
+        let slot: Arc<Mutex<Option<PendingEstimate>>> = Arc::new(Mutex::new(None));
+        type Observed = Result<Option<Estimate>, ServiceError>;
+        let seen: Arc<Mutex<Option<Observed>>> = Arc::new(Mutex::new(None));
+        let hook_slot = Arc::clone(&slot);
+        let hook_seen = Arc::clone(&seen);
+        let pending = handle
+            .submit_async_with_notify(
+                scan_plan(1.0),
+                Arc::new(move || {
+                    if let Some(ticket) = hook_slot.lock().unwrap().as_ref() {
+                        *hook_seen.lock().unwrap() = Some(ticket.try_wait());
+                    }
+                }),
+            )
+            .unwrap();
+        *slot.lock().unwrap() = Some(pending);
+        gate.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if let Some(observed) = seen.lock().unwrap().take() {
+                assert_eq!(
+                    observed,
+                    Err(ServiceError::Closed),
+                    "the hook must find the reply channel already closed"
+                );
+                break;
+            }
+            assert!(Instant::now() < deadline, "hook never ran");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -711,6 +711,25 @@ fn malformed_frames_are_rejected_typed_over_the_wire() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Listener tokens live below the connection token base (64); a builder
+/// configured with more listeners than that is rejected up front —
+/// otherwise the overflowing listener's token would collide with
+/// connection slot 0 and its readiness events would be misdispatched.
+#[test]
+fn builder_rejects_more_listeners_than_the_token_space() {
+    let dir = temp_path("listener-cap-store");
+    let gateway = Arc::new(QcfeGateway::builder(&dir).build().unwrap());
+    let mut builder = NetServerBuilder::new(gateway);
+    for i in 0..65 {
+        builder = builder.uds(temp_path(&format!("listener-cap-{i}.sock")));
+    }
+    match builder.start() {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput),
+        Ok(_) => panic!("65 listeners must be rejected"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A request naming an unknown environment comes back as the typed
 /// `SnapshotMissing` fault — the gateway's error taxonomy crosses the
 /// wire intact.
