@@ -2,7 +2,10 @@
 //! micro-batching `EstimationService`, swept over client counts and with
 //! batching effectively on/off (max_batch 1 vs 32), plus a direct
 //! batched-vs-scalar comparison and batch-size sweep of the
-//! operator-grouped QPPNet inference engine, a routed-gateway section
+//! operator-grouped QPPNet inference engine, a matmul-kernel sweep
+//! (scalar vs portable vs AVX2, f64 vs int8-quantized weights — direct
+//! batch-32 inference and the full service path, with the quantized
+//! models' q-error delta gated at 1%), a routed-gateway section
 //! comparing one `QcfeGateway` front door (1 client per environment across
 //! 4 environments) against the equivalent hand-wired per-service setup,
 //! a cold-restart section timing a rebuilt gateway's first estimate
@@ -20,20 +23,27 @@
 //! can track the serving perf trajectory.
 //!
 //! The run fails (CI gate) if batched QPPNet inference falls below the
-//! scalar per-plan path, or if routed-gateway aggregate throughput falls
-//! more than 20% below the hand-wired per-service baseline.
+//! scalar per-plan path, if the AVX2 kernel loses its ≥1.15x lead over the
+//! scalar kernel at batch 32 (on CPUs that have AVX2), if int8
+//! quantization costs more than 1% mean q-error, or if routed-gateway
+//! aggregate throughput falls more than 20% below the hand-wired
+//! per-service baseline.
 //!
 //! Usage: `cargo run --release -p qcfe-bench --bin serve_throughput [--quick] [--seed N]`
 
 use qcfe_bench::report::{fmt3, parse_common_args, ExperimentReport, ReportTable};
 use qcfe_core::cost_model::CostModel;
 use qcfe_core::encoding::FeatureEncoder;
-use qcfe_core::estimators::{MscnEstimator, QppNetEstimator};
+use qcfe_core::estimators::{
+    MscnEstimator, QppNetEstimator, QuantizedMscnEstimator, QuantizedQppNetEstimator,
+};
+use qcfe_core::metrics::q_errors;
 use qcfe_core::model_codec::PersistedModel;
 use qcfe_core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::plan::PlanNode;
 use qcfe_net::{NetServerBuilder, QcfeClient};
+use qcfe_nn::kernel::{force_kernel, MatmulKernel};
 use qcfe_serve::prelude::*;
 use qcfe_workloads::{
     run_closed_loop, run_feedback_loop, BenchmarkKind, ClosedLoopConfig, ObservedEstimate,
@@ -212,6 +222,168 @@ fn main() {
         );
     }
     report.add_table(qpp_table);
+
+    // ---------------------------------------------------------------
+    // Matmul kernel sweep: the identical operator-grouped QPPNet batch-32
+    // workload driven through each dispatchable kernel (scalar, portable,
+    // AVX2 where the CPU has it), for both the f64 weights and the
+    // int8-quantized model. `force_kernel` overrides the
+    // QCFE_KERNEL-resolved default so one process compares all of them.
+    // ---------------------------------------------------------------
+    let supported: Vec<MatmulKernel> = MatmulKernel::ALL
+        .into_iter()
+        .filter(|k| k.is_supported())
+        .collect();
+    let qqpp = QuantizedQppNetEstimator::quantize(&qpp);
+    let _ = qqpp.predict_batch(&plans, Some(&snapshot)); // warm scratch
+    let mut kernel_table = ReportTable::new(
+        "Matmul kernel sweep: QPPNet direct inference, batch 32",
+        &[
+            "kernel",
+            "weights",
+            "throughput (plans/s)",
+            "speedup vs scalar f64",
+        ],
+    );
+    let mut scalar_f64_tput = 0.0_f64;
+    let mut avx2_f64_tput = None;
+    for &kernel in &supported {
+        assert!(force_kernel(Some(kernel)), "{} dispatches", kernel.name());
+        let f64_tput = best_throughput(&|| {
+            for chunk in plans.chunks(32) {
+                let _ = qpp.predict_batch(chunk, Some(&snapshot));
+            }
+        });
+        let i8_tput = best_throughput(&|| {
+            for chunk in plans.chunks(32) {
+                let _ = qqpp.predict_batch(chunk, Some(&snapshot));
+            }
+        });
+        if kernel == MatmulKernel::Scalar {
+            scalar_f64_tput = f64_tput;
+        }
+        if kernel == MatmulKernel::Avx2 {
+            avx2_f64_tput = Some(f64_tput);
+        }
+        for (weights, tput) in [("f64", f64_tput), ("int8", i8_tput)] {
+            kernel_table.push_row(vec![
+                kernel.name().into(),
+                weights.into(),
+                format!("{tput:.0}"),
+                fmt3(tput / scalar_f64_tput),
+            ]);
+            eprintln!(
+                "[serve] kernel={} weights={weights}: {tput:.0} plans/s ({:.2}x scalar f64)",
+                kernel.name(),
+                tput / scalar_f64_tput
+            );
+        }
+    }
+    force_kernel(None);
+    report.add_table(kernel_table);
+
+    // Quantization accuracy: the int8 models must stay within 1% of the
+    // f64 models' mean q-error on the seeded workload — the budget that
+    // makes quantize-at-publish an acceptable serving default.
+    let actuals: Vec<f64> = ctx
+        .workload
+        .queries
+        .iter()
+        .map(|q| q.executed.total_ms)
+        .collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mut qerr_table = ReportTable::new(
+        "int8 quantization accuracy (mean q-error on the training workload)",
+        &["model", "f64", "int8", "delta"],
+    );
+    let qmscn = QuantizedMscnEstimator::quantize(&mscn);
+    for (name, f64_preds, i8_preds) in [
+        (
+            "QCFE(mscn)",
+            mscn.predict_batch(&plans, Some(&snapshot)),
+            qmscn.predict_batch(&plans, Some(&snapshot)),
+        ),
+        (
+            "QCFE(qpp)",
+            qpp.predict_batch(&plans, Some(&snapshot)),
+            qqpp.predict_batch(&plans, Some(&snapshot)),
+        ),
+    ] {
+        let f64_q = mean(&q_errors(&actuals, &f64_preds));
+        let i8_q = mean(&q_errors(&actuals, &i8_preds));
+        qerr_table.push_row(vec![
+            name.into(),
+            fmt3(f64_q),
+            fmt3(i8_q),
+            format!("{:+.3}%", 100.0 * (i8_q / f64_q - 1.0)),
+        ]);
+        eprintln!(
+            "[serve] {name} mean q-error: f64 {f64_q:.4} vs int8 {i8_q:.4} ({:+.3}%)",
+            100.0 * (i8_q / f64_q - 1.0)
+        );
+        // CI accuracy gate: quantization may cost at most 1% q-error.
+        assert!(
+            i8_q <= f64_q * 1.01,
+            "{name}: int8 mean q-error {i8_q:.4} exceeds the 1% budget over f64 {f64_q:.4}"
+        );
+    }
+    report.add_table(qerr_table);
+
+    // The same sweep through the full EstimationService path: micro-batched
+    // closed-loop clients, one service per kernel choice, plus the int8
+    // model on the default kernel.
+    let sweep_db = ctx
+        .benchmark
+        .build_database(ctx.workload.environments[0].clone());
+    let mscn_sweep_model: Arc<dyn CostModel> = Arc::new(mscn.clone());
+    let qmscn_model: Arc<dyn CostModel> = Arc::new(qmscn);
+    let service_tput = |model: &Arc<dyn CostModel>| -> f64 {
+        let service = EstimationService::start(
+            Arc::clone(model),
+            Some(snapshot.clone()),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 256,
+                max_batch: 32,
+                encoding_cache_capacity: 4096,
+            },
+        );
+        let handle = service.handle();
+        let load = ClosedLoopConfig::new(8, requests_per_client, seed + 500);
+        let run = run_closed_loop(&ctx.benchmark, &load, |query| {
+            let plan = sweep_db.plan(&query).map_err(|e| e.to_string())?;
+            Ok(handle.estimate(plan).map_err(|e| e.to_string())?.cost_ms)
+        });
+        let _ = service.shutdown();
+        assert_eq!(run.errors, 0, "kernel-sweep serving must not fail");
+        run.throughput_qps()
+    };
+    let mut svc_kernel_table = ReportTable::new(
+        "Matmul kernel sweep: EstimationService path (QCFE(mscn), 8 clients, max_batch 32)",
+        &["kernel", "weights", "throughput (est/s)"],
+    );
+    for &kernel in &supported {
+        assert!(force_kernel(Some(kernel)), "{} dispatches", kernel.name());
+        let tput = service_tput(&mscn_sweep_model);
+        svc_kernel_table.push_row(vec![
+            kernel.name().into(),
+            "f64".into(),
+            format!("{tput:.0}"),
+        ]);
+        eprintln!(
+            "[serve] service kernel={} weights=f64: {tput:.0} est/s",
+            kernel.name()
+        );
+    }
+    force_kernel(None);
+    let int8_svc_tput = service_tput(&qmscn_model);
+    svc_kernel_table.push_row(vec![
+        "default".into(),
+        "int8".into(),
+        format!("{int8_svc_tput:.0}"),
+    ]);
+    eprintln!("[serve] service kernel=default weights=int8: {int8_svc_tput:.0} est/s");
+    report.add_table(svc_kernel_table);
 
     // ---------------------------------------------------------------
     // Service-side closed-loop sweeps for both model families.
@@ -838,6 +1010,24 @@ fn main() {
         "[serve] QPPNet batched/scalar speedup: {:.2}x",
         batched_best_tput / scalar_tput
     );
+
+    // CI regression gate: the AVX2 kernel must keep a real lead over the
+    // scalar kernel on the batch-32 QPPNet path — same process, same
+    // plans, same run. Skipped (loudly) on CPUs without AVX2, where the
+    // sweep only exercised the scalar/portable pair.
+    match avx2_f64_tput {
+        Some(avx2) => {
+            assert!(
+                avx2 >= 1.15 * scalar_f64_tput,
+                "AVX2 kernel regressed below 1.15x scalar: {avx2:.0} vs {scalar_f64_tput:.0} plans/s"
+            );
+            eprintln!(
+                "[serve] AVX2/scalar kernel speedup at batch 32: {:.2}x",
+                avx2 / scalar_f64_tput
+            );
+        }
+        None => eprintln!("[serve] AVX2 gate skipped: CPU does not support AVX2+FMA"),
+    }
 
     // CI regression gate: routing through the gateway must stay within 20%
     // of the equivalent hand-wired per-service setup (the front door adds

@@ -203,35 +203,22 @@ impl Matrix {
 
     /// Matrix multiplication `self * other`.
     ///
+    /// Thin allocate-then-[`Matrix::matmul_into`] wrapper, so the two can
+    /// never drift apart.
+    ///
     /// # Panics
     /// Panics if the inner dimensions do not agree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions must agree ({}x{} * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: sequential access on `other` and `out`.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out);
         out
     }
 
     /// Matrix multiplication `self * other` written into a caller-owned
     /// output buffer (reshaped in place), so repeated inference passes do
-    /// not allocate.
+    /// not allocate. Dispatches through the pluggable dense kernel layer
+    /// ([`crate::kernel`]): AVX2+FMA when the CPU has it, a bit-exact
+    /// portable unrolled loop otherwise, overridable with `QCFE_KERNEL`.
     ///
     /// # Panics
     /// Panics if the inner dimensions do not agree.
@@ -242,39 +229,33 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         out.reset(self.rows, other.cols);
-        // Same i-k-j loop order as `matmul` so results are bit-identical.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernel::matmul_f64(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
     }
 
     /// `self^T * other`, computed without materialising the transpose.
+    ///
+    /// Routes through the kernel module's shared sparsity-aware
+    /// implementation ([`crate::kernel::t_matmul_sparse`]), which keeps the
+    /// per-element zero skip: this is the training-side `Xᵀ·G` product
+    /// where one-hot-ish design matrices make the skip a real win.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul: row counts must agree");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernel::t_matmul_sparse(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 

@@ -1,0 +1,442 @@
+//! Opt-in int8 quantized inference for trained MLPs.
+//!
+//! A [`QuantizedDenseLayer`] stores its weight matrix as `i8` with one
+//! symmetric scale (and a zero-point, always 0 when produced by
+//! [`QuantizedDenseLayer::quantize`] but carried in the representation and
+//! the `QCFW` v2 record for forward compatibility); biases and activations
+//! stay `f64`. Quantization happens **at publish time** — training always
+//! runs in f64, and a quantized network is inference-only.
+//!
+//! The forward pass accumulates `Σ input[i][p] * q[p][j]` in f64 through
+//! the same pluggable kernel layer as the f64 path
+//! ([`crate::kernel::matmul_i8`]), then applies the per-layer scale, bias
+//! and activation in one fused pass over the output rows:
+//!
+//! ```text
+//! y[i][j] = act( scale * (Σ_p x[i][p] * (q[p][j] - zp)) + bias[j] )
+//! ```
+//!
+//! Accuracy model: symmetric round-to-nearest with `scale = max|w| / 127`
+//! bounds the per-weight error by `scale / 2`, i.e. a relative resolution
+//! of roughly 0.4% of the largest weight per layer. On the paper's
+//! estimator workloads this keeps the mean q-error within a fraction of a
+//! percent of the f64 model (asserted by the test suite and the
+//! `serve_throughput` kernel sweep); the win is a 8× smaller weight
+//! footprint, which keeps whole per-operator unit sets cache-resident
+//! during batched serving.
+
+use crate::activation::Activation;
+use crate::kernel;
+use crate::layer::DenseLayer;
+use crate::matrix::Matrix;
+use crate::mlp::{BatchForward, InferenceScratch, Mlp};
+use std::cell::RefCell;
+
+/// An inference-only dense layer with int8 weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDenseLayer {
+    weights_q: Vec<i8>,
+    input_dim: usize,
+    output_dim: usize,
+    scale: f64,
+    zero_point: i8,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+impl QuantizedDenseLayer {
+    /// Quantize a trained f64 layer: symmetric scale `max|w| / 127`
+    /// (1.0 for an all-zero weight matrix), round-to-nearest, zero-point 0.
+    pub fn quantize(layer: &DenseLayer) -> Self {
+        let weights = layer.weights();
+        let max_abs = weights.max_abs();
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let weights_q = weights
+            .as_slice()
+            .iter()
+            .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedDenseLayer {
+            weights_q,
+            input_dim: weights.rows(),
+            output_dim: weights.cols(),
+            scale,
+            zero_point: 0,
+            biases: layer.biases().to_vec(),
+            activation: layer.activation(),
+        }
+    }
+
+    /// Assemble a layer from already-quantized parts (codec decode path).
+    ///
+    /// # Panics
+    /// Panics on inconsistent dimensions or a non-finite / non-positive
+    /// scale; the codec validates before calling this.
+    pub fn from_parts(
+        input_dim: usize,
+        output_dim: usize,
+        scale: f64,
+        zero_point: i8,
+        weights_q: Vec<i8>,
+        biases: Vec<f64>,
+        activation: Activation,
+    ) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "zero layer dimension");
+        assert_eq!(weights_q.len(), input_dim * output_dim, "weight count");
+        assert_eq!(biases.len(), output_dim, "bias count");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive"
+        );
+        QuantizedDenseLayer {
+            weights_q,
+            input_dim,
+            output_dim,
+            scale,
+            zero_point,
+            biases,
+            activation,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Per-layer symmetric quantization scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Quantization zero-point (0 for layers produced by
+    /// [`QuantizedDenseLayer::quantize`]).
+    pub fn zero_point(&self) -> i8 {
+        self.zero_point
+    }
+
+    /// Row-major int8 weights (`input_dim × output_dim`).
+    pub fn weights_q(&self) -> &[i8] {
+        &self.weights_q
+    }
+
+    /// Bias vector (still f64).
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// Activation applied after the affine transform.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// The effective f64 weight this layer computes with:
+    /// `scale * (q - zero_point)`.
+    pub fn dequantized_weight(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.input_dim && c < self.output_dim);
+        self.scale * (self.weights_q[r * self.output_dim + c] as f64 - self.zero_point as f64)
+    }
+
+    /// Batched inference into a caller-owned output matrix: int8 matmul
+    /// through the active kernel, then a fused scale + bias + activation
+    /// pass per row.
+    ///
+    /// # Panics
+    /// Panics if `input.cols() != input_dim`.
+    pub fn forward_inference_into(&self, input: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            input.cols(),
+            self.input_dim,
+            "quantized forward: input dim mismatch"
+        );
+        let rows = input.rows();
+        out.reset(rows, self.output_dim);
+        kernel::matmul_i8(
+            input.as_slice(),
+            rows,
+            self.input_dim,
+            &self.weights_q,
+            self.output_dim,
+            out.as_mut_slice(),
+        );
+        let scale = self.scale;
+        if self.zero_point == 0 {
+            for r in 0..rows {
+                for (v, &b) in out.row_mut(r).iter_mut().zip(self.biases.iter()) {
+                    *v = self.activation.apply(*v * scale + b);
+                }
+            }
+        } else {
+            // General zero-point: Σ x*(q - zp) = Σ x*q − zp·Σ x, so one row
+            // sum corrects the whole output row.
+            let zp = self.zero_point as f64;
+            for r in 0..rows {
+                let row_sum: f64 = input.row(r).iter().sum();
+                for (v, &b) in out.row_mut(r).iter_mut().zip(self.biases.iter()) {
+                    *v = self.activation.apply((*v - zp * row_sum) * scale + b);
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread staging for the convenience wrappers (the f64 `Mlp` has
+    /// its own; sharing would alias borrows when mixing representations on
+    /// one thread).
+    static TLS_SCRATCH_Q: RefCell<(Matrix, InferenceScratch)> = RefCell::new(Default::default());
+}
+
+/// An inference-only MLP whose layers carry int8 weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedDenseLayer>,
+}
+
+impl QuantizedMlp {
+    /// Quantize every layer of a trained f64 network.
+    pub fn quantize(mlp: &Mlp) -> Self {
+        QuantizedMlp {
+            layers: mlp
+                .layers()
+                .iter()
+                .map(QuantizedDenseLayer::quantize)
+                .collect(),
+        }
+    }
+
+    /// Build from explicit quantized layers (codec decode path).
+    ///
+    /// # Panics
+    /// Panics if the list is empty or consecutive dimensions disagree.
+    pub fn from_layers(layers: Vec<QuantizedDenseLayer>) -> Self {
+        assert!(
+            !layers.is_empty(),
+            "a quantized MLP needs at least one layer"
+        );
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "consecutive layer dimensions must agree"
+            );
+        }
+        QuantizedMlp { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow the layers (read-only).
+    pub fn layers(&self) -> &[QuantizedDenseLayer] {
+        &self.layers
+    }
+
+    /// Allocation-free batched inference, mirroring
+    /// [`Mlp::predict_batch_into`].
+    pub fn predict_batch_into<'a>(
+        &self,
+        x: &Matrix,
+        scratch: &'a mut InferenceScratch,
+    ) -> &'a Matrix {
+        let InferenceScratch { ping, pong } = scratch;
+        let mut src: &mut Matrix = ping;
+        let mut dst: &mut Matrix = pong;
+        let (first, rest) = self.layers.split_first().expect("non-empty");
+        first.forward_inference_into(x, src);
+        for layer in rest {
+            layer.forward_inference_into(src, dst);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        src
+    }
+
+    /// Predict a scalar for a single feature vector (first output unit).
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        TLS_SCRATCH_Q.with(|cell| {
+            let (input, scratch) = &mut *cell.borrow_mut();
+            input.reset_from_row(features);
+            self.predict_batch_into(input, scratch).get(0, 0)
+        })
+    }
+
+    /// Predict scalars (first output unit) for a slice of feature rows in
+    /// one batched pass through the thread-local scratch.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn predict_rows(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        TLS_SCRATCH_Q.with(|cell| {
+            let (input, scratch) = &mut *cell.borrow_mut();
+            input.reset(rows.len(), rows[0].len());
+            for (r, row) in rows.iter().enumerate() {
+                input.row_mut(r).copy_from_slice(row);
+            }
+            let out = self.predict_batch_into(input, scratch);
+            (0..out.rows()).map(|r| out.get(r, 0)).collect()
+        })
+    }
+}
+
+impl BatchForward for QuantizedMlp {
+    fn input_dim(&self) -> usize {
+        QuantizedMlp::input_dim(self)
+    }
+
+    fn output_dim(&self) -> usize {
+        QuantizedMlp::output_dim(self)
+    }
+
+    fn forward_batch_into<'a>(&self, x: &Matrix, scratch: &'a mut InferenceScratch) -> &'a Matrix {
+        self.predict_batch_into(x, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn quantize_round_trip_error_is_bounded_by_half_scale() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let rows = r.gen_range(1usize..10);
+            let cols = r.gen_range(1usize..10);
+            let data: Vec<f64> = (0..rows * cols).map(|_| r.gen_range(-3.0..3.0)).collect();
+            let layer = DenseLayer::with_parameters(
+                Matrix::from_vec(rows, cols, data.clone()),
+                vec![0.0; cols],
+                Activation::Identity,
+            );
+            let q = QuantizedDenseLayer::quantize(&layer);
+            let bound = q.scale() / 2.0 + 1e-12;
+            for rr in 0..rows {
+                for cc in 0..cols {
+                    let w = data[rr * cols + cc];
+                    let dq = q.dequantized_weight(rr, cc);
+                    assert!(
+                        (w - dq).abs() <= bound,
+                        "w {w} dequantized {dq} scale {}",
+                        q.scale()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_layer_quantizes_cleanly() {
+        let layer =
+            DenseLayer::with_parameters(Matrix::zeros(3, 2), vec![0.5, -0.5], Activation::Relu);
+        let q = QuantizedDenseLayer::quantize(&layer);
+        assert_eq!(q.scale(), 1.0);
+        assert!(q.weights_q().iter().all(|&v| v == 0));
+        let pred = {
+            let mut out = Matrix::default();
+            q.forward_inference_into(&Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]), &mut out);
+            out.row(0).to_vec()
+        };
+        assert_eq!(pred, vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn quantized_mlp_tracks_f64_network_closely() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[6, 16, 8, 1], Activation::Relu, &mut r);
+        let q = QuantizedMlp::quantize(&mlp);
+        assert_eq!(q.input_dim(), 6);
+        assert_eq!(q.output_dim(), 1);
+        assert_eq!(q.layer_count(), 3);
+        let mut max_dev = 0.0f64;
+        let mut max_mag = 0.0f64;
+        for i in 0..64 {
+            let x: Vec<f64> = (0..6).map(|j| ((i * 6 + j) as f64 * 0.37).sin()).collect();
+            let f = mlp.predict_one(&x);
+            let qp = q.predict_one(&x);
+            max_dev = max_dev.max((f - qp).abs());
+            max_mag = max_mag.max(f.abs());
+        }
+        // int8 resolution is ~0.4% per weight; a 3-layer network stays
+        // within a few percent of the output scale on smooth inputs.
+        // (Pure relative error is meaningless where the output crosses 0.)
+        assert!(max_mag > 0.0, "degenerate test network");
+        assert!(
+            max_dev < 0.05 * max_mag,
+            "max deviation {max_dev} vs output scale {max_mag}"
+        );
+    }
+
+    #[test]
+    fn batched_and_single_row_quantized_predictions_are_bit_identical() {
+        let mut r = rng();
+        let mlp = Mlp::new(&[5, 12, 1], Activation::Relu, &mut r);
+        let q = QuantizedMlp::quantize(&mlp);
+        let rows: Vec<Vec<f64>> = (0..32)
+            .map(|i| (0..5).map(|j| ((i * 5 + j) as f64).cos()).collect())
+            .collect();
+        let batched = q.predict_rows(&rows);
+        for (row, b) in rows.iter().zip(&batched) {
+            assert_eq!(q.predict_one(row).to_bits(), b.to_bits());
+        }
+        assert!(q.predict_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn nonzero_zero_point_is_corrected_exactly() {
+        // Hand-build a layer with zp = 3 and check against the dequantized
+        // dense reference.
+        let weights_q = vec![5i8, -2, 7, 0, 3, -127];
+        let q = QuantizedDenseLayer::from_parts(
+            3,
+            2,
+            0.25,
+            3,
+            weights_q.clone(),
+            vec![0.1, -0.2],
+            Activation::Identity,
+        );
+        let x = vec![0.5, -1.5, 2.0];
+        let mut out = Matrix::default();
+        q.forward_inference_into(&Matrix::from_rows(std::slice::from_ref(&x)), &mut out);
+        for c in 0..2 {
+            let mut acc = 0.0;
+            for (p, &xv) in x.iter().enumerate() {
+                acc += xv * (weights_q[p * 2 + c] as f64 - 3.0);
+            }
+            let expect = acc * 0.25 + q.biases()[c];
+            assert!((out.get(0, c) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be finite and positive")]
+    fn from_parts_rejects_bad_scale() {
+        let _ =
+            QuantizedDenseLayer::from_parts(1, 1, 0.0, 0, vec![1], vec![0.0], Activation::Identity);
+    }
+}

@@ -718,6 +718,20 @@ impl QcfeGateway {
         Ok(path)
     }
 
+    /// Publish a trained model in its int8-quantized form: the weights are
+    /// quantized (symmetric, per layer) at publish time, persisted as a
+    /// `QCFW` v2 sidecar, and served from the quantized representation —
+    /// the trade the paper's serving path wants when throughput matters
+    /// more than the last fraction of a percent of q-error. An already
+    /// quantized [`PersistedModel`] passes through unchanged.
+    pub fn publish_quantized_model(
+        &self,
+        key: ModelKey,
+        model: PersistedModel,
+    ) -> Result<PathBuf, QcfeError> {
+        self.publish_model(key, model.quantize())
+    }
+
     /// Register (or replace) a model under its serving key, returning the
     /// entry this insert evicted, if any. Evictions observed here feed
     /// [`GatewayStats::model_evictions`].
@@ -1517,6 +1531,60 @@ mod tests {
         let stats = gateway.stats();
         assert_eq!(stats.model_loads, 1, "one disk load serves every request");
         assert_eq!(stats.registry.loads, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The quantized publish path end-to-end: quantize-at-publish, persist
+    /// as `QCFW` v2, drop the gateway, rebuild on the same root — the
+    /// restarted gateway reloads the *int8* sidecar and serves estimates
+    /// bit-identical to the pre-restart quantized ones.
+    #[test]
+    fn restarted_gateway_serves_quantized_weights_bit_identically() {
+        let root = temp_root("restart-int8");
+        let env = DbEnvironment::reference();
+        let key = ModelKey::new(
+            BenchmarkKind::Sysbench,
+            EstimatorKind::Mscn,
+            env.fingerprint(),
+        );
+        let persisted = tiny_persisted_mscn(37);
+        let plans: Vec<PlanNode> = (1..=6).map(|i| scan_plan(i as f64 * 10.0)).collect();
+
+        let before: Vec<u64> = {
+            let gateway = QcfeGateway::builder(&root).build().unwrap();
+            gateway
+                .publish_quantized_model(key, persisted.clone())
+                .expect("quantized weights persisted");
+            plans
+                .iter()
+                .map(|p| {
+                    let mut request = mscn_request(&env, 1.0);
+                    request.plan = p.clone();
+                    gateway.estimate(request).unwrap().cost_ms.to_bits()
+                })
+                .collect()
+        };
+        let gateway = QcfeGateway::builder(&root).build().unwrap();
+        // The sidecar on disk holds the int8 payload, not a re-expanded f64
+        // model.
+        let reloaded = gateway
+            .store()
+            .load_model(key.benchmark, key.estimator, key.fingerprint)
+            .expect("loads")
+            .expect("present");
+        assert!(reloaded.is_quantized());
+        assert_eq!(reloaded.name(), "MSCN-int8");
+        for (plan, &expected) in plans.iter().zip(&before) {
+            let mut request = mscn_request(&env, 1.0);
+            request.plan = plan.clone();
+            let response = gateway.estimate(request).unwrap();
+            assert_eq!(
+                response.cost_ms.to_bits(),
+                expected,
+                "restarted gateway must serve bit-identical quantized estimates"
+            );
+            assert!(response.provenance.model_from_disk);
+        }
         let _ = std::fs::remove_dir_all(&root);
     }
 
