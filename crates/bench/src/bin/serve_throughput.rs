@@ -13,10 +13,15 @@
 //! an online-refinement section measuring a cold environment's
 //! estimate error under a transferred snapshot vs after refitting from
 //! its own streamed labels (gated: refit error ≤ transferred error),
-//! and a network section driving the same gateway through the `qcfe-net`
+//! a network section driving the same gateway through the `qcfe-net`
 //! reactor over a loopback Unix-domain socket — N pipelined remote
 //! clients vs the same clients in-process (reported, not gated; every
-//! remote estimate is asserted bit-identical to its in-process twin).
+//! remote estimate is asserted bit-identical to its in-process twin),
+//! and a multi-tenant scheduling section replaying one adversarial mix
+//! (a greedy deadline-less tenant flooding a throttled single-worker
+//! shard next to compliant deadline-carrying tenants) against a
+//! default FIFO gateway and one running `SchedPolicy::edf()` with a
+//! queue-share quota on the greedy tenant.
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
@@ -25,9 +30,13 @@
 //! The run fails (CI gate) if batched QPPNet inference falls below the
 //! scalar per-plan path, if the AVX2 kernel loses its ≥1.15x lead over the
 //! scalar kernel at batch 32 (on CPUs that have AVX2), if int8
-//! quantization costs more than 1% mean q-error, or if routed-gateway
+//! quantization costs more than 1% mean q-error, if routed-gateway
 //! aggregate throughput falls more than 20% below the hand-wired
-//! per-service baseline.
+//! per-service baseline, if scheduling fails to cut the compliant
+//! tenants' pooled p99 to ≤ 0.5x the FIFO baseline while they keep
+//! ≥ 80% goodput, or if the greedy tenant is not shed typed (nonzero
+//! client-side and per-tenant-metric shed counters; every request must
+//! resolve — served, shed or deadline-failed — in both runs).
 //!
 //! Usage: `cargo run --release -p qcfe-bench --bin serve_throughput [--quick] [--seed N]`
 
@@ -46,11 +55,53 @@ use qcfe_net::{NetServerBuilder, QcfeClient};
 use qcfe_nn::kernel::{force_kernel, MatmulKernel};
 use qcfe_serve::prelude::*;
 use qcfe_workloads::{
-    run_closed_loop, run_feedback_loop, BenchmarkKind, ClosedLoopConfig, ObservedEstimate,
+    run_closed_loop, run_feedback_loop, run_multi_tenant_mix, BenchmarkKind, ClosedLoopConfig,
+    MultiTenantReport, ObservedEstimate, SubmitError, TenantLoad,
 };
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A cost model that sleeps once per drained micro-batch before
+/// delegating. The scheduling section uses it to make queue wait — not
+/// inference speed — dominate latency, so the FIFO-vs-EDF comparison
+/// measures ordering policy rather than matmul throughput.
+struct ThrottledModel {
+    inner: Arc<dyn CostModel>,
+    delay: Duration,
+}
+
+impl CostModel for ThrottledModel {
+    fn name(&self) -> &'static str {
+        "throttled"
+    }
+
+    fn predict_plan(&self, root: &PlanNode, snapshot: Option<&FeatureSnapshot>) -> f64 {
+        std::thread::sleep(self.delay);
+        self.inner.predict_plan(root, snapshot)
+    }
+
+    fn predict_batch(&self, plans: &[&PlanNode], snapshot: Option<&FeatureSnapshot>) -> Vec<f64> {
+        std::thread::sleep(self.delay);
+        self.inner.predict_batch(plans, snapshot)
+    }
+}
+
+/// p99 latency pooled over the given tenants' completed requests.
+fn pooled_p99_ms(report: &MultiTenantReport, tenants: &[u32]) -> f64 {
+    let mut pooled: Vec<f64> = report
+        .lanes
+        .iter()
+        .filter(|lane| tenants.contains(&lane.tenant))
+        .flat_map(|lane| lane.latencies_ms.iter().copied())
+        .collect();
+    pooled.sort_by(|a, b| a.total_cmp(b));
+    if pooled.is_empty() {
+        return 0.0;
+    }
+    let rank = (0.99 * (pooled.len() - 1) as f64).round() as usize;
+    pooled[rank.min(pooled.len() - 1)]
+}
 
 /// One closed-loop service sweep for a model, appended to `table`.
 #[allow(clippy::too_many_arguments)]
@@ -990,6 +1041,220 @@ fn main() {
     eprintln!(
         "[serve] network front end: {net_clients} pipelined UDS clients {net_tput:.0} est/s vs in-process {inproc_tput:.0} est/s ({:.2}x)",
         net_tput / inproc_tput
+    );
+
+    // ---------------------------------------------------------------
+    // Multi-tenant scheduling: the same adversarial mix replayed against
+    // a blind-FIFO gateway and one running `SchedPolicy::edf()` with a
+    // 2-slot queue share on the greedy tenant. A greedy tenant floods a
+    // single-worker, throttled shard (1 ms per micro-batch, max_batch 2)
+    // with deadline-less traffic from 16 closed-loop clients while two
+    // compliant tenants (2 clients each) submit deadline-carrying
+    // requests; the throttle makes queue wait dominate latency, so the
+    // comparison measures ordering policy, not inference speed.
+    // ---------------------------------------------------------------
+    const GREEDY_TENANT: u32 = 7;
+    const COMPLIANT_TENANTS: [u32; 2] = [21, 22];
+    let sched_requests = if quick { 40 } else { 120 };
+    let sched_lanes = [
+        TenantLoad::greedy(GREEDY_TENANT, 16, sched_requests),
+        TenantLoad::compliant(
+            COMPLIANT_TENANTS[0],
+            2,
+            sched_requests,
+            Duration::from_secs(5),
+        ),
+        TenantLoad::compliant(
+            COMPLIANT_TENANTS[1],
+            2,
+            sched_requests,
+            Duration::from_secs(5),
+        ),
+    ];
+    let sched_config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        max_batch: 2,
+        encoding_cache_capacity: 1024,
+    };
+    let throttled_model: Arc<dyn CostModel> = Arc::new(ThrottledModel {
+        inner: Arc::clone(&mscn_model),
+        delay: Duration::from_millis(1),
+    });
+    let sched_env = Arc::new(ctx.workload.environments[0].clone());
+    let sched_db = &dbs[0];
+    let run_mix = |gateway: &QcfeGateway| {
+        run_multi_tenant_mix(
+            &ctx.benchmark,
+            &sched_lanes,
+            seed + 700,
+            |tenant, deadline, query| {
+                let plan = sched_db
+                    .plan(&query)
+                    .map_err(|e| SubmitError::Other(e.to_string()))?;
+                let mut request = EstimateRequest::new(kind, Arc::clone(&sched_env), plan)
+                    .with_tenant(TenantId(tenant));
+                request.options.shed_load = true;
+                if let Some(deadline) = deadline {
+                    request = request.with_deadline(deadline);
+                }
+                match gateway.estimate(request) {
+                    Ok(response) => Ok(response.cost_ms),
+                    Err(QcfeError::Service(ServiceError::QueueFull { .. })) => {
+                        Err(SubmitError::Shed)
+                    }
+                    Err(QcfeError::DeadlineExceeded { .. }) => Err(SubmitError::DeadlineExceeded),
+                    Err(other) => Err(SubmitError::Other(other.to_string())),
+                }
+            },
+        )
+    };
+    let run_policy = |tag: &str, policy: SchedPolicy| {
+        let root = std::env::temp_dir().join(format!(
+            "qcfe-serve-bench-sched-{tag}-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let gateway = QcfeGateway::builder(&root)
+            .service_config(sched_config)
+            .scheduling(policy)
+            .build()
+            .expect("gateway builds");
+        gateway
+            .publish_snapshot(kind, &ctx.workload.environments[0], &snapshots[0])
+            .expect("snapshot published");
+        gateway.register_model(
+            ModelKey::new(
+                kind,
+                EstimatorKind::QcfeMscn,
+                ctx.workload.environments[0].fingerprint(),
+            ),
+            Arc::clone(&throttled_model),
+        );
+        // Warm the shard so neither run pays model load on its first
+        // timed request.
+        gateway
+            .estimate(EstimateRequest::new(
+                kind,
+                Arc::clone(&sched_env),
+                ctx.workload.queries[0].executed.root.clone(),
+            ))
+            .expect("warm-up estimate");
+        let mix = run_mix(&gateway);
+        let stats = gateway.stats();
+        let _ = std::fs::remove_dir_all(&root);
+        (mix, stats)
+    };
+    eprintln!("[serve] multi-tenant scheduling: adversarial mix vs FIFO baseline...");
+    let (fifo_mix, _) = run_policy("fifo", SchedPolicy::fifo());
+    let (edf_mix, edf_stats) = run_policy(
+        "edf",
+        SchedPolicy::edf()
+            .with_age_after(Duration::from_millis(50))
+            .with_quota(
+                TenantId(GREEDY_TENANT),
+                TenantQuota::new(f64::INFINITY, f64::INFINITY, 2),
+            ),
+    );
+
+    let mut sched_table = ReportTable::new(
+        "Multi-tenant scheduling: adversarial mix on a throttled shard, FIFO vs EDF+quota",
+        &[
+            "policy",
+            "tenant",
+            "attempted",
+            "completed",
+            "shed",
+            "p50 (ms)",
+            "p99 (ms)",
+            "goodput",
+        ],
+    );
+    for (label, mix) in [
+        ("FIFO (default)", &fifo_mix),
+        ("EDF + greedy quota", &edf_mix),
+    ] {
+        for lane in &mix.lanes {
+            // Every request must resolve typed — served, shed or deadline
+            // -failed — in both runs; nothing may hang or error opaquely.
+            assert_eq!(
+                lane.completed + lane.shed + lane.deadline_failures + lane.other_errors,
+                lane.attempted,
+                "{label}: tenant {} lost requests",
+                lane.tenant
+            );
+            assert_eq!(
+                lane.other_errors, 0,
+                "{label}: tenant {} hit untyped errors",
+                lane.tenant
+            );
+            sched_table.push_row(vec![
+                label.to_string(),
+                if lane.tenant == GREEDY_TENANT {
+                    format!("{} (greedy)", lane.tenant)
+                } else {
+                    format!("{} (deadline 5s)", lane.tenant)
+                },
+                lane.attempted.to_string(),
+                lane.completed.to_string(),
+                lane.shed.to_string(),
+                fmt3(lane.latency_percentile_ms(50.0)),
+                fmt3(lane.latency_percentile_ms(99.0)),
+                fmt3(lane.goodput()),
+            ]);
+        }
+    }
+    report.add_table(sched_table);
+
+    let fifo_p99 = pooled_p99_ms(&fifo_mix, &COMPLIANT_TENANTS);
+    let edf_p99 = pooled_p99_ms(&edf_mix, &COMPLIANT_TENANTS);
+    eprintln!(
+        "[serve] scheduling: compliant p99 {fifo_p99:.3} ms (FIFO) -> {edf_p99:.3} ms (EDF), greedy shed {} of {}",
+        edf_mix.lane(GREEDY_TENANT).map_or(0, |l| l.shed),
+        edf_mix.lane(GREEDY_TENANT).map_or(0, |l| l.attempted),
+    );
+
+    // CI regression gate: with scheduling on, the compliant tenants'
+    // pooled p99 must be at most half the FIFO baseline and every
+    // compliant lane must keep >= 80% of its fair share (its whole
+    // closed-loop demand) as goodput, despite the greedy flood.
+    assert!(
+        edf_p99 <= 0.5 * fifo_p99,
+        "scheduling did not cut compliant p99 in half: {edf_p99:.3} ms vs FIFO {fifo_p99:.3} ms"
+    );
+    for tenant in COMPLIANT_TENANTS {
+        let lane = edf_mix.lane(tenant).expect("compliant lane reported");
+        assert!(
+            lane.goodput() >= 0.8,
+            "compliant tenant {tenant} goodput fell below fair share: {:.3}",
+            lane.goodput()
+        );
+    }
+
+    // CI regression gate: the greedy tenant is shed typed — nonzero shed
+    // counters both client-side and in the gateway's per-tenant metrics
+    // lane — and still gets residual service (backfill), never a hang.
+    let greedy_lane = edf_mix.lane(GREEDY_TENANT).expect("greedy lane reported");
+    assert!(
+        greedy_lane.shed > 0,
+        "greedy tenant was never shed despite a 2-slot queue share"
+    );
+    assert!(
+        greedy_lane.completed > 0,
+        "greedy tenant must still be backfilled within its share"
+    );
+    let greedy_metrics = edf_stats
+        .tenants
+        .iter()
+        .find(|lane| lane.tenant == TenantId(GREEDY_TENANT))
+        .expect("greedy tenant lane in gateway stats");
+    assert!(
+        greedy_metrics.shed_quota > 0,
+        "gateway metrics must attribute the greedy tenant's sheds to its quota"
+    );
+    assert!(
+        greedy_metrics.admitted > 0 && greedy_metrics.batches_formed > 0,
+        "gateway metrics must show the greedy tenant's admitted share being served"
     );
 
     println!("{}", report.render());

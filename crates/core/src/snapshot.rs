@@ -58,6 +58,17 @@
 //! whose unknown bits are rejected, and bounds every length field before
 //! allocating — the no-panic rule extended to hostile network input.
 //!
+//! `QCFP` request payloads carry a per-request **option-bits** byte; bits
+//! `1` (allow-transfer) and `1 << 1` (shed-load) date from the protocol's
+//! introduction, and bit `1 << 2` is the **tenant tag** for the serving
+//! layer's multi-tenant scheduler: when set, a `u32 LE` tenant id follows
+//! the fixed deadline field; when clear, no tenant bytes travel and the
+//! frame is byte-identical to a pre-tenant frame (the anonymous tenant).
+//! Strict rejection applies at both granularities: any *other* option bit
+//! is an unknown-tag error, and a set tenant bit carrying the reserved
+//! anonymous id `0` is rejected the same way — extensions spend reserved
+//! bits explicitly, they never reinterpret existing bytes.
+//!
 //! # Online refinement
 //!
 //! The paper's transfer loop (Table VII) does not end at the warm start: a

@@ -7,13 +7,21 @@
 //! [`QcfeClient::recv`], correlating them by request id. The one-shot
 //! [`QcfeClient::estimate`] wraps a single send/recv pair and converts
 //! the typed wire fault into an error.
+//!
+//! [`QcfeClient::estimate_with_retry`] layers an opt-in [`RetryPolicy`] on
+//! top: bounded exponential backoff when the server sheds the request with
+//! [`WireFault::QueueFull`] (the one fault that *invites* a retry — the
+//! server is telling the client it is momentarily saturated), plus at most
+//! one transparent reconnect when the connection itself breaks mid
+//! round-trip. Every other fault is permanent for the request and
+//! surfaces immediately.
 
 use crate::wire::{self, Frame, WireError, WireFault, WireRequest, WireResponse};
 use qcfe_serve::request::{EstimateRequest, EstimateResponse};
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Any failure on the client side of a connection.
@@ -65,6 +73,57 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// How and when [`QcfeClient::estimate_with_retry`] retries.
+///
+/// Only two failures are retried: a [`WireFault::QueueFull`] shed (the
+/// server is saturated *now* but invites the client back) waits an
+/// exponentially growing backoff, and a broken connection (an I/O error
+/// mid round-trip) is given at most **one** transparent reconnect to the
+/// original target per call. Everything else — deadline faults, missing
+/// models, protocol errors — is permanent for the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How many times a shed request is re-sent after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound the doubling backoff saturates at.
+    pub max_backoff: Duration,
+    /// Whether a broken connection may reconnect (once per call) instead
+    /// of failing.
+    pub reconnect: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            reconnect: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (0-based): `base << retry`,
+    /// saturating at `max_backoff`.
+    fn backoff(&self, retry: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .checked_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_backoff);
+        doubled.min(self.max_backoff)
+    }
+}
+
+/// Where a client connected to, kept so a broken connection can be
+/// transparently re-established by [`QcfeClient::estimate_with_retry`].
+enum ConnectTarget {
+    Tcp(Vec<SocketAddr>),
+    Uds(PathBuf),
+}
+
 enum Transport {
     Tcp(TcpStream),
     Uds(UnixStream),
@@ -89,29 +148,55 @@ impl Transport {
 /// A blocking connection to a `qcfe-net` server.
 pub struct QcfeClient {
     transport: Transport,
+    target: ConnectTarget,
     read_buf: Vec<u8>,
     next_id: u64,
 }
 
 impl QcfeClient {
-    /// Connect over TCP.
+    /// Connect over TCP. The resolved addresses are remembered so
+    /// [`QcfeClient::estimate_with_retry`] can transparently reconnect.
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&addrs[..])?;
         let _ = stream.set_nodelay(true);
-        Ok(Self::over(Transport::Tcp(stream)))
+        Ok(Self::over(
+            Transport::Tcp(stream),
+            ConnectTarget::Tcp(addrs),
+        ))
     }
 
     /// Connect over a Unix-domain socket.
     pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self, ClientError> {
-        Ok(Self::over(Transport::Uds(UnixStream::connect(path)?)))
+        let path = path.as_ref().to_path_buf();
+        let stream = UnixStream::connect(&path)?;
+        Ok(Self::over(Transport::Uds(stream), ConnectTarget::Uds(path)))
     }
 
-    fn over(transport: Transport) -> Self {
+    fn over(transport: Transport, target: ConnectTarget) -> Self {
         QcfeClient {
             transport,
+            target,
             read_buf: Vec::new(),
             next_id: 1,
         }
+    }
+
+    /// Re-establish the transport to the original connect target. Any
+    /// half-read frame is discarded (it belonged to the dead connection);
+    /// the correlation-id counter keeps advancing so ids stay unique
+    /// across the reconnect.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.transport = match &self.target {
+            ConnectTarget::Tcp(addrs) => {
+                let stream = TcpStream::connect(&addrs[..])?;
+                let _ = stream.set_nodelay(true);
+                Transport::Tcp(stream)
+            }
+            ConnectTarget::Uds(path) => Transport::Uds(UnixStream::connect(path)?),
+        };
+        self.read_buf.clear();
+        Ok(())
     }
 
     /// Bound how long a [`QcfeClient::recv`] blocks for server bytes.
@@ -178,6 +263,37 @@ impl QcfeClient {
         match response.outcome {
             Ok(estimate) => Ok(estimate.into_response()),
             Err(fault) => Err(ClientError::Fault(fault)),
+        }
+    }
+
+    /// [`QcfeClient::estimate`] with a [`RetryPolicy`]: a
+    /// [`WireFault::QueueFull`] shed backs off exponentially and re-sends
+    /// up to `max_retries` times; a broken connection is transparently
+    /// re-established at most once per call (when `policy.reconnect`) and
+    /// the request re-sent. Every other failure — including any other
+    /// typed fault — returns immediately, and the final shed fault is
+    /// returned unchanged once retries are spent.
+    pub fn estimate_with_retry(
+        &mut self,
+        request: &EstimateRequest,
+        policy: RetryPolicy,
+    ) -> Result<EstimateResponse, ClientError> {
+        let mut sheds = 0u32;
+        let mut reconnected = false;
+        loop {
+            match self.estimate(request) {
+                Err(ClientError::Fault(WireFault::QueueFull { .. }))
+                    if sheds < policy.max_retries =>
+                {
+                    std::thread::sleep(policy.backoff(sheds));
+                    sheds += 1;
+                }
+                Err(ClientError::Io(_)) if policy.reconnect && !reconnected => {
+                    reconnected = true;
+                    self.reconnect()?;
+                }
+                outcome => return outcome,
+            }
         }
     }
 }

@@ -14,7 +14,9 @@
 //!   shipping responses as they complete — thousands of in-flight
 //!   estimates without a thread each.
 //! * [`client`] — a small blocking client that connects, pipelines
-//!   requests and reaps responses by correlation id.
+//!   requests and reaps responses by correlation id, with an opt-in
+//!   [`client::RetryPolicy`] for backoff-on-shed and transparent
+//!   reconnect.
 //!
 //! The `qcfe-served` binary glues the pieces together: it opens a store
 //! directory, builds a gateway and serves it on the listeners named on the
@@ -25,7 +27,7 @@ pub mod server;
 pub mod sys;
 pub mod wire;
 
-pub use client::{ClientError, QcfeClient};
+pub use client::{ClientError, QcfeClient, RetryPolicy};
 pub use server::{NetServerBuilder, ServerHandle, ServerStats};
 pub use wire::{
     decode_frame, encode_request, encode_response, frame_length, Frame, WireError, WireEstimate,

@@ -679,7 +679,9 @@ impl Reactor {
                     conn.in_flight += 1;
                 }
             }
-            Err(QcfeError::Service(qcfe_serve::ServiceError::QueueFull)) if !client_sheds => {
+            Err(QcfeError::Service(qcfe_serve::ServiceError::QueueFull { .. }))
+                if !client_sheds =>
+            {
                 // Park the request and stop reading this connection until
                 // a completion frees capacity.
                 if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {

@@ -39,6 +39,19 @@
 //! ends ([`MAX_DEADLINE_US`]): a corrupt or hostile frame cannot smuggle
 //! an unbounded budget into the gateway — it fails typed with
 //! [`WireError::DeadlineOutOfRange`].
+//!
+//! # Tenant tag
+//!
+//! Request frames may carry a tenant id for the gateway's multi-tenant
+//! scheduler ([`qcfe_serve::sched`]). The tag spends one of the reserved
+//! option bits (`1 << 2`): when set, a `u32 LE` tenant id follows the
+//! deadline field; when clear, no tenant bytes are emitted and the frame
+//! is byte-identical to a pre-tenant v1 frame, so old and new peers
+//! interoperate for the anonymous tenant. The strict-rejection rule
+//! applies unchanged: any *other* unknown option bit still fails decoding
+//! with [`WireError::UnknownTag`], and a set tenant bit carrying the
+//! reserved anonymous id `0` is rejected the same way (a compliant
+//! encoder never emits it).
 
 use qcfe_core::pipeline::EstimatorKind;
 use qcfe_db::env::EnvFingerprint;
@@ -52,6 +65,7 @@ use qcfe_serve::registry::ModelKey;
 use qcfe_serve::request::{
     EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin,
 };
+use qcfe_serve::sched::TenantId;
 use qcfe_serve::service::ServiceError;
 use qcfe_serve::QcfeError;
 use qcfe_storage::{DiskKind, StorageFormat};
@@ -235,6 +249,10 @@ pub struct WireRequest {
     pub shed_load: bool,
     /// Optional deadline budget in microseconds (≤ [`MAX_DEADLINE_US`]).
     pub deadline_us: Option<u64>,
+    /// The tenant the request is accounted to (`0` = anonymous). Nonzero
+    /// ids travel behind the tenant option bit; `0` emits no tenant bytes,
+    /// keeping anonymous frames byte-identical to pre-tenant `QCFP`.
+    pub tenant: u32,
     /// The complete environment the client runs under.
     pub environment: DbEnvironment,
     /// The physical plan to estimate.
@@ -270,6 +288,7 @@ impl WireRequest {
             allow_transfer: request.options.allow_transfer,
             shed_load: request.options.shed_load,
             deadline_us,
+            tenant: request.options.tenant.0,
             environment: (*request.environment).clone(),
             plan: request.plan.clone(),
         })
@@ -286,6 +305,7 @@ impl WireRequest {
                 estimator: self.estimator,
                 allow_transfer: self.allow_transfer,
                 shed_load: self.shed_load,
+                tenant: TenantId(self.tenant),
             },
         }
     }
@@ -372,8 +392,17 @@ impl WireEstimate {
 pub enum WireFault {
     /// The shard's estimation service is closed.
     ServiceClosed,
-    /// The shard's queue was full and the request shed load.
-    QueueFull,
+    /// The shard's queue (or the tenant's admission quota) was full and
+    /// the request shed load. Carries the observed depth and the limit it
+    /// hit, so a client can distinguish "the whole shard is saturated"
+    /// from "my tenant's share is spent" and size its backoff.
+    QueueFull {
+        /// Entries queued (or admitted for the tenant) when the request
+        /// was shed.
+        depth: u64,
+        /// The configured bound the request ran into.
+        limit: u64,
+    },
     /// No snapshot was resolvable for the environment.
     SnapshotMissing {
         /// The benchmark the request targeted.
@@ -414,7 +443,19 @@ impl From<&QcfeError> for WireFault {
     fn from(error: &QcfeError) -> Self {
         match error {
             QcfeError::Service(ServiceError::Closed) => WireFault::ServiceClosed,
-            QcfeError::Service(ServiceError::QueueFull) => WireFault::QueueFull,
+            QcfeError::Service(ServiceError::QueueFull { depth, limit }) => WireFault::QueueFull {
+                depth: *depth as u64,
+                limit: *limit as u64,
+            },
+            // The gateway's From<ServiceError> already folds scheduler
+            // deadline drops into QcfeError::DeadlineExceeded; map a raw
+            // one the same way rather than leaving a hole.
+            QcfeError::Service(ServiceError::DeadlineExpired { waited, deadline }) => {
+                WireFault::DeadlineExceeded {
+                    elapsed_us: waited.as_micros().min(u64::MAX as u128) as u64,
+                    deadline_us: deadline.as_micros().min(u64::MAX as u128) as u64,
+                }
+            }
             QcfeError::SnapshotMissing {
                 benchmark,
                 fingerprint,
@@ -442,7 +483,12 @@ impl std::fmt::Display for WireFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireFault::ServiceClosed => write!(f, "estimation service is closed"),
-            WireFault::QueueFull => write!(f, "estimation queue is full"),
+            WireFault::QueueFull { depth, limit } => {
+                write!(
+                    f,
+                    "estimation queue is full ({depth} queued, limit {limit})"
+                )
+            }
             WireFault::SnapshotMissing {
                 benchmark,
                 fingerprint,
@@ -1127,7 +1173,8 @@ fn read_environment(r: &mut Reader<'_>) -> Result<DbEnvironment, WireError> {
 
 const OPTION_ALLOW_TRANSFER: u8 = 1;
 const OPTION_SHED_LOAD: u8 = 1 << 1;
-const OPTION_BITS: usize = 2;
+const OPTION_HAS_TENANT: u8 = 1 << 2;
+const OPTION_BITS: usize = 3;
 
 fn write_request_payload(w: &mut Writer, request: &WireRequest) -> Result<(), WireError> {
     w.u8(tag_in(&BenchmarkKind::ALL, request.benchmark));
@@ -1138,6 +1185,9 @@ fn write_request_payload(w: &mut Writer, request: &WireRequest) -> Result<(), Wi
     }
     if request.shed_load {
         bits |= OPTION_SHED_LOAD;
+    }
+    if request.tenant != 0 {
+        bits |= OPTION_HAS_TENANT;
     }
     w.u8(bits);
     match request.deadline_us {
@@ -1155,6 +1205,12 @@ fn write_request_payload(w: &mut Writer, request: &WireRequest) -> Result<(), Wi
             w.u8(1);
             w.u64(micros);
         }
+    }
+    // The tenant id rides behind its option bit, *after* the fixed
+    // deadline field: anonymous frames stay byte-identical to pre-tenant
+    // QCFP, and the deadline keeps its fixed body offset either way.
+    if request.tenant != 0 {
+        w.u32(request.tenant);
     }
     write_environment(w, &request.environment)?;
     write_plan(w, &request.plan)
@@ -1200,6 +1256,21 @@ fn read_request_payload(r: &mut Reader<'_>, request_id: u64) -> Result<WireReque
             })
         }
     };
+    let tenant = if bits & OPTION_HAS_TENANT != 0 {
+        let tenant = r.u32()?;
+        if tenant == 0 {
+            // The anonymous id never travels behind the tenant bit: a
+            // compliant encoder omits the field entirely, so a set bit
+            // carrying 0 is a corrupt or hostile frame.
+            return Err(WireError::UnknownTag {
+                what: "tenant-tag",
+                tag: 0,
+            });
+        }
+        tenant
+    } else {
+        0
+    };
     let environment = read_environment(r)?;
     let plan = read_plan(r)?;
     Ok(WireRequest {
@@ -1209,6 +1280,7 @@ fn read_request_payload(r: &mut Reader<'_>, request_id: u64) -> Result<WireReque
         allow_transfer: bits & OPTION_ALLOW_TRANSFER != 0,
         shed_load: bits & OPTION_SHED_LOAD != 0,
         deadline_us,
+        tenant,
         environment,
         plan,
     })
@@ -1274,7 +1346,11 @@ fn write_response_payload(w: &mut Writer, response: &WireResponse) -> Result<(),
         Err(fault) => {
             match fault {
                 WireFault::ServiceClosed => w.u8(STATUS_SERVICE_CLOSED),
-                WireFault::QueueFull => w.u8(STATUS_QUEUE_FULL),
+                WireFault::QueueFull { depth, limit } => {
+                    w.u8(STATUS_QUEUE_FULL);
+                    w.u64(*depth);
+                    w.u64(*limit);
+                }
                 WireFault::SnapshotMissing {
                     benchmark,
                     fingerprint,
@@ -1362,7 +1438,10 @@ fn read_response_payload(r: &mut Reader<'_>, request_id: u64) -> Result<WireResp
             })
         }
         STATUS_SERVICE_CLOSED => Err(WireFault::ServiceClosed),
-        STATUS_QUEUE_FULL => Err(WireFault::QueueFull),
+        STATUS_QUEUE_FULL => Err(WireFault::QueueFull {
+            depth: r.u64()?,
+            limit: r.u64()?,
+        }),
         STATUS_SNAPSHOT_MISSING => Err(WireFault::SnapshotMissing {
             benchmark: tag_out(&BenchmarkKind::ALL, r.u8()?, "benchmark")?,
             fingerprint: r.u64()?,
@@ -1567,6 +1646,7 @@ mod tests {
             allow_transfer: true,
             shed_load: false,
             deadline_us: Some(250_000),
+            tenant: 0,
             environment: DbEnvironment::reference(),
             plan,
         }
@@ -1616,7 +1696,10 @@ mod tests {
     fn every_fault_variant_round_trips() {
         let faults = [
             WireFault::ServiceClosed,
-            WireFault::QueueFull,
+            WireFault::QueueFull {
+                depth: 256,
+                limit: 256,
+            },
             WireFault::SnapshotMissing {
                 benchmark: BenchmarkKind::JobLight,
                 fingerprint: 3,
@@ -1740,6 +1823,49 @@ mod tests {
     }
 
     #[test]
+    fn tenant_tag_round_trips_and_anonymous_frames_stay_pre_tenant() {
+        // A tenanted request spends the option bit, carries the u32 id and
+        // round-trips exactly.
+        let mut tenanted = request(7);
+        tenanted.tenant = 42;
+        let bytes = encode_request(&tenanted).unwrap();
+        match decode_frame(&bytes).unwrap() {
+            Frame::Request(decoded) => assert_eq!(*decoded, tenanted),
+            other => panic!("wrong frame kind: {other:?}"),
+        }
+
+        // The anonymous tenant emits no tenant bytes at all: the frame is
+        // byte-identical to one built before the tag existed, so old
+        // decoders keep accepting anonymous traffic.
+        let anonymous = request(7);
+        let anon_bytes = encode_request(&anonymous).unwrap();
+        assert_eq!(anon_bytes.len() + 4, bytes.len(), "tenant costs 4 bytes");
+        let options_offset = PRELUDE_LEN + BODY_HEADER_LEN + 2;
+        assert_eq!(anon_bytes[options_offset] & (1 << 2), 0);
+        assert_eq!(bytes[options_offset] & (1 << 2), 1 << 2);
+
+        // Strict rejection: the tenant bit set while carrying the reserved
+        // anonymous id 0 is a frame no compliant encoder builds.
+        let mut hostile = anon_bytes.clone();
+        hostile[options_offset] |= 1 << 2;
+        // Splice four zero bytes in after the deadline field and re-seal
+        // length + CRC, simulating a hostile encoder.
+        let tenant_offset = PRELUDE_LEN + BODY_HEADER_LEN + 4 + 8;
+        hostile.splice(tenant_offset..tenant_offset, [0u8; 4]);
+        let body_len = (hostile.len() - PRELUDE_LEN) as u32;
+        hostile[8..12].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&hostile[PRELUDE_LEN..]);
+        hostile[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&hostile),
+            Err(WireError::UnknownTag {
+                what: "tenant-tag",
+                tag: 0
+            })
+        );
+    }
+
+    #[test]
     fn estimate_request_conversion_round_trips() {
         let env = DbEnvironment::reference();
         let original = EstimateRequest::new(
@@ -1747,7 +1873,8 @@ mod tests {
             env,
             PlanNode::new(PhysicalOp::Materialize, vec![]),
         )
-        .with_deadline(Duration::from_millis(30));
+        .with_deadline(Duration::from_millis(30))
+        .with_tenant(TenantId(9));
         let wire = WireRequest::from_estimate_request(5, &original).unwrap();
         let back = wire.clone().into_estimate_request();
         assert_eq!(back.benchmark, original.benchmark);

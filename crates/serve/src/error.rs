@@ -87,7 +87,16 @@ impl std::error::Error for QcfeError {
 
 impl From<ServiceError> for QcfeError {
     fn from(e: ServiceError) -> Self {
-        QcfeError::Service(e)
+        match e {
+            // A scheduler deadline drop is the same caller-visible failure
+            // as the gateway's own deadline check: surface it as the one
+            // deadline error of the taxonomy.
+            ServiceError::DeadlineExpired { waited, deadline } => QcfeError::DeadlineExceeded {
+                elapsed: waited,
+                deadline,
+            },
+            other => QcfeError::Service(other),
+        }
     }
 }
 
@@ -106,13 +115,39 @@ mod tests {
 
     #[test]
     fn lower_level_errors_convert_and_expose_sources() {
-        let service: QcfeError = ServiceError::QueueFull.into();
+        let service: QcfeError = ServiceError::QueueFull {
+            depth: 256,
+            limit: 256,
+        }
+        .into();
         assert!(matches!(
             service,
-            QcfeError::Service(ServiceError::QueueFull)
+            QcfeError::Service(ServiceError::QueueFull {
+                depth: 256,
+                limit: 256
+            })
         ));
         assert!(service.source().is_some());
         assert!(service.to_string().contains("queue is full"));
+        assert!(
+            service.to_string().contains("256"),
+            "the shed fault carries depth and limit: {service}"
+        );
+
+        // A scheduler deadline drop converts into the taxonomy's one
+        // deadline error, not a nested service error.
+        let expired: QcfeError = ServiceError::DeadlineExpired {
+            waited: Duration::from_millis(9),
+            deadline: Duration::from_millis(5),
+        }
+        .into();
+        assert!(matches!(
+            expired,
+            QcfeError::DeadlineExceeded {
+                elapsed,
+                deadline,
+            } if elapsed == Duration::from_millis(9) && deadline == Duration::from_millis(5)
+        ));
 
         let store: QcfeError = StoreError::Io(std::io::Error::other("disk gone")).into();
         assert!(matches!(store, QcfeError::Store(_)));

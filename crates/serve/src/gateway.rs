@@ -66,12 +66,13 @@
 //! [`QcfeError`].
 
 use crate::error::QcfeError;
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, TenantLane};
 use crate::refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 use crate::registry::{EvictedModel, ModelKey, ModelRegistry, ModelSource, RegistryStats};
 use crate::request::{EstimateRequest, EstimateResponse, Provenance, SnapshotOrigin};
+use crate::sched::{SchedPolicy, TenantId};
 use crate::service::{
-    CompletionNotify, EstimationService, PendingEstimate, ServiceConfig, ServiceHandle,
+    CompletionNotify, EstimationService, PendingEstimate, ServiceConfig, ServiceHandle, SubmitSpec,
 };
 use crate::store::SnapshotStore;
 use crate::LruCache;
@@ -170,7 +171,7 @@ struct GatewayCounters {
 }
 
 /// A point-in-time view of the gateway's routing activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GatewayStats {
     /// Estimation requests accepted (including failed ones).
     pub requests: u64,
@@ -206,6 +207,12 @@ pub struct GatewayStats {
     pub promotions: u64,
     /// The owned model registry's lookup/eviction statistics.
     pub registry: RegistryStats,
+    /// Per-tenant scheduling lanes aggregated across every resident shard
+    /// (counters summed; queue-wait percentiles reported as the worst
+    /// resident shard's value per tenant), sorted by tenant id. Empty
+    /// until a non-anonymous tenant submits or a
+    /// [`GatewayBuilder::scheduling`] policy is enabled.
+    pub tenants: Vec<TenantLane>,
 }
 
 /// Builder for [`QcfeGateway`] — the replacement for hand-wiring
@@ -214,6 +221,7 @@ pub struct GatewayStats {
 pub struct GatewayBuilder {
     root: PathBuf,
     service_config: ServiceConfig,
+    sched: SchedPolicy,
     refinement: RefinementConfig,
     registry_capacity: usize,
     max_shards: usize,
@@ -227,6 +235,7 @@ impl GatewayBuilder {
         GatewayBuilder {
             root: root.into(),
             service_config: ServiceConfig::default(),
+            sched: SchedPolicy::default(),
             refinement: RefinementConfig::default(),
             registry_capacity: 64,
             max_shards: 16,
@@ -238,6 +247,16 @@ impl GatewayBuilder {
     /// Configuration applied to every shard's estimation service.
     pub fn service_config(mut self, config: ServiceConfig) -> Self {
         self.service_config = config;
+        self
+    }
+
+    /// Scheduling policy applied to every shard's estimation service:
+    /// per-tenant admission quotas and earliest-deadline-first micro-batch
+    /// formation (see [`crate::sched`]). The default
+    /// ([`SchedPolicy::fifo`]) keeps the pre-scheduling FIFO behaviour
+    /// bit-for-bit, so existing single-tenant callers are untouched.
+    pub fn scheduling(mut self, policy: SchedPolicy) -> Self {
+        self.sched = policy;
         self
     }
 
@@ -325,6 +344,7 @@ impl GatewayBuilder {
             registry,
             shards: Mutex::new(LruCache::new(self.max_shards)),
             service_config: self.service_config,
+            sched: self.sched,
             refinement: self.refinement.normalized(),
             model_provider: self.model_provider,
             counters,
@@ -343,6 +363,7 @@ pub struct QcfeGateway {
     registry: ModelRegistry,
     shards: Mutex<LruCache<ModelKey, Arc<Shard>>>,
     service_config: ServiceConfig,
+    sched: SchedPolicy,
     refinement: RefinementConfig,
     model_provider: Option<Arc<ModelProvider>>,
     counters: Arc<GatewayCounters>,
@@ -385,9 +406,8 @@ impl QcfeGateway {
         let deadline = request.deadline;
         Self::check_deadline(deadline, started)?;
         let submitted = Instant::now();
-        let ticket = shard
-            .handle
-            .submit(request.plan, !request.options.shed_load, None)?;
+        let spec = Self::submit_spec(&request, started);
+        let ticket = shard.handle.submit(request.plan, spec, None)?;
         let estimate = Self::await_ticket(ticket, deadline, started)?;
         Ok(assemble_response(
             estimate, &shard, key, cold_start, started, submitted,
@@ -429,9 +449,8 @@ impl QcfeGateway {
         let deadline = request.deadline;
         Self::check_deadline(deadline, started)?;
         let submitted = Instant::now();
-        let ticket = shard
-            .handle
-            .submit(request.plan, !request.options.shed_load, notify)?;
+        let spec = Self::submit_spec(&request, started);
+        let ticket = shard.handle.submit(request.plan, spec, notify)?;
         Ok(PendingResponse {
             ticket,
             shard,
@@ -468,11 +487,11 @@ impl QcfeGateway {
         let deadline = request.deadline;
         Self::check_deadline(deadline, started)?;
         let submitted = Instant::now();
-        let block_on_full = !request.options.shed_load;
+        let spec = Self::submit_spec(&request, started);
         let mut pending: Vec<PendingEstimate> = Vec::with_capacity(plan_count);
-        pending.push(shard.handle.submit(request.plan, block_on_full, None)?);
+        pending.push(shard.handle.submit(request.plan, spec, None)?);
         for plan in extra_plans {
-            pending.push(shard.handle.submit(plan, block_on_full, None)?);
+            pending.push(shard.handle.submit(plan, spec, None)?);
         }
         let mut estimates = Vec::with_capacity(plan_count);
         for ticket in pending {
@@ -753,6 +772,7 @@ impl QcfeGateway {
         GatewayStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
             shard_starts: self.counters.shard_starts.load(Ordering::Relaxed),
+            tenants: self.tenant_lanes(),
             shards_resident: self.shards.lock().expect("shard map poisoned").len(),
             shard_retirements: self.counters.shard_retirements.load(Ordering::Relaxed),
             snapshot_transfers: self.counters.snapshot_transfers.load(Ordering::Relaxed),
@@ -764,6 +784,39 @@ impl QcfeGateway {
             promotions: self.counters.promotions.load(Ordering::Relaxed),
             registry: self.registry.stats(),
         }
+    }
+
+    /// Per-tenant scheduling lanes merged across every resident shard:
+    /// counters are summed, queue-wait percentiles report the worst
+    /// resident shard per tenant (a conservative bound — per-shard
+    /// histograms cannot be re-quantiled exactly).
+    fn tenant_lanes(&self) -> Vec<TenantLane> {
+        let shards: Vec<Arc<Shard>> = {
+            let map = self.shards.lock().expect("shard map poisoned");
+            map.keys_by_recency()
+                .iter()
+                .filter_map(|key| map.peek(key).map(Arc::clone))
+                .collect()
+        };
+        let mut merged: std::collections::BTreeMap<TenantId, TenantLane> =
+            std::collections::BTreeMap::new();
+        for shard in shards {
+            for lane in shard.handle.metrics().tenants {
+                merged
+                    .entry(lane.tenant)
+                    .and_modify(|m| {
+                        m.admitted += lane.admitted;
+                        m.shed_quota += lane.shed_quota;
+                        m.shed_deadline += lane.shed_deadline;
+                        m.batches_formed += lane.batches_formed;
+                        m.p50_wait_us = m.p50_wait_us.max(lane.p50_wait_us);
+                        m.p95_wait_us = m.p95_wait_us.max(lane.p95_wait_us);
+                        m.p99_wait_us = m.p99_wait_us.max(lane.p99_wait_us);
+                    })
+                    .or_insert(lane);
+            }
+        }
+        merged.into_values().collect()
     }
 
     /// Service metrics of a resident shard (`None` when the shard is not
@@ -805,6 +858,19 @@ impl QcfeGateway {
             }
         }
         Ok(())
+    }
+
+    /// The scheduler-facing view of a request: its tenant, whatever
+    /// deadline budget remains after routing, and the blocking mode
+    /// `options.shed_load` selects.
+    fn submit_spec(request: &EstimateRequest, started: Instant) -> SubmitSpec {
+        SubmitSpec {
+            tenant: request.options.tenant,
+            deadline: request
+                .deadline
+                .map(|deadline| deadline.saturating_sub(started.elapsed())),
+            block_on_full: !request.options.shed_load,
+        }
     }
 
     /// Resolve (or start) the shard for `key`, returning it together with
@@ -851,7 +917,12 @@ impl QcfeGateway {
                 // work is dropped and we converge on the running shard.
                 return Ok((Arc::clone(shard), false));
             }
-            let service = EstimationService::start(model, snapshot, self.service_config);
+            let service = EstimationService::start_with_policy(
+                model,
+                snapshot,
+                self.service_config,
+                self.sched.clone(),
+            );
             let shard = Arc::new(Shard {
                 handle: service.handle(),
                 provenance: Mutex::new(ShardProvenance { origin, refined }),
@@ -1290,6 +1361,7 @@ mod tests {
             estimator: EstimatorKind::QcfeMscn,
             allow_transfer: false,
             shed_load: false,
+            ..RequestOptions::default()
         });
         match gateway.estimate(strict) {
             Err(QcfeError::SnapshotMissing { benchmark, .. }) => {
@@ -2125,7 +2197,7 @@ mod tests {
                 let mut request = mscn_request(&env, 1.0);
                 request.options.shed_load = true;
                 match gateway.estimate(request) {
-                    Err(QcfeError::Service(ServiceError::QueueFull)) => {
+                    Err(QcfeError::Service(ServiceError::QueueFull { .. })) => {
                         saw_full = true;
                         break;
                     }

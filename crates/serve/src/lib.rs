@@ -42,9 +42,30 @@
 //!   bounded request queue with **micro-batched inference** through the
 //!   uniform `CostModel::predict_batch` API (the per-shard engine behind
 //!   the gateway; still usable standalone).
+//! * [`sched`] — multi-tenant admission control and deadline-aware batch
+//!   formation between submission and the workers, configured via
+//!   [`gateway::GatewayBuilder::scheduling`]. The pipeline is
+//!   **admission → EDF → batch**: (1) *admission* — every request carries
+//!   a [`sched::TenantId`] ([`sched::TenantId::ANONYMOUS`] by default, so
+//!   single-tenant callers are untouched) checked against its tenant's
+//!   token-bucket rate and bounded queue share; over-quota and
+//!   exhausted-deadline submissions are rejected immediately with the
+//!   typed, depth-and-limit-carrying [`service::ServiceError::QueueFull`]
+//!   / [`error::QcfeError::DeadlineExceeded`], never parked; (2) *EDF* —
+//!   admitted requests queue earliest-deadline-first (deadline-less
+//!   requests sort last, FIFO among themselves, and age into the front
+//!   after [`sched::SchedPolicy::age_after`] so they cannot starve);
+//!   entries whose deadline passes while queued are dropped at pop with
+//!   the typed fault instead of wasting inference; (3) *batch* — workers
+//!   drain up to `max_batch` entries in that order into one batched
+//!   inference call. The default policy is disabled: plain FIFO,
+//!   bit-for-bit the pre-scheduling service.
 //! * [`metrics::ServiceMetrics`] — lock-free throughput, latency
 //!   percentiles, queue depth, batch sizes and cache hit rate, surfaced
-//!   per shard via [`gateway::QcfeGateway::shard_metrics`].
+//!   per shard via [`gateway::QcfeGateway::shard_metrics`]; with
+//!   scheduling on, per-tenant [`metrics::TenantLane`]s (admitted,
+//!   shed_quota, shed_deadline, batches_formed, queue-wait percentiles)
+//!   make fairness measurable rather than asserted.
 //!
 //! ## Quick start
 //!
@@ -88,6 +109,7 @@ pub mod metrics;
 pub mod refine;
 pub mod registry;
 pub mod request;
+pub mod sched;
 pub mod service;
 pub mod store;
 #[cfg(test)]
@@ -96,12 +118,14 @@ mod test_support;
 pub use error::QcfeError;
 pub use gateway::{GatewayBuilder, GatewayStats, ModelProvider, PendingResponse, QcfeGateway};
 pub use lru::LruCache;
+pub use metrics::TenantLane;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 pub use registry::{
     EvictedModel, ModelKey, ModelLoader, ModelRegistry, ModelSource, RegistryStats, ResolvedModel,
 };
 pub use request::{EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin};
+pub use sched::{SchedPolicy, TenantId, TenantQuota};
 pub use service::{
     plan_key, CompletionNotify, Estimate, EstimationService, PendingEstimate, ServiceConfig,
     ServiceError, ServiceHandle,
@@ -112,12 +136,13 @@ pub use store::{SnapshotStore, StoreError};
 pub mod prelude {
     pub use crate::error::QcfeError;
     pub use crate::gateway::{GatewayBuilder, GatewayStats, PendingResponse, QcfeGateway};
-    pub use crate::metrics::MetricsSnapshot;
+    pub use crate::metrics::{MetricsSnapshot, TenantLane};
     pub use crate::refine::{FeedbackOutcome, RefinementConfig};
     pub use crate::registry::{ModelKey, ModelRegistry};
     pub use crate::request::{
         EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin,
     };
+    pub use crate::sched::{SchedPolicy, TenantId, TenantQuota};
     pub use crate::service::{
         Estimate, EstimationService, ServiceConfig, ServiceError, ServiceHandle,
     };

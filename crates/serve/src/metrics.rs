@@ -1,13 +1,21 @@
 //! Service observability: throughput, latency percentiles, queue depth,
 //! batch sizes and cache hit rate.
 //!
-//! All counters are atomics so the hot path never takes a lock for
+//! All global counters are atomics so the hot path never takes a lock for
 //! bookkeeping. Latencies land in a 40-bucket power-of-two histogram
 //! (microsecond resolution; the top bucket, 2^39 µs, is ~6 days);
 //! percentiles are read from the histogram with geometric-midpoint
 //! interpolation, which is plenty for a serving dashboard.
+//!
+//! Per-tenant lanes ([`TenantLane`]) sit behind a small mutex keyed by
+//! [`TenantId`]. The service records into them only when scheduling is
+//! enabled (or a request names a non-anonymous tenant), so the legacy
+//! single-tenant path keeps its lock-free bookkeeping.
 
+use crate::sched::TenantId;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Number of power-of-two latency buckets.
@@ -30,6 +38,30 @@ pub struct ServiceMetrics {
     snapshot_swaps: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
+    tenant_lanes: Mutex<HashMap<TenantId, TenantCounters>>,
+}
+
+/// Per-tenant scheduling counters (see [`TenantLane`] for the snapshot
+/// view).
+#[derive(Debug)]
+struct TenantCounters {
+    admitted: u64,
+    shed_quota: u64,
+    shed_deadline: u64,
+    batches_formed: u64,
+    wait_buckets: [u64; BUCKETS],
+}
+
+impl Default for TenantCounters {
+    fn default() -> Self {
+        TenantCounters {
+            admitted: 0,
+            shed_quota: 0,
+            shed_deadline: 0,
+            batches_formed: 0,
+            wait_buckets: [0; BUCKETS],
+        }
+    }
 }
 
 impl Default for ServiceMetrics {
@@ -56,7 +88,42 @@ impl ServiceMetrics {
             snapshot_swaps: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            tenant_lanes: Mutex::new(HashMap::new()),
         }
+    }
+
+    fn with_lane(&self, tenant: TenantId, update: impl FnOnce(&mut TenantCounters)) {
+        let mut lanes = self.tenant_lanes.lock().expect("tenant lanes poisoned");
+        update(lanes.entry(tenant).or_default());
+    }
+
+    /// Record a request from `tenant` admitted past the scheduler.
+    pub fn record_tenant_admit(&self, tenant: TenantId) {
+        self.with_lane(tenant, |lane| lane.admitted += 1);
+    }
+
+    /// Record a request from `tenant` shed by admission control (queue
+    /// capacity, token bucket or queue share).
+    pub fn record_tenant_shed_quota(&self, tenant: TenantId) {
+        self.with_lane(tenant, |lane| lane.shed_quota += 1);
+    }
+
+    /// Record a request from `tenant` shed for its deadline (exhausted at
+    /// admission, or expired while queued).
+    pub fn record_tenant_shed_deadline(&self, tenant: TenantId) {
+        self.with_lane(tenant, |lane| lane.shed_deadline += 1);
+    }
+
+    /// Record that a drained micro-batch contained requests of `tenant`.
+    pub fn record_tenant_batch(&self, tenant: TenantId) {
+        self.with_lane(tenant, |lane| lane.batches_formed += 1);
+    }
+
+    /// Record the queue wait of one of `tenant`'s requests at drain time.
+    pub fn record_tenant_wait(&self, tenant: TenantId, wait_us: f64) {
+        let us = wait_us.max(0.0).round() as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.with_lane(tenant, |lane| lane.wait_buckets[bucket] += 1);
     }
 
     /// Record a request entering the queue.
@@ -161,12 +228,61 @@ impl ServiceMetrics {
             } else {
                 cache_hits as f64 / (cache_hits + cache_misses) as f64
             },
+            tenants: self.tenant_snapshot(),
         }
+    }
+
+    /// The per-tenant lanes, sorted by tenant id. Empty unless the
+    /// service tracked at least one tenant (scheduling enabled, or a
+    /// named tenant submitted).
+    fn tenant_snapshot(&self) -> Vec<TenantLane> {
+        let lanes = self.tenant_lanes.lock().expect("tenant lanes poisoned");
+        let mut tenants: Vec<TenantLane> = lanes
+            .iter()
+            .map(|(&tenant, counters)| TenantLane {
+                tenant,
+                admitted: counters.admitted,
+                shed_quota: counters.shed_quota,
+                shed_deadline: counters.shed_deadline,
+                batches_formed: counters.batches_formed,
+                p50_wait_us: self.percentile_us(&counters.wait_buckets, 50.0).round() as u64,
+                p95_wait_us: self.percentile_us(&counters.wait_buckets, 95.0).round() as u64,
+                p99_wait_us: self.percentile_us(&counters.wait_buckets, 99.0).round() as u64,
+            })
+            .collect();
+        tenants.sort_by_key(|lane| lane.tenant);
+        tenants
     }
 }
 
+/// Point-in-time scheduling counters of one tenant. Queue-wait
+/// percentiles are histogram-interpolated and rounded to whole
+/// microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLane {
+    /// The tenant the lane belongs to.
+    pub tenant: TenantId,
+    /// Requests admitted past the scheduler.
+    pub admitted: u64,
+    /// Requests shed by admission control (queue capacity, token bucket
+    /// or queue share).
+    pub shed_quota: u64,
+    /// Requests shed for their deadline (exhausted at admission or
+    /// expired while queued).
+    pub shed_deadline: u64,
+    /// Drained micro-batches containing at least one of the tenant's
+    /// requests.
+    pub batches_formed: u64,
+    /// Median queue wait (µs).
+    pub p50_wait_us: u64,
+    /// 95th-percentile queue wait (µs).
+    pub p95_wait_us: u64,
+    /// 99th-percentile queue wait (µs).
+    pub p99_wait_us: u64,
+}
+
 /// A point-in-time view of [`ServiceMetrics`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests admitted to the queue.
     pub submitted: u64,
@@ -196,6 +312,9 @@ pub struct MetricsSnapshot {
     pub max_batch_size: usize,
     /// Encoding-cache hit rate in `[0, 1]`.
     pub cache_hit_rate: f64,
+    /// Per-tenant scheduling lanes, sorted by tenant id. Empty for a
+    /// service that tracked no tenants (the legacy single-tenant case).
+    pub tenants: Vec<TenantLane>,
 }
 
 #[cfg(test)]
@@ -255,6 +374,34 @@ mod tests {
         assert_eq!(s.p50_latency_us, 0.0);
         assert_eq!(s.cache_hit_rate, 0.0);
         assert_eq!(s.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn tenant_lanes_aggregate_and_sort_by_id() {
+        let m = ServiceMetrics::new();
+        assert!(m.snapshot().tenants.is_empty(), "no lanes until recorded");
+        m.record_tenant_admit(TenantId(2));
+        m.record_tenant_admit(TenantId(2));
+        m.record_tenant_shed_quota(TenantId(2));
+        m.record_tenant_batch(TenantId(2));
+        m.record_tenant_wait(TenantId(2), 100.0);
+        m.record_tenant_wait(TenantId(2), 100.0);
+        m.record_tenant_shed_deadline(TenantId(1));
+        let s = m.snapshot();
+        assert_eq!(s.tenants.len(), 2);
+        assert_eq!(s.tenants[0].tenant, TenantId(1));
+        assert_eq!(s.tenants[0].shed_deadline, 1);
+        let lane = s.tenants[1];
+        assert_eq!(lane.tenant, TenantId(2));
+        assert_eq!(lane.admitted, 2);
+        assert_eq!(lane.shed_quota, 1);
+        assert_eq!(lane.batches_formed, 1);
+        assert!(
+            lane.p50_wait_us >= 64 && lane.p50_wait_us < 256,
+            "p50 wait {} brackets the recorded 100us",
+            lane.p50_wait_us
+        );
+        assert!(lane.p99_wait_us >= lane.p50_wait_us);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! came from ([`SnapshotOrigin`]), and where the time went.
 
 use crate::registry::ModelKey;
+use crate::sched::TenantId;
 use qcfe_core::pipeline::EstimatorKind;
 use qcfe_db::env::EnvFingerprint;
 use qcfe_db::plan::PlanNode;
@@ -30,6 +31,11 @@ pub struct RequestOptions {
     /// `true` submits open-loop: a full shard queue fails the request with
     /// [`crate::service::ServiceError::QueueFull`] instead of blocking.
     pub shed_load: bool,
+    /// The tenant the request is accounted to. Defaults to
+    /// [`TenantId::ANONYMOUS`], under which all pre-scheduling callers
+    /// run. With a `GatewayBuilder::scheduling` policy in force, the
+    /// tenant selects the admission quota and the per-tenant metric lane.
+    pub tenant: TenantId,
 }
 
 impl Default for RequestOptions {
@@ -38,6 +44,7 @@ impl Default for RequestOptions {
             estimator: EstimatorKind::QcfeMscn,
             allow_transfer: true,
             shed_load: false,
+            tenant: TenantId::ANONYMOUS,
         }
     }
 }
@@ -90,6 +97,12 @@ impl EstimateRequest {
     /// Set the end-to-end deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Account the request to a tenant (admission quota + metric lane).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.options.tenant = tenant;
         self
     }
 
@@ -223,9 +236,14 @@ mod tests {
             estimator: EstimatorKind::QcfeMscn,
             allow_transfer: false,
             shed_load: true,
+            ..RequestOptions::default()
         });
         assert!(!strict.options.allow_transfer);
         assert!(strict.options.shed_load);
+        assert!(strict.options.tenant.is_anonymous(), "default tenant");
+
+        let tenanted = strict.with_tenant(TenantId(7));
+        assert_eq!(tenanted.options.tenant, TenantId(7));
     }
 
     #[test]

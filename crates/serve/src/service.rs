@@ -16,6 +16,20 @@
 //! capacity (closed-loop clients), [`ServiceHandle::try_estimate`] returns
 //! [`ServiceError::QueueFull`] instead (open-loop clients that shed load).
 //!
+//! # Scheduling
+//!
+//! The queue between submissions and the workers is a
+//! [`crate::sched::EdfQueue`] governed by a [`SchedPolicy`]
+//! ([`EstimationService::start_with_policy`]). With the default (disabled)
+//! policy every request queues FIFO — the original behaviour, bit for bit.
+//! With scheduling enabled, submissions pass per-tenant admission control
+//! (token-bucket rate + queue share; over-quota requests are rejected
+//! immediately with the typed [`ServiceError::QueueFull`], never parked),
+//! workers drain micro-batches earliest-deadline-first with a starvation
+//! guard for deadline-less requests, and entries whose deadline passed
+//! while queued are dropped at pop with the typed
+//! [`ServiceError::DeadlineExpired`] instead of wasting inference on them.
+//!
 //! # Live snapshot swaps
 //!
 //! The feature snapshot a service serves under is *replaceable at runtime*
@@ -31,15 +45,15 @@
 
 use crate::lru::LruCache;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::sched::{AdmissionControl, EdfEntry, EdfQueue, Popped, SchedPolicy, TenantId};
 use qcfe_core::cost_model::CostModel;
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::env::Fnv1a;
 use qcfe_db::plan::PlanNode;
-use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tunables of one estimation service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,15 +95,45 @@ pub struct Estimate {
 pub enum ServiceError {
     /// The service is shut down (or shut down while the request was queued).
     Closed,
-    /// The bounded queue was full (only from [`ServiceHandle::try_estimate`]).
-    QueueFull,
+    /// A load-shedding submission was rejected: the bounded queue was full,
+    /// or (with scheduling enabled) the tenant exhausted its quota. Carries
+    /// the observed depth and the limit that tripped, so clients can tell
+    /// transient pressure from misconfiguration.
+    QueueFull {
+        /// Queue depth observed at rejection (global for a capacity
+        /// rejection, per-tenant for a quota rejection).
+        depth: usize,
+        /// The configured limit that tripped (queue capacity, tenant queue
+        /// share, or token-bucket burst).
+        limit: usize,
+    },
+    /// The request's deadline passed before a worker served it: rejected
+    /// at admission with an exhausted budget, or dropped at pop after
+    /// expiring in the queue. Only produced with scheduling enabled.
+    DeadlineExpired {
+        /// How long the request waited in the queue.
+        waited: Duration,
+        /// The deadline budget the request carried at submission.
+        deadline: Duration,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::Closed => write!(f, "estimation service is closed"),
-            ServiceError::QueueFull => write!(f, "estimation queue is full"),
+            ServiceError::QueueFull { depth, limit } => {
+                write!(
+                    f,
+                    "estimation queue is full ({depth} queued, limit {limit})"
+                )
+            }
+            ServiceError::DeadlineExpired { waited, deadline } => write!(
+                f,
+                "deadline of {:.3} ms expired in queue after {:.3} ms",
+                deadline.as_secs_f64() * 1e3,
+                waited.as_secs_f64() * 1e3
+            ),
         }
     }
 }
@@ -133,12 +177,15 @@ pub fn plan_key(root: &PlanNode) -> u64 {
 /// must be cheap and non-blocking (e.g. a self-pipe write).
 pub type CompletionNotify = Arc<dyn Fn() + Send + Sync>;
 
+/// What a worker sends back per request: the estimate, or the typed fault
+/// of a request the scheduler dropped (deadline expired in queue).
+type Reply = Result<Estimate, ServiceError>;
+
 struct Job {
     plan: PlanNode,
-    submitted_at: Instant,
     /// `Some` until the job leaves the service; [`Job::drop`] takes it so
     /// the channel closes *before* the completion hook runs.
-    reply: Option<mpsc::Sender<Estimate>>,
+    reply: Option<mpsc::Sender<Reply>>,
     notify: Option<CompletionNotify>,
 }
 
@@ -163,7 +210,8 @@ impl Drop for Job {
 }
 
 struct QueueState {
-    jobs: VecDeque<Job>,
+    jobs: EdfQueue<Job>,
+    admission: AdmissionControl,
     closed: bool,
 }
 
@@ -186,6 +234,7 @@ struct EncodingCache {
 
 struct Shared {
     config: ServiceConfig,
+    policy: SchedPolicy,
     model: Arc<dyn CostModel>,
     snapshot: RwLock<SnapshotSlot>,
     queue: Mutex<QueueState>,
@@ -196,34 +245,105 @@ struct Shared {
 }
 
 impl Shared {
+    /// Whether per-tenant metric lanes are kept for `tenant`: always under
+    /// an enabled policy, and for any named tenant even under FIFO (so a
+    /// tenant-tagged wire request is observable before scheduling is
+    /// turned on). The anonymous tenant under the default policy tracks
+    /// nothing — the legacy single-tenant hot path stays lock-free.
+    fn lanes_tracked(&self, tenant: TenantId) -> bool {
+        self.policy.enabled || !tenant.is_anonymous()
+    }
+
     fn worker_loop(&self) {
         loop {
-            let batch: Vec<Job> = {
+            let mut expired: Vec<EdfEntry<Job>> = Vec::new();
+            let batch: Vec<EdfEntry<Job>> = {
                 let mut queue = self.queue.lock().expect("service queue poisoned");
                 loop {
-                    if !queue.jobs.is_empty() {
-                        break;
+                    let now = Instant::now();
+                    let mut batch: Vec<EdfEntry<Job>> = Vec::new();
+                    while batch.len() < self.config.max_batch {
+                        match queue.jobs.pop(now, self.policy.age_after) {
+                            Some(Popped::Ready(entry)) => {
+                                queue.admission.release(entry.tenant);
+                                batch.push(entry);
+                            }
+                            Some(Popped::Expired(entry)) => {
+                                queue.admission.release(entry.tenant);
+                                expired.push(entry);
+                            }
+                            None => break,
+                        }
+                    }
+                    if !batch.is_empty() || !expired.is_empty() {
+                        if !batch.is_empty() {
+                            self.metrics.record_batch(batch.len(), queue.jobs.len());
+                            self.record_batch_lanes(&batch, now);
+                        }
+                        break batch;
                     }
                     if queue.closed {
                         return;
                     }
                     queue = self.not_empty.wait(queue).expect("service queue poisoned");
                 }
-                let n = queue.jobs.len().min(self.config.max_batch);
-                let batch: Vec<Job> = queue.jobs.drain(..n).collect();
-                self.metrics.record_batch(batch.len(), queue.jobs.len());
-                batch
             };
             // Space freed: wake every blocked submitter.
             self.not_full.notify_all();
-            self.process_batch(batch);
+            // Expired entries never reach the model: fail them typed, after
+            // releasing the lock (the reply send and notify hook run here).
+            for entry in expired {
+                self.fail_expired(entry);
+            }
+            if !batch.is_empty() {
+                self.process_batch(batch);
+            }
+        }
+    }
+
+    /// Per-tenant bookkeeping of one drained batch: queue-wait histograms
+    /// for every tracked request, plus one `batches_formed` tick per
+    /// distinct tenant in the batch.
+    fn record_batch_lanes(&self, batch: &[EdfEntry<Job>], now: Instant) {
+        let mut tenants: Vec<TenantId> = Vec::new();
+        for entry in batch {
+            if !self.lanes_tracked(entry.tenant) {
+                continue;
+            }
+            let wait_us = now
+                .saturating_duration_since(entry.enqueued_at)
+                .as_secs_f64()
+                * 1e6;
+            self.metrics.record_tenant_wait(entry.tenant, wait_us);
+            if !tenants.contains(&entry.tenant) {
+                tenants.push(entry.tenant);
+            }
+        }
+        for tenant in tenants {
+            self.metrics.record_tenant_batch(tenant);
+        }
+    }
+
+    /// Drop one entry whose deadline passed while it was queued: reply
+    /// with the typed fault instead of serving (or silently dropping) it.
+    fn fail_expired(&self, mut entry: EdfEntry<Job>) {
+        if self.lanes_tracked(entry.tenant) {
+            self.metrics.record_tenant_shed_deadline(entry.tenant);
+        }
+        let waited = entry.enqueued_at.elapsed();
+        let deadline = entry
+            .deadline
+            .map(|d| d.saturating_duration_since(entry.enqueued_at))
+            .unwrap_or_default();
+        if let Some(reply) = entry.item.reply.take() {
+            let _ = reply.send(Err(ServiceError::DeadlineExpired { waited, deadline }));
         }
     }
 
     /// Run one drained micro-batch through the model's uniform batch API
     /// and complete every request. All models batch; the only per-model
     /// difference is whether the plan-encoding cache applies.
-    fn process_batch(&self, batch: Vec<Job>) {
+    fn process_batch(&self, batch: Vec<EdfEntry<Job>>) {
         let batch_size = batch.len();
         let (predictions, hits) = self.batched_predictions(&batch);
         // A wrong-length result would otherwise leave the truncated jobs
@@ -259,14 +379,14 @@ impl Shared {
     /// [`Shared::install_snapshot`] can never split a batch across two
     /// snapshots: every prediction in the batch is made under one snapshot,
     /// bit-for-bit.
-    fn batched_predictions(&self, batch: &[Job]) -> (Vec<f64>, Vec<bool>) {
+    fn batched_predictions(&self, batch: &[EdfEntry<Job>]) -> (Vec<f64>, Vec<bool>) {
         let (snapshot, epoch) = {
             let slot = self.snapshot.read().expect("snapshot slot poisoned");
             (slot.snapshot.clone(), slot.epoch)
         };
         let snapshot = snapshot.as_deref();
         if !self.model.has_flat_encoding() {
-            let plans: Vec<&PlanNode> = batch.iter().map(|job| &job.plan).collect();
+            let plans: Vec<&PlanNode> = batch.iter().map(|entry| &entry.item.plan).collect();
             return (
                 self.model.predict_batch(&plans, snapshot),
                 vec![false; batch.len()],
@@ -276,7 +396,10 @@ impl Shared {
         // misses), not per request — encoding itself runs unlocked. A cache
         // whose epoch differs from this batch's snapshot belongs to another
         // snapshot: probe nothing, insert nothing.
-        let keys: Vec<u64> = batch.iter().map(|job| plan_key(&job.plan)).collect();
+        let keys: Vec<u64> = batch
+            .iter()
+            .map(|entry| plan_key(&entry.item.plan))
+            .collect();
         let mut rows: Vec<Option<Vec<f64>>> = {
             let mut cache = self.encoding_cache.lock().expect("encoding cache poisoned");
             if cache.epoch == epoch {
@@ -289,11 +412,11 @@ impl Shared {
         };
         let hits: Vec<bool> = rows.iter().map(Option::is_some).collect();
         let mut fresh: Vec<(u64, Vec<f64>)> = Vec::new();
-        for ((slot, job), key) in rows.iter_mut().zip(batch).zip(&keys) {
+        for ((slot, entry), key) in rows.iter_mut().zip(batch).zip(&keys) {
             if slot.is_none() {
                 let encoding = self
                     .model
-                    .encode_plan(&job.plan, snapshot)
+                    .encode_plan(&entry.item.plan, snapshot)
                     .expect("flat-encoding model must encode");
                 fresh.push((*key, encoding.clone()));
                 *slot = Some(encoding);
@@ -345,16 +468,16 @@ impl Shared {
             .clone()
     }
 
-    fn complete(&self, mut job: Job, estimate: Estimate) {
+    fn complete(&self, mut entry: EdfEntry<Job>, estimate: Estimate) {
         self.metrics
-            .record_completion(job.submitted_at.elapsed().as_secs_f64() * 1e6);
-        // Take the sender out so it closes here, before `job` drops and
+            .record_completion(entry.enqueued_at.elapsed().as_secs_f64() * 1e6);
+        // Take the sender out so it closes here, before the job drops and
         // fires the completion hook; a hook-woken poller must find the
         // reply already in the channel (or the channel closed), never a
         // still-open empty channel.
         // A client that gave up (dropped the receiver) is not an error.
-        if let Some(reply) = job.reply.take() {
-            let _ = reply.send(estimate);
+        if let Some(reply) = entry.item.reply.take() {
+            let _ = reply.send(Ok(estimate));
         }
     }
 
@@ -369,13 +492,13 @@ impl Shared {
     /// that no longer exists. Called when a worker dies on a model panic;
     /// tolerates a poisoned queue lock because it runs during unwinding.
     fn abort(&self) {
-        let dropped: Vec<Job> = {
+        let dropped: Vec<EdfEntry<Job>> = {
             let mut queue = self
                 .queue
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             queue.closed = true;
-            queue.jobs.drain(..).collect()
+            queue.jobs.drain_all()
         };
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -389,13 +512,17 @@ impl Shared {
 /// worker's reply is discarded).
 #[derive(Debug)]
 pub struct PendingEstimate {
-    response: mpsc::Receiver<Estimate>,
+    response: mpsc::Receiver<Reply>,
 }
 
 impl PendingEstimate {
-    /// Block until the estimate is ready.
+    /// Block until the estimate is ready. A request the scheduler dropped
+    /// (deadline expired in queue) fails with its typed fault.
     pub fn wait(self) -> Result<Estimate, ServiceError> {
-        self.response.recv().map_err(|_| ServiceError::Closed)
+        match self.response.recv() {
+            Ok(reply) => reply,
+            Err(_) => Err(ServiceError::Closed),
+        }
     }
 
     /// Block at most `timeout`; `Ok(None)` when it elapses first. The
@@ -406,7 +533,7 @@ impl PendingEstimate {
         timeout: std::time::Duration,
     ) -> Result<Option<Estimate>, ServiceError> {
         match self.response.recv_timeout(timeout) {
-            Ok(estimate) => Ok(Some(estimate)),
+            Ok(reply) => reply.map(Some),
             Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Closed),
         }
@@ -414,14 +541,38 @@ impl PendingEstimate {
 
     /// Poll without blocking: `Ok(Some)` when the estimate is ready,
     /// `Ok(None)` while it is still in flight, [`ServiceError::Closed`]
-    /// once the service dropped the request (shutdown or worker abort).
-    /// The accessor event-loop front-ends pair with a
-    /// [`CompletionNotify`] hook: park the ticket, poll it on wakeup.
+    /// once the service dropped the request (shutdown or worker abort),
+    /// or the scheduler's typed fault for a request it dropped. The
+    /// accessor event-loop front-ends pair with a [`CompletionNotify`]
+    /// hook: park the ticket, poll it on wakeup.
     pub fn try_wait(&self) -> Result<Option<Estimate>, ServiceError> {
         match self.response.try_recv() {
-            Ok(estimate) => Ok(Some(estimate)),
+            Ok(reply) => reply.map(Some),
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => Err(ServiceError::Closed),
+        }
+    }
+}
+
+/// The scheduling envelope of one submission: which tenant it belongs
+/// to, how much deadline budget it has left, and whether a full queue
+/// blocks it or sheds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SubmitSpec {
+    pub tenant: TenantId,
+    /// Remaining deadline budget at submission, if the request carries a
+    /// deadline. Ignored (FIFO) when the service's policy is disabled.
+    pub deadline: Option<Duration>,
+    pub block_on_full: bool,
+}
+
+impl SubmitSpec {
+    /// The legacy single-tenant envelope: anonymous, no deadline.
+    pub(crate) fn anonymous(block_on_full: bool) -> Self {
+        SubmitSpec {
+            tenant: TenantId::ANONYMOUS,
+            deadline: None,
+            block_on_full,
         }
     }
 }
@@ -436,12 +587,13 @@ impl ServiceHandle {
     /// Submit a plan and block until its estimate is ready. Applies
     /// backpressure: blocks while the queue is at capacity.
     pub fn estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
-        self.submit(plan, true, None)?.wait()
+        self.submit(plan, SubmitSpec::anonymous(true), None)?.wait()
     }
 
     /// Submit without blocking on a full queue.
     pub fn try_estimate(&self, plan: PlanNode) -> Result<Estimate, ServiceError> {
-        self.submit(plan, false, None)?.wait()
+        self.submit(plan, SubmitSpec::anonymous(false), None)?
+            .wait()
     }
 
     /// Enqueue a plan and return immediately with a [`PendingEstimate`]
@@ -450,7 +602,7 @@ impl ServiceHandle {
     /// fill a micro-batch on its own — the gateway's multi-plan requests
     /// flow through here.
     pub fn submit_async(&self, plan: PlanNode) -> Result<PendingEstimate, ServiceError> {
-        self.submit(plan, true, None)
+        self.submit(plan, SubmitSpec::anonymous(true), None)
     }
 
     /// [`ServiceHandle::submit_async`] with a [`CompletionNotify`] hook:
@@ -463,16 +615,21 @@ impl ServiceHandle {
         plan: PlanNode,
         notify: CompletionNotify,
     ) -> Result<PendingEstimate, ServiceError> {
-        self.submit(plan, true, Some(notify))
+        self.submit(plan, SubmitSpec::anonymous(true), Some(notify))
     }
 
     /// Asynchronous submission with explicit admission policy: blocking
-    /// backpressure (`block_on_full`) or load shedding. The gateway routes
-    /// both of its admission modes through here.
+    /// backpressure (`block_on_full`) or load shedding, plus the request's
+    /// scheduling envelope (tenant, remaining deadline budget). The
+    /// gateway routes all of its admission modes through here.
+    ///
+    /// Quota rejections are immediate even for blocking submissions — a
+    /// request over its tenant's quota is never parked. Only global queue
+    /// capacity applies backpressure.
     pub(crate) fn submit(
         &self,
         plan: PlanNode,
-        block_on_full: bool,
+        spec: SubmitSpec,
         notify: Option<CompletionNotify>,
     ) -> Result<PendingEstimate, ServiceError> {
         let shared = &self.shared;
@@ -480,9 +637,15 @@ impl ServiceHandle {
         {
             let mut queue = shared.queue.lock().expect("service queue poisoned");
             while queue.jobs.len() >= shared.config.queue_capacity && !queue.closed {
-                if !block_on_full {
+                if !spec.block_on_full {
                     shared.metrics.record_reject();
-                    return Err(ServiceError::QueueFull);
+                    if shared.lanes_tracked(spec.tenant) {
+                        shared.metrics.record_tenant_shed_quota(spec.tenant);
+                    }
+                    return Err(ServiceError::QueueFull {
+                        depth: queue.jobs.len(),
+                        limit: shared.config.queue_capacity,
+                    });
                 }
                 queue = shared.not_full.wait(queue).expect("service queue poisoned");
             }
@@ -490,13 +653,51 @@ impl ServiceHandle {
                 shared.metrics.record_reject();
                 return Err(ServiceError::Closed);
             }
-            queue.jobs.push_back(Job {
-                plan,
-                submitted_at: Instant::now(),
-                reply: Some(reply),
-                notify,
-            });
+            let now = Instant::now();
+            if shared.policy.enabled {
+                // A budget that is already exhausted can only expire in the
+                // queue: reject it up front instead of queuing it.
+                if let Some(budget) = spec.deadline {
+                    if budget.is_zero() {
+                        shared.metrics.record_reject();
+                        shared.metrics.record_tenant_shed_deadline(spec.tenant);
+                        return Err(ServiceError::DeadlineExpired {
+                            waited: Duration::ZERO,
+                            deadline: budget,
+                        });
+                    }
+                }
+                let quota = shared.policy.quota_for(spec.tenant);
+                if let Err(err) = queue.admission.try_admit(spec.tenant, &quota, now) {
+                    shared.metrics.record_reject();
+                    shared.metrics.record_tenant_shed_quota(spec.tenant);
+                    return Err(ServiceError::QueueFull {
+                        depth: err.depth(),
+                        limit: err.limit(),
+                    });
+                }
+            }
+            // Under the disabled (FIFO) policy every entry queues
+            // deadline-less: legacy ordering, no expiry at pop.
+            let deadline = if shared.policy.enabled {
+                spec.deadline.map(|budget| now + budget)
+            } else {
+                None
+            };
+            queue.jobs.push(
+                Job {
+                    plan,
+                    reply: Some(reply),
+                    notify,
+                },
+                spec.tenant,
+                deadline,
+                now,
+            );
             shared.metrics.record_submit(queue.jobs.len());
+            if shared.lanes_tracked(spec.tenant) {
+                shared.metrics.record_tenant_admit(spec.tenant);
+            }
         }
         shared.not_empty.notify_one();
         Ok(PendingEstimate { response })
@@ -531,11 +732,25 @@ pub struct EstimationService {
 }
 
 impl EstimationService {
-    /// Start the worker pool for `model` under `snapshot`.
+    /// Start the worker pool for `model` under `snapshot` with the default
+    /// (disabled/FIFO) scheduling policy — the legacy single-tenant
+    /// service, unchanged.
     pub fn start(
         model: Arc<dyn CostModel>,
         snapshot: Option<FeatureSnapshot>,
         config: ServiceConfig,
+    ) -> Self {
+        Self::start_with_policy(model, snapshot, config, SchedPolicy::default())
+    }
+
+    /// Start the worker pool with an explicit [`SchedPolicy`] — the
+    /// admission-control + EDF pipeline when `policy.enabled`, plain FIFO
+    /// otherwise.
+    pub fn start_with_policy(
+        model: Arc<dyn CostModel>,
+        snapshot: Option<FeatureSnapshot>,
+        config: ServiceConfig,
+        policy: SchedPolicy,
     ) -> Self {
         let shared = Arc::new(Shared {
             config: ServiceConfig {
@@ -544,13 +759,15 @@ impl EstimationService {
                 max_batch: config.max_batch.max(1),
                 encoding_cache_capacity: config.encoding_cache_capacity.max(1),
             },
+            policy,
             model,
             snapshot: RwLock::new(SnapshotSlot {
                 snapshot: snapshot.map(Arc::new),
                 epoch: 0,
             }),
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                jobs: EdfQueue::new(),
+                admission: AdmissionControl::new(),
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -1241,7 +1458,9 @@ mod tests {
         let mut saw_full = false;
         for _ in 0..200 {
             match handle.try_estimate(scan_plan(5.0)) {
-                Err(ServiceError::QueueFull) => {
+                Err(ServiceError::QueueFull { depth, limit }) => {
+                    assert_eq!(limit, 2, "the shed fault names the configured capacity");
+                    assert!(depth >= limit, "the shed fault reports the observed depth");
                     saw_full = true;
                     break;
                 }
@@ -1257,5 +1476,214 @@ mod tests {
         if saw_full {
             assert!(metrics.rejected >= 1);
         }
+    }
+
+    /// With scheduling enabled, a tenant over its token-bucket quota is
+    /// rejected immediately with the typed, enriched `QueueFull` — even
+    /// though the global queue has plenty of room — and the rejection
+    /// lands in the tenant's shed counters.
+    #[test]
+    fn over_quota_tenants_are_shed_typed_not_parked() {
+        use crate::sched::TenantQuota;
+        let tenant = TenantId(5);
+        let service = EstimationService::start_with_policy(
+            Arc::new(DoubleRows::new(false)),
+            None,
+            ServiceConfig::default(),
+            SchedPolicy::edf().with_quota(tenant, TenantQuota::new(0.0, 2.0, usize::MAX)),
+        );
+        let handle = service.handle();
+        let spec = SubmitSpec {
+            tenant,
+            deadline: None,
+            block_on_full: true,
+        };
+        // The burst (bucket capacity 2) is admitted...
+        let a = handle.submit(scan_plan(1.0), spec, None).unwrap();
+        let b = handle.submit(scan_plan(2.0), spec, None).unwrap();
+        // ...and the third submission rejects instantly despite
+        // `block_on_full`: quota violations never park.
+        let started = Instant::now();
+        match handle.submit(scan_plan(3.0), spec, None) {
+            Err(ServiceError::QueueFull { limit, .. }) => {
+                assert_eq!(limit, 2, "the fault names the burst limit");
+            }
+            other => panic!("expected a typed quota rejection, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(100),
+            "a quota rejection must be immediate"
+        );
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        let metrics = service.shutdown();
+        let lane = metrics
+            .tenants
+            .iter()
+            .find(|lane| lane.tenant == tenant)
+            .expect("tenant lane recorded");
+        assert_eq!(lane.admitted, 2);
+        assert_eq!(lane.shed_quota, 1);
+        assert_eq!(lane.shed_deadline, 0);
+        assert!(lane.batches_formed >= 1);
+    }
+
+    /// A request whose deadline passes while it waits in the queue is
+    /// dropped at pop with the typed `DeadlineExpired` fault — it never
+    /// reaches the model.
+    #[test]
+    fn queued_requests_past_their_deadline_are_dropped_typed() {
+        #[derive(Debug)]
+        struct SlowModel;
+        impl CostModel for SlowModel {
+            fn name(&self) -> &'static str {
+                "SlowModel"
+            }
+            fn predict_plan(&self, _: &PlanNode, _: Option<&FeatureSnapshot>) -> f64 {
+                1.0
+            }
+            fn predict_batch(&self, plans: &[&PlanNode], _: Option<&FeatureSnapshot>) -> Vec<f64> {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+                vec![1.0; plans.len()]
+            }
+        }
+        let service = EstimationService::start_with_policy(
+            Arc::new(SlowModel),
+            None,
+            ServiceConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServiceConfig::default()
+            },
+            SchedPolicy::edf(),
+        );
+        let handle = service.handle();
+        // Occupy the single worker, and wait until it has actually drained
+        // the busy job so the deadlined one sits in the queue behind it.
+        let busy = handle
+            .submit(scan_plan(1.0), SubmitSpec::anonymous(true), None)
+            .unwrap();
+        let parked = Instant::now();
+        while service.metrics().queue_depth > 0 {
+            assert!(
+                parked.elapsed() < std::time::Duration::from_secs(5),
+                "worker never drained the busy job"
+            );
+            std::thread::yield_now();
+        }
+        let doomed = handle
+            .submit(
+                scan_plan(2.0),
+                SubmitSpec {
+                    tenant: TenantId(9),
+                    deadline: Some(Duration::from_millis(1)),
+                    block_on_full: true,
+                },
+                None,
+            )
+            .unwrap();
+        match doomed.wait() {
+            Err(ServiceError::DeadlineExpired { waited, deadline }) => {
+                assert!(waited >= deadline, "the drop happens after expiry");
+                assert_eq!(deadline, Duration::from_millis(1));
+            }
+            other => panic!("expected a typed deadline drop, got {other:?}"),
+        }
+        assert!(busy.wait().is_ok(), "the in-flight request still completes");
+        let metrics = service.shutdown();
+        let lane = metrics
+            .tenants
+            .iter()
+            .find(|lane| lane.tenant == TenantId(9))
+            .expect("tenant lane recorded");
+        assert_eq!(lane.shed_deadline, 1);
+        assert_eq!(
+            metrics.completed, 1,
+            "the expired request never reached the model"
+        );
+    }
+
+    /// EDF ordering end to end: with one worker stalled, a later
+    /// tight-deadline submission is served before an earlier loose one.
+    #[test]
+    fn earlier_deadlines_are_served_first() {
+        #[derive(Debug)]
+        struct Recorder(std::sync::Mutex<Vec<f64>>);
+        impl CostModel for Recorder {
+            fn name(&self) -> &'static str {
+                "Recorder"
+            }
+            fn predict_plan(&self, root: &PlanNode, _: Option<&FeatureSnapshot>) -> f64 {
+                root.est_rows
+            }
+            fn predict_batch(&self, plans: &[&PlanNode], _: Option<&FeatureSnapshot>) -> Vec<f64> {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let mut seen = self.0.lock().unwrap();
+                plans
+                    .iter()
+                    .map(|p| {
+                        seen.push(p.est_rows);
+                        p.est_rows
+                    })
+                    .collect()
+            }
+        }
+        let model = Arc::new(Recorder(std::sync::Mutex::new(Vec::new())));
+        let service = EstimationService::start_with_policy(
+            Arc::clone(&model) as Arc<dyn CostModel>,
+            None,
+            ServiceConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServiceConfig::default()
+            },
+            SchedPolicy::edf(),
+        );
+        let handle = service.handle();
+        // Park the worker on a filler job, then queue loose before tight.
+        let filler = handle
+            .submit(scan_plan(0.0), SubmitSpec::anonymous(true), None)
+            .unwrap();
+        let parked = Instant::now();
+        while service.metrics().queue_depth > 0 {
+            assert!(
+                parked.elapsed() < std::time::Duration::from_secs(5),
+                "worker never drained the filler job"
+            );
+            std::thread::yield_now();
+        }
+        let loose = handle
+            .submit(
+                scan_plan(1.0),
+                SubmitSpec {
+                    tenant: TenantId(1),
+                    deadline: Some(Duration::from_secs(30)),
+                    block_on_full: true,
+                },
+                None,
+            )
+            .unwrap();
+        let tight = handle
+            .submit(
+                scan_plan(2.0),
+                SubmitSpec {
+                    tenant: TenantId(2),
+                    deadline: Some(Duration::from_secs(5)),
+                    block_on_full: true,
+                },
+                None,
+            )
+            .unwrap();
+        assert!(filler.wait().is_ok());
+        assert!(tight.wait().is_ok());
+        assert!(loose.wait().is_ok());
+        drop(service);
+        let seen = model.0.lock().unwrap();
+        let loose_at = seen.iter().position(|&r| r == 1.0).unwrap();
+        let tight_at = seen.iter().position(|&r| r == 2.0).unwrap();
+        assert!(
+            tight_at < loose_at,
+            "the tighter deadline must be served first (order {seen:?})"
+        );
     }
 }

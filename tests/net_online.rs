@@ -208,6 +208,11 @@ fn random_request(rng: &mut StdRng) -> WireRequest {
         deadline_us: rng
             .gen_bool(0.5)
             .then(|| rng.gen_range(0..=MAX_DEADLINE_US)),
+        tenant: if rng.gen_bool(0.5) {
+            rng.gen_range(1..=u32::MAX)
+        } else {
+            0
+        },
         environment: random_environment(rng),
         plan: random_plan(rng, 3),
     }
@@ -248,7 +253,10 @@ fn random_response(rng: &mut StdRng) -> WireResponse {
     } else {
         Err(match rng.gen_range(0u8..7) {
             0 => WireFault::ServiceClosed,
-            1 => WireFault::QueueFull,
+            1 => WireFault::QueueFull {
+                depth: any_u64(rng),
+                limit: any_u64(rng),
+            },
             2 => WireFault::SnapshotMissing {
                 benchmark: BenchmarkKind::ALL[rng.gen_range(0..BenchmarkKind::ALL.len())],
                 fingerprint: any_u64(rng),
@@ -752,7 +760,7 @@ fn gateway_faults_cross_the_wire_typed() {
     let request = EstimateRequest::new(KIND, unseen.clone(), plan).with_options(RequestOptions {
         estimator: EstimatorKind::QcfeMscn,
         allow_transfer: false,
-        shed_load: false,
+        ..RequestOptions::default()
     });
 
     let mut client = QcfeClient::connect_uds(&socket).unwrap();
