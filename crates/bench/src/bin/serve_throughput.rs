@@ -17,11 +17,17 @@
 //! reactor over a loopback Unix-domain socket — N pipelined remote
 //! clients vs the same clients in-process (reported, not gated; every
 //! remote estimate is asserted bit-identical to its in-process twin),
-//! and a multi-tenant scheduling section replaying one adversarial mix
+//! a multi-tenant scheduling section replaying one adversarial mix
 //! (a greedy deadline-less tenant flooding a throttled single-worker
 //! shard next to compliant deadline-carrying tenants) against a
 //! default FIFO gateway and one running `SchedPolicy::edf()` with a
-//! queue-share quota on the greedy tenant.
+//! queue-share quota on the greedy tenant, and a replication section
+//! running three local replicas with rendezvous-sharded keys, killing
+//! the owner of the loaded shard mid-run, and reporting the time for
+//! the survivors to absorb the dead peer's keys from shipped
+//! `QCFS`/`QCFW` state (asserted: the loop keeps completing requests,
+//! post-failover estimates are bit-identical, no shipped state is
+//! rejected).
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
@@ -51,15 +57,17 @@ use qcfe_core::model_codec::PersistedModel;
 use qcfe_core::pipeline::{prepare_context, ContextConfig, EstimatorKind, ExperimentContext};
 use qcfe_core::snapshot::FeatureSnapshot;
 use qcfe_db::plan::PlanNode;
-use qcfe_net::{NetServerBuilder, QcfeClient};
+use qcfe_net::{NetServerBuilder, QcfeClient, Replicator, ReplicatorConfig, ShardClient};
 use qcfe_nn::kernel::{force_kernel, MatmulKernel};
 use qcfe_serve::prelude::*;
+use qcfe_serve::replica::owner_among;
 use qcfe_workloads::{
-    run_closed_loop, run_feedback_loop, run_multi_tenant_mix, BenchmarkKind, ClosedLoopConfig,
-    MultiTenantReport, ObservedEstimate, SubmitError, TenantLoad,
+    run_closed_loop, run_feedback_loop, run_multi_tenant_mix, run_timed_loop, BenchmarkKind,
+    ClosedLoopConfig, MultiTenantReport, ObservedEstimate, SubmitError, TenantLoad,
 };
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A cost model that sleeps once per drained micro-batch before
@@ -1255,6 +1263,242 @@ fn main() {
     assert!(
         greedy_metrics.admitted > 0 && greedy_metrics.batches_formed > 0,
         "gateway metrics must show the greedy tenant's admitted share being served"
+    );
+
+    // ---------------------------------------------------------------
+    // Replication: three local replicas with rendezvous-sharded keys,
+    // closed-loop load on one shard, owner killed mid-run. Reported:
+    // throughput across the kill and the time for the survivors to
+    // absorb the dead peer's keys from shipped QCFS/QCFW state.
+    // Asserted: the loop keeps completing requests, post-failover
+    // estimates are bit-identical, no shipped state is rejected.
+    // ---------------------------------------------------------------
+    const REPLICAS: usize = 3;
+    eprintln!("[serve] replication: {REPLICAS} local replicas, kill-one-mid-load...");
+    let repl_peers: Vec<String> = {
+        let listeners: Vec<TcpListener> = (0..REPLICAS)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+            .collect();
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("local addr").to_string())
+            .collect()
+    };
+    let mut repl_roots = Vec::new();
+    let mut repl_replicators = Vec::new();
+    let mut repl_gateways = Vec::new();
+    let mut repl_servers = Vec::new();
+    for (i, addr) in repl_peers.iter().enumerate() {
+        let set = Arc::new(ReplicaSet::new(repl_peers.clone(), i).expect("replica set"));
+        let replicator = Replicator::start(
+            Arc::clone(&set),
+            ReplicatorConfig {
+                heartbeat: Duration::from_millis(100),
+                connect_timeout: Duration::from_millis(100),
+                ..ReplicatorConfig::default()
+            },
+        );
+        let root = std::env::temp_dir().join(format!(
+            "qcfe-serve-bench-repl-{i}-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let gateway = Arc::new(
+            QcfeGateway::builder(&root)
+                .service_config(shard_config)
+                .replication(Arc::clone(&set), replicator.sink())
+                .build()
+                .expect("replica gateway builds"),
+        );
+        let server = NetServerBuilder::new(Arc::clone(&gateway))
+            .tcp(addr.clone())
+            .replica(set)
+            .max_connections(64)
+            .start()
+            .expect("replica server starts");
+        repl_roots.push(root);
+        repl_replicators.push(Some(replicator));
+        repl_gateways.push(gateway);
+        repl_servers.push(Some(server));
+    }
+
+    // Publish every environment through its rendezvous owner only; the
+    // replicators ship the persisted bytes to the other two.
+    let repl_keys: Vec<ModelKey> = ctx
+        .workload
+        .environments
+        .iter()
+        .map(|env| ModelKey::new(kind, EstimatorKind::QcfeMscn, env.fingerprint()))
+        .collect();
+    for ((env, snapshot), key) in ctx
+        .workload
+        .environments
+        .iter()
+        .zip(&snapshots)
+        .zip(&repl_keys)
+    {
+        let owner = owner_among(&repl_peers, key).expect("placed");
+        repl_gateways[owner]
+            .publish_snapshot(kind, env, snapshot)
+            .expect("snapshot published");
+        repl_gateways[owner]
+            .publish_model(*key, PersistedModel::Mscn(mscn_for_restart.clone()))
+            .expect("weights published");
+    }
+    let converge_deadline = Instant::now() + Duration::from_secs(30);
+    while !repl_gateways.iter().all(|g| {
+        repl_keys.iter().all(|key| {
+            g.store().contains(kind, key.fingerprint)
+                && g.store()
+                    .contains_model(key.benchmark, key.estimator, key.fingerprint)
+        })
+    }) {
+        assert!(
+            Instant::now() < converge_deadline,
+            "replication did not converge within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let repl_client = || {
+        ShardClient::new(Arc::new(
+            ReplicaSet::client_view(repl_peers.clone()).expect("client view"),
+        ))
+        .read_timeout(Some(Duration::from_secs(5)))
+        .attempt_backoff(Duration::from_millis(50))
+    };
+    // The load targets environment 0's shard; its owner is the victim,
+    // so in-flight requests are mid-failover when it dies.
+    let victim = owner_among(&repl_peers, &repl_keys[0]).expect("placed");
+    let repl_env = Arc::new(ctx.workload.environments[0].clone());
+    let probe_request = EstimateRequest::new(
+        kind,
+        Arc::clone(&repl_env),
+        ctx.workload.queries[0].executed.root.clone(),
+    );
+    let probe_bits = repl_client()
+        .estimate(&probe_request)
+        .expect("pre-kill probe")
+        .cost_ms
+        .to_bits();
+
+    let repl_load_clients = if quick { 2 } else { 4 };
+    let load_duration = Duration::from_millis(if quick { 1500 } else { 3000 });
+    let kill_after = load_duration / 3;
+    let victim_server = Mutex::new(repl_servers[victim].take());
+    let victim_replicator = Mutex::new(repl_replicators[victim].take());
+    let absorb_ms = Mutex::new(0.0f64);
+    let repl_db = &dbs[0];
+    let pool = Mutex::new(
+        (0..repl_load_clients)
+            .map(|_| repl_client())
+            .collect::<Vec<_>>(),
+    );
+    let repl_run = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(kill_after);
+            if let Some(handle) = victim_server.lock().expect("victim lock").take() {
+                handle.join().expect("victim drains");
+            }
+            drop(victim_replicator.lock().expect("replicator lock").take());
+            // Absorb latency: from the victim being fully gone to a
+            // survivor answering for its keys, redirects and liveness
+            // discovery included.
+            let killed = Instant::now();
+            let mut prober = repl_client();
+            loop {
+                if let Ok(response) = prober.estimate(&probe_request) {
+                    assert_eq!(
+                        response.cost_ms.to_bits(),
+                        probe_bits,
+                        "absorbed shard must answer bit-identically"
+                    );
+                    break;
+                }
+            }
+            *absorb_ms.lock().expect("absorb lock") = killed.elapsed().as_secs_f64() * 1e3;
+        });
+        run_timed_loop(
+            &ctx.benchmark,
+            repl_load_clients,
+            load_duration,
+            seed + 1100,
+            |query| {
+                let plan = repl_db.plan(&query).map_err(|e| e.to_string())?;
+                let request = EstimateRequest::new(kind, Arc::clone(&repl_env), plan);
+                let mut client = pool
+                    .lock()
+                    .expect("pool lock")
+                    .pop()
+                    .expect("pooled client");
+                let result = client.estimate(&request);
+                pool.lock().expect("pool lock").push(client);
+                result.map(|r| r.cost_ms).map_err(|e| e.to_string())
+            },
+        )
+    });
+    let absorb_ms = *absorb_ms.lock().expect("absorb lock");
+    assert!(
+        repl_run.completed > 0,
+        "the timed loop must keep completing requests across the kill"
+    );
+    let post_bits = repl_client()
+        .estimate(&probe_request)
+        .expect("post-failover probe")
+        .cost_ms
+        .to_bits();
+    assert_eq!(
+        post_bits, probe_bits,
+        "post-failover estimates must be bit-identical"
+    );
+    let repl_shipped: u64 = repl_replicators
+        .iter()
+        .flatten()
+        .map(|r| r.stats().ships_sent)
+        .sum();
+    assert!(repl_shipped > 0, "owners must have shipped state to peers");
+    for (i, server) in repl_servers.iter_mut().enumerate() {
+        if let Some(handle) = server.take() {
+            let stats = handle.join().expect("replica drains");
+            assert_eq!(
+                stats.ships_rejected, 0,
+                "replica {i} must not reject shipped state"
+            );
+        }
+    }
+    drop(repl_replicators);
+    drop(repl_gateways);
+    for root in &repl_roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    let mut repl_table = ReportTable::new(
+        "Replication: kill-one-of-three mid-load (QCFE(mscn), rendezvous-sharded)",
+        &[
+            "replicas",
+            "load clients",
+            "wall (s)",
+            "completed",
+            "errors",
+            "throughput (est/s)",
+            "absorb latency (ms)",
+        ],
+    );
+    repl_table.push_row(vec![
+        format!("{REPLICAS} (1 killed)"),
+        repl_load_clients.to_string(),
+        fmt3(repl_run.wall_s),
+        repl_run.completed.to_string(),
+        repl_run.errors.to_string(),
+        format!("{:.0}", repl_run.throughput_qps()),
+        fmt3(absorb_ms),
+    ]);
+    report.add_table(repl_table);
+    eprintln!(
+        "[serve] replication: {:.0} est/s across the kill ({} completed, {} errors), absorb latency {absorb_ms:.1} ms",
+        repl_run.throughput_qps(),
+        repl_run.completed,
+        repl_run.errors,
     );
 
     println!("{}", report.render());

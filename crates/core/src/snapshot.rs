@@ -69,6 +69,17 @@
 //! anonymous id `0` is rejected the same way — extensions spend reserved
 //! bits explicitly, they never reinterpret existing bytes.
 //!
+//! `QCFP` frame kinds `3`–`5` are the **replication frames** of the
+//! replicated serving layer: `ShipSnapshot` (kind 3) and `ShipModel`
+//! (kind 4) carry the *verbatim persisted* `QCFS`/`QCFW` codec bytes from
+//! one replica to its peers (the durable codecs double as the replication
+//! format — a shipped artifact re-validates through the same
+//! magic/version/checksum gauntlet a disk load does, so an absorbed shard
+//! is bit-identical or rejected typed), and `ShipAck` (kind 5) answers
+//! with accept/reject. The frame version stays `1`: pre-replication
+//! decoders already reject unknown kinds with a typed error, which is
+//! exactly the strict-rejection behaviour a mixed-version peer set needs.
+//!
 //! # Online refinement
 //!
 //! The paper's transfer loop (Table VII) does not end at the warm start: a

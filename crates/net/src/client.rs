@@ -18,10 +18,12 @@
 
 use crate::wire::{self, Frame, WireError, WireFault, WireRequest, WireResponse};
 use qcfe_serve::request::{EstimateRequest, EstimateResponse};
+use qcfe_serve::{ModelKey, ReplicaSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Any failure on the client side of a connection.
@@ -33,7 +35,8 @@ pub enum ClientError {
     Wire(WireError),
     /// The server answered with a typed fault.
     Fault(WireFault),
-    /// The server sent a request frame (only servers receive requests).
+    /// The server sent a non-response frame (requests and replication
+    /// ship frames are only ever received by servers).
     UnexpectedFrame,
     /// A response arrived for a different correlation id than the one
     /// [`QcfeClient::estimate`] was waiting on.
@@ -108,12 +111,21 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// The backoff before retry number `retry` (0-based): `base << retry`,
     /// saturating at `max_backoff`.
-    fn backoff(&self, retry: u32) -> Duration {
-        let doubled = self
-            .base_backoff
-            .checked_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
-            .unwrap_or(self.max_backoff);
-        doubled.min(self.max_backoff)
+    ///
+    /// Computed in 128-bit nanosecond arithmetic so no shift or multiply
+    /// can overflow (or panic) however high the retry count climbs — the
+    /// old `Duration::checked_mul(1 << retry)` path clamped the factor to
+    /// `u32::MAX` past 32 retries, which under-backs-off whenever
+    /// `base_backoff` is sub-microsecond and `max_backoff` is large.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u128.checked_shl(retry).unwrap_or(u128::MAX);
+        let nanos = self.base_backoff.as_nanos().saturating_mul(factor);
+        if nanos >= self.max_backoff.as_nanos() {
+            return self.max_backoff;
+        }
+        u64::try_from(nanos)
+            .map(Duration::from_nanos)
+            .unwrap_or(self.max_backoff)
     }
 }
 
@@ -229,7 +241,7 @@ impl QcfeClient {
                     let frame: Vec<u8> = self.read_buf.drain(..len).collect();
                     return match wire::decode_frame(&frame)? {
                         Frame::Response(response) => Ok(response),
-                        Frame::Request(_) => Err(ClientError::UnexpectedFrame),
+                        _ => Err(ClientError::UnexpectedFrame),
                     };
                 }
                 None => {
@@ -295,5 +307,245 @@ impl QcfeClient {
                 outcome => return outcome,
             }
         }
+    }
+}
+
+/// Lifetime counters of a [`ShardClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardClientStats {
+    /// Requests answered successfully.
+    pub requests_ok: u64,
+    /// `NotOwner` redirects followed (the local placement disagreed with
+    /// the server's — usually a liveness view still converging).
+    pub redirects: u64,
+    /// Peers marked dead after a connect or I/O failure; each one reroutes
+    /// the key onto the surviving peers.
+    pub failovers: u64,
+}
+
+/// Shard-aware routing over a replica set of `qcfe-served` processes.
+///
+/// Each request's serving key `(benchmark, estimator, fingerprint)` is
+/// rendezvous-placed on the client's own view of the peer set — the same
+/// [`placement the servers use`](qcfe_serve::replica::owner_among), so in
+/// the steady state the first hop is the owner. Two disagreements are
+/// handled in a bounded loop (never a hang):
+///
+/// * the server answers [`WireFault::NotOwner`] — the client's liveness
+///   view lags the servers'; the redirect hint names the owner and the
+///   next attempt goes there directly;
+/// * the connection fails — the peer is marked dead in the client's view,
+///   rerouting the key onto the survivors (who absorb the dead peer's
+///   shards from shipped state). A short pause between sweeps rides out
+///   the window where the surviving servers' own heartbeats still think
+///   the dead peer owns the key.
+///
+/// Any other fault is permanent for the request and surfaces as
+/// [`ClientError::Fault`]. Per-connection read timeouts bound every
+/// blocking wait, so a kill-mid-load run completes or fails typed.
+pub struct ShardClient {
+    replicas: Arc<ReplicaSet>,
+    conns: Vec<Option<QcfeClient>>,
+    retry: RetryPolicy,
+    max_attempts: u32,
+    attempt_backoff: Duration,
+    read_timeout: Option<Duration>,
+    stats: ShardClientStats,
+}
+
+impl ShardClient {
+    /// A router over `replicas` (usually a [`ReplicaSet::client_view`] of
+    /// the peers' TCP addresses). The default per-connection
+    /// [`RetryPolicy`] handles shed backoff; routing retries are bounded
+    /// by 16 attempts, 100ms apart, with 5s read timeouts.
+    pub fn new(replicas: Arc<ReplicaSet>) -> Self {
+        let conns = (0..replicas.len()).map(|_| None).collect();
+        ShardClient {
+            replicas,
+            conns,
+            retry: RetryPolicy::default(),
+            max_attempts: 16,
+            attempt_backoff: Duration::from_millis(100),
+            read_timeout: Some(Duration::from_secs(5)),
+            stats: ShardClientStats::default(),
+        }
+    }
+
+    /// Replace the per-connection shed/reconnect policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Bound the routing loop: how many owner attempts (redirects and
+    /// failovers included) before the last error surfaces (minimum 1).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Pause between routing attempts (rides out the servers' heartbeat
+    /// convergence window after a peer death).
+    pub fn attempt_backoff(mut self, backoff: Duration) -> Self {
+        self.attempt_backoff = backoff;
+        self
+    }
+
+    /// Per-connection read timeout (`None` blocks indefinitely — not
+    /// recommended when peers can die mid-load).
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// The client's (shared) view of the replica set.
+    pub fn replicas(&self) -> &Arc<ReplicaSet> {
+        &self.replicas
+    }
+
+    /// Routing counters so far.
+    pub fn stats(&self) -> ShardClientStats {
+        self.stats
+    }
+
+    /// Estimate one plan through whichever peer owns its serving key,
+    /// following redirects and failing over past dead peers. Returns the
+    /// final error once `max_attempts` routing attempts are spent.
+    pub fn estimate(&mut self, request: &EstimateRequest) -> Result<EstimateResponse, ClientError> {
+        let key = ModelKey::new(
+            request.benchmark,
+            request.options.estimator,
+            request.environment.fingerprint(),
+        );
+        // A redirect names the next hop explicitly; otherwise each attempt
+        // re-places the key on the current liveness view.
+        let mut redirect: Option<usize> = None;
+        let mut last_error: Option<ClientError> = None;
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.attempt_backoff);
+            }
+            let target = redirect
+                .take()
+                .unwrap_or_else(|| self.replicas.owner_index(&key));
+            let retry = self.retry;
+            let conn = match self.connection(target) {
+                Ok(conn) => conn,
+                Err(error) => {
+                    self.fail_peer(target);
+                    last_error = Some(error);
+                    continue;
+                }
+            };
+            match conn.estimate_with_retry(request, retry) {
+                Ok(response) => {
+                    self.replicas.mark_alive(target);
+                    self.stats.requests_ok += 1;
+                    return Ok(response);
+                }
+                Err(ClientError::Fault(WireFault::NotOwner { owner })) => {
+                    // The server is healthy, just not the owner under its
+                    // own (fresher or staler) liveness view. Follow the
+                    // hint when it names a known peer; otherwise re-place.
+                    self.replicas.mark_alive(target);
+                    self.stats.redirects += 1;
+                    redirect = self.replicas.index_of(&owner);
+                    last_error = Some(ClientError::Fault(WireFault::NotOwner { owner }));
+                }
+                Err(error @ (ClientError::Io(_) | ClientError::Wire(_))) => {
+                    self.fail_peer(target);
+                    last_error = Some(error);
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        Err(last_error.unwrap_or(ClientError::UnexpectedFrame))
+    }
+
+    /// The cached connection to a peer, (re)connecting as needed.
+    fn connection(&mut self, peer: usize) -> Result<&mut QcfeClient, ClientError> {
+        if self.conns[peer].is_none() {
+            let mut client = QcfeClient::connect_tcp(self.replicas.peers()[peer].as_str())?;
+            client.set_read_timeout(self.read_timeout)?;
+            self.conns[peer] = Some(client);
+        }
+        Ok(self.conns[peer].as_mut().expect("connection just cached"))
+    }
+
+    fn fail_peer(&mut self, peer: usize) {
+        self.conns[peer] = None;
+        self.replicas.mark_dead(peer);
+        self.stats.failovers += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates_at_max() {
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            reconnect: false,
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2), Duration::from_millis(40));
+        assert_eq!(policy.backoff(5), Duration::from_millis(320));
+        // 10ms << 6 = 640ms clamps.
+        assert_eq!(policy.backoff(6), Duration::from_millis(500));
+        assert_eq!(policy.backoff(63), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_never_panics_or_regresses_at_high_retry_counts() {
+        // Shift counts past the 32-, 64- and 128-bit widths, with bases
+        // from 0 through seconds: always monotone, always ≤ max.
+        for base in [
+            Duration::ZERO,
+            Duration::from_nanos(1),
+            Duration::from_micros(3),
+            Duration::from_millis(10),
+            Duration::from_secs(2),
+        ] {
+            let policy = RetryPolicy {
+                max_retries: u32::MAX,
+                base_backoff: base,
+                max_backoff: Duration::from_secs(30),
+                reconnect: false,
+            };
+            let mut last = Duration::ZERO;
+            for retry in [0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 129, 1_000, u32::MAX] {
+                let b = policy.backoff(retry);
+                assert!(b <= policy.max_backoff, "retry {retry} base {base:?}");
+                assert!(
+                    b >= last,
+                    "backoff regressed at retry {retry} base {base:?}"
+                );
+                last = b;
+            }
+            if base > Duration::ZERO {
+                assert_eq!(
+                    policy.backoff(u32::MAX),
+                    policy.max_backoff,
+                    "a nonzero base must reach the cap, base {base:?}"
+                );
+            } else {
+                assert_eq!(policy.backoff(u32::MAX), Duration::ZERO);
+            }
+        }
+
+        // Regression: a sub-microsecond base with a large cap used to
+        // clamp the factor at 2^32 and stall far below max_backoff.
+        let tiny = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: Duration::from_nanos(1),
+            max_backoff: Duration::from_secs(60),
+            reconnect: false,
+        };
+        assert_eq!(tiny.backoff(40), tiny.max_backoff);
     }
 }

@@ -16,20 +16,32 @@
 //! * [`client`] — a small blocking client that connects, pipelines
 //!   requests and reaps responses by correlation id, with an opt-in
 //!   [`client::RetryPolicy`] for backoff-on-shed and transparent
-//!   reconnect.
+//!   reconnect; [`client::ShardClient`] adds shard-aware routing over a
+//!   replica set — it rendezvous-places each request's serving key,
+//!   follows [`wire::WireFault::NotOwner`] redirects, and fails over to
+//!   the surviving peers when the owner dies mid-load.
+//! * [`replicator`] — the peer-to-peer shipping worker behind
+//!   [`qcfe_serve::ReplicationSink`]: every published or refined
+//!   snapshot/model is pushed to the other replica-set members as `QCFP`
+//!   ship frames (the verbatim persisted `QCFS`/`QCFW` codec bytes), and
+//!   heartbeat probes keep the shared liveness mask honest so a dead
+//!   peer's shards rendezvous onto survivors.
 //!
 //! The `qcfe-served` binary glues the pieces together: it opens a store
 //! directory, builds a gateway and serves it on the listeners named on the
-//! command line.
+//! command line; `--peer`/`--self-index` turn N such processes into a
+//! replica set.
 
 pub mod client;
+pub mod replicator;
 pub mod server;
 pub mod sys;
 pub mod wire;
 
-pub use client::{ClientError, QcfeClient, RetryPolicy};
+pub use client::{ClientError, QcfeClient, RetryPolicy, ShardClient};
+pub use replicator::{Replicator, ReplicatorConfig, ReplicatorStats};
 pub use server::{NetServerBuilder, ServerHandle, ServerStats};
 pub use wire::{
     decode_frame, encode_request, encode_response, frame_length, Frame, WireError, WireEstimate,
-    WireFault, WireRequest, WireResponse,
+    WireFault, WireRequest, WireResponse, WireShipAck, WireShipModel, WireShipSnapshot,
 };

@@ -35,9 +35,11 @@
 
 use crate::sys::{Event, Interest, Poller, Waker, WakerHandle};
 use crate::wire::{
-    self, Frame, WireError, WireEstimate, WireFault, WireRequest, WireResponse, MAX_STRING_LEN,
+    self, Frame, WireError, WireEstimate, WireFault, WireRequest, WireResponse, WireShipAck,
+    MAX_STRING_LEN,
 };
-use qcfe_serve::{PendingResponse, QcfeError, QcfeGateway};
+use qcfe_db::EnvFingerprint;
+use qcfe_serve::{ModelKey, PendingResponse, QcfeError, QcfeGateway, ReplicaSet};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,6 +72,15 @@ pub struct ServerStats {
     pub responses_fault: u64,
     /// Connections dropped for an unparseable stream (bad envelope).
     pub protocol_errors: u64,
+    /// Peer-shipped snapshots/models validated and absorbed into the
+    /// gateway (each answered with an accepting ship-ack).
+    pub ships_applied: u64,
+    /// Peer-shipped payloads that failed codec validation or the local
+    /// store write (answered with a rejecting ship-ack; nothing applied).
+    pub ships_rejected: u64,
+    /// Requests refused with [`WireFault::NotOwner`] because rendezvous
+    /// placement assigns their serving key to another peer.
+    pub not_owner_redirects: u64,
 }
 
 /// Configures and starts a [`ServerHandle`]. Build one via
@@ -82,6 +93,7 @@ pub struct NetServerBuilder {
     max_connections: usize,
     idle_timeout: Duration,
     drain_timeout: Duration,
+    replicas: Option<Arc<ReplicaSet>>,
 }
 
 impl NetServerBuilder {
@@ -94,6 +106,7 @@ impl NetServerBuilder {
             max_connections: 1024,
             idle_timeout: Duration::from_secs(300),
             drain_timeout: Duration::from_secs(10),
+            replicas: None,
         }
     }
 
@@ -130,6 +143,17 @@ impl NetServerBuilder {
     /// (default 10 seconds).
     pub fn drain_timeout(mut self, timeout: Duration) -> Self {
         self.drain_timeout = timeout;
+        self
+    }
+
+    /// Serve as one member of a replica set: requests whose serving key
+    /// rendezvous-places on another *alive* peer are refused with the
+    /// typed [`WireFault::NotOwner`] carrying the owner's address (the
+    /// client's redirect hint), and peer-shipped snapshot/model frames
+    /// are validated, absorbed into the gateway and acked. Without this,
+    /// the server owns every key and ship frames are protocol errors.
+    pub fn replica(mut self, replicas: Arc<ReplicaSet>) -> Self {
+        self.replicas = Some(replicas);
         self
     }
 
@@ -191,6 +215,7 @@ impl NetServerBuilder {
             max_connections: self.max_connections,
             idle_timeout: self.idle_timeout,
             drain_timeout: self.drain_timeout,
+            replicas: self.replicas,
             stats: ServerStats::default(),
         };
         let thread = std::thread::Builder::new()
@@ -380,6 +405,7 @@ struct Reactor {
     max_connections: usize,
     idle_timeout: Duration,
     drain_timeout: Duration,
+    replicas: Option<Arc<ReplicaSet>>,
     stats: ServerStats,
 }
 
@@ -602,6 +628,40 @@ impl Reactor {
                     &WireError::UnknownFrameKind(wire::FRAME_RESPONSE),
                 );
             }
+            Ok(Frame::ShipSnapshot(ship)) => {
+                if self.reject_ship_when_solo(slot, ship.request_id) {
+                    return;
+                }
+                let outcome = self.gateway.apply_shipped_snapshot(
+                    ship.benchmark,
+                    EnvFingerprint(ship.fingerprint),
+                    &ship.snapshot,
+                    &ship.knobs,
+                );
+                self.ship_ack(slot, ship.request_id, outcome, shutting_down);
+            }
+            Ok(Frame::ShipModel(ship)) => {
+                if self.reject_ship_when_solo(slot, ship.request_id) {
+                    return;
+                }
+                let key = ModelKey::new(
+                    ship.benchmark,
+                    ship.estimator,
+                    EnvFingerprint(ship.fingerprint),
+                );
+                let outcome = self.gateway.apply_shipped_model(key, &ship.weights);
+                self.ship_ack(slot, ship.request_id, outcome, shutting_down);
+            }
+            Ok(Frame::ShipAck(ack)) => {
+                // Only *senders* of ship frames ever receive acks; an
+                // inbound one means the peer has its roles confused.
+                self.stats.protocol_errors += 1;
+                self.protocol_error(
+                    slot,
+                    ack.request_id,
+                    &WireError::UnknownFrameKind(wire::FRAME_SHIP_ACK),
+                );
+            }
             Err(error) => match wire::peek_request_id(frame) {
                 // Envelope verified, payload invalid: typed rejection with
                 // the authentic id, connection survives.
@@ -656,6 +716,29 @@ impl Reactor {
         // next.
         let mut estimate_request = request.clone().into_estimate_request();
         estimate_request.options.shed_load = true;
+
+        // Replicated serving: a key placed on another alive peer is
+        // refused with a redirect hint instead of served here — every
+        // replica answers the same way, so clients converge on one owner
+        // per key and shipped state stays single-writer.
+        if let Some(replicas) = &self.replicas {
+            let key = ModelKey::new(
+                estimate_request.benchmark,
+                estimate_request.options.estimator,
+                estimate_request.environment.fingerprint(),
+            );
+            if !replicas.owns(&key) {
+                self.stats.not_owner_redirects += 1;
+                let owner = replicas.owner_addr(&key).to_string();
+                self.send_fault(
+                    slot,
+                    request_id,
+                    WireFault::NotOwner { owner },
+                    shutting_down,
+                );
+                return;
+            }
+        }
 
         match self
             .gateway
@@ -849,6 +932,58 @@ impl Reactor {
         }
     }
 
+    /// Ship frames are only meaningful between replica-set members; a
+    /// solo server treats them as a role confusion and closes, exactly
+    /// like an inbound response frame. Returns whether the frame was
+    /// rejected.
+    fn reject_ship_when_solo(&mut self, slot: usize, request_id: u64) -> bool {
+        if self.replicas.is_some() {
+            return false;
+        }
+        self.stats.protocol_errors += 1;
+        self.protocol_error(
+            slot,
+            request_id,
+            &WireError::UnknownFrameKind(wire::FRAME_SHIP_SNAPSHOT),
+        );
+        true
+    }
+
+    /// Answer a ship frame: accepted on `Ok`, else a rejection carrying
+    /// the rendered reason. The connection survives either way — a peer
+    /// with one corrupt artifact can still ship the rest.
+    fn ship_ack(
+        &mut self,
+        slot: usize,
+        request_id: u64,
+        outcome: Result<(), QcfeError>,
+        shutting_down: bool,
+    ) {
+        let ack = match outcome {
+            Ok(()) => {
+                self.stats.ships_applied += 1;
+                WireShipAck {
+                    request_id,
+                    accepted: true,
+                    message: String::new(),
+                }
+            }
+            Err(error) => {
+                self.stats.ships_rejected += 1;
+                WireShipAck {
+                    request_id,
+                    accepted: false,
+                    message: clip(&error.to_string()),
+                }
+            }
+        };
+        let Ok(bytes) = wire::encode_ship_ack(&ack) else {
+            self.close(slot);
+            return;
+        };
+        self.enqueue_bytes(slot, &bytes, shutting_down);
+    }
+
     fn send_fault(&mut self, slot: usize, request_id: u64, fault: WireFault, down: bool) {
         self.stats.responses_fault += 1;
         self.enqueue(
@@ -885,8 +1020,12 @@ impl Reactor {
             self.close(slot);
             return;
         };
+        self.enqueue_bytes(slot, &bytes, shutting_down);
+    }
+
+    fn enqueue_bytes(&mut self, slot: usize, bytes: &[u8], shutting_down: bool) {
         if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
-            conn.write_buf.extend_from_slice(&bytes);
+            conn.write_buf.extend_from_slice(bytes);
             self.flush(slot, shutting_down);
         }
     }

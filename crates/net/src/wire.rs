@@ -22,7 +22,8 @@
 //! ```
 //!
 //! The body starts with its own fixed header — `kind: u8` (1 = request,
-//! 2 = response), `flags: u8` (must be zero in v1), `request id: u64 LE`
+//! 2 = response, 3 = ship-snapshot, 4 = ship-model, 5 = ship-ack),
+//! `flags: u8` (must be zero in v1), `request id: u64 LE`
 //! (echoed verbatim in the response, correlating pipelined replies) —
 //! followed by the kind-specific payload. Putting the length and checksum
 //! *before* the body keeps the CRC contiguous and lets a stream reader
@@ -52,6 +53,23 @@
 //! with [`WireError::UnknownTag`], and a set tenant bit carrying the
 //! reserved anonymous id `0` is rejected the same way (a compliant
 //! encoder never emits it).
+//!
+//! # Replication frames
+//!
+//! Frame kinds 3–5 extend `QCFP` into the replication plane of a peer
+//! set of `qcfe-served` processes: [`WireShipSnapshot`] and
+//! [`WireShipModel`] carry the **verbatim persisted codec bytes** — the
+//! CRC-checked `QCFS` v2 snapshot / `QCFW` v2 weight payloads the origin
+//! just wrote to its own store — to every peer, which answers each with a
+//! [`WireShipAck`]. Reusing the durable codecs as the replication format
+//! means shipped state is bit-identical to persisted state by
+//! construction, and corruption is rejected typed twice: once by the
+//! frame CRC here, once by the codec's own magic/version/checksum when
+//! the receiver re-validates the payload before applying it. The version
+//! stays 1 — pre-replication decoders already reject the new kinds typed
+//! with [`WireError::UnknownFrameKind`], which is exactly the strict
+//! behaviour the family mandates. Blobs are bounded by
+//! [`MAX_SHIP_BYTES`] before allocation, like every other field.
 
 use qcfe_core::pipeline::EstimatorKind;
 use qcfe_db::env::EnvFingerprint;
@@ -85,6 +103,12 @@ pub const BODY_HEADER_LEN: usize = 10;
 pub const FRAME_REQUEST: u8 = 1;
 /// Body kind of a response frame.
 pub const FRAME_RESPONSE: u8 = 2;
+/// Body kind of a snapshot-shipping frame (peer replication).
+pub const FRAME_SHIP_SNAPSHOT: u8 = 3;
+/// Body kind of a model-shipping frame (peer replication).
+pub const FRAME_SHIP_MODEL: u8 = 4;
+/// Body kind of a shipping acknowledgement (peer replication).
+pub const FRAME_SHIP_ACK: u8 = 5;
 /// Upper bound on one frame's body, bounding what a reader buffers for a
 /// single length prefix.
 pub const MAX_BODY_LEN: usize = 1 << 20;
@@ -101,6 +125,9 @@ pub const MAX_PLAN_DEPTH: usize = 64;
 /// Anything above is a corrupt or hostile frame, not a plausible
 /// per-query estimation budget.
 pub const MAX_DEADLINE_US: u64 = 60_000_000;
+/// Upper bound on a shipped `QCFS`/`QCFW` blob, leaving headroom inside
+/// [`MAX_BODY_LEN`] for the ship frame's own header and knob vector.
+pub const MAX_SHIP_BYTES: usize = MAX_BODY_LEN - 16 * 1024;
 
 /// Any failure to encode or decode a `QCFP` frame. Decoding is total:
 /// every byte sequence maps to a value or to one of these, never a panic.
@@ -178,6 +205,14 @@ pub enum WireError {
         /// The cap it exceeded.
         max: u64,
     },
+    /// A shipped codec blob exceeded [`MAX_SHIP_BYTES`] — rejected on
+    /// both ends, before the decoder allocates for it.
+    ShipTooLarge {
+        /// Declared blob length.
+        len: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -217,6 +252,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::DeadlineOutOfRange { micros, max } => {
                 write!(f, "deadline budget of {micros} us exceeds the {max} us cap")
+            }
+            WireError::ShipTooLarge { len, max } => {
+                write!(f, "shipped blob of {len} bytes exceeds the {max}-byte cap")
             }
         }
     }
@@ -437,6 +475,13 @@ pub enum WireFault {
         /// Rendered wire error.
         message: String,
     },
+    /// This replica does not own the request's shard under the peer set's
+    /// rendezvous placement. Carries the owning peer's address so a
+    /// shard-aware client can follow the redirect instead of guessing.
+    NotOwner {
+        /// The address of the peer that owns the shard.
+        owner: String,
+    },
 }
 
 impl From<&QcfeError> for WireFault {
@@ -516,6 +561,9 @@ impl std::fmt::Display for WireFault {
             ),
             WireFault::Store { message } => write!(f, "store error: {message}"),
             WireFault::BadRequest { message } => write!(f, "bad request: {message}"),
+            WireFault::NotOwner { owner } => {
+                write!(f, "shard not owned by this replica; owner is {owner}")
+            }
         }
     }
 }
@@ -532,17 +580,72 @@ pub struct WireResponse {
     pub outcome: Result<WireEstimate, WireFault>,
 }
 
+/// A shipped feature snapshot: the verbatim persisted `QCFS` v2 bytes of
+/// one `(benchmark, fingerprint)` environment, plus its knob vector (the
+/// `QVEC` sidecar content, so the receiver can serve nearest-fingerprint
+/// transfer for the environment too).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShipSnapshot {
+    /// Sender-chosen correlation id, echoed in the [`WireShipAck`].
+    pub request_id: u64,
+    /// The benchmark the snapshot belongs to.
+    pub benchmark: BenchmarkKind,
+    /// The environment fingerprint it is keyed under.
+    pub fingerprint: u64,
+    /// The environment's knob vector (may be empty when unknown).
+    pub knobs: Vec<f64>,
+    /// The verbatim `QCFS` v2 codec bytes (≤ [`MAX_SHIP_BYTES`]).
+    pub snapshot: Vec<u8>,
+}
+
+/// Shipped model weights: the verbatim persisted `QCFW` v2 bytes of one
+/// serving key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShipModel {
+    /// Sender-chosen correlation id, echoed in the [`WireShipAck`].
+    pub request_id: u64,
+    /// Serving key: benchmark.
+    pub benchmark: BenchmarkKind,
+    /// Serving key: estimator family.
+    pub estimator: EstimatorKind,
+    /// Serving key: environment fingerprint.
+    pub fingerprint: u64,
+    /// The verbatim `QCFW` v2 codec bytes (≤ [`MAX_SHIP_BYTES`]).
+    pub weights: Vec<u8>,
+}
+
+/// The receiver's answer to a ship frame. `accepted = false` means the
+/// payload failed the receiver's codec validation or store write — the
+/// artifact is *not* applied and `message` carries the rendered reason;
+/// the sender's connection stays healthy either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShipAck {
+    /// The correlation id echoed from the ship frame.
+    pub request_id: u64,
+    /// Whether the shipped artifact was validated and applied.
+    pub accepted: bool,
+    /// Rendered rejection reason (empty when accepted).
+    pub message: String,
+}
+
 /// Any decoded `QCFP` frame.
 ///
 /// The request side is boxed: a [`WireRequest`] carries a full
 /// [`DbEnvironment`] and plan tree inline, far larger than a response, and
-/// the enum would otherwise cost every response that padding.
+/// the enum would otherwise cost every response that padding. Ship frames
+/// are boxed for the same reason — they carry whole codec blobs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// A client-to-server request.
     Request(Box<WireRequest>),
     /// A server-to-client response.
     Response(WireResponse),
+    /// A peer-to-peer shipped snapshot.
+    ShipSnapshot(Box<WireShipSnapshot>),
+    /// A peer-to-peer shipped model.
+    ShipModel(Box<WireShipModel>),
+    /// A peer's answer to a ship frame.
+    ShipAck(WireShipAck),
 }
 
 // ---------------------------------------------------------------------------
@@ -599,6 +702,18 @@ impl Writer {
             });
         }
         self.u32(len as u32);
+        Ok(())
+    }
+
+    fn blob(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if bytes.len() > MAX_SHIP_BYTES {
+            return Err(WireError::ShipTooLarge {
+                len: bytes.len(),
+                max: MAX_SHIP_BYTES,
+            });
+        }
+        self.u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
         Ok(())
     }
 }
@@ -672,6 +787,17 @@ impl<'a> Reader<'a> {
             });
         }
         Ok(len)
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        if len > MAX_SHIP_BYTES {
+            return Err(WireError::ShipTooLarge {
+                len,
+                max: MAX_SHIP_BYTES,
+            });
+        }
+        Ok(self.take(len)?.to_vec())
     }
 
     fn finish(self) -> Result<(), WireError> {
@@ -1300,6 +1426,7 @@ const STATUS_MODEL_MISSING: u8 = 4;
 const STATUS_DEADLINE_EXCEEDED: u8 = 5;
 const STATUS_STORE: u8 = 6;
 const STATUS_BAD_REQUEST: u8 = 7;
+const STATUS_NOT_OWNER: u8 = 8;
 
 const ORIGIN_TRAINED_HERE: u8 = 0;
 const ORIGIN_TRANSFERRED: u8 = 1;
@@ -1385,6 +1512,10 @@ fn write_response_payload(w: &mut Writer, response: &WireResponse) -> Result<(),
                     w.u8(STATUS_BAD_REQUEST);
                     w.string(message)?;
                 }
+                WireFault::NotOwner { owner } => {
+                    w.u8(STATUS_NOT_OWNER);
+                    w.string(owner)?;
+                }
             }
             Ok(())
         }
@@ -1461,6 +1592,7 @@ fn read_response_payload(r: &mut Reader<'_>, request_id: u64) -> Result<WireResp
         STATUS_BAD_REQUEST => Err(WireFault::BadRequest {
             message: r.string()?,
         }),
+        STATUS_NOT_OWNER => Err(WireFault::NotOwner { owner: r.string()? }),
         tag => {
             return Err(WireError::UnknownTag {
                 what: "response-status",
@@ -1471,6 +1603,84 @@ fn read_response_payload(r: &mut Reader<'_>, request_id: u64) -> Result<WireResp
     Ok(WireResponse {
         request_id,
         outcome,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Replication (ship) payloads.
+// ---------------------------------------------------------------------------
+
+fn write_ship_snapshot_payload(w: &mut Writer, ship: &WireShipSnapshot) -> Result<(), WireError> {
+    w.u8(tag_in(&BenchmarkKind::ALL, ship.benchmark));
+    w.u64(ship.fingerprint);
+    w.list_len("knob-vector", ship.knobs.len())?;
+    for &knob in &ship.knobs {
+        w.f64(knob);
+    }
+    w.blob(&ship.snapshot)
+}
+
+fn read_ship_snapshot_payload(
+    r: &mut Reader<'_>,
+    request_id: u64,
+) -> Result<WireShipSnapshot, WireError> {
+    let benchmark = tag_out(&BenchmarkKind::ALL, r.u8()?, "benchmark")?;
+    let fingerprint = r.u64()?;
+    let knob_count = r.list_len("knob-vector")?;
+    let mut knobs = Vec::with_capacity(knob_count);
+    for _ in 0..knob_count {
+        knobs.push(r.f64()?);
+    }
+    let snapshot = r.blob()?;
+    Ok(WireShipSnapshot {
+        request_id,
+        benchmark,
+        fingerprint,
+        knobs,
+        snapshot,
+    })
+}
+
+fn write_ship_model_payload(w: &mut Writer, ship: &WireShipModel) -> Result<(), WireError> {
+    w.u8(tag_in(&BenchmarkKind::ALL, ship.benchmark));
+    w.u8(tag_in(&EstimatorKind::ALL, ship.estimator));
+    w.u64(ship.fingerprint);
+    w.blob(&ship.weights)
+}
+
+fn read_ship_model_payload(
+    r: &mut Reader<'_>,
+    request_id: u64,
+) -> Result<WireShipModel, WireError> {
+    Ok(WireShipModel {
+        request_id,
+        benchmark: tag_out(&BenchmarkKind::ALL, r.u8()?, "benchmark")?,
+        estimator: tag_out(&EstimatorKind::ALL, r.u8()?, "estimator")?,
+        fingerprint: r.u64()?,
+        weights: r.blob()?,
+    })
+}
+
+fn write_ship_ack_payload(w: &mut Writer, ack: &WireShipAck) -> Result<(), WireError> {
+    w.u8(ack.accepted as u8);
+    w.string(&ack.message)
+}
+
+fn read_ship_ack_payload(r: &mut Reader<'_>, request_id: u64) -> Result<WireShipAck, WireError> {
+    let accepted = match r.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "ship-ack-accepted",
+                tag,
+            })
+        }
+    };
+    Ok(WireShipAck {
+        request_id,
+        accepted,
+        message: r.string()?,
     })
 }
 
@@ -1512,6 +1722,27 @@ pub fn encode_response(response: &WireResponse) -> Result<Vec<u8>, WireError> {
     let mut w = Writer::new();
     write_response_payload(&mut w, response)?;
     frame(FRAME_RESPONSE, response.request_id, &w.buf)
+}
+
+/// Encode one ship-snapshot frame.
+pub fn encode_ship_snapshot(ship: &WireShipSnapshot) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer::new();
+    write_ship_snapshot_payload(&mut w, ship)?;
+    frame(FRAME_SHIP_SNAPSHOT, ship.request_id, &w.buf)
+}
+
+/// Encode one ship-model frame.
+pub fn encode_ship_model(ship: &WireShipModel) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer::new();
+    write_ship_model_payload(&mut w, ship)?;
+    frame(FRAME_SHIP_MODEL, ship.request_id, &w.buf)
+}
+
+/// Encode one ship-acknowledgement frame.
+pub fn encode_ship_ack(ack: &WireShipAck) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer::new();
+    write_ship_ack_payload(&mut w, ack)?;
+    frame(FRAME_SHIP_ACK, ack.request_id, &w.buf)
 }
 
 /// Incremental frame delimiting for stream readers: given the bytes
@@ -1577,6 +1808,13 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
     let frame = match kind {
         FRAME_REQUEST => Frame::Request(Box::new(read_request_payload(&mut r, request_id)?)),
         FRAME_RESPONSE => Frame::Response(read_response_payload(&mut r, request_id)?),
+        FRAME_SHIP_SNAPSHOT => {
+            Frame::ShipSnapshot(Box::new(read_ship_snapshot_payload(&mut r, request_id)?))
+        }
+        FRAME_SHIP_MODEL => {
+            Frame::ShipModel(Box::new(read_ship_model_payload(&mut r, request_id)?))
+        }
+        FRAME_SHIP_ACK => Frame::ShipAck(read_ship_ack_payload(&mut r, request_id)?),
         kind => return Err(WireError::UnknownFrameKind(kind)),
     };
     r.finish()?;

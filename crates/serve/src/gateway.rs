@@ -69,12 +69,13 @@ use crate::error::QcfeError;
 use crate::metrics::{MetricsSnapshot, TenantLane};
 use crate::refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 use crate::registry::{EvictedModel, ModelKey, ModelRegistry, ModelSource, RegistryStats};
+use crate::replica::{ReplicaSet, ReplicationSink, ShipEvent};
 use crate::request::{EstimateRequest, EstimateResponse, Provenance, SnapshotOrigin};
 use crate::sched::{SchedPolicy, TenantId};
 use crate::service::{
     CompletionNotify, EstimationService, PendingEstimate, ServiceConfig, ServiceHandle, SubmitSpec,
 };
-use crate::store::SnapshotStore;
+use crate::store::{SnapshotStore, StoreError};
 use crate::LruCache;
 use qcfe_core::cost_model::CostModel;
 use qcfe_core::estimators::PgEstimator;
@@ -82,7 +83,7 @@ use qcfe_core::model_codec::PersistedModel;
 use qcfe_core::pipeline::EstimatorKind;
 use qcfe_core::snapshot::{operator_samples, FeatureSnapshot, OperatorSample};
 use qcfe_db::executor::ExecutedQuery;
-use qcfe_db::DbEnvironment;
+use qcfe_db::{DbEnvironment, EnvFingerprint};
 use qcfe_workloads::BenchmarkKind;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -168,6 +169,8 @@ struct GatewayCounters {
     labels_recorded: AtomicU64,
     refits: AtomicU64,
     promotions: AtomicU64,
+    ships_emitted: AtomicU64,
+    ships_applied: AtomicU64,
 }
 
 /// A point-in-time view of the gateway's routing activity.
@@ -205,12 +208,24 @@ pub struct GatewayStats {
     /// Table VII transfer loops. At most one per shard start, never
     /// reversed.
     pub promotions: u64,
+    /// Replication events handed to the configured
+    /// [`ReplicationSink`] (published snapshots and models plus
+    /// online refits). Zero when replication is not configured.
+    pub ships_emitted: u64,
+    /// Shipped peer states absorbed through
+    /// [`QcfeGateway::apply_shipped_snapshot`] /
+    /// [`QcfeGateway::apply_shipped_model`] — each one persisted through
+    /// the same codecs the shipping peer wrote, so the absorbed state is
+    /// bit-identical or rejected typed.
+    pub ships_applied: u64,
     /// The owned model registry's lookup/eviction statistics.
     pub registry: RegistryStats,
     /// Per-tenant scheduling lanes aggregated across every resident shard
-    /// (counters summed; queue-wait percentiles reported as the worst
-    /// resident shard's value per tenant), sorted by tenant id. Empty
-    /// until a non-anonymous tenant submits or a
+    /// (counters summed; queue-wait percentiles re-quantiled from the
+    /// bucket-wise sum of the shards' wait histograms via
+    /// [`TenantLane::merge_from`], so a tenant's pooled p50 reflects all
+    /// of its waits rather than the worst shard's), sorted by tenant id.
+    /// Empty until a non-anonymous tenant submits or a
     /// [`GatewayBuilder::scheduling`] policy is enabled.
     pub tenants: Vec<TenantLane>,
 }
@@ -227,6 +242,8 @@ pub struct GatewayBuilder {
     max_shards: usize,
     model_provider: Option<Arc<ModelProvider>>,
     preregistered: Vec<(ModelKey, Arc<dyn CostModel>)>,
+    replicas: Option<Arc<ReplicaSet>>,
+    ship_sink: Option<Arc<dyn ReplicationSink>>,
 }
 
 impl GatewayBuilder {
@@ -241,6 +258,8 @@ impl GatewayBuilder {
             max_shards: 16,
             model_provider: None,
             preregistered: Vec::new(),
+            replicas: None,
+            ship_sink: None,
         }
     }
 
@@ -302,6 +321,24 @@ impl GatewayBuilder {
         self
     }
 
+    /// Join a replica set: `replicas` is this node's view of the static
+    /// peer set (rendezvous placement + liveness mask), `sink` receives a
+    /// [`ShipEvent`] for every snapshot/model publish and every online
+    /// refit — the exact persisted `QCFS`/`QCFW` bytes, fire-and-forget,
+    /// so peers can absorb this node's shards bit-identically if it dies.
+    /// Shipping is strictly after the local persist (the same
+    /// persist-before-swap anchor refinement uses), so a shipped state is
+    /// never ahead of the shipper's disk.
+    pub fn replication(
+        mut self,
+        replicas: Arc<ReplicaSet>,
+        sink: Arc<dyn ReplicationSink>,
+    ) -> Self {
+        self.replicas = Some(replicas);
+        self.ship_sink = Some(sink);
+        self
+    }
+
     /// Open the snapshot store and assemble the gateway.
     ///
     /// The owned registry gets a default disk-backed loader over the
@@ -348,6 +385,8 @@ impl GatewayBuilder {
             refinement: self.refinement.normalized(),
             model_provider: self.model_provider,
             counters,
+            replicas: self.replicas,
+            ship_sink: self.ship_sink,
         };
         for (key, model) in self.preregistered {
             gateway.register_model(key, model);
@@ -367,6 +406,8 @@ pub struct QcfeGateway {
     refinement: RefinementConfig,
     model_provider: Option<Arc<ModelProvider>>,
     counters: Arc<GatewayCounters>,
+    replicas: Option<Arc<ReplicaSet>>,
+    ship_sink: Option<Arc<dyn ReplicationSink>>,
 }
 
 impl std::fmt::Debug for QcfeGateway {
@@ -692,6 +733,10 @@ impl QcfeGateway {
         // only be fresher. The knob vector rides along, making the refined
         // environment a transfer candidate for its own future neighbours.
         self.store.save_env(benchmark, environment, &candidate)?;
+        // Shipping reuses the exact bytes just persisted — the QCFS codec
+        // IS the replication format — and runs strictly after the local
+        // persist, so a peer can never hold state this node's disk lacks.
+        self.ship_snapshot(benchmark, environment, &candidate);
         shard.handle.install_snapshot(Some(Arc::new(candidate)));
         self.counters.refits.fetch_add(1, Ordering::Relaxed);
         outcome.refits += 1;
@@ -718,7 +763,9 @@ impl QcfeGateway {
         environment: &DbEnvironment,
         snapshot: &FeatureSnapshot,
     ) -> Result<PathBuf, QcfeError> {
-        Ok(self.store.save_env(benchmark, environment, snapshot)?)
+        let path = self.store.save_env(benchmark, environment, snapshot)?;
+        self.ship_snapshot(benchmark, environment, snapshot);
+        Ok(path)
     }
 
     /// Publish a trained model: persist its weights as a `QCFW` sidecar in
@@ -733,6 +780,10 @@ impl QcfeGateway {
         let path = self
             .store
             .save_model(key.benchmark, key.estimator, key.fingerprint, &model)?;
+        self.ship(ShipEvent::Model {
+            key,
+            weights: model.to_bytes(),
+        });
         self.register_model(key, model.into_cost_model());
         Ok(path)
     }
@@ -767,6 +818,93 @@ impl QcfeGateway {
         evicted
     }
 
+    /// This node's view of the replica set, when replication is
+    /// configured via [`GatewayBuilder::replication`].
+    pub fn replicas(&self) -> Option<&Arc<ReplicaSet>> {
+        self.replicas.as_ref()
+    }
+
+    /// Hand a replication event to the configured sink (fire-and-forget;
+    /// a no-op without one). Never fails and never blocks serving.
+    fn ship(&self, event: ShipEvent) {
+        if let Some(sink) = &self.ship_sink {
+            self.counters.ships_emitted.fetch_add(1, Ordering::Relaxed);
+            sink.ship(event);
+        }
+    }
+
+    /// Ship an environment's just-persisted snapshot state: the exact
+    /// `QCFS` bytes plus the knob vector that makes the fingerprint a
+    /// transfer candidate on the receiving peer.
+    fn ship_snapshot(
+        &self,
+        benchmark: BenchmarkKind,
+        environment: &DbEnvironment,
+        snapshot: &FeatureSnapshot,
+    ) {
+        if self.ship_sink.is_none() {
+            return;
+        }
+        self.ship(ShipEvent::Snapshot {
+            benchmark,
+            fingerprint: environment.fingerprint(),
+            snapshot: snapshot.to_bytes(),
+            knobs: environment.knob_vector(),
+        });
+    }
+
+    /// Absorb a peer's shipped snapshot state: decode the `QCFS` bytes
+    /// through the same codec the shipping peer persisted with (corrupt or
+    /// truncated payloads are rejected typed, nothing is written), persist
+    /// snapshot + knob vector locally, and swap the snapshot into any
+    /// resident shard of the fingerprint so a shard this node is already
+    /// serving converges without a restart. Deliberately does **not**
+    /// re-ship — publish and refit are the only producers, so shipped
+    /// state cannot echo between peers.
+    pub fn apply_shipped_snapshot(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+        snapshot_bytes: &[u8],
+        knobs: &[f64],
+    ) -> Result<(), QcfeError> {
+        let snapshot = FeatureSnapshot::from_bytes(snapshot_bytes).map_err(StoreError::from)?;
+        self.store.save(benchmark, fingerprint, &snapshot)?;
+        self.store.save_vector(benchmark, fingerprint, knobs)?;
+        let residents: Vec<Arc<Shard>> = {
+            let shards = self.shards.lock().expect("shard map poisoned");
+            shards
+                .keys_by_recency()
+                .into_iter()
+                .filter(|key| key.benchmark == benchmark && key.fingerprint == fingerprint)
+                .filter_map(|key| shards.peek(&key).map(Arc::clone))
+                .collect()
+        };
+        if !residents.is_empty() {
+            let shared = Arc::new(snapshot);
+            for shard in residents {
+                shard.handle.install_snapshot(Some(Arc::clone(&shared)));
+            }
+        }
+        self.counters.ships_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Absorb a peer's shipped model weights: decode the `QCFW` bytes
+    /// through the persistence codec (checksum-verified — corrupt weights
+    /// are rejected typed, nothing is written), persist the sidecar
+    /// locally and register the model under its serving key, so this node
+    /// serves the peer's estimates bit-identically if the peer dies. Does
+    /// not re-ship (see [`QcfeGateway::apply_shipped_snapshot`]).
+    pub fn apply_shipped_model(&self, key: ModelKey, weights: &[u8]) -> Result<(), QcfeError> {
+        let model = PersistedModel::from_bytes(weights).map_err(StoreError::from)?;
+        self.store
+            .save_model(key.benchmark, key.estimator, key.fingerprint, &model)?;
+        self.register_model(key, model.into_cost_model());
+        self.counters.ships_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// The gateway's routing statistics.
     pub fn stats(&self) -> GatewayStats {
         GatewayStats {
@@ -782,14 +920,18 @@ impl QcfeGateway {
             labels_recorded: self.counters.labels_recorded.load(Ordering::Relaxed),
             refits: self.counters.refits.load(Ordering::Relaxed),
             promotions: self.counters.promotions.load(Ordering::Relaxed),
+            ships_emitted: self.counters.ships_emitted.load(Ordering::Relaxed),
+            ships_applied: self.counters.ships_applied.load(Ordering::Relaxed),
             registry: self.registry.stats(),
         }
     }
 
     /// Per-tenant scheduling lanes merged across every resident shard:
-    /// counters are summed, queue-wait percentiles report the worst
-    /// resident shard per tenant (a conservative bound — per-shard
-    /// histograms cannot be re-quantiled exactly).
+    /// counters are summed and the queue-wait percentiles are re-quantiled
+    /// from the bucket-wise sum of the shards' wait histograms
+    /// ([`TenantLane::merge_from`]) — never the `.max()` of any one shard,
+    /// which would let a lightly-used slow shard mask where the tenant's
+    /// traffic actually waits.
     fn tenant_lanes(&self) -> Vec<TenantLane> {
         let shards: Vec<Arc<Shard>> = {
             let map = self.shards.lock().expect("shard map poisoned");
@@ -804,15 +946,7 @@ impl QcfeGateway {
             for lane in shard.handle.metrics().tenants {
                 merged
                     .entry(lane.tenant)
-                    .and_modify(|m| {
-                        m.admitted += lane.admitted;
-                        m.shed_quota += lane.shed_quota;
-                        m.shed_deadline += lane.shed_deadline;
-                        m.batches_formed += lane.batches_formed;
-                        m.p50_wait_us = m.p50_wait_us.max(lane.p50_wait_us);
-                        m.p95_wait_us = m.p95_wait_us.max(lane.p95_wait_us);
-                        m.p99_wait_us = m.p99_wait_us.max(lane.p99_wait_us);
-                    })
+                    .and_modify(|m| m.merge_from(&lane))
                     .or_insert(lane);
             }
         }

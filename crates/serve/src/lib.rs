@@ -66,6 +66,16 @@
 //!   scheduling on, per-tenant [`metrics::TenantLane`]s (admitted,
 //!   shed_quota, shed_deadline, batches_formed, queue-wait percentiles)
 //!   make fairness measurable rather than asserted.
+//! * [`replica`] — replicated serving across a static peer set:
+//!   rendezvous (HRW) shard placement over `(benchmark, estimator,
+//!   fingerprint)` keys with an advisory liveness mask
+//!   ([`replica::ReplicaSet`]), and fire-and-forget state shipping
+//!   ([`replica::ShipEvent`] through a [`replica::ReplicationSink`]) of
+//!   the exact persisted `QCFS`/`QCFW` bytes on every publish and refit,
+//!   so surviving peers can absorb a dead peer's shards bit-identically
+//!   ([`gateway::QcfeGateway::apply_shipped_snapshot`] /
+//!   [`gateway::QcfeGateway::apply_shipped_model`]). The network layer
+//!   (`qcfe-net`) provides the QCFP transport and failover routing.
 //!
 //! ## Quick start
 //!
@@ -108,6 +118,7 @@ pub mod lru;
 pub mod metrics;
 pub mod refine;
 pub mod registry;
+pub mod replica;
 pub mod request;
 pub mod sched;
 pub mod service;
@@ -124,6 +135,7 @@ pub use refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 pub use registry::{
     EvictedModel, ModelKey, ModelLoader, ModelRegistry, ModelSource, RegistryStats, ResolvedModel,
 };
+pub use replica::{ReplicaError, ReplicaSet, ReplicationSink, ShipEvent};
 pub use request::{EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin};
 pub use sched::{SchedPolicy, TenantId, TenantQuota};
 pub use service::{
@@ -139,6 +151,7 @@ pub mod prelude {
     pub use crate::metrics::{MetricsSnapshot, TenantLane};
     pub use crate::refine::{FeedbackOutcome, RefinementConfig};
     pub use crate::registry::{ModelKey, ModelRegistry};
+    pub use crate::replica::{ReplicaSet, ReplicationSink, ShipEvent};
     pub use crate::request::{
         EstimateRequest, EstimateResponse, Provenance, RequestOptions, SnapshotOrigin,
     };

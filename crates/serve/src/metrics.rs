@@ -18,8 +18,32 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Number of power-of-two latency buckets.
-const BUCKETS: usize = 40;
+/// Number of power-of-two latency buckets (public so cross-shard
+/// aggregators can carry and merge raw histograms).
+pub const BUCKETS: usize = 40;
+
+/// Latency percentile (0–100) from a power-of-two bucket histogram, in
+/// microseconds (geometric midpoint of the bucket holding the target
+/// rank). The one percentile function of the crate: per-shard snapshots
+/// and cross-shard merges both read through it, so a merged histogram
+/// and a single-shard histogram with the same counts report the same
+/// percentile.
+pub fn percentile_from_buckets(counts: &[u64; BUCKETS], p: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            // geometric midpoint of bucket [2^i, 2^(i+1))
+            return (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+        }
+    }
+    (1u64 << (BUCKETS - 1)) as f64
+}
 
 /// Live metrics of one [`crate::service::EstimationService`].
 #[derive(Debug)]
@@ -175,20 +199,7 @@ impl ServiceMetrics {
 
     /// Latency percentile (0–100) from the histogram, in microseconds.
     fn percentile_us(&self, counts: &[u64; BUCKETS], p: f64) -> f64 {
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let target = (p / 100.0 * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // geometric midpoint of bucket [2^i, 2^(i+1))
-                return (1u64 << i) as f64 * std::f64::consts::SQRT_2;
-            }
-        }
-        (1u64 << (BUCKETS - 1)) as f64
+        percentile_from_buckets(counts, p)
     }
 
     /// A consistent-enough snapshot of all counters.
@@ -248,6 +259,7 @@ impl ServiceMetrics {
                 p50_wait_us: self.percentile_us(&counters.wait_buckets, 50.0).round() as u64,
                 p95_wait_us: self.percentile_us(&counters.wait_buckets, 95.0).round() as u64,
                 p99_wait_us: self.percentile_us(&counters.wait_buckets, 99.0).round() as u64,
+                wait_buckets: counters.wait_buckets,
             })
             .collect();
         tenants.sort_by_key(|lane| lane.tenant);
@@ -279,6 +291,32 @@ pub struct TenantLane {
     pub p95_wait_us: u64,
     /// 99th-percentile queue wait (µs).
     pub p99_wait_us: u64,
+    /// The raw power-of-two queue-wait histogram behind the percentiles.
+    /// Carried in the snapshot so cross-shard aggregation can sum
+    /// histograms bucket-wise and recompute percentiles over the merged
+    /// distribution — taking the max (or average) of per-shard
+    /// percentiles is statistically wrong whenever shards see different
+    /// latency regimes.
+    pub wait_buckets: [u64; BUCKETS],
+}
+
+impl TenantLane {
+    /// Fold another shard's lane for the same tenant into this one:
+    /// counters sum, histograms sum bucket-wise, and the percentiles are
+    /// recomputed from the merged histogram.
+    pub fn merge_from(&mut self, other: &TenantLane) {
+        debug_assert_eq!(self.tenant, other.tenant, "merging lanes across tenants");
+        self.admitted += other.admitted;
+        self.shed_quota += other.shed_quota;
+        self.shed_deadline += other.shed_deadline;
+        self.batches_formed += other.batches_formed;
+        for (mine, theirs) in self.wait_buckets.iter_mut().zip(other.wait_buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.p50_wait_us = percentile_from_buckets(&self.wait_buckets, 50.0).round() as u64;
+        self.p95_wait_us = percentile_from_buckets(&self.wait_buckets, 95.0).round() as u64;
+        self.p99_wait_us = percentile_from_buckets(&self.wait_buckets, 99.0).round() as u64;
+    }
 }
 
 /// A point-in-time view of [`ServiceMetrics`].
@@ -402,6 +440,68 @@ mod tests {
             lane.p50_wait_us
         );
         assert!(lane.p99_wait_us >= lane.p50_wait_us);
+    }
+
+    #[test]
+    fn cross_shard_merge_sums_histograms_in_disjoint_regimes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x51ab);
+        let tenant = TenantId(7);
+        for case in 0..200 {
+            // Two shards in disjoint latency regimes: one entirely fast
+            // (µs-scale waits), one entirely slow (tens of ms).
+            let fast = ServiceMetrics::new();
+            let slow = ServiceMetrics::new();
+            let n_fast = rng.gen_range(1..200usize);
+            let n_slow = rng.gen_range(1..200usize);
+            for _ in 0..n_fast {
+                fast.record_tenant_admit(tenant);
+                fast.record_tenant_wait(tenant, rng.gen_range(8.0..64.0));
+            }
+            for _ in 0..n_slow {
+                slow.record_tenant_admit(tenant);
+                slow.record_tenant_wait(tenant, rng.gen_range(65_536.0..1_048_576.0));
+            }
+            let fast_lane = fast.snapshot().tenants[0];
+            let slow_lane = slow.snapshot().tenants[0];
+            let mut merged = fast_lane;
+            merged.merge_from(&slow_lane);
+
+            // The merged percentiles must equal percentiles over the
+            // bucket-wise pooled histogram — never the max (or average)
+            // of per-shard percentiles.
+            let mut pooled = [0u64; BUCKETS];
+            for (i, bucket) in pooled.iter_mut().enumerate() {
+                *bucket = fast_lane.wait_buckets[i] + slow_lane.wait_buckets[i];
+            }
+            assert_eq!(merged.wait_buckets, pooled, "case {case}");
+            assert_eq!(merged.admitted, (n_fast + n_slow) as u64, "case {case}");
+            for p in [50.0, 95.0, 99.0] {
+                let want = percentile_from_buckets(&pooled, p).round() as u64;
+                let got = match p as u64 {
+                    50 => merged.p50_wait_us,
+                    95 => merged.p95_wait_us,
+                    _ => merged.p99_wait_us,
+                };
+                assert_eq!(got, want, "case {case} p{p}");
+            }
+            assert!(merged.p50_wait_us <= merged.p95_wait_us, "case {case}");
+            assert!(merged.p95_wait_us <= merged.p99_wait_us, "case {case}");
+
+            // The regression shape: a minority slow shard must not drag
+            // the merged median into the slow regime, which is exactly
+            // what a `.max()` merge of per-shard p50s did.
+            if 2 * n_slow < n_fast {
+                assert!(
+                    merged.p50_wait_us < 1024,
+                    "case {case}: median {}µs leaked into the slow regime \
+                     (max-style merge would report {}µs)",
+                    merged.p50_wait_us,
+                    fast_lane.p50_wait_us.max(slow_lane.p50_wait_us)
+                );
+            }
+        }
     }
 
     #[test]

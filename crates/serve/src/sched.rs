@@ -93,6 +93,35 @@ impl TenantQuota {
             max_queued,
         }
     }
+
+    /// The bucket capacity the token bucket actually enforces. A finite
+    /// `burst` is used as-is; a non-finite `burst` (infinite or NaN)
+    /// combined with a *finite* rate defaults to one second of refill
+    /// (at least one request) so the sustained rate still limits — a
+    /// tenant must never escape a finite rate by configuring an infinite
+    /// burst. Only with the rate non-finite too is the bucket unbounded.
+    pub fn effective_burst(&self) -> f64 {
+        if self.burst.is_finite() {
+            self.burst
+        } else if self.rate_per_s.is_finite() {
+            self.rate_per_s.max(1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The bucket capacity as a request count, for `QueueFull { limit }`
+    /// faults. Well-defined for every quota: non-finite capacities report
+    /// `usize::MAX` (unlimited) instead of relying on float-cast
+    /// saturation of `ceil()` on infinity or NaN.
+    pub fn limit_requests(&self) -> usize {
+        let cap = self.effective_burst();
+        if cap.is_finite() {
+            cap.max(0.0).ceil() as usize
+        } else {
+            usize::MAX
+        }
+    }
 }
 
 impl Default for TenantQuota {
@@ -232,20 +261,22 @@ impl AdmissionControl {
         quota: &TenantQuota,
         now: Instant,
     ) -> Result<(), AdmitError> {
+        let cap = quota.effective_burst();
         let lane = self.lanes.entry(tenant).or_insert_with(|| LaneState {
-            tokens: if quota.burst.is_finite() {
-                quota.burst
-            } else {
-                f64::MAX
-            },
+            tokens: if cap.is_finite() { cap } else { f64::MAX },
             refilled_at: now,
             queued: 0,
         });
-        if quota.rate_per_s.is_finite() && quota.burst.is_finite() {
+        if quota.rate_per_s.is_finite() {
+            // A finite rate limits regardless of the configured burst:
+            // with a non-finite burst the bucket cap merely defaults to
+            // one second of refill (`effective_burst`). The old
+            // both-finite condition let `rate + infinite burst` pin the
+            // bucket at `f64::MAX` and disabled rate limiting entirely.
             let dt = now
                 .saturating_duration_since(lane.refilled_at)
                 .as_secs_f64();
-            lane.tokens = (lane.tokens + dt * quota.rate_per_s).min(quota.burst);
+            lane.tokens = (lane.tokens + dt * quota.rate_per_s).min(cap);
         } else {
             // Unlimited rate: keep the bucket brim-full (finite, so the
             // arithmetic below can never produce NaN).
@@ -261,7 +292,7 @@ impl AdmissionControl {
         if lane.tokens < 1.0 {
             return Err(AdmitError::RateExceeded {
                 depth: lane.queued,
-                limit: quota.burst.ceil() as usize,
+                limit: quota.limit_requests(),
             });
         }
         lane.tokens -= 1.0;
@@ -581,6 +612,60 @@ mod tests {
         admission.release(tenant);
         assert_eq!(admission.queued(tenant), 1);
         assert!(admission.try_admit(tenant, &quota, base).is_ok());
+    }
+
+    #[test]
+    fn finite_rate_with_infinite_burst_still_rate_limits() {
+        // Regression: the bucket only refilled when *both* rate and burst
+        // were finite, and an infinite burst seeded `tokens = f64::MAX` —
+        // a finite rate with an infinite burst therefore never rejected.
+        let base = t0();
+        let quota = TenantQuota::new(5.0, f64::INFINITY, usize::MAX);
+        let mut admission = AdmissionControl::new();
+        let tenant = TenantId(3);
+        // The effective bucket is one second of refill: five admissions.
+        for i in 0..5 {
+            assert!(
+                admission.try_admit(tenant, &quota, base).is_ok(),
+                "admission {i} fits the one-second bucket"
+            );
+        }
+        match admission.try_admit(tenant, &quota, base) {
+            Err(AdmitError::RateExceeded { limit, .. }) => assert_eq!(limit, 5),
+            other => panic!("expected RateExceeded, got {other:?}"),
+        }
+        // 400 ms at 5/s refills two tokens — and only two.
+        let later = base + Duration::from_millis(400);
+        assert!(admission.try_admit(tenant, &quota, later).is_ok());
+        assert!(admission.try_admit(tenant, &quota, later).is_ok());
+        assert!(matches!(
+            admission.try_admit(tenant, &quota, later),
+            Err(AdmitError::RateExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_burst_limits_are_well_defined() {
+        // `limit_requests` replaces the raw `burst.ceil() as usize`,
+        // which was ill-defined for infinity and NaN bursts.
+        assert_eq!(TenantQuota::new(3.2, f64::INFINITY, 4).limit_requests(), 4);
+        assert_eq!(TenantQuota::new(3.2, f64::NAN, 4).limit_requests(), 4);
+        assert_eq!(TenantQuota::new(0.4, f64::INFINITY, 4).limit_requests(), 1);
+        assert_eq!(TenantQuota::new(f64::INFINITY, 7.5, 1).limit_requests(), 8);
+        assert_eq!(TenantQuota::unlimited().limit_requests(), usize::MAX);
+        assert!(TenantQuota::unlimited().effective_burst().is_infinite());
+
+        // A NaN burst behaves exactly like an infinite one: the finite
+        // rate still limits.
+        let base = t0();
+        let quota = TenantQuota::new(2.0, f64::NAN, usize::MAX);
+        let mut admission = AdmissionControl::new();
+        assert!(admission.try_admit(TenantId(4), &quota, base).is_ok());
+        assert!(admission.try_admit(TenantId(4), &quota, base).is_ok());
+        assert!(matches!(
+            admission.try_admit(TenantId(4), &quota, base),
+            Err(AdmitError::RateExceeded { limit: 2, .. })
+        ));
     }
 
     #[test]

@@ -23,8 +23,9 @@ pub mod template;
 pub mod tpch;
 
 pub use loadgen::{
-    run_closed_loop, run_feedback_loop, run_multi_tenant_mix, ClosedLoopConfig, FeedbackReport,
-    LoadReport, MultiTenantReport, ObservedEstimate, SubmitError, TenantLoad, TenantLoadReport,
+    run_closed_loop, run_feedback_loop, run_multi_tenant_mix, run_timed_loop, ClosedLoopConfig,
+    FeedbackReport, LoadReport, MultiTenantReport, ObservedEstimate, SubmitError, TenantLoad,
+    TenantLoadReport,
 };
 pub use template::{Benchmark, ParamDomain, ParamOp, PredicateSpec, QueryTemplate};
 

@@ -146,6 +146,65 @@ where
     }
 }
 
+/// Drive `submit` from `clients` closed-loop threads for (at least)
+/// `duration` of wall clock, instead of a fixed request count.
+///
+/// This is the shape failure drills want: the load keeps flowing *while*
+/// something is done to the serving side (a replica killed, a config
+/// flipped), and the report captures every request issued across the
+/// event. Each client checks the clock between requests, so the run ends
+/// one in-flight request after the duration elapses — `submit` must
+/// therefore fail typed rather than hang for the bound to hold.
+pub fn run_timed_loop<F>(
+    benchmark: &Benchmark,
+    clients: usize,
+    duration: Duration,
+    seed: u64,
+    submit: F,
+) -> LoadReport
+where
+    F: Fn(qcfe_db::query::Query) -> Result<f64, String> + Send + Sync,
+{
+    let results: Mutex<(Vec<f64>, Vec<f64>, usize)> = Mutex::new((Vec::new(), Vec::new(), 0));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let submit = &submit;
+            let results = &results;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(client as u64));
+                let mut latencies = Vec::new();
+                let mut estimates = Vec::new();
+                let mut errors = 0usize;
+                while start.elapsed() < duration {
+                    let query = benchmark.random_query(&mut rng);
+                    let issued = Instant::now();
+                    match submit(query) {
+                        Ok(estimate) => {
+                            latencies.push(issued.elapsed().as_secs_f64() * 1e3);
+                            estimates.push(estimate);
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                let mut all = results.lock().expect("loadgen results poisoned");
+                all.0.extend(latencies);
+                all.1.extend(estimates);
+                all.2 += errors;
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let (latencies_ms, estimates, errors) = results.into_inner().expect("loadgen results poisoned");
+    LoadReport {
+        wall_s,
+        completed: latencies_ms.len(),
+        errors,
+        latencies_ms,
+        estimates,
+    }
+}
+
 /// One tenant's lane in a [`run_multi_tenant_mix`] run.
 ///
 /// The tenant id is a plain `u32` (this crate sits below the serving

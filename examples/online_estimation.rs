@@ -26,6 +26,14 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 fn main() {
+    // The walkthrough's story starts from an empty store: the "unseen"
+    // environment must warm-start by *transfer* from its nearest
+    // neighbour. A previous run's refinement loop persisted that
+    // environment's own refit snapshot here, which would short-circuit
+    // the transfer (exact-fingerprint hit, origin TrainedHere, no
+    // promotion) — so wipe the directory and make the demo re-runnable.
+    let _ = std::fs::remove_dir_all("target/snapshots");
+
     // 1. Offline phase: label a workload, fit snapshots, train the model.
     let kind = BenchmarkKind::Sysbench;
     println!("== offline phase: preparing {} context ==", kind.name());
