@@ -27,7 +27,14 @@
 //! the survivors to absorb the dead peer's keys from shipped
 //! `QCFS`/`QCFW` state (asserted: the loop keeps completing requests,
 //! post-failover estimates are bit-identical, no shipped state is
-//! rejected).
+//! rejected), and a revival section exercising the anti-entropy
+//! catch-up handshake: the owner of the loaded shard is killed, its
+//! key's snapshot and model are re-published on the failover owner
+//! during the outage, and the victim is restarted over its stale store
+//! mid-load — reporting the catch-up latency (restart to promotion on
+//! every survivor) and gating **zero stale reads** (every networked
+//! answer bit-identical to the re-publishing owner's) plus both
+//! divergent artifacts re-shipped.
 //!
 //! Emits the standard report JSON under `target/experiments/` and a
 //! machine-readable `BENCH_serve.json` at the workspace root so future PRs
@@ -67,6 +74,7 @@ use qcfe_workloads::{
 };
 use rand::SeedableRng;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -1499,6 +1507,345 @@ fn main() {
         repl_run.throughput_qps(),
         repl_run.completed,
         repl_run.errors,
+    );
+
+    // ---------------------------------------------------------------
+    // Revival: the anti-entropy drill. Three store-backed replicas
+    // converge; the owner of the loaded shard is killed; while it is
+    // down, its key's snapshot and model are re-published on the
+    // failover owner, leaving the victim's disk stale; the victim is
+    // restarted over that stale store mid-load. Reported: catch-up
+    // latency (restart -> promoted on every survivor) and keys
+    // re-shipped. Asserted: zero stale reads (every networked answer
+    // bit-identical to the re-publishing owner's at that moment),
+    // promotion on every survivor, the divergent snapshot + weights
+    // both re-shipped, and the revived server answering manifests.
+    // ---------------------------------------------------------------
+    eprintln!("[serve] revival: re-publish during outage, revive mid-load...");
+    let rev_peers: Vec<String> = {
+        let listeners: Vec<TcpListener> = (0..REPLICAS)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral"))
+            .collect();
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("local addr").to_string())
+            .collect()
+    };
+    let rev_roots: Vec<_> = (0..REPLICAS)
+        .map(|i| {
+            let root = std::env::temp_dir().join(format!(
+                "qcfe-serve-bench-rev-{i}-{}-{seed}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            root
+        })
+        .collect();
+    // One node = liveness set + store-backed (anti-entropy) replicator +
+    // gateway + server; the victim is revived through the same
+    // constructor, over the same (now stale) directory.
+    let start_rev_node = |i: usize| {
+        let set = Arc::new(ReplicaSet::new(rev_peers.clone(), i).expect("replica set"));
+        let replicator = Replicator::with_store(
+            Arc::clone(&set),
+            ReplicatorConfig {
+                heartbeat: Duration::from_millis(100),
+                connect_timeout: Duration::from_millis(100),
+                ..ReplicatorConfig::default()
+            },
+            SnapshotStore::open(&rev_roots[i]).expect("store opens"),
+        );
+        let gateway = Arc::new(
+            QcfeGateway::builder(&rev_roots[i])
+                .service_config(shard_config)
+                .replication(Arc::clone(&set), replicator.sink())
+                .build()
+                .expect("replica gateway builds"),
+        );
+        let server = NetServerBuilder::new(Arc::clone(&gateway))
+            .tcp(rev_peers[i].clone())
+            .replica(Arc::clone(&set))
+            .max_connections(64)
+            .start()
+            .expect("replica server starts");
+        (set, replicator, gateway, server)
+    };
+    let mut rev_sets = Vec::new();
+    let mut rev_replicators = Vec::new();
+    let mut rev_gateways = Vec::new();
+    let mut rev_servers: Vec<Option<_>> = Vec::new();
+    for i in 0..REPLICAS {
+        let (set, replicator, gateway, server) = start_rev_node(i);
+        rev_sets.push(set);
+        rev_replicators.push(Some(replicator));
+        rev_gateways.push(gateway);
+        rev_servers.push(Some(server));
+    }
+
+    // One loaded key is enough: publish environment 0 through its owner
+    // and wait until every store holds snapshot + weights.
+    let rev_key = repl_keys[0];
+    let rev_victim = owner_among(&rev_peers, &rev_key).expect("placed");
+    let rev_survivors: Vec<usize> = (0..REPLICAS).filter(|&i| i != rev_victim).collect();
+    let rev_heir = {
+        let survivor_addrs: Vec<String> = rev_survivors
+            .iter()
+            .map(|&s| rev_peers[s].clone())
+            .collect();
+        rev_survivors[owner_among(&survivor_addrs, &rev_key).expect("placed")]
+    };
+    rev_gateways[rev_victim]
+        .publish_snapshot(kind, &ctx.workload.environments[0], &snapshots[0])
+        .expect("snapshot published");
+    rev_gateways[rev_victim]
+        .publish_model(rev_key, PersistedModel::Mscn(mscn_for_restart.clone()))
+        .expect("weights published");
+    let converge_deadline = Instant::now() + Duration::from_secs(30);
+    while !rev_gateways.iter().all(|g| {
+        g.store().contains(kind, rev_key.fingerprint)
+            && g.store()
+                .contains_model(rev_key.benchmark, rev_key.estimator, rev_key.fingerprint)
+    }) {
+        assert!(
+            Instant::now() < converge_deadline,
+            "revival setup did not converge within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let rev_client = || {
+        ShardClient::new(Arc::new(
+            ReplicaSet::client_view(rev_peers.clone()).expect("client view"),
+        ))
+        .read_timeout(Some(Duration::from_secs(5)))
+        .attempt_backoff(Duration::from_millis(50))
+    };
+    let rev_env = Arc::new(ctx.workload.environments[0].clone());
+    let rev_probe = EstimateRequest::new(
+        kind,
+        Arc::clone(&rev_env),
+        ctx.workload.queries[0].executed.root.clone(),
+    );
+    let stale_probe_bits = rev_client()
+        .estimate(&rev_probe)
+        .expect("pre-kill probe")
+        .cost_ms
+        .to_bits();
+
+    // Kill the victim and wait until every survivor's heartbeat agrees.
+    rev_servers[rev_victim]
+        .take()
+        .expect("victim running")
+        .join()
+        .expect("victim drains");
+    rev_replicators[rev_victim].take();
+    let dead_deadline = Instant::now() + Duration::from_secs(30);
+    while rev_survivors
+        .iter()
+        .any(|&s| rev_sets[s].is_alive(rev_victim))
+    {
+        assert!(
+            Instant::now() < dead_deadline,
+            "survivors did not notice the kill within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Re-publish during the outage: a different fitted snapshot and the
+    // int8-quantized weights under the same key — cheap, deterministic,
+    // and byte-divergent from what the victim's store still holds.
+    rev_gateways[rev_heir]
+        .publish_snapshot(kind, &ctx.workload.environments[0], &snapshots[1])
+        .expect("re-published snapshot");
+    rev_gateways[rev_heir]
+        .publish_model(
+            rev_key,
+            PersistedModel::Mscn(mscn_for_restart.clone()).quantize(),
+        )
+        .expect("re-published weights");
+    let converge_deadline = Instant::now() + Duration::from_secs(30);
+    while rev_gateways[rev_survivors[0]]
+        .store()
+        .manifest()
+        .expect("manifest")
+        != rev_gateways[rev_survivors[1]]
+            .store()
+            .manifest()
+            .expect("manifest")
+    {
+        assert!(
+            Instant::now() < converge_deadline,
+            "survivors did not converge on the re-published state within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let fresh_probe_bits = rev_gateways[rev_heir]
+        .estimate(rev_probe.clone())
+        .expect("fresh reference")
+        .cost_ms
+        .to_bits();
+    assert_ne!(
+        stale_probe_bits, fresh_probe_bits,
+        "the re-publish must change the served estimates"
+    );
+
+    // Mid-load revival. Every networked answer is compared bit-for-bit
+    // against the heir's in-process answer: only a pre-catch-up victim
+    // can diverge, so any mismatch is a stale read.
+    let rev_duration = Duration::from_millis(if quick { 1500 } else { 3000 });
+    let revive_after = rev_duration / 3;
+    let rev_pool = Mutex::new(
+        (0..repl_load_clients)
+            .map(|_| rev_client())
+            .collect::<Vec<_>>(),
+    );
+    let stale_reads = AtomicU64::new(0);
+    let catch_up_ms = Mutex::new(f64::NAN);
+    let revived = Mutex::new(None);
+    let rev_run = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(revive_after);
+            let restarted = Instant::now();
+            let node = start_rev_node(rev_victim);
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while !rev_survivors
+                .iter()
+                .all(|&s| rev_sets[s].is_alive(rev_victim) && !rev_sets[s].is_reviving(rev_victim))
+            {
+                assert!(
+                    Instant::now() < deadline,
+                    "survivors did not promote the revived victim within 30s"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            *catch_up_ms.lock().expect("latency lock") = restarted.elapsed().as_secs_f64() * 1e3;
+            *revived.lock().expect("revived lock") = Some(node);
+        });
+        run_timed_loop(
+            &ctx.benchmark,
+            repl_load_clients,
+            rev_duration,
+            seed + 1200,
+            |query| {
+                let plan = repl_db.plan(&query).map_err(|e| e.to_string())?;
+                let request = EstimateRequest::new(kind, Arc::clone(&rev_env), plan);
+                let expected = rev_gateways[rev_heir]
+                    .estimate(request.clone())
+                    .map_err(|e| e.to_string())?;
+                let mut client = rev_pool
+                    .lock()
+                    .expect("pool lock")
+                    .pop()
+                    .expect("pooled client");
+                let result = client.estimate(&request);
+                rev_pool.lock().expect("pool lock").push(client);
+                let response = result.map_err(|e| e.to_string())?;
+                if response.cost_ms.to_bits() != expected.cost_ms.to_bits() {
+                    stale_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(response.cost_ms)
+            },
+        )
+    });
+    let catch_up_ms = *catch_up_ms.lock().expect("latency lock");
+    let (rev_set2, rev_replicator2, rev_gateway2, rev_server2) = revived
+        .into_inner()
+        .expect("revived lock")
+        .expect("revival thread ran");
+    assert!(
+        rev_run.completed > 0,
+        "the timed loop must keep completing requests across the revival"
+    );
+    assert_eq!(
+        stale_reads.load(Ordering::Relaxed),
+        0,
+        "no request may ever see pre-outage bits: the reviving victim must \
+         stay out of placement until its catch-up drains"
+    );
+    // The revived owner now serves the re-published state bit-identically.
+    let post_bits = rev_client()
+        .estimate(&rev_probe)
+        .expect("post-revival probe")
+        .cost_ms
+        .to_bits();
+    assert_eq!(
+        post_bits, fresh_probe_bits,
+        "the revived owner must serve the re-published state bit-identically"
+    );
+    let mut rev_reshipped = 0u64;
+    let mut rev_manifests = 0u64;
+    for &s in &rev_survivors {
+        let stats = rev_replicators[s]
+            .as_ref()
+            .expect("survivor replicator")
+            .stats();
+        assert!(
+            stats.revivals >= 1,
+            "survivor {s} must have completed a revival"
+        );
+        assert!(
+            stats.manifests_exchanged >= 1,
+            "survivor {s} must have interrogated the revived peer"
+        );
+        assert_eq!(stats.ships_rejected, 0, "no re-ship may be rejected");
+        rev_reshipped += stats.keys_reshipped;
+        rev_manifests += stats.manifests_exchanged;
+    }
+    assert!(
+        rev_reshipped >= 2,
+        "the stale snapshot and weights must both have been re-shipped, got {rev_reshipped}"
+    );
+    drop(rev_replicator2);
+    let rev_server_stats = rev_server2.join().expect("revived server drains");
+    assert!(
+        rev_server_stats.manifests_served >= 1,
+        "the revived server must have answered manifest requests"
+    );
+    assert_eq!(
+        rev_server_stats.ships_rejected, 0,
+        "the revived server must accept every catch-up re-ship"
+    );
+    drop(rev_set2);
+    drop(rev_gateway2);
+    for server in rev_servers.iter_mut() {
+        if let Some(handle) = server.take() {
+            handle.join().expect("replica drains");
+        }
+    }
+    drop(rev_replicators);
+    drop(rev_gateways);
+    for root in &rev_roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    let mut rev_table = ReportTable::new(
+        "Revival: re-publish during outage, revive mid-load (anti-entropy catch-up)",
+        &[
+            "replicas",
+            "load clients",
+            "completed",
+            "errors",
+            "stale reads",
+            "manifests exchanged",
+            "keys re-shipped",
+            "catch-up latency (ms)",
+        ],
+    );
+    rev_table.push_row(vec![
+        format!("{REPLICAS} (1 revived)"),
+        repl_load_clients.to_string(),
+        rev_run.completed.to_string(),
+        rev_run.errors.to_string(),
+        "0".to_string(),
+        rev_manifests.to_string(),
+        rev_reshipped.to_string(),
+        format!("{catch_up_ms:.1}"),
+    ]);
+    report.add_table(rev_table);
+    eprintln!(
+        "[serve] revival: {} completed / {} errors across the revival, 0 stale reads, \
+         {rev_reshipped} keys re-shipped, catch-up latency {catch_up_ms:.1} ms",
+        rev_run.completed, rev_run.errors,
     );
 
     println!("{}", report.render());

@@ -80,6 +80,23 @@
 //! decoders already reject unknown kinds with a typed error, which is
 //! exactly the strict-rejection behaviour a mixed-version peer set needs.
 //!
+//! `QCFP` frame kinds `6`–`7` are the **manifest frames** of replica
+//! anti-entropy: before a revived peer is routed traffic again, a survivor
+//! interrogates it with `ManifestRequest` (kind 6, empty payload — a bare
+//! kind/flags/request-id body) and the peer answers `ManifestReply`
+//! (kind 7): a `u32 LE` entry count (capped at 32 Ki entries, checked
+//! before allocation) followed by per-entry records opening with a
+//! one-byte **entry-kind tag** — `1` = snapshot (`u8` benchmark tag,
+//! `u64 LE` fingerprint, `u32 LE` CRC-32 of the persisted `QCFS` bytes),
+//! `2` = model (`u8` benchmark tag, `u8` estimator tag, `u64 LE`
+//! fingerprint, `u32 LE` CRC-32 of the persisted `QCFW` bytes); unknown
+//! tags reject typed, the record-tag strictness rule again. Because the
+//! hashes are over the *verbatim persisted* codec bytes, a manifest diff
+//! is exactly the set of keys whose durable state diverged while the peer
+//! was down — the survivor re-ships those through kinds 3–4 and only then
+//! promotes the peer back into placement. Kinds 6–7 keep frame version
+//! `1` for the same mixed-version reason as kinds 3–5.
+//!
 //! # Online refinement
 //!
 //! The paper's transfer loop (Table VII) does not end at the warm start: a

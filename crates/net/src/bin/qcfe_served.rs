@@ -20,6 +20,10 @@
 //! refined snapshot/model is shipped to the other members as verbatim
 //! `QCFS`/`QCFW` codec bytes, so survivors absorb a dead member's shards
 //! bit-identically. `--heartbeat-ms` tunes the liveness probe cadence.
+//! Revival is anti-entropic: when a heartbeat finds a dead peer answering
+//! again, the replicator first exchanges store manifests with it, re-ships
+//! any keys that diverged while it was down (for example re-publishes
+//! absorbed by survivors), and only then routes traffic back to it.
 //!
 //! The process runs until stdin reaches EOF (or `SIGINT`/`SIGTERM` kills
 //! it); EOF triggers a graceful shutdown that drains in-flight requests —
@@ -28,7 +32,7 @@
 
 use qcfe_net::replicator::{Replicator, ReplicatorConfig};
 use qcfe_net::server::NetServerBuilder;
-use qcfe_serve::{QcfeGateway, ReplicaSet};
+use qcfe_serve::{QcfeGateway, ReplicaSet, SnapshotStore};
 use std::io::Read;
 use std::sync::Arc;
 use std::time::Duration;
@@ -108,13 +112,20 @@ fn main() {
         None => None,
     };
     let replicator = replicas.as_ref().map(|set| {
-        Replicator::start(
-            Arc::clone(set),
-            ReplicatorConfig {
-                heartbeat: Duration::from_millis(heartbeat_ms.max(1)),
-                ..ReplicatorConfig::default()
-            },
-        )
+        let config = ReplicatorConfig {
+            heartbeat: Duration::from_millis(heartbeat_ms.max(1)),
+            ..ReplicatorConfig::default()
+        };
+        // Hand the replicator its own store handle so a peer seen coming
+        // back from the dead is caught up (manifest diff + re-ship) before
+        // traffic is routed back to it.
+        match SnapshotStore::open(&store_dir) {
+            Ok(store) => Replicator::with_store(Arc::clone(set), config, store),
+            Err(e) => {
+                eprintln!("qcfe-served: cannot open store {store_dir}: {e}");
+                std::process::exit(1);
+            }
+        }
     });
 
     let mut gateway_builder = QcfeGateway::builder(&store_dir);

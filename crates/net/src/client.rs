@@ -35,8 +35,9 @@ pub enum ClientError {
     Wire(WireError),
     /// The server answered with a typed fault.
     Fault(WireFault),
-    /// The server sent a non-response frame (requests and replication
-    /// ship frames are only ever received by servers).
+    /// The server sent a non-response frame (requests, replication ship
+    /// frames and manifest catch-up frames are only ever received by
+    /// servers and the replicator, never by an estimate client).
     UnexpectedFrame,
     /// A response arrived for a different correlation id than the one
     /// [`QcfeClient::estimate`] was waiting on.

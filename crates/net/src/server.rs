@@ -35,8 +35,8 @@
 
 use crate::sys::{Event, Interest, Poller, Waker, WakerHandle};
 use crate::wire::{
-    self, Frame, WireError, WireEstimate, WireFault, WireRequest, WireResponse, WireShipAck,
-    MAX_STRING_LEN,
+    self, Frame, WireError, WireEstimate, WireFault, WireManifestReply, WireRequest, WireResponse,
+    WireShipAck, MAX_STRING_LEN,
 };
 use qcfe_db::EnvFingerprint;
 use qcfe_serve::{ModelKey, PendingResponse, QcfeError, QcfeGateway, ReplicaSet};
@@ -81,6 +81,9 @@ pub struct ServerStats {
     /// Requests refused with [`WireFault::NotOwner`] because rendezvous
     /// placement assigns their serving key to another peer.
     pub not_owner_redirects: u64,
+    /// Store manifests served to interrogating peers (one per revival
+    /// catch-up handshake this process answered).
+    pub manifests_served: u64,
 }
 
 /// Configures and starts a [`ServerHandle`]. Build one via
@@ -660,6 +663,51 @@ impl Reactor {
                     slot,
                     ack.request_id,
                     &WireError::UnknownFrameKind(wire::FRAME_SHIP_ACK),
+                );
+            }
+            Ok(Frame::ManifestRequest(request)) => {
+                // A reviving-peer interrogation: answer with this store's
+                // full manifest so the surviving peer can diff and
+                // re-ship. Solo servers treat it as role confusion, like
+                // a ship frame.
+                if self.reject_ship_when_solo(slot, request.request_id) {
+                    return;
+                }
+                match self.gateway.store().manifest() {
+                    Ok(entries) => {
+                        let reply = WireManifestReply {
+                            request_id: request.request_id,
+                            entries: entries.into_iter().map(Into::into).collect(),
+                        };
+                        let Ok(bytes) = wire::encode_manifest_reply(&reply) else {
+                            // A store beyond the wire caps cannot answer
+                            // the handshake; close and let the peer retry.
+                            self.close(slot);
+                            return;
+                        };
+                        self.stats.manifests_served += 1;
+                        self.enqueue_bytes(slot, &bytes, shutting_down);
+                    }
+                    Err(error) => {
+                        self.send_fault(
+                            slot,
+                            request.request_id,
+                            WireFault::Store {
+                                message: clip(&error.to_string()),
+                            },
+                            shutting_down,
+                        );
+                    }
+                }
+            }
+            Ok(Frame::ManifestReply(reply)) => {
+                // Only interrogating *requesters* ever receive manifest
+                // replies; an inbound one is role confusion.
+                self.stats.protocol_errors += 1;
+                self.protocol_error(
+                    slot,
+                    reply.request_id,
+                    &WireError::UnknownFrameKind(wire::FRAME_MANIFEST_REPLY),
                 );
             }
             Err(error) => match wire::peek_request_id(frame) {

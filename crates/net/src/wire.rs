@@ -22,7 +22,8 @@
 //! ```
 //!
 //! The body starts with its own fixed header — `kind: u8` (1 = request,
-//! 2 = response, 3 = ship-snapshot, 4 = ship-model, 5 = ship-ack),
+//! 2 = response, 3 = ship-snapshot, 4 = ship-model, 5 = ship-ack,
+//! 6 = manifest-request, 7 = manifest-reply),
 //! `flags: u8` (must be zero in v1), `request id: u64 LE`
 //! (echoed verbatim in the response, correlating pipelined replies) —
 //! followed by the kind-specific payload. Putting the length and checksum
@@ -70,6 +71,20 @@
 //! with [`WireError::UnknownFrameKind`], which is exactly the strict
 //! behaviour the family mandates. Blobs are bounded by
 //! [`MAX_SHIP_BYTES`] before allocation, like every other field.
+//!
+//! # Manifest frames
+//!
+//! Frame kinds 6–7 close the anti-entropy gap the fire-and-forget ship
+//! frames leave open: when a survivor's heartbeat sees a peer transition
+//! dead→alive, it sends a [`WireManifestRequest`] (empty payload) and the
+//! revived peer answers with a [`WireManifestReply`] — a deterministic
+//! listing of every persisted artifact as `(key, CRC-32 of the verbatim
+//! file bytes)` [`WireManifestEntry`] records. The survivor diffs the
+//! reply against its own store manifest and re-ships divergent or missing
+//! keys through the ordinary kind-3/4 path before routing traffic back.
+//! Like kinds 3–5, the version stays 1 and pre-manifest decoders reject
+//! the new kinds typed with [`WireError::UnknownFrameKind`]. Entry counts
+//! are bounded by [`MAX_MANIFEST_ENTRIES`] before allocation.
 
 use qcfe_core::pipeline::EstimatorKind;
 use qcfe_db::env::EnvFingerprint;
@@ -109,6 +124,10 @@ pub const FRAME_SHIP_SNAPSHOT: u8 = 3;
 pub const FRAME_SHIP_MODEL: u8 = 4;
 /// Body kind of a shipping acknowledgement (peer replication).
 pub const FRAME_SHIP_ACK: u8 = 5;
+/// Body kind of a store-manifest request (revival anti-entropy).
+pub const FRAME_MANIFEST_REQUEST: u8 = 6;
+/// Body kind of a store-manifest reply (revival anti-entropy).
+pub const FRAME_MANIFEST_REPLY: u8 = 7;
 /// Upper bound on one frame's body, bounding what a reader buffers for a
 /// single length prefix.
 pub const MAX_BODY_LEN: usize = 1 << 20;
@@ -128,6 +147,11 @@ pub const MAX_DEADLINE_US: u64 = 60_000_000;
 /// Upper bound on a shipped `QCFS`/`QCFW` blob, leaving headroom inside
 /// [`MAX_BODY_LEN`] for the ship frame's own header and knob vector.
 pub const MAX_SHIP_BYTES: usize = MAX_BODY_LEN - 16 * 1024;
+/// Upper bound on the entries of one manifest reply. Entries are at most
+/// 15 bytes each, so a full reply stays well inside [`MAX_BODY_LEN`];
+/// the cap is far above [`MAX_LIST_LEN`] because a manifest enumerates a
+/// whole store, not one frame's fields.
+pub const MAX_MANIFEST_ENTRIES: usize = 32 * 1024;
 
 /// Any failure to encode or decode a `QCFP` frame. Decoding is total:
 /// every byte sequence maps to a value or to one of these, never a panic.
@@ -628,6 +652,81 @@ pub struct WireShipAck {
     pub message: String,
 }
 
+/// A request for a peer's store manifest, sent by a survivor when its
+/// heartbeat sees the peer transition dead→alive. The payload is empty —
+/// the correlation id is the whole message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireManifestRequest {
+    /// Sender-chosen correlation id, echoed in the [`WireManifestReply`].
+    pub request_id: u64,
+}
+
+/// One record of a manifest reply: the identity of a persisted artifact
+/// plus a CRC-32 over its verbatim `QCFS`/`QCFW` file bytes. Mirrors
+/// `qcfe_serve`'s store-level manifest entry with the wire's raw-`u64`
+/// fingerprint convention (same as the ship frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireManifestEntry {
+    /// A persisted feature snapshot.
+    Snapshot {
+        /// The benchmark the snapshot belongs to.
+        benchmark: BenchmarkKind,
+        /// The environment fingerprint it is keyed under.
+        fingerprint: u64,
+        /// CRC-32 over the verbatim `QCFS` file bytes.
+        crc: u32,
+    },
+    /// Persisted model weights.
+    Model {
+        /// Serving key: benchmark.
+        benchmark: BenchmarkKind,
+        /// Serving key: estimator family.
+        estimator: EstimatorKind,
+        /// Serving key: environment fingerprint.
+        fingerprint: u64,
+        /// CRC-32 over the verbatim `QCFW` file bytes.
+        crc: u32,
+    },
+}
+
+impl From<qcfe_serve::store::ManifestEntry> for WireManifestEntry {
+    fn from(entry: qcfe_serve::store::ManifestEntry) -> Self {
+        match entry {
+            qcfe_serve::store::ManifestEntry::Snapshot {
+                benchmark,
+                fingerprint,
+                crc,
+            } => WireManifestEntry::Snapshot {
+                benchmark,
+                fingerprint: fingerprint.0,
+                crc,
+            },
+            qcfe_serve::store::ManifestEntry::Model {
+                benchmark,
+                estimator,
+                fingerprint,
+                crc,
+            } => WireManifestEntry::Model {
+                benchmark,
+                estimator,
+                fingerprint: fingerprint.0,
+                crc,
+            },
+        }
+    }
+}
+
+/// A peer's answer to a [`WireManifestRequest`]: its complete store
+/// manifest, in the store's deterministic order. The requester diffs this
+/// against its own manifest and re-ships anything divergent or missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireManifestReply {
+    /// The correlation id echoed from the manifest request.
+    pub request_id: u64,
+    /// Every persisted artifact (≤ [`MAX_MANIFEST_ENTRIES`]).
+    pub entries: Vec<WireManifestEntry>,
+}
+
 /// Any decoded `QCFP` frame.
 ///
 /// The request side is boxed: a [`WireRequest`] carries a full
@@ -646,6 +745,10 @@ pub enum Frame {
     ShipModel(Box<WireShipModel>),
     /// A peer's answer to a ship frame.
     ShipAck(WireShipAck),
+    /// A survivor's request for a revived peer's store manifest.
+    ManifestRequest(WireManifestRequest),
+    /// The revived peer's store manifest.
+    ManifestReply(WireManifestReply),
 }
 
 // ---------------------------------------------------------------------------
@@ -1685,6 +1788,110 @@ fn read_ship_ack_payload(r: &mut Reader<'_>, request_id: u64) -> Result<WireShip
 }
 
 // ---------------------------------------------------------------------------
+// Manifest (anti-entropy) payloads.
+// ---------------------------------------------------------------------------
+
+/// Wire tag of a snapshot manifest entry.
+const MANIFEST_ENTRY_SNAPSHOT: u8 = 1;
+/// Wire tag of a model manifest entry.
+const MANIFEST_ENTRY_MODEL: u8 = 2;
+
+fn write_manifest_entry(w: &mut Writer, entry: &WireManifestEntry) {
+    match *entry {
+        WireManifestEntry::Snapshot {
+            benchmark,
+            fingerprint,
+            crc,
+        } => {
+            w.u8(MANIFEST_ENTRY_SNAPSHOT);
+            w.u8(tag_in(&BenchmarkKind::ALL, benchmark));
+            w.u64(fingerprint);
+            w.u32(crc);
+        }
+        WireManifestEntry::Model {
+            benchmark,
+            estimator,
+            fingerprint,
+            crc,
+        } => {
+            w.u8(MANIFEST_ENTRY_MODEL);
+            w.u8(tag_in(&BenchmarkKind::ALL, benchmark));
+            w.u8(tag_in(&EstimatorKind::ALL, estimator));
+            w.u64(fingerprint);
+            w.u32(crc);
+        }
+    }
+}
+
+fn read_manifest_entry(r: &mut Reader<'_>) -> Result<WireManifestEntry, WireError> {
+    match r.u8()? {
+        MANIFEST_ENTRY_SNAPSHOT => Ok(WireManifestEntry::Snapshot {
+            benchmark: tag_out(&BenchmarkKind::ALL, r.u8()?, "benchmark")?,
+            fingerprint: r.u64()?,
+            crc: r.u32()?,
+        }),
+        MANIFEST_ENTRY_MODEL => Ok(WireManifestEntry::Model {
+            benchmark: tag_out(&BenchmarkKind::ALL, r.u8()?, "benchmark")?,
+            estimator: tag_out(&EstimatorKind::ALL, r.u8()?, "estimator")?,
+            fingerprint: r.u64()?,
+            crc: r.u32()?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            what: "manifest-entry-kind",
+            tag,
+        }),
+    }
+}
+
+fn write_manifest_reply_payload(
+    w: &mut Writer,
+    reply: &WireManifestReply,
+) -> Result<(), WireError> {
+    // Manifests enumerate a whole store, so their count carries its own
+    // cap rather than the per-field MAX_LIST_LEN the generic helper
+    // enforces.
+    if reply.entries.len() > MAX_MANIFEST_ENTRIES {
+        return Err(WireError::ListTooLong {
+            what: "manifest-entries",
+            len: reply.entries.len(),
+            max: MAX_MANIFEST_ENTRIES,
+        });
+    }
+    w.u32(reply.entries.len() as u32);
+    for entry in &reply.entries {
+        write_manifest_entry(w, entry);
+    }
+    Ok(())
+}
+
+fn read_manifest_reply_payload(
+    r: &mut Reader<'_>,
+    request_id: u64,
+) -> Result<WireManifestReply, WireError> {
+    let count = r.u32()? as usize;
+    if count > MAX_MANIFEST_ENTRIES {
+        return Err(WireError::ListTooLong {
+            what: "manifest-entries",
+            len: count,
+            max: MAX_MANIFEST_ENTRIES,
+        });
+    }
+    // Each entry is at least 14 bytes; a count the remaining bytes cannot
+    // possibly hold is truncation, caught before the allocation.
+    if r.remaining() < count * 14 {
+        return Err(WireError::Truncated);
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        entries.push(read_manifest_entry(r)?);
+    }
+    Ok(WireManifestReply {
+        request_id,
+        entries,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Framing.
 // ---------------------------------------------------------------------------
 
@@ -1743,6 +1950,18 @@ pub fn encode_ship_ack(ack: &WireShipAck) -> Result<Vec<u8>, WireError> {
     let mut w = Writer::new();
     write_ship_ack_payload(&mut w, ack)?;
     frame(FRAME_SHIP_ACK, ack.request_id, &w.buf)
+}
+
+/// Encode one manifest-request frame (empty payload).
+pub fn encode_manifest_request(request: &WireManifestRequest) -> Result<Vec<u8>, WireError> {
+    frame(FRAME_MANIFEST_REQUEST, request.request_id, &[])
+}
+
+/// Encode one manifest-reply frame.
+pub fn encode_manifest_reply(reply: &WireManifestReply) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer::new();
+    write_manifest_reply_payload(&mut w, reply)?;
+    frame(FRAME_MANIFEST_REPLY, reply.request_id, &w.buf)
 }
 
 /// Incremental frame delimiting for stream readers: given the bytes
@@ -1815,6 +2034,10 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, WireError> {
             Frame::ShipModel(Box::new(read_ship_model_payload(&mut r, request_id)?))
         }
         FRAME_SHIP_ACK => Frame::ShipAck(read_ship_ack_payload(&mut r, request_id)?),
+        FRAME_MANIFEST_REQUEST => Frame::ManifestRequest(WireManifestRequest { request_id }),
+        FRAME_MANIFEST_REPLY => {
+            Frame::ManifestReply(read_manifest_reply_payload(&mut r, request_id)?)
+        }
         kind => return Err(WireError::UnknownFrameKind(kind)),
     };
     r.finish()?;
@@ -2136,5 +2359,110 @@ mod tests {
         corrupt[last] ^= 0xff;
         assert_eq!(peek_request_id(&corrupt), None, "untrusted id is withheld");
         assert_eq!(peek_request_id(&bytes[..10]), None);
+    }
+
+    #[test]
+    fn manifest_frames_round_trip_exactly() {
+        let request = WireManifestRequest { request_id: 42 };
+        let bytes = encode_manifest_request(&request).unwrap();
+        assert_eq!(
+            decode_frame(&bytes).unwrap(),
+            Frame::ManifestRequest(request)
+        );
+
+        let reply = WireManifestReply {
+            request_id: 43,
+            entries: vec![
+                WireManifestEntry::Snapshot {
+                    benchmark: BenchmarkKind::Sysbench,
+                    fingerprint: 0xdead_beef_cafe_f00d,
+                    crc: 0x1234_5678,
+                },
+                WireManifestEntry::Model {
+                    benchmark: BenchmarkKind::Tpch,
+                    estimator: EstimatorKind::QcfeMscn,
+                    fingerprint: 7,
+                    crc: 0,
+                },
+            ],
+        };
+        let bytes = encode_manifest_reply(&reply).unwrap();
+        match decode_frame(&bytes).unwrap() {
+            Frame::ManifestReply(decoded) => assert_eq!(decoded, reply),
+            other => panic!("expected manifest reply, got {other:?}"),
+        }
+        // Empty manifests (a freshly revived peer with a wiped store) are
+        // legal, not an error.
+        let empty = WireManifestReply {
+            request_id: 44,
+            entries: Vec::new(),
+        };
+        let bytes = encode_manifest_reply(&empty).unwrap();
+        match decode_frame(&bytes).unwrap() {
+            Frame::ManifestReply(decoded) => assert_eq!(decoded, empty),
+            other => panic!("expected manifest reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn manifest_corruption_rejects_typed() {
+        // A manifest request carries trailing garbage: rejected.
+        let sealed = frame(FRAME_MANIFEST_REQUEST, 9, &[0xAA]).unwrap();
+        assert_eq!(
+            decode_frame(&sealed),
+            Err(WireError::TrailingBytes(1)),
+            "a manifest request's payload must be empty"
+        );
+        // An unknown entry-kind tag rejects typed. The body is padded to
+        // one full entry width so the pre-allocation truncation guard
+        // passes and the tag itself is what gets judged.
+        let mut w = Writer::new();
+        w.u32(1);
+        w.u8(9); // neither snapshot (1) nor model (2)
+        w.buf.extend_from_slice(&[0u8; 13]);
+        let sealed = frame(FRAME_MANIFEST_REPLY, 9, &w.buf).unwrap();
+        assert_eq!(
+            decode_frame(&sealed),
+            Err(WireError::UnknownTag {
+                what: "manifest-entry-kind",
+                tag: 9
+            })
+        );
+        // A count the body cannot hold is truncation, before allocation.
+        let mut w = Writer::new();
+        w.u32(1000);
+        let sealed = frame(FRAME_MANIFEST_REPLY, 9, &w.buf).unwrap();
+        assert_eq!(decode_frame(&sealed), Err(WireError::Truncated));
+        // A count above the cap rejects typed on both ends.
+        let mut w = Writer::new();
+        w.u32((MAX_MANIFEST_ENTRIES + 1) as u32);
+        let sealed = frame(FRAME_MANIFEST_REPLY, 9, &w.buf).unwrap();
+        assert_eq!(
+            decode_frame(&sealed),
+            Err(WireError::ListTooLong {
+                what: "manifest-entries",
+                len: MAX_MANIFEST_ENTRIES + 1,
+                max: MAX_MANIFEST_ENTRIES,
+            })
+        );
+        let oversized = WireManifestReply {
+            request_id: 9,
+            entries: vec![
+                WireManifestEntry::Snapshot {
+                    benchmark: BenchmarkKind::Sysbench,
+                    fingerprint: 0,
+                    crc: 0,
+                };
+                MAX_MANIFEST_ENTRIES + 1
+            ],
+        };
+        assert_eq!(
+            encode_manifest_reply(&oversized),
+            Err(WireError::ListTooLong {
+                what: "manifest-entries",
+                len: MAX_MANIFEST_ENTRIES + 1,
+                max: MAX_MANIFEST_ENTRIES,
+            })
+        );
     }
 }

@@ -66,7 +66,7 @@
 //! [`QcfeError`].
 
 use crate::error::QcfeError;
-use crate::metrics::{MetricsSnapshot, TenantLane};
+use crate::metrics::{MetricsSnapshot, ReplicationHealth, TenantLane};
 use crate::refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 use crate::registry::{EvictedModel, ModelKey, ModelRegistry, ModelSource, RegistryStats};
 use crate::replica::{ReplicaSet, ReplicationSink, ShipEvent};
@@ -218,6 +218,11 @@ pub struct GatewayStats {
     /// the same codecs the shipping peer wrote, so the absorbed state is
     /// bit-identical or rejected typed.
     pub ships_applied: u64,
+    /// The replication sink's own health: queue drops (silent replication
+    /// loss an operator must be able to see) and revival catch-up
+    /// counters. All zeros when replication is not configured or the sink
+    /// does not report (e.g. a plain test sink).
+    pub replication: ReplicationHealth,
     /// The owned model registry's lookup/eviction statistics.
     pub registry: RegistryStats,
     /// Per-tenant scheduling lanes aggregated across every resident shard
@@ -922,6 +927,11 @@ impl QcfeGateway {
             promotions: self.counters.promotions.load(Ordering::Relaxed),
             ships_emitted: self.counters.ships_emitted.load(Ordering::Relaxed),
             ships_applied: self.counters.ships_applied.load(Ordering::Relaxed),
+            replication: self
+                .ship_sink
+                .as_ref()
+                .map(|sink| sink.health())
+                .unwrap_or_default(),
             registry: self.registry.stats(),
         }
     }

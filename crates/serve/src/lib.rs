@@ -74,7 +74,11 @@
 //!   the exact persisted `QCFS`/`QCFW` bytes on every publish and refit,
 //!   so surviving peers can absorb a dead peer's shards bit-identically
 //!   ([`gateway::QcfeGateway::apply_shipped_snapshot`] /
-//!   [`gateway::QcfeGateway::apply_shipped_model`]). The network layer
+//!   [`gateway::QcfeGateway::apply_shipped_model`]). Revival is
+//!   anti-entropic: a peer seen dead→alive parks in a *reviving* state
+//!   (excluded from placement) while the observer diffs store manifests
+//!   ([`store::SnapshotStore::manifest`]) and re-ships divergent keys,
+//!   promoting it back only once the diff drains. The network layer
 //!   (`qcfe-net`) provides the QCFP transport and failover routing.
 //!
 //! ## Quick start
@@ -130,7 +134,7 @@ pub use error::QcfeError;
 pub use gateway::{GatewayBuilder, GatewayStats, ModelProvider, PendingResponse, QcfeGateway};
 pub use lru::LruCache;
 pub use metrics::TenantLane;
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use metrics::{MetricsSnapshot, ReplicationHealth, ServiceMetrics};
 pub use refine::{FeedbackOutcome, LabelBuffer, RefinementConfig};
 pub use registry::{
     EvictedModel, ModelKey, ModelLoader, ModelRegistry, ModelSource, RegistryStats, ResolvedModel,
@@ -142,13 +146,13 @@ pub use service::{
     plan_key, CompletionNotify, Estimate, EstimationService, PendingEstimate, ServiceConfig,
     ServiceError, ServiceHandle,
 };
-pub use store::{SnapshotStore, StoreError};
+pub use store::{ManifestEntry, SnapshotStore, StoreError};
 
 /// Convenient glob import for downstream crates, benches and examples.
 pub mod prelude {
     pub use crate::error::QcfeError;
     pub use crate::gateway::{GatewayBuilder, GatewayStats, PendingResponse, QcfeGateway};
-    pub use crate::metrics::{MetricsSnapshot, TenantLane};
+    pub use crate::metrics::{MetricsSnapshot, ReplicationHealth, TenantLane};
     pub use crate::refine::{FeedbackOutcome, RefinementConfig};
     pub use crate::registry::{ModelKey, ModelRegistry};
     pub use crate::replica::{ReplicaSet, ReplicationSink, ShipEvent};
@@ -159,5 +163,5 @@ pub mod prelude {
     pub use crate::service::{
         Estimate, EstimationService, ServiceConfig, ServiceError, ServiceHandle,
     };
-    pub use crate::store::SnapshotStore;
+    pub use crate::store::{ManifestEntry, SnapshotStore};
 }

@@ -319,6 +319,30 @@ impl TenantLane {
     }
 }
 
+/// Point-in-time replication health of one process, surfaced through
+/// `GatewayStats` so an operator can see replication loss (silently
+/// dropped ship events) and revival catch-up work at a glance. Filled by
+/// the network layer's replicator; a process without replication reports
+/// all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationHealth {
+    /// Ship events dropped before transmission — the bounded ship queue
+    /// overflowed (or an event exceeded the wire cap). Every drop is
+    /// replication loss an anti-entropy pass has to repair later, so a
+    /// non-zero value is an operator signal to widen the queue or slow
+    /// publication.
+    pub ships_dropped: u64,
+    /// Manifest replies received from revived peers (one per catch-up
+    /// handshake round-trip).
+    pub manifests_exchanged: u64,
+    /// Divergent or missing keys re-shipped during revival catch-up.
+    pub keys_reshipped: u64,
+    /// Dead→alive transitions fully processed: the peer's manifest was
+    /// diffed, divergent keys re-shipped, and the peer promoted back into
+    /// the alive mask.
+    pub revivals: u64,
+}
+
 /// A point-in-time view of [`ServiceMetrics`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {

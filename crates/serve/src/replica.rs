@@ -31,6 +31,18 @@
 //! connection failures. The two views converge within a heartbeat
 //! period — in the gap a client may be redirected with a
 //! `NotOwner { owner }` fault and simply retries with backoff.
+//!
+//! Revival is *not* a single bit-flip: shipping is fire-and-forget with
+//! no history replay, so a peer that died and came back may hold stale
+//! state for every key re-published during its outage. A server that
+//! observes the dead→alive transition therefore parks the peer in an
+//! intermediate *reviving* state ([`ReplicaSet::begin_revival`]): the
+//! peer stays out of the alive mask — `owner_index` never routes to it —
+//! while the observer exchanges store manifests and re-ships divergent
+//! keys, and only [`ReplicaSet::promote_revived`] completes the
+//! transition. While the reviving bit is set, [`ReplicaSet::mark_alive`]
+//! is a deliberate no-op, so an incidental successful ship cannot
+//! promote a peer whose catch-up is still draining.
 
 use crate::registry::ModelKey;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -130,6 +142,11 @@ pub struct ReplicaSet {
     peers: Vec<String>,
     self_index: Option<usize>,
     alive: AtomicU64,
+    /// Peers caught between dead and alive: seen responsive again by a
+    /// heartbeat, but still catching up on state re-published during their
+    /// outage. Disjoint from `alive` by construction; only
+    /// [`ReplicaSet::promote_revived`] moves a bit from here to `alive`.
+    reviving: AtomicU64,
 }
 
 impl ReplicaSet {
@@ -170,6 +187,7 @@ impl ReplicaSet {
             peers,
             self_index,
             alive: AtomicU64::new(all_alive),
+            reviving: AtomicU64::new(0),
         })
     }
 
@@ -213,22 +231,85 @@ impl ReplicaSet {
         self.alive.load(Ordering::Acquire).count_ones() as usize
     }
 
-    /// Mark peer `index` dead; returns whether the bit changed.
+    /// Mark peer `index` dead; returns whether it was alive or reviving.
+    /// A mid-catch-up death cancels the revival: both bits clear, and the
+    /// next responsive heartbeat starts a fresh handshake.
     pub fn mark_dead(&self, index: usize) -> bool {
         if index >= self.peers.len() {
             return false;
         }
         let bit = 1u64 << index;
-        self.alive.fetch_and(!bit, Ordering::AcqRel) & bit != 0
+        let was_reviving = self.reviving.fetch_and(!bit, Ordering::AcqRel) & bit != 0;
+        let was_alive = self.alive.fetch_and(!bit, Ordering::AcqRel) & bit != 0;
+        was_alive || was_reviving
     }
 
     /// Mark peer `index` alive again; returns whether the bit changed.
+    ///
+    /// Deliberately a no-op while the peer is mid-revival: successful
+    /// ships to a catching-up peer must not promote it early — only
+    /// [`ReplicaSet::promote_revived`] completes that transition.
     pub fn mark_alive(&self, index: usize) -> bool {
         if index >= self.peers.len() {
             return false;
         }
         let bit = 1u64 << index;
+        if self.reviving.load(Ordering::Acquire) & bit != 0 {
+            return false;
+        }
         self.alive.fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// Whether peer `index` is mid-revival (responsive again but still
+    /// catching up, excluded from owner selection).
+    pub fn is_reviving(&self, index: usize) -> bool {
+        index < self.peers.len() && self.reviving.load(Ordering::Acquire) & (1u64 << index) != 0
+    }
+
+    /// How many peers are currently mid-revival.
+    pub fn reviving_count(&self) -> usize {
+        self.reviving.load(Ordering::Acquire).count_ones() as usize
+    }
+
+    /// Begin the revival of a dead peer that answered a heartbeat again:
+    /// set its reviving bit so the catch-up handshake can run while
+    /// `owner_index` still routes around it. Returns `false` (and leaves
+    /// the masks untouched) when the peer is already alive or already
+    /// reviving — there is nothing to catch up, or someone else is on it.
+    pub fn begin_revival(&self, index: usize) -> bool {
+        if index >= self.peers.len() {
+            return false;
+        }
+        let bit = 1u64 << index;
+        if self.alive.load(Ordering::Acquire) & bit != 0 {
+            return false;
+        }
+        if self.reviving.fetch_or(bit, Ordering::AcqRel) & bit != 0 {
+            return false;
+        }
+        // Re-check after claiming the bit: a concurrent mark_alive that
+        // slipped in between the load and the fetch_or wins, and the
+        // claimed bit is rolled back.
+        if self.alive.load(Ordering::Acquire) & bit != 0 {
+            self.reviving.fetch_and(!bit, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Complete a revival: the catch-up diff drained, so move the peer
+    /// from reviving to alive. Returns whether the peer was in fact
+    /// reviving (a concurrent `mark_dead` cancels the promotion).
+    pub fn promote_revived(&self, index: usize) -> bool {
+        if index >= self.peers.len() {
+            return false;
+        }
+        let bit = 1u64 << index;
+        if self.reviving.fetch_and(!bit, Ordering::AcqRel) & bit == 0 {
+            return false;
+        }
+        self.alive.fetch_or(bit, Ordering::AcqRel);
+        true
     }
 
     /// The index of the peer that owns `key` under the current liveness
@@ -314,6 +395,14 @@ impl ShipEvent {
 pub trait ReplicationSink: Send + Sync {
     /// Enqueue `event` for delivery to every peer.
     fn ship(&self, event: ShipEvent);
+
+    /// Point-in-time replication health: queue drops and revival
+    /// catch-up counters. The default (all zeros) suits test sinks that
+    /// never drop; the production replicator reports its real counters so
+    /// the gateway can surface silent replication loss.
+    fn health(&self) -> crate::metrics::ReplicationHealth {
+        crate::metrics::ReplicationHealth::default()
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +498,64 @@ mod tests {
         assert_eq!(set.alive_count(), 0);
         assert_eq!(set.owner_index(&key(9)), before, "total despite empty mask");
         assert!(!set.owns(&key(9)), "client views own nothing");
+    }
+
+    /// Satellite coverage: the reviving intermediate state. A reviving
+    /// peer is excluded from owner selection exactly like a dead one,
+    /// `mark_alive` cannot promote it early, and only `promote_revived`
+    /// (or a cancelling `mark_dead`) moves it out of the state.
+    #[test]
+    fn reviving_peers_are_never_selected_until_promotion() {
+        let set = ReplicaSet::new(peers(4), 0).unwrap();
+        // Find a key owned by peer 2 so the exclusion is observable.
+        let fp = (0..400u64)
+            .find(|fp| set.owner_index(&key(*fp)) == 2)
+            .expect("peer 2 owns something");
+
+        // begin_revival on an alive peer is a no-op.
+        assert!(!set.begin_revival(2), "alive peers need no catch-up");
+        assert!(set.is_alive(2) && !set.is_reviving(2));
+
+        // Dead → reviving: still routed around.
+        assert!(set.mark_dead(2));
+        assert!(set.begin_revival(2));
+        assert!(!set.begin_revival(2), "revival is claimed once");
+        assert!(set.is_reviving(2) && !set.is_alive(2));
+        assert_eq!(set.reviving_count(), 1);
+        assert_ne!(
+            set.owner_index(&key(fp)),
+            2,
+            "a reviving peer must not be selected as owner"
+        );
+
+        // An incidental mark_alive (e.g. a successful ship) must not
+        // promote a peer whose catch-up is still draining.
+        assert!(!set.mark_alive(2));
+        assert!(!set.is_alive(2) && set.is_reviving(2));
+        assert_ne!(set.owner_index(&key(fp)), 2);
+
+        // Promotion completes the transition and restores placement.
+        assert!(set.promote_revived(2));
+        assert!(!set.promote_revived(2), "promotion is one-shot");
+        assert!(set.is_alive(2) && !set.is_reviving(2));
+        assert_eq!(set.owner_index(&key(fp)), 2, "promotion restores the owner");
+    }
+
+    #[test]
+    fn death_mid_revival_cancels_the_catch_up() {
+        let set = ReplicaSet::new(peers(3), 0).unwrap();
+        assert!(set.mark_dead(1));
+        assert!(set.begin_revival(1));
+        // The peer dies again mid-catch-up: both bits clear and the
+        // pending promotion is void.
+        assert!(set.mark_dead(1), "a reviving peer counts as marked");
+        assert!(!set.is_reviving(1) && !set.is_alive(1));
+        assert!(!set.promote_revived(1), "cancelled revivals cannot promote");
+        assert!(!set.is_alive(1));
+        // A fresh handshake can still run to completion afterwards.
+        assert!(set.begin_revival(1));
+        assert!(set.promote_revived(1));
+        assert!(set.is_alive(1));
     }
 
     #[test]

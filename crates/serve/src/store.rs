@@ -161,6 +161,35 @@ fn model_matches_estimator(model: &PersistedModel, estimator: EstimatorKind) -> 
     )
 }
 
+/// One entry of a store manifest: the identity of a persisted artifact
+/// plus a CRC-32 over its *verbatim file bytes* — the exact `QCFS`/`QCFW`
+/// payload replication ships. Two stores hold bit-identical state for a
+/// key exactly when their entries for it carry equal CRCs, which is what
+/// the revival catch-up handshake diffs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManifestEntry {
+    /// A persisted feature snapshot (`<fp>.qcfs`).
+    Snapshot {
+        /// The benchmark directory the snapshot lives under.
+        benchmark: BenchmarkKind,
+        /// The environment fingerprint it is keyed by.
+        fingerprint: EnvFingerprint,
+        /// CRC-32 over the verbatim `QCFS` file bytes.
+        crc: u32,
+    },
+    /// Persisted model weights (`<fp>.<estimator>.qcfw`).
+    Model {
+        /// The benchmark directory the weights live under.
+        benchmark: BenchmarkKind,
+        /// The estimator family of the serving key.
+        estimator: EstimatorKind,
+        /// The environment fingerprint of the serving key.
+        fingerprint: EnvFingerprint,
+        /// CRC-32 over the verbatim `QCFW` file bytes.
+        crc: u32,
+    },
+}
+
 /// A directory of persisted feature snapshots keyed by
 /// `(benchmark, environment fingerprint)`.
 #[derive(Debug, Clone)]
@@ -602,6 +631,76 @@ impl SnapshotStore {
         Ok(out)
     }
 
+    /// The verbatim bytes of a persisted snapshot file; `Ok(None)` when
+    /// never persisted. This is the replication payload: shipping the file
+    /// bytes untouched (rather than decode + re-encode) keeps the receiver's
+    /// copy bit-identical to the sender's, so manifest CRCs agree.
+    pub fn snapshot_bytes(
+        &self,
+        benchmark: BenchmarkKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<Option<Vec<u8>>, StoreError> {
+        match std::fs::read(self.path_for(benchmark, fingerprint)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The verbatim bytes of a persisted weight sidecar; `Ok(None)` when
+    /// never persisted. See [`SnapshotStore::snapshot_bytes`].
+    pub fn model_bytes(
+        &self,
+        benchmark: BenchmarkKind,
+        estimator: EstimatorKind,
+        fingerprint: EnvFingerprint,
+    ) -> Result<Option<Vec<u8>>, StoreError> {
+        match std::fs::read(self.model_path_for(benchmark, estimator, fingerprint)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// A deterministic manifest of every persisted snapshot and weight
+    /// sidecar across all benchmarks: the anti-entropy summary a revived
+    /// peer sends so the survivors can diff stores and re-ship exactly the
+    /// divergent keys.
+    ///
+    /// Order is fully determined by the content, never by directory
+    /// enumeration: benchmarks in `BenchmarkKind::ALL` order, and within a
+    /// benchmark the snapshots (ascending fingerprint, from
+    /// [`SnapshotStore::list`]) before the models (ascending
+    /// `(fingerprint, estimator slug)`, from [`SnapshotStore::list_models`]).
+    /// Each entry's CRC-32 covers the verbatim file bytes. A file that
+    /// vanishes between listing and hashing (concurrent republish) is
+    /// skipped — it will show up as missing and simply be re-shipped.
+    pub fn manifest(&self) -> Result<Vec<ManifestEntry>, StoreError> {
+        let mut out = Vec::new();
+        for benchmark in BenchmarkKind::ALL {
+            for fingerprint in self.list(benchmark)? {
+                if let Some(bytes) = self.snapshot_bytes(benchmark, fingerprint)? {
+                    out.push(ManifestEntry::Snapshot {
+                        benchmark,
+                        fingerprint,
+                        crc: qcfe_nn::codec::crc32(&bytes),
+                    });
+                }
+            }
+            for (estimator, fingerprint) in self.list_models(benchmark)? {
+                if let Some(bytes) = self.model_bytes(benchmark, estimator, fingerprint)? {
+                    out.push(ManifestEntry::Model {
+                        benchmark,
+                        estimator,
+                        fingerprint,
+                        crc: qcfe_nn::codec::crc32(&bytes),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Load the snapshot for an environment, or fit one with `fit` and
     /// persist it — the serving layer's "warm start after restart" path.
     pub fn load_or_insert_with<F>(
@@ -955,6 +1054,61 @@ mod tests {
             }
         }
         let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    /// The manifest must be a pure function of store *content*: identical
+    /// files yield identical, identically ordered entries regardless of
+    /// save order, and the CRC tracks the verbatim bytes (a re-publish with
+    /// different coefficients changes it; a bit-identical re-save does not).
+    #[test]
+    fn manifest_is_deterministic_and_tracks_content() {
+        let kind = BenchmarkKind::Sysbench;
+        let fp1 = EnvFingerprint(0x1111_1111_1111_1111);
+        let fp2 = EnvFingerprint(0xeeee_eeee_eeee_eeee);
+        let estimator = qcfe_core::pipeline::EstimatorKind::QcfeMscn;
+        let build = |tag: &str, order: [EnvFingerprint; 2]| {
+            let store = temp_store(&format!("manifest-{tag}"));
+            for fp in order {
+                store.save(kind, fp, &sample_snapshot(0.004)).unwrap();
+            }
+            store
+                .save_model(kind, estimator, fp1, &tiny_mscn(7))
+                .unwrap();
+            store
+        };
+        let a = build("a", [fp1, fp2]);
+        let b = build("b", [fp2, fp1]);
+        let manifest = a.manifest().unwrap();
+        assert_eq!(
+            manifest,
+            b.manifest().unwrap(),
+            "identical content must yield an identical manifest regardless of save order"
+        );
+        assert_eq!(manifest.len(), 3);
+        assert_eq!(
+            manifest,
+            {
+                let mut sorted = manifest.clone();
+                sorted.sort_by_key(|e| match *e {
+                    ManifestEntry::Snapshot { fingerprint, .. } => (0u8, fingerprint, ""),
+                    ManifestEntry::Model {
+                        fingerprint,
+                        estimator,
+                        ..
+                    } => (1u8, fingerprint, estimator_slug(estimator)),
+                });
+                sorted
+            },
+            "snapshots come before models, each in ascending key order"
+        );
+        // Re-publishing with different coefficients changes the CRC; a
+        // bit-identical re-save does not.
+        a.save(kind, fp1, &sample_snapshot(0.009)).unwrap();
+        assert_ne!(a.manifest().unwrap(), manifest);
+        a.save(kind, fp1, &sample_snapshot(0.004)).unwrap();
+        assert_eq!(a.manifest().unwrap(), manifest);
+        let _ = std::fs::remove_dir_all(a.root());
+        let _ = std::fs::remove_dir_all(b.root());
     }
 
     #[test]
